@@ -1,0 +1,112 @@
+"""Shared workloads and result recording for the benchmark suite.
+
+Workloads are cached per process so parametrized benchmarks reuse them;
+result tables (the paper-style rows) are written under
+``benchmarks/results/`` so a benchmark run leaves the regenerated tables
+on disk next to the timing output.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+from pathlib import Path
+from typing import Iterable, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_rows(name: str, header: Sequence[str], rows: Iterable[Sequence]) -> Path:
+    """Write one experiment's table to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    widths = [max(len(str(h)), 12) for h in header]
+    lines = ["  ".join(str(h).rjust(w) for h, w in zip(header, widths))]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                (f"{cell:.4f}" if isinstance(cell, float) else str(cell)).rjust(w)
+                for cell, w in zip(row, widths)
+            )
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def timed(fn, *args, **kwargs):
+    """(wall-clock seconds, result) of one call."""
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - started, result
+
+
+@lru_cache(maxsize=None)
+def basket_t5_i2(n_transactions: int = 4000):
+    """The T5.I2 workload family of the Apriori evaluation."""
+    from repro.datasets import QuestBasketGenerator, QuestConfig
+
+    config = QuestConfig(
+        n_transactions=n_transactions,
+        avg_transaction_length=5,
+        avg_pattern_length=2,
+        n_items=500,
+        n_patterns=80,
+    )
+    return QuestBasketGenerator(config, random_state=1994).generate()
+
+
+@lru_cache(maxsize=None)
+def basket_t10_i4(n_transactions: int = 4000):
+    """The heavier T10.I4 workload of the Apriori evaluation."""
+    from repro.datasets import QuestBasketGenerator, QuestConfig
+
+    config = QuestConfig(
+        n_transactions=n_transactions,
+        avg_transaction_length=10,
+        avg_pattern_length=4,
+        n_items=500,
+        n_patterns=80,
+    )
+    return QuestBasketGenerator(config, random_state=1994).generate()
+
+
+@lru_cache(maxsize=None)
+def sequence_c8(n_customers: int = 600):
+    """A C8.T2.5-style customer-sequence workload (GSP evaluation)."""
+    from repro.datasets import QuestSequenceConfig, QuestSequenceGenerator
+
+    config = QuestSequenceConfig(
+        n_customers=n_customers,
+        avg_elements=8,
+        avg_items_per_element=2.5,
+        avg_pattern_elements=4,
+        avg_itemset_size=1.25,
+        n_items=300,
+        n_sequence_patterns=40,
+        n_itemset_patterns=80,
+    )
+    return QuestSequenceGenerator(config, random_state=1996).generate()
+
+
+@lru_cache(maxsize=None)
+def agrawal_split(function: int, n_train: int = 2000, n_test: int = 1000,
+                  noise: float = 0.05):
+    """Train/test AIS tables (test set is noise-free, as in the papers)."""
+    from repro.datasets import agrawal
+
+    train = agrawal(n_train, function=function, noise=noise,
+                    random_state=100 + function)
+    test = agrawal(n_test, function=function, noise=0.0,
+                   random_state=200 + function)
+    return train, test
+
+
+@lru_cache(maxsize=None)
+def cluster_grid(n_samples: int = 900, grid_side: int = 3):
+    """The BIRCH-style grid-of-Gaussians clustering workload."""
+    from repro.datasets import gaussian_grid
+
+    return gaussian_grid(
+        n_samples, grid_side=grid_side, spacing=6.0, cluster_std=0.5,
+        random_state=1996,
+    )

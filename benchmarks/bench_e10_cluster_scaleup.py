@@ -1,0 +1,84 @@
+"""E10 — clustering scale-up.
+
+Provenance: BIRCH's scalability tables (SIGMOD '96, Tables 3-4 shape):
+running time against dataset size for the single-scan CF-tree method
+versus the quadratic medoid method and iterative k-means.  Expected
+shape: BIRCH and k-means grow near-linearly; PAM's O(k(n-k)^2) swap
+scan grows much faster, which is why CLARA exists beyond small n.
+"""
+
+import pytest
+
+from repro.clustering import PAM, Birch, KMeans
+from repro.datasets import gaussian_grid
+
+from _common import timed, write_rows
+
+SIZES = (1000, 4000, 16000)
+PAM_SIZES = (250, 500, 1000)
+K = 9
+
+
+def _data(n):
+    return gaussian_grid(
+        n, grid_side=3, spacing=6.0, cluster_std=0.5, random_state=10
+    )
+
+
+@pytest.mark.parametrize("n_samples", SIZES)
+@pytest.mark.parametrize("method", ["kmeans", "birch"])
+def test_e10_linear_methods(benchmark, method, n_samples):
+    X, _ = _data(n_samples)
+    make = (
+        (lambda: KMeans(K, random_state=0))
+        if method == "kmeans"
+        else (lambda: Birch(threshold=1.0, n_clusters=K, random_state=0))
+    )
+    labels = benchmark.pedantic(
+        lambda: make().fit_predict(X), rounds=1, iterations=1
+    )
+    assert len(labels) == n_samples
+
+
+@pytest.mark.parametrize("n_samples", PAM_SIZES)
+def test_e10_pam(benchmark, n_samples):
+    X, _ = _data(n_samples)
+    labels = benchmark.pedantic(
+        lambda: PAM(K).fit_predict(X), rounds=1, iterations=1
+    )
+    assert len(labels) == n_samples
+
+
+def test_e10_shape(benchmark):
+    def run():
+        rows = []
+        times = {}
+        for n in SIZES:
+            X, _ = _data(n)
+            for name, make in [
+                ("kmeans", lambda: KMeans(K, random_state=0)),
+                ("birch", lambda: Birch(threshold=1.0, n_clusters=K,
+                                        random_state=0)),
+            ]:
+                elapsed, _ = timed(lambda: make().fit_predict(X))
+                times[(name, n)] = elapsed
+                rows.append((name, n, elapsed))
+        for n in PAM_SIZES:
+            X, _ = _data(n)
+            elapsed, _ = timed(lambda: PAM(K).fit_predict(X))
+            times[("pam", n)] = elapsed
+            rows.append(("pam", n, elapsed))
+        return rows, times
+
+    rows, times = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_rows("e10_cluster_scaleup", ["method", "samples", "seconds"], rows)
+    # Linear methods: 16x data well below quadratic cost growth.
+    for name in ("kmeans", "birch"):
+        growth = times[(name, 16000)] / max(times[(name, 1000)], 1e-3)
+        assert growth < 64, (name, growth)
+    # PAM grows super-linearly: 4x data costs more than ~6x time.
+    pam_growth = times[("pam", 1000)] / max(times[("pam", 250)], 1e-3)
+    assert pam_growth > 6, pam_growth
+    # At the shared size 1000, PAM is the most expensive method.
+    assert times[("pam", 1000)] > times[("kmeans", 1000)]
+    assert times[("pam", 1000)] > times[("birch", 1000)]

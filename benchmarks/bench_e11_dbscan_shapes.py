@@ -1,0 +1,63 @@
+"""E11 — density clustering on non-convex shapes.
+
+Provenance: the DBSCAN paper's demonstration figures (KDD '96): cluster
+shapes no centroid method can represent.  Expected shape: DBSCAN
+recovers rings and moons with ARI near 1 and finds the cluster count by
+itself; k-means scores poorly on the same data.
+"""
+
+import pytest
+
+from repro.clustering import DBSCAN, KMeans
+from repro.datasets import two_moons, two_rings
+from repro.evaluation import adjusted_rand_index
+
+from _common import timed, write_rows
+
+WORKLOADS = {
+    "rings": lambda: two_rings(600, noise=0.05, random_state=11),
+    "moons": lambda: two_moons(600, noise=0.05, random_state=11),
+}
+PARAMS = {"rings": dict(eps=1.0, min_samples=5),
+          "moons": dict(eps=0.2, min_samples=5)}
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_e11_dbscan_time(benchmark, workload):
+    X, _ = WORKLOADS[workload]()
+    model = benchmark.pedantic(
+        lambda: DBSCAN(**PARAMS[workload]).fit(X), rounds=1, iterations=1
+    )
+    assert model.n_clusters_ >= 2
+
+
+def test_e11_shape(benchmark):
+    def run():
+        rows = []
+        stats = {}
+        for name, make in WORKLOADS.items():
+            X, truth = make()
+            _, db = timed(lambda: DBSCAN(**PARAMS[name]).fit(X))
+            clustered = db.labels_ >= 0
+            ari_db = adjusted_rand_index(
+                db.labels_[clustered], truth[clustered]
+            )
+            km = KMeans(2, random_state=0).fit_predict(X)
+            ari_km = adjusted_rand_index(km, truth)
+            stats[name] = (db.n_clusters_, ari_db, ari_km)
+            rows.append(
+                (name, db.n_clusters_, round(ari_db, 4), round(ari_km, 4))
+            )
+        return rows, stats
+
+    rows, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_rows(
+        "e11_dbscan_shapes",
+        ["workload", "dbscan_clusters", "dbscan_ARI", "kmeans_ARI"],
+        rows,
+    )
+    for name, (n_clusters, ari_db, ari_km) in stats.items():
+        assert n_clusters == 2, name
+        assert ari_db > 0.9, name
+        assert ari_km < 0.6, name
+        assert ari_db > ari_km + 0.3, name

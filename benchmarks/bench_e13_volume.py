@@ -1,0 +1,73 @@
+"""E13 — accuracy vs training volume.
+
+Provenance: the learning-curve tables of the classic classifier
+studies: test accuracy as the training set grows.  Expected shape:
+accuracy improves (with diminishing returns) for every learner, and the
+ranking between learners is stable once the curves flatten.
+"""
+
+import pytest
+
+from repro.classification import CART, KNN, NaiveBayes
+from repro.datasets import agrawal
+from repro.preprocessing import scale_table
+
+from _common import write_rows
+
+SIZES = (250, 1000, 4000)
+FUNCTION = 7
+
+
+def _train(n):
+    return agrawal(n, function=FUNCTION, noise=0.05, random_state=13)
+
+
+def _test():
+    return agrawal(1500, function=FUNCTION, noise=0.0, random_state=14)
+
+
+CLASSIFIERS = {
+    "cart": lambda: CART(min_samples_leaf=5),
+    "nb": NaiveBayes,
+    "knn": lambda: KNN(9),
+}
+
+
+@pytest.mark.parametrize("n_rows", SIZES)
+@pytest.mark.parametrize("name", sorted(CLASSIFIERS))
+def test_e13_fit_time(benchmark, name, n_rows):
+    train = _train(n_rows)
+    if name == "knn":
+        train = scale_table(train, "standard")
+    model = benchmark.pedantic(
+        lambda: CLASSIFIERS[name]().fit(train, "group"),
+        rounds=1, iterations=1,
+    )
+    assert model.target_ is not None
+
+
+def test_e13_learning_curves(benchmark):
+    test = _test()
+    test_scaled = scale_table(test, "standard")
+
+    def run():
+        rows = []
+        scores = {}
+        for n in SIZES:
+            train = _train(n)
+            train_scaled = scale_table(train, "standard")
+            for name, make in CLASSIFIERS.items():
+                fit_on = train_scaled if name == "knn" else train
+                score_on = test_scaled if name == "knn" else test
+                acc = make().fit(fit_on, "group").score(score_on)
+                scores[(name, n)] = acc
+                rows.append((name, n, round(acc, 4)))
+        return rows, scores
+
+    rows, scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_rows("e13_volume", ["classifier", "train_rows", "test_acc"], rows)
+    for name in CLASSIFIERS:
+        # Largest training set beats the smallest (allowing jitter).
+        assert scores[(name, SIZES[-1])] >= scores[(name, SIZES[0])] - 0.02
+    # CART visibly improves with volume on this nonlinear predicate.
+    assert scores[("cart", 4000)] > scores[("cart", 250)]

@@ -1,0 +1,55 @@
+"""E15 (extension) — DHP's pass-2 candidate reduction.
+
+Provenance: the headline tables of the DHP paper (SIGMOD '95): |C2|
+with and without the pass-1 hash filter, across filter sizes.  Expected
+shape: the filtered C2 is a fraction of the unfiltered |F1 choose 2|,
+the fraction shrinks as the hash table grows (fewer collisions), and
+the mined result never changes (the filter is lossless).
+"""
+
+import pytest
+
+from repro.associations import apriori, dhp
+
+from _common import basket_t10_i4, write_rows
+
+BUCKET_SIZES = (256, 4096, 65536)
+MIN_SUPPORT = 0.01
+
+
+@pytest.mark.parametrize("n_buckets", BUCKET_SIZES)
+def test_e15_time(benchmark, n_buckets):
+    db = basket_t10_i4()
+    result = benchmark.pedantic(
+        dhp, args=(db, MIN_SUPPORT, n_buckets), rounds=1, iterations=1
+    )
+    assert len(result) > 0
+
+
+def test_e15_reduction_table(benchmark):
+    db = basket_t10_i4()
+    reference = apriori(db, MIN_SUPPORT).supports
+
+    def run():
+        rows = []
+        stats = {}
+        for n_buckets in BUCKET_SIZES:
+            result = dhp(db, MIN_SUPPORT, n_buckets=n_buckets)
+            assert result.supports == reference
+            ratio = result.c2_filtered / max(result.c2_unfiltered, 1)
+            stats[n_buckets] = (result.c2_unfiltered, result.c2_filtered, ratio)
+            rows.append(
+                (n_buckets, result.c2_unfiltered, result.c2_filtered,
+                 round(ratio, 4))
+            )
+        return rows, stats
+
+    rows, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_rows(
+        "e15_dhp", ["buckets", "c2_unfiltered", "c2_filtered", "ratio"], rows
+    )
+    ratios = [stats[b][2] for b in BUCKET_SIZES]
+    # Bigger tables filter at least as hard, and the largest filters
+    # away most of C2 on this workload.
+    assert ratios == sorted(ratios, reverse=True)
+    assert ratios[-1] < 0.5

@@ -1,0 +1,65 @@
+"""E17 (extension) — ensemble ablation: bagging and boosting.
+
+Provenance: Breiman's bagging experiments (1996) and Freund &
+Schapire's boosting experiments: compare a single base learner against
+its bagged and boosted ensembles on noisy data.  Expected shape:
+bagging stabilises an unstable deep tree (never much worse, usually
+better on noisy data); boosted stumps clearly beat one stump on an
+additive predicate; ensembles cost roughly n_estimators times the base
+fit.
+"""
+
+import pytest
+
+from repro.classification import CART, AdaBoostM1, Bagging
+from repro.datasets import agrawal
+from repro.preprocessing import train_test_split
+
+from _common import timed, write_rows
+
+
+def _split(function, noise):
+    data = agrawal(2400, function=function, noise=noise,
+                   random_state=1000 + function)
+    return train_test_split(data, 0.3, stratify="group", random_state=0)
+
+
+MODELS = {
+    "single_tree": lambda: CART(),
+    "bagging_9": lambda: Bagging(CART, 9, random_state=0),
+    "single_stump": lambda: CART(max_depth=1),
+    "adaboost_30": lambda: AdaBoostM1(
+        lambda: CART(max_depth=1), 30, random_state=0
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(MODELS))
+def test_e17_fit_time(benchmark, name):
+    train, _ = _split(9, 0.1)
+    model = benchmark.pedantic(
+        lambda: MODELS[name]().fit(train, "group"), rounds=1, iterations=1
+    )
+    assert model.target_ is not None
+
+
+def test_e17_ablation(benchmark):
+    def run():
+        rows = []
+        scores = {}
+        train, test = _split(9, 0.1)
+        for name, make in MODELS.items():
+            elapsed, model = timed(lambda: make().fit(train, "group"))
+            acc = model.score(test)
+            scores[name] = (acc, elapsed)
+            rows.append((name, round(acc, 4), elapsed))
+        return rows, scores
+
+    rows, scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_rows("e17_ensembles", ["model", "test_acc", "fit_seconds"], rows)
+    # Bagging stabilises the deep tree on noisy data.
+    assert scores["bagging_9"][0] >= scores["single_tree"][0] - 0.01
+    # Boosting lifts the weak learner decisively.
+    assert scores["adaboost_30"][0] > scores["single_stump"][0] + 0.02
+    # Ensembles pay roughly linear cost in ensemble size.
+    assert scores["bagging_9"][1] > scores["single_tree"][1]

@@ -1,0 +1,66 @@
+"""E1 — miner execution time vs minimum support.
+
+Provenance: the headline figure family of the Apriori paper (VLDB '94,
+Fig. 3-5): per-workload curves of execution time against decreasing
+minimum support, one curve per algorithm.  Expected shape: every curve
+rises steeply as the support threshold falls; the candidate-free miners
+(FP-Growth, Eclat) dominate the Apriori family at the lowest supports.
+"""
+
+import pytest
+
+from repro.associations import apriori, apriori_hybrid, apriori_tid, eclat, fp_growth
+
+from _common import basket_t5_i2, timed, write_rows
+
+MINERS = {
+    "apriori": apriori,
+    "apriori_tid": apriori_tid,
+    "apriori_hybrid": apriori_hybrid,
+    "eclat": eclat,
+    "fp_growth": fp_growth,
+}
+SUPPORTS = (0.02, 0.01, 0.005)
+
+
+@pytest.mark.parametrize("min_support", SUPPORTS)
+@pytest.mark.parametrize("miner", sorted(MINERS))
+def test_e1_time(benchmark, miner, min_support):
+    db = basket_t5_i2()
+    result = benchmark.pedantic(
+        MINERS[miner], args=(db, min_support), rounds=1, iterations=1
+    )
+    assert len(result) > 0
+
+
+def test_e1_shape(benchmark):
+    """Lower support => more itemsets and more time; miners agree."""
+    db = basket_t5_i2()
+
+    def run():
+        rows = []
+        outputs = {}
+        for name, miner in MINERS.items():
+            times = {}
+            for min_support in SUPPORTS:
+                elapsed, result = timed(miner, db, min_support)
+                times[min_support] = elapsed
+                outputs[(name, min_support)] = result.supports
+                rows.append((name, min_support, len(result), elapsed))
+        return rows, outputs
+
+    rows, outputs = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_rows(
+        "e1_minsup_sweep", ["miner", "minsup", "itemsets", "seconds"], rows
+    )
+    # All miners agree at every threshold.
+    for min_support in SUPPORTS:
+        reference = outputs[("apriori", min_support)]
+        for name in MINERS:
+            assert outputs[(name, min_support)] == reference, name
+    # Itemset counts grow monotonically as support falls.
+    counts = [len(outputs[("apriori", s)]) for s in SUPPORTS]
+    assert counts == sorted(counts)
+    # And Apriori's cost rises from the loosest to the tightest threshold.
+    apriori_rows = {r[1]: r[3] for r in rows if r[0] == "apriori"}
+    assert apriori_rows[SUPPORTS[-1]] >= apriori_rows[SUPPORTS[0]]

@@ -1,0 +1,67 @@
+"""E20 (extension) — regression trees vs OLS on Friedman #1.
+
+Provenance: the CART regression chapters and Friedman's 1991 benchmark
+function, the era's standard prediction workload.  Expected shape: the
+regression tree captures the nonlinear/interaction terms OLS cannot
+(sin(x1 x2), the (x3-0.5)^2 bowl) while OLS nails the linear part, so
+the tree wins overall; tree quality improves with depth until noise
+takes over; both ignore the five planted noise features.
+"""
+
+import pytest
+
+from repro.datasets import friedman1
+from repro.preprocessing import train_test_split
+from repro.regression import LinearRegression, RegressionTree
+
+from _common import timed, write_rows
+
+DEPTHS = (2, 5, 8, 12)
+
+
+def _split():
+    table = friedman1(3000, noise_sd=1.0, random_state=20)
+    return train_test_split(table, 0.3, random_state=0)
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_e20_tree_fit_time(benchmark, depth):
+    train, _ = _split()
+    model = benchmark.pedantic(
+        lambda: RegressionTree(max_depth=depth, min_samples_leaf=5).fit(
+            train, "y"
+        ),
+        rounds=1, iterations=1,
+    )
+    assert model.n_leaves() >= 1
+
+
+def test_e20_shape(benchmark):
+    train, test = _split()
+
+    def run():
+        rows = []
+        scores = {}
+        for depth in DEPTHS:
+            elapsed, model = timed(
+                lambda: RegressionTree(
+                    max_depth=depth, min_samples_leaf=5
+                ).fit(train, "y")
+            )
+            r2 = model.score(test)
+            scores[f"tree_d{depth}"] = r2
+            rows.append((f"tree(depth={depth})", model.n_leaves(),
+                         round(r2, 4), elapsed))
+        elapsed, ols = timed(lambda: LinearRegression().fit(train, "y"))
+        scores["ols"] = ols.score(test)
+        rows.append(("ols", "-", round(scores["ols"], 4), elapsed))
+        return rows, scores
+
+    rows, scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_rows("e20_regression", ["model", "leaves", "test_R2", "seconds"], rows)
+    # Depth helps up to the signal's complexity.
+    assert scores["tree_d8"] > scores["tree_d2"]
+    # The full tree beats the linear yardstick on this nonlinear signal.
+    assert scores["tree_d8"] > scores["ols"]
+    # And everything is far above the mean predictor.
+    assert scores["ols"] > 0.5

@@ -1,0 +1,43 @@
+"""E2 — transaction scale-up.
+
+Provenance: the scale-up experiment of the Apriori paper (VLDB '94,
+Fig. 6): execution time against the number of transactions at fixed
+support.  Expected shape: near-linear growth (each pass is one scan).
+"""
+
+import pytest
+
+from repro.associations import apriori
+
+from _common import basket_t5_i2, timed, write_rows
+
+SIZES = (1000, 2000, 4000, 8000)
+MIN_SUPPORT = 0.01
+
+
+@pytest.mark.parametrize("n_transactions", SIZES)
+def test_e2_time(benchmark, n_transactions):
+    db = basket_t5_i2(n_transactions)
+    result = benchmark.pedantic(
+        apriori, args=(db, MIN_SUPPORT), rounds=1, iterations=1
+    )
+    assert len(result) > 0
+
+
+def test_e2_shape(benchmark):
+    def run():
+        rows = []
+        for n in SIZES:
+            db = basket_t5_i2(n)
+            elapsed, result = timed(apriori, db, MIN_SUPPORT)
+            rows.append((n, len(result), elapsed))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_rows("e2_scaleup", ["transactions", "itemsets", "seconds"], rows)
+    times = {n: t for n, _, t in rows}
+    # Near-linear scale-up: 8x the data should cost clearly less than
+    # the quadratic 64x (allow generous slack over the linear 8x).
+    assert times[8000] <= 24 * max(times[1000], 1e-3)
+    # And more data should not be faster than much less data.
+    assert times[8000] >= times[1000] * 0.8

@@ -1,0 +1,37 @@
+"""E3 — candidates and frequent itemsets per pass.
+
+Provenance: the per-pass tables of the Apriori paper: for one workload
+and threshold, the number of candidates generated and of candidates that
+turn out frequent at each level k.  Expected shape: both counts peak at
+small k (2 or 3) and decay to zero; frequent <= candidates everywhere —
+the downward-closure pruning story in numbers.
+"""
+
+from repro.associations import apriori
+
+from _common import basket_t10_i4, write_rows
+
+MIN_SUPPORT = 0.01
+
+
+def test_e3_pass_table(benchmark):
+    db = basket_t10_i4()
+    result = benchmark.pedantic(
+        apriori, args=(db, MIN_SUPPORT), rounds=1, iterations=1
+    )
+    rows = [
+        (s.k, s.n_candidates, s.n_frequent, s.elapsed)
+        for s in result.pass_stats
+    ]
+    write_rows(
+        "e3_pass_stats", ["k", "candidates", "frequent", "seconds"], rows
+    )
+    for s in result.pass_stats:
+        assert s.n_frequent <= s.n_candidates
+    # The lattice tails off: the last pass finds (almost) nothing.
+    assert result.pass_stats[-1].n_frequent <= result.pass_stats[1].n_frequent
+    # Counts rise to an early peak then decay.
+    frequents = [s.n_frequent for s in result.pass_stats]
+    peak = frequents.index(max(frequents))
+    assert peak <= 2
+    assert frequents[peak:] == sorted(frequents[peak:], reverse=True)

@@ -1,0 +1,43 @@
+"""E4 — rule generation under a confidence sweep.
+
+Provenance: the rule-generation section of the Apriori paper (the
+*ap-genrules* fast algorithm).  Expected shape: the rule count shrinks
+monotonically as the confidence threshold rises, and generation is much
+cheaper than mining the itemsets that feed it.
+"""
+
+import pytest
+
+from repro.associations import apriori, generate_rules
+
+from _common import basket_t10_i4, timed, write_rows
+
+CONFIDENCES = (0.5, 0.7, 0.9)
+
+
+@pytest.fixture(scope="module")
+def mined():
+    return apriori(basket_t10_i4(), 0.01)
+
+
+@pytest.mark.parametrize("min_confidence", CONFIDENCES)
+def test_e4_time(benchmark, mined, min_confidence):
+    rules = benchmark.pedantic(
+        generate_rules, args=(mined, min_confidence), rounds=1, iterations=1
+    )
+    assert all(r.confidence >= min_confidence for r in rules)
+
+
+def test_e4_shape(benchmark, mined):
+    def run():
+        rows = []
+        for min_confidence in CONFIDENCES:
+            elapsed, rules = timed(generate_rules, mined, min_confidence)
+            rows.append((min_confidence, len(rules), elapsed))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_rows("e4_rules", ["min_confidence", "rules", "seconds"], rows)
+    counts = [count for _, count, _ in rows]
+    assert counts == sorted(counts, reverse=True)
+    assert counts[0] > 0

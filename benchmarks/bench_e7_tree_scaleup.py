@@ -1,0 +1,61 @@
+"""E7 — decision-tree training-time scale-up.
+
+Provenance: SLIQ's scalability experiments (EDBT '96): training time
+against the number of records.  Expected shape: both the depth-first
+re-sorting builder (CART) and the breadth-first presorted builder
+(SLIQ) grow near-linearly in N at fixed depth; neither blows up
+quadratically.  (SLIQ's original win was disk-resident data — beyond a
+single-process Python reproduction — so the shape claim here is the
+in-memory near-linearity of both, with the per-pass structure of SLIQ
+visible in its flat per-level scans.)
+"""
+
+import pytest
+
+from repro.classification import CART, SLIQ
+from repro.datasets import agrawal
+
+from _common import timed, write_rows
+
+SIZES = (1000, 4000, 16000)
+BUILDERS = {
+    "cart": lambda: CART(max_depth=8, min_samples_leaf=5),
+    "sliq": lambda: SLIQ(max_depth=8, min_samples_leaf=5),
+}
+
+
+def _table(n):
+    return agrawal(n, function=2, noise=0.05, random_state=42)
+
+
+@pytest.mark.parametrize("n_rows", SIZES)
+@pytest.mark.parametrize("builder", sorted(BUILDERS))
+def test_e7_time(benchmark, builder, n_rows):
+    table = _table(n_rows)
+
+    def fit():
+        return BUILDERS[builder]().fit(table, "group")
+
+    model = benchmark.pedantic(fit, rounds=1, iterations=1)
+    assert model.score(table) > 0.8
+
+
+def test_e7_shape(benchmark):
+    def run():
+        rows = []
+        times = {}
+        for name, make in BUILDERS.items():
+            for n in SIZES:
+                table = _table(n)
+                elapsed, model = timed(lambda: make().fit(table, "group"))
+                times[(name, n)] = elapsed
+                rows.append((name, n, model.n_leaves(), elapsed))
+        return rows, times
+
+    rows, times = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_rows("e7_tree_scaleup", ["builder", "rows", "leaves", "seconds"], rows)
+    for name in BUILDERS:
+        growth = times[(name, 16000)] / max(times[(name, 1000)], 1e-3)
+        # 16x the data must cost well under the quadratic 256x; allow
+        # ~3x-linear slack for deeper trees on more data.
+        assert growth < 48, (name, growth)

@@ -1,0 +1,72 @@
+"""E8 — pruning ablation: tree size and accuracy under label noise.
+
+Provenance: the pruning chapters of C4.5 and CART: grow on noisy data,
+compare the unpruned tree against error-based (C4.5) and
+cost-complexity (CART) pruning.  Expected shape: pruning shrinks trees
+by a large factor while test accuracy holds or improves — the noisier
+the labels, the bigger the size win.
+"""
+
+import pytest
+
+from repro.classification import C45, CART
+from repro.datasets import agrawal
+
+from _common import write_rows
+
+NOISES = (0.05, 0.15)
+FUNCTION = 5
+
+
+def _split(noise):
+    train = agrawal(2500, function=FUNCTION, noise=noise, random_state=8)
+    test = agrawal(1200, function=FUNCTION, noise=0.0, random_state=9)
+    return train, test
+
+
+@pytest.mark.parametrize("noise", NOISES)
+def test_e8_c45_pruned_fit_time(benchmark, noise):
+    train, _ = _split(noise)
+
+    def fit():
+        return C45(prune=True).fit(train, "group")
+
+    model = benchmark.pedantic(fit, rounds=1, iterations=1)
+    assert model.n_nodes() >= 1
+
+
+def test_e8_ablation(benchmark):
+    def run():
+        rows = []
+        stats = {}
+        for noise in NOISES:
+            train, test = _split(noise)
+            variants = {
+                "c45_unpruned": C45(prune=False),
+                "c45_pruned": C45(prune=True),
+                "cart_unpruned": CART(),
+                "cart_ccp": CART(ccp_alpha=0.005),
+            }
+            for name, model in variants.items():
+                model.fit(train, "group")
+                acc = model.score(test)
+                stats[(noise, name)] = (model.n_nodes(), acc)
+                rows.append((noise, name, model.n_nodes(), round(acc, 4)))
+        return rows, stats
+
+    rows, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_rows("e8_pruning", ["noise", "variant", "nodes", "test_acc"], rows)
+    for noise in NOISES:
+        for family, pruned in (("c45", "c45_pruned"), ("cart", "cart_ccp")):
+            full_nodes, full_acc = stats[(noise, f"{family}_unpruned")]
+            small_nodes, small_acc = stats[(noise, pruned)]
+            assert small_nodes < full_nodes, (noise, family)
+            # Accuracy must not collapse (and usually improves).
+            assert small_acc >= full_acc - 0.03, (noise, family)
+    # More noise -> bigger relative size reduction for C4.5 pruning.
+    def reduction(noise):
+        full, _ = stats[(noise, "c45_unpruned")]
+        small, _ = stats[(noise, "c45_pruned")]
+        return small / full
+
+    assert reduction(NOISES[1]) <= reduction(NOISES[0]) + 0.1

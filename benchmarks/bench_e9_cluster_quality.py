@@ -1,0 +1,63 @@
+"""E9 — clustering quality across methods.
+
+Provenance: the quality comparisons of the medoid/BIRCH era (CLARANS
+vs PAM/CLARA in VLDB '94; BIRCH vs CLARANS in SIGMOD '96): cluster a
+grid of Gaussians and score every method on the same data.  Expected
+shape: all methods recover the well-separated grid (ARI near 1, similar
+SSE); PAM pays far more time than k-means for that same quality, with
+CLARA/CLARANS approximating PAM much faster — the motivation for both.
+"""
+
+import pytest
+
+from repro.clustering import CLARA, CLARANS, PAM, Agglomerative, Birch, KMeans
+from repro.evaluation import adjusted_rand_index, sse
+
+from _common import cluster_grid, timed, write_rows
+
+K = 9
+METHODS = {
+    "kmeans": lambda: KMeans(K, random_state=0),
+    "pam": lambda: PAM(K),
+    "clara": lambda: CLARA(K, random_state=0),
+    "clarans": lambda: CLARANS(K, random_state=0),
+    "ward": lambda: Agglomerative(K, "ward"),
+    "birch": lambda: Birch(threshold=1.0, n_clusters=K, random_state=0),
+}
+
+
+@pytest.mark.parametrize("method", sorted(METHODS))
+def test_e9_time(benchmark, method):
+    X, _ = cluster_grid()
+
+    def fit():
+        return METHODS[method]().fit_predict(X)
+
+    labels = benchmark.pedantic(fit, rounds=1, iterations=1)
+    assert len(labels) == len(X)
+
+
+def test_e9_quality_table(benchmark):
+    X, truth = cluster_grid()
+
+    def run():
+        rows = []
+        stats = {}
+        for name, make in METHODS.items():
+            elapsed, labels = timed(lambda: make().fit_predict(X))
+            ari = adjusted_rand_index(labels, truth)
+            total_sse = sse(X, labels)
+            stats[name] = (ari, total_sse, elapsed)
+            rows.append((name, round(ari, 4), round(total_sse, 1), elapsed))
+        return rows, stats
+
+    rows, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_rows("e9_cluster_quality", ["method", "ARI", "SSE", "seconds"], rows)
+    for name, (ari, _, _) in stats.items():
+        assert ari > 0.85, name
+    # PAM quality ~ k-means quality, but PAM time >> k-means time.
+    assert abs(stats["pam"][0] - stats["kmeans"][0]) < 0.1
+    assert stats["pam"][2] > stats["kmeans"][2]
+    # CLARA approximates PAM's cost at a fraction of the time.
+    assert stats["clara"][2] < stats["pam"][2]
+    assert stats["clara"][1] <= stats["pam"][1] * 1.3

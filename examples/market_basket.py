@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Market-basket analysis at workload scale.
+
+Reproduces the workflow of the classic association-rule studies:
+
+1. generate a Quest-style workload (the T?.I?.D? family),
+2. sweep the minimum support and watch the itemset lattice grow,
+3. race the five miners on the same workload,
+4. generate and screen rules with multiple interestingness measures.
+
+Run:  python examples/market_basket.py
+"""
+
+import time
+
+from repro.associations import (
+    apriori,
+    apriori_hybrid,
+    apriori_tid,
+    eclat,
+    filter_rules,
+    fp_growth,
+    generate_rules,
+)
+from repro.datasets import QuestBasketGenerator, QuestConfig
+
+
+def build_workload():
+    config = QuestConfig(
+        n_transactions=4000,
+        avg_transaction_length=10,
+        avg_pattern_length=4,
+        n_items=500,
+        n_patterns=80,
+    )
+    print(f"workload {config.name()}  (N={config.n_items} items, "
+          f"|L|={config.n_patterns} patterns)")
+    db = QuestBasketGenerator(config, random_state=2024).generate()
+    print(f"  {len(db)} transactions, average length "
+          f"{db.avg_transaction_length():.1f}")
+    return db
+
+
+def support_sweep(db) -> None:
+    print()
+    print("minimum-support sweep (Apriori)")
+    print(f"{'minsup':>8} {'itemsets':>9} {'largest':>8} {'passes':>7} "
+          f"{'time[s]':>8}")
+    for min_support in (0.05, 0.02, 0.01, 0.005):
+        started = time.perf_counter()
+        result = apriori(db, min_support)
+        elapsed = time.perf_counter() - started
+        print(
+            f"{min_support:>8.3f} {len(result):>9} {result.max_size():>8} "
+            f"{len(result.pass_stats):>7} {elapsed:>8.2f}"
+        )
+
+
+def miner_race(db, min_support: float = 0.01) -> None:
+    print()
+    print(f"miner race at minsup={min_support}")
+    reference = None
+    for name, miner in [
+        ("Apriori", apriori),
+        ("AprioriTid", apriori_tid),
+        ("AprioriHybrid", apriori_hybrid),
+        ("Eclat", eclat),
+        ("FP-Growth", fp_growth),
+    ]:
+        started = time.perf_counter()
+        result = miner(db, min_support)
+        elapsed = time.perf_counter() - started
+        if reference is None:
+            reference = result.supports
+        agreement = "ok" if result.supports == reference else "MISMATCH"
+        print(f"  {name:<14} {elapsed:>7.2f}s  "
+              f"{len(result):>6} itemsets  [{agreement}]")
+
+
+def rule_screening(db) -> None:
+    print()
+    print("rule generation and screening")
+    itemsets = apriori(db, 0.01)
+    rules = generate_rules(itemsets, min_confidence=0.5)
+    print(f"  {len(rules)} rules at confidence >= 0.5")
+    interesting = filter_rules(rules, min_lift=2.0)
+    print(f"  {len(interesting)} of them with lift >= 2.0")
+    for rule in interesting[:8]:
+        print(
+            f"    {set(rule.antecedent)} -> {set(rule.consequent)}  "
+            f"sup={rule.support:.3f} conf={rule.confidence:.2f} "
+            f"lift={rule.lift:.1f} conv={rule.conviction:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    workload = build_workload()
+    support_sweep(workload)
+    miner_race(workload)
+    rule_screening(workload)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Quickstart tour of the repro library.
+
+One small scene per technique family:
+
+1. association rules on a toy basket,
+2. sequential patterns on toy customer histories,
+3. a decision tree with extracted rules,
+4. clustering with quality metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.associations import apriori, generate_rules
+from repro.classification import C45, extract_rules
+from repro.clustering import KMeans
+from repro.core import SequenceDatabase, TransactionDatabase
+from repro.datasets import gaussian_blobs, play_tennis
+from repro.evaluation import adjusted_rand_index, silhouette
+from repro.sequences import gsp
+
+
+def demo_association_rules() -> None:
+    print("=" * 64)
+    print("1. Association rules (Apriori)")
+    print("=" * 64)
+    baskets = [
+        ["bread", "milk"],
+        ["bread", "diapers", "beer", "eggs"],
+        ["milk", "diapers", "beer", "cola"],
+        ["bread", "milk", "diapers", "beer"],
+        ["bread", "milk", "diapers", "cola"],
+    ]
+    db = TransactionDatabase.from_iterable(baskets)
+    itemsets = apriori(db, min_support=0.4)
+    print(f"frequent itemsets at 40% support: {len(itemsets)}")
+    for itemset, count in itemsets.sorted_by_support()[:5]:
+        labels = db.decode(itemset)
+        print(f"  {set(labels)}  support={count}/{len(db)}")
+    rules = generate_rules(itemsets, min_confidence=0.7)
+    print(f"rules at 70% confidence: {len(rules)}")
+    for rule in rules[:4]:
+        ante = set(db.decode(rule.antecedent))
+        cons = set(db.decode(rule.consequent))
+        print(
+            f"  {ante} -> {cons}  "
+            f"conf={rule.confidence:.2f} lift={rule.lift:.2f}"
+        )
+
+
+def demo_sequences() -> None:
+    print()
+    print("=" * 64)
+    print("2. Sequential patterns (GSP)")
+    print("=" * 64)
+    histories = [
+        [["laptop"], ["mouse", "keyboard"], ["monitor"]],
+        [["laptop"], ["mouse"], ["monitor"]],
+        [["phone"], ["case"]],
+        [["laptop"], ["keyboard", "mouse"]],
+        [["phone"], ["case"], ["charger"]],
+    ]
+    db = SequenceDatabase.from_iterable(histories)
+    patterns = gsp(db, min_support=0.4)
+    print(f"frequent sequential patterns at 40% support: {len(patterns)}")
+    for pattern, count in patterns.sorted_by_support():
+        readable = " -> ".join(
+            "{" + ", ".join(map(str, element)) + "}"
+            for element in db.decode(pattern)
+        )
+        print(f"  {readable}  ({count}/{len(db)} customers)")
+
+
+def demo_decision_tree() -> None:
+    print()
+    print("=" * 64)
+    print("3. Decision tree (C4.5) with interpretable rules")
+    print("=" * 64)
+    table = play_tennis()
+    model = C45(prune=False).fit(table, "play")
+    print(f"training accuracy: {model.score(table):.2f}  "
+          f"({model.n_leaves()} leaves, depth {model.depth()})")
+    print("rules extracted from the tree:")
+    for conditions, label in extract_rules(
+        model.tree_, table.attribute("play")
+    ):
+        clause = " and ".join(conditions) if conditions else "always"
+        print(f"  if {clause} then play = {label!r}")
+
+
+def demo_clustering() -> None:
+    print()
+    print("=" * 64)
+    print("4. Clustering (k-means) with quality metrics")
+    print("=" * 64)
+    X, truth = gaussian_blobs(300, centers=4, cluster_std=0.8, random_state=7)
+    model = KMeans(n_clusters=4, random_state=0).fit(X)
+    print(f"inertia (SSE):        {model.inertia_:.1f}")
+    print(f"silhouette:           {silhouette(X, model.labels_):.3f}")
+    print(f"ARI vs ground truth:  "
+          f"{adjusted_rand_index(model.labels_, truth):.3f}")
+
+
+if __name__ == "__main__":
+    demo_association_rules()
+    demo_sequences()
+    demo_decision_tree()
+    demo_clustering()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail with ``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` fall back to
+``setup.py develop``, which needs no wheel building.  All real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

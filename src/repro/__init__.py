@@ -1,0 +1,58 @@
+"""repro — classic data mining techniques, implemented from scratch.
+
+The library reproduces the technique canon of the SIGMOD 1996 "Data
+Mining Techniques" tutorial: association-rule mining, sequential pattern
+mining, classification, and clustering, plus the synthetic data
+generators, preprocessing, and evaluation harnesses the classic
+experiments rely on.
+
+Subpackages
+-----------
+core
+    Dataset substrates (transactions, sequences, typed tables), result
+    types, estimator bases, errors.
+associations
+    Apriori family, Eclat, FP-Growth; rule generation and measures.
+sequences
+    AprioriAll, GSP (with time constraints), PrefixSpan.
+classification
+    ID3, C4.5, CART, SLIQ-style trees; naive Bayes; k-NN; baselines.
+clustering
+    k-means, PAM/CLARA/CLARANS, hierarchical, BIRCH, DBSCAN.
+preprocessing
+    Discretization, scaling, splitting, encoding.
+evaluation
+    Classification metrics and cross-validation; clustering metrics.
+datasets
+    Quest-style basket/sequence generators, Agrawal functions, Gaussian
+    mixtures, shape data, toy tables, CSV I/O.
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    associations,
+    classification,
+    clustering,
+    core,
+    datasets,
+    evaluation,
+    preprocessing,
+    regression,
+    sequences,
+)
+from . import outliers
+
+__all__ = [
+    "core",
+    "associations",
+    "sequences",
+    "classification",
+    "clustering",
+    "preprocessing",
+    "regression",
+    "outliers",
+    "evaluation",
+    "datasets",
+    "__version__",
+]

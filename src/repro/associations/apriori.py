@@ -1,0 +1,169 @@
+"""The Apriori frequent-itemset miner (Agrawal & Srikant, VLDB 1994).
+
+Apriori makes one pass over the transaction database per itemset size:
+pass k counts the candidates produced by *apriori-gen* from the frequent
+(k-1)-itemsets, using either a hash tree (the paper's structure) or a
+plain dictionary of candidates (simpler, often competitive in Python for
+small candidate sets).
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+from typing import Dict, Optional
+
+from ..core.base import check_in_range
+from ..core.exceptions import ValidationError
+from ..core.itemsets import FrequentItemsets, Itemset, PassStats
+from ..core.transactions import TransactionDatabase
+from .candidates import apriori_gen
+from .hash_tree import HashTree
+
+#: candidate-store strategies accepted by :func:`apriori`
+CANDIDATE_STORES = ("hash_tree", "dict")
+
+
+def min_count_from_support(n_transactions: int, min_support: float) -> int:
+    """Absolute count threshold implied by a relative ``min_support``.
+
+    Uses ceiling semantics: an itemset is frequent iff
+    ``count >= ceil(min_support * n)`` — with the usual convention that a
+    threshold of zero still requires at least one occurrence.
+    """
+    check_in_range("min_support", min_support, 0.0, 1.0)
+    import math
+
+    return max(1, math.ceil(min_support * n_transactions))
+
+
+def frequent_one_itemsets(
+    db: TransactionDatabase, min_count: int
+) -> Dict[Itemset, int]:
+    """First pass: frequent 1-itemsets by a single counting scan."""
+    counts = db.item_counts()
+    return {
+        (item,): cnt for item, cnt in sorted(counts.items()) if cnt >= min_count
+    }
+
+
+def apriori(
+    db: TransactionDatabase,
+    min_support: float = 0.01,
+    max_size: Optional[int] = None,
+    candidate_store: str = "hash_tree",
+) -> FrequentItemsets:
+    """Mine all frequent itemsets with the Apriori algorithm.
+
+    Parameters
+    ----------
+    db:
+        The transaction database.
+    min_support:
+        Relative minimum support in [0, 1].
+    max_size:
+        Stop after itemsets of this size (``None`` = mine to exhaustion).
+    candidate_store:
+        ``"hash_tree"`` for the paper's hash tree, ``"dict"`` for a plain
+        per-candidate subset check (O(|t| choose k) per transaction; fine
+        for short transactions, used mostly for cross-validation in tests).
+
+    Returns
+    -------
+    FrequentItemsets
+        All itemsets whose support count meets the threshold, together
+        with per-pass statistics.
+
+    Examples
+    --------
+    >>> db = TransactionDatabase([(0, 1, 2), (0, 1), (0, 2), (1, 2)])
+    >>> result = apriori(db, min_support=0.5)
+    >>> sorted(result.supports.items())[:3]
+    [((0,), 3), ((0, 1), 2), ((0, 2), 2)]
+    """
+    if candidate_store not in CANDIDATE_STORES:
+        raise ValidationError(
+            f"candidate_store must be one of {CANDIDATE_STORES}, "
+            f"got {candidate_store!r}"
+        )
+    if max_size is not None and max_size < 1:
+        raise ValidationError(f"max_size must be >= 1, got {max_size}")
+    n = len(db)
+    if n == 0:
+        return FrequentItemsets({}, 0, min_support)
+    min_count = min_count_from_support(n, min_support)
+
+    stats = []
+    started = time.perf_counter()
+    frequent = frequent_one_itemsets(db, min_count)
+    stats.append(
+        PassStats(
+            k=1,
+            n_candidates=db.n_items,
+            n_frequent=len(frequent),
+            elapsed=time.perf_counter() - started,
+        )
+    )
+    all_frequent: Dict[Itemset, int] = dict(frequent)
+
+    k = 2
+    while frequent and (max_size is None or k <= max_size):
+        started = time.perf_counter()
+        candidates = apriori_gen(frequent)
+        if not candidates:
+            stats.append(PassStats(k, 0, 0, time.perf_counter() - started))
+            break
+        if candidate_store == "hash_tree":
+            frequent = _count_with_hash_tree(db, candidates, min_count)
+        else:
+            frequent = _count_with_dict(db, candidates, k, min_count)
+        stats.append(
+            PassStats(
+                k=k,
+                n_candidates=len(candidates),
+                n_frequent=len(frequent),
+                elapsed=time.perf_counter() - started,
+            )
+        )
+        all_frequent.update(frequent)
+        k += 1
+
+    result = FrequentItemsets(all_frequent, n, min_support)
+    result.pass_stats = stats
+    return result
+
+
+def _count_with_hash_tree(db, candidates, min_count) -> Dict[Itemset, int]:
+    tree = HashTree(candidates)
+    tree.count_transactions(db)
+    return tree.frequent(min_count)
+
+
+def _count_with_dict(db, candidates, k, min_count) -> Dict[Itemset, int]:
+    candidate_set = set(candidates)
+    counts: Dict[Itemset, int] = dict.fromkeys(candidates, 0)
+    for txn in db:
+        if len(txn) < k:
+            continue
+        # Enumerate the transaction's k-subsets only when that is cheaper
+        # than probing every candidate; otherwise test candidates directly.
+        from math import comb
+
+        if comb(len(txn), k) <= len(candidate_set):
+            for subset in combinations(txn, k):
+                if subset in candidate_set:
+                    counts[subset] += 1
+        else:
+            txn_set = set(txn)
+            for cand in candidates:
+                if txn_set.issuperset(cand):
+                    counts[cand] += 1
+    return {c: cnt for c, cnt in counts.items() if cnt >= min_count}
+
+
+__all__ = [
+    "apriori",
+    "frequent_one_itemsets",
+    "min_count_from_support",
+    "CANDIDATE_STORES",
+]

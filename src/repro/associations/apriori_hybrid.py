@@ -1,0 +1,175 @@
+"""AprioriHybrid: start with Apriori, switch to AprioriTid when it pays.
+
+The VLDB '94 paper observes that Apriori beats AprioriTid in early passes
+(C̄_k is then larger than the raw database) while AprioriTid wins late
+passes (most transactions stop supporting any candidate).  AprioriHybrid
+runs Apriori and switches to the transformed representation at the first
+pass where the estimated size of C̄_k fits a memory budget.
+
+We estimate ``|C̄_k|`` the way the paper does: the sum over candidates of
+their support counts (each supported candidate occupies one slot in one
+transaction's entry), plus one slot per surviving transaction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core.exceptions import ValidationError
+from ..core.itemsets import FrequentItemsets, Itemset, PassStats
+from ..core.transactions import TransactionDatabase
+from .apriori import frequent_one_itemsets, min_count_from_support
+from .candidates import apriori_gen
+from .hash_tree import HashTree
+
+
+def apriori_hybrid(
+    db: TransactionDatabase,
+    min_support: float = 0.01,
+    max_size: Optional[int] = None,
+    switch_budget: Optional[int] = None,
+) -> FrequentItemsets:
+    """Mine all frequent itemsets with the AprioriHybrid strategy.
+
+    Parameters
+    ----------
+    db, min_support, max_size:
+        As in :func:`~repro.associations.apriori.apriori`.
+    switch_budget:
+        Maximum estimated number of candidate slots allowed in the
+        transformed representation before switching.  ``None`` defaults to
+        ``4 *`` the total number of items in the database, i.e. switch
+        once C̄_k is expected to be no bigger than a few raw scans.
+
+    Notes
+    -----
+    The result is identical to Apriori/AprioriTid; only performance
+    differs.  ``pass_stats`` records the switch via the boolean attribute
+    ``switched_at`` on the returned object (``None`` if never switched).
+    """
+    if max_size is not None and max_size < 1:
+        raise ValidationError(f"max_size must be >= 1, got {max_size}")
+    n = len(db)
+    if n == 0:
+        result = FrequentItemsets({}, 0, min_support)
+        result.switched_at = None
+        return result
+    min_count = min_count_from_support(n, min_support)
+    if switch_budget is None:
+        switch_budget = 4 * sum(len(t) for t in db)
+
+    stats: List[PassStats] = []
+    started = time.perf_counter()
+    frequent = frequent_one_itemsets(db, min_count)
+    stats.append(
+        PassStats(1, db.n_items, len(frequent), time.perf_counter() - started)
+    )
+    all_frequent: Dict[Itemset, int] = dict(frequent)
+
+    switched_at: Optional[int] = None
+    tidlists: Optional[List[Tuple[int, frozenset]]] = None
+
+    k = 2
+    while frequent and (max_size is None or k <= max_size):
+        started = time.perf_counter()
+        candidates = apriori_gen(frequent)
+        if not candidates:
+            stats.append(PassStats(k, 0, 0, time.perf_counter() - started))
+            break
+
+        if switched_at is None:
+            # Apriori-style pass over the raw database.
+            tree = HashTree(candidates)
+            tree.count_transactions(db)
+            counts = tree.counts()
+            frequent = {c: cnt for c, cnt in counts.items() if cnt >= min_count}
+            estimated = sum(counts.values()) + n
+            if estimated <= switch_budget:
+                # Build C̄_k from this pass's surviving candidates so the
+                # next pass can run AprioriTid-style.
+                switched_at = k
+                tidlists = _build_tidlists(db, frequent)
+        else:
+            frequent, tidlists = _tid_pass(tidlists, candidates, min_count)
+
+        stats.append(
+            PassStats(k, len(candidates), len(frequent), time.perf_counter() - started)
+        )
+        all_frequent.update(frequent)
+        k += 1
+
+    result = FrequentItemsets(all_frequent, n, min_support)
+    result.pass_stats = stats
+    result.switched_at = switched_at
+    return result
+
+
+def _build_tidlists(
+    db: TransactionDatabase, frequent: Dict[Itemset, int]
+) -> List[Tuple[int, frozenset]]:
+    """Materialise C̄_k for the frequent k-itemsets by one raw scan."""
+    if not frequent:
+        return []
+    k = len(next(iter(frequent)))
+    tree = _MembershipIndex(list(frequent), k)
+    tidlists = []
+    for tid, txn in enumerate(db):
+        present = tree.contained_in(txn)
+        if present:
+            tidlists.append((tid, frozenset(present)))
+    return tidlists
+
+
+class _MembershipIndex:
+    """Finds which of a fixed candidate set occur in a transaction."""
+
+    def __init__(self, candidates: List[Itemset], k: int):
+        self._candidates = set(candidates)
+        self._k = k
+
+    def contained_in(self, txn) -> List[Itemset]:
+        from itertools import combinations
+        from math import comb
+
+        if len(txn) < self._k:
+            return []
+        if comb(len(txn), self._k) <= len(self._candidates):
+            return [
+                subset
+                for subset in combinations(txn, self._k)
+                if subset in self._candidates
+            ]
+        txn_set = set(txn)
+        return [c for c in self._candidates if txn_set.issuperset(c)]
+
+
+def _tid_pass(tidlists, candidates, min_count):
+    """One AprioriTid pass given C̄_{k-1}; returns (frequent, C̄_k)."""
+    by_gen1: Dict[Itemset, List[Tuple[Itemset, Itemset]]] = {}
+    for cand in candidates:
+        by_gen1.setdefault(cand[:-1], []).append(
+            (cand, cand[:-2] + cand[-1:])
+        )
+    counts: Dict[Itemset, int] = dict.fromkeys(candidates, 0)
+    next_tidlists: List[Tuple[int, frozenset]] = []
+    for tid, present in tidlists:
+        supported = []
+        for gen1 in present:
+            for cand, gen2 in by_gen1.get(gen1, ()):
+                if gen2 in present:
+                    counts[cand] += 1
+                    supported.append(cand)
+        if supported:
+            next_tidlists.append((tid, frozenset(supported)))
+    frequent = {c: cnt for c, cnt in counts.items() if cnt >= min_count}
+    frequent_set = set(frequent)
+    pruned = []
+    for tid, supported in next_tidlists:
+        kept = supported & frequent_set
+        if kept:
+            pruned.append((tid, kept))
+    return frequent, pruned
+
+
+__all__ = ["apriori_hybrid"]

@@ -1,0 +1,118 @@
+"""AprioriTid: Apriori counting against transformed transaction lists.
+
+After the first pass, AprioriTid never rereads the raw database.  Instead
+it carries, per transaction, the set of candidates the transaction
+contains (the paper's C̄_k).  Each pass derives C̄_k from C̄_{k-1}: a
+transaction supports a k-candidate exactly when it supported *both* of the
+candidate's two generating (k-1)-itemsets (the pair joined by
+apriori-gen).  Entries that support no candidates drop out, so late
+passes — where few transactions still matter — become very cheap; early
+passes, where C̄_k is larger than the raw database, are the algorithm's
+weak spot (which motivates AprioriHybrid).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core.exceptions import ValidationError
+from ..core.itemsets import FrequentItemsets, Itemset, PassStats
+from ..core.transactions import TransactionDatabase
+from .apriori import frequent_one_itemsets, min_count_from_support
+from .candidates import apriori_gen
+
+
+def apriori_tid(
+    db: TransactionDatabase,
+    min_support: float = 0.01,
+    max_size: Optional[int] = None,
+) -> FrequentItemsets:
+    """Mine all frequent itemsets with the AprioriTid algorithm.
+
+    Parameters and result are identical to
+    :func:`~repro.associations.apriori.apriori`; only the counting
+    machinery differs, so the two must return exactly the same itemsets.
+
+    Examples
+    --------
+    >>> db = TransactionDatabase([(0, 1, 2), (0, 1), (0, 2), (1, 2)])
+    >>> apriori_tid(db, 0.5).supports[(0, 1)]
+    2
+    """
+    if max_size is not None and max_size < 1:
+        raise ValidationError(f"max_size must be >= 1, got {max_size}")
+    n = len(db)
+    if n == 0:
+        return FrequentItemsets({}, 0, min_support)
+    min_count = min_count_from_support(n, min_support)
+
+    stats = []
+    started = time.perf_counter()
+    frequent = frequent_one_itemsets(db, min_count)
+    stats.append(
+        PassStats(1, db.n_items, len(frequent), time.perf_counter() - started)
+    )
+    all_frequent: Dict[Itemset, int] = dict(frequent)
+
+    # C̄_1: per transaction, the frozenset of frequent 1-itemsets present.
+    frequent_items = {itemset[0] for itemset in frequent}
+    tidlists: List[Tuple[int, frozenset]] = []
+    for tid, txn in enumerate(db):
+        present = frozenset(
+            (item,) for item in txn if item in frequent_items
+        )
+        if present:
+            tidlists.append((tid, present))
+
+    k = 2
+    while frequent and (max_size is None or k <= max_size):
+        started = time.perf_counter()
+        candidates = apriori_gen(frequent)
+        if not candidates:
+            stats.append(PassStats(k, 0, 0, time.perf_counter() - started))
+            break
+        # Each candidate c = prefix + (a, b) was joined from generators
+        # g1 = prefix+(a,) — the candidate minus its last item — and
+        # g2 = prefix+(b,) — the candidate minus its second-to-last.
+        # A transaction contains c iff it contains both generators, so
+        # index candidates by g1 and probe only the generators actually
+        # present in each transformed entry.
+        by_gen1: Dict[Itemset, List[Tuple[Itemset, Itemset]]] = {}
+        for cand in candidates:
+            gen1 = cand[:-1]
+            gen2 = cand[:-2] + cand[-1:]
+            by_gen1.setdefault(gen1, []).append((cand, gen2))
+        counts: Dict[Itemset, int] = dict.fromkeys(candidates, 0)
+        next_tidlists: List[Tuple[int, frozenset]] = []
+        for tid, present in tidlists:
+            supported = []
+            for gen1 in present:
+                for cand, gen2 in by_gen1.get(gen1, ()):
+                    if gen2 in present:
+                        counts[cand] += 1
+                        supported.append(cand)
+            if supported:
+                next_tidlists.append((tid, frozenset(supported)))
+        frequent = {c: cnt for c, cnt in counts.items() if cnt >= min_count}
+        stats.append(
+            PassStats(k, len(candidates), len(frequent), time.perf_counter() - started)
+        )
+        all_frequent.update(frequent)
+        # Keep only candidates that turned out frequent in C̄_k: supersets
+        # of infrequent candidates can never be generated, so dropping the
+        # infrequent ones is safe and shrinks the lists.
+        frequent_set = set(frequent)
+        tidlists = []
+        for tid, supported in next_tidlists:
+            kept = supported & frequent_set
+            if kept:
+                tidlists.append((tid, kept))
+        k += 1
+
+    result = FrequentItemsets(all_frequent, n, min_support)
+    result.pass_stats = stats
+    return result
+
+
+__all__ = ["apriori_tid"]

@@ -1,0 +1,74 @@
+"""Levelwise candidate generation (the *apriori-gen* function).
+
+Given the frequent (k-1)-itemsets, apriori-gen produces the candidate
+k-itemsets in two steps:
+
+* **join** — combine pairs of frequent (k-1)-itemsets that share their
+  first k-2 items (itemsets are kept in canonical sorted-tuple form, so
+  the lexicographic join of the original paper applies directly);
+* **prune** — discard any candidate with an infrequent (k-1)-subset,
+  using the downward-closure (anti-monotonicity) of support.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from ..core.itemsets import Itemset, subsets_of_size
+
+
+def apriori_gen(frequent_prev: Iterable[Itemset]) -> List[Itemset]:
+    """Generate candidate k-itemsets from frequent (k-1)-itemsets.
+
+    Parameters
+    ----------
+    frequent_prev:
+        The frequent itemsets of the previous level, all the same size
+        ``k - 1`` and in canonical form.
+
+    Returns
+    -------
+    list of Itemset
+        Pruned candidates of size k, sorted lexicographically.
+
+    Examples
+    --------
+    >>> apriori_gen([(1, 2), (1, 3), (2, 3)])
+    [(1, 2, 3)]
+    >>> apriori_gen([(1, 2), (1, 3), (1, 4), (3, 4)])
+    [(1, 3, 4)]
+    """
+    prev: List[Itemset] = sorted(frequent_prev)
+    prev_set: Set[Itemset] = set(prev)
+    if not prev:
+        return []
+    k_minus_1 = len(prev[0])
+    candidates: List[Itemset] = []
+    # Join step: group itemsets by their (k-2)-prefix; every ordered pair
+    # within a group with distinct last items joins into one candidate.
+    groups: Dict[Itemset, List[int]] = {}
+    for itemset in prev:
+        groups.setdefault(itemset[:-1], []).append(itemset[-1])
+    for prefix, lasts in groups.items():
+        lasts.sort()
+        for i, a in enumerate(lasts):
+            for b in lasts[i + 1:]:
+                candidate = prefix + (a, b)
+                # Prune step: all (k-1)-subsets must be frequent.  The two
+                # subsets used in the join are frequent by construction,
+                # so only check the others.
+                if k_minus_1 >= 2 and not _all_subsets_frequent(
+                    candidate, prev_set
+                ):
+                    continue
+                candidates.append(candidate)
+    candidates.sort()
+    return candidates
+
+
+def _all_subsets_frequent(candidate: Itemset, prev_set: Set[Itemset]) -> bool:
+    size = len(candidate) - 1
+    return all(sub in prev_set for sub in subsets_of_size(candidate, size))
+
+
+__all__ = ["apriori_gen"]

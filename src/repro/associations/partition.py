@@ -1,0 +1,138 @@
+"""Partition algorithm (Savasere, Omiecinski & Navathe, VLDB 1995).
+
+Exactly two scans of the database, regardless of the largest itemset:
+
+1. **Scan 1** — split the database into partitions small enough to mine
+   in memory; mine each partition with a vertical (tidlist) miner at the
+   *local* threshold.  Any globally frequent itemset must be locally
+   frequent in at least one partition (pigeonhole on supports), so the
+   union of local results is a superset of the global answer.
+2. **Scan 2** — count the global support of every local candidate and
+   keep those clearing the global threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.base import check_in_range
+from ..core.exceptions import ValidationError
+from ..core.itemsets import FrequentItemsets, Itemset
+from ..core.transactions import TransactionDatabase
+from .apriori import min_count_from_support
+
+
+def partition_miner(
+    db: TransactionDatabase,
+    min_support: float = 0.01,
+    n_partitions: int = 4,
+    max_size: Optional[int] = None,
+) -> FrequentItemsets:
+    """Mine frequent itemsets with the two-scan Partition algorithm.
+
+    Parameters
+    ----------
+    db, min_support, max_size:
+        As in :func:`~repro.associations.apriori.apriori`; the result is
+        identical.
+    n_partitions:
+        How many contiguous chunks the database is split into.  More
+        partitions = less memory per local mine but more false local
+        candidates to recount in scan 2.
+
+    Examples
+    --------
+    >>> db = TransactionDatabase([(0, 1, 2), (0, 1), (0, 2), (1, 2)])
+    >>> partition_miner(db, 0.5, n_partitions=2).supports[(0, 1)]
+    2
+    """
+    check_in_range("n_partitions", n_partitions, 1, None)
+    if max_size is not None and max_size < 1:
+        raise ValidationError(f"max_size must be >= 1, got {max_size}")
+    n = len(db)
+    if n == 0:
+        return FrequentItemsets({}, 0, min_support)
+    n_partitions = min(n_partitions, n)
+
+    # ------------------------------------------------------------------
+    # Scan 1: local mining per partition (vertical, depth-first).
+    # ------------------------------------------------------------------
+    bounds = _partition_bounds(n, n_partitions)
+    candidates: Set[Itemset] = set()
+    for start, stop in bounds:
+        local_min_count = max(
+            1, math.ceil(min_support * (stop - start))
+        )
+        candidates |= _mine_partition(db, start, stop, local_min_count, max_size)
+
+    # ------------------------------------------------------------------
+    # Scan 2: global counting of the candidate union.
+    # ------------------------------------------------------------------
+    min_count = min_count_from_support(n, min_support)
+    counts: Dict[Itemset, int] = dict.fromkeys(candidates, 0)
+    by_size: Dict[int, List[Itemset]] = {}
+    for cand in candidates:
+        by_size.setdefault(len(cand), []).append(cand)
+    for txn in db:
+        txn_set = set(txn)
+        for size, cands in by_size.items():
+            if size > len(txn):
+                continue
+            for cand in cands:
+                if txn_set.issuperset(cand):
+                    counts[cand] += 1
+    supports = {c: cnt for c, cnt in counts.items() if cnt >= min_count}
+    return FrequentItemsets(supports, n, min_support)
+
+
+def _partition_bounds(n: int, k: int) -> List[Tuple[int, int]]:
+    sizes = [n // k] * k
+    for i in range(n % k):
+        sizes[i] += 1
+    bounds = []
+    start = 0
+    for size in sizes:
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def _mine_partition(
+    db: TransactionDatabase,
+    start: int,
+    stop: int,
+    min_count: int,
+    max_size: Optional[int],
+) -> Set[Itemset]:
+    """Local frequent itemsets of db[start:stop] via tidlist DFS."""
+    tidlists: Dict[int, Set[int]] = {}
+    for tid in range(start, stop):
+        for item in db[tid]:
+            tidlists.setdefault(item, set()).add(tid)
+    root = [
+        ((item,), frozenset(tids))
+        for item, tids in sorted(tidlists.items())
+        if len(tids) >= min_count
+    ]
+    found: Set[Itemset] = {itemset for itemset, _ in root}
+    _expand(root, min_count, max_size, found)
+    return found
+
+
+def _expand(members, min_count, max_size, found: Set[Itemset]) -> None:
+    for i, (itemset, tids) in enumerate(members):
+        if max_size is not None and len(itemset) >= max_size:
+            continue
+        child = []
+        for other_itemset, other_tids in members[i + 1:]:
+            joined = tids & other_tids
+            if len(joined) >= min_count:
+                new_itemset = itemset + (other_itemset[-1],)
+                found.add(new_itemset)
+                child.append((new_itemset, joined))
+        if child:
+            _expand(child, min_count, max_size, found)
+
+
+__all__ = ["partition_miner"]

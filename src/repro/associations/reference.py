@@ -1,0 +1,59 @@
+"""Reference (brute-force) itemset miner used as a test oracle.
+
+Enumerates every subset of every transaction up to ``max_size`` and counts
+them exactly.  Exponential in transaction length, so only suitable for the
+small databases used in tests and to cross-validate the real miners — but
+its correctness is obvious by inspection, which is precisely what an
+oracle needs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+from typing import Optional
+
+from ..core.exceptions import ValidationError
+from ..core.itemsets import FrequentItemsets
+from ..core.transactions import TransactionDatabase
+from .apriori import min_count_from_support
+
+
+def brute_force(
+    db: TransactionDatabase,
+    min_support: float = 0.01,
+    max_size: Optional[int] = None,
+) -> FrequentItemsets:
+    """Mine frequent itemsets by exhaustive subset enumeration.
+
+    Parameters and result match
+    :func:`~repro.associations.apriori.apriori`.
+
+    Raises
+    ------
+    ValidationError
+        If any transaction is longer than 25 items and ``max_size`` is
+        unbounded — a guard against accidentally running the oracle on
+        real workloads.
+    """
+    n = len(db)
+    if n == 0:
+        return FrequentItemsets({}, 0, min_support)
+    longest = max((len(t) for t in db), default=0)
+    if max_size is None and longest > 25:
+        raise ValidationError(
+            "brute_force without max_size is restricted to transactions of "
+            f"<= 25 items (longest here: {longest}); pass max_size or use a "
+            "real miner"
+        )
+    min_count = min_count_from_support(n, min_support)
+    counts: Counter = Counter()
+    for txn in db:
+        top = len(txn) if max_size is None else min(len(txn), max_size)
+        for size in range(1, top + 1):
+            counts.update(combinations(txn, size))
+    supports = {s: c for s, c in counts.items() if c >= min_count}
+    return FrequentItemsets(supports, n, min_support)
+
+
+__all__ = ["brute_force"]

@@ -1,0 +1,105 @@
+"""Split-quality criteria for decision-tree induction.
+
+All functions operate on *weighted* class-count vectors so the same code
+serves plain trees and C4.5's fractional-instance missing-value handling.
+Logarithms are base 2, matching the information-theoretic formulation of
+ID3/C4.5.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def entropy(class_counts: np.ndarray) -> float:
+    """Shannon entropy (bits) of a weighted class-count vector.
+
+    >>> round(entropy(np.array([5.0, 5.0])), 6)
+    1.0
+    >>> entropy(np.array([10.0, 0.0]))
+    0.0
+    """
+    total = class_counts.sum()
+    if total <= 0:
+        return 0.0
+    p = class_counts[class_counts > 0] / total
+    # Extreme count ratios can underflow a probability to exactly 0.0;
+    # its entropy contribution is the limit value 0.
+    p = p[p > 0]
+    return max(0.0, float(-(p * np.log2(p)).sum()))
+
+
+def gini(class_counts: np.ndarray) -> float:
+    """Gini impurity of a weighted class-count vector.
+
+    >>> gini(np.array([5.0, 5.0]))
+    0.5
+    >>> gini(np.array([10.0, 0.0]))
+    0.0
+    """
+    total = class_counts.sum()
+    if total <= 0:
+        return 0.0
+    p = class_counts / total
+    return float(1.0 - (p * p).sum())
+
+
+def weighted_impurity(
+    branch_counts: Sequence[np.ndarray], criterion
+) -> float:
+    """Impurity of a split: branch impurities weighted by branch mass."""
+    total = sum(float(c.sum()) for c in branch_counts)
+    if total <= 0:
+        return 0.0
+    return sum(
+        float(c.sum()) / total * criterion(c)
+        for c in branch_counts
+        if c.sum() > 0
+    )
+
+
+def information_gain(
+    parent_counts: np.ndarray, branch_counts: Sequence[np.ndarray]
+) -> float:
+    """Entropy reduction achieved by a split (ID3's criterion)."""
+    return entropy(parent_counts) - weighted_impurity(branch_counts, entropy)
+
+
+def split_information(branch_counts: Sequence[np.ndarray]) -> float:
+    """Entropy of the branch-size distribution itself (C4.5 denominator)."""
+    sizes = np.array([float(c.sum()) for c in branch_counts])
+    return entropy(sizes)
+
+
+def gain_ratio(
+    parent_counts: np.ndarray, branch_counts: Sequence[np.ndarray]
+) -> float:
+    """C4.5's gain ratio: information gain / split information.
+
+    Returns 0.0 when split information vanishes (a one-branch split),
+    which also makes such degenerate splits unattractive.
+    """
+    info = split_information(branch_counts)
+    if info <= 0.0:
+        return 0.0
+    return information_gain(parent_counts, branch_counts) / info
+
+
+def gini_gain(
+    parent_counts: np.ndarray, branch_counts: Sequence[np.ndarray]
+) -> float:
+    """Gini-impurity reduction (CART's criterion)."""
+    return gini(parent_counts) - weighted_impurity(branch_counts, gini)
+
+
+__all__ = [
+    "entropy",
+    "gini",
+    "weighted_impurity",
+    "information_gain",
+    "split_information",
+    "gain_ratio",
+    "gini_gain",
+]

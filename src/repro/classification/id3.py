@@ -1,0 +1,147 @@
+"""ID3 decision-tree induction (Quinlan, 1986).
+
+ID3 is the simplest member of the tree family: categorical attributes
+only, multiway splits, node selection by information gain, no pruning.
+It exists here both as a teaching implementation and as the weakest tree
+baseline in the classifier benchmarks (E6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.base import Classifier
+from ..core.exceptions import ValidationError
+from ..core.table import Attribute, Table
+from .criteria import information_gain
+from .tree_model import CategoricalSplit, Leaf, TreeNode, predict_distributions
+
+
+class ID3(Classifier):
+    """ID3 classifier over categorical attributes.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum number of splits on any root-to-leaf path (``None`` =
+        unlimited).
+    min_samples_split:
+        Nodes with fewer rows become leaves.
+
+    Attributes
+    ----------
+    tree_:
+        Root :class:`TreeNode` after fitting.
+
+    Examples
+    --------
+    >>> from repro.datasets import play_tennis
+    >>> table = play_tennis()
+    >>> model = ID3().fit(table, "play")
+    >>> model.score(table)
+    1.0
+    """
+
+    def __init__(self, max_depth: Optional[int] = None, min_samples_split: int = 2):
+        if max_depth is not None and max_depth < 1:
+            raise ValidationError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise ValidationError(
+                f"min_samples_split must be >= 2, got {min_samples_split}"
+            )
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.tree_: Optional[TreeNode] = None
+
+    def _fit(self, features: Table, y: np.ndarray, target: Attribute) -> None:
+        for attr in features.attributes:
+            if not attr.is_categorical:
+                raise ValidationError(
+                    f"ID3 handles categorical attributes only; {attr.name!r} "
+                    "is numeric (discretize it first or use C4.5/CART)"
+                )
+            if (features.column(attr.name) < 0).any():
+                raise ValidationError(
+                    f"ID3 does not handle missing values ({attr.name!r}); "
+                    "use C4.5"
+                )
+        n_classes = len(target.values)
+        indices = np.arange(features.n_rows)
+        available = list(features.attribute_names)
+        self._features = features
+        self._y = y
+        self._n_classes = n_classes
+        self.tree_ = self._build(indices, available, depth=0)
+        del self._features, self._y
+
+    def _build(self, indices: np.ndarray, available, depth: int) -> TreeNode:
+        y = self._y[indices]
+        counts = np.bincount(y, minlength=self._n_classes).astype(np.float64)
+        if (
+            len(indices) < self.min_samples_split
+            or (counts > 0).sum() <= 1
+            or not available
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return Leaf(counts)
+
+        best_gain = 0.0
+        best_attr = None
+        best_partition = None
+        for name in available:
+            codes = self._features.column(name)[indices]
+            branch_counts = []
+            partition = {}
+            for code in np.unique(codes):
+                member = indices[codes == code]
+                partition[int(code)] = member
+                branch_counts.append(
+                    np.bincount(
+                        self._y[member], minlength=self._n_classes
+                    ).astype(np.float64)
+                )
+            if len(partition) < 2:
+                continue
+            gain = information_gain(counts, branch_counts)
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                best_attr = name
+                best_partition = partition
+        if best_attr is None:
+            return Leaf(counts)
+
+        remaining = [a for a in available if a != best_attr]
+        children = {
+            code: self._build(member, remaining, depth + 1)
+            for code, member in best_partition.items()
+        }
+        return CategoricalSplit(
+            self._features.attribute(best_attr), children, counts
+        )
+
+    def _predict_codes(self, features: Table) -> np.ndarray:
+        distributions = predict_distributions(self.tree_, features)
+        return distributions.argmax(axis=1)
+
+    def _predict_proba(self, features: Table) -> np.ndarray:
+        return predict_distributions(self.tree_, features)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def n_nodes(self) -> int:
+        """Total node count of the fitted tree."""
+        return self.tree_.n_nodes()
+
+    def n_leaves(self) -> int:
+        """Leaf count of the fitted tree."""
+        return self.tree_.n_leaves()
+
+    def depth(self) -> int:
+        """Depth (number of splits on the longest path)."""
+        return self.tree_.depth()
+
+
+__all__ = ["ID3"]

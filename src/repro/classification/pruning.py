@@ -1,0 +1,311 @@
+"""Decision-tree pruning strategies.
+
+Three classic methods, applied to the shared node structures of
+:mod:`repro.classification.tree_model`:
+
+* :func:`pessimistic_prune` — C4.5's error-based pruning: estimate each
+  leaf's true error by the upper confidence limit of the binomial
+  observed-error rate and collapse subtrees that do not beat a leaf.
+* :func:`reduced_error_prune` — collapse subtrees that do not help on a
+  held-out validation set.
+* :func:`cost_complexity_path` / :func:`prune_to_alpha` — CART's
+  weakest-link pruning, producing a nested family of subtrees indexed by
+  the complexity parameter alpha.
+
+All functions return new trees; the input tree is never mutated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.exceptions import ValidationError
+from ..core.table import Table
+from .tree_model import (
+    BinaryCategoricalSplit,
+    CategoricalSplit,
+    Leaf,
+    NumericSplit,
+    TreeNode,
+    _rows_as_dicts,
+)
+
+
+# ----------------------------------------------------------------------
+# Tree rebuilding helper
+# ----------------------------------------------------------------------
+def _rebuild(node: TreeNode, new_children) -> TreeNode:
+    """Copy a split node with replaced children."""
+    if isinstance(node, CategoricalSplit):
+        return CategoricalSplit(node.attribute, new_children, node.class_counts)
+    if isinstance(node, NumericSplit):
+        left, right = new_children
+        return NumericSplit(
+            node.attribute, node.threshold, left, right, node.class_counts
+        )
+    if isinstance(node, BinaryCategoricalSplit):
+        left, right = new_children
+        return BinaryCategoricalSplit(
+            node.attribute, node.left_codes, left, right, node.class_counts
+        )
+    raise ValidationError(f"unknown node type: {type(node).__name__}")
+
+
+def _children(node: TreeNode):
+    if isinstance(node, CategoricalSplit):
+        return list(node.children.values())
+    if isinstance(node, (NumericSplit, BinaryCategoricalSplit)):
+        return [node.left, node.right]
+    return []
+
+
+# ----------------------------------------------------------------------
+# Pessimistic (error-based) pruning
+# ----------------------------------------------------------------------
+def binomial_upper_limit(errors: float, n: float, confidence: float) -> float:
+    """Upper confidence limit of an error *rate* from (errors, n).
+
+    Clopper-Pearson style bound: the largest p with
+    ``P(X <= errors | n, p) >= confidence``; Quinlan's U_CF.  Fractional
+    inputs (from weighted instances) are accepted.
+    """
+    if n <= 0:
+        return 1.0
+    if confidence >= 1.0:
+        return errors / n
+    from scipy.special import betaincinv
+
+    if errors >= n:
+        return 1.0
+    # Upper limit of the Clopper-Pearson interval at level `confidence`.
+    return float(betaincinv(errors + 1.0, max(n - errors, 1e-9), 1.0 - confidence))
+
+
+def _estimated_errors(node: TreeNode, confidence: float) -> float:
+    """Pessimistic error count of a subtree (sum over its leaves)."""
+    if isinstance(node, Leaf):
+        n = node.training_mass
+        return n * binomial_upper_limit(node.training_errors(), n, confidence)
+    return sum(_estimated_errors(c, confidence) for c in _children(node))
+
+
+def pessimistic_prune(node: TreeNode, confidence: float = 0.25) -> TreeNode:
+    """C4.5 error-based pruning, applied bottom-up.
+
+    A subtree collapses to a leaf when the leaf's pessimistic error
+    estimate does not exceed the subtree's.  (C4.5's further option of
+    replacing a node by its largest branch is not implemented; it rarely
+    changes the headline accuracy/size trade-off.)
+    """
+    if isinstance(node, Leaf):
+        return node
+    if isinstance(node, CategoricalSplit):
+        pruned = _rebuild(
+            node,
+            {
+                code: pessimistic_prune(child, confidence)
+                for code, child in node.children.items()
+            },
+        )
+    else:
+        pruned = _rebuild(
+            node,
+            [pessimistic_prune(c, confidence) for c in _children(node)],
+        )
+    as_leaf = Leaf(node.class_counts)
+    leaf_estimate = as_leaf.training_mass * binomial_upper_limit(
+        as_leaf.training_errors(), as_leaf.training_mass, confidence
+    )
+    subtree_estimate = _estimated_errors(pruned, confidence)
+    if leaf_estimate <= subtree_estimate + 1e-9:
+        return as_leaf
+    return pruned
+
+
+# ----------------------------------------------------------------------
+# Reduced-error pruning
+# ----------------------------------------------------------------------
+def reduced_error_prune(
+    node: TreeNode, validation: Table, y: np.ndarray
+) -> TreeNode:
+    """Prune using a held-out validation set.
+
+    Bottom-up: a subtree collapses to a leaf whenever the leaf's
+    validation errors do not exceed the subtree's on the rows routed to
+    it.  Rows with a missing split value follow the branch with the
+    largest training mass (deterministic routing keeps error counts
+    decomposable).
+    """
+    rows = _rows_as_dicts(validation)
+    labels = np.asarray(y)
+    if len(rows) != len(labels):
+        raise ValidationError(
+            f"validation table has {len(rows)} rows but y has {len(labels)}"
+        )
+    pruned, _ = _rep(node, rows, labels)
+    return pruned
+
+
+def _rep(node: TreeNode, rows, labels) -> Tuple[TreeNode, int]:
+    leaf_errors = int(
+        sum(1 for lab in labels if lab != node.majority_class)
+    )
+    if isinstance(node, Leaf):
+        return node, leaf_errors
+    routed = _route(node, rows, labels)
+    subtree_errors = 0
+    if isinstance(node, CategoricalSplit):
+        new_children = {}
+        for code, child in node.children.items():
+            child_rows, child_labels = routed.get(code, ([], np.array([], dtype=int)))
+            new_child, errs = _rep(child, child_rows, child_labels)
+            new_children[code] = new_child
+            subtree_errors += errs
+        pruned = _rebuild(node, new_children)
+    else:
+        (l_rows, l_labels), (r_rows, r_labels) = routed
+        new_left, left_errs = _rep(node.left, l_rows, l_labels)
+        new_right, right_errs = _rep(node.right, r_rows, r_labels)
+        subtree_errors = left_errs + right_errs
+        pruned = _rebuild(node, [new_left, new_right])
+    if leaf_errors <= subtree_errors:
+        return Leaf(node.class_counts), leaf_errors
+    return pruned, subtree_errors
+
+
+def _route(node: TreeNode, rows, labels):
+    """Partition validation rows among a split node's children."""
+    if isinstance(node, CategoricalSplit):
+        heaviest = max(
+            node.children, key=lambda c: node.children[c].training_mass
+        )
+        buckets: Dict[int, Tuple[list, list]] = {
+            code: ([], []) for code in node.children
+        }
+        for row, lab in zip(rows, labels):
+            code = row.get(node.attribute.name)
+            if code is None or code not in node.children:
+                code = heaviest
+            buckets[code][0].append(row)
+            buckets[code][1].append(lab)
+        return {
+            code: (rs, np.asarray(ls, dtype=int))
+            for code, (rs, ls) in buckets.items()
+        }
+    left_rows, left_labels, right_rows, right_labels = [], [], [], []
+    bigger_left = node.left.training_mass >= node.right.training_mass
+    for row, lab in zip(rows, labels):
+        value = row.get(node.attribute.name)
+        if isinstance(node, NumericSplit):
+            if value is None or (isinstance(value, float) and math.isnan(value)):
+                go_left = bigger_left
+            else:
+                go_left = value <= node.threshold
+        else:  # BinaryCategoricalSplit
+            if value is None:
+                go_left = bigger_left
+            else:
+                go_left = value in node.left_codes
+        if go_left:
+            left_rows.append(row)
+            left_labels.append(lab)
+        else:
+            right_rows.append(row)
+            right_labels.append(lab)
+    return (
+        (left_rows, np.asarray(left_labels, dtype=int)),
+        (right_rows, np.asarray(right_labels, dtype=int)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Cost-complexity (weakest-link) pruning
+# ----------------------------------------------------------------------
+def _subtree_risk_and_leaves(node: TreeNode) -> Tuple[float, int]:
+    """(training errors of the subtree's leaves, number of leaves)."""
+    if isinstance(node, Leaf):
+        return node.training_errors(), 1
+    risk, leaves = 0.0, 0
+    for child in _children(node):
+        r, l = _subtree_risk_and_leaves(child)
+        risk += r
+        leaves += l
+    return risk, leaves
+
+
+def prune_to_alpha(node: TreeNode, alpha: float, n_total: float) -> TreeNode:
+    """Smallest subtree optimal at complexity parameter ``alpha``.
+
+    Collapses, bottom-up, every internal node whose link strength
+    ``g = (R(leaf) - R(subtree)) / (n_leaves - 1)`` is ``<= alpha``,
+    where risks are normalised by ``n_total`` training rows.
+    """
+    if alpha < 0:
+        raise ValidationError(f"alpha must be >= 0, got {alpha}")
+    if n_total <= 0:
+        raise ValidationError(f"n_total must be > 0, got {n_total}")
+    if isinstance(node, Leaf):
+        return node
+    if isinstance(node, CategoricalSplit):
+        pruned = _rebuild(
+            node,
+            {
+                code: prune_to_alpha(child, alpha, n_total)
+                for code, child in node.children.items()
+            },
+        )
+    else:
+        pruned = _rebuild(
+            node, [prune_to_alpha(c, alpha, n_total) for c in _children(node)]
+        )
+    subtree_risk, leaves = _subtree_risk_and_leaves(pruned)
+    if leaves <= 1:
+        return Leaf(node.class_counts)
+    g = (node.training_errors() - subtree_risk) / (n_total * (leaves - 1))
+    if g <= alpha + 1e-12:
+        return Leaf(node.class_counts)
+    return pruned
+
+
+def cost_complexity_path(node: TreeNode) -> List[float]:
+    """Ascending list of alpha values at which the optimal subtree shrinks.
+
+    Computed by repeated weakest-link pruning; prepends 0.0 so iterating
+    the list with :func:`prune_to_alpha` sweeps the full family from the
+    unpruned tree to the root leaf.
+    """
+    n_total = node.training_mass
+    alphas = [0.0]
+    current = node
+    while not isinstance(current, Leaf):
+        weakest = _weakest_link(current, n_total)
+        if weakest is None or not math.isfinite(weakest):
+            break
+        alphas.append(weakest)
+        current = prune_to_alpha(current, weakest, n_total)
+    return alphas
+
+
+def _weakest_link(node: TreeNode, n_total: float) -> float:
+    best = math.inf
+    for sub in node.iter_nodes():
+        if isinstance(sub, Leaf):
+            continue
+        risk, leaves = _subtree_risk_and_leaves(sub)
+        if leaves <= 1:
+            continue
+        g = (sub.training_errors() - risk) / (n_total * (leaves - 1))
+        best = min(best, g)
+    return best
+
+
+__all__ = [
+    "binomial_upper_limit",
+    "pessimistic_prune",
+    "reduced_error_prune",
+    "cost_complexity_path",
+    "prune_to_alpha",
+]

@@ -1,0 +1,242 @@
+"""Command-line interface: ``repro <command>``.
+
+Four commands cover the library's workflows without writing Python:
+
+* ``repro mine``      — frequent itemsets + rules from a FIMI-format
+  transaction file (one transaction per line, integer items).
+* ``repro classify``  — train and evaluate a classifier on a typed CSV
+  (headers ``name:num`` / ``name:cat``, see
+  :mod:`repro.datasets.io`).
+* ``repro cluster``   — cluster the numeric columns of a typed CSV.
+* ``repro generate``  — emit synthetic workloads (basket / table /
+  blobs) for the other commands to consume.
+
+Every command prints a compact human-readable report to stdout and
+exits non-zero on invalid input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.exceptions import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Classic data mining techniques from scratch.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="frequent itemsets and rules")
+    mine.add_argument("path", help="FIMI transaction file")
+    mine.add_argument("--min-support", type=float, default=0.05)
+    mine.add_argument("--min-confidence", type=float, default=0.6)
+    mine.add_argument(
+        "--miner",
+        choices=["apriori", "fp_growth", "eclat", "apriori_tid"],
+        default="apriori",
+    )
+    mine.add_argument("--top", type=int, default=10,
+                      help="rules/itemsets to display")
+
+    classify = sub.add_parser("classify", help="train/evaluate a classifier")
+    classify.add_argument("path", help="typed CSV (name:num / name:cat)")
+    classify.add_argument("--target", required=True)
+    classify.add_argument(
+        "--classifier",
+        choices=["c45", "cart", "sliq", "nb", "knn", "oner", "zeror"],
+        default="c45",
+    )
+    classify.add_argument("--test-fraction", type=float, default=0.3)
+    classify.add_argument("--seed", type=int, default=0)
+
+    cluster = sub.add_parser("cluster", help="cluster numeric columns")
+    cluster.add_argument("path", help="typed CSV (numeric columns used)")
+    cluster.add_argument(
+        "--algorithm",
+        choices=["kmeans", "pam", "birch", "dbscan", "agglomerative"],
+        default="kmeans",
+    )
+    cluster.add_argument("--k", type=int, default=3)
+    cluster.add_argument("--eps", type=float, default=0.5)
+    cluster.add_argument("--min-samples", type=int, default=5)
+    cluster.add_argument("--seed", type=int, default=0)
+
+    generate = sub.add_parser("generate", help="emit synthetic data")
+    generate.add_argument(
+        "kind", choices=["basket", "agrawal", "blobs"],
+    )
+    generate.add_argument("path", help="output file")
+    generate.add_argument("--rows", type=int, default=1000)
+    generate.add_argument("--function", type=int, default=1,
+                          help="agrawal predicate 1..10")
+    generate.add_argument("--noise", type=float, default=0.0)
+    generate.add_argument("--centers", type=int, default=3)
+    generate.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_mine(args) -> int:
+    from .associations import apriori, apriori_tid, eclat, fp_growth, generate_rules
+    from .datasets import load_transactions
+
+    miners = {
+        "apriori": apriori,
+        "fp_growth": fp_growth,
+        "eclat": eclat,
+        "apriori_tid": apriori_tid,
+    }
+    db = load_transactions(args.path)
+    print(f"{len(db)} transactions, {db.n_items} items, "
+          f"avg length {db.avg_transaction_length():.1f}")
+    itemsets = miners[args.miner](db, args.min_support)
+    print(f"{len(itemsets)} frequent itemsets at support "
+          f">= {args.min_support} (largest size {itemsets.max_size()})")
+    for itemset, count in itemsets.sorted_by_support()[: args.top]:
+        print(f"  {set(itemset)}  count={count}")
+    rules = generate_rules(itemsets, args.min_confidence)
+    print(f"{len(rules)} rules at confidence >= {args.min_confidence}")
+    for rule in rules[: args.top]:
+        print(f"  {rule}")
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    from .classification import C45, CART, KNN, SLIQ, NaiveBayes, OneR, ZeroR
+    from .datasets import load_table
+    from .evaluation import classification_report
+    from .preprocessing import train_test_split
+
+    classifiers = {
+        "c45": C45,
+        "cart": CART,
+        "sliq": SLIQ,
+        "nb": NaiveBayes,
+        "knn": KNN,
+        "oner": OneR,
+        "zeror": ZeroR,
+    }
+    table = load_table(args.path)
+    train, test = train_test_split(
+        table, args.test_fraction, stratify=args.target,
+        random_state=args.seed,
+    )
+    model = classifiers[args.classifier]().fit(train, args.target)
+    accuracy = model.score(test)
+    print(f"{args.classifier} on {args.path}: "
+          f"train {train.n_rows} / test {test.n_rows}")
+    print(f"test accuracy: {accuracy:.4f}")
+    y_true = [test.value(i, args.target) for i in range(test.n_rows)]
+    y_pred = model.predict(test)
+    for label, entry in classification_report(y_true, y_pred).items():
+        print(
+            f"  class {label!r}: precision={entry.precision:.3f} "
+            f"recall={entry.recall:.3f} f1={entry.f1:.3f} (n={entry.support})"
+        )
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from .clustering import DBSCAN, PAM, Agglomerative, Birch, KMeans
+    from .datasets import load_table
+    from .evaluation import silhouette, sse
+
+    table = load_table(args.path)
+    X = table.to_matrix()
+    if X.shape[1] == 0:
+        print("error: no numeric columns to cluster", file=sys.stderr)
+        return 2
+    if args.algorithm == "kmeans":
+        model = KMeans(args.k, random_state=args.seed)
+    elif args.algorithm == "pam":
+        model = PAM(args.k)
+    elif args.algorithm == "birch":
+        model = Birch(threshold=args.eps, n_clusters=args.k,
+                      random_state=args.seed)
+    elif args.algorithm == "agglomerative":
+        model = Agglomerative(args.k)
+    else:
+        model = DBSCAN(eps=args.eps, min_samples=args.min_samples)
+    labels = model.fit_predict(X)
+    import numpy as np
+
+    clusters = sorted(set(labels.tolist()) - {-1})
+    noise = int((labels == -1).sum())
+    print(f"{args.algorithm} on {args.path}: {len(X)} points, "
+          f"{X.shape[1]} features")
+    print(f"clusters: {len(clusters)}" + (f", noise points: {noise}" if noise else ""))
+    for cluster_id in clusters:
+        member = labels == cluster_id
+        centroid = X[member].mean(axis=0)
+        rounded = ", ".join(f"{v:.3g}" for v in centroid)
+        print(f"  cluster {cluster_id}: {int(member.sum())} points, "
+              f"centroid ({rounded})")
+    print(f"SSE: {sse(X, labels):.2f}")
+    if len(clusters) >= 2:
+        print(f"silhouette: {silhouette(X, labels):.3f}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from .datasets import (
+        agrawal,
+        gaussian_blobs,
+        quest_basket,
+        save_table,
+        save_transactions,
+    )
+
+    if args.kind == "basket":
+        db = quest_basket(args.rows, random_state=args.seed)
+        save_transactions(db, args.path)
+        print(f"wrote {len(db)} transactions to {args.path}")
+    elif args.kind == "agrawal":
+        table = agrawal(args.rows, function=args.function, noise=args.noise,
+                        random_state=args.seed)
+        save_table(table, args.path)
+        print(f"wrote {table.n_rows} rows (function F{args.function}) "
+              f"to {args.path}")
+    else:
+        import numpy as np
+
+        from .core.table import Table, numeric
+
+        X, y = gaussian_blobs(args.rows, centers=args.centers,
+                              random_state=args.seed)
+        table = Table(
+            [numeric("x"), numeric("y")],
+            {"x": X[:, 0], "y": X[:, 1]},
+        )
+        save_table(table, args.path)
+        print(f"wrote {len(X)} points ({args.centers} blobs) to {args.path}")
+    return 0
+
+
+COMMANDS = {
+    "mine": _cmd_mine,
+    "classify": _cmd_classify,
+    "cluster": _cmd_cluster,
+    "generate": _cmd_generate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Clustering: centroid, medoid, hierarchical, summary-tree and density
+methods.
+
+* :class:`KMeans` — Lloyd/MacQueen with k-means++ seeding.
+* :class:`PAM` — exact k-medoids (BUILD + SWAP).
+* :class:`CLARA` — PAM on samples, for large n.
+* :class:`CLARANS` — randomized-search k-medoids.
+* :class:`Agglomerative` — single/complete/average/ward linkage.
+* :class:`Birch` — single-scan CF-tree compression + global phase.
+* :class:`DBSCAN` — density-based clusters of arbitrary shape.
+* :class:`Cobweb` — incremental conceptual clustering of nominal data.
+"""
+
+from .birch import CF, Birch
+from .cobweb import Cobweb, CobwebNode, category_utility
+from .clara import CLARA
+from .clarans import CLARANS
+from .dbscan import DBSCAN, NOISE
+from .distance import euclidean, nearest_center, pairwise_distances
+from .hierarchical import Agglomerative
+from .kmeans import KMeans
+from .kmedoids import PAM
+
+__all__ = [
+    "KMeans",
+    "PAM",
+    "CLARA",
+    "CLARANS",
+    "Agglomerative",
+    "Birch",
+    "CF",
+    "DBSCAN",
+    "NOISE",
+    "Cobweb",
+    "CobwebNode",
+    "category_utility",
+    "euclidean",
+    "pairwise_distances",
+    "nearest_center",
+]

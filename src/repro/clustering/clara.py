@@ -1,0 +1,96 @@
+"""CLARA — Clustering LARge Applications (Kaufman & Rousseeuw, 1990).
+
+CLARA makes PAM affordable on large data: run PAM on several random
+samples, extend each sample's medoids to the full dataset, and keep the
+medoid set with the lowest total cost.  The paper's sample size of
+``40 + 2k`` is the default.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.base import Clusterer, check_in_range
+from ..core.exceptions import ValidationError
+from ..core.random import RandomState, check_random_state, spawn
+from .distance import pairwise_distances
+from .kmedoids import PAM
+
+
+class CLARA(Clusterer):
+    """Sampling-based k-medoids.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of medoids (k).
+    n_samples:
+        How many random samples to try (the paper uses 5).
+    sample_size:
+        Rows per sample; ``None`` = the paper's ``40 + 2k``.
+
+    Attributes
+    ----------
+    medoid_indices_, cluster_centers_, labels_, cost_:
+        As in :class:`~repro.clustering.kmedoids.PAM`, with cost measured
+        over the *full* dataset.
+
+    Examples
+    --------
+    >>> from repro.datasets import gaussian_blobs
+    >>> X, _ = gaussian_blobs(300, centers=4, random_state=3)
+    >>> model = CLARA(4, random_state=0).fit(X)
+    >>> len(set(model.labels_.tolist()))
+    4
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        n_samples: int = 5,
+        sample_size: Optional[int] = None,
+        random_state: RandomState = None,
+    ):
+        check_in_range("n_clusters", n_clusters, 1, None)
+        check_in_range("n_samples", n_samples, 1, None)
+        if sample_size is not None:
+            check_in_range("sample_size", sample_size, n_clusters, None)
+        self.n_clusters = int(n_clusters)
+        self.n_samples = int(n_samples)
+        self.sample_size = sample_size
+        self.random_state = random_state
+        self.medoid_indices_: Optional[np.ndarray] = None
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.cost_: Optional[float] = None
+
+    def _fit(self, X: np.ndarray) -> None:
+        n = len(X)
+        if self.n_clusters > n:
+            raise ValidationError(
+                f"n_clusters={self.n_clusters} exceeds {n} samples"
+            )
+        size = self.sample_size or min(n, 40 + 2 * self.n_clusters)
+        size = max(size, self.n_clusters)
+        rng = check_random_state(self.random_state)
+
+        best_cost = np.inf
+        best_medoids = None
+        for child in spawn(rng, self.n_samples):
+            sample_idx = child.choice(n, size=min(size, n), replace=False)
+            pam = PAM(self.n_clusters).fit(X[sample_idx])
+            medoids = sample_idx[pam.medoid_indices_]
+            d = pairwise_distances(X, X[medoids])
+            cost = float(d.min(axis=1).sum())
+            if cost < best_cost:
+                best_cost = cost
+                best_medoids = medoids
+        self.medoid_indices_ = np.array(sorted(best_medoids))
+        self.cluster_centers_ = X[self.medoid_indices_]
+        d = pairwise_distances(X, self.cluster_centers_)
+        self.labels_ = d.argmin(axis=1)
+        self.cost_ = float(d.min(axis=1).sum())
+
+
+__all__ = ["CLARA"]

@@ -1,0 +1,48 @@
+"""Distance kernels shared by the clustering algorithms.
+
+Everything is numpy-vectorised; the pairwise helpers are the hot path of
+PAM/CLARA/CLARANS and the silhouette computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import ValidationError
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two vectors.
+
+    >>> euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0]))
+    5.0
+    """
+    return float(np.sqrt(((a - b) ** 2).sum()))
+
+
+def pairwise_distances(X: np.ndarray, Y: np.ndarray = None) -> np.ndarray:
+    """Dense Euclidean distance matrix between rows of X and Y (or X, X).
+
+    Uses the expanded quadratic form with a clamp against tiny negative
+    round-off before the square root.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    Y = X if Y is None else np.asarray(Y, dtype=np.float64)
+    if X.ndim != 2 or Y.ndim != 2:
+        raise ValidationError("pairwise_distances expects 2-D inputs")
+    sq = (
+        (X**2).sum(axis=1)[:, None]
+        - 2.0 * X @ Y.T
+        + (Y**2).sum(axis=1)[None, :]
+    )
+    return np.sqrt(np.maximum(sq, 0.0))
+
+
+def nearest_center(X: np.ndarray, centers: np.ndarray):
+    """(assignment, squared distance to the assigned center) per row."""
+    d = pairwise_distances(X, centers)
+    labels = d.argmin(axis=1)
+    return labels, d[np.arange(len(X)), labels] ** 2
+
+
+__all__ = ["euclidean", "pairwise_distances", "nearest_center"]

@@ -1,0 +1,206 @@
+"""k-means clustering: Lloyd's batch algorithm and MacQueen's online
+variant, with Forgy/random-partition/k-means++ initialisation.
+
+The classic centroid method of every clustering survey.  ``n_init``
+restarts keep the well-known local-minimum sensitivity in check; the
+``inertia_`` attribute (within-cluster sum of squared distances, SSE) is
+the quality number the clustering benchmarks report.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+import numpy as np
+
+from ..core.base import Clusterer, check_in_range
+from ..core.exceptions import ConvergenceWarning, ValidationError
+from ..core.random import RandomState, check_random_state, spawn
+from .distance import nearest_center, pairwise_distances
+
+_INITS = ("kmeans++", "forgy", "random_partition")
+_ALGORITHMS = ("lloyd", "macqueen")
+
+
+class KMeans(Clusterer):
+    """k-means clusterer.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids (k).
+    init:
+        ``"kmeans++"`` (spread seeding), ``"forgy"`` (random data points)
+        or ``"random_partition"`` (centroids of a random labelling).
+    algorithm:
+        ``"lloyd"`` batch updates (default) or ``"macqueen"`` online
+        updates (one pass per iteration, centroid moves per point).
+    n_init:
+        Independent restarts; the run with the lowest inertia wins.
+    max_iter, tol:
+        Per-run iteration cap and centroid-shift convergence threshold.
+
+    Attributes
+    ----------
+    cluster_centers_:
+        (k, d) centroid matrix of the best run.
+    labels_:
+        Assignment of each training row.
+    inertia_:
+        Within-cluster sum of squared distances.
+    n_iter_:
+        Iterations used by the winning run.
+
+    Examples
+    --------
+    >>> from repro.datasets import gaussian_blobs
+    >>> X, _ = gaussian_blobs(120, centers=3, random_state=0)
+    >>> model = KMeans(3, random_state=0).fit(X)
+    >>> sorted(set(model.labels_.tolist()))
+    [0, 1, 2]
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        init: str = "kmeans++",
+        algorithm: str = "lloyd",
+        n_init: int = 5,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        random_state: RandomState = None,
+    ):
+        check_in_range("n_clusters", n_clusters, 1, None)
+        check_in_range("n_init", n_init, 1, None)
+        check_in_range("max_iter", max_iter, 1, None)
+        check_in_range("tol", tol, 0.0, None)
+        if init not in _INITS:
+            raise ValidationError(f"init must be one of {_INITS}, got {init!r}")
+        if algorithm not in _ALGORITHMS:
+            raise ValidationError(
+                f"algorithm must be one of {_ALGORITHMS}, got {algorithm!r}"
+            )
+        self.n_clusters = int(n_clusters)
+        self.init = init
+        self.algorithm = algorithm
+        self.n_init = int(n_init)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.random_state = random_state
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.inertia_: Optional[float] = None
+        self.n_iter_: Optional[int] = None
+
+    def _fit(self, X: np.ndarray) -> None:
+        if self.n_clusters > len(X):
+            raise ValidationError(
+                f"n_clusters={self.n_clusters} exceeds {len(X)} samples"
+            )
+        rng = check_random_state(self.random_state)
+        best = None
+        for child in spawn(rng, self.n_init):
+            centers = self._init_centers(X, child)
+            if self.algorithm == "lloyd":
+                centers, labels, inertia, n_iter = self._lloyd(X, centers, child)
+            else:
+                centers, labels, inertia, n_iter = self._macqueen(X, centers)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia, n_iter)
+        self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
+
+    # ------------------------------------------------------------------
+    # Initialisation
+    # ------------------------------------------------------------------
+    def _init_centers(self, X: np.ndarray, rng) -> np.ndarray:
+        k = self.n_clusters
+        if self.init == "forgy":
+            return X[rng.choice(len(X), size=k, replace=False)].copy()
+        if self.init == "random_partition":
+            labels = rng.integers(k, size=len(X))
+            # Guarantee every cluster is non-empty.
+            labels[rng.choice(len(X), size=k, replace=False)] = np.arange(k)
+            return np.stack([X[labels == c].mean(axis=0) for c in range(k)])
+        # k-means++: iteratively sample proportional to squared distance.
+        centers = np.empty((k, X.shape[1]))
+        centers[0] = X[rng.integers(len(X))]
+        closest_sq = ((X - centers[0]) ** 2).sum(axis=1)
+        for c in range(1, k):
+            total = closest_sq.sum()
+            if total <= 0:
+                centers[c:] = X[rng.choice(len(X), size=k - c)]
+                break
+            probs = closest_sq / total
+            centers[c] = X[rng.choice(len(X), p=probs)]
+            closest_sq = np.minimum(
+                closest_sq, ((X - centers[c]) ** 2).sum(axis=1)
+            )
+        return centers
+
+    # ------------------------------------------------------------------
+    # Optimisation
+    # ------------------------------------------------------------------
+    def _lloyd(self, X, centers, rng):
+        labels = None
+        for iteration in range(1, self.max_iter + 1):
+            labels, sq = nearest_center(X, centers)
+            new_centers = centers.copy()
+            for c in range(self.n_clusters):
+                member = labels == c
+                if member.any():
+                    new_centers[c] = X[member].mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    new_centers[c] = X[int(np.argmax(sq))]
+            shift = float(np.sqrt(((new_centers - centers) ** 2).sum(axis=1)).max())
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        else:
+            warnings.warn(
+                f"k-means did not converge in {self.max_iter} iterations",
+                ConvergenceWarning,
+                stacklevel=3,
+            )
+            iteration = self.max_iter
+        labels, sq = nearest_center(X, centers)
+        return centers, labels, float(sq.sum()), iteration
+
+    def _macqueen(self, X, centers):
+        """MacQueen's online update: each point moves its centroid at once."""
+        counts = np.ones(self.n_clusters)
+        for iteration in range(1, self.max_iter + 1):
+            moved = 0.0
+            for x in X:
+                d = ((centers - x) ** 2).sum(axis=1)
+                c = int(np.argmin(d))
+                counts[c] += 1
+                step = (x - centers[c]) / counts[c]
+                centers[c] = centers[c] + step
+                moved = max(moved, float(np.sqrt((step**2).sum())))
+            if moved <= self.tol:
+                break
+        labels, sq = nearest_center(X, centers)
+        return centers, labels, float(sq.sum()), iteration
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self, X) -> np.ndarray:
+        """Assign new points to the nearest fitted centroid."""
+        from ..core.base import check_fitted, check_matrix
+
+        check_fitted(self, "cluster_centers_")
+        X = check_matrix(X)
+        labels, _ = nearest_center(X, self.cluster_centers_)
+        return labels
+
+    def transform(self, X) -> np.ndarray:
+        """Distances from each point to every centroid."""
+        from ..core.base import check_fitted, check_matrix
+
+        check_fitted(self, "cluster_centers_")
+        return pairwise_distances(check_matrix(X), self.cluster_centers_)
+
+
+__all__ = ["KMeans"]

@@ -1,0 +1,73 @@
+"""Core substrate: datasets, itemsets, estimator bases, errors, RNG.
+
+Everything else in :mod:`repro` builds on these primitives:
+
+* :class:`TransactionDatabase` / :class:`SequenceDatabase` — the market
+  basket and customer-sequence inputs of the association/sequence miners.
+* :class:`Table` with a typed :class:`Attribute` schema — the input of the
+  classifiers and (via :meth:`Table.to_matrix`) the clusterers.
+* :class:`FrequentItemsets` — the uniform result type of itemset miners.
+* :class:`Classifier` / :class:`Clusterer` — the fit/predict protocol.
+"""
+
+from .base import Classifier, Clusterer, check_matrix
+from .exceptions import (
+    ConvergenceWarning,
+    NotFittedError,
+    ReproError,
+    ValidationError,
+)
+from .itemsets import (
+    FrequentItemsets,
+    Itemset,
+    PassStats,
+    as_itemset,
+    contains,
+    is_canonical,
+    proper_subsets,
+    subsets_of_size,
+)
+from .random import RandomState, check_random_state, spawn
+from .sequences import (
+    SequenceDatabase,
+    SequencePattern,
+    as_pattern,
+    pattern_length,
+    sequence_contains,
+)
+from .table import Attribute, Table, categorical, numeric
+from .taxonomy import Taxonomy
+from .transactions import Transaction, TransactionDatabase
+
+__all__ = [
+    "Classifier",
+    "Clusterer",
+    "check_matrix",
+    "ConvergenceWarning",
+    "NotFittedError",
+    "ReproError",
+    "ValidationError",
+    "FrequentItemsets",
+    "Itemset",
+    "PassStats",
+    "as_itemset",
+    "contains",
+    "is_canonical",
+    "proper_subsets",
+    "subsets_of_size",
+    "RandomState",
+    "check_random_state",
+    "spawn",
+    "SequenceDatabase",
+    "SequencePattern",
+    "as_pattern",
+    "pattern_length",
+    "sequence_contains",
+    "Attribute",
+    "Table",
+    "categorical",
+    "numeric",
+    "Taxonomy",
+    "Transaction",
+    "TransactionDatabase",
+]

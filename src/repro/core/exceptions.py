@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one base class.  Input-validation
+problems raise :class:`ValidationError` (a subclass of :class:`ValueError`
+as well, so generic ``except ValueError`` code keeps working) and calls on
+unfitted models raise :class:`NotFittedError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-supplied data or parameters are invalid."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+    def __init__(self, estimator: object, message: str | None = None):
+        name = type(estimator).__name__
+        super().__init__(
+            message or f"{name} instance is not fitted yet; call fit() first."
+        )
+
+
+class ConvergenceWarning(UserWarning):
+    """Warning emitted when an iterative algorithm stops before converging."""

@@ -1,0 +1,203 @@
+"""Canonical itemset representation and helpers.
+
+Throughout the association-rule subpackage an *item* is an ``int`` (an id
+into a :class:`~repro.core.transactions.TransactionDatabase` vocabulary)
+and an *itemset* is a sorted ``tuple`` of distinct item ids.  Tuples rather
+than frozensets keep candidate generation (which relies on lexicographic
+prefixes, as in the original Apriori join step) simple and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from .exceptions import ValidationError
+
+Itemset = Tuple[int, ...]
+
+
+def as_itemset(items: Iterable[int]) -> Itemset:
+    """Normalise an iterable of item ids into canonical itemset form.
+
+    Canonical form is a strictly increasing tuple; duplicates are an error
+    because they almost always indicate a caller bug (an itemset is a set).
+
+    >>> as_itemset([3, 1, 2])
+    (1, 2, 3)
+    """
+    itemset = tuple(sorted(items))
+    for left, right in zip(itemset, itemset[1:]):
+        if left == right:
+            raise ValidationError(f"duplicate item {left!r} in itemset {itemset!r}")
+    return itemset
+
+
+def is_canonical(itemset: Sequence[int]) -> bool:
+    """Return True if ``itemset`` is sorted and duplicate-free."""
+    return all(a < b for a, b in zip(itemset, itemset[1:]))
+
+
+def subsets_of_size(itemset: Itemset, size: int) -> Iterator[Itemset]:
+    """Yield every subset of ``itemset`` with exactly ``size`` items.
+
+    Subsets come out in lexicographic order and in canonical form.  This is
+    the workhorse of the Apriori prune step (all (k-1)-subsets of a
+    k-candidate must be frequent).
+    """
+    from itertools import combinations
+
+    if size < 0:
+        raise ValidationError(f"subset size must be non-negative, got {size}")
+    yield from combinations(itemset, size)
+
+
+def proper_subsets(itemset: Itemset) -> Iterator[Itemset]:
+    """Yield every non-empty proper subset of ``itemset``.
+
+    Used by rule generation, where every frequent itemset is split into
+    (antecedent, consequent) pairs.
+    """
+    from itertools import combinations
+
+    for size in range(1, len(itemset)):
+        yield from combinations(itemset, size)
+
+
+def contains(transaction: Sequence[int], itemset: Itemset) -> bool:
+    """Check whether a sorted ``transaction`` contains ``itemset``.
+
+    Both arguments must be sorted; the check is a linear merge, O(|t|),
+    which beats repeated binary searches for the short itemsets typical in
+    mining loops.
+    """
+    it = iter(transaction)
+    for wanted in itemset:
+        for item in it:
+            if item == wanted:
+                break
+            if item > wanted:
+                return False
+        else:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class PassStats:
+    """Bookkeeping for one level (pass) of a levelwise miner.
+
+    Attributes
+    ----------
+    k:
+        Itemset size handled by this pass.
+    n_candidates:
+        Candidates generated before support counting.
+    n_frequent:
+        Candidates that met the minimum support.
+    elapsed:
+        Wall-clock seconds spent in the pass (generation + counting).
+    """
+
+    k: int
+    n_candidates: int
+    n_frequent: int
+    elapsed: float
+
+
+@dataclass
+class FrequentItemsets:
+    """Result of a frequent-itemset mining run.
+
+    Attributes
+    ----------
+    supports:
+        Mapping from canonical itemset to absolute support count.
+    n_transactions:
+        Size of the mined database; used to convert counts to relative
+        support.
+    min_support:
+        The relative minimum support threshold the run used.
+    pass_stats:
+        Per-level statistics (empty for miners that are not levelwise).
+    """
+
+    supports: Dict[Itemset, int]
+    n_transactions: int
+    min_support: float
+    pass_stats: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.supports)
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return iter(self.supports)
+
+    def __contains__(self, itemset: object) -> bool:
+        return itemset in self.supports
+
+    def count(self, itemset: Itemset) -> int:
+        """Absolute support count of ``itemset`` (KeyError if infrequent)."""
+        return self.supports[itemset]
+
+    def support(self, itemset: Itemset) -> float:
+        """Relative support (fraction of transactions) of ``itemset``."""
+        return self.supports[itemset] / self.n_transactions
+
+    def of_size(self, k: int) -> Dict[Itemset, int]:
+        """All frequent itemsets with exactly ``k`` items."""
+        return {s: c for s, c in self.supports.items() if len(s) == k}
+
+    def max_size(self) -> int:
+        """Largest frequent itemset size (0 when nothing is frequent)."""
+        return max((len(s) for s in self.supports), default=0)
+
+    def maximal(self) -> Dict[Itemset, int]:
+        """Frequent itemsets with no frequent proper superset."""
+        frequent = set(self.supports)
+        result = {}
+        for itemset, cnt in self.supports.items():
+            if not any(
+                _is_proper_superset(other, itemset) for other in frequent
+            ):
+                result[itemset] = cnt
+        return result
+
+    def closed(self) -> Dict[Itemset, int]:
+        """Frequent itemsets with no superset of equal support."""
+        result = {}
+        for itemset, cnt in self.supports.items():
+            if not any(
+                _is_proper_superset(other, itemset) and other_cnt == cnt
+                for other, other_cnt in self.supports.items()
+            ):
+                result[itemset] = cnt
+        return result
+
+    def sorted_by_support(self) -> list:
+        """(itemset, count) pairs, highest support first, ties by itemset."""
+        return sorted(self.supports.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def _is_proper_superset(candidate: Itemset, itemset: Itemset) -> bool:
+    if len(candidate) <= len(itemset):
+        return False
+    return set(itemset) < set(candidate)
+
+
+def same_itemsets(a: Mapping[Itemset, int], b: Mapping[Itemset, int]) -> bool:
+    """True when two support mappings agree exactly (used in tests)."""
+    return dict(a) == dict(b)
+
+
+__all__ = [
+    "Itemset",
+    "as_itemset",
+    "is_canonical",
+    "subsets_of_size",
+    "proper_subsets",
+    "contains",
+    "PassStats",
+    "FrequentItemsets",
+    "same_itemsets",
+]

@@ -1,0 +1,190 @@
+"""Customer-sequence database for sequential pattern mining.
+
+Following the AprioriAll/GSP formulation, a *sequence* is an ordered list
+of *elements* (a.k.a. itemsets or transactions), each element being a set
+of items bought together.  A sequence ``s = <e1 e2 ...>`` *contains* a
+pattern ``p = <p1 p2 ...>`` when there exist indices ``i1 < i2 < ...``
+with ``p_j ⊆ e_{i_j}`` for every j.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence as Seq, Tuple
+
+from .exceptions import ValidationError
+
+Element = Tuple[int, ...]
+SequencePattern = Tuple[Element, ...]
+
+
+def as_pattern(elements: Iterable[Iterable[int]]) -> SequencePattern:
+    """Normalise nested iterables into a canonical sequence pattern.
+
+    Each element becomes a sorted duplicate-free tuple; empty elements are
+    rejected because they make containment ill-defined.
+    """
+    pattern = []
+    for raw in elements:
+        element = tuple(sorted(set(raw)))
+        if not element:
+            raise ValidationError("sequence patterns may not contain empty elements")
+        pattern.append(element)
+    return tuple(pattern)
+
+
+def pattern_length(pattern: SequencePattern) -> int:
+    """Total number of items across all elements (GSP's notion of length)."""
+    return sum(len(element) for element in pattern)
+
+
+def sequence_contains(sequence: SequencePattern, pattern: SequencePattern) -> bool:
+    """True when ``sequence`` contains ``pattern`` (subsequence with subset
+    elements).  Greedy left-to-right matching is correct here because
+    matching an element at the earliest possible position never prevents a
+    later match.
+    """
+    pos = 0
+    for wanted in pattern:
+        wanted_set = set(wanted)
+        while pos < len(sequence):
+            if wanted_set.issubset(sequence[pos]):
+                pos += 1
+                break
+            pos += 1
+        else:
+            return False
+    return True
+
+
+class SequenceDatabase:
+    """An immutable collection of customer sequences.
+
+    Parameters
+    ----------
+    sequences:
+        Iterable of sequences; each sequence is an iterable of elements,
+        each element an iterable of integer item ids.
+
+    Examples
+    --------
+    >>> db = SequenceDatabase([[(1,), (2, 3)], [(1, 2)]])
+    >>> len(db)
+    2
+    >>> db.support_count(((1,),))
+    2
+    """
+
+    def __init__(
+        self,
+        sequences: Iterable[Iterable[Iterable[int]]],
+        item_labels: Seq[Hashable] | None = None,
+    ):
+        normalised: List[SequencePattern] = []
+        max_item = -1
+        for raw_seq in sequences:
+            seq = []
+            for raw_element in raw_seq:
+                element = tuple(sorted(set(raw_element)))
+                if not element:
+                    continue  # drop empty elements; they carry no signal
+                for item in element:
+                    if not isinstance(item, int) or isinstance(item, bool):
+                        raise ValidationError(
+                            f"sequence items must be ints, got {item!r}"
+                        )
+                    if item < 0:
+                        raise ValidationError(f"item ids must be >= 0, got {item}")
+                max_item = max(max_item, element[-1])
+                seq.append(element)
+            normalised.append(tuple(seq))
+        self._sequences: Tuple[SequencePattern, ...] = tuple(normalised)
+        if item_labels is None:
+            item_labels = list(range(max_item + 1))
+        if len(item_labels) <= max_item:
+            raise ValidationError(
+                f"item_labels has {len(item_labels)} entries but the "
+                f"largest item id is {max_item}"
+            )
+        self._item_labels = tuple(item_labels)
+
+    @classmethod
+    def from_iterable(
+        cls, sequences: Iterable[Iterable[Iterable[Hashable]]]
+    ) -> "SequenceDatabase":
+        """Build a database from sequences over arbitrary hashable labels."""
+        vocabulary: Dict[Hashable, int] = {}
+        encoded = []
+        for raw_seq in sequences:
+            seq = []
+            for raw_element in raw_seq:
+                element = []
+                for label in raw_element:
+                    if label not in vocabulary:
+                        vocabulary[label] = len(vocabulary)
+                    element.append(vocabulary[label])
+                seq.append(element)
+            encoded.append(seq)
+        labels = [None] * len(vocabulary)
+        for label, idx in vocabulary.items():
+            labels[idx] = label
+        return cls(encoded, item_labels=labels)
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __iter__(self) -> Iterator[SequencePattern]:
+        return iter(self._sequences)
+
+    def __getitem__(self, index: int) -> SequencePattern:
+        return self._sequences[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"SequenceDatabase(n_sequences={len(self)}, "
+            f"n_items={self.n_items})"
+        )
+
+    @property
+    def n_items(self) -> int:
+        """Size of the item vocabulary."""
+        return len(self._item_labels)
+
+    @property
+    def item_labels(self) -> Tuple[Hashable, ...]:
+        """Original labels, indexed by item id."""
+        return self._item_labels
+
+    def avg_sequence_length(self) -> float:
+        """Mean number of elements per sequence."""
+        if not self._sequences:
+            return 0.0
+        return sum(len(s) for s in self._sequences) / len(self._sequences)
+
+    def support_count(self, pattern: SequencePattern) -> int:
+        """Number of sequences containing ``pattern`` (full scan)."""
+        return sum(
+            1 for seq in self._sequences if sequence_contains(seq, pattern)
+        )
+
+    def support(self, pattern: SequencePattern) -> float:
+        """Fraction of sequences containing ``pattern``."""
+        if not self._sequences:
+            return 0.0
+        return self.support_count(pattern) / len(self._sequences)
+
+    def decode(self, pattern: SequencePattern) -> Tuple[Tuple[Hashable, ...], ...]:
+        """Translate a pattern of ids back to the original labels."""
+        return tuple(
+            tuple(self._item_labels[item] for item in element)
+            for element in pattern
+        )
+
+
+__all__ = [
+    "Element",
+    "SequencePattern",
+    "as_pattern",
+    "pattern_length",
+    "sequence_contains",
+    "SequenceDatabase",
+]

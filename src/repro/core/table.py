@@ -1,0 +1,376 @@
+"""Attribute-typed tabular dataset.
+
+Classic decision-tree classifiers (ID3/C4.5/CART) need to know which
+attributes are categorical and which are numeric, and must cope with
+missing values.  :class:`Table` provides exactly that: a column store
+where numeric columns are ``float64`` arrays (missing = NaN) and
+categorical columns are integer code arrays (missing = -1) with the
+category labels kept on the :class:`Attribute`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+NUMERIC = "numeric"
+CATEGORICAL = "categorical"
+
+MISSING = None  # sentinel accepted in row input for a missing value
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """Schema entry for one column.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be unique within a table.
+    kind:
+        ``"numeric"`` or ``"categorical"``.
+    values:
+        For categorical attributes, the tuple of category labels in code
+        order.  Ignored (must be ``None``) for numeric attributes.
+    """
+
+    name: str
+    kind: str
+    values: Optional[Tuple[Hashable, ...]] = None
+
+    def __post_init__(self):
+        if self.kind not in (NUMERIC, CATEGORICAL):
+            raise ValidationError(
+                f"attribute kind must be 'numeric' or 'categorical', "
+                f"got {self.kind!r}"
+            )
+        if self.kind == NUMERIC and self.values is not None:
+            raise ValidationError(
+                f"numeric attribute {self.name!r} must not define values"
+            )
+        if self.kind == CATEGORICAL:
+            if not self.values:
+                raise ValidationError(
+                    f"categorical attribute {self.name!r} needs at least one value"
+                )
+            if len(set(self.values)) != len(self.values):
+                raise ValidationError(
+                    f"categorical attribute {self.name!r} has duplicate values"
+                )
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind == NUMERIC
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind == CATEGORICAL
+
+    def code_of(self, label: Hashable) -> int:
+        """Integer code of a category label (ValidationError if unknown)."""
+        if self.values is None:
+            raise ValidationError(f"attribute {self.name!r} is not categorical")
+        try:
+            return self.values.index(label)
+        except ValueError:
+            raise ValidationError(
+                f"unknown category {label!r} for attribute {self.name!r}"
+            ) from None
+
+
+def numeric(name: str) -> Attribute:
+    """Shorthand constructor for a numeric attribute."""
+    return Attribute(name, NUMERIC)
+
+
+def categorical(name: str, values: Sequence[Hashable]) -> Attribute:
+    """Shorthand constructor for a categorical attribute."""
+    return Attribute(name, CATEGORICAL, tuple(values))
+
+
+class Table:
+    """Column-oriented dataset with a typed schema.
+
+    Construct with :meth:`from_rows` (label-level input) or directly from
+    prepared column arrays.  Tables are immutable from the caller's point
+    of view; all "modifying" operations return new tables that share the
+    schema and, where possible, the underlying arrays.
+
+    Examples
+    --------
+    >>> t = Table.from_rows(
+    ...     [("sunny", 85.0, "no"), ("rain", 70.0, "yes")],
+    ...     [categorical("outlook", ["sunny", "rain"]),
+    ...      numeric("temp"),
+    ...      categorical("play", ["no", "yes"])],
+    ... )
+    >>> t.n_rows
+    2
+    >>> t.value(0, "outlook")
+    'sunny'
+    """
+
+    def __init__(self, attributes: Sequence[Attribute], columns: Mapping[str, np.ndarray]):
+        names = [a.name for a in attributes]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate attribute names in schema: {names}")
+        if set(columns) != set(names):
+            raise ValidationError(
+                f"columns {sorted(columns)} do not match schema {sorted(names)}"
+            )
+        self._attributes: Tuple[Attribute, ...] = tuple(attributes)
+        self._by_name: Dict[str, Attribute] = {a.name: a for a in attributes}
+        lengths = {len(col) for col in columns.values()}
+        if len(lengths) > 1:
+            raise ValidationError(f"columns have differing lengths: {lengths}")
+        self._n_rows = lengths.pop() if lengths else 0
+        self._columns: Dict[str, np.ndarray] = {}
+        for attr in self._attributes:
+            col = np.asarray(columns[attr.name])
+            if attr.is_numeric:
+                col = col.astype(np.float64, copy=False)
+            else:
+                col = col.astype(np.int64, copy=False)
+                n_values = len(attr.values)
+                bad = (col < -1) | (col >= n_values)
+                if bad.any():
+                    raise ValidationError(
+                        f"column {attr.name!r} contains codes outside "
+                        f"[-1, {n_values - 1}]"
+                    )
+            self._columns[attr.name] = col
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls, rows: Iterable[Sequence], attributes: Sequence[Attribute]
+    ) -> "Table":
+        """Build a table from row tuples of raw labels/numbers.
+
+        ``None`` (or NaN for numeric cells) marks a missing value.
+        """
+        attributes = tuple(attributes)
+        raw_columns: List[list] = [[] for _ in attributes]
+        for row_idx, row in enumerate(rows):
+            row = tuple(row)
+            if len(row) != len(attributes):
+                raise ValidationError(
+                    f"row {row_idx} has {len(row)} cells, expected "
+                    f"{len(attributes)}"
+                )
+            for cell, bucket in zip(row, raw_columns):
+                bucket.append(cell)
+        columns = {}
+        for attr, bucket in zip(attributes, raw_columns):
+            if attr.is_numeric:
+                col = np.array(
+                    [math.nan if cell is None else float(cell) for cell in bucket],
+                    dtype=np.float64,
+                )
+            else:
+                col = np.array(
+                    [-1 if cell is None else attr.code_of(cell) for cell in bucket],
+                    dtype=np.int64,
+                )
+            columns[attr.name] = col
+        return cls(attributes, columns)
+
+    @classmethod
+    def infer_from_rows(
+        cls,
+        rows: Sequence[Sequence],
+        names: Sequence[str],
+        numeric_columns: Optional[Iterable[str]] = None,
+    ) -> "Table":
+        """Build a table inferring the schema from the data.
+
+        A column is numeric if it appears in ``numeric_columns`` or, when
+        that is ``None``, if every non-missing cell is an int/float.
+        Categorical values are ordered by first appearance.
+        """
+        rows = [tuple(r) for r in rows]
+        if rows and any(len(r) != len(names) for r in rows):
+            raise ValidationError("all rows must have one cell per column name")
+        forced_numeric = set(numeric_columns or ())
+        attributes: List[Attribute] = []
+        for col_idx, name in enumerate(names):
+            cells = [r[col_idx] for r in rows]
+            present = [c for c in cells if c is not None]
+            is_num = name in forced_numeric or (
+                numeric_columns is None
+                and present
+                and all(
+                    isinstance(c, (int, float)) and not isinstance(c, bool)
+                    for c in present
+                )
+            )
+            if is_num:
+                attributes.append(numeric(name))
+            else:
+                seen: Dict[Hashable, None] = {}
+                for c in present:
+                    seen.setdefault(c)
+                attributes.append(categorical(name, list(seen) or ["<empty>"]))
+        return cls.from_rows(rows, attributes)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __repr__(self) -> str:
+        return f"Table(n_rows={self._n_rows}, n_attributes={len(self._attributes)})"
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up one attribute by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ValidationError(f"no attribute named {name!r}") from None
+
+    def column(self, name: str) -> np.ndarray:
+        """Raw column array: float64 (NaN=missing) or int64 codes (-1=missing)."""
+        self.attribute(name)
+        return self._columns[name]
+
+    def value(self, row: int, name: str):
+        """Decoded cell value; ``None`` for missing."""
+        attr = self.attribute(name)
+        raw = self._columns[name][row]
+        if attr.is_numeric:
+            return None if math.isnan(raw) else float(raw)
+        return None if raw < 0 else attr.values[int(raw)]
+
+    def iter_rows(self) -> Iterator[Tuple]:
+        """Yield decoded row tuples (None for missing cells)."""
+        for i in range(self._n_rows):
+            yield tuple(self.value(i, a.name) for a in self._attributes)
+
+    # ------------------------------------------------------------------
+    # Slicing and projection
+    # ------------------------------------------------------------------
+    def take(self, indices) -> "Table":
+        """New table with the rows selected by ``indices`` (array-like)."""
+        indices = np.asarray(indices)
+        if indices.size == 0:
+            indices = indices.astype(np.int64)
+        columns = {name: col[indices] for name, col in self._columns.items()}
+        return Table(self._attributes, columns)
+
+    def mask(self, mask) -> "Table":
+        """New table with rows where boolean ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._n_rows,):
+            raise ValidationError(
+                f"mask shape {mask.shape} does not match table of "
+                f"{self._n_rows} rows"
+            )
+        return self.take(np.flatnonzero(mask))
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """New table keeping only the named attributes, in the given order."""
+        attrs = tuple(self.attribute(n) for n in names)
+        return Table(attrs, {n: self._columns[n] for n in names})
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        """New table without the named attributes."""
+        dropped = set(names)
+        for n in dropped:
+            self.attribute(n)
+        keep = [a.name for a in self._attributes if a.name not in dropped]
+        return self.select(keep)
+
+    def concat(self, other: "Table") -> "Table":
+        """Row-wise concatenation; schemas must match exactly."""
+        if self._attributes != other._attributes:
+            raise ValidationError("cannot concat tables with differing schemas")
+        columns = {
+            name: np.concatenate([self._columns[name], other._columns[name]])
+            for name in self._columns
+        }
+        return Table(self._attributes, columns)
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_matrix(self, names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Dense float matrix of the named numeric attributes.
+
+        Raises
+        ------
+        ValidationError
+            If any selected attribute is categorical (one-hot encode those
+            with :mod:`repro.preprocessing.encode` first).
+        """
+        if names is None:
+            names = [a.name for a in self._attributes if a.is_numeric]
+        cols = []
+        for name in names:
+            attr = self.attribute(name)
+            if not attr.is_numeric:
+                raise ValidationError(
+                    f"to_matrix requires numeric attributes; {name!r} is "
+                    f"categorical"
+                )
+            cols.append(self._columns[name])
+        if not cols:
+            return np.empty((self._n_rows, 0), dtype=np.float64)
+        return np.column_stack(cols)
+
+    def class_codes(self, target: str) -> np.ndarray:
+        """Integer code array of a categorical target column.
+
+        Raises on missing target values; classifiers require labels.
+        """
+        attr = self.attribute(target)
+        if not attr.is_categorical:
+            raise ValidationError(f"target {target!r} must be categorical")
+        codes = self._columns[target]
+        if (codes < 0).any():
+            raise ValidationError(f"target {target!r} contains missing values")
+        return codes
+
+    def replace_column(self, name: str, attr: Attribute, column: np.ndarray) -> "Table":
+        """New table with one column (and its schema entry) replaced."""
+        self.attribute(name)
+        attributes = tuple(
+            attr if a.name == name else a for a in self._attributes
+        )
+        if attr.name != name:
+            raise ValidationError(
+                "replacement attribute must keep the column name "
+                f"({attr.name!r} != {name!r})"
+            )
+        columns = dict(self._columns)
+        columns[name] = np.asarray(column)
+        return Table(attributes, columns)
+
+
+__all__ = [
+    "NUMERIC",
+    "CATEGORICAL",
+    "Attribute",
+    "numeric",
+    "categorical",
+    "Table",
+]

@@ -1,0 +1,131 @@
+"""Item taxonomies (is-a hierarchies) for generalized rule mining.
+
+A :class:`Taxonomy` maps child items to parent items over the integer
+item-id space of a :class:`~repro.core.transactions.TransactionDatabase`.
+Interior categories ("outerwear", "clothes") are items too — they just
+never appear in raw transactions.  The structure is a DAG: an item may
+have several parents, cycles are rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from .exceptions import ValidationError
+
+
+class Taxonomy:
+    """An is-a DAG over item ids.
+
+    Parameters
+    ----------
+    parents:
+        Mapping child item id -> iterable of parent item ids.  Items not
+        present (or mapping to nothing) are roots.
+
+    Examples
+    --------
+    >>> # 0:jacket 1:ski_pants 2:outerwear 3:shirts 4:clothes
+    >>> tax = Taxonomy({0: [2], 1: [2], 2: [4], 3: [4]})
+    >>> sorted(tax.ancestors(0))
+    [2, 4]
+    >>> tax.is_ancestor(4, 1)
+    True
+    """
+
+    def __init__(self, parents: Mapping[int, Iterable[int]]):
+        self._parents: Dict[int, Tuple[int, ...]] = {}
+        for child, ps in parents.items():
+            ps = tuple(dict.fromkeys(int(p) for p in ps))
+            if not isinstance(child, int) or isinstance(child, bool):
+                raise ValidationError(f"taxonomy keys must be ints, got {child!r}")
+            for p in ps:
+                if p == child:
+                    raise ValidationError(f"item {child} cannot be its own parent")
+            if ps:
+                self._parents[int(child)] = ps
+        self._ancestors: Dict[int, frozenset] = {}
+        for child in self._parents:
+            self._compute_ancestors(child, frozenset())
+
+    def _compute_ancestors(self, item: int, trail: frozenset) -> frozenset:
+        if item in self._ancestors:
+            return self._ancestors[item]
+        if item in trail:
+            raise ValidationError(f"taxonomy contains a cycle through item {item}")
+        result: Set[int] = set()
+        for parent in self._parents.get(item, ()):
+            result.add(parent)
+            result |= self._compute_ancestors(parent, trail | {item})
+        computed = frozenset(result)
+        self._ancestors[item] = computed
+        return computed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def parents(self, item: int) -> Tuple[int, ...]:
+        """Direct parents of ``item`` (empty for roots)."""
+        return self._parents.get(item, ())
+
+    def ancestors(self, item: int) -> frozenset:
+        """All (transitive) ancestors of ``item``."""
+        if item in self._ancestors:
+            return self._ancestors[item]
+        return self._compute_ancestors(item, frozenset())
+
+    def is_ancestor(self, candidate: int, item: int) -> bool:
+        """True when ``candidate`` is a strict ancestor of ``item``."""
+        return candidate in self.ancestors(item)
+
+    def items_with_parents(self) -> Set[int]:
+        """All items that have at least one parent."""
+        return set(self._parents)
+
+    def all_category_items(self) -> Set[int]:
+        """Every item appearing as somebody's ancestor."""
+        out: Set[int] = set()
+        for child in self._parents:
+            out |= self.ancestors(child)
+        return out
+
+    def extend_transaction(self, txn: Sequence[int]) -> Tuple[int, ...]:
+        """The transaction plus every ancestor of its items, sorted.
+
+        This is the "extended transaction" of the generalized-rule
+        papers: an itemset over items-and-categories is contained in a
+        transaction iff it is a subset of the extension.
+        """
+        extended: Set[int] = set(txn)
+        for item in txn:
+            extended |= self.ancestors(item)
+        return tuple(sorted(extended))
+
+    def close_under_ancestors(self, items: Iterable[int]) -> frozenset:
+        """Items plus all their ancestors, as a frozenset."""
+        out: Set[int] = set(items)
+        for item in list(out):
+            out |= self.ancestors(item)
+        return frozenset(out)
+
+    @classmethod
+    def from_labels(
+        cls,
+        edges: Mapping[Hashable, Iterable[Hashable]],
+        vocabulary: Mapping[Hashable, int],
+    ) -> "Taxonomy":
+        """Build from label-level edges plus a label -> id vocabulary."""
+        parents: Dict[int, List[int]] = {}
+        for child_label, parent_labels in edges.items():
+            try:
+                child = vocabulary[child_label]
+                ps = [vocabulary[p] for p in parent_labels]
+            except KeyError as exc:
+                raise ValidationError(
+                    f"taxonomy label {exc.args[0]!r} missing from vocabulary"
+                ) from exc
+            parents.setdefault(child, []).extend(ps)
+        return cls(parents)
+
+
+__all__ = ["Taxonomy"]

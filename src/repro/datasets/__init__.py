@@ -1,0 +1,51 @@
+"""Synthetic data generators, toy tables, and CSV I/O.
+
+Generators reproduce the classic evaluation workloads:
+
+* :func:`quest_basket` / :class:`QuestBasketGenerator` — the IBM Quest
+  market-basket process (T?.I?.D? workloads of the Apriori paper).
+* :func:`quest_sequences` / :class:`QuestSequenceGenerator` — the
+  customer-sequence analog (C?.T?.S?.I? workloads of GSP).
+* :func:`agrawal` — the ten AIS classification functions.
+* :func:`gaussian_blobs` / :func:`gaussian_grid` — clustering workloads.
+* :func:`two_rings` / :func:`two_moons` — non-convex shapes for DBSCAN.
+* :func:`play_tennis` / :func:`iris` / :func:`weather_numeric` — toys.
+"""
+
+from .agrawal import FUNCTIONS, agrawal
+from .basket import QuestBasketGenerator, QuestConfig, quest_basket
+from .friedman import friedman1
+from .gaussian import gaussian_blobs, gaussian_grid
+from .io import load_table, load_transactions, save_table, save_transactions
+from .sequence_gen import (
+    QuestSequenceConfig,
+    QuestSequenceGenerator,
+    quest_sequences,
+)
+from .shapes import two_moons, two_rings
+from .taxonomy_gen import random_taxonomy
+from .toy import iris, play_tennis, weather_numeric
+
+__all__ = [
+    "agrawal",
+    "FUNCTIONS",
+    "QuestConfig",
+    "QuestBasketGenerator",
+    "quest_basket",
+    "QuestSequenceConfig",
+    "QuestSequenceGenerator",
+    "quest_sequences",
+    "friedman1",
+    "gaussian_blobs",
+    "gaussian_grid",
+    "two_rings",
+    "two_moons",
+    "random_taxonomy",
+    "play_tennis",
+    "iris",
+    "weather_numeric",
+    "save_table",
+    "load_table",
+    "save_transactions",
+    "load_transactions",
+]

@@ -1,0 +1,234 @@
+"""The Agrawal–Imielinski–Swami synthetic classification functions.
+
+Reimplements the ten predicate functions of "Database Mining: A
+Performance Perspective" (IEEE TKDE 1993) — the standard workload of the
+classic decision-tree classifier studies (and of SLIQ's evaluation).
+Each record describes a person by nine attributes; a function assigns
+group "A" or "B"; optional label noise flips the group with a given
+probability.
+
+The attribute distributions follow the published specification:
+
+========== ========================================== ============
+attribute   distribution                                type
+========== ========================================== ============
+salary      uniform 20,000 .. 150,000                  numeric
+commission  0 if salary >= 75,000 else U(10k, 75k)     numeric
+age         uniform 20 .. 80                           numeric
+elevel      uniform {0..4}                             categorical
+car         uniform {1..20}                            categorical
+zipcode     uniform {1..9}                             categorical
+hvalue      U(0.5, 1.5) * zipcode * 100,000            numeric
+hyears      uniform 1 .. 30                            numeric
+loan        uniform 0 .. 500,000                       numeric
+========== ========================================== ============
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..core.base import check_in_range
+from ..core.exceptions import ValidationError
+from ..core.random import RandomState, check_random_state
+from ..core.table import Table, categorical, numeric
+
+
+def _f1(r) -> bool:
+    return r["age"] < 40 or r["age"] >= 60
+
+
+def _f2(r) -> bool:
+    if r["age"] < 40:
+        return 50_000 <= r["salary"] <= 100_000
+    if r["age"] < 60:
+        return 75_000 <= r["salary"] <= 125_000
+    return 25_000 <= r["salary"] <= 75_000
+
+
+def _f3(r) -> bool:
+    if r["age"] < 40:
+        return r["elevel"] in (0, 1)
+    if r["age"] < 60:
+        return r["elevel"] in (1, 2, 3)
+    return r["elevel"] in (2, 3, 4)
+
+
+def _f4(r) -> bool:
+    if r["age"] < 40:
+        if r["elevel"] in (0, 1):
+            return 25_000 <= r["salary"] <= 75_000
+        return 50_000 <= r["salary"] <= 100_000
+    if r["age"] < 60:
+        if r["elevel"] in (1, 2, 3):
+            return 50_000 <= r["salary"] <= 100_000
+        return 75_000 <= r["salary"] <= 125_000
+    if r["elevel"] in (2, 3, 4):
+        return 50_000 <= r["salary"] <= 100_000
+    return 25_000 <= r["salary"] <= 75_000
+
+
+def _f5(r) -> bool:
+    if r["age"] < 40:
+        if 50_000 <= r["salary"] <= 100_000:
+            return 100_000 <= r["loan"] <= 300_000
+        return 200_000 <= r["loan"] <= 400_000
+    if r["age"] < 60:
+        if 75_000 <= r["salary"] <= 125_000:
+            return 200_000 <= r["loan"] <= 400_000
+        return 300_000 <= r["loan"] <= 500_000
+    if 25_000 <= r["salary"] <= 75_000:
+        return 300_000 <= r["loan"] <= 500_000
+    return 100_000 <= r["loan"] <= 300_000
+
+
+def _f6(r) -> bool:
+    total = r["salary"] + r["commission"]
+    if r["age"] < 40:
+        return 50_000 <= total <= 100_000
+    if r["age"] < 60:
+        return 75_000 <= total <= 125_000
+    return 25_000 <= total <= 75_000
+
+
+def _f7(r) -> bool:
+    disposable = (
+        0.67 * (r["salary"] + r["commission"]) - 0.2 * r["loan"] - 20_000
+    )
+    return disposable > 0
+
+
+def _f8(r) -> bool:
+    disposable = (
+        0.67 * (r["salary"] + r["commission"]) - 5_000 * r["elevel"] - 20_000
+    )
+    return disposable > 0
+
+
+def _f9(r) -> bool:
+    disposable = (
+        0.67 * (r["salary"] + r["commission"])
+        - 5_000 * r["elevel"]
+        - 0.2 * r["loan"]
+        - 10_000
+    )
+    return disposable > 0
+
+
+def _f10(r) -> bool:
+    equity = 0.1 * r["hvalue"] * max(r["hyears"] - 20, 0)
+    disposable = (
+        0.67 * (r["salary"] + r["commission"])
+        - 5_000 * r["elevel"]
+        + 0.2 * equity
+        - 10_000
+    )
+    return disposable > 0
+
+
+FUNCTIONS: Dict[int, Callable] = {
+    1: _f1, 2: _f2, 3: _f3, 4: _f4, 5: _f5,
+    6: _f6, 7: _f7, 8: _f8, 9: _f9, 10: _f10,
+}
+
+
+def agrawal(
+    n_rows: int,
+    function: int = 1,
+    noise: float = 0.0,
+    random_state: RandomState = None,
+) -> Table:
+    """Generate an AIS classification table.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of records.
+    function:
+        Which predicate labels the data, 1..10.
+    noise:
+        Probability of flipping each label (the papers' perturbation).
+    random_state:
+        Seed or generator.
+
+    Returns
+    -------
+    Table
+        Nine feature attributes plus the categorical target ``group``
+        with values ``("A", "B")``.
+
+    Examples
+    --------
+    >>> table = agrawal(100, function=2, random_state=0)
+    >>> table.n_rows, table.attribute("group").values
+    (100, ('A', 'B'))
+    """
+    if function not in FUNCTIONS:
+        raise ValidationError(
+            f"function must be in 1..10, got {function}"
+        )
+    check_in_range("n_rows", n_rows, 1, None)
+    check_in_range("noise", noise, 0.0, 1.0)
+    rng = check_random_state(random_state)
+    predicate = FUNCTIONS[function]
+
+    salary = rng.uniform(20_000, 150_000, n_rows)
+    commission = np.where(
+        salary >= 75_000, 0.0, rng.uniform(10_000, 75_000, n_rows)
+    )
+    age = rng.uniform(20, 80, n_rows)
+    elevel = rng.integers(0, 5, n_rows)
+    car = rng.integers(1, 21, n_rows)
+    zipcode = rng.integers(1, 10, n_rows)
+    hvalue = rng.uniform(0.5, 1.5, n_rows) * zipcode * 100_000
+    hyears = rng.uniform(1, 30, n_rows)
+    loan = rng.uniform(0, 500_000, n_rows)
+
+    labels = []
+    for i in range(n_rows):
+        record = {
+            "salary": salary[i],
+            "commission": commission[i],
+            "age": age[i],
+            "elevel": int(elevel[i]),
+            "car": int(car[i]),
+            "zipcode": int(zipcode[i]),
+            "hvalue": hvalue[i],
+            "hyears": hyears[i],
+            "loan": loan[i],
+        }
+        group_a = predicate(record)
+        if noise > 0 and rng.random() < noise:
+            group_a = not group_a
+        labels.append(0 if group_a else 1)
+
+    attributes = [
+        numeric("salary"),
+        numeric("commission"),
+        numeric("age"),
+        categorical("elevel", [0, 1, 2, 3, 4]),
+        categorical("car", list(range(1, 21))),
+        categorical("zipcode", list(range(1, 10))),
+        numeric("hvalue"),
+        numeric("hyears"),
+        numeric("loan"),
+        categorical("group", ["A", "B"]),
+    ]
+    columns = {
+        "salary": salary,
+        "commission": commission,
+        "age": age,
+        "elevel": elevel.astype(np.int64),
+        "car": (car - 1).astype(np.int64),
+        "zipcode": (zipcode - 1).astype(np.int64),
+        "hvalue": hvalue,
+        "hyears": hyears,
+        "loan": loan,
+        "group": np.asarray(labels, dtype=np.int64),
+    }
+    return Table(attributes, columns)
+
+
+__all__ = ["agrawal", "FUNCTIONS"]

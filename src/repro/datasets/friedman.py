@@ -1,0 +1,72 @@
+"""Friedman's synthetic regression benchmarks (Friedman, 1991).
+
+The standard regression workloads of the CART/MARS era.  Friedman #1:
+
+``y = 10 sin(pi x1 x2) + 20 (x3 - 0.5)^2 + 10 x4 + 5 x5 + noise``
+
+over ten uniform [0, 1] inputs, of which five are pure noise features —
+which is exactly what makes it a good tree test (can the splitter ignore
+the distractors?).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import check_in_range
+from ..core.random import RandomState, check_random_state
+from ..core.table import Table, numeric
+
+
+def friedman1(
+    n_rows: int,
+    noise_sd: float = 1.0,
+    n_features: int = 10,
+    random_state: RandomState = None,
+) -> Table:
+    """Generate a Friedman #1 regression table.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of rows.
+    noise_sd:
+        Standard deviation of the additive Gaussian noise.
+    n_features:
+        Total input features (>= 5; features x6.. are irrelevant).
+    random_state:
+        Seed or generator.
+
+    Returns
+    -------
+    Table
+        Numeric attributes ``x1..xN`` plus the numeric target ``y``.
+
+    Examples
+    --------
+    >>> table = friedman1(100, random_state=0)
+    >>> table.n_rows, len(table.attributes)
+    (100, 11)
+    """
+    check_in_range("n_rows", n_rows, 1, None)
+    check_in_range("noise_sd", noise_sd, 0.0, None)
+    check_in_range("n_features", n_features, 5, None)
+    rng = check_random_state(random_state)
+    X = rng.uniform(0.0, 1.0, size=(n_rows, n_features))
+    y = (
+        10.0 * np.sin(np.pi * X[:, 0] * X[:, 1])
+        + 20.0 * (X[:, 2] - 0.5) ** 2
+        + 10.0 * X[:, 3]
+        + 5.0 * X[:, 4]
+    )
+    if noise_sd > 0:
+        y = y + rng.normal(0.0, noise_sd, n_rows)
+    attributes = [numeric(f"x{i + 1}") for i in range(n_features)] + [
+        numeric("y")
+    ]
+    columns = {f"x{i + 1}": X[:, i] for i in range(n_features)}
+    columns["y"] = y
+    return Table(attributes, columns)
+
+
+__all__ = ["friedman1"]

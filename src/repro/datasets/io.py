@@ -1,0 +1,141 @@
+"""CSV persistence for tables and transaction databases.
+
+The formats are deliberately plain:
+
+* a :class:`Table` round-trips through an ordinary header + rows CSV,
+  with a sidecar-free schema convention — ``name:num`` marks a numeric
+  column, ``name:cat`` a categorical one — and empty cells for missing
+  values;
+* a :class:`TransactionDatabase` uses one transaction per line, items
+  separated by the delimiter (the layout of the classic FIMI files).
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Union
+
+from ..core.exceptions import ValidationError
+from ..core.table import Table, categorical, numeric
+from ..core.transactions import TransactionDatabase
+
+PathLike = Union[str, Path]
+
+
+def save_table(table: Table, path: PathLike) -> None:
+    """Write a table to CSV with typed headers.
+
+    >>> import tempfile, os
+    >>> from repro.datasets import play_tennis
+    >>> path = tempfile.mktemp(suffix=".csv")
+    >>> save_table(play_tennis(), path)
+    >>> load_table(path).n_rows
+    14
+    >>> os.remove(path)
+    """
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = [
+            f"{a.name}:{'num' if a.is_numeric else 'cat'}"
+            for a in table.attributes
+        ]
+        writer.writerow(header)
+        for row in table.iter_rows():
+            writer.writerow(["" if cell is None else cell for cell in row])
+
+
+def load_table(path: PathLike) -> Table:
+    """Read a table written by :func:`save_table`.
+
+    Categorical values re-encode by first appearance; numeric cells parse
+    as floats; empty cells become missing.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValidationError(f"{path}: empty CSV") from None
+        kinds = []
+        names = []
+        for entry in header:
+            name, sep, kind = entry.rpartition(":")
+            if not sep or kind not in ("num", "cat"):
+                raise ValidationError(
+                    f"{path}: header entry {entry!r} must end with "
+                    "':num' or ':cat'"
+                )
+            names.append(name)
+            kinds.append(kind)
+        raw_rows = []
+        for row in reader:
+            if len(row) != len(names):
+                raise ValidationError(
+                    f"{path}: row with {len(row)} cells, expected {len(names)}"
+                )
+            parsed = []
+            for cell, kind in zip(row, kinds):
+                if cell == "":
+                    parsed.append(None)
+                elif kind == "num":
+                    value = float(cell)
+                    parsed.append(None if math.isnan(value) else value)
+                else:
+                    parsed.append(cell)
+            raw_rows.append(tuple(parsed))
+    attributes = []
+    for idx, (name, kind) in enumerate(zip(names, kinds)):
+        if kind == "num":
+            attributes.append(numeric(name))
+        else:
+            seen = {}
+            for row in raw_rows:
+                if row[idx] is not None:
+                    seen.setdefault(row[idx])
+            attributes.append(categorical(name, list(seen) or ["<empty>"]))
+    return Table.from_rows(raw_rows, attributes)
+
+
+def save_transactions(
+    db: TransactionDatabase, path: PathLike, delimiter: str = " "
+) -> None:
+    """Write one transaction per line (FIMI layout), item ids as ints.
+
+    >>> import tempfile, os
+    >>> db = TransactionDatabase([(0, 2), (1,)])
+    >>> path = tempfile.mktemp(suffix=".dat")
+    >>> save_transactions(db, path)
+    >>> [list(t) for t in load_transactions(path)]
+    [[0, 2], [1]]
+    >>> os.remove(path)
+    """
+    with open(path, "w") as handle:
+        for txn in db:
+            handle.write(delimiter.join(str(item) for item in txn))
+            handle.write("\n")
+
+
+def load_transactions(
+    path: PathLike, delimiter: str = " "
+) -> TransactionDatabase:
+    """Read a FIMI-layout transaction file written by
+    :func:`save_transactions`."""
+    transactions = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                transactions.append([])
+                continue
+            transactions.append([int(tok) for tok in line.split(delimiter)])
+    return TransactionDatabase(transactions)
+
+
+__all__ = [
+    "save_table",
+    "load_table",
+    "save_transactions",
+    "load_transactions",
+]

@@ -1,0 +1,237 @@
+"""Quest-style synthetic customer-sequence generator.
+
+Analog of the sequential workload generator of the GSP/AprioriAll papers
+(EDBT 1996 / ICDE 1995).  Two pattern pools are drawn: maximal potential
+*itemsets* (element building blocks) and maximal potential *sequences*
+(ordered lists of those itemsets).  Customer sequences are assembled from
+weighted, corrupted potential sequences.
+
+The workload names follow the paper:
+``C10.T2.5.S4.I1.25`` = 10 elements per customer on average, 2.5 items
+per element, potential sequences of 4 elements, potential itemsets of
+1.25 items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.base import check_in_range
+from ..core.random import RandomState, check_random_state
+from ..core.sequences import SequenceDatabase
+
+
+@dataclass(frozen=True)
+class QuestSequenceConfig:
+    """Knobs of the sequence generator (paper notation in brackets).
+
+    Attributes
+    ----------
+    n_customers:
+        Number of customer sequences [|D|].
+    avg_elements:
+        Mean elements (transactions) per customer [|C|].
+    avg_items_per_element:
+        Mean items per element [|T|].
+    avg_pattern_elements:
+        Mean elements of a maximal potential sequence [|S|].
+    avg_itemset_size:
+        Mean size of the potential itemsets composing patterns [|I|].
+    n_items:
+        Item vocabulary size [N].
+    n_sequence_patterns, n_itemset_patterns:
+        Pool sizes [N_S, N_I].
+    correlation, corruption_mean, corruption_sd:
+        As in the basket generator.
+    """
+
+    n_customers: int = 1000
+    avg_elements: float = 10.0
+    avg_items_per_element: float = 2.5
+    avg_pattern_elements: float = 4.0
+    avg_itemset_size: float = 1.25
+    n_items: int = 1000
+    n_sequence_patterns: int = 100
+    n_itemset_patterns: int = 200
+    correlation: float = 0.25
+    corruption_mean: float = 0.5
+    corruption_sd: float = 0.1
+
+    def name(self) -> str:
+        """Workload name in the C?.T?.S?.I? convention.
+
+        >>> QuestSequenceConfig(avg_elements=10, avg_items_per_element=2.5,
+        ...     avg_pattern_elements=4, avg_itemset_size=1.25).name()
+        'C10.T2.5.S4.I1.25'
+        """
+        def trim(x: float) -> str:
+            return str(int(x)) if float(x).is_integer() else str(x)
+
+        return (
+            f"C{trim(self.avg_elements)}.T{trim(self.avg_items_per_element)}"
+            f".S{trim(self.avg_pattern_elements)}.I{trim(self.avg_itemset_size)}"
+        )
+
+
+class QuestSequenceGenerator:
+    """Synthetic customer-sequence generator.
+
+    Examples
+    --------
+    >>> gen = QuestSequenceGenerator(QuestSequenceConfig(n_customers=50,
+    ...     n_items=40, n_sequence_patterns=10, n_itemset_patterns=20),
+    ...     random_state=3)
+    >>> db = gen.generate()
+    >>> len(db)
+    50
+    """
+
+    def __init__(
+        self, config: QuestSequenceConfig, random_state: RandomState = None
+    ):
+        check_in_range("n_customers", config.n_customers, 1, None)
+        check_in_range("avg_elements", config.avg_elements, 1.0, None)
+        check_in_range(
+            "avg_items_per_element", config.avg_items_per_element, 1.0, None
+        )
+        check_in_range("n_items", config.n_items, 1, None)
+        self.config = config
+        self._rng = check_random_state(random_state)
+        self._itemsets: Optional[List[np.ndarray]] = None
+        self._sequences: Optional[List[List[np.ndarray]]] = None
+        self._weights: Optional[np.ndarray] = None
+        self._corruption: Optional[np.ndarray] = None
+
+    def _build_pools(self) -> None:
+        cfg = self.config
+        rng = self._rng
+        # Pool of potential itemsets (element building blocks).
+        itemsets: List[np.ndarray] = []
+        previous: Optional[np.ndarray] = None
+        for _ in range(cfg.n_itemset_patterns):
+            size = max(1, int(rng.poisson(cfg.avg_itemset_size)))
+            size = min(size, cfg.n_items)
+            items: List[int] = []
+            if previous is not None and len(previous) > 0:
+                n_common = min(
+                    int(rng.exponential(cfg.correlation) * size),
+                    size,
+                    len(previous),
+                )
+                if n_common > 0:
+                    items.extend(
+                        rng.choice(previous, size=n_common, replace=False)
+                    )
+            taken = set(items)
+            while len(items) < size:
+                candidate = int(rng.integers(cfg.n_items))
+                if candidate not in taken:
+                    taken.add(candidate)
+                    items.append(candidate)
+            itemset = np.unique(np.asarray(items, dtype=np.int64))
+            itemsets.append(itemset)
+            previous = itemset
+        self._itemsets = itemsets
+
+        # Pool of potential sequences: ordered picks from the itemset pool.
+        itemset_weights = rng.exponential(1.0, size=len(itemsets))
+        itemset_weights /= itemset_weights.sum()
+        sequences: List[List[np.ndarray]] = []
+        for _ in range(cfg.n_sequence_patterns):
+            length = max(1, int(rng.poisson(cfg.avg_pattern_elements)))
+            chosen = rng.choice(len(itemsets), size=length, p=itemset_weights)
+            sequences.append([itemsets[int(i)] for i in chosen])
+        self._sequences = sequences
+        weights = rng.exponential(1.0, size=cfg.n_sequence_patterns)
+        self._weights = weights / weights.sum()
+        self._corruption = np.clip(
+            rng.normal(
+                cfg.corruption_mean, cfg.corruption_sd, cfg.n_sequence_patterns
+            ),
+            0.0,
+            1.0,
+        )
+
+    def generate(self) -> SequenceDatabase:
+        """Emit the configured number of customer sequences."""
+        if self._sequences is None:
+            self._build_pools()
+        cfg = self.config
+        rng = self._rng
+        customers: List[List[List[int]]] = []
+        for _ in range(cfg.n_customers):
+            n_elements = max(1, int(rng.poisson(cfg.avg_elements)))
+            elements: List[set] = [set() for _ in range(n_elements)]
+            budget = n_elements * max(1.0, cfg.avg_items_per_element)
+            placed = 0
+            attempts = 0
+            while placed < budget and attempts < 4 * (n_elements + 1):
+                attempts += 1
+                p_idx = int(rng.choice(len(self._sequences), p=self._weights))
+                pattern = self._corrupt_sequence(
+                    self._sequences[p_idx], self._corruption[p_idx]
+                )
+                if not pattern:
+                    continue
+                if len(pattern) > n_elements:
+                    pattern = pattern[:n_elements]
+                # Place the pattern's elements at increasing positions.
+                positions = np.sort(
+                    rng.choice(n_elements, size=len(pattern), replace=False)
+                )
+                for pos, element in zip(positions, pattern):
+                    elements[int(pos)].update(int(i) for i in element)
+                    placed += len(element)
+            customer = [sorted(e) for e in elements if e]
+            if not customer:
+                customer = [[int(rng.integers(cfg.n_items))]]
+            customers.append(customer)
+        return SequenceDatabase(
+            customers, item_labels=list(range(cfg.n_items))
+        )
+
+    def _corrupt_sequence(self, pattern, level: float):
+        """Drop whole elements while a uniform draw stays below level."""
+        kept = len(pattern)
+        while kept > 0 and self._rng.random() < level:
+            kept -= 1
+        if kept == 0:
+            return []
+        if kept == len(pattern):
+            return list(pattern)
+        keep_idx = np.sort(
+            self._rng.choice(len(pattern), size=kept, replace=False)
+        )
+        return [pattern[int(i)] for i in keep_idx]
+
+
+def quest_sequences(
+    n_customers: int,
+    avg_elements: float = 8.0,
+    avg_items_per_element: float = 2.5,
+    n_items: int = 500,
+    random_state: RandomState = None,
+) -> SequenceDatabase:
+    """One-call convenience wrapper around :class:`QuestSequenceGenerator`.
+
+    >>> db = quest_sequences(40, 5, 2, n_items=60, random_state=11)
+    >>> len(db)
+    40
+    """
+    config = QuestSequenceConfig(
+        n_customers=n_customers,
+        avg_elements=avg_elements,
+        avg_items_per_element=avg_items_per_element,
+        n_items=n_items,
+    )
+    return QuestSequenceGenerator(config, random_state).generate()
+
+
+__all__ = [
+    "QuestSequenceConfig",
+    "QuestSequenceGenerator",
+    "quest_sequences",
+]

@@ -1,0 +1,92 @@
+"""Non-convex 2-D shape datasets for the density-clustering experiments.
+
+DBSCAN's original evaluation demonstrates cluster shapes centroid methods
+cannot represent; concentric rings and interleaved moons are the standard
+stand-ins and drive benchmark E11.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.base import check_in_range
+from ..core.random import RandomState, check_random_state
+
+
+def two_rings(
+    n_samples: int,
+    inner_radius: float = 2.0,
+    outer_radius: float = 6.0,
+    noise: float = 0.15,
+    random_state: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two concentric rings (labels 0 = inner, 1 = outer).
+
+    Parameters
+    ----------
+    noise:
+        Gaussian jitter added to each point's radius.
+
+    Examples
+    --------
+    >>> X, y = two_rings(100, random_state=0)
+    >>> X.shape, sorted(set(y.tolist()))
+    ((100, 2), [0, 1])
+    """
+    check_in_range("n_samples", n_samples, 2, None)
+    check_in_range("inner_radius", inner_radius, 0.0, None, low_inclusive=False)
+    check_in_range(
+        "outer_radius", outer_radius, inner_radius, None, low_inclusive=False
+    )
+    rng = check_random_state(random_state)
+    n_inner = n_samples // 2
+    n_outer = n_samples - n_inner
+    points = []
+    labels = []
+    for label, (radius, count) in enumerate(
+        [(inner_radius, n_inner), (outer_radius, n_outer)]
+    ):
+        theta = rng.uniform(0, 2 * np.pi, count)
+        r = radius + rng.normal(0, noise, count)
+        points.append(np.column_stack([r * np.cos(theta), r * np.sin(theta)]))
+        labels.append(np.full(count, label))
+    X = np.concatenate(points)
+    y = np.concatenate(labels)
+    order = rng.permutation(len(X))
+    return X[order], y[order]
+
+
+def two_moons(
+    n_samples: int,
+    noise: float = 0.08,
+    random_state: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two interleaved half-circles (labels 0 and 1).
+
+    Examples
+    --------
+    >>> X, y = two_moons(100, random_state=0)
+    >>> X.shape
+    (100, 2)
+    """
+    check_in_range("n_samples", n_samples, 2, None)
+    rng = check_random_state(random_state)
+    n_upper = n_samples // 2
+    n_lower = n_samples - n_upper
+    theta_upper = rng.uniform(0, np.pi, n_upper)
+    theta_lower = rng.uniform(0, np.pi, n_lower)
+    upper = np.column_stack([np.cos(theta_upper), np.sin(theta_upper)])
+    lower = np.column_stack(
+        [1.0 - np.cos(theta_lower), 0.5 - np.sin(theta_lower)]
+    )
+    X = np.concatenate([upper, lower]) + rng.normal(
+        0, noise, size=(n_samples, 2)
+    )
+    y = np.concatenate([np.zeros(n_upper, int), np.ones(n_lower, int)])
+    order = rng.permutation(n_samples)
+    return X[order], y[order]
+
+
+__all__ = ["two_rings", "two_moons"]

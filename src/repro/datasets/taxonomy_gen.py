@@ -1,0 +1,80 @@
+"""Synthetic item taxonomies for generalized-rule workloads.
+
+The generalized-rules evaluation (VLDB '95) organises the Quest item
+vocabulary into a roughly balanced is-a tree of a few levels; this
+generator reproduces that: leaves are the transaction items
+``0..n_items-1``, each internal level groups ``fanout`` children under a
+fresh category id.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.base import check_in_range
+from ..core.random import RandomState, check_random_state
+from ..core.taxonomy import Taxonomy
+
+
+def random_taxonomy(
+    n_items: int,
+    fanout: int = 5,
+    n_levels: int = 2,
+    random_state: RandomState = None,
+) -> Tuple[Taxonomy, int]:
+    """Build a balanced random is-a tree over item ids 0..n_items-1.
+
+    Parameters
+    ----------
+    n_items:
+        Number of leaf items (the transaction vocabulary).
+    fanout:
+        Children per category (the last group of a level may be smaller).
+    n_levels:
+        Number of category levels above the leaves.
+    random_state:
+        Seed; leaves are shuffled before grouping so category membership
+        is random rather than contiguous.
+
+    Returns
+    -------
+    (taxonomy, n_total_items):
+        The taxonomy and the total id space size (leaves + categories),
+        which callers pass as ``item_labels`` length when they need
+        labels for category ids.
+
+    Examples
+    --------
+    >>> tax, total = random_taxonomy(10, fanout=5, n_levels=1,
+    ...                              random_state=0)
+    >>> total
+    12
+    >>> sorted(len(tax.ancestors(i)) for i in range(10))[0]
+    1
+    """
+    check_in_range("n_items", n_items, 1, None)
+    check_in_range("fanout", fanout, 2, None)
+    check_in_range("n_levels", n_levels, 1, None)
+    rng = check_random_state(random_state)
+
+    parents: Dict[int, List[int]] = {}
+    current = list(rng.permutation(n_items))
+    next_id = n_items
+    for _ in range(n_levels):
+        if len(current) <= 1:
+            break
+        groups = [
+            current[i:i + fanout] for i in range(0, len(current), fanout)
+        ]
+        new_level = []
+        for group in groups:
+            category = next_id
+            next_id += 1
+            for member in group:
+                parents.setdefault(int(member), []).append(category)
+            new_level.append(category)
+        current = new_level
+    return Taxonomy(parents), next_id
+
+
+__all__ = ["random_taxonomy"]

@@ -1,0 +1,124 @@
+"""Tiny built-in tables for examples, doctests and unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.random import check_random_state
+from ..core.table import Table, categorical, numeric
+
+_PLAY_TENNIS_ROWS = [
+    ("sunny", "hot", "high", "weak", "no"),
+    ("sunny", "hot", "high", "strong", "no"),
+    ("overcast", "hot", "high", "weak", "yes"),
+    ("rain", "mild", "high", "weak", "yes"),
+    ("rain", "cool", "normal", "weak", "yes"),
+    ("rain", "cool", "normal", "strong", "no"),
+    ("overcast", "cool", "normal", "strong", "yes"),
+    ("sunny", "mild", "high", "weak", "no"),
+    ("sunny", "cool", "normal", "weak", "yes"),
+    ("rain", "mild", "normal", "weak", "yes"),
+    ("sunny", "mild", "normal", "strong", "yes"),
+    ("overcast", "mild", "high", "strong", "yes"),
+    ("overcast", "hot", "normal", "weak", "yes"),
+    ("rain", "mild", "high", "strong", "no"),
+]
+
+
+def play_tennis() -> Table:
+    """Quinlan's 14-row play-tennis table (the canonical ID3 example).
+
+    >>> play_tennis().n_rows
+    14
+    """
+    return Table.from_rows(
+        _PLAY_TENNIS_ROWS,
+        [
+            categorical("outlook", ["sunny", "overcast", "rain"]),
+            categorical("temperature", ["hot", "mild", "cool"]),
+            categorical("humidity", ["high", "normal"]),
+            categorical("wind", ["weak", "strong"]),
+            categorical("play", ["no", "yes"]),
+        ],
+    )
+
+
+def iris(n_per_class: int = 50, random_state=0) -> Table:
+    """Synthetic three-class stand-in for the classic iris table.
+
+    The real iris measurements are not bundled (no external data in this
+    repository); instead three Gaussian classes are drawn with means and
+    spreads modelled on the published per-species statistics, which
+    preserves what the classic examples use iris for: one linearly
+    separable class and two overlapping ones.
+
+    Parameters
+    ----------
+    n_per_class:
+        Rows per species.
+    random_state:
+        Seed; the default makes the table deterministic across calls.
+
+    >>> iris().n_rows
+    150
+    """
+    rng = check_random_state(random_state)
+    specs = {
+        # species: (mean, std) per (sep_len, sep_wid, pet_len, pet_wid)
+        "setosa": ((5.01, 3.43, 1.46, 0.25), (0.35, 0.38, 0.17, 0.11)),
+        "versicolor": ((5.94, 2.77, 4.26, 1.33), (0.52, 0.31, 0.47, 0.20)),
+        "virginica": ((6.59, 2.97, 5.55, 2.03), (0.64, 0.32, 0.55, 0.27)),
+    }
+    rows = []
+    for species, (means, stds) in specs.items():
+        block = rng.normal(means, stds, size=(n_per_class, 4))
+        block = np.maximum(block, 0.1)  # measurements are positive
+        for values in block:
+            rows.append(tuple(round(float(v), 2) for v in values) + (species,))
+    return Table.from_rows(
+        rows,
+        [
+            numeric("sepal_length"),
+            numeric("sepal_width"),
+            numeric("petal_length"),
+            numeric("petal_width"),
+            categorical("species", list(specs)),
+        ],
+    )
+
+
+def weather_numeric() -> Table:
+    """Play-tennis with numeric temperature/humidity (the C4.5 variant).
+
+    >>> weather_numeric().attribute("temperature").is_numeric
+    True
+    """
+    rows = [
+        ("sunny", 85, 85, "weak", "no"),
+        ("sunny", 80, 90, "strong", "no"),
+        ("overcast", 83, 86, "weak", "yes"),
+        ("rain", 70, 96, "weak", "yes"),
+        ("rain", 68, 80, "weak", "yes"),
+        ("rain", 65, 70, "strong", "no"),
+        ("overcast", 64, 65, "strong", "yes"),
+        ("sunny", 72, 95, "weak", "no"),
+        ("sunny", 69, 70, "weak", "yes"),
+        ("rain", 75, 80, "weak", "yes"),
+        ("sunny", 75, 70, "strong", "yes"),
+        ("overcast", 72, 90, "strong", "yes"),
+        ("overcast", 81, 75, "weak", "yes"),
+        ("rain", 71, 91, "strong", "no"),
+    ]
+    return Table.from_rows(
+        rows,
+        [
+            categorical("outlook", ["sunny", "overcast", "rain"]),
+            numeric("temperature"),
+            numeric("humidity"),
+            categorical("wind", ["weak", "strong"]),
+            categorical("play", ["no", "yes"]),
+        ],
+    )
+
+
+__all__ = ["play_tennis", "iris", "weather_numeric"]

@@ -1,0 +1,134 @@
+"""Classification metrics.
+
+All functions accept label sequences of any hashable type (decoded
+labels or integer codes alike) and are exact count-based computations —
+no estimation.  Per-class metrics use the convention that an undefined
+ratio (no predicted/actual positives) is 0.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import ValidationError
+
+
+def _check_pair(y_true: Sequence, y_pred: Sequence) -> Tuple[list, list]:
+    y_true, y_pred = list(y_true), list(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValidationError(
+            f"y_true has {len(y_true)} labels, y_pred has {len(y_pred)}"
+        )
+    if not y_true:
+        raise ValidationError("cannot compute metrics on empty label lists")
+    return y_true, y_pred
+
+
+def accuracy(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of exact matches.
+
+    >>> accuracy(["a", "b", "b"], ["a", "b", "a"])
+    0.6666666666666666
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return sum(t == p for t, p in zip(y_true, y_pred)) / len(y_true)
+
+
+def error_rate(y_true: Sequence, y_pred: Sequence) -> float:
+    """1 - accuracy."""
+    return 1.0 - accuracy(y_true, y_pred)
+
+
+def confusion_matrix(
+    y_true: Sequence, y_pred: Sequence, labels: Sequence[Hashable] = None
+) -> Tuple[np.ndarray, List[Hashable]]:
+    """Counts[i, j] = rows with true label i predicted as label j.
+
+    Returns the matrix together with the label order used (given order,
+    or sorted-by-string of the union of observed labels).
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = sorted(set(y_true) | set(y_pred), key=repr)
+    labels = list(labels)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        if t not in index or p not in index:
+            raise ValidationError(
+                f"label {t if t not in index else p!r} missing from `labels`"
+            )
+        matrix[index[t], index[p]] += 1
+    return matrix, labels
+
+
+def precision_recall_f1(
+    y_true: Sequence, y_pred: Sequence, positive: Hashable
+) -> Tuple[float, float, float]:
+    """Binary precision, recall and F1 for the ``positive`` label.
+
+    >>> precision_recall_f1([1, 1, 0, 0], [1, 0, 1, 0], positive=1)
+    (0.5, 0.5, 0.5)
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    tp = sum(1 for t, p in zip(y_true, y_pred) if t == positive and p == positive)
+    fp = sum(1 for t, p in zip(y_true, y_pred) if t != positive and p == positive)
+    fn = sum(1 for t, p in zip(y_true, y_pred) if t == positive and p != positive)
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return precision, recall, f1
+
+
+@dataclass(frozen=True)
+class ClassReport:
+    """Per-class precision/recall/F1 with its support count."""
+
+    label: Hashable
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+def classification_report(
+    y_true: Sequence, y_pred: Sequence
+) -> Dict[Hashable, ClassReport]:
+    """Per-class metrics for every observed true label.
+
+    >>> rep = classification_report(["a", "a", "b"], ["a", "b", "b"])
+    >>> rep["b"].recall
+    1.0
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    report = {}
+    for label in sorted(set(y_true), key=repr):
+        precision, recall, f1 = precision_recall_f1(y_true, y_pred, label)
+        report[label] = ClassReport(
+            label, precision, recall, f1, y_true.count(label)
+        )
+    return report
+
+
+def macro_f1(y_true: Sequence, y_pred: Sequence) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    report = classification_report(y_true, y_pred)
+    return sum(r.f1 for r in report.values()) / len(report)
+
+
+__all__ = [
+    "accuracy",
+    "error_rate",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "ClassReport",
+    "classification_report",
+    "macro_f1",
+]

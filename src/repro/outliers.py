@@ -1,0 +1,101 @@
+"""Deviation / outlier detection.
+
+The survey era's two standard notions:
+
+* **statistical** — flag values far from the column mean in standard
+  deviations (:func:`zscore_outliers`) or outside Tukey's interquartile
+  fences (:func:`iqr_outliers`);
+* **distance-based** — Knorr & Ng's DB(p, D)-outliers
+  (:func:`distance_outliers`): a point is an outlier when at least a
+  fraction ``p`` of the dataset lies farther than distance ``D`` from
+  it — a definition that unifies the statistical ones without assuming
+  a distribution.
+
+All functions return boolean masks aligned with the input rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core.base import check_in_range, check_matrix
+
+
+def zscore_outliers(X, threshold: float = 3.0) -> np.ndarray:
+    """Rows whose value in any column is > ``threshold`` SDs from its mean.
+
+    Constant columns flag nothing.
+
+    >>> import numpy as np
+    >>> X = np.array([[0.0], [0.1], [-0.1], [0.05], [100.0]])
+    >>> zscore_outliers(X, threshold=1.5).tolist()
+    [False, False, False, False, True]
+    """
+    check_in_range("threshold", threshold, 0.0, None, low_inclusive=False)
+    X = check_matrix(X)
+    mean = X.mean(axis=0)
+    std = X.std(axis=0)
+    std[std <= 0] = np.inf  # constant columns cannot deviate
+    z = np.abs(X - mean) / std
+    return (z > threshold).any(axis=1)
+
+
+def iqr_outliers(X, k: float = 1.5) -> np.ndarray:
+    """Rows outside Tukey's fences ``[Q1 - k*IQR, Q3 + k*IQR]`` in any
+    column.
+
+    >>> import numpy as np
+    >>> X = np.array([[1.0], [2.0], [3.0], [4.0], [50.0]])
+    >>> iqr_outliers(X).tolist()
+    [False, False, False, False, True]
+    """
+    check_in_range("k", k, 0.0, None, low_inclusive=False)
+    X = check_matrix(X)
+    q1 = np.quantile(X, 0.25, axis=0)
+    q3 = np.quantile(X, 0.75, axis=0)
+    iqr = q3 - q1
+    low = q1 - k * iqr
+    high = q3 + k * iqr
+    return ((X < low) | (X > high)).any(axis=1)
+
+
+def distance_outliers(
+    X, eps: float, fraction: float = 0.95, block_size: int = 1024
+) -> np.ndarray:
+    """DB(p, D)-outliers: at least ``fraction`` of all points lie farther
+    than ``eps``.
+
+    Equivalently, a point is an *inlier* when more than
+    ``(1 - fraction)`` of the dataset sits within ``eps`` of it.
+    Computed blockwise in O(n^2) distance evaluations.
+
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> X = np.vstack([rng.normal(0, 0.5, (50, 2)), [[30.0, 30.0]]])
+    >>> distance_outliers(X, eps=5.0, fraction=0.9).tolist()[-1]
+    True
+    """
+    check_in_range("eps", eps, 0.0, None, low_inclusive=False)
+    check_in_range("fraction", fraction, 0.0, 1.0)
+    X = check_matrix(X)
+    n = len(X)
+    if n < 2:
+        return np.zeros(n, dtype=bool)
+    eps_sq = eps * eps
+    within = np.zeros(n, dtype=np.int64)
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        block = X[start:stop]
+        d_sq = (
+            (block**2).sum(axis=1)[:, None]
+            - 2.0 * block @ X.T
+            + (X**2).sum(axis=1)[None, :]
+        )
+        within[start:stop] = (d_sq <= eps_sq + 1e-12).sum(axis=1)
+    # `within` counts the point itself; outlier iff at least `fraction`
+    # of the OTHER n-1 points lie beyond eps.
+    beyond_others = n - within
+    return beyond_others >= fraction * (n - 1)
+
+
+__all__ = ["zscore_outliers", "iqr_outliers", "distance_outliers"]

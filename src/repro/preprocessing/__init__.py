@@ -1,0 +1,19 @@
+"""Preprocessing: discretization, scaling, splitting, encoding."""
+
+from .discretize import MDLP, EqualFrequency, EqualWidth, discretize_table
+from .encode import impute_missing, one_hot_matrix
+from .scale import MinMaxScaler, StandardScaler, scale_table
+from .split import train_test_split
+
+__all__ = [
+    "EqualWidth",
+    "EqualFrequency",
+    "MDLP",
+    "discretize_table",
+    "MinMaxScaler",
+    "StandardScaler",
+    "scale_table",
+    "train_test_split",
+    "one_hot_matrix",
+    "impute_missing",
+]

@@ -1,0 +1,115 @@
+"""Feature scaling.
+
+Distance-based methods (k-NN, k-means, DBSCAN) need commensurable
+features; these scalers provide the two standard normalisations with a
+fit/transform protocol over 2-D matrices, plus a whole-table helper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.exceptions import NotFittedError, ValidationError
+from ..core.table import Table, numeric
+
+
+class MinMaxScaler:
+    """Scale each column to [0, 1] over the fitted range.
+
+    Constant columns map to 0.  NaN cells pass through untouched.
+
+    >>> MinMaxScaler().fit_transform([[0.0], [5.0], [10.0]]).ravel().tolist()
+    [0.0, 0.5, 1.0]
+    """
+
+    min_: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = _as_matrix(X)
+        self.min_ = np.nanmin(X, axis=0)
+        self.range_ = np.nanmax(X, axis=0) - self.min_
+        self.range_[self.range_ <= 0] = 1.0
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.min_ is None:
+            raise NotFittedError(self)
+        X = _as_matrix(X)
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling per column.
+
+    Constant columns become 0.  NaN cells pass through untouched.
+
+    >>> StandardScaler().fit_transform([[1.0], [3.0]]).ravel().tolist()
+    [-1.0, 1.0]
+    """
+
+    mean_: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = _as_matrix(X)
+        self.mean_ = np.nanmean(X, axis=0)
+        self.std_ = np.nanstd(X, axis=0)
+        self.std_[self.std_ <= 0] = 1.0
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise NotFittedError(self)
+        X = _as_matrix(X)
+        return (X - self.mean_) / self.std_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def _as_matrix(X) -> np.ndarray:
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValidationError(f"scalers expect 2-D input, got shape {X.shape}")
+    return X
+
+
+def scale_table(
+    table: Table,
+    method: str = "standard",
+    exclude: Sequence[str] = (),
+) -> Table:
+    """Return ``table`` with every numeric attribute scaled in place.
+
+    Parameters
+    ----------
+    method:
+        ``"standard"`` (z-score) or ``"minmax"``.
+    exclude:
+        Attribute names to leave untouched (e.g. a numeric id).
+    """
+    if method == "standard":
+        scaler_cls = StandardScaler
+    elif method == "minmax":
+        scaler_cls = MinMaxScaler
+    else:
+        raise ValidationError(
+            f"method must be 'standard' or 'minmax', got {method!r}"
+        )
+    excluded = set(exclude)
+    out = table
+    for attr in table.attributes:
+        if not attr.is_numeric or attr.name in excluded:
+            continue
+        scaled = scaler_cls().fit_transform(table.column(attr.name))
+        out = out.replace_column(attr.name, numeric(attr.name), scaled.ravel())
+    return out
+
+
+__all__ = ["MinMaxScaler", "StandardScaler", "scale_table"]

@@ -1,0 +1,85 @@
+"""Train/test splitting for tables.
+
+Plain and stratified holdout splits, returning new tables (row views via
+:meth:`Table.take`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.base import check_in_range
+from ..core.exceptions import ValidationError
+from ..core.random import RandomState, check_random_state
+from ..core.table import Table
+
+
+def train_test_split(
+    table: Table,
+    test_fraction: float = 0.25,
+    stratify: Optional[str] = None,
+    random_state: RandomState = None,
+) -> Tuple[Table, Table]:
+    """Random holdout split of a table.
+
+    Parameters
+    ----------
+    test_fraction:
+        Fraction of rows assigned to the test table (0 < f < 1).
+    stratify:
+        Optional categorical column name; splits preserve its class
+        proportions (each class is split individually).
+    random_state:
+        Seed or generator.
+
+    Returns
+    -------
+    (train, test):
+        Two tables sharing the input schema.
+
+    Examples
+    --------
+    >>> from repro.datasets import iris
+    >>> train, test = train_test_split(iris(), 0.2, stratify="species",
+    ...                                random_state=0)
+    >>> train.n_rows, test.n_rows
+    (120, 30)
+    """
+    check_in_range(
+        "test_fraction", test_fraction, 0.0, 1.0,
+        low_inclusive=False, high_inclusive=False,
+    )
+    rng = check_random_state(random_state)
+    n = table.n_rows
+    if n < 2:
+        raise ValidationError("need at least 2 rows to split")
+
+    if stratify is None:
+        perm = rng.permutation(n)
+        n_test = max(1, int(round(n * test_fraction)))
+        if n_test >= n:
+            n_test = n - 1
+        return table.take(perm[n_test:]), table.take(perm[:n_test])
+
+    codes = table.class_codes(stratify)
+    train_idx = []
+    test_idx = []
+    for code in np.unique(codes):
+        member = np.flatnonzero(codes == code)
+        member = member[rng.permutation(len(member))]
+        n_test = int(round(len(member) * test_fraction))
+        n_test = min(max(n_test, 0), len(member))
+        test_idx.extend(member[:n_test])
+        train_idx.extend(member[n_test:])
+    if not test_idx or not train_idx:
+        raise ValidationError(
+            "stratified split produced an empty side; adjust test_fraction"
+        )
+    train_idx = np.array(sorted(train_idx))
+    test_idx = np.array(sorted(test_idx))
+    return table.take(train_idx), table.take(test_idx)
+
+
+__all__ = ["train_test_split"]

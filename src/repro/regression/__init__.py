@@ -1,0 +1,25 @@
+"""Regression (the tutorial's "prediction" task).
+
+* :class:`RegressionTree` — CART's regression half: variance-reduction
+  splits, exact category ordering, mean-valued leaves.
+* :class:`LinearRegression` — the OLS yardstick.
+* :mod:`metrics` — MSE/RMSE/MAE/R^2.
+"""
+
+from .linear import LinearRegression
+from .metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    r_squared,
+    root_mean_squared_error,
+)
+from .tree import RegressionTree
+
+__all__ = [
+    "RegressionTree",
+    "LinearRegression",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "r_squared",
+]

@@ -1,0 +1,73 @@
+"""Regression metrics: MSE, RMSE, MAE, R^2."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import ValidationError
+
+
+def _check(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValidationError(
+            f"y_true and y_pred must be equal-length 1-D arrays, got "
+            f"{y_true.shape} and {y_pred.shape}"
+        )
+    if len(y_true) == 0:
+        raise ValidationError("cannot score empty arrays")
+    if np.isnan(y_true).any() or np.isnan(y_pred).any():
+        raise ValidationError("metrics do not accept NaN values")
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean of squared residuals.
+
+    >>> mean_squared_error([1.0, 2.0], [1.0, 4.0])
+    2.0
+    """
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(((y_true - y_pred) ** 2).mean())
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Square root of the MSE (same units as the target)."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean of absolute residuals.
+
+    >>> mean_absolute_error([1.0, 2.0], [2.0, 0.0])
+    1.5
+    """
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.abs(y_true - y_pred).mean())
+
+
+def r_squared(y_true, y_pred) -> float:
+    """Coefficient of determination: 1 - SSE/SST.
+
+    1.0 is a perfect fit; 0.0 matches predicting the mean; negative is
+    worse than the mean.  A constant true signal scores 1.0 when matched
+    exactly and 0.0 otherwise (the 0/0 convention).
+
+    >>> r_squared([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+    1.0
+    """
+    y_true, y_pred = _check(y_true, y_pred)
+    sse = float(((y_true - y_pred) ** 2).sum())
+    sst = float(((y_true - y_true.mean()) ** 2).sum())
+    if sst == 0.0:
+        return 1.0 if sse == 0.0 else 0.0
+    return 1.0 - sse / sst
+
+
+__all__ = [
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "r_squared",
+]

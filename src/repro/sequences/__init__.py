@@ -1,0 +1,30 @@
+"""Sequential pattern mining.
+
+Miners (all return :class:`FrequentSequences`; without time constraints
+they agree exactly on their output):
+
+* :func:`apriori_all` — the original three-phase litemset algorithm
+  (length counted in elements).
+* :func:`gsp` — Generalized Sequential Patterns, with window / min-gap /
+  max-gap time constraints (length counted in items).
+* :func:`prefixspan` — pattern growth with pseudo-projection.
+* :func:`brute_force_sequences` — exhaustive oracle for tests.
+"""
+
+from .apriori_all import apriori_all
+from .episodes import EventSequence, FrequentEpisodes, winepi
+from .gsp import gsp
+from .prefixspan import prefixspan
+from .reference import brute_force_sequences
+from .result import FrequentSequences
+
+__all__ = [
+    "apriori_all",
+    "gsp",
+    "prefixspan",
+    "brute_force_sequences",
+    "FrequentSequences",
+    "EventSequence",
+    "FrequentEpisodes",
+    "winepi",
+]

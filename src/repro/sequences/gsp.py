@@ -1,0 +1,352 @@
+"""GSP — Generalized Sequential Patterns (Srikant & Agrawal, EDBT 1996).
+
+GSP mines item-level sequential patterns levelwise, where the length of a
+pattern is its total number of items.  Compared with AprioriAll it
+generates far fewer candidates (the k=2 join is item-level) and supports
+time constraints:
+
+* ``window`` — items of one pattern element may be collected from several
+  database elements whose timestamps span at most ``window``;
+* ``min_gap`` — consecutive pattern elements must satisfy
+  ``start_time(i) - end_time(i-1) > min_gap``;
+* ``max_gap`` — consecutive pattern elements must satisfy
+  ``end_time(i) - start_time(i-1) <= max_gap``.
+
+Timestamps default to the element index within each sequence, so without
+constraints GSP reduces to plain subsequence containment.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.exceptions import ValidationError
+from ..core.itemsets import PassStats
+from ..core.sequences import SequenceDatabase, SequencePattern, pattern_length
+from ..associations.apriori import min_count_from_support
+from .result import FrequentSequences
+
+
+def gsp(
+    db: SequenceDatabase,
+    min_support: float = 0.05,
+    max_length: Optional[int] = None,
+    min_gap: Optional[float] = None,
+    max_gap: Optional[float] = None,
+    window: float = 0.0,
+    times: Optional[Sequence[Sequence[float]]] = None,
+) -> FrequentSequences:
+    """Mine frequent sequential patterns with GSP.
+
+    Parameters
+    ----------
+    db:
+        The customer-sequence database.
+    min_support:
+        Relative minimum support in [0, 1].
+    max_length:
+        Stop after patterns with this many *items* in total.
+    min_gap, max_gap, window:
+        Time constraints as defined in the module docstring; ``None``
+        disables a gap constraint, ``window=0`` forbids assembling a
+        pattern element from multiple database elements.
+    times:
+        Optional per-sequence timestamp lists, aligned with the elements
+        of each sequence and strictly increasing.  Defaults to element
+        indices 0, 1, 2, ...
+
+    Returns
+    -------
+    FrequentSequences
+
+    Examples
+    --------
+    >>> db = SequenceDatabase([[(1,), (2,)], [(1,), (2,)], [(2,), (1,)]])
+    >>> gsp(db, min_support=0.6).supports[((1,), (2,))]
+    2
+    """
+    if max_length is not None and max_length < 1:
+        raise ValidationError(f"max_length must be >= 1, got {max_length}")
+    if window < 0:
+        raise ValidationError(f"window must be >= 0, got {window}")
+    if min_gap is not None and min_gap < 0:
+        raise ValidationError(f"min_gap must be >= 0, got {min_gap}")
+    if max_gap is not None and max_gap <= 0:
+        raise ValidationError(f"max_gap must be > 0, got {max_gap}")
+    n = len(db)
+    if n == 0:
+        return FrequentSequences({}, 0, min_support)
+    if times is None:
+        times = [list(range(len(seq))) for seq in db]
+    else:
+        times = [list(t) for t in times]
+        for idx, (seq, t) in enumerate(zip(db, times)):
+            if len(t) != len(seq):
+                raise ValidationError(
+                    f"times[{idx}] has {len(t)} stamps for {len(seq)} elements"
+                )
+            if any(b <= a for a, b in zip(t, t[1:])):
+                raise ValidationError(
+                    f"times[{idx}] must be strictly increasing"
+                )
+    min_count = min_count_from_support(n, min_support)
+    checker = _ContainsChecker(min_gap, max_gap, window)
+
+    stats: List[PassStats] = []
+    started = _time.perf_counter()
+    item_counts: Dict[int, int] = {}
+    for seq in db:
+        seen: Set[int] = set()
+        for element in seq:
+            seen.update(element)
+        for item in seen:
+            item_counts[item] = item_counts.get(item, 0) + 1
+    frequent: Dict[SequencePattern, int] = {
+        ((item,),): cnt
+        for item, cnt in sorted(item_counts.items())
+        if cnt >= min_count
+    }
+    stats.append(
+        PassStats(1, db.n_items, len(frequent), _time.perf_counter() - started)
+    )
+    all_frequent: Dict[SequencePattern, int] = dict(frequent)
+
+    k = 2
+    while frequent and (max_length is None or k <= max_length):
+        started = _time.perf_counter()
+        if k == 2:
+            candidates = _candidates_len2(frequent)
+        else:
+            candidates = _candidates_join(frequent, max_gap is not None)
+        if not candidates:
+            stats.append(PassStats(k, 0, 0, _time.perf_counter() - started))
+            break
+        counts = dict.fromkeys(candidates, 0)
+        candidate_items = [
+            (cand, frozenset(i for e in cand for i in e))
+            for cand in candidates
+        ]
+        for seq, t in zip(db, times):
+            if sum(len(e) for e in seq) < k:
+                continue
+            # Cheap prefilter: a pattern's items must all occur somewhere
+            # in the sequence before the (expensive) ordered check runs.
+            seq_items = frozenset(i for e in seq for i in e)
+            for cand, items in candidate_items:
+                if items <= seq_items and checker.contains(seq, t, cand):
+                    counts[cand] += 1
+        frequent = {c: cnt for c, cnt in counts.items() if cnt >= min_count}
+        stats.append(
+            PassStats(k, len(candidates), len(frequent), _time.perf_counter() - started)
+        )
+        all_frequent.update(frequent)
+        k += 1
+
+    result = FrequentSequences(all_frequent, n, min_support)
+    result.pass_stats = stats
+    return result
+
+
+# ----------------------------------------------------------------------
+# Candidate generation
+# ----------------------------------------------------------------------
+def _candidates_len2(frequent_1: Dict[SequencePattern, int]) -> List[SequencePattern]:
+    """All 2-item candidates from frequent items: <(x)(y)> and <(x y)>."""
+    items = sorted(p[0][0] for p in frequent_1)
+    candidates: List[SequencePattern] = []
+    for x in items:
+        for y in items:
+            candidates.append(((x,), (y,)))  # two elements, any order/repeat
+    for i, x in enumerate(items):
+        for y in items[i + 1:]:
+            candidates.append(((x, y),))  # one element, x < y
+    return candidates
+
+
+def _drop_first_item(pattern: SequencePattern) -> SequencePattern:
+    """Pattern minus the first item of its first element."""
+    head = pattern[0][1:]
+    if head:
+        return (head,) + pattern[1:]
+    return pattern[1:]
+
+
+def _drop_last_item(pattern: SequencePattern) -> SequencePattern:
+    """Pattern minus the last item of its last element."""
+    tail = pattern[-1][:-1]
+    if tail:
+        return pattern[:-1] + (tail,)
+    return pattern[:-1]
+
+
+def _candidates_join(
+    frequent_prev: Dict[SequencePattern, int], contiguous_prune: bool
+) -> List[SequencePattern]:
+    """GSP join + prune for k >= 3.
+
+    s1 joins s2 when dropping s1's first item equals dropping s2's last
+    item.  The candidate extends s1 with s2's last item — as a new
+    element if it formed a singleton element in s2, otherwise merged into
+    s1's last element.
+
+    With a ``max_gap`` in force, anti-monotonicity only holds for
+    *contiguous* subsequences, so the prune step weakens accordingly.
+    """
+    prev = list(frequent_prev)
+    prev_set = set(prev)
+    by_dropped_last: Dict[SequencePattern, List[SequencePattern]] = {}
+    for s2 in prev:
+        by_dropped_last.setdefault(_drop_last_item(s2), []).append(s2)
+    candidates: Set[SequencePattern] = set()
+    for s1 in prev:
+        key = _drop_first_item(s1)
+        for s2 in by_dropped_last.get(key, ()):
+            last_item = s2[-1][-1]
+            if len(s2[-1]) == 1:
+                candidate = s1 + ((last_item,),)
+            else:
+                merged = tuple(sorted(s1[-1] + (last_item,)))
+                if len(set(merged)) != len(merged):
+                    continue  # would duplicate an item within the element
+                candidate = s1[:-1] + (merged,)
+            if _prune_ok(candidate, prev_set, contiguous_prune):
+                candidates.add(candidate)
+    return sorted(candidates)
+
+
+def _prune_ok(
+    candidate: SequencePattern,
+    prev_set: Set[SequencePattern],
+    contiguous_only: bool,
+) -> bool:
+    """Check that the relevant (k-1)-subsequences are frequent.
+
+    Without max-gap, every one-item-deleted subsequence must be frequent.
+    With max-gap, only *contiguous* subsequences (item deleted from the
+    first element, the last element, or an element of size > 1) must be.
+    """
+    n_elements = len(candidate)
+    for e_idx, element in enumerate(candidate):
+        interior_singleton = (
+            len(element) == 1 and 0 < e_idx < n_elements - 1
+        )
+        if contiguous_only and interior_singleton:
+            continue  # deleting it would not be a contiguous subsequence
+        for i_idx in range(len(element)):
+            reduced_element = element[:i_idx] + element[i_idx + 1:]
+            if reduced_element:
+                sub = (
+                    candidate[:e_idx]
+                    + (reduced_element,)
+                    + candidate[e_idx + 1:]
+                )
+            else:
+                sub = candidate[:e_idx] + candidate[e_idx + 1:]
+            if sub not in prev_set:
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Containment with time constraints
+# ----------------------------------------------------------------------
+class _ContainsChecker:
+    """Pattern containment under window / min-gap / max-gap constraints.
+
+    Implemented as a depth-first search over feasible element matches.
+    A match of a pattern element is a pair of element indices (a, b) with
+    ``t[b] - t[a] <= window`` whose union of items covers the pattern
+    element; its start time is t[a] and end time t[b].
+    """
+
+    def __init__(
+        self,
+        min_gap: Optional[float],
+        max_gap: Optional[float],
+        window: float,
+    ):
+        self.min_gap = min_gap
+        self.max_gap = max_gap
+        self.window = window
+
+    def contains(
+        self,
+        seq: SequencePattern,
+        t: Sequence[float],
+        pattern: SequencePattern,
+    ) -> bool:
+        if not pattern:
+            return True
+        if self.min_gap is None and self.max_gap is None and self.window == 0.0:
+            return self._plain_contains(seq, pattern)
+        matches_per_element = [
+            self._element_matches(seq, t, element) for element in pattern
+        ]
+        if any(not m for m in matches_per_element):
+            return False
+        return self._search(matches_per_element, t, 0, None, None)
+
+    @staticmethod
+    def _plain_contains(seq: SequencePattern, pattern: SequencePattern) -> bool:
+        pos = 0
+        for wanted in pattern:
+            wanted_set = set(wanted)
+            while pos < len(seq):
+                if wanted_set.issubset(seq[pos]):
+                    pos += 1
+                    break
+                pos += 1
+            else:
+                return False
+        return True
+
+    def _element_matches(
+        self,
+        seq: SequencePattern,
+        t: Sequence[float],
+        element: Tuple[int, ...],
+    ) -> List[Tuple[int, int]]:
+        """All (a, b) windows whose item union covers ``element``."""
+        wanted = set(element)
+        matches = []
+        for a in range(len(seq)):
+            collected: Set[int] = set()
+            for b in range(a, len(seq)):
+                if t[b] - t[a] > self.window:
+                    break
+                collected.update(seq[b])
+                if wanted.issubset(collected):
+                    # Minimal right end for this left end: extending b
+                    # further only widens the window without need.
+                    matches.append((a, b))
+                    break
+        return matches
+
+    def _search(
+        self,
+        matches_per_element: List[List[Tuple[int, int]]],
+        t: Sequence[float],
+        depth: int,
+        prev_start: Optional[float],
+        prev_end: Optional[float],
+    ) -> bool:
+        if depth == len(matches_per_element):
+            return True
+        for a, b in matches_per_element[depth]:
+            start, end = t[a], t[b]
+            if prev_end is not None:
+                if start <= prev_end and self.min_gap is None:
+                    # Without explicit gaps, elements must still occur in
+                    # order: strictly later start than the previous end.
+                    continue
+                if self.min_gap is not None and start - prev_end <= self.min_gap:
+                    continue
+                if self.max_gap is not None and end - prev_start > self.max_gap:
+                    continue
+            if self._search(matches_per_element, t, depth + 1, start, end):
+                return True
+        return False
+
+
+__all__ = ["gsp"]

@@ -1,0 +1,80 @@
+"""Result container shared by all sequential-pattern miners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from ..core.sequences import SequencePattern, pattern_length, sequence_contains
+
+
+@dataclass
+class FrequentSequences:
+    """Frequent sequential patterns with their support counts.
+
+    Attributes
+    ----------
+    supports:
+        Mapping from canonical pattern (tuple of sorted item tuples) to
+        the number of sequences containing it.
+    n_sequences:
+        Number of sequences in the mined database.
+    min_support:
+        The relative threshold used.
+    pass_stats:
+        Per-level statistics for levelwise miners (AprioriAll, GSP).
+    """
+
+    supports: Dict[SequencePattern, int]
+    n_sequences: int
+    min_support: float
+    pass_stats: List = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.supports)
+
+    def __iter__(self) -> Iterator[SequencePattern]:
+        return iter(self.supports)
+
+    def __contains__(self, pattern: object) -> bool:
+        return pattern in self.supports
+
+    def count(self, pattern: SequencePattern) -> int:
+        """Absolute support count (KeyError if infrequent)."""
+        return self.supports[pattern]
+
+    def support(self, pattern: SequencePattern) -> float:
+        """Relative support of ``pattern``."""
+        return self.supports[pattern] / self.n_sequences
+
+    def of_length(self, length: int) -> Dict[SequencePattern, int]:
+        """Patterns with exactly ``length`` items in total."""
+        return {
+            p: c for p, c in self.supports.items() if pattern_length(p) == length
+        }
+
+    def max_length(self) -> int:
+        """Longest pattern length present (0 when empty)."""
+        return max((pattern_length(p) for p in self.supports), default=0)
+
+    def maximal(self) -> Dict[SequencePattern, int]:
+        """Patterns not contained in any other frequent pattern.
+
+        This is AprioriAll's "maximal phase" as a post-filter.
+        """
+        patterns = list(self.supports)
+        result = {}
+        for pattern in patterns:
+            if not any(
+                other != pattern and sequence_contains(other, pattern)
+                for other in patterns
+            ):
+                result[pattern] = self.supports[pattern]
+        return result
+
+    def sorted_by_support(self) -> List:
+        """(pattern, count) pairs, highest support first."""
+        return sorted(self.supports.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+__all__ = ["FrequentSequences"]

@@ -1,0 +1,36 @@
+"""Unit tests for apriori-gen (join + prune)."""
+
+from repro.associations import apriori_gen
+
+
+class TestJoin:
+    def test_paper_example(self):
+        # Frequent 3-itemsets {123, 124, 134, 135, 234} join to {1234, 1345},
+        # and the prune step kills 1345 (145 not frequent) — the worked
+        # example of the Apriori paper.
+        frequent = [(1, 2, 3), (1, 2, 4), (1, 3, 4), (1, 3, 5), (2, 3, 4)]
+        assert apriori_gen(frequent) == [(1, 2, 3, 4)]
+
+    def test_pairs_from_singletons(self):
+        assert apriori_gen([(1,), (2,), (3,)]) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_empty_input(self):
+        assert apriori_gen([]) == []
+
+    def test_no_joinable_pairs(self):
+        assert apriori_gen([(1, 2), (3, 4)]) == []
+
+    def test_prune_removes_unsupported_subsets(self):
+        # (1,3) and (2,3) frequent but (1,2) not -> no candidate (1,2,3).
+        assert apriori_gen([(1, 3), (2, 3)]) == []
+
+    def test_output_is_sorted_and_canonical(self):
+        out = apriori_gen([(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)])
+        assert out == sorted(out)
+        assert all(list(c) == sorted(set(c)) for c in out)
+
+    def test_k4_from_k3_complete_lattice(self):
+        frequent = [
+            (1, 2, 3), (1, 2, 4), (1, 3, 4), (2, 3, 4),
+        ]
+        assert apriori_gen(frequent) == [(1, 2, 3, 4)]

@@ -1,0 +1,174 @@
+"""Unit tests for generalized (taxonomy) and quantitative rule mining."""
+
+import pytest
+
+from repro.associations import (
+    QuantitativeMiner,
+    basic_generalized,
+    cumulate,
+    r_interesting_rules,
+)
+from repro.core import (
+    Table,
+    Taxonomy,
+    TransactionDatabase,
+    ValidationError,
+    categorical,
+    numeric,
+)
+
+
+@pytest.fixture
+def clothes_db():
+    # 0:jacket 1:ski_pants 2:hiking_boots 3:shoes
+    # categories 4:outerwear 5:footwear 6:clothes
+    txns = [
+        (0, 2),       # jacket + hiking boots
+        (1, 2),       # ski pants + hiking boots
+        (3,),         # shoes
+        (0,),         # jacket
+        (1, 3),       # ski pants + shoes
+        (0, 2),
+    ]
+    tax = Taxonomy({0: [4], 1: [4], 4: [6], 2: [5], 3: [5]})
+    db = TransactionDatabase(txns, item_labels=list(range(7)))
+    return db, tax
+
+
+class TestGeneralized:
+    def test_paper_motivating_example(self, clothes_db):
+        """'outerwear -> hiking boots' is frequent even though neither
+        jacket nor ski-pants rules are (the VLDB '95 motivation)."""
+        db, tax = clothes_db
+        result = basic_generalized(db, tax, min_support=0.5)
+        # outerwear (4) appears in 5 of 6 transactions.
+        assert result.supports[(4,)] == 5
+        # outerwear + hiking boots co-occur 3 times (>= 50%).
+        assert result.supports[(2, 4)] == 3
+        # The specific pairs are infrequent.
+        assert (0, 2) not in result.supports
+        assert (1, 2) not in result.supports
+
+    def test_cumulate_matches_basic(self, clothes_db):
+        db, tax = clothes_db
+        for min_support in (0.2, 0.4, 0.7):
+            assert (
+                cumulate(db, tax, min_support).supports
+                == basic_generalized(db, tax, min_support).supports
+            )
+
+    def test_ancestor_support_dominates(self, clothes_db):
+        db, tax = clothes_db
+        result = cumulate(db, tax, 0.1)
+        for item in (0, 1):
+            for ancestor in tax.ancestors(item):
+                assert (
+                    result.supports[(ancestor,)] >= result.supports[(item,)]
+                )
+
+    def test_item_plus_ancestor_support_equal(self, clothes_db):
+        db, tax = clothes_db
+        result = cumulate(db, tax, 0.1)
+        # {jacket, outerwear} must carry jacket's own support.
+        assert result.supports[(0, 4)] == result.supports[(0,)]
+
+    def test_empty_db(self, clothes_db):
+        _, tax = clothes_db
+        assert len(cumulate(TransactionDatabase([]), tax, 0.5)) == 0
+
+    def test_r_interesting_filters_redundant_specialisations(self, clothes_db):
+        db, tax = clothes_db
+        itemsets = cumulate(db, tax, 0.15)
+        all_rules = r_interesting_rules(itemsets, tax, 0.5, r=1.0)
+        strict = r_interesting_rules(itemsets, tax, 0.5, r=1.3)
+        assert len(strict) <= len(all_rules)
+
+    def test_r_below_one_rejected(self, clothes_db):
+        db, tax = clothes_db
+        with pytest.raises(ValidationError):
+            r_interesting_rules(cumulate(db, tax, 0.3), tax, 0.5, r=0.5)
+
+
+class TestQuantitative:
+    def _table(self):
+        rows = []
+        for age in range(20, 70):
+            married = "yes" if age >= 40 else "no"
+            cars = 2.0 if age >= 40 else 1.0
+            rows.append((float(age), married, cars))
+        return Table.from_rows(
+            rows,
+            [numeric("age"), categorical("married", ["no", "yes"]),
+             numeric("cars")],
+        )
+
+    def test_finds_planted_boundary(self):
+        miner = QuantitativeMiner(
+            n_base_intervals=5, min_support=0.2, max_support=0.7
+        )
+        rules = miner.mine(self._table())
+        rendered = [miner.render_rule(r) for r in rules]
+        assert any(
+            "married = 'yes'" in line and "age" in line for line in rendered
+        )
+
+    def test_no_attribute_twice_in_an_itemset(self):
+        miner = QuantitativeMiner(n_base_intervals=4, min_support=0.1)
+        miner.mine(self._table())
+        for itemset in miner.itemsets_:
+            attrs = [q.attribute for q in miner.decode(itemset)]
+            assert len(attrs) == len(set(attrs))
+
+    def test_max_support_caps_ranges(self):
+        miner = QuantitativeMiner(
+            n_base_intervals=4, min_support=0.05, max_support=0.3
+        )
+        miner.mine(self._table())
+        n = 50
+        for item_id in range(len(miner.items_)):
+            support = miner.itemsets_.supports.get((item_id,))
+            if support is not None:
+                assert support <= 0.3 * n + 1e-9
+
+    def test_more_base_intervals_more_items(self):
+        table = self._table()
+        coarse = QuantitativeMiner(n_base_intervals=3, min_support=0.1)
+        fine = QuantitativeMiner(n_base_intervals=10, min_support=0.1)
+        coarse.mine(table)
+        fine.mine(table)
+        assert len(fine.items_) > len(coarse.items_)
+
+    def test_supports_match_direct_row_counts(self):
+        table = self._table()
+        miner = QuantitativeMiner(n_base_intervals=4, min_support=0.1)
+        miner.mine(table)
+        ages = table.column("age")
+        for itemset, count in miner.itemsets_.supports.items():
+            quants = miner.decode(itemset)
+            if len(quants) == 1 and quants[0].attribute == "age":
+                q = quants[0]
+                direct = int(((ages >= q.low) & (ages <= q.high)).sum())
+                assert count == direct
+
+    def test_item_str_rendering(self):
+        from repro.associations import QuantItem
+
+        assert str(QuantItem("married", value="yes")) == "married = 'yes'"
+        assert (
+            str(QuantItem("age", low=30.0, high=39.0)) == "age in [30 .. 39]"
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            QuantitativeMiner(n_base_intervals=1)
+        with pytest.raises(ValidationError):
+            QuantitativeMiner(min_support=0.5, max_support=0.2)
+
+    def test_missing_numeric_cells_ignored(self):
+        rows = [(1.0, "a"), (None, "a"), (2.0, "b"), (None, "b")] * 5
+        table = Table.from_rows(
+            rows, [numeric("x"), categorical("c", ["a", "b"])]
+        )
+        miner = QuantitativeMiner(n_base_intervals=2, min_support=0.2)
+        rules = miner.mine(table)  # must not crash on NaN cells
+        assert miner.items_

@@ -1,0 +1,76 @@
+"""Unit tests for the hash-tree candidate store."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.associations import HashTree
+
+
+class TestHashTree:
+    def test_counts_match_naive(self):
+        candidates = [(1, 2), (1, 3), (2, 3), (2, 4), (17, 33)]
+        txns = [(1, 2, 3), (2, 3, 4), (1, 17, 33), (1, 2, 3, 4, 17, 33)]
+        tree = HashTree(candidates)
+        tree.count_transactions(txns)
+        counts = tree.counts()
+        for cand in candidates:
+            expected = sum(
+                1 for t in txns if set(cand).issubset(t)
+            )
+            assert counts[cand] == expected, cand
+
+    def test_no_double_count_on_hash_collisions(self):
+        # Items 1 and 17 collide modulo the default 16 buckets.
+        tree = HashTree([(1, 17)], leaf_capacity=1, n_buckets=16)
+        tree.count_transaction((1, 17, 33))
+        assert tree.counts()[(1, 17)] == 1
+
+    def test_deep_split_still_correct(self):
+        items = list(range(12))
+        candidates = list(itertools.combinations(items, 3))
+        tree = HashTree(candidates, leaf_capacity=2, n_buckets=4)
+        txn = tuple(range(0, 12, 2))
+        tree.count_transaction(txn)
+        counts = tree.counts()
+        for cand in candidates:
+            expected = 1 if set(cand).issubset(txn) else 0
+            assert counts[cand] == expected
+
+    def test_short_transactions_skipped(self):
+        tree = HashTree([(1, 2, 3)])
+        tree.count_transaction((1, 2))
+        assert all(c == 0 for c in tree.counts().values())
+
+    def test_empty_candidate_set(self):
+        tree = HashTree([])
+        tree.count_transaction((1, 2))
+        assert tree.counts() == {}
+        assert len(tree) == 0
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            HashTree([(1,), (1, 2)])
+
+    def test_frequent_thresholding(self):
+        tree = HashTree([(1, 2), (3, 4)])
+        tree.count_transactions([(1, 2), (1, 2, 5), (3, 4)])
+        assert tree.frequent(2) == {(1, 2): 2}
+
+    def test_randomised_against_naive(self):
+        rng = random.Random(3)
+        items = range(30)
+        candidates = sorted(
+            {tuple(sorted(rng.sample(items, 3))) for _ in range(60)}
+        )
+        txns = [
+            tuple(sorted(rng.sample(items, rng.randint(3, 12))))
+            for _ in range(150)
+        ]
+        tree = HashTree(candidates, leaf_capacity=4, n_buckets=8)
+        tree.count_transactions(txns)
+        counts = tree.counts()
+        for cand in candidates:
+            expected = sum(1 for t in txns if set(cand).issubset(t))
+            assert counts[cand] == expected

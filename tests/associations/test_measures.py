@@ -1,0 +1,78 @@
+"""Unit tests for interestingness measures."""
+
+import math
+
+import pytest
+
+from repro.associations import chi_square, confidence, conviction, leverage, lift
+from repro.core import ValidationError
+
+
+class TestConfidence:
+    def test_basic(self):
+        assert confidence(0.2, 0.4) == pytest.approx(0.5)
+
+    def test_zero_antecedent(self):
+        assert confidence(0.0, 0.0) == 0.0
+
+    def test_range_validation(self):
+        with pytest.raises(ValidationError):
+            confidence(1.2, 0.5)
+
+
+class TestLift:
+    def test_independence_is_one(self):
+        assert lift(0.25, 0.5, 0.5) == pytest.approx(1.0)
+
+    def test_positive_correlation(self):
+        assert lift(0.4, 0.5, 0.5) > 1.0
+
+    def test_zero_marginals(self):
+        assert lift(0.0, 0.0, 0.5) == 0.0
+
+    def test_impossible_support_gives_inf(self):
+        assert math.isinf(lift(0.1, 0.0, 0.5))
+
+
+class TestLeverage:
+    def test_independence_is_zero(self):
+        assert leverage(0.25, 0.5, 0.5) == pytest.approx(0.0)
+
+    def test_sign_matches_correlation(self):
+        assert leverage(0.4, 0.5, 0.5) > 0
+        assert leverage(0.1, 0.5, 0.5) < 0
+
+    def test_bounds(self):
+        assert -0.25 <= leverage(0.0, 0.5, 0.5) <= 0.25
+
+
+class TestConviction:
+    def test_independence_is_one(self):
+        assert conviction(0.25, 0.5, 0.5) == pytest.approx(1.0)
+
+    def test_perfect_rule_is_inf(self):
+        assert math.isinf(conviction(0.5, 0.5, 0.5))
+
+    def test_weak_rule_below_one(self):
+        assert conviction(0.1, 0.5, 0.5) < 1.0
+
+
+class TestChiSquare:
+    def test_independence_is_zero(self):
+        assert chi_square(0.25, 0.5, 0.5, 1000) == pytest.approx(0.0)
+
+    def test_perfect_association_equals_n(self):
+        # X == Y exactly: chi-square equals the number of transactions.
+        assert chi_square(0.5, 0.5, 0.5, 200) == pytest.approx(200.0)
+
+    def test_degenerate_marginals(self):
+        assert chi_square(0.5, 1.0, 0.5, 100) == 0.0
+        assert chi_square(0.0, 0.0, 0.5, 100) == 0.0
+
+    def test_scales_with_n(self):
+        small = chi_square(0.3, 0.5, 0.5, 100)
+        large = chi_square(0.3, 0.5, 0.5, 1000)
+        assert large == pytest.approx(10 * small)
+
+    def test_zero_transactions(self):
+        assert chi_square(0.3, 0.5, 0.5, 0) == 0.0

@@ -1,0 +1,32 @@
+"""Unit tests for the brute-force oracle itself."""
+
+import pytest
+
+from repro.associations import brute_force
+from repro.core import TransactionDatabase, ValidationError
+
+
+class TestBruteForce:
+    def test_counts_by_hand(self):
+        db = TransactionDatabase([(0, 1), (0,), (1,)])
+        result = brute_force(db, min_support=0.3)
+        assert result.supports == {(0,): 2, (1,): 2, (0, 1): 1}
+
+    def test_max_size_cap(self):
+        db = TransactionDatabase([(0, 1, 2)])
+        result = brute_force(db, 0.5, max_size=2)
+        assert result.max_size() == 2
+        assert len(result) == 6
+
+    def test_guard_against_long_transactions(self):
+        db = TransactionDatabase([tuple(range(30))])
+        with pytest.raises(ValidationError):
+            brute_force(db, 0.5)
+
+    def test_long_transactions_allowed_with_cap(self):
+        db = TransactionDatabase([tuple(range(30))])
+        result = brute_force(db, 0.5, max_size=1)
+        assert len(result) == 30
+
+    def test_empty_db(self):
+        assert len(brute_force(TransactionDatabase([]), 0.5)) == 0

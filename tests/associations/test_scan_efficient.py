@@ -1,0 +1,123 @@
+"""Unit tests for the scan-efficient miners: DHP, Partition, Sampling."""
+
+import pytest
+
+from repro.associations import (
+    apriori,
+    brute_force,
+    dhp,
+    negative_border,
+    partition_miner,
+    sampling_miner,
+)
+from repro.core import TransactionDatabase, ValidationError
+
+
+class TestDHP:
+    def test_agrees_with_apriori(self, medium_db):
+        for min_support in (0.02, 0.05, 0.15):
+            assert (
+                dhp(medium_db, min_support).supports
+                == apriori(medium_db, min_support).supports
+            )
+
+    def test_filter_is_lossless_even_with_tiny_table(self, medium_db):
+        # Massive collisions (8 buckets) weaken pruning but never drop a
+        # real frequent pair.
+        assert (
+            dhp(medium_db, 0.05, n_buckets=8).supports
+            == apriori(medium_db, 0.05).supports
+        )
+
+    def test_filter_reduces_c2(self, medium_db):
+        result = dhp(medium_db, 0.05, n_buckets=4096)
+        assert result.c2_filtered <= result.c2_unfiltered
+        # With many buckets on this workload the reduction is real.
+        assert result.c2_filtered < result.c2_unfiltered
+
+    def test_more_buckets_never_weaker(self, medium_db):
+        coarse = dhp(medium_db, 0.05, n_buckets=16)
+        fine = dhp(medium_db, 0.05, n_buckets=65536)
+        assert fine.c2_filtered <= coarse.c2_filtered
+
+    def test_empty_db(self):
+        result = dhp(TransactionDatabase([]), 0.1)
+        assert len(result) == 0 and result.c2_filtered == 0
+
+    def test_max_size_one_skips_pass2(self, medium_db):
+        result = dhp(medium_db, 0.05, max_size=1)
+        assert result.max_size() <= 1
+
+
+class TestPartition:
+    def test_agrees_with_apriori(self, medium_db):
+        for n_partitions in (1, 3, 7):
+            assert (
+                partition_miner(medium_db, 0.05, n_partitions=n_partitions).supports
+                == apriori(medium_db, 0.05).supports
+            )
+
+    def test_more_partitions_than_transactions(self):
+        db = TransactionDatabase([(0, 1), (1, 2), (0, 2)])
+        result = partition_miner(db, 0.3, n_partitions=10)
+        assert result.supports == brute_force(db, 0.3).supports
+
+    def test_empty_db(self):
+        assert len(partition_miner(TransactionDatabase([]), 0.1)) == 0
+
+    def test_invalid_partitions(self, small_db):
+        with pytest.raises(ValidationError):
+            partition_miner(small_db, 0.1, n_partitions=0)
+
+
+class TestSampling:
+    def test_exact_across_seeds(self, medium_db):
+        want = apriori(medium_db, 0.05).supports
+        for seed in range(5):
+            result = sampling_miner(
+                medium_db, 0.05, sample_fraction=0.3, random_state=seed
+            )
+            assert result.supports == want
+            assert result.misses >= 0
+
+    def test_tiny_sample_still_exact(self, medium_db):
+        want = apriori(medium_db, 0.1).supports
+        result = sampling_miner(
+            medium_db, 0.1, sample_fraction=0.05, random_state=1
+        )
+        assert result.supports == want
+
+    def test_lowering_one_is_valid(self, medium_db):
+        result = sampling_miner(
+            medium_db, 0.05, lowering=0.999, random_state=0
+        )
+        assert result.supports == apriori(medium_db, 0.05).supports
+
+    def test_invalid_params(self, small_db):
+        with pytest.raises(ValidationError):
+            sampling_miner(small_db, 0.1, sample_fraction=0.0)
+        with pytest.raises(ValidationError):
+            sampling_miner(small_db, 0.1, lowering=1.5)
+
+    def test_empty_db(self):
+        result = sampling_miner(TransactionDatabase([]), 0.1)
+        assert len(result) == 0 and result.misses == 0
+
+
+class TestNegativeBorder:
+    def test_singleton_border(self):
+        border = negative_border({(0,), (1,)}, n_items=4, max_size=None)
+        assert (2,) in border and (3,) in border
+
+    def test_pair_border(self):
+        frequent = {(0,), (1,), (2,), (0, 1)}
+        border = negative_border(frequent, n_items=3, max_size=None)
+        # (0,2) and (1,2) have all singleton subsets frequent but are
+        # not frequent themselves.
+        assert (0, 2) in border and (1, 2) in border
+        assert (0, 1) not in border
+
+    def test_max_size_caps_border(self):
+        frequent = {(0,), (1,)}
+        border = negative_border(frequent, n_items=2, max_size=1)
+        assert all(len(b) <= 1 for b in border)

@@ -1,0 +1,104 @@
+"""Unit tests for split criteria."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.classification import (
+    entropy,
+    gain_ratio,
+    gini,
+    gini_gain,
+    information_gain,
+    split_information,
+)
+
+
+class TestEntropy:
+    def test_uniform_two_class(self):
+        assert entropy(np.array([5.0, 5.0])) == pytest.approx(1.0)
+
+    def test_pure(self):
+        assert entropy(np.array([7.0, 0.0])) == 0.0
+
+    def test_empty(self):
+        assert entropy(np.array([0.0, 0.0])) == 0.0
+
+    def test_uniform_k_classes_is_log2_k(self):
+        assert entropy(np.ones(8)) == pytest.approx(3.0)
+
+    def test_weighted_counts(self):
+        assert entropy(np.array([2.5, 2.5])) == pytest.approx(1.0)
+
+
+class TestGini:
+    def test_uniform_two_class(self):
+        assert gini(np.array([5.0, 5.0])) == pytest.approx(0.5)
+
+    def test_pure(self):
+        assert gini(np.array([3.0, 0.0])) == 0.0
+
+    def test_bounds(self):
+        assert 0.0 <= gini(np.array([1.0, 2.0, 3.0])) < 1.0
+
+    def test_uniform_k_classes(self):
+        assert gini(np.ones(4)) == pytest.approx(0.75)
+
+
+class TestInformationGain:
+    def test_perfect_split(self):
+        parent = np.array([5.0, 5.0])
+        branches = [np.array([5.0, 0.0]), np.array([0.0, 5.0])]
+        assert information_gain(parent, branches) == pytest.approx(1.0)
+
+    def test_useless_split(self):
+        parent = np.array([4.0, 4.0])
+        branches = [np.array([2.0, 2.0]), np.array([2.0, 2.0])]
+        assert information_gain(parent, branches) == pytest.approx(0.0)
+
+    def test_play_tennis_outlook(self):
+        # Quinlan's canonical value: gain(outlook) = 0.2467 bits.
+        parent = np.array([5.0, 9.0])
+        branches = [
+            np.array([3.0, 2.0]),  # sunny: 3 no / 2 yes
+            np.array([0.0, 4.0]),  # overcast
+            np.array([2.0, 3.0]),  # rain
+        ]
+        assert information_gain(parent, branches) == pytest.approx(
+            0.2467, abs=1e-4
+        )
+
+
+class TestSplitInformationAndGainRatio:
+    def test_split_information_uniform(self):
+        branches = [np.array([2.0, 0.0]), np.array([0.0, 2.0])]
+        assert split_information(branches) == pytest.approx(1.0)
+
+    def test_gain_ratio_of_perfect_balanced_split(self):
+        parent = np.array([5.0, 5.0])
+        branches = [np.array([5.0, 0.0]), np.array([0.0, 5.0])]
+        assert gain_ratio(parent, branches) == pytest.approx(1.0)
+
+    def test_gain_ratio_zero_when_one_branch(self):
+        parent = np.array([5.0, 5.0])
+        assert gain_ratio(parent, [parent]) == 0.0
+
+    def test_gain_ratio_penalises_high_arity(self):
+        parent = np.array([4.0, 4.0])
+        # Perfect 2-way vs perfect 8-way split of the same 8 rows.
+        two_way = [np.array([4.0, 0.0]), np.array([0.0, 4.0])]
+        eight_way = [np.array([1.0, 0.0])] * 4 + [np.array([0.0, 1.0])] * 4
+        assert gain_ratio(parent, two_way) > gain_ratio(parent, eight_way)
+
+
+class TestGiniGain:
+    def test_perfect_split(self):
+        parent = np.array([5.0, 5.0])
+        branches = [np.array([5.0, 0.0]), np.array([0.0, 5.0])]
+        assert gini_gain(parent, branches) == pytest.approx(0.5)
+
+    def test_never_negative_for_partitions(self):
+        parent = np.array([3.0, 7.0])
+        branches = [np.array([1.0, 4.0]), np.array([2.0, 3.0])]
+        assert gini_gain(parent, branches) >= 0.0

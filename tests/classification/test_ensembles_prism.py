@@ -1,0 +1,142 @@
+"""Unit tests for Bagging, AdaBoost.M1 and PRISM."""
+
+import numpy as np
+import pytest
+
+from repro.classification import CART, PRISM, AdaBoostM1, Bagging, NaiveBayes
+from repro.core import Table, ValidationError, categorical
+from repro.datasets import agrawal, play_tennis
+from repro.preprocessing import discretize_table, train_test_split
+
+
+@pytest.fixture(scope="module")
+def noisy_split():
+    data = agrawal(2400, function=5, noise=0.15, random_state=31)
+    return train_test_split(data, 0.3, stratify="group", random_state=0)
+
+
+class TestBagging:
+    def test_beats_or_matches_unstable_base(self, noisy_split):
+        train, test = noisy_split
+        single = CART().fit(train, "group").score(test)
+        bagged = Bagging(CART, 9, random_state=0).fit(train, "group")
+        assert bagged.score(test) >= single - 0.01
+
+    def test_proba_is_average_of_members(self, noisy_split):
+        train, test = noisy_split
+        model = Bagging(lambda: CART(max_depth=3), 4, random_state=1)
+        model.fit(train, "group")
+        manual = np.mean(
+            [m.predict_proba(test) for m in model.estimators_], axis=0
+        )
+        assert np.allclose(model.predict_proba(test), manual)
+
+    def test_ensemble_size(self, tennis):
+        model = Bagging(lambda: CART(max_depth=2), 7, random_state=2)
+        model.fit(tennis, "play")
+        assert len(model.estimators_) == 7
+
+    def test_reproducible(self, noisy_split):
+        train, test = noisy_split
+        a = Bagging(lambda: CART(max_depth=3), 5, random_state=3).fit(
+            train, "group"
+        ).predict(test)
+        b = Bagging(lambda: CART(max_depth=3), 5, random_state=3).fit(
+            train, "group"
+        ).predict(test)
+        assert a == b
+
+    def test_invalid_size(self):
+        with pytest.raises(ValidationError):
+            Bagging(CART, 0)
+
+
+class TestAdaBoost:
+    def test_boosted_stumps_beat_one_stump(self):
+        # F9 is additive over several attributes, so one stump saturates
+        # early and boosting visibly helps.
+        data = agrawal(2000, function=9, noise=0.05, random_state=17)
+        train, test = train_test_split(data, 0.3, random_state=0)
+        stump = CART(max_depth=1).fit(train, "group").score(test)
+        boosted = AdaBoostM1(
+            lambda: CART(max_depth=1), 30, random_state=0
+        ).fit(train, "group").score(test)
+        assert boosted > stump + 0.02
+
+    def test_alphas_positive(self, noisy_split):
+        train, _ = noisy_split
+        model = AdaBoostM1(lambda: CART(max_depth=2), 10, random_state=1)
+        model.fit(train, "group")
+        assert all(a > 0 for a in model.alphas_)
+        assert len(model.alphas_) == len(model.estimators_)
+
+    def test_strong_base_stays_exact(self, tennis):
+        # Full CART is a strong base learner; the boosted ensemble must
+        # remain exact on the training data it can already memorise.
+        model = AdaBoostM1(CART, 10, random_state=0).fit(tennis, "play")
+        assert 1 <= len(model.estimators_) <= 10
+        assert model.score(tennis) == 1.0
+
+    def test_proba_rows_normalised(self, noisy_split):
+        train, test = noisy_split
+        model = AdaBoostM1(lambda: CART(max_depth=2), 8, random_state=2)
+        model.fit(train, "group")
+        proba = model.predict_proba(test)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValidationError):
+            AdaBoostM1(CART, 0)
+
+
+class TestPRISM:
+    def test_tennis_rules_are_exact(self, tennis):
+        model = PRISM().fit(tennis, "play")
+        assert model.score(tennis) == 1.0
+
+    def test_rendered_rules_reference_real_values(self, tennis):
+        model = PRISM().fit(tennis, "play")
+        rendered = model.render_rules()
+        assert rendered[-1].startswith("if true")  # default rule last
+        assert any("outlook" in r for r in rendered)
+
+    def test_rules_cover_all_predictions(self, tennis):
+        model = PRISM().fit(tennis, "play")
+        predictions = model.predict(tennis)
+        assert all(p in ("yes", "no") for p in predictions)
+
+    def test_rejects_numeric(self, weather):
+        with pytest.raises(ValidationError):
+            PRISM().fit(weather, "play")
+
+    def test_works_after_discretization(self, weather):
+        table = discretize_table(weather, "equal_frequency", n_bins=3)
+        model = PRISM().fit(table, "play")
+        assert model.score(table) >= 0.8
+
+    def test_min_coverage_limits_rules(self):
+        data = agrawal(800, function=3, noise=0.05, random_state=5)
+        table = discretize_table(data, "equal_width", n_bins=4)
+        small = PRISM(min_coverage=1).fit(table, "group")
+        large = PRISM(min_coverage=25).fit(table, "group")
+        assert len(large.rules_) <= len(small.rules_)
+
+    def test_rejects_missing(self):
+        table = Table.from_rows(
+            [("a", "x"), (None, "y")],
+            [categorical("f", ["a"]), categorical("t", ["x", "y"])],
+        )
+        with pytest.raises(ValidationError):
+            PRISM().fit(table, "t")
+
+    def test_strong_on_clean_categorical_data(self):
+        # PRISM's home turf: noise-free data whose predicate is a small
+        # conjunction over categorical attributes (F3 = age x elevel).
+        # It has no pruning, so label noise is explicitly out of scope.
+        data = agrawal(1500, function=3, noise=0.0, random_state=6)
+        table = discretize_table(data, "equal_width", n_bins=6)
+        train, test = train_test_split(table, 0.3, random_state=0)
+        prism_acc = PRISM(min_coverage=5).fit(train, "group").score(test)
+        nb_acc = NaiveBayes().fit(train, "group").score(test)
+        assert prism_acc > 0.8
+        assert prism_acc >= nb_acc - 0.05

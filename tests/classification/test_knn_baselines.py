@@ -1,0 +1,107 @@
+"""Unit tests for KNN, ZeroR and OneR."""
+
+import numpy as np
+import pytest
+
+from repro.classification import KNN, OneR, ZeroR
+from repro.core import Table, ValidationError, categorical, numeric
+from repro.datasets import iris
+
+
+class TestKNN:
+    def test_one_neighbor_memorises(self):
+        table = iris()
+        assert KNN(n_neighbors=1).fit(table, "species").score(table) == 1.0
+
+    def test_reasonable_iris_accuracy(self):
+        table = iris()
+        assert KNN(n_neighbors=7).fit(table, "species").score(table) > 0.9
+
+    def test_manhattan_metric(self):
+        table = iris()
+        model = KNN(n_neighbors=5, metric="manhattan").fit(table, "species")
+        assert model.score(table) > 0.9
+
+    def test_distance_weighting_breaks_ties_toward_closer(self):
+        rows = [(0.0, "a"), (0.1, "a"), (1.0, "b"), (1.1, "b")]
+        table = Table.from_rows(
+            rows, [numeric("x"), categorical("y", ["a", "b"])]
+        )
+        model = KNN(n_neighbors=4, weights="distance").fit(table, "y")
+        query = Table.from_rows(
+            [(0.2, None)], [numeric("x"), categorical("y", ["a", "b"])]
+        )
+        assert model.predict(query) == ["a"]
+
+    def test_categorical_mismatch_distance(self):
+        rows = [("a", "x"), ("a", "x"), ("b", "y"), ("b", "y")]
+        table = Table.from_rows(
+            rows, [categorical("f", ["a", "b"]), categorical("y", ["x", "y"])]
+        )
+        model = KNN(n_neighbors=2).fit(table, "y")
+        assert model.score(table) == 1.0
+
+    def test_k_larger_than_train_rejected(self, tennis):
+        with pytest.raises(ValidationError):
+            KNN(n_neighbors=100).fit(tennis, "play")
+
+    def test_missing_rejected(self):
+        table = Table.from_rows(
+            [(1.0, "x"), (None, "y")],
+            [numeric("f"), categorical("y", ["x", "y"])],
+        )
+        with pytest.raises(ValidationError):
+            KNN(n_neighbors=1).fit(table, "y")
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            KNN(n_neighbors=0)
+        with pytest.raises(ValidationError):
+            KNN(metric="cosine")
+        with pytest.raises(ValidationError):
+            KNN(weights="magic")
+
+    def test_blockwise_equals_single_block(self):
+        table = iris()
+        a = KNN(n_neighbors=5, block_size=7).fit(table, "species")
+        b = KNN(n_neighbors=5, block_size=10**6).fit(table, "species")
+        assert a.predict(table) == b.predict(table)
+
+
+class TestZeroR:
+    def test_predicts_majority(self, tennis):
+        model = ZeroR().fit(tennis, "play")
+        assert set(model.predict(tennis)) == {"yes"}
+
+    def test_score_equals_majority_fraction(self, tennis):
+        assert ZeroR().fit(tennis, "play").score(tennis) == pytest.approx(9 / 14)
+
+    def test_proba_is_class_frequency(self, tennis):
+        proba = ZeroR().fit(tennis, "play").predict_proba(tennis)
+        assert np.allclose(proba[0], [5 / 14, 9 / 14])
+
+
+class TestOneR:
+    def test_picks_single_best_attribute(self, tennis):
+        model = OneR().fit(tennis, "play")
+        assert model.rule_attribute_ in tennis.attribute_names
+        assert model.score(tennis) >= ZeroR().fit(tennis, "play").score(tennis)
+
+    def test_numeric_attribute_binning(self):
+        rows = [(float(v), "lo" if v < 50 else "hi") for v in range(100)]
+        table = Table.from_rows(
+            rows, [numeric("x"), categorical("y", ["lo", "hi"])]
+        )
+        model = OneR().fit(table, "y")
+        assert model.score(table) > 0.9
+
+    def test_unseen_bin_falls_back_to_default(self, tennis):
+        model = OneR().fit(tennis, "play")
+        stripped = tennis.drop([model.rule_attribute_])
+        # Without the rule attribute every row uses the default class.
+        predictions = model.predict(stripped)
+        assert len(set(predictions)) == 1
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValidationError):
+            OneR(n_bins=1)

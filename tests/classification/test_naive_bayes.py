@@ -1,0 +1,95 @@
+"""Unit tests for NaiveBayes."""
+
+import numpy as np
+import pytest
+
+from repro.classification import NaiveBayes
+from repro.core import Table, ValidationError, categorical, numeric
+from repro.datasets import iris
+
+
+class TestCategoricalNB:
+    def test_play_tennis_posterior(self, tennis):
+        model = NaiveBayes().fit(tennis, "play")
+        # The textbook query: sunny/cool/high/strong -> "no".
+        row = Table.from_rows(
+            [("sunny", "cool", "high", "strong", None)], tennis.attributes
+        )
+        assert model.predict(row) == ["no"]
+
+    def test_laplace_smoothing_avoids_zeroes(self):
+        rows = [("a", "x"), ("a", "x"), ("b", "y")]
+        table = Table.from_rows(
+            rows,
+            [categorical("f", ["a", "b", "c"]),
+             categorical("t", ["x", "y"])],
+        )
+        model = NaiveBayes().fit(table, "t")
+        unseen = Table.from_rows(
+            [("c", None)],
+            [categorical("f", ["a", "b", "c"]), categorical("t", ["x", "y"])],
+        )
+        proba = model.predict_proba(unseen)
+        assert (proba > 0).all()
+
+    def test_invalid_laplace(self):
+        with pytest.raises(ValidationError):
+            NaiveBayes(laplace=0.0)
+
+
+class TestGaussianNB:
+    def test_separable_gaussians(self):
+        rng = np.random.default_rng(0)
+        rows = [(float(v), "lo") for v in rng.normal(0, 1, 100)]
+        rows += [(float(v), "hi") for v in rng.normal(10, 1, 100)]
+        table = Table.from_rows(
+            rows, [numeric("x"), categorical("y", ["lo", "hi"])]
+        )
+        model = NaiveBayes().fit(table, "y")
+        assert model.score(table) == 1.0
+
+    def test_iris_accuracy(self):
+        table = iris()
+        assert NaiveBayes().fit(table, "species").score(table) > 0.9
+
+    def test_variance_floor_handles_constant_class(self):
+        rows = [(1.0, "a")] * 5 + [(2.0, "b")] * 5
+        table = Table.from_rows(
+            rows, [numeric("x"), categorical("y", ["a", "b"])]
+        )
+        model = NaiveBayes().fit(table, "y")
+        assert model.score(table) == 1.0
+
+
+class TestMissingValues:
+    def test_missing_features_are_marginalised(self, tennis):
+        model = NaiveBayes().fit(tennis, "play")
+        row = Table.from_rows(
+            [(None, None, None, None, None)], tennis.attributes
+        )
+        proba = model.predict_proba(row)[0]
+        # With nothing observed the posterior is (smoothed) prior.
+        prior = np.exp(model.class_log_prior_)
+        assert np.allclose(proba, prior / prior.sum(), atol=1e-9)
+
+    def test_missing_in_training(self):
+        rows = [("a", "x"), (None, "x"), ("b", "y"), ("b", "y")]
+        table = Table.from_rows(
+            rows,
+            [categorical("f", ["a", "b"]), categorical("t", ["x", "y"])],
+        )
+        model = NaiveBayes().fit(table, "t")
+        assert model.score(table) >= 0.75
+
+
+class TestProba:
+    def test_rows_sum_to_one(self, tennis):
+        proba = NaiveBayes().fit(tennis, "play").predict_proba(tennis)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_argmax_matches_predict(self, tennis):
+        model = NaiveBayes().fit(tennis, "play")
+        proba = model.predict_proba(tennis)
+        labels = model.predict(tennis)
+        values = tennis.attribute("play").values
+        assert [values[i] for i in proba.argmax(axis=1)] == labels

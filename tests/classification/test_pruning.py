@@ -1,0 +1,126 @@
+"""Unit tests for the pruning strategies."""
+
+import numpy as np
+import pytest
+
+from repro.classification import (
+    C45,
+    CART,
+    Leaf,
+    binomial_upper_limit,
+    cost_complexity_path,
+    pessimistic_prune,
+    prune_to_alpha,
+    reduced_error_prune,
+)
+from repro.datasets import agrawal
+from repro.preprocessing import train_test_split
+
+
+class TestBinomialUpperLimit:
+    def test_no_errors_still_positive(self):
+        u = binomial_upper_limit(0.0, 10.0, 0.25)
+        assert 0.0 < u < 0.2
+
+    def test_increases_with_errors(self):
+        low = binomial_upper_limit(1.0, 20.0, 0.25)
+        high = binomial_upper_limit(5.0, 20.0, 0.25)
+        assert high > low
+
+    def test_decreases_with_sample_size(self):
+        small = binomial_upper_limit(1.0, 10.0, 0.25)
+        large = binomial_upper_limit(10.0, 100.0, 0.25)
+        assert large < small
+
+    def test_all_errors_gives_one(self):
+        assert binomial_upper_limit(10.0, 10.0, 0.25) == 1.0
+
+    def test_zero_n(self):
+        assert binomial_upper_limit(0.0, 0.0, 0.25) == 1.0
+
+    def test_quinlan_example_magnitude(self):
+        # C4.5 book: U_0.25(0, 6) ~= 0.206.
+        assert binomial_upper_limit(0.0, 6.0, 0.25) == pytest.approx(
+            0.206, abs=0.01
+        )
+
+
+class TestPessimisticPrune:
+    def test_leaf_is_fixed_point(self):
+        leaf = Leaf(np.array([3.0, 1.0]))
+        assert pessimistic_prune(leaf) is leaf
+
+    def test_collapses_useless_split(self, f2_train):
+        # A tree grown to purity on noisy data must shrink.
+        full = C45(prune=False).fit(f2_train, "group")
+        pruned_root = pessimistic_prune(full.tree_, confidence=0.25)
+        assert pruned_root.n_nodes() <= full.tree_.n_nodes()
+
+    def test_lower_confidence_prunes_more(self, f2_train):
+        full = C45(prune=False).fit(f2_train, "group")
+        mild = pessimistic_prune(full.tree_, confidence=0.45)
+        harsh = pessimistic_prune(full.tree_, confidence=0.05)
+        assert harsh.n_nodes() <= mild.n_nodes()
+
+    def test_preserves_class_counts_at_root(self, f2_train):
+        full = C45(prune=False).fit(f2_train, "group")
+        pruned = pessimistic_prune(full.tree_)
+        assert np.allclose(pruned.class_counts, full.tree_.class_counts)
+
+
+class TestReducedErrorPrune:
+    def test_never_hurts_validation_accuracy(self):
+        data = agrawal(1600, function=5, noise=0.15, random_state=21)
+        train, rest = train_test_split(data, 0.5, random_state=0)
+        valid, test = train_test_split(rest, 0.5, random_state=1)
+        model = CART().fit(train, "group")
+        y_valid = valid.class_codes("group")
+
+        def errors(tree):
+            from repro.classification.tree_model import predict_distributions
+
+            pred = predict_distributions(tree, valid.drop(["group"])).argmax(axis=1)
+            return int((pred != y_valid).sum())
+
+        pruned = reduced_error_prune(model.tree_, valid.drop(["group"]), y_valid)
+        assert errors(pruned) <= errors(model.tree_)
+        assert pruned.n_nodes() <= model.tree_.n_nodes()
+
+    def test_mismatched_labels_rejected(self, tennis):
+        from repro.core import ValidationError
+
+        model = CART().fit(tennis, "play")
+        with pytest.raises(ValidationError):
+            reduced_error_prune(
+                model.tree_, tennis.drop(["play"]), np.array([0])
+            )
+
+
+class TestCostComplexity:
+    def test_alpha_zero_keeps_tree(self, f2_train):
+        model = CART().fit(f2_train, "group")
+        same = prune_to_alpha(model.tree_, 0.0, float(f2_train.n_rows))
+        assert same.n_leaves() <= model.tree_.n_leaves()
+
+    def test_huge_alpha_collapses_to_leaf(self, f2_train):
+        model = CART().fit(f2_train, "group")
+        root = prune_to_alpha(model.tree_, 1e9, float(f2_train.n_rows))
+        assert isinstance(root, Leaf)
+
+    def test_path_is_ascending_and_shrinking(self, f2_train):
+        model = CART().fit(f2_train, "group")
+        alphas = cost_complexity_path(model.tree_)
+        assert alphas == sorted(alphas)
+        sizes = [
+            prune_to_alpha(model.tree_, a, float(f2_train.n_rows)).n_leaves()
+            for a in alphas
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[-1] == 1
+
+    def test_invalid_alpha(self, tennis):
+        from repro.core import ValidationError
+
+        model = CART().fit(tennis, "play")
+        with pytest.raises(ValidationError):
+            prune_to_alpha(model.tree_, -0.1, 14.0)

@@ -1,0 +1,133 @@
+"""Unit tests for the shared tree node structures."""
+
+import numpy as np
+import pytest
+
+from repro.classification import (
+    BinaryCategoricalSplit,
+    CategoricalSplit,
+    Leaf,
+    NumericSplit,
+    render_tree,
+)
+from repro.classification.tree_model import predict_distributions
+from repro.core import Table, categorical, numeric
+
+
+@pytest.fixture
+def numeric_tree():
+    """x <= 5 -> class 0 (4 samples), x > 5 -> class 1 (6 samples)."""
+    left = Leaf(np.array([4.0, 0.0]))
+    right = Leaf(np.array([0.0, 6.0]))
+    return NumericSplit(
+        numeric("x"), 5.0, left, right, np.array([4.0, 6.0])
+    )
+
+
+@pytest.fixture
+def categorical_tree():
+    attr = categorical("color", ["red", "green", "blue"])
+    children = {
+        0: Leaf(np.array([3.0, 0.0])),
+        1: Leaf(np.array([0.0, 2.0])),
+        2: Leaf(np.array([1.0, 1.0])),
+    }
+    return CategoricalSplit(attr, children, np.array([4.0, 3.0]))
+
+
+class TestLeaf:
+    def test_distribution_normalises(self):
+        leaf = Leaf(np.array([3.0, 1.0]))
+        assert np.allclose(leaf.distribution({}), [0.75, 0.25])
+
+    def test_empty_leaf_is_uniform(self):
+        leaf = Leaf(np.array([0.0, 0.0]))
+        assert np.allclose(leaf.distribution({}), [0.5, 0.5])
+
+    def test_counters(self):
+        leaf = Leaf(np.array([3.0, 1.0]))
+        assert leaf.n_nodes() == leaf.n_leaves() == 1
+        assert leaf.depth() == 0
+        assert leaf.majority_class == 0
+        assert leaf.training_errors() == 1.0
+
+
+class TestNumericSplit:
+    def test_routing(self, numeric_tree):
+        assert numeric_tree.distribution({"x": 3.0}).argmax() == 0
+        assert numeric_tree.distribution({"x": 7.0}).argmax() == 1
+
+    def test_boundary_goes_left(self, numeric_tree):
+        assert numeric_tree.distribution({"x": 5.0}).argmax() == 0
+
+    def test_missing_blends_by_mass(self, numeric_tree):
+        blended = numeric_tree.distribution({"x": None})
+        assert np.allclose(blended, [0.4, 0.6])
+
+    def test_nan_treated_as_missing(self, numeric_tree):
+        blended = numeric_tree.distribution({"x": float("nan")})
+        assert np.allclose(blended, [0.4, 0.6])
+
+    def test_structure_counters(self, numeric_tree):
+        assert numeric_tree.n_nodes() == 3
+        assert numeric_tree.n_leaves() == 2
+        assert numeric_tree.depth() == 1
+        assert len(list(numeric_tree.iter_nodes())) == 3
+
+
+class TestCategoricalSplit:
+    def test_routing(self, categorical_tree):
+        assert categorical_tree.distribution({"color": 0}).argmax() == 0
+        assert categorical_tree.distribution({"color": 1}).argmax() == 1
+
+    def test_unseen_code_blends(self, categorical_tree):
+        # Code 7 is not a child: falls back to mass-weighted blend.
+        blended = categorical_tree.distribution({"color": 7})
+        expected = (
+            3 / 7 * np.array([1.0, 0.0])
+            + 2 / 7 * np.array([0.0, 1.0])
+            + 2 / 7 * np.array([0.5, 0.5])
+        )
+        assert np.allclose(blended, expected)
+
+    def test_missing_blends(self, categorical_tree):
+        assert categorical_tree.distribution({"color": None}).sum() == pytest.approx(1.0)
+
+
+class TestBinaryCategoricalSplit:
+    def _tree(self):
+        attr = categorical("g", ["a", "b", "c"])
+        return BinaryCategoricalSplit(
+            attr,
+            frozenset({0, 2}),
+            Leaf(np.array([5.0, 0.0])),
+            Leaf(np.array([0.0, 5.0])),
+            np.array([5.0, 5.0]),
+        )
+
+    def test_membership_routing(self):
+        tree = self._tree()
+        assert tree.distribution({"g": 0}).argmax() == 0
+        assert tree.distribution({"g": 2}).argmax() == 0
+        assert tree.distribution({"g": 1}).argmax() == 1
+
+    def test_missing_blends(self):
+        assert np.allclose(self._tree().distribution({"g": None}), [0.5, 0.5])
+
+
+class TestWholeTableHelpers:
+    def test_predict_distributions_alignment(self, numeric_tree):
+        table = Table.from_rows(
+            [(1.0,), (9.0,), (None,)], [numeric("x")]
+        )
+        dist = predict_distributions(numeric_tree, table)
+        assert dist.shape == (3, 2)
+        assert dist[0].argmax() == 0
+        assert dist[1].argmax() == 1
+        assert np.allclose(dist[2], [0.4, 0.6])
+
+    def test_render_tree_shows_threshold_and_labels(self, numeric_tree):
+        target = categorical("y", ["no", "yes"])
+        text = render_tree(numeric_tree, target)
+        assert "x <= 5" in text
+        assert "'no'" in text and "'yes'" in text

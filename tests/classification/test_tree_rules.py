@@ -1,0 +1,91 @@
+"""Unit tests for C4.5rules-style rule simplification."""
+
+import numpy as np
+import pytest
+
+from repro.classification import C45, CART, C45Rules, Condition
+from repro.core import NotFittedError, Table, ValidationError, categorical, numeric
+from repro.datasets import agrawal, play_tennis
+from repro.preprocessing import train_test_split
+
+
+class TestCondition:
+    def test_numeric_tests(self):
+        col = np.array([1.0, 5.0, 9.0])
+        le = Condition("x", "le", threshold=5.0)
+        gt = Condition("x", "gt", threshold=5.0)
+        assert le.matches(col).tolist() == [True, True, False]
+        assert gt.matches(col).tolist() == [False, False, True]
+
+    def test_categorical_membership(self):
+        col = np.array([0, 1, 2, 1])
+        cond = Condition("c", "in", codes=frozenset({1, 2}))
+        assert cond.matches(col).tolist() == [False, True, True, True]
+
+    def test_render(self):
+        attr = categorical("c", ["a", "b", "c"])
+        single = Condition("c", "in", codes=frozenset({0}))
+        multi = Condition("c", "in", codes=frozenset({0, 2}))
+        assert single.render(attr) == "c = 'a'"
+        assert "['a', 'c']" in multi.render(attr)
+
+
+class TestC45Rules:
+    def test_tennis_rules_are_compact(self, tennis):
+        model = C45Rules().fit(tennis, "play")
+        assert model.score(tennis) >= 0.9
+        # Simplification drops conditions the tree needed structurally:
+        # fewer total conditions than leaves x depth.
+        assert model.n_conditions() <= 10
+
+    def test_rendered_rules_have_default(self, tennis):
+        model = C45Rules().fit(tennis, "play")
+        lines = model.render_rules(tennis)
+        assert lines[-1].startswith("default:")
+        assert any("outlook" in line for line in lines)
+
+    def test_competitive_with_source_tree(self):
+        data = agrawal(2000, function=5, noise=0.1, random_state=8)
+        train, test = train_test_split(data, 0.3, random_state=0)
+        tree_acc = C45(prune=True).fit(train, "group").score(test)
+        rules_acc = C45Rules().fit(train, "group").score(test)
+        assert rules_acc >= tree_acc - 0.03
+
+    def test_simplification_reduces_conditions(self):
+        data = agrawal(1500, function=3, noise=0.1, random_state=9)
+        model = C45Rules().fit(data, "group")
+        raw_conditions = sum(
+            len(r.conditions) for r in _raw_rules_of(data)
+        )
+        assert model.n_conditions() < raw_conditions
+
+    def test_custom_tree_factory(self, weather):
+        model = C45Rules(
+            make_tree=lambda: CART(max_depth=3)
+        ).fit(weather, "play")
+        assert model.score(weather) >= 0.7
+
+    def test_rules_ordered_by_quality(self, tennis):
+        model = C45Rules().fit(tennis, "play")
+        pess = [r.pessimistic for r in model.rules_]
+        assert pess == sorted(pess)
+
+    def test_predict_before_fit(self, tennis):
+        with pytest.raises(NotFittedError):
+            C45Rules().predict(tennis)
+
+    def test_empty_conditions_rule_possible(self):
+        # A constant-ish target collapses to few/no conditions.
+        rows = [(1.0, "a")] * 20 + [(2.0, "a")] * 20
+        table = Table.from_rows(
+            rows, [numeric("x"), categorical("y", ["a", "b"])]
+        )
+        model = C45Rules().fit(table, "y")
+        assert model.predict(table) == ["a"] * 40
+
+
+def _raw_rules_of(data):
+    from repro.classification.tree_rules import _paths_to_rules
+
+    tree = C45(prune=True).fit(data, "group")
+    return _paths_to_rules(tree.tree_)

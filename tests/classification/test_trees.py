@@ -1,0 +1,221 @@
+"""Unit tests shared across the tree classifiers (ID3/C4.5/CART/SLIQ)."""
+
+import numpy as np
+import pytest
+
+from repro.classification import C45, CART, ID3, SLIQ, extract_rules, render_tree
+from repro.core import Table, ValidationError, categorical, numeric
+from repro.datasets import agrawal
+from repro.preprocessing import train_test_split
+
+ALL_TREES = {
+    "id3": lambda: ID3(),
+    "c45": lambda: C45(prune=False),
+    "cart": lambda: CART(),
+    "sliq": lambda: SLIQ(),
+}
+NUMERIC_TREES = {k: v for k, v in ALL_TREES.items() if k != "id3"}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_TREES))
+class TestOnPlayTennis:
+    def test_fits_training_data_perfectly(self, name, tennis):
+        model = ALL_TREES[name]().fit(tennis, "play")
+        assert model.score(tennis) == 1.0
+
+    def test_tree_is_small(self, name, tennis):
+        model = ALL_TREES[name]().fit(tennis, "play")
+        assert model.n_leaves() <= 8
+        assert model.depth() <= 4
+
+    def test_predict_unseen_row(self, name, tennis):
+        model = ALL_TREES[name]().fit(tennis, "play")
+        row = Table.from_rows(
+            [("overcast", "cool", "high", "weak", None)],
+            tennis.attributes,
+        )
+        assert model.predict(row) == ["yes"]  # overcast always plays
+
+    def test_proba_sums_to_one(self, name, tennis):
+        model = ALL_TREES[name]().fit(tennis, "play")
+        proba = model.predict_proba(tennis)
+        assert proba.shape == (14, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+@pytest.mark.parametrize("name", sorted(NUMERIC_TREES))
+class TestOnNumericData:
+    def test_weather_numeric(self, name, weather):
+        model = NUMERIC_TREES[name]().fit(weather, "play")
+        assert model.score(weather) == 1.0
+
+    def test_generalises_on_f2(self, name, f2_train, f2_test):
+        model = NUMERIC_TREES[name]().fit(f2_train, "group")
+        assert model.score(f2_test) > 0.85
+
+    def test_threshold_split_learns_boundary(self, name):
+        rows = [(float(v), "lo" if v < 50 else "hi") for v in range(100)]
+        table = Table.from_rows(
+            rows, [numeric("x"), categorical("y", ["lo", "hi"])]
+        )
+        model = NUMERIC_TREES[name]().fit(table, "y")
+        assert model.score(table) == 1.0
+        assert model.depth() == 1  # one threshold suffices
+
+
+class TestID3Specifics:
+    def test_rejects_numeric_attributes(self, weather):
+        with pytest.raises(ValidationError):
+            ID3().fit(weather, "play")
+
+    def test_rejects_missing_values(self):
+        table = Table.from_rows(
+            [("a", "x"), (None, "y")],
+            [categorical("f", ["a"]), categorical("y", ["x", "y"])],
+        )
+        with pytest.raises(ValidationError):
+            ID3().fit(table, "y")
+
+    def test_max_depth_limits_tree(self, tennis):
+        model = ID3(max_depth=1).fit(tennis, "play")
+        assert model.depth() <= 1
+
+    def test_root_split_is_outlook(self, tennis):
+        # Information gain picks outlook at the root (Quinlan's example).
+        model = ID3().fit(tennis, "play")
+        assert model.tree_.attribute.name == "outlook"
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            ID3(max_depth=0)
+        with pytest.raises(ValidationError):
+            ID3(min_samples_split=1)
+
+
+class TestC45Specifics:
+    def test_handles_missing_training_values(self):
+        rows = [
+            ("sunny", "no"), ("sunny", "no"), (None, "no"),
+            ("rain", "yes"), ("rain", "yes"), (None, "yes"),
+        ]
+        table = Table.from_rows(
+            rows,
+            [categorical("outlook", ["sunny", "rain"]),
+             categorical("play", ["no", "yes"])],
+        )
+        model = C45(prune=False).fit(table, "play")
+        complete = table.mask(table.column("outlook") >= 0)
+        assert model.score(complete) == 1.0
+
+    def test_handles_missing_at_predict_time(self, tennis):
+        model = C45(prune=False).fit(tennis, "play")
+        row = Table.from_rows(
+            [(None, "mild", "high", "weak", None)], tennis.attributes
+        )
+        assert model.predict(row)[0] in ("yes", "no")
+
+    def test_pruned_tree_not_larger(self, f2_train):
+        full = C45(prune=False).fit(f2_train, "group")
+        pruned = C45(prune=True).fit(f2_train, "group")
+        assert pruned.n_nodes() <= full.n_nodes()
+
+    def test_pruning_helps_on_noisy_data(self):
+        train = agrawal(1200, function=5, noise=0.2, random_state=3)
+        test = agrawal(800, function=5, noise=0.0, random_state=4)
+        full = C45(prune=False).fit(train, "group")
+        pruned = C45(prune=True).fit(train, "group")
+        # Pruning must not hurt much and usually helps under noise.
+        assert pruned.score(test) >= full.score(test) - 0.02
+
+    def test_numeric_attribute_reusable_deeper(self):
+        # x < 25 -> a; 25 <= x < 75 -> b; x >= 75 -> a needs two cuts on x.
+        rows = [
+            (float(v), "a" if v < 25 or v >= 75 else "b") for v in range(100)
+        ]
+        table = Table.from_rows(
+            rows, [numeric("x"), categorical("y", ["a", "b"])]
+        )
+        model = C45(prune=False).fit(table, "y")
+        assert model.score(table) == 1.0
+        assert model.depth() >= 2
+
+
+class TestCARTSpecifics:
+    def test_binary_subset_split(self):
+        # Classes {a, c} vs {b, d} require a subset split.
+        rows = [(cat, "x" if cat in "ac" else "y") for cat in "abcdabcd"]
+        table = Table.from_rows(
+            rows,
+            [categorical("f", ["a", "b", "c", "d"]),
+             categorical("target", ["x", "y"])],
+        )
+        model = CART().fit(table, "target")
+        assert model.score(table) == 1.0
+        assert model.depth() == 1
+
+    def test_ccp_alpha_shrinks_tree(self, f2_train):
+        full = CART(ccp_alpha=0.0).fit(f2_train, "group")
+        pruned = CART(ccp_alpha=0.02).fit(f2_train, "group")
+        assert pruned.n_leaves() < full.n_leaves()
+
+    def test_min_samples_leaf_respected(self, f2_train):
+        model = CART(min_samples_leaf=40).fit(f2_train, "group")
+        for node in model.tree_.iter_nodes():
+            if node.n_leaves() == 1 and node.n_nodes() == 1:
+                assert node.training_mass >= 40
+
+    def test_entropy_criterion_works(self, weather):
+        model = CART(criterion="entropy").fit(weather, "play")
+        assert model.score(weather) == 1.0
+
+    def test_invalid_criterion(self):
+        with pytest.raises(ValidationError):
+            CART(criterion="twoing")
+
+
+class TestSLIQSpecifics:
+    def test_matches_cart_accuracy_closely(self, f2_train, f2_test):
+        cart = CART(min_samples_leaf=5).fit(f2_train, "group")
+        sliq = SLIQ(min_samples_leaf=5).fit(f2_train, "group")
+        assert abs(cart.score(f2_test) - sliq.score(f2_test)) < 0.05
+
+    def test_rejects_missing(self):
+        table = Table.from_rows(
+            [(1.0, "x"), (None, "y")],
+            [numeric("f"), categorical("y", ["x", "y"])],
+        )
+        with pytest.raises(ValidationError):
+            SLIQ().fit(table, "y")
+
+    def test_max_depth(self, f2_train):
+        model = SLIQ(max_depth=3).fit(f2_train, "group")
+        assert model.depth() <= 3
+
+    def test_pruning_option(self, f2_train):
+        unpruned = SLIQ(prune=False).fit(f2_train, "group")
+        pruned = SLIQ(prune=True).fit(f2_train, "group")
+        assert pruned.n_nodes() <= unpruned.n_nodes()
+
+
+class TestTreeIntrospection:
+    def test_render_tree_mentions_attributes(self, tennis):
+        model = ID3().fit(tennis, "play")
+        text = render_tree(model.tree_, tennis.attribute("play"))
+        assert "outlook" in text
+        assert "'yes'" in text
+
+    def test_extract_rules_covers_all_leaves(self, tennis):
+        model = ID3().fit(tennis, "play")
+        rules = extract_rules(model.tree_, tennis.attribute("play"))
+        assert len(rules) == model.n_leaves()
+        labels = {label for _, label in rules}
+        assert labels == {"yes", "no"}
+
+    def test_extract_rules_numeric_conditions(self, weather):
+        model = CART().fit(weather, "play")
+        rules = extract_rules(model.tree_, weather.attribute("play"))
+        assert any(
+            "<=" in condition
+            for conditions, _ in rules
+            for condition in conditions
+        )

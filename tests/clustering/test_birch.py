@@ -1,0 +1,92 @@
+"""Unit tests for BIRCH and its CF arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import CF, Birch
+from repro.core import ValidationError
+from repro.datasets import gaussian_grid
+from repro.evaluation import adjusted_rand_index
+
+
+class TestCF:
+    def test_of_point(self):
+        cf = CF.of_point(np.array([1.0, 2.0]))
+        assert cf.n == 1
+        assert np.allclose(cf.centroid, [1.0, 2.0])
+        assert cf.radius == pytest.approx(0.0)
+
+    def test_additivity(self):
+        a = CF.of_point(np.array([0.0, 0.0]))
+        b = CF.of_point(np.array([2.0, 0.0]))
+        merged = a.merged(b)
+        assert merged.n == 2
+        assert np.allclose(merged.centroid, [1.0, 0.0])
+        assert merged.radius == pytest.approx(1.0)
+
+    def test_merge_matches_direct_statistics(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(50, 3))
+        total = CF.of_point(points[0])
+        for p in points[1:]:
+            total.add(CF.of_point(p))
+        assert np.allclose(total.centroid, points.mean(axis=0))
+        rms = np.sqrt(((points - points.mean(axis=0)) ** 2).sum(axis=1).mean())
+        assert total.radius == pytest.approx(rms)
+
+
+class TestBirch:
+    def test_recovers_grid(self):
+        X, y = gaussian_grid(600, grid_side=2, random_state=0)
+        model = Birch(threshold=1.0, n_clusters=4, random_state=0).fit(X)
+        assert adjusted_rand_index(model.labels_, y) > 0.95
+
+    def test_compression_reduces_representation(self):
+        X, _ = gaussian_grid(2000, grid_side=3, random_state=1)
+        model = Birch(threshold=0.8, n_clusters=9, random_state=0).fit(X)
+        assert len(model.subcluster_centers_) < len(X) / 4
+
+    def test_tight_threshold_keeps_more_subclusters(self):
+        X, _ = gaussian_grid(800, grid_side=2, random_state=2)
+        loose = Birch(threshold=2.0, n_clusters=4, random_state=0).fit(X)
+        tight = Birch(threshold=0.2, n_clusters=4, random_state=0).fit(X)
+        assert len(tight.subcluster_centers_) > len(loose.subcluster_centers_)
+
+    def test_cf_mass_is_conserved(self):
+        X, _ = gaussian_grid(500, grid_side=2, random_state=3)
+        model = Birch(threshold=0.7, n_clusters=4, random_state=0).fit(X)
+        total = sum(cf.n for cf in model._leaf_entries())
+        assert total == pytest.approx(len(X))
+
+    def test_agglomerative_global_phase(self):
+        X, y = gaussian_grid(600, grid_side=2, random_state=4)
+        model = Birch(
+            threshold=1.0, n_clusters=4,
+            global_clusterer="agglomerative", random_state=0,
+        ).fit(X)
+        assert adjusted_rand_index(model.labels_, y) > 0.9
+
+    def test_predict_new_points(self):
+        X, _ = gaussian_grid(400, grid_side=2, random_state=5)
+        model = Birch(threshold=1.0, n_clusters=4, random_state=0).fit(X)
+        assert (model.predict(X) == model.labels_).all()
+
+    def test_small_branching_factor_still_correct(self):
+        X, y = gaussian_grid(400, grid_side=2, random_state=6)
+        model = Birch(
+            threshold=1.0, branching_factor=3, n_clusters=4, random_state=0
+        ).fit(X)
+        assert adjusted_rand_index(model.labels_, y) > 0.9
+
+    def test_identical_points(self):
+        X = np.zeros((40, 2))
+        model = Birch(threshold=0.5, n_clusters=2, random_state=0).fit(X)
+        assert len(set(model.labels_.tolist())) <= 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            Birch(threshold=0.0)
+        with pytest.raises(ValidationError):
+            Birch(branching_factor=1)
+        with pytest.raises(ValidationError):
+            Birch(global_clusterer="dbscan")

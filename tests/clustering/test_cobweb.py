@@ -1,0 +1,132 @@
+"""Unit tests for COBWEB conceptual clustering."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import Cobweb, CobwebNode, category_utility
+from repro.core import Table, ValidationError, categorical, numeric
+from repro.evaluation import adjusted_rand_index
+
+
+def _profile_table(n_per=30, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    profiles = [
+        ("small", "red", "light"),
+        ("large", "blue", "heavy"),
+        ("medium", "green", "mid"),
+    ]
+    rows, truth = [], []
+    for k, profile in enumerate(profiles):
+        for _ in range(n_per):
+            size, color, weight = profile
+            if noise and rng.random() < noise:
+                color = ["red", "blue", "green"][int(rng.integers(3))]
+            rows.append((size, color, weight))
+            truth.append(k)
+    order = rng.permutation(len(rows))
+    rows = [rows[i] for i in order]
+    truth = np.asarray(truth)[order]
+    table = Table.from_rows(rows, [
+        categorical("size", ["small", "medium", "large"]),
+        categorical("color", ["red", "blue", "green"]),
+        categorical("weight", ["light", "mid", "heavy"]),
+    ])
+    return table, truth
+
+
+class TestCategoryUtility:
+    def test_perfect_two_way_split(self):
+        a = CobwebNode([2])
+        a.add_counts(np.array([0]))
+        b = CobwebNode([2])
+        b.add_counts(np.array([1]))
+        parent = CobwebNode([2])
+        parent.add_counts(np.array([0]))
+        parent.add_counts(np.array([1]))
+        assert category_utility(parent, [a, b]) == pytest.approx(0.25)
+
+    def test_uninformative_split_is_zero(self):
+        parent = CobwebNode([2])
+        children = []
+        for _ in range(2):
+            child = CobwebNode([2])
+            child.add_counts(np.array([0]))
+            child.add_counts(np.array([1]))
+            children.append(child)
+            parent.add_counts(np.array([0]))
+            parent.add_counts(np.array([1]))
+        assert category_utility(parent, children) == pytest.approx(0.0)
+
+    def test_empty_partition(self):
+        parent = CobwebNode([2])
+        assert category_utility(parent, []) == 0.0
+
+
+class TestCobweb:
+    def test_recovers_clean_profiles(self):
+        table, truth = _profile_table(noise=0.0, seed=1)
+        model = Cobweb().fit(table)
+        assert model.n_clusters_ == 3
+        assert adjusted_rand_index(model.labels_, truth) == pytest.approx(1.0)
+
+    def test_robust_to_attribute_noise(self):
+        table, truth = _profile_table(noise=0.15, seed=2)
+        model = Cobweb().fit(table)
+        assert adjusted_rand_index(model.labels_, truth) > 0.8
+
+    def test_every_row_assigned(self):
+        table, _ = _profile_table(seed=3)
+        labels = Cobweb().fit_predict(table)
+        assert (labels >= 0).all()
+        assert len(labels) == table.n_rows
+
+    def test_root_counts_conserved(self):
+        table, _ = _profile_table(seed=4)
+        model = Cobweb().fit(table)
+        assert model.root_.n == table.n_rows
+        for counts in model.root_.value_counts:
+            assert counts.sum() == table.n_rows
+
+    def test_single_row(self):
+        table = Table.from_rows(
+            [("a",)], [categorical("f", ["a"])]
+        )
+        model = Cobweb().fit(table)
+        assert model.labels_.tolist() == [0]
+        assert model.n_clusters_ == 1
+
+    def test_identical_rows_single_cluster_dominates(self):
+        table = Table.from_rows(
+            [("a", "x")] * 20,
+            [categorical("f", ["a"]), categorical("g", ["x"])],
+        )
+        model = Cobweb().fit(table)
+        # With zero attribute information no split earns utility, so
+        # the flat reading keeps everything in very few clusters.
+        assert model.n_clusters_ <= 2
+
+    def test_rejects_numeric(self):
+        table = Table.from_rows([(1.0,)], [numeric("x")])
+        with pytest.raises(ValidationError):
+            Cobweb().fit(table)
+
+    def test_rejects_missing(self):
+        table = Table.from_rows([(None,)], [categorical("f", ["a"])])
+        with pytest.raises(ValidationError):
+            Cobweb().fit(table)
+
+    def test_order_insensitivity_on_clean_data(self):
+        table, truth = _profile_table(seed=5)
+        reversed_table = table.take(np.arange(table.n_rows)[::-1])
+        a = Cobweb().fit(table)
+        b = Cobweb().fit(reversed_table)
+        # Merge/split make the flat partition agree across orders.
+        assert adjusted_rand_index(
+            a.labels_, b.labels_[::-1]
+        ) == pytest.approx(1.0)
+
+    def test_hierarchy_statistics(self):
+        table, _ = _profile_table(seed=6)
+        model = Cobweb().fit(table)
+        assert model.root_.n_concepts() > 3
+        assert model.root_.depth() >= 1

@@ -1,0 +1,74 @@
+"""Unit tests for DBSCAN."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import DBSCAN, KMeans
+from repro.core import ValidationError
+from repro.datasets import gaussian_blobs, two_moons, two_rings
+from repro.evaluation import adjusted_rand_index
+
+
+class TestDBSCAN:
+    def test_separates_rings_where_kmeans_fails(self):
+        X, y = two_rings(400, noise=0.05, random_state=0)
+        db = DBSCAN(eps=1.3, min_samples=5).fit(X)
+        clustered = db.labels_ >= 0
+        assert db.n_clusters_ == 2
+        assert adjusted_rand_index(db.labels_[clustered], y[clustered]) > 0.95
+        km = KMeans(2, random_state=0).fit(X)
+        assert adjusted_rand_index(km.labels_, y) < 0.5
+
+    def test_separates_moons(self):
+        X, y = two_moons(400, noise=0.05, random_state=1)
+        db = DBSCAN(eps=0.25, min_samples=5).fit(X)
+        assert db.n_clusters_ == 2
+
+    def test_marks_outliers_as_noise(self):
+        X, _ = gaussian_blobs(
+            200, centers=np.array([[0.0, 0.0]]), cluster_std=0.5,
+            random_state=2,
+        )
+        X = np.concatenate([X, [[50.0, 50.0], [-50.0, 50.0]]])
+        db = DBSCAN(eps=1.0, min_samples=5).fit(X)
+        assert db.labels_[-1] == -1 and db.labels_[-2] == -1
+        assert db.n_clusters_ == 1
+
+    def test_all_noise_when_eps_tiny(self):
+        X, _ = gaussian_blobs(100, centers=2, random_state=3)
+        db = DBSCAN(eps=1e-9, min_samples=3).fit(X)
+        assert db.n_clusters_ == 0
+        assert (db.labels_ == -1).all()
+
+    def test_single_cluster_when_eps_huge(self):
+        X, _ = gaussian_blobs(100, centers=3, random_state=4)
+        db = DBSCAN(eps=1e6, min_samples=3).fit(X)
+        assert db.n_clusters_ == 1
+
+    def test_core_points_have_dense_neighbourhoods(self):
+        X, _ = two_moons(300, random_state=5)
+        db = DBSCAN(eps=0.3, min_samples=6).fit(X)
+        for idx in db.core_sample_indices_[:20]:
+            d = np.sqrt(((X - X[idx]) ** 2).sum(axis=1))
+            assert (d <= 0.3).sum() >= 6
+
+    def test_grid_matches_brute_force(self):
+        X, _ = two_moons(250, random_state=6)
+        grid = DBSCAN(eps=0.3, min_samples=5).fit(X)
+        brute = DBSCAN(eps=0.3, min_samples=5, max_grid_dimensions=0).fit(X)
+        # Same core points and same partition (labels may permute).
+        assert (grid.core_sample_indices_ == brute.core_sample_indices_).all()
+        assert adjusted_rand_index(grid.labels_, brute.labels_) == pytest.approx(1.0)
+        assert grid.n_clusters_ == brute.n_clusters_
+
+    def test_min_samples_one_clusters_everything(self):
+        X = np.array([[0.0, 0.0], [100.0, 0.0]])
+        db = DBSCAN(eps=1.0, min_samples=1).fit(X)
+        assert db.n_clusters_ == 2
+        assert (db.labels_ >= 0).all()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            DBSCAN(eps=0.0)
+        with pytest.raises(ValidationError):
+            DBSCAN(min_samples=0)

@@ -1,0 +1,51 @@
+"""Unit tests for the distance kernels."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import euclidean, nearest_center, pairwise_distances
+from repro.core import ValidationError
+
+
+class TestEuclidean:
+    def test_pythagoras(self):
+        assert euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_zero_distance(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert euclidean(v, v) == 0.0
+
+
+class TestPairwise:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(20, 3))
+        Y = rng.normal(size=(15, 3))
+        d = pairwise_distances(X, Y)
+        for i in range(20):
+            for j in range(15):
+                assert d[i, j] == pytest.approx(euclidean(X[i], Y[j]))
+
+    def test_self_distances_zero_diagonal(self):
+        X = np.random.default_rng(1).normal(size=(10, 2))
+        d = pairwise_distances(X)
+        # The expanded quadratic form carries ~1e-8 round-off.
+        assert np.allclose(np.diag(d), 0.0, atol=1e-6)
+
+    def test_symmetry(self):
+        X = np.random.default_rng(2).normal(size=(12, 4))
+        d = pairwise_distances(X)
+        assert np.allclose(d, d.T)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            pairwise_distances(np.zeros(3))
+
+
+class TestNearestCenter:
+    def test_assignment_and_squared_distance(self):
+        X = np.array([[0.0], [9.0]])
+        centers = np.array([[1.0], [10.0]])
+        labels, sq = nearest_center(X, centers)
+        assert labels.tolist() == [0, 1]
+        assert sq.tolist() == [1.0, 1.0]

@@ -1,0 +1,63 @@
+"""Unit tests for agglomerative clustering."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import Agglomerative
+from repro.core import ValidationError
+from repro.datasets import two_rings
+from repro.evaluation import adjusted_rand_index
+
+
+class TestAgglomerative:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average", "ward"])
+    def test_recovers_blobs(self, linkage, blobs4):
+        X, y = blobs4
+        model = Agglomerative(4, linkage=linkage).fit(X)
+        assert adjusted_rand_index(model.labels_, y) > 0.9
+
+    def test_single_linkage_handles_rings(self):
+        X, y = two_rings(240, noise=0.05, random_state=0)
+        single = Agglomerative(2, linkage="single").fit(X)
+        ward = Agglomerative(2, linkage="ward").fit(X)
+        assert adjusted_rand_index(single.labels_, y) > 0.95
+        # Ward cannot separate concentric rings.
+        assert adjusted_rand_index(ward.labels_, y) < 0.5
+
+    def test_merges_record_shape(self, blobs4):
+        X, _ = blobs4
+        model = Agglomerative(4).fit(X)
+        assert model.merges_.shape == (len(X) - 1, 4)
+
+    def test_merge_heights_monotone_for_complete(self, blobs4):
+        # Complete/average/ward linkage cannot produce inversions on
+        # Euclidean data.
+        X, _ = blobs4
+        model = Agglomerative(1, linkage="complete").fit(X)
+        heights = model.merges_[:, 2]
+        assert (np.diff(heights) >= -1e-9).all()
+
+    def test_n_clusters_one_and_n(self):
+        X = np.array([[0.0], [1.0], [5.0]])
+        assert set(Agglomerative(1).fit(X).labels_.tolist()) == {0}
+        assert len(set(Agglomerative(3).fit(X).labels_.tolist())) == 3
+
+    def test_two_points(self):
+        X = np.array([[0.0], [1.0]])
+        model = Agglomerative(1).fit(X)
+        assert model.merges_.shape == (1, 4)
+        assert model.merges_[0, 3] == 2
+
+    def test_invalid_linkage(self):
+        with pytest.raises(ValidationError):
+            Agglomerative(2, linkage="centroid")
+
+    def test_k_exceeds_n(self):
+        with pytest.raises(ValidationError):
+            Agglomerative(5).fit(np.zeros((2, 2)))
+
+    def test_obvious_pair_merges_first(self):
+        X = np.array([[0.0, 0.0], [0.1, 0.0], [10.0, 0.0], [20.0, 0.0]])
+        model = Agglomerative(1, linkage="single").fit(X)
+        first = model.merges_[0]
+        assert {int(first[0]), int(first[1])} == {0, 1}

@@ -1,0 +1,86 @@
+"""Unit tests for KMeans."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMeans
+from repro.core import NotFittedError, ValidationError
+from repro.evaluation import adjusted_rand_index, sse
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, blobs4):
+        X, y = blobs4
+        model = KMeans(4, random_state=0).fit(X)
+        assert adjusted_rand_index(model.labels_, y) == pytest.approx(1.0)
+
+    def test_inertia_matches_sse(self, blobs4):
+        X, _ = blobs4
+        model = KMeans(4, random_state=0).fit(X)
+        assert model.inertia_ == pytest.approx(
+            sse(X, model.labels_, model.cluster_centers_)
+        )
+
+    def test_more_clusters_lower_inertia(self, blobs4):
+        X, _ = blobs4
+        i2 = KMeans(2, random_state=0).fit(X).inertia_
+        i8 = KMeans(8, random_state=0).fit(X).inertia_
+        assert i8 < i2
+
+    def test_k_equals_n_gives_zero_inertia(self):
+        X = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        model = KMeans(3, random_state=0).fit(X)
+        assert model.inertia_ == pytest.approx(0.0)
+
+    def test_reproducible_with_seed(self, blobs4):
+        X, _ = blobs4
+        a = KMeans(4, random_state=7).fit(X)
+        b = KMeans(4, random_state=7).fit(X)
+        assert (a.labels_ == b.labels_).all()
+
+    def test_predict_assigns_nearest_center(self, blobs4):
+        X, _ = blobs4
+        model = KMeans(4, random_state=0).fit(X)
+        assert (model.predict(X) == model.labels_).all()
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KMeans(2).predict(np.zeros((2, 2)))
+
+    def test_transform_shape(self, blobs4):
+        X, _ = blobs4
+        model = KMeans(4, random_state=0).fit(X)
+        assert model.transform(X).shape == (len(X), 4)
+
+    @pytest.mark.parametrize("init", ["kmeans++", "forgy", "random_partition"])
+    def test_all_inits_work(self, init, blobs4):
+        X, y = blobs4
+        model = KMeans(4, init=init, n_init=8, random_state=1).fit(X)
+        assert adjusted_rand_index(model.labels_, y) > 0.95
+
+    def test_macqueen_matches_lloyd_on_easy_data(self, blobs4):
+        X, y = blobs4
+        model = KMeans(4, algorithm="macqueen", random_state=0).fit(X)
+        assert adjusted_rand_index(model.labels_, y) > 0.95
+
+    def test_k_larger_than_n_rejected(self):
+        with pytest.raises(ValidationError):
+            KMeans(10).fit(np.zeros((3, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            KMeans(0)
+        with pytest.raises(ValidationError):
+            KMeans(2, init="best")
+        with pytest.raises(ValidationError):
+            KMeans(2, algorithm="elkan")
+
+    def test_duplicate_points_do_not_crash(self):
+        X = np.zeros((20, 2))
+        model = KMeans(3, random_state=0).fit(X)
+        assert model.inertia_ == pytest.approx(0.0)
+
+    def test_labels_cover_range(self, blobs4):
+        X, _ = blobs4
+        labels = KMeans(4, random_state=0).fit_predict(X)
+        assert set(labels.tolist()) == {0, 1, 2, 3}

@@ -1,0 +1,117 @@
+"""Unit tests for PAM, CLARA and CLARANS."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import CLARA, CLARANS, PAM
+from repro.clustering.distance import pairwise_distances
+from repro.core import ValidationError
+from repro.evaluation import adjusted_rand_index
+
+
+class TestPAM:
+    def test_recovers_blobs(self, blobs4):
+        X, y = blobs4
+        model = PAM(4).fit(X)
+        assert adjusted_rand_index(model.labels_, y) > 0.95
+
+    def test_medoids_are_data_points(self, blobs4):
+        X, _ = blobs4
+        model = PAM(4).fit(X)
+        for idx, center in zip(model.medoid_indices_, model.cluster_centers_):
+            assert np.allclose(X[idx], center)
+
+    def test_cost_is_total_nearest_distance(self, blobs4):
+        X, _ = blobs4
+        model = PAM(4).fit(X)
+        d = pairwise_distances(X, model.cluster_centers_)
+        assert model.cost_ == pytest.approx(d.min(axis=1).sum())
+
+    def test_swap_phase_cannot_worsen_build(self, blobs4):
+        X, _ = blobs4
+        built_only = PAM(4, max_swaps=0).fit(X)
+        full = PAM(4).fit(X)
+        assert full.cost_ <= built_only.cost_ + 1e-9
+
+    def test_single_cluster(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        model = PAM(1).fit(X)
+        # The 1-medoid of {0,1,10} is the point 1 (total distance 10).
+        assert model.medoid_indices_.tolist() == [1]
+
+    def test_outlier_gets_isolated_not_averaged(self):
+        # With k=3 the optimal medoid set is one per cluster plus the
+        # outlier itself; a centroid method would instead drag a mean
+        # into empty space.  Medoids are always real data points.
+        X = np.concatenate([
+            np.random.default_rng(0).normal(0, 0.3, (30, 2)),
+            np.random.default_rng(1).normal(6, 0.3, (30, 2)),
+            np.array([[1000.0, 1000.0]]),  # one extreme outlier
+        ])
+        model = PAM(3).fit(X)
+        centers = sorted(model.cluster_centers_.tolist())
+        assert np.allclose(centers[-1], [1000.0, 1000.0])
+        assert np.abs(centers[0]).max() < 2.0
+        assert np.abs(np.asarray(centers[1]) - 6.0).max() < 2.0
+
+    def test_k_exceeds_n(self):
+        with pytest.raises(ValidationError):
+            PAM(5).fit(np.zeros((3, 2)))
+
+
+class TestCLARA:
+    def test_recovers_blobs(self, blobs4):
+        X, y = blobs4
+        model = CLARA(4, random_state=0).fit(X)
+        assert adjusted_rand_index(model.labels_, y) > 0.95
+
+    def test_cost_close_to_pam(self, blobs4):
+        X, _ = blobs4
+        pam_cost = PAM(4).fit(X).cost_
+        clara_cost = CLARA(4, random_state=0).fit(X).cost_
+        assert clara_cost <= pam_cost * 1.25
+
+    def test_custom_sample_size(self, blobs4):
+        X, y = blobs4
+        model = CLARA(4, sample_size=60, random_state=0).fit(X)
+        assert adjusted_rand_index(model.labels_, y) > 0.9
+
+    def test_sample_size_below_k_rejected(self):
+        with pytest.raises(ValidationError):
+            CLARA(5, sample_size=3)
+
+    def test_reproducible(self, blobs4):
+        X, _ = blobs4
+        a = CLARA(4, random_state=3).fit(X).medoid_indices_
+        b = CLARA(4, random_state=3).fit(X).medoid_indices_
+        assert (a == b).all()
+
+
+class TestCLARANS:
+    def test_recovers_blobs(self, blobs4):
+        X, y = blobs4
+        model = CLARANS(4, random_state=0).fit(X)
+        assert adjusted_rand_index(model.labels_, y) > 0.95
+
+    def test_cost_close_to_pam(self, blobs4):
+        X, _ = blobs4
+        pam_cost = PAM(4).fit(X).cost_
+        clarans_cost = CLARANS(4, random_state=0).fit(X).cost_
+        assert clarans_cost <= pam_cost * 1.25
+
+    def test_more_descents_never_worse_in_expectation(self, blobs4):
+        # With the same seed, num_local=4 explores a superset of starts.
+        X, _ = blobs4
+        one = CLARANS(4, num_local=1, random_state=5).fit(X).cost_
+        four = CLARANS(4, num_local=4, random_state=5).fit(X).cost_
+        assert four <= one * 1.2
+
+    def test_k_exceeds_n(self):
+        with pytest.raises(ValidationError):
+            CLARANS(5).fit(np.zeros((3, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            CLARANS(2, num_local=0)
+        with pytest.raises(ValidationError):
+            CLARANS(2, max_neighbor=0)

@@ -1,0 +1,87 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SequenceDatabase, TransactionDatabase
+from repro.datasets import (
+    agrawal,
+    gaussian_blobs,
+    play_tennis,
+    quest_basket,
+    quest_sequences,
+    weather_numeric,
+)
+
+
+@pytest.fixture
+def small_db() -> TransactionDatabase:
+    """Five-transaction toy basket from the Apriori paper family."""
+    return TransactionDatabase(
+        [
+            (0, 1, 4),
+            (1, 3),
+            (1, 2),
+            (0, 1, 3),
+            (0, 2),
+        ]
+    )
+
+
+@pytest.fixture
+def medium_db() -> TransactionDatabase:
+    """Deterministic Quest workload small enough for exact oracles."""
+    return quest_basket(
+        300, avg_transaction_length=6, avg_pattern_length=3,
+        n_items=40, n_patterns=25, random_state=42,
+    )
+
+
+@pytest.fixture
+def small_seq_db() -> SequenceDatabase:
+    """The worked example of the AprioriAll paper (customer sequences)."""
+    return SequenceDatabase(
+        [
+            [(3,), (9,)],
+            [(1, 2), (3,), (4, 6, 7)],
+            [(3, 5, 7)],
+            [(3,), (4, 7), (9,)],
+            [(9,)],
+        ]
+    )
+
+
+@pytest.fixture
+def medium_seq_db() -> SequenceDatabase:
+    return quest_sequences(
+        120, avg_elements=5, avg_items_per_element=2,
+        n_items=30, random_state=9,
+    )
+
+
+@pytest.fixture
+def tennis():
+    return play_tennis()
+
+
+@pytest.fixture
+def weather():
+    return weather_numeric()
+
+
+@pytest.fixture
+def f2_train():
+    return agrawal(1500, function=2, noise=0.05, random_state=10)
+
+
+@pytest.fixture
+def f2_test():
+    return agrawal(600, function=2, noise=0.0, random_state=11)
+
+
+@pytest.fixture
+def blobs4():
+    centers = np.array([[0.0, 0.0], [8.0, 0.0], [0.0, 8.0], [8.0, 8.0]])
+    return gaussian_blobs(240, centers=centers, cluster_std=0.7, random_state=5)

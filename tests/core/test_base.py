@@ -1,0 +1,101 @@
+"""Unit tests for repro.core.base (estimator protocol and validation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Classifier,
+    NotFittedError,
+    Table,
+    ValidationError,
+    categorical,
+    numeric,
+)
+from repro.core.base import check_in_range, check_matrix
+
+
+class _ConstantClassifier(Classifier):
+    """Minimal concrete classifier used to exercise the base protocol."""
+
+    def _fit(self, features, y, target):
+        self._code = int(np.bincount(y).argmax())
+
+    def _predict_codes(self, features):
+        return np.full(features.n_rows, self._code, dtype=np.int64)
+
+
+def _table():
+    return Table.from_rows(
+        [(1.0, "a"), (2.0, "a"), (3.0, "b")],
+        [numeric("x"), categorical("y", ["a", "b"])],
+    )
+
+
+class TestClassifierProtocol:
+    def test_fit_returns_self(self):
+        model = _ConstantClassifier()
+        assert model.fit(_table(), "y") is model
+
+    def test_predict_decodes_labels(self):
+        model = _ConstantClassifier().fit(_table(), "y")
+        assert model.predict(_table()) == ["a", "a", "a"]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            _ConstantClassifier().predict(_table())
+
+    def test_predict_ignores_target_column_presence(self):
+        model = _ConstantClassifier().fit(_table(), "y")
+        without = _table().drop(["y"])
+        assert model.predict(without) == model.predict(_table())
+
+    def test_default_proba_is_one_hot(self):
+        model = _ConstantClassifier().fit(_table(), "y")
+        proba = model.predict_proba(_table())
+        assert proba.shape == (3, 2)
+        assert (proba.sum(axis=1) == 1.0).all()
+
+    def test_score(self):
+        model = _ConstantClassifier().fit(_table(), "y")
+        assert model.score(_table()) == pytest.approx(2 / 3)
+
+    def test_fit_rejects_numeric_target(self):
+        with pytest.raises(ValidationError):
+            _ConstantClassifier().fit(_table(), "x")
+
+    def test_fit_rejects_empty_table(self):
+        empty = _table().take([])
+        with pytest.raises(ValidationError):
+            _ConstantClassifier().fit(empty, "y")
+
+
+class TestValidators:
+    def test_check_in_range_accepts_bounds(self):
+        check_in_range("p", 0.0, 0.0, 1.0)
+        check_in_range("p", 1.0, 0.0, 1.0)
+
+    def test_check_in_range_exclusive(self):
+        with pytest.raises(ValidationError):
+            check_in_range("p", 0.0, 0.0, 1.0, low_inclusive=False)
+
+    def test_check_in_range_high(self):
+        with pytest.raises(ValidationError):
+            check_in_range("p", 1.5, 0.0, 1.0)
+
+    def test_check_matrix_promotes_1d(self):
+        assert check_matrix([1.0, 2.0]).shape == (2, 1)
+
+    def test_check_matrix_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_matrix(np.array([[np.nan]]))
+
+    def test_check_matrix_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_matrix(np.empty((0, 2)))
+
+    def test_check_matrix_allows_empty_when_asked(self):
+        assert check_matrix(np.empty((0, 2)), allow_empty=True).shape == (0, 2)
+
+    def test_check_matrix_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            check_matrix(np.zeros((2, 2, 2)))

@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.itemsets."""
+
+import pytest
+
+from repro.core import ValidationError
+from repro.core.itemsets import (
+    FrequentItemsets,
+    as_itemset,
+    contains,
+    is_canonical,
+    proper_subsets,
+    subsets_of_size,
+)
+
+
+class TestAsItemset:
+    def test_sorts_input(self):
+        assert as_itemset([3, 1, 2]) == (1, 2, 3)
+
+    def test_empty_is_allowed(self):
+        assert as_itemset([]) == ()
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError):
+            as_itemset([1, 1, 2])
+
+    def test_single_item(self):
+        assert as_itemset([7]) == (7,)
+
+
+class TestIsCanonical:
+    def test_sorted_unique_is_canonical(self):
+        assert is_canonical((1, 2, 9))
+
+    def test_unsorted_is_not(self):
+        assert not is_canonical((2, 1))
+
+    def test_duplicates_are_not(self):
+        assert not is_canonical((1, 1))
+
+    def test_empty_and_singleton(self):
+        assert is_canonical(())
+        assert is_canonical((5,))
+
+
+class TestSubsets:
+    def test_subsets_of_size_two(self):
+        assert list(subsets_of_size((1, 2, 3), 2)) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_subsets_of_full_size(self):
+        assert list(subsets_of_size((1, 2), 2)) == [(1, 2)]
+
+    def test_subsets_of_size_zero(self):
+        assert list(subsets_of_size((1, 2), 0)) == [()]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            list(subsets_of_size((1,), -1))
+
+    def test_proper_subsets_exclude_self_and_empty(self):
+        subs = list(proper_subsets((1, 2, 3)))
+        assert () not in subs
+        assert (1, 2, 3) not in subs
+        assert len(subs) == 6
+
+
+class TestContains:
+    def test_positive(self):
+        assert contains((1, 2, 5, 9), (2, 9))
+
+    def test_negative(self):
+        assert not contains((1, 2, 5), (2, 3))
+
+    def test_empty_itemset_always_contained(self):
+        assert contains((1, 2), ())
+
+    def test_itemset_longer_than_transaction(self):
+        assert not contains((1,), (1, 2))
+
+    def test_exact_match(self):
+        assert contains((4, 7), (4, 7))
+
+
+class TestFrequentItemsets:
+    def _make(self):
+        return FrequentItemsets(
+            {(0,): 4, (1,): 3, (0, 1): 3, (2,): 2, (0, 1, 2): 2, (0, 2): 2, (1, 2): 2},
+            n_transactions=5,
+            min_support=0.4,
+        )
+
+    def test_len_iter_contains(self):
+        fi = self._make()
+        assert len(fi) == 7
+        assert (0, 1) in fi
+        assert (9,) not in fi
+        assert set(iter(fi)) == set(fi.supports)
+
+    def test_support_and_count(self):
+        fi = self._make()
+        assert fi.count((0, 1)) == 3
+        assert fi.support((0, 1)) == pytest.approx(0.6)
+
+    def test_of_size(self):
+        fi = self._make()
+        assert set(fi.of_size(2)) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_max_size(self):
+        assert self._make().max_size() == 3
+        assert FrequentItemsets({}, 5, 0.1).max_size() == 0
+
+    def test_maximal(self):
+        fi = self._make()
+        assert set(fi.maximal()) == {(0, 1, 2)}
+
+    def test_closed_keeps_distinct_support_levels(self):
+        fi = self._make()
+        closed = fi.closed()
+        # (0,) has support 4, no superset matches it -> closed.
+        assert (0,) in closed
+        # (0, 2) has support 2, superset (0,1,2) also 2 -> not closed.
+        assert (0, 2) not in closed
+        assert (0, 1, 2) in closed
+
+    def test_sorted_by_support_is_descending(self):
+        ordered = self._make().sorted_by_support()
+        counts = [c for _, c in ordered]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,48 @@
+"""Unit tests for repro.core.random."""
+
+import numpy as np
+import pytest
+
+from repro.core import ValidationError, check_random_state, spawn
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = check_random_state(42).integers(1000, size=5)
+        b = check_random_state(42).integers(1000, size=5)
+        assert (a == b).all()
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert check_random_state(rng) is rng
+
+    def test_numpy_integer_accepted(self):
+        rng = check_random_state(np.int64(7))
+        assert isinstance(rng, np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(ValidationError):
+            check_random_state("seed")
+
+
+class TestSpawn:
+    def test_children_are_independent_and_reproducible(self):
+        kids_a = spawn(check_random_state(1), 3)
+        kids_b = spawn(check_random_state(1), 3)
+        for a, b in zip(kids_a, kids_b):
+            assert a.integers(100) == b.integers(100)
+
+    def test_children_differ_from_each_other(self):
+        kids = spawn(check_random_state(2), 2)
+        draws = [k.integers(10**9) for k in kids]
+        assert draws[0] != draws[1]
+
+    def test_zero_children(self):
+        assert spawn(check_random_state(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn(check_random_state(0), -1)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.core.sequences."""
+
+import pytest
+
+from repro.core import (
+    SequenceDatabase,
+    ValidationError,
+    as_pattern,
+    pattern_length,
+    sequence_contains,
+)
+
+
+class TestAsPattern:
+    def test_normalises_elements(self):
+        assert as_pattern([[2, 1], [3]]) == ((1, 2), (3,))
+
+    def test_deduplicates_within_element(self):
+        assert as_pattern([[1, 1, 2]]) == ((1, 2),)
+
+    def test_rejects_empty_element(self):
+        with pytest.raises(ValidationError):
+            as_pattern([[]])
+
+
+class TestPatternLength:
+    def test_counts_items_not_elements(self):
+        assert pattern_length(((1, 2), (3,))) == 3
+
+    def test_empty_pattern(self):
+        assert pattern_length(()) == 0
+
+
+class TestSequenceContains:
+    def test_subset_elements_in_order(self):
+        seq = ((1, 2), (3,), (4, 6, 7))
+        assert sequence_contains(seq, ((1,), (4, 7)))
+
+    def test_order_matters(self):
+        seq = ((3,), (9,))
+        assert not sequence_contains(seq, ((9,), (3,)))
+
+    def test_same_element_cannot_match_twice(self):
+        seq = ((1, 2),)
+        assert not sequence_contains(seq, ((1,), (2,)))
+
+    def test_empty_pattern_contained(self):
+        assert sequence_contains(((1,),), ())
+
+    def test_superset_element_required(self):
+        assert not sequence_contains(((1,), (2,)), ((1, 2),))
+
+
+class TestSequenceDatabase:
+    def test_basic_protocol(self, small_seq_db):
+        assert len(small_seq_db) == 5
+        assert small_seq_db[0] == ((3,), (9,))
+        assert small_seq_db.n_items == 10
+
+    def test_drops_empty_elements(self):
+        db = SequenceDatabase([[(1,), (), (2,)]])
+        assert db[0] == ((1,), (2,))
+
+    def test_rejects_negative_items(self):
+        with pytest.raises(ValidationError):
+            SequenceDatabase([[(-1,)]])
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ValidationError):
+            SequenceDatabase([[("a",)]])
+
+    def test_support_count_worked_example(self, small_seq_db):
+        # <(3)(9)> is contained in customers 1 and 4 only.
+        assert small_seq_db.support_count(((3,), (9,))) == 2
+        assert small_seq_db.support(((3,), (9,))) == pytest.approx(0.4)
+
+    def test_support_single_element(self, small_seq_db):
+        assert small_seq_db.support_count(((3,),)) == 4
+        assert small_seq_db.support_count(((4, 7),)) == 2
+
+    def test_from_iterable_and_decode(self):
+        db = SequenceDatabase.from_iterable(
+            [[["login"], ["buy", "pay"]], [["login"]]]
+        )
+        pattern = db[0]
+        assert db.decode(pattern) == (("login",), ("buy", "pay"))
+
+    def test_avg_sequence_length(self, small_seq_db):
+        assert small_seq_db.avg_sequence_length() == pytest.approx(10 / 5)
+
+    def test_rejects_short_label_list(self):
+        with pytest.raises(ValidationError):
+            SequenceDatabase([[(0, 3)]], item_labels=["a"])

@@ -1,0 +1,190 @@
+"""Unit tests for repro.core.table."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Attribute, Table, ValidationError, categorical, numeric
+
+
+class TestAttribute:
+    def test_numeric_shorthand(self):
+        attr = numeric("age")
+        assert attr.is_numeric and not attr.is_categorical
+
+    def test_categorical_shorthand(self):
+        attr = categorical("color", ["red", "blue"])
+        assert attr.is_categorical
+        assert attr.code_of("blue") == 1
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValidationError):
+            Attribute("x", "text")
+
+    def test_numeric_with_values_rejected(self):
+        with pytest.raises(ValidationError):
+            Attribute("x", "numeric", ("a",))
+
+    def test_categorical_needs_values(self):
+        with pytest.raises(ValidationError):
+            Attribute("x", "categorical")
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValidationError):
+            categorical("x", ["a", "a"])
+
+    def test_code_of_unknown_value(self):
+        with pytest.raises(ValidationError):
+            categorical("x", ["a"]).code_of("b")
+
+
+def _sample_table() -> Table:
+    return Table.from_rows(
+        [
+            ("red", 1.5, "yes"),
+            ("blue", None, "no"),
+            (None, 3.0, "yes"),
+        ],
+        [
+            categorical("color", ["red", "blue"]),
+            numeric("value"),
+            categorical("label", ["no", "yes"]),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_from_rows_shapes(self):
+        t = _sample_table()
+        assert t.n_rows == 3
+        assert t.attribute_names == ("color", "value", "label")
+
+    def test_missing_encoding(self):
+        t = _sample_table()
+        assert t.value(1, "value") is None
+        assert t.value(2, "color") is None
+        assert t.column("color")[2] == -1
+        assert math.isnan(t.column("value")[1])
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            Table.from_rows([(1,)], [numeric("a"), numeric("b")])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            Table([numeric("a"), numeric("a")], {"a": np.zeros(1)})
+
+    def test_column_schema_mismatch(self):
+        with pytest.raises(ValidationError):
+            Table([numeric("a")], {"b": np.zeros(1)})
+
+    def test_differing_column_lengths(self):
+        with pytest.raises(ValidationError):
+            Table(
+                [numeric("a"), numeric("b")],
+                {"a": np.zeros(2), "b": np.zeros(3)},
+            )
+
+    def test_out_of_range_codes_rejected(self):
+        with pytest.raises(ValidationError):
+            Table(
+                [categorical("c", ["x"])],
+                {"c": np.array([2])},
+            )
+
+    def test_infer_from_rows(self):
+        t = Table.infer_from_rows(
+            [(1.0, "a"), (2.0, "b")], names=["num", "cat"]
+        )
+        assert t.attribute("num").is_numeric
+        assert t.attribute("cat").is_categorical
+        assert t.attribute("cat").values == ("a", "b")
+
+    def test_infer_forced_numeric(self):
+        t = Table.infer_from_rows(
+            [(1, 2)], names=["a", "b"], numeric_columns=["a"]
+        )
+        assert t.attribute("a").is_numeric
+        assert t.attribute("b").is_categorical
+
+
+class TestSlicing:
+    def test_take(self):
+        t = _sample_table().take([2, 0])
+        assert t.n_rows == 2
+        assert t.value(0, "value") == 3.0
+
+    def test_mask(self):
+        t = _sample_table()
+        sliced = t.mask(np.array([True, False, True]))
+        assert sliced.n_rows == 2
+
+    def test_mask_wrong_shape(self):
+        with pytest.raises(ValidationError):
+            _sample_table().mask(np.array([True]))
+
+    def test_select_and_drop(self):
+        t = _sample_table()
+        assert t.select(["label"]).attribute_names == ("label",)
+        assert t.drop(["label"]).attribute_names == ("color", "value")
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(ValidationError):
+            _sample_table().drop(["nope"])
+
+    def test_concat(self):
+        t = _sample_table()
+        combined = t.concat(t)
+        assert combined.n_rows == 6
+
+    def test_concat_schema_mismatch(self):
+        t = _sample_table()
+        with pytest.raises(ValidationError):
+            t.concat(t.drop(["label"]))
+
+
+class TestConversion:
+    def test_to_matrix_defaults_to_numeric(self):
+        t = _sample_table()
+        m = t.to_matrix()
+        assert m.shape == (3, 1)
+
+    def test_to_matrix_rejects_categorical(self):
+        with pytest.raises(ValidationError):
+            _sample_table().to_matrix(["color"])
+
+    def test_to_matrix_no_numeric_columns(self):
+        t = Table.from_rows([("a",)], [categorical("c", ["a"])])
+        assert t.to_matrix().shape == (1, 0)
+
+    def test_class_codes(self):
+        codes = _sample_table().class_codes("label")
+        assert codes.tolist() == [1, 0, 1]
+
+    def test_class_codes_rejects_numeric_target(self):
+        with pytest.raises(ValidationError):
+            _sample_table().class_codes("value")
+
+    def test_class_codes_rejects_missing(self):
+        t = Table.from_rows([(None,)], [categorical("c", ["a"])])
+        with pytest.raises(ValidationError):
+            t.class_codes("c")
+
+    def test_replace_column(self):
+        t = _sample_table()
+        replaced = t.replace_column(
+            "value", numeric("value"), np.array([1.0, 2.0, 3.0])
+        )
+        assert replaced.value(1, "value") == 2.0
+
+    def test_replace_column_name_mismatch(self):
+        with pytest.raises(ValidationError):
+            _sample_table().replace_column(
+                "value", numeric("other"), np.zeros(3)
+            )
+
+    def test_iter_rows_decodes(self):
+        rows = list(_sample_table().iter_rows())
+        assert rows[0] == ("red", 1.5, "yes")
+        assert rows[1] == ("blue", None, "no")

@@ -1,0 +1,66 @@
+"""Unit tests for repro.core.taxonomy."""
+
+import pytest
+
+from repro.core import Taxonomy, ValidationError
+
+
+@pytest.fixture
+def clothes():
+    # 0:jacket 1:ski_pants 2:outerwear 3:shirts 4:clothes 5:shoes
+    # 6:hiking_boots 7:footwear
+    return Taxonomy({0: [2], 1: [2], 2: [4], 3: [4], 5: [7], 6: [7]})
+
+
+class TestTaxonomy:
+    def test_ancestors_transitive(self, clothes):
+        assert clothes.ancestors(0) == frozenset({2, 4})
+        assert clothes.ancestors(2) == frozenset({4})
+        assert clothes.ancestors(4) == frozenset()
+
+    def test_parents_direct_only(self, clothes):
+        assert clothes.parents(0) == (2,)
+        assert clothes.parents(4) == ()
+
+    def test_is_ancestor(self, clothes):
+        assert clothes.is_ancestor(4, 0)
+        assert clothes.is_ancestor(2, 1)
+        assert not clothes.is_ancestor(0, 2)
+        assert not clothes.is_ancestor(7, 0)
+
+    def test_multiple_parents(self):
+        tax = Taxonomy({0: [1, 2]})
+        assert tax.ancestors(0) == frozenset({1, 2})
+
+    def test_diamond(self):
+        tax = Taxonomy({0: [1, 2], 1: [3], 2: [3]})
+        assert tax.ancestors(0) == frozenset({1, 2, 3})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValidationError):
+            Taxonomy({0: [1], 1: [0]})
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(ValidationError):
+            Taxonomy({0: [0]})
+
+    def test_extend_transaction(self, clothes):
+        assert clothes.extend_transaction((0, 6)) == (0, 2, 4, 6, 7)
+
+    def test_extend_empty(self, clothes):
+        assert clothes.extend_transaction(()) == ()
+
+    def test_close_under_ancestors(self, clothes):
+        assert clothes.close_under_ancestors([1]) == frozenset({1, 2, 4})
+
+    def test_all_category_items(self, clothes):
+        assert clothes.all_category_items() == {2, 4, 7}
+
+    def test_from_labels(self):
+        vocab = {"jacket": 0, "outerwear": 1}
+        tax = Taxonomy.from_labels({"jacket": ["outerwear"]}, vocab)
+        assert tax.ancestors(0) == frozenset({1})
+
+    def test_from_labels_missing_label(self):
+        with pytest.raises(ValidationError):
+            Taxonomy.from_labels({"jacket": ["nope"]}, {"jacket": 0})

@@ -1,0 +1,172 @@
+"""Unit tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import ValidationError
+from repro.datasets import (
+    FUNCTIONS,
+    QuestBasketGenerator,
+    QuestConfig,
+    QuestSequenceConfig,
+    QuestSequenceGenerator,
+    agrawal,
+    gaussian_blobs,
+    gaussian_grid,
+    quest_basket,
+    quest_sequences,
+    two_moons,
+    two_rings,
+)
+
+
+class TestQuestBasket:
+    def test_workload_name(self):
+        assert QuestConfig(100_000, 10, 4).name() == "T10.I4.D100K"
+        assert QuestConfig(500, 2.5, 1.25).name() == "T2.5.I1.25.D500"
+
+    def test_shape_matches_config(self):
+        db = quest_basket(400, 8, 3, n_items=200, n_patterns=40,
+                          random_state=0)
+        assert len(db) == 400
+        assert db.n_items == 200
+        # Average length lands near the Poisson mean.
+        assert 5.0 < db.avg_transaction_length() < 12.0
+
+    def test_reproducible(self):
+        a = quest_basket(50, 5, 2, n_items=60, random_state=3)
+        b = quest_basket(50, 5, 2, n_items=60, random_state=3)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        a = quest_basket(50, 5, 2, n_items=60, random_state=1)
+        b = quest_basket(50, 5, 2, n_items=60, random_state=2)
+        assert list(a) != list(b)
+
+    def test_no_empty_transactions(self):
+        db = quest_basket(200, 3, 2, n_items=50, random_state=4)
+        assert all(len(t) >= 1 for t in db)
+
+    def test_patterns_create_frequent_itemsets(self):
+        # Mining the generated data must recover multi-item patterns —
+        # the whole point of the corrupted-pattern process.
+        from repro.associations import apriori
+
+        db = quest_basket(500, 8, 4, n_items=100, n_patterns=15,
+                          random_state=5)
+        result = apriori(db, min_support=0.03)
+        assert result.max_size() >= 2
+
+    def test_invalid_config(self):
+        with pytest.raises(ValidationError):
+            QuestBasketGenerator(QuestConfig(n_transactions=0))
+        with pytest.raises(ValidationError):
+            QuestBasketGenerator(QuestConfig(correlation=2.0))
+
+
+class TestQuestSequences:
+    def test_workload_name(self):
+        cfg = QuestSequenceConfig(
+            avg_elements=10, avg_items_per_element=2.5,
+            avg_pattern_elements=4, avg_itemset_size=1.25,
+        )
+        assert cfg.name() == "C10.T2.5.S4.I1.25"
+
+    def test_shape(self):
+        db = quest_sequences(80, 6, 2, n_items=50, random_state=0)
+        assert len(db) == 80
+        assert 3.0 < db.avg_sequence_length() < 9.0
+
+    def test_reproducible(self):
+        a = quest_sequences(30, 4, 2, n_items=40, random_state=8)
+        b = quest_sequences(30, 4, 2, n_items=40, random_state=8)
+        assert list(a) == list(b)
+
+    def test_sequential_patterns_recoverable(self):
+        from repro.sequences import prefixspan
+
+        db = quest_sequences(200, 6, 2, n_items=60, random_state=2)
+        result = prefixspan(db, min_support=0.05, max_length=3)
+        assert result.max_length() >= 2
+
+
+class TestAgrawal:
+    def test_schema(self):
+        table = agrawal(50, function=1, random_state=0)
+        assert table.attribute("salary").is_numeric
+        assert table.attribute("elevel").is_categorical
+        assert table.attribute("group").values == ("A", "B")
+
+    @pytest.mark.parametrize("function", sorted(FUNCTIONS))
+    def test_all_functions_produce_both_classes(self, function):
+        table = agrawal(800, function=function, random_state=function)
+        codes = set(table.class_codes("group").tolist())
+        assert codes == {0, 1}
+
+    def test_f1_matches_predicate(self):
+        table = agrawal(300, function=1, random_state=1)
+        ages = table.column("age")
+        groups = table.class_codes("group")
+        expected = ((ages < 40) | (ages >= 60)).astype(int)
+        # group A == code 0.
+        assert ((groups == 0) == (expected == 1)).all()
+
+    def test_noise_flips_labels(self):
+        clean = agrawal(500, function=1, noise=0.0, random_state=2)
+        noisy = agrawal(500, function=1, noise=0.3, random_state=2)
+        differ = (
+            clean.class_codes("group") != noisy.class_codes("group")
+        ).mean()
+        assert 0.2 < differ < 0.4
+
+    def test_commission_rule(self):
+        table = agrawal(400, function=7, random_state=3)
+        salary = table.column("salary")
+        commission = table.column("commission")
+        assert (commission[salary >= 75_000] == 0.0).all()
+        assert (commission[salary < 75_000] > 0).all()
+
+    def test_invalid_function(self):
+        with pytest.raises(ValidationError):
+            agrawal(10, function=11)
+
+
+class TestGaussianAndShapes:
+    def test_blobs_counts_and_labels(self):
+        X, y = gaussian_blobs(100, centers=3, random_state=0)
+        assert X.shape == (100, 2)
+        assert set(y.tolist()) == {0, 1, 2}
+
+    def test_blobs_explicit_centers(self):
+        centers = np.array([[0.0, 0.0], [100.0, 0.0]])
+        X, y = gaussian_blobs(60, centers=centers, cluster_std=0.5,
+                              random_state=1)
+        for label, center in enumerate(centers):
+            member = X[y == label]
+            assert np.abs(member.mean(axis=0) - center).max() < 1.0
+
+    def test_grid_layout(self):
+        X, y = gaussian_grid(400, grid_side=3, spacing=10.0,
+                             cluster_std=0.3, random_state=2)
+        assert len(set(y.tolist())) == 9
+
+    def test_grid_noise_labelled_minus_one(self):
+        X, y = gaussian_grid(300, grid_side=2, noise_fraction=0.1,
+                             random_state=3)
+        assert (y == -1).sum() == 30
+
+    def test_rings_radii(self):
+        X, y = two_rings(400, inner_radius=2.0, outer_radius=6.0,
+                         noise=0.05, random_state=4)
+        radii = np.sqrt((X**2).sum(axis=1))
+        assert abs(radii[y == 0].mean() - 2.0) < 0.2
+        assert abs(radii[y == 1].mean() - 6.0) < 0.2
+
+    def test_moons_shape(self):
+        X, y = two_moons(200, random_state=5)
+        assert X.shape == (200, 2)
+        assert set(y.tolist()) == {0, 1}
+
+    def test_invalid_ring_radii(self):
+        with pytest.raises(ValidationError):
+            two_rings(100, inner_radius=5.0, outer_radius=3.0)

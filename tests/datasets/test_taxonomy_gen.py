@@ -1,0 +1,41 @@
+"""Unit tests for the random taxonomy generator."""
+
+import pytest
+
+from repro.core import ValidationError
+from repro.datasets import random_taxonomy
+
+
+class TestRandomTaxonomy:
+    def test_every_leaf_has_ancestors(self):
+        tax, total = random_taxonomy(20, fanout=4, n_levels=2, random_state=0)
+        for leaf in range(20):
+            ancestors = tax.ancestors(leaf)
+            assert len(ancestors) == 2  # one per level on a tree
+
+    def test_total_id_space(self):
+        tax, total = random_taxonomy(10, fanout=5, n_levels=1, random_state=1)
+        # 10 leaves -> 2 categories.
+        assert total == 12
+
+    def test_categories_are_above_leaf_ids(self):
+        tax, total = random_taxonomy(15, fanout=3, n_levels=2, random_state=2)
+        for leaf in range(15):
+            assert all(a >= 15 for a in tax.ancestors(leaf))
+
+    def test_deterministic(self):
+        a, _ = random_taxonomy(30, fanout=5, n_levels=2, random_state=7)
+        b, _ = random_taxonomy(30, fanout=5, n_levels=2, random_state=7)
+        for leaf in range(30):
+            assert a.ancestors(leaf) == b.ancestors(leaf)
+
+    def test_levels_collapse_when_one_category_remains(self):
+        tax, total = random_taxonomy(3, fanout=5, n_levels=5, random_state=3)
+        # Three leaves fit one category; deeper levels stop.
+        assert total == 4
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            random_taxonomy(0)
+        with pytest.raises(ValidationError):
+            random_taxonomy(5, fanout=1)

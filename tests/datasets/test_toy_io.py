@@ -1,0 +1,101 @@
+"""Unit tests for toy datasets and CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.core import TransactionDatabase, ValidationError
+from repro.datasets import (
+    iris,
+    load_table,
+    load_transactions,
+    play_tennis,
+    save_table,
+    save_transactions,
+    weather_numeric,
+)
+
+
+class TestToyTables:
+    def test_play_tennis_shape(self):
+        table = play_tennis()
+        assert table.n_rows == 14
+        assert table.attribute("play").values == ("no", "yes")
+        assert table.class_codes("play").sum() == 9  # nine 'yes' days
+
+    def test_weather_numeric_kinds(self):
+        table = weather_numeric()
+        assert table.attribute("temperature").is_numeric
+        assert table.attribute("outlook").is_categorical
+
+    def test_iris_shape_and_determinism(self):
+        a, b = iris(), iris()
+        assert a.n_rows == 150
+        assert np.allclose(a.column("petal_length"), b.column("petal_length"))
+
+    def test_iris_classes_balanced(self):
+        from collections import Counter
+
+        counts = Counter(iris().column("species").tolist())
+        assert set(counts.values()) == {50}
+
+    def test_iris_setosa_separable(self):
+        # The defining property: setosa's petals are much shorter.
+        table = iris()
+        codes = table.class_codes("species")
+        petal = table.column("petal_length")
+        assert petal[codes == 0].max() < petal[codes != 0].min()
+
+
+class TestTableCSV:
+    def test_roundtrip_values(self, tmp_path):
+        path = tmp_path / "tennis.csv"
+        original = play_tennis()
+        save_table(original, path)
+        loaded = load_table(path)
+        assert list(loaded.iter_rows()) == list(original.iter_rows())
+
+    def test_roundtrip_missing_and_numeric(self, tmp_path):
+        from repro.core import Table, categorical, numeric
+
+        table = Table.from_rows(
+            [(1.5, "a"), (None, None)],
+            [numeric("x"), categorical("c", ["a"])],
+        )
+        path = tmp_path / "t.csv"
+        save_table(table, path)
+        loaded = load_table(path)
+        assert loaded.value(1, "x") is None
+        assert loaded.value(1, "c") is None
+        assert loaded.value(0, "x") == 1.5
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("justaname\n1\n")
+        with pytest.raises(ValidationError):
+            load_table(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValidationError):
+            load_table(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a:num,b:num\n1.0\n")
+        with pytest.raises(ValidationError):
+            load_table(path)
+
+
+class TestTransactionsCSV:
+    def test_roundtrip(self, tmp_path, small_db):
+        path = tmp_path / "txns.dat"
+        save_transactions(small_db, path)
+        loaded = load_transactions(path)
+        assert list(loaded) == list(small_db)
+
+    def test_empty_lines_become_empty_transactions(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_text("1 2\n\n3\n")
+        loaded = load_transactions(path)
+        assert list(loaded) == [(1, 2), (), (3,)]

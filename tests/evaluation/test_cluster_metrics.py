@@ -1,0 +1,124 @@
+"""Unit tests for clustering metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import ValidationError
+from repro.evaluation import (
+    adjusted_rand_index,
+    normalized_mutual_info,
+    purity,
+    rand_index,
+    silhouette,
+    sse,
+)
+
+
+class TestSSE:
+    def test_by_hand(self):
+        X = np.array([[0.0], [2.0], [10.0]])
+        labels = np.array([0, 0, 1])
+        assert sse(X, labels) == pytest.approx(2.0)
+
+    def test_with_explicit_centers(self):
+        X = np.array([[0.0], [2.0]])
+        centers = np.array([[0.0]])
+        assert sse(X, np.array([0, 0]), centers) == pytest.approx(4.0)
+
+    def test_noise_skipped(self):
+        X = np.array([[0.0], [1000.0]])
+        labels = np.array([0, -1])
+        assert sse(X, labels) == pytest.approx(0.0)
+
+    def test_singletons_are_zero(self):
+        X = np.random.default_rng(0).normal(size=(5, 2))
+        assert sse(X, np.arange(5)) == pytest.approx(0.0)
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity([0, 0, 1, 1], ["a", "a", "b", "b"]) == 1.0
+
+    def test_mixed(self):
+        assert purity([0, 0, 0, 0], ["a", "a", "b", "c"]) == 0.5
+
+    def test_singleton_clusters_are_pure(self):
+        assert purity([0, 1, 2], ["a", "a", "b"]) == 1.0
+
+
+class TestRandIndices:
+    def test_identical_partitions(self):
+        assert rand_index([0, 0, 1], [5, 5, 9]) == 1.0
+        assert adjusted_rand_index([0, 0, 1], [5, 5, 9]) == 1.0
+
+    def test_ari_zero_ish_for_random(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3, 600)
+        b = rng.integers(0, 3, 600)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_rand_counts_by_hand(self):
+        # Partitions {1,2},{3} vs {1},{2,3}: agree only on pair (1,3).
+        a = [0, 0, 1]
+        b = [0, 1, 1]
+        assert rand_index(a, b) == pytest.approx(1 / 3)
+
+    def test_ari_leq_one(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, 100)
+        b = a.copy()
+        b[:10] = (b[:10] + 1) % 4
+        value = adjusted_rand_index(a, b)
+        assert 0.0 < value < 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            rand_index([0], [0, 1])
+
+
+class TestNMI:
+    def test_identical(self):
+        assert normalized_mutual_info([0, 1, 0], [7, 8, 7]) == 1.0
+
+    def test_independent(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 2, 2000)
+        b = rng.integers(0, 2, 2000)
+        assert normalized_mutual_info(a, b) < 0.05
+
+    def test_single_cluster_against_many(self):
+        assert normalized_mutual_info([0, 0, 0], [0, 1, 2]) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+
+class TestSilhouette:
+    def test_well_separated_near_one(self):
+        X = np.concatenate([
+            np.random.default_rng(0).normal(0, 0.1, (20, 2)),
+            np.random.default_rng(1).normal(10, 0.1, (20, 2)),
+        ])
+        labels = np.array([0] * 20 + [1] * 20)
+        assert silhouette(X, labels) > 0.95
+
+    def test_single_cluster_zero(self):
+        X = np.random.default_rng(3).normal(size=(10, 2))
+        assert silhouette(X, np.zeros(10, dtype=int)) == 0.0
+
+    def test_noise_excluded(self):
+        X = np.concatenate([
+            np.random.default_rng(0).normal(0, 0.1, (10, 2)),
+            np.random.default_rng(1).normal(10, 0.1, (10, 2)),
+            [[1000.0, 1000.0]],
+        ])
+        labels = np.array([0] * 10 + [1] * 10 + [-1])
+        assert silhouette(X, labels) > 0.9
+
+    def test_bad_partition_scores_lower(self):
+        X = np.concatenate([
+            np.random.default_rng(0).normal(0, 0.1, (20, 2)),
+            np.random.default_rng(1).normal(10, 0.1, (20, 2)),
+        ])
+        good = np.array([0] * 20 + [1] * 20)
+        bad = np.array(([0, 1] * 20))
+        assert silhouette(X, good) > silhouette(X, bad)

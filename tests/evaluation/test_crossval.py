@@ -1,0 +1,86 @@
+"""Unit tests for cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.classification import NaiveBayes, ZeroR
+from repro.core import ValidationError
+from repro.datasets import iris
+from repro.evaluation import (
+    cross_val_score,
+    kfold_indices,
+    stratified_kfold_indices,
+)
+
+
+class TestKFold:
+    def test_partitions_all_rows(self):
+        folds = list(kfold_indices(23, 5, shuffle=False))
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(23))
+
+    def test_train_test_disjoint(self):
+        for train, test in kfold_indices(30, 4, random_state=0):
+            assert not set(train.tolist()) & set(test.tolist())
+            assert len(train) + len(test) == 30
+
+    def test_sizes_balanced(self):
+        sizes = [len(t) for _, t in kfold_indices(10, 3, shuffle=False)]
+        assert sizes == [4, 3, 3]
+
+    def test_shuffle_changes_order(self):
+        plain = [t.tolist() for _, t in kfold_indices(20, 4, shuffle=False)]
+        shuffled = [
+            t.tolist() for _, t in kfold_indices(20, 4, random_state=0)
+        ]
+        assert plain != shuffled
+
+    def test_too_many_folds(self):
+        with pytest.raises(ValidationError):
+            list(kfold_indices(3, 5))
+
+    def test_invalid_folds(self):
+        with pytest.raises(ValidationError):
+            list(kfold_indices(10, 1))
+
+
+class TestStratifiedKFold:
+    def test_class_balance_per_fold(self):
+        y = np.array([0] * 50 + [1] * 50)
+        for _, test in stratified_kfold_indices(y, 5, random_state=0):
+            labels = y[test]
+            assert (labels == 0).sum() == 10
+            assert (labels == 1).sum() == 10
+
+    def test_partitions_all_rows(self):
+        y = np.array([0, 1, 0, 1, 2, 2, 0, 1, 2, 0])
+        folds = list(stratified_kfold_indices(y, 3, random_state=1))
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(10))
+
+    def test_rare_class_spread(self):
+        y = np.array([0] * 97 + [1] * 3)
+        folds = list(stratified_kfold_indices(y, 3, random_state=2))
+        rare_in_fold = [int((y[test] == 1).sum()) for _, test in folds]
+        assert rare_in_fold == [1, 1, 1]
+
+
+class TestCrossValScore:
+    def test_returns_one_score_per_fold(self):
+        scores = cross_val_score(NaiveBayes, iris(), "species", n_folds=4,
+                                 random_state=0)
+        assert len(scores) == 4
+        assert all(0.0 <= s <= 1.0 for s in scores)
+
+    def test_nb_beats_zeror_on_iris(self):
+        nb = np.mean(cross_val_score(NaiveBayes, iris(), "species",
+                                     random_state=0))
+        zr = np.mean(cross_val_score(ZeroR, iris(), "species",
+                                     random_state=0))
+        assert nb > zr + 0.3
+
+    def test_unstratified_variant(self):
+        scores = cross_val_score(
+            NaiveBayes, iris(), "species", stratified=False, random_state=0
+        )
+        assert len(scores) == 5

@@ -1,0 +1,94 @@
+"""Unit tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import ValidationError
+from repro.evaluation import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    error_rate,
+    macro_f1,
+    precision_recall_f1,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([1, 2], [1, 2]) == 1.0
+
+    def test_partial(self):
+        assert accuracy(["a", "b", "c"], ["a", "x", "c"]) == pytest.approx(2 / 3)
+
+    def test_error_rate_complement(self):
+        assert error_rate([1, 0], [1, 1]) == pytest.approx(0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            accuracy([1], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(ValidationError):
+            accuracy([], [])
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        m, labels = confusion_matrix(
+            ["cat", "cat", "dog", "dog"], ["cat", "dog", "dog", "dog"]
+        )
+        assert labels == ["cat", "dog"]
+        assert m.tolist() == [[1, 1], [0, 2]]
+
+    def test_diagonal_sum_is_correct_predictions(self):
+        y_true = [0, 1, 2, 2, 1]
+        y_pred = [0, 2, 2, 2, 1]
+        m, _ = confusion_matrix(y_true, y_pred)
+        assert np.trace(m) == 4
+
+    def test_explicit_label_order(self):
+        m, labels = confusion_matrix([1, 0], [1, 0], labels=[1, 0])
+        assert labels == [1, 0]
+        assert m.tolist() == [[1, 0], [0, 1]]
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValidationError):
+            confusion_matrix([0, 1], [0, 1], labels=[0])
+
+
+class TestPrecisionRecallF1:
+    def test_textbook_values(self):
+        # TP=2, FP=1, FN=1.
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        p, r, f1 = precision_recall_f1(y_true, y_pred, positive=1)
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_no_predicted_positives(self):
+        p, r, f1 = precision_recall_f1([1, 0], [0, 0], positive=1)
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_perfect(self):
+        assert precision_recall_f1([1, 0], [1, 0], 1) == (1.0, 1.0, 1.0)
+
+
+class TestReport:
+    def test_per_class_entries(self):
+        report = classification_report(["a", "a", "b"], ["a", "b", "b"])
+        assert report["a"].support == 2
+        assert report["a"].precision == 1.0
+        assert report["a"].recall == pytest.approx(0.5)
+        assert report["b"].recall == 1.0
+
+    def test_macro_f1_averages(self):
+        value = macro_f1(["a", "a", "b", "b"], ["a", "a", "b", "b"])
+        assert value == 1.0
+
+    def test_macro_f1_penalises_missed_minority(self):
+        y_true = ["maj"] * 98 + ["min"] * 2
+        y_pred = ["maj"] * 100
+        assert accuracy(y_true, y_pred) == pytest.approx(0.98)
+        assert macro_f1(y_true, y_pred) < 0.6

@@ -1,0 +1,90 @@
+"""Integration: the classic classifier-study loop on AIS data.
+
+Generate -> split -> (discretize/scale) -> train many classifiers ->
+cross-validate -> compare. Mirrors the E6 benchmark at test scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classification import (
+    C45,
+    CART,
+    KNN,
+    SLIQ,
+    NaiveBayes,
+    OneR,
+    ZeroR,
+)
+from repro.datasets import agrawal
+from repro.evaluation import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    cross_val_score,
+)
+from repro.preprocessing import discretize_table, scale_table, train_test_split
+
+
+@pytest.fixture(scope="module")
+def f6_data():
+    return agrawal(2500, function=6, noise=0.05, random_state=77)
+
+
+class TestClassifierStudy:
+    def test_trees_beat_baselines_on_f6(self, f6_data):
+        train, test = train_test_split(f6_data, 0.3, stratify="group",
+                                       random_state=0)
+        scores = {}
+        for name, model in [
+            ("c45", C45()),
+            ("cart", CART(min_samples_leaf=5)),
+            ("sliq", SLIQ(min_samples_leaf=5)),
+            ("oner", OneR()),
+            ("zeror", ZeroR()),
+        ]:
+            scores[name] = model.fit(train, "group").score(test)
+        assert scores["c45"] > scores["oner"] > 0
+        assert scores["cart"] > scores["zeror"]
+        assert scores["sliq"] > scores["zeror"]
+        # The AIS functions are axis-parallel: trees should do well.
+        assert max(scores["c45"], scores["cart"]) > 0.85
+
+    def test_scaling_helps_knn(self, f6_data):
+        train, test = train_test_split(f6_data, 0.3, random_state=1)
+        raw = KNN(9).fit(train, "group").score(test)
+        train_s = scale_table(train, "standard")
+        test_s = scale_table(test, "standard")
+        scaled = KNN(9).fit(train_s, "group").score(test_s)
+        assert scaled > raw
+
+    def test_discretized_pipeline_runs_id3(self, f6_data):
+        from repro.classification import ID3
+
+        table = discretize_table(f6_data, "mdlp", target="group")
+        train, test = train_test_split(table, 0.3, random_state=2)
+        model = ID3(max_depth=6).fit(train, "group")
+        assert model.score(test) > 0.7
+
+    def test_cross_validation_agrees_with_holdout(self, f6_data):
+        cv = np.mean(
+            cross_val_score(
+                lambda: CART(min_samples_leaf=5), f6_data, "group",
+                n_folds=5, random_state=3,
+            )
+        )
+        train, test = train_test_split(f6_data, 0.25, random_state=3)
+        holdout = CART(min_samples_leaf=5).fit(train, "group").score(test)
+        assert abs(cv - holdout) < 0.08
+
+    def test_report_and_confusion_consistency(self, f6_data):
+        train, test = train_test_split(f6_data, 0.3, random_state=4)
+        model = NaiveBayes().fit(train, "group")
+        y_true = [test.value(i, "group") for i in range(test.n_rows)]
+        y_pred = model.predict(test)
+        matrix, labels = confusion_matrix(y_true, y_pred)
+        assert matrix.sum() == test.n_rows
+        acc = accuracy(y_true, y_pred)
+        assert np.trace(matrix) / matrix.sum() == pytest.approx(acc)
+        report = classification_report(y_true, y_pred)
+        assert set(report) == set(labels) & set(y_true)

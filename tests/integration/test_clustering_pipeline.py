@@ -1,0 +1,88 @@
+"""Integration: clustering study across methods, metrics and workloads."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    CLARA,
+    CLARANS,
+    DBSCAN,
+    PAM,
+    Agglomerative,
+    Birch,
+    KMeans,
+)
+from repro.datasets import gaussian_grid, two_moons
+from repro.evaluation import adjusted_rand_index, silhouette, sse
+
+
+@pytest.fixture(scope="module")
+def grid_data():
+    return gaussian_grid(
+        900, grid_side=3, spacing=6.0, cluster_std=0.5, random_state=123
+    )
+
+
+class TestClusteringStudy:
+    def test_all_partitional_methods_recover_the_grid(self, grid_data):
+        X, y = grid_data
+        methods = {
+            "kmeans": KMeans(9, random_state=0),
+            "pam": PAM(9),
+            "clara": CLARA(9, random_state=0),
+            "clarans": CLARANS(9, num_local=3, random_state=0),
+            "birch": Birch(threshold=1.0, n_clusters=9, random_state=0),
+            "ward": Agglomerative(9, "ward"),
+        }
+        for name, model in methods.items():
+            ari = adjusted_rand_index(model.fit_predict(X), y)
+            assert ari > 0.85, f"{name} ARI={ari:.3f}"
+
+    def test_internal_metrics_prefer_true_k(self, grid_data):
+        X, _ = grid_data
+        sil = {
+            k: silhouette(X, KMeans(k, random_state=0).fit_predict(X))
+            for k in (3, 9, 16)
+        }
+        assert sil[9] == max(sil.values())
+
+    def test_sse_elbow_flattens_past_true_k(self, grid_data):
+        X, _ = grid_data
+        inertia = {
+            k: KMeans(k, random_state=0).fit(X).inertia_
+            for k in (4, 9, 14)
+        }
+        gain_before = inertia[4] - inertia[9]
+        gain_after = inertia[9] - inertia[14]
+        assert gain_before > 3 * gain_after
+
+    def test_density_vs_centroid_on_moons(self):
+        X, y = two_moons(500, noise=0.05, random_state=7)
+        db = DBSCAN(eps=0.2, min_samples=5).fit(X)
+        clustered = db.labels_ >= 0
+        ari_db = adjusted_rand_index(db.labels_[clustered], y[clustered])
+        ari_km = adjusted_rand_index(KMeans(2, random_state=0).fit_predict(X), y)
+        assert ari_db > 0.9
+        assert ari_db > ari_km
+
+    def test_birch_compression_pipeline(self, grid_data):
+        X, y = grid_data
+        model = Birch(threshold=0.8, n_clusters=9, random_state=1).fit(X)
+        # The compressed representation is much smaller than the data but
+        # the final labels still align with the ground truth.
+        assert len(model.subcluster_centers_) < len(X) / 3
+        assert adjusted_rand_index(model.labels_, y) > 0.85
+
+    def test_noise_robustness_ranking(self):
+        X, y = gaussian_grid(
+            600, grid_side=2, spacing=8.0, cluster_std=0.4,
+            noise_fraction=0.1, random_state=5,
+        )
+        true_mask = y >= 0
+        km = KMeans(4, random_state=0).fit_predict(X)
+        db = DBSCAN(eps=1.0, min_samples=5).fit(X)
+        # DBSCAN flags a sensible amount of the injected noise.
+        assert (db.labels_ == -1).sum() >= 20
+        ari_db = adjusted_rand_index(db.labels_[true_mask], y[true_mask])
+        ari_km = adjusted_rand_index(km[true_mask], y[true_mask])
+        assert ari_db >= ari_km - 0.05

@@ -1,0 +1,75 @@
+"""Integration: generate a Quest workload, mine it end-to-end, persist it."""
+
+import numpy as np
+import pytest
+
+from repro.associations import (
+    apriori,
+    apriori_hybrid,
+    apriori_tid,
+    eclat,
+    fp_growth,
+    generate_rules,
+)
+from repro.datasets import (
+    QuestBasketGenerator,
+    QuestConfig,
+    load_transactions,
+    save_transactions,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = QuestConfig(
+        n_transactions=800,
+        avg_transaction_length=8,
+        avg_pattern_length=3,
+        n_items=120,
+        n_patterns=30,
+    )
+    return QuestBasketGenerator(config, random_state=99).generate()
+
+
+class TestFullMiningPipeline:
+    def test_five_miners_one_answer(self, workload):
+        results = {
+            name: miner(workload, 0.02).supports
+            for name, miner in [
+                ("apriori", apriori),
+                ("apriori_tid", apriori_tid),
+                ("apriori_hybrid", apriori_hybrid),
+                ("eclat", eclat),
+                ("fp_growth", fp_growth),
+            ]
+        }
+        reference = results.pop("apriori")
+        assert reference  # the workload must actually contain patterns
+        for name, supports in results.items():
+            assert supports == reference, name
+
+    def test_rules_from_mined_itemsets_validate_on_db(self, workload):
+        itemsets = apriori(workload, 0.02)
+        rules = generate_rules(itemsets, min_confidence=0.5)
+        assert rules, "expected rules at 2% support on a patterned workload"
+        for rule in rules[:25]:
+            union = tuple(sorted(rule.antecedent + rule.consequent))
+            direct_conf = (
+                workload.support_count(union)
+                / workload.support_count(rule.antecedent)
+            )
+            assert rule.confidence == pytest.approx(direct_conf)
+
+    def test_persistence_roundtrip_preserves_mining(self, workload, tmp_path):
+        path = tmp_path / "workload.dat"
+        save_transactions(workload, path)
+        reloaded = load_transactions(path)
+        assert apriori(reloaded, 0.05).supports == apriori(workload, 0.05).supports
+
+    def test_pass_stats_tell_the_levelwise_story(self, workload):
+        result = apriori(workload, 0.02)
+        ks = [s.k for s in result.pass_stats]
+        assert ks == list(range(1, len(ks) + 1))
+        # Candidate counts must bound frequent counts at every level.
+        for s in result.pass_stats:
+            assert s.n_frequent <= s.n_candidates

@@ -1,0 +1,55 @@
+"""Integration: sequential mining end-to-end on generated workloads."""
+
+import pytest
+
+from repro.core.sequences import pattern_length
+from repro.datasets import QuestSequenceConfig, QuestSequenceGenerator
+from repro.sequences import apriori_all, gsp, prefixspan
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = QuestSequenceConfig(
+        n_customers=300,
+        avg_elements=6,
+        avg_items_per_element=2,
+        avg_pattern_elements=3,
+        avg_itemset_size=1.5,
+        n_items=80,
+        n_sequence_patterns=20,
+        n_itemset_patterns=40,
+    )
+    return QuestSequenceGenerator(config, random_state=2024).generate()
+
+
+class TestSequencePipeline:
+    def test_three_miners_one_answer(self, workload):
+        a = apriori_all(workload, 0.05).supports
+        g = gsp(workload, 0.05).supports
+        p = prefixspan(workload, 0.05).supports
+        assert a == g == p
+        assert a, "expected frequent patterns in a patterned workload"
+
+    def test_planted_patterns_surface(self, workload):
+        result = prefixspan(workload, 0.05)
+        # The generator plants multi-element patterns; mining must find
+        # sequences longer than single items.
+        assert any(len(pattern) >= 2 for pattern in result.supports)
+
+    def test_constraints_form_a_hierarchy(self, workload):
+        free = set(gsp(workload, 0.05, max_length=3).supports)
+        gapped = set(
+            gsp(workload, 0.05, max_length=3, max_gap=2.0).supports
+        )
+        assert gapped.issubset(free)
+
+    def test_window_only_adds_patterns(self, workload):
+        base = gsp(workload, 0.08, max_length=2)
+        windowed = gsp(workload, 0.08, max_length=2, window=1.0)
+        for pattern, count in base.supports.items():
+            assert windowed.supports.get(pattern, 0) >= count
+
+    def test_maximal_is_a_compression(self, workload):
+        result = gsp(workload, 0.05, max_length=3)
+        maximal = result.maximal()
+        assert 0 < len(maximal) <= len(result.supports)

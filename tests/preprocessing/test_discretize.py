@@ -1,0 +1,112 @@
+"""Unit tests for the discretizers."""
+
+import numpy as np
+import pytest
+
+from repro.core import NotFittedError, ValidationError
+from repro.datasets import weather_numeric
+from repro.preprocessing import MDLP, EqualFrequency, EqualWidth, discretize_table
+
+
+class TestEqualWidth:
+    def test_bins_cover_range(self):
+        codes = EqualWidth(5).fit_transform(np.linspace(0, 10, 100))
+        assert codes.min() == 0 and codes.max() == 4
+
+    def test_constant_column_single_bin(self):
+        disc = EqualWidth(4).fit(np.full(10, 3.0))
+        assert disc.n_bins_ == 1
+        assert (disc.transform(np.full(5, 3.0)) == 0).all()
+
+    def test_missing_maps_to_minus_one(self):
+        disc = EqualWidth(2).fit(np.array([0.0, 1.0]))
+        assert disc.transform(np.array([np.nan]))[0] == -1
+
+    def test_out_of_range_values_clamp_to_edge_bins(self):
+        disc = EqualWidth(2).fit(np.array([0.0, 10.0]))
+        assert disc.transform(np.array([-100.0]))[0] == 0
+        assert disc.transform(np.array([100.0]))[0] == 1
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            EqualWidth(2).transform(np.array([1.0]))
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(ValidationError):
+            EqualWidth(2).fit(np.array([np.nan, np.nan]))
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValidationError):
+            EqualWidth(1)
+
+
+class TestEqualFrequency:
+    def test_balanced_bins(self):
+        values = np.arange(100, dtype=float)
+        codes = EqualFrequency(4).fit_transform(values)
+        _, counts = np.unique(codes, return_counts=True)
+        assert counts.max() - counts.min() <= 2
+
+    def test_skewed_data_still_splits(self):
+        values = np.concatenate([np.zeros(90), np.arange(10, dtype=float)])
+        disc = EqualFrequency(4).fit(values)
+        assert disc.n_bins_ >= 2
+
+    def test_duplicate_quantiles_collapse(self):
+        disc = EqualFrequency(10).fit(np.array([1.0, 1.0, 1.0, 2.0]))
+        assert disc.n_bins_ <= 3
+
+
+class TestMDLP:
+    def test_finds_obvious_boundary(self):
+        values = np.concatenate([np.arange(50.0), np.arange(100.0, 150.0)])
+        y = np.array([0] * 50 + [1] * 50)
+        disc = MDLP().fit(values, y)
+        assert disc.n_bins_ == 2
+        assert 50.0 < disc.cut_points_[0] < 100.0
+
+    def test_no_split_on_random_labels(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=200)
+        y = rng.integers(0, 2, 200)
+        disc = MDLP().fit(values, y)
+        assert disc.n_bins_ <= 2  # MDL rejects uninformative cuts
+
+    def test_multi_boundary(self):
+        # lo / hi / lo pattern needs two cuts.
+        values = np.arange(300, dtype=float)
+        y = np.array([0] * 100 + [1] * 100 + [0] * 100)
+        disc = MDLP().fit(values, y)
+        assert disc.n_bins_ == 3
+
+    def test_requires_labels(self):
+        with pytest.raises(ValidationError):
+            MDLP().fit(np.array([1.0, 2.0]))
+
+
+class TestDiscretizeTable:
+    def test_numeric_become_categorical(self, weather):
+        out = discretize_table(weather, "equal_width", n_bins=3)
+        assert out.attribute("temperature").is_categorical
+        assert out.attribute("humidity").is_categorical
+        assert out.n_rows == weather.n_rows
+
+    def test_target_is_preserved(self, weather):
+        out = discretize_table(weather, "mdlp", target="play")
+        assert out.attribute("play").is_categorical
+        assert out.attribute("play").values == ("no", "yes")
+
+    def test_id3_runs_on_discretized_numeric_data(self, weather):
+        from repro.classification import ID3
+
+        out = discretize_table(weather, "equal_frequency", n_bins=4)
+        model = ID3().fit(out, "play")
+        assert model.score(out) >= 0.85
+
+    def test_mdlp_requires_target(self, weather):
+        with pytest.raises(ValidationError):
+            discretize_table(weather, "mdlp")
+
+    def test_unknown_method(self, weather):
+        with pytest.raises(ValidationError):
+            discretize_table(weather, "chi_merge")

@@ -1,0 +1,148 @@
+"""Unit tests for scaling, splitting and encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core import NotFittedError, Table, ValidationError, categorical, numeric
+from repro.datasets import iris, play_tennis
+from repro.preprocessing import (
+    MinMaxScaler,
+    StandardScaler,
+    impute_missing,
+    one_hot_matrix,
+    scale_table,
+    train_test_split,
+)
+
+
+class TestScalers:
+    def test_minmax_range(self):
+        X = np.random.default_rng(0).normal(5, 3, size=(50, 3))
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_standard_moments(self):
+        X = np.random.default_rng(1).normal(5, 3, size=(200, 2))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_no_blowup(self):
+        X = np.ones((10, 1))
+        assert np.isfinite(StandardScaler().fit_transform(X)).all()
+        assert np.isfinite(MinMaxScaler().fit_transform(X)).all()
+
+    def test_nan_passthrough(self):
+        X = np.array([[1.0], [np.nan], [3.0]])
+        out = StandardScaler().fit_transform(X)
+        assert np.isnan(out[1, 0])
+        assert np.isfinite(out[[0, 2], 0]).all()
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+    def test_train_statistics_apply_to_test(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[20.0]]))[0, 0] == pytest.approx(2.0)
+
+
+class TestScaleTable:
+    def test_scales_numeric_only(self):
+        table = iris()
+        out = scale_table(table, "standard")
+        col = out.column("sepal_length")
+        assert abs(col.mean()) < 1e-9
+        assert out.attribute("species").is_categorical
+
+    def test_exclude(self):
+        table = iris()
+        out = scale_table(table, "minmax", exclude=["sepal_width"])
+        assert np.allclose(
+            out.column("sepal_width"), table.column("sepal_width")
+        )
+
+    def test_invalid_method(self):
+        with pytest.raises(ValidationError):
+            scale_table(iris(), "robust")
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(iris(), 0.2, random_state=0)
+        assert train.n_rows + test.n_rows == 150
+        assert test.n_rows == 30
+
+    def test_stratified_preserves_proportions(self):
+        train, test = train_test_split(
+            iris(), 0.2, stratify="species", random_state=0
+        )
+        from collections import Counter
+
+        train_counts = Counter(train.column("species").tolist())
+        test_counts = Counter(test.column("species").tolist())
+        assert set(train_counts.values()) == {40}
+        assert set(test_counts.values()) == {10}
+
+    def test_disjoint_and_complete(self):
+        table = iris()
+        train, test = train_test_split(table, 0.3, random_state=1)
+        combined = sorted(
+            train.column("sepal_length").tolist()
+            + test.column("sepal_length").tolist()
+        )
+        assert combined == sorted(table.column("sepal_length").tolist())
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValidationError):
+            train_test_split(iris(), 0.0)
+        with pytest.raises(ValidationError):
+            train_test_split(iris(), 1.0)
+
+    def test_too_few_rows(self):
+        tiny = iris().take([0])
+        with pytest.raises(ValidationError):
+            train_test_split(tiny, 0.5)
+
+
+class TestEncode:
+    def test_one_hot_shapes_and_names(self):
+        X, names = one_hot_matrix(play_tennis(), exclude=("play",))
+        assert X.shape == (14, 10)
+        assert any(name.startswith("outlook=") for name in names)
+
+    def test_one_hot_rows_sum_per_attribute(self):
+        X, _ = one_hot_matrix(play_tennis(), exclude=("play",))
+        # outlook block is the first 3 columns; exactly one hot per row.
+        assert (X[:, :3].sum(axis=1) == 1.0).all()
+
+    def test_one_hot_rejects_missing(self):
+        table = Table.from_rows(
+            [(None, "x")],
+            [categorical("f", ["a"]), categorical("y", ["x"])],
+        )
+        with pytest.raises(ValidationError):
+            one_hot_matrix(table)
+
+    def test_impute_numeric_mean(self):
+        table = Table.from_rows(
+            [(1.0,), (None,), (3.0,)], [numeric("x")]
+        )
+        out = impute_missing(table)
+        assert out.value(1, "x") == pytest.approx(2.0)
+
+    def test_impute_categorical_mode(self):
+        table = Table.from_rows(
+            [("a",), ("a",), (None,), ("b",)],
+            [categorical("c", ["a", "b"])],
+        )
+        out = impute_missing(table)
+        assert out.value(2, "c") == "a"
+
+    def test_impute_all_missing_rejected(self):
+        table = Table.from_rows([(None,), (None,)], [numeric("x")])
+        with pytest.raises(ValidationError):
+            impute_missing(table)

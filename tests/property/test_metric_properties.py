@@ -1,0 +1,104 @@
+"""Property-based tests for evaluation metrics and measures."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.associations.measures import confidence, conviction, leverage, lift
+from repro.classification import entropy, gini
+from repro.evaluation import (
+    accuracy,
+    adjusted_rand_index,
+    normalized_mutual_info,
+    purity,
+    rand_index,
+)
+
+labelings = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(2, 40),
+    elements=st.integers(0, 4),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(labelings)
+def test_external_metrics_perfect_on_self(labels):
+    assert rand_index(labels, labels) == 1.0
+    assert adjusted_rand_index(labels, labels) == 1.0
+    assert purity(labels, labels) == 1.0
+    assert abs(normalized_mutual_info(labels, labels) - 1.0) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_external_metrics_in_bounds(data):
+    n = data.draw(st.integers(2, 30))
+    a = data.draw(hnp.arrays(np.int64, n, elements=st.integers(0, 3)))
+    b = data.draw(hnp.arrays(np.int64, n, elements=st.integers(0, 3)))
+    assert 0.0 <= rand_index(a, b) <= 1.0
+    assert adjusted_rand_index(a, b) <= 1.0 + 1e-12
+    assert 0.0 < purity(a, b) <= 1.0
+    assert 0.0 <= normalized_mutual_info(a, b) <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_metrics_invariant_under_label_permutation(data):
+    n = data.draw(st.integers(2, 30))
+    a = data.draw(hnp.arrays(np.int64, n, elements=st.integers(0, 3)))
+    b = data.draw(hnp.arrays(np.int64, n, elements=st.integers(0, 3)))
+    remapped = (b + 7) * 3  # injective relabeling
+    assert rand_index(a, b) == rand_index(a, remapped)
+    assert adjusted_rand_index(a, b) == adjusted_rand_index(a, remapped)
+    assert normalized_mutual_info(a, b) == normalized_mutual_info(a, remapped)
+
+
+counts = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 6),
+    elements=st.floats(0.0, 100.0),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(counts)
+def test_entropy_and_gini_bounds(class_counts):
+    h = entropy(class_counts)
+    g = gini(class_counts)
+    k = len(class_counts)
+    assert 0.0 <= h <= math.log2(k) + 1e-9 if k > 1 else h == 0.0
+    assert 0.0 <= g <= 1.0 - 1.0 / k + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.floats(0.0, 1.0),
+    st.floats(0.0, 1.0),
+    st.floats(0.0, 1.0),
+)
+def test_measure_relationships(pxy, px, py):
+    # Keep inputs coherent: max(0, px+py-1) <= pxy <= min(px, py).
+    pxy = min(pxy, px, py)
+    pxy = max(pxy, px + py - 1.0, 0.0)
+    conf = confidence(pxy, px)
+    assert 0.0 <= conf <= 1.0 + 1e-12
+    lev = leverage(pxy, px, py)
+    assert -0.25 - 1e-12 <= lev <= 0.25 + 1e-12
+    lft = lift(pxy, px, py)
+    assert lft >= 0.0
+    # lift > 1 exactly when leverage > 0 (both measure the same deviation),
+    # whenever lift is finite and marginals are non-degenerate.
+    if 0 < px and 0 < py and math.isfinite(lft):
+        assert (lft > 1.0) == (lev > 1e-15) or abs(lev) <= 1e-12
+    conv = conviction(pxy, px, py)
+    assert conv >= 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=40))
+def test_accuracy_self_is_one(labels):
+    assert accuracy(labels, labels) == 1.0

@@ -1,0 +1,88 @@
+"""Property-based tests for the frequent-itemset miners."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.associations import (
+    apriori,
+    apriori_hybrid,
+    apriori_tid,
+    brute_force,
+    eclat,
+    fp_growth,
+    generate_rules,
+)
+from repro.core import TransactionDatabase
+from repro.core.itemsets import subsets_of_size
+
+transactions = st.lists(
+    st.lists(st.integers(0, 9), min_size=0, max_size=6),
+    min_size=1,
+    max_size=25,
+)
+supports = st.sampled_from([0.1, 0.25, 0.5, 0.8])
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions, supports)
+def test_all_miners_agree_with_oracle(txns, min_support):
+    db = TransactionDatabase(txns)
+    want = brute_force(db, min_support).supports
+    for miner in (apriori, apriori_tid, apriori_hybrid, eclat, fp_growth):
+        assert miner(db, min_support).supports == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions, supports)
+def test_downward_closure(txns, min_support):
+    db = TransactionDatabase(txns)
+    result = apriori(db, min_support)
+    for itemset in result:
+        if len(itemset) > 1:
+            for sub in subsets_of_size(itemset, len(itemset) - 1):
+                assert sub in result
+                assert result.count(sub) >= result.count(itemset)
+
+
+@settings(max_examples=30, deadline=None)
+@given(transactions)
+def test_support_monotone_in_threshold(txns):
+    db = TransactionDatabase(txns)
+    loose = set(apriori(db, 0.1).supports)
+    tight = set(apriori(db, 0.5).supports)
+    assert tight.issubset(loose)
+
+
+@settings(max_examples=30, deadline=None)
+@given(transactions, supports)
+def test_counts_match_direct_scan(txns, min_support):
+    db = TransactionDatabase(txns)
+    result = fp_growth(db, min_support)
+    for itemset, count in result.supports.items():
+        assert count == db.support_count(itemset)
+
+
+@settings(max_examples=30, deadline=None)
+@given(transactions, supports, st.sampled_from([0.3, 0.6, 0.9]))
+def test_rule_statistics_are_consistent(txns, min_support, min_conf):
+    db = TransactionDatabase(txns)
+    itemsets = apriori(db, min_support)
+    for rule in generate_rules(itemsets, min_conf):
+        assert rule.confidence >= min_conf
+        assert 0.0 <= rule.support <= 1.0
+        # Confidence = support(X∪Y) / support(X), recomputed from scratch.
+        union = tuple(sorted(rule.antecedent + rule.consequent))
+        direct = db.support_count(union) / db.support_count(rule.antecedent)
+        assert abs(rule.confidence - direct) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(transactions, supports)
+def test_maximal_and_closed_invariants(txns, min_support):
+    db = TransactionDatabase(txns)
+    result = apriori(db, min_support)
+    maximal = result.maximal()
+    closed = result.closed()
+    # Maximal sets are closed; both are subsets of the frequent sets.
+    assert set(maximal).issubset(set(closed))
+    assert set(closed).issubset(set(result.supports))

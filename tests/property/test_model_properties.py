@@ -1,0 +1,99 @@
+"""Property-based tests for classifiers and clusterers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classification import C45, CART, KNN, NaiveBayes, ZeroR
+from repro.clustering import KMeans
+from repro.core import Table, categorical, numeric
+from repro.evaluation import sse
+
+
+@st.composite
+def labelled_tables(draw):
+    """Random small numeric tables with a binary target."""
+    n = draw(st.integers(8, 40))
+    xs = draw(
+        st.lists(
+            st.floats(-100.0, 100.0, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    zs = draw(
+        st.lists(
+            st.floats(-100.0, 100.0, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    # Force both classes to appear.
+    labels = draw(
+        st.lists(st.sampled_from(["p", "q"]), min_size=n, max_size=n).filter(
+            lambda ls: len(set(ls)) == 2
+        )
+    )
+    rows = list(zip(xs, zs, labels))
+    table = Table.from_rows(
+        rows,
+        [numeric("x"), numeric("z"), categorical("y", ["p", "q"])],
+    )
+    return table
+
+
+CLASSIFIERS = [
+    lambda: C45(prune=False),
+    lambda: CART(),
+    lambda: NaiveBayes(),
+    lambda: KNN(n_neighbors=1),
+    lambda: ZeroR(),
+]
+
+
+@settings(max_examples=25, deadline=None)
+@given(labelled_tables(), st.integers(0, len(CLASSIFIERS) - 1))
+def test_classifier_protocol_invariants(table, which):
+    model = CLASSIFIERS[which]().fit(table, "y")
+    predictions = model.predict(table)
+    assert len(predictions) == table.n_rows
+    assert set(predictions).issubset({"p", "q"})
+    proba = model.predict_proba(table)
+    assert proba.shape == (table.n_rows, 2)
+    assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+    assert (proba >= -1e-12).all()
+    score = model.score(table)
+    assert 0.0 <= score <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(labelled_tables())
+def test_zeror_is_a_floor_for_trees(table):
+    floor = ZeroR().fit(table, "y").score(table)
+    tree = CART().fit(table, "y").score(table)
+    assert tree >= floor - 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(-50.0, 50.0, allow_nan=False),
+            st.floats(-50.0, 50.0, allow_nan=False),
+        ),
+        min_size=6,
+        max_size=40,
+    ),
+    st.integers(1, 4),
+)
+def test_kmeans_invariants(points, k):
+    X = np.array(points)
+    k = min(k, len(np.unique(X, axis=0)))
+    model = KMeans(k, n_init=2, random_state=0).fit(X)
+    assert model.labels_.shape == (len(X),)
+    assert model.labels_.min() >= 0 and model.labels_.max() < k
+    assert model.cluster_centers_.shape == (k, 2)
+    # Inertia equals the SSE of the final assignment...
+    assert model.inertia_ >= -1e-9
+    assert abs(model.inertia_ - sse(X, model.labels_, model.cluster_centers_)) < 1e-6
+    # ...and every point sits with its nearest center.
+    d = ((X[:, None, :] - model.cluster_centers_[None]) ** 2).sum(axis=2)
+    assert (d[np.arange(len(X)), model.labels_] <= d.min(axis=1) + 1e-9).all()

@@ -1,0 +1,78 @@
+"""Property-based tests for the outlier detectors."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.outliers import distance_outliers, iqr_outliers, zscore_outliers
+
+matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(3, 40), st.integers(1, 3)),
+    elements=st.floats(-1e4, 1e4, allow_nan=False),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices)
+def test_masks_align_with_rows(X):
+    for mask in (
+        zscore_outliers(X, 3.0),
+        iqr_outliers(X, 1.5),
+        distance_outliers(X, eps=1.0, fraction=0.9),
+    ):
+        assert mask.shape == (len(X),)
+        assert mask.dtype == bool
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices)
+def test_zscore_monotone_in_threshold(X):
+    loose = zscore_outliers(X, 1.0)
+    strict = zscore_outliers(X, 3.0)
+    # Everything flagged at the strict threshold is flagged at the loose.
+    assert (loose | ~strict).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices)
+def test_iqr_monotone_in_k(X):
+    loose = iqr_outliers(X, 1.0)
+    strict = iqr_outliers(X, 3.0)
+    assert (loose | ~strict).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices, st.floats(0.1, 10.0))
+def test_distance_outliers_monotone_in_eps(X, eps):
+    small = distance_outliers(X, eps=eps, fraction=0.9)
+    large = distance_outliers(X, eps=eps * 4, fraction=0.9)
+    # Growing eps can only turn outliers into inliers.
+    assert (small | ~large).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices)
+def test_translation_invariance(X):
+    # Quantize so the shift cannot absorb sub-epsilon values (floating
+    # point addition is not exactly translation-invariant).
+    X = np.round(X, 3)
+    shifted = X + 123.456
+    assert (zscore_outliers(X, 2.5) == zscore_outliers(shifted, 2.5)).all()
+    assert (iqr_outliers(X) == iqr_outliers(shifted)).all()
+    assert (
+        distance_outliers(X, 2.0, 0.9)
+        == distance_outliers(shifted, 2.0, 0.9)
+    ).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices)
+def test_duplicated_dataset_never_more_outliers_by_distance(X):
+    # Duplicating every point doubles each point's within-eps count
+    # relative to n, so no inlier can become an outlier.
+    doubled = np.vstack([X, X])
+    base = distance_outliers(X, 2.0, 0.9)
+    dup = distance_outliers(doubled, 2.0, 0.9)[: len(X)]
+    assert (base | ~dup).all()

@@ -1,0 +1,87 @@
+"""Property-based tests for the regression subpackage."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import Table, numeric
+from repro.regression import (
+    LinearRegression,
+    RegressionTree,
+    mean_absolute_error,
+    mean_squared_error,
+    r_squared,
+    root_mean_squared_error,
+)
+
+vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(2, 40),
+    elements=st.floats(-1e3, 1e3, allow_nan=False),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(vectors, vectors)
+def test_metric_relationships(a, b):
+    n = min(len(a), len(b))
+    y_true, y_pred = a[:n], b[:n]
+    mse = mean_squared_error(y_true, y_pred)
+    assert mse >= 0.0
+    assert root_mean_squared_error(y_true, y_pred) ** 2 == np.float64(
+        mse
+    ).item() or abs(root_mean_squared_error(y_true, y_pred) ** 2 - mse) < 1e-6
+    assert mean_absolute_error(y_true, y_pred) >= 0.0
+    # MAE <= RMSE (Jensen).
+    assert (
+        mean_absolute_error(y_true, y_pred)
+        <= root_mean_squared_error(y_true, y_pred) + 1e-9
+    )
+    assert r_squared(y_true, y_true) == 1.0
+    assert r_squared(y_true, y_pred) <= 1.0 + 1e-12
+
+
+@st.composite
+def regression_tables(draw):
+    n = draw(st.integers(6, 50))
+    x = draw(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=n, max_size=n)
+    )
+    y = draw(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=n, max_size=n)
+    )
+    return Table(
+        [numeric("x"), numeric("y")],
+        {"x": np.array(x), "y": np.array(y)},
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(regression_tables())
+def test_tree_predictions_bounded_by_target_range(table):
+    model = RegressionTree(max_depth=4).fit(table, "y")
+    predictions = model.predict(table)
+    y = table.column("y")
+    assert predictions.min() >= y.min() - 1e-9
+    assert predictions.max() <= y.max() + 1e-9
+    # Training R^2 of any least-squares tree is never below the mean
+    # predictor's 0 (each leaf predicts its own mean).
+    assert model.score(table) >= -1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(regression_tables())
+def test_deeper_trees_fit_training_data_no_worse(table):
+    shallow = RegressionTree(max_depth=1).fit(table, "y").score(table)
+    deep = RegressionTree(max_depth=5).fit(table, "y").score(table)
+    assert deep >= shallow - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(regression_tables())
+def test_ols_training_r2_nonnegative(table):
+    # OLS with intercept can never do worse than the mean on its own
+    # training data.
+    model = LinearRegression().fit(table, "y")
+    assert model.score(table) >= -1e-6

@@ -1,0 +1,70 @@
+"""Property-based tests for the sequential-pattern miners."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SequenceDatabase
+from repro.core.sequences import sequence_contains
+from repro.sequences import apriori_all, brute_force_sequences, gsp, prefixspan
+
+sequences = st.lists(
+    st.lists(
+        st.lists(st.integers(0, 5), min_size=1, max_size=3),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=12,
+)
+supports = st.sampled_from([0.2, 0.4, 0.7])
+
+
+@settings(max_examples=30, deadline=None)
+@given(sequences, supports)
+def test_gsp_and_prefixspan_match_oracle(seqs, min_support):
+    db = SequenceDatabase(seqs)
+    want = brute_force_sequences(db, min_support, max_length=5).supports
+    assert gsp(db, min_support, max_length=5).supports == want
+    assert prefixspan(db, min_support, max_length=5).supports == want
+
+
+@settings(max_examples=25, deadline=None)
+@given(sequences, supports)
+def test_apriori_all_agrees_with_gsp(seqs, min_support):
+    db = SequenceDatabase(seqs)
+    assert apriori_all(db, min_support).supports == gsp(db, min_support).supports
+
+
+@settings(max_examples=25, deadline=None)
+@given(sequences, supports)
+def test_counts_match_direct_scan(seqs, min_support):
+    db = SequenceDatabase(seqs)
+    result = prefixspan(db, min_support, max_length=5)
+    for pattern, count in result.supports.items():
+        assert count == db.support_count(pattern)
+
+
+@settings(max_examples=25, deadline=None)
+@given(sequences)
+def test_pattern_antimonotonicity(seqs):
+    """Every frequent pattern's sub-patterns are at least as frequent."""
+    db = SequenceDatabase(seqs)
+    result = gsp(db, 0.3, max_length=4)
+    patterns = list(result.supports)
+    for p in patterns:
+        for q in patterns:
+            if p != q and sequence_contains(p, q):
+                assert result.count(q) >= result.count(p)
+
+
+@settings(max_examples=20, deadline=None)
+@given(sequences, supports)
+def test_maximal_patterns_are_frequent_and_uncovered(seqs, min_support):
+    db = SequenceDatabase(seqs)
+    result = gsp(db, min_support, max_length=4)
+    maximal = result.maximal()
+    for pattern in maximal:
+        assert pattern in result.supports
+        for other in result.supports:
+            if other != pattern:
+                assert not sequence_contains(other, pattern)

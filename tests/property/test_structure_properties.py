@@ -1,0 +1,116 @@
+"""Property-based tests for core data structures and preprocessing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.associations import HashTree, apriori_gen
+from repro.core import TransactionDatabase
+from repro.preprocessing import EqualFrequency, EqualWidth, MinMaxScaler, StandardScaler
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.lists(st.integers(0, 12), max_size=8), min_size=1, max_size=20)
+)
+def test_transaction_db_invariants(txns):
+    db = TransactionDatabase(txns)
+    assert len(db) == len(txns)
+    for txn in db:
+        assert list(txn) == sorted(set(txn))
+    counts = db.item_counts()
+    for item, count in counts.items():
+        assert count == db.support_count((item,))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.sets(
+        st.tuples(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15)),
+        max_size=30,
+    ),
+    st.lists(
+        st.sets(st.integers(0, 15), min_size=1, max_size=10),
+        min_size=1,
+        max_size=30,
+    ),
+)
+def test_hash_tree_equals_naive_counting(raw_candidates, raw_txns):
+    candidates = sorted(
+        {tuple(sorted(set(c))) for c in raw_candidates if len(set(c)) == 3}
+    )
+    txns = [tuple(sorted(t)) for t in raw_txns]
+    tree = HashTree(candidates, leaf_capacity=2, n_buckets=4)
+    tree.count_transactions(txns)
+    counts = tree.counts()
+    for cand in candidates:
+        assert counts[cand] == sum(
+            1 for t in txns if set(cand).issubset(t)
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.sets(
+        st.tuples(st.integers(0, 8), st.integers(0, 8)), min_size=0, max_size=20
+    )
+)
+def test_apriori_gen_subsets_frequent(pairs):
+    frequent = sorted({tuple(sorted(set(p))) for p in pairs if len(set(p)) == 2})
+    from repro.core.itemsets import subsets_of_size
+
+    out = apriori_gen(frequent)
+    prev = set(frequent)
+    for candidate in out:
+        assert len(candidate) == 3
+        assert list(candidate) == sorted(set(candidate))
+        for sub in subsets_of_size(candidate, 2):
+            assert sub in prev
+
+
+matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 30), st.integers(1, 4)),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices)
+def test_minmax_scaler_bounds(X):
+    scaled = MinMaxScaler().fit_transform(X)
+    assert (scaled >= -1e-9).all() and (scaled <= 1.0 + 1e-9).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices)
+def test_standard_scaler_centering(X):
+    scaler = StandardScaler()
+    scaled = scaler.fit_transform(X)
+    # Catastrophic cancellation bounds the achievable centering: the
+    # residual mean is O(eps * |X|max / std) per column.
+    eps = np.finfo(np.float64).eps
+    bound = 1e-9 + 100 * eps * np.abs(X).max(axis=0) / np.maximum(
+        scaler.std_, 1e-300
+    )
+    assert (np.abs(scaled.mean(axis=0)) <= bound).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(2, 60),
+        elements=st.floats(-1e3, 1e3, allow_nan=False),
+    ),
+    st.integers(2, 8),
+)
+def test_discretizers_produce_valid_codes(values, n_bins):
+    for disc in (EqualWidth(n_bins), EqualFrequency(n_bins)):
+        codes = disc.fit_transform(values)
+        assert codes.min() >= 0
+        assert codes.max() < disc.n_bins_
+        # Binning preserves order: v1 <= v2 implies bin(v1) <= bin(v2).
+        order = np.argsort(values, kind="mergesort")
+        assert (np.diff(codes[order]) >= 0).all()

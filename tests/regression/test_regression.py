@@ -1,0 +1,206 @@
+"""Unit tests for the regression subpackage."""
+
+import numpy as np
+import pytest
+
+from repro.core import NotFittedError, Table, ValidationError, categorical, numeric
+from repro.datasets import friedman1
+from repro.preprocessing import train_test_split
+from repro.regression import (
+    LinearRegression,
+    RegressionTree,
+    mean_absolute_error,
+    mean_squared_error,
+    r_squared,
+    root_mean_squared_error,
+)
+
+
+class TestMetrics:
+    def test_mse_by_hand(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 4.0]) == 2.0
+
+    def test_rmse_is_sqrt(self):
+        assert root_mean_squared_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_mae_by_hand(self):
+        assert mean_absolute_error([1.0, -1.0], [0.0, 0.0]) == 1.0
+
+    def test_r2_perfect_and_mean(self):
+        y = [1.0, 2.0, 3.0]
+        assert r_squared(y, y) == 1.0
+        assert r_squared(y, [2.0, 2.0, 2.0]) == 0.0
+
+    def test_r2_worse_than_mean_is_negative(self):
+        assert r_squared([1.0, 2.0, 3.0], [3.0, 2.0, 1.0]) < 0.0
+
+    def test_constant_target_convention(self):
+        assert r_squared([5.0, 5.0], [5.0, 5.0]) == 1.0
+        assert r_squared([5.0, 5.0], [4.0, 6.0]) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            mean_squared_error([1.0], [1.0, 2.0])
+        with pytest.raises(ValidationError):
+            r_squared([], [])
+        with pytest.raises(ValidationError):
+            mean_absolute_error([np.nan], [1.0])
+
+
+class TestRegressionTree:
+    def test_fits_step_function_exactly(self):
+        rows = [(float(x), 0.0 if x < 50 else 10.0) for x in range(100)]
+        table = Table.from_rows(rows, [numeric("x"), numeric("y")])
+        model = RegressionTree().fit(table, "y")
+        assert model.score(table) == pytest.approx(1.0)
+        assert model.depth() == 1
+
+    def test_piecewise_linear_approximation_improves_with_depth(self):
+        rows = [(float(x) / 10, float(x) / 10 * 2.0) for x in range(200)]
+        table = Table.from_rows(rows, [numeric("x"), numeric("y")])
+        shallow = RegressionTree(max_depth=2).fit(table, "y").score(table)
+        deep = RegressionTree(max_depth=6).fit(table, "y").score(table)
+        assert deep > shallow
+
+    def test_categorical_split_exact_ordering(self):
+        rows = []
+        means = {"a": 0.0, "b": 10.0, "c": 0.5, "d": 9.5}
+        for cat, mean in means.items():
+            rows += [(cat, mean + d) for d in (-0.1, 0.0, 0.1)]
+        table = Table.from_rows(
+            rows, [categorical("g", list(means)), numeric("y")]
+        )
+        model = RegressionTree(max_depth=1).fit(table, "y")
+        # One split must separate {a, c} from {b, d}.
+        predictions = model.predict(table)
+        low = predictions[[0, 1, 2, 6, 7, 8]]
+        high = predictions[[3, 4, 5, 9, 10, 11]]
+        assert low.max() < high.min()
+
+    def test_friedman_beats_mean_predictor(self):
+        table = friedman1(1200, random_state=3)
+        train, test = train_test_split(table, 0.3, random_state=0)
+        model = RegressionTree(max_depth=8, min_samples_leaf=5).fit(train, "y")
+        assert model.score(test) > 0.5
+
+    def test_ignores_noise_features(self):
+        # Friedman1's x6..x10 are irrelevant; a shallow tree should
+        # never split on them first.
+        table = friedman1(1500, noise_sd=0.5, random_state=4)
+        model = RegressionTree(max_depth=1).fit(table, "y")
+        assert model.tree_.attribute.name in ("x1", "x2", "x3", "x4", "x5")
+
+    def test_min_samples_leaf(self):
+        table = friedman1(300, random_state=5)
+        model = RegressionTree(min_samples_leaf=30).fit(table, "y")
+
+        def leaf_sizes(node):
+            if hasattr(node, "value"):
+                return [node.n]
+            return leaf_sizes(node.left) + leaf_sizes(node.right)
+
+        assert min(leaf_sizes(model.tree_)) >= 30
+
+    def test_missing_feature_handling(self):
+        rows = [(1.0, 1.0), (None, 1.2), (10.0, 9.8), (11.0, 10.0)]
+        table = Table.from_rows(rows, [numeric("x"), numeric("y")])
+        model = RegressionTree(min_samples_leaf=1).fit(table, "y")
+        assert np.isfinite(model.predict(table)).all()
+
+    def test_rejects_categorical_target(self):
+        table = Table.from_rows(
+            [(1.0, "a")], [numeric("x"), categorical("y", ["a"])]
+        )
+        with pytest.raises(ValidationError):
+            RegressionTree().fit(table, "y")
+
+    def test_rejects_missing_target(self):
+        table = Table.from_rows([(1.0, None)], [numeric("x"), numeric("y")])
+        with pytest.raises(ValidationError):
+            RegressionTree().fit(table, "y")
+
+    def test_predict_before_fit(self):
+        table = Table.from_rows([(1.0, 2.0)], [numeric("x"), numeric("y")])
+        with pytest.raises(NotFittedError):
+            RegressionTree().predict(table)
+
+
+class TestLinearRegression:
+    def test_recovers_exact_line(self):
+        rows = [(float(x), 3.0 * x + 1.0) for x in range(20)]
+        table = Table.from_rows(rows, [numeric("x"), numeric("y")])
+        model = LinearRegression().fit(table, "y")
+        assert model.coefficients_[0] == pytest.approx(3.0)
+        assert model.intercept_ == pytest.approx(1.0)
+        assert model.score(table) == pytest.approx(1.0)
+
+    def test_multivariate(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        y = X @ np.array([2.0, -1.0, 0.5]) + 4.0
+        table = Table(
+            [numeric("a"), numeric("b"), numeric("c"), numeric("y")],
+            {"a": X[:, 0], "b": X[:, 1], "c": X[:, 2], "y": y},
+        )
+        model = LinearRegression().fit(table, "y")
+        assert np.allclose(model.coefficients_, [2.0, -1.0, 0.5])
+
+    def test_categorical_one_hot(self):
+        rows = [("a", 1.0), ("b", 5.0)] * 10
+        table = Table.from_rows(
+            rows, [categorical("g", ["a", "b"]), numeric("y")]
+        )
+        model = LinearRegression().fit(table, "y")
+        assert model.score(table) == pytest.approx(1.0)
+
+    def test_tree_beats_ols_on_nonlinear_signal(self):
+        # A low/high/low plateau signal: zero linear trend, trivially
+        # piecewise-constant.  (A balanced square wave would defeat the
+        # *greedy* splitter — every first split has zero gain — which is
+        # the classic greedy-myopia caveat, not a bug.)
+        rows = [
+            (float(x), 10.0 if 100 <= x < 200 else 0.0) for x in range(300)
+        ]
+        table = Table.from_rows(rows, [numeric("x"), numeric("y")])
+        tree = RegressionTree(max_depth=8).fit(table, "y").score(table)
+        ols = LinearRegression().fit(table, "y").score(table)
+        assert tree == pytest.approx(1.0)
+        assert tree > ols + 0.3
+
+    def test_schema_mismatch_rejected(self):
+        rows = [(1.0, 2.0)]
+        table = Table.from_rows(rows, [numeric("x"), numeric("y")])
+        model = LinearRegression().fit(table, "y")
+        other = Table.from_rows([(1.0,)], [numeric("z")])
+        with pytest.raises(ValidationError):
+            model.predict(other)
+
+    def test_predict_before_fit(self):
+        table = Table.from_rows([(1.0, 2.0)], [numeric("x"), numeric("y")])
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict(table)
+
+
+class TestFriedman1:
+    def test_shapes_and_determinism(self):
+        a = friedman1(50, random_state=1)
+        b = friedman1(50, random_state=1)
+        assert np.allclose(a.column("y"), b.column("y"))
+        assert a.attribute_names[-1] == "y"
+
+    def test_noise_free_signal_formula(self):
+        table = friedman1(100, noise_sd=0.0, random_state=2)
+        x = {name: table.column(name) for name in table.attribute_names}
+        expected = (
+            10 * np.sin(np.pi * x["x1"] * x["x2"])
+            + 20 * (x["x3"] - 0.5) ** 2
+            + 10 * x["x4"]
+            + 5 * x["x5"]
+        )
+        assert np.allclose(table.column("y"), expected)
+
+    def test_needs_five_features(self):
+        with pytest.raises(ValidationError):
+            friedman1(10, n_features=4)

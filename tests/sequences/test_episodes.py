@@ -1,0 +1,146 @@
+"""Unit tests for WINEPI episode mining."""
+
+import numpy as np
+import pytest
+
+from repro.core import ValidationError
+from repro.sequences import EventSequence, winepi
+
+
+def _brute_count(sequence, episode, window, episode_type):
+    """Oracle: test every window start explicitly."""
+    first, last = sequence.span()
+    events = list(sequence)
+    count = 0
+    for s in range(first - window + 1, last + 1):
+        in_window = [(t, e) for t, e in events if s <= t < s + window]
+        if episode_type == "parallel":
+            present = {e for _, e in in_window}
+            if set(episode).issubset(present):
+                count += 1
+        else:
+            t_prev = None
+            pos_ok = True
+            remaining = list(in_window)
+            for wanted in episode:
+                found = None
+                for t, e in remaining:
+                    if e == wanted and (t_prev is None or t > t_prev):
+                        found = t
+                        break
+                if found is None:
+                    pos_ok = False
+                    break
+                t_prev = found
+            if pos_ok:
+                count += 1
+    return count
+
+
+class TestEventSequence:
+    def test_sorts_events(self):
+        seq = EventSequence([(5, 0), (1, 1)])
+        assert list(seq) == [(1, 1), (5, 0)]
+
+    def test_occurrences(self):
+        seq = EventSequence([(1, 0), (3, 0), (2, 1)])
+        assert seq.occurrences(0) == [1, 3]
+        assert seq.occurrences(9) == []
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            EventSequence([(1.5, 0)])
+        with pytest.raises(ValidationError):
+            EventSequence([(1, -1)])
+        with pytest.raises(ValidationError):
+            EventSequence([]).span()
+
+
+class TestWinepi:
+    def test_alarm_pattern_serial(self):
+        # Event 0 is always followed by event 1 one tick later.
+        seq = EventSequence(
+            [(t, 0) for t in range(0, 60, 5)]
+            + [(t + 1, 1) for t in range(0, 60, 5)]
+        )
+        result = winepi(seq, window=3, min_frequency=0.3,
+                        episode_type="serial")
+        assert (0, 1) in result
+        assert (1, 0) not in result  # the reverse order never occurs
+
+    def test_parallel_ignores_order(self):
+        seq = EventSequence(
+            [(t, 0) for t in range(0, 60, 5)]
+            + [(t + 1, 1) for t in range(0, 60, 5)]
+        )
+        result = winepi(seq, window=3, min_frequency=0.3,
+                        episode_type="parallel")
+        assert (0, 1) in result  # parallel episodes are sorted sets
+
+    def test_counts_match_oracle_serial(self):
+        rng = np.random.default_rng(0)
+        events = [(int(t), int(rng.integers(4))) for t in range(60)]
+        seq = EventSequence(events)
+        result = winepi(seq, window=5, min_frequency=0.05,
+                        episode_type="serial", max_size=3)
+        for episode, freq in list(result.frequencies.items())[:30]:
+            expected = _brute_count(seq, episode, 5, "serial")
+            assert freq == pytest.approx(expected / result.n_windows), episode
+
+    def test_counts_match_oracle_parallel(self):
+        rng = np.random.default_rng(1)
+        events = [(int(t), int(rng.integers(4))) for t in range(60)]
+        seq = EventSequence(events)
+        result = winepi(seq, window=5, min_frequency=0.05,
+                        episode_type="parallel", max_size=3)
+        for episode, freq in result.frequencies.items():
+            expected = _brute_count(seq, episode, 5, "parallel")
+            assert freq == pytest.approx(expected / result.n_windows), episode
+
+    def test_antimonotone_frequencies(self):
+        rng = np.random.default_rng(2)
+        events = [(int(t), int(rng.integers(3))) for t in range(80)]
+        seq = EventSequence(events)
+        result = winepi(seq, window=6, min_frequency=0.05,
+                        episode_type="serial", max_size=3)
+        for episode in result:
+            if len(episode) >= 2:
+                for i in range(len(episode)):
+                    sub = episode[:i] + episode[i + 1:]
+                    if sub in result:
+                        assert result.frequency(sub) >= result.frequency(episode)
+
+    def test_serial_episodes_may_repeat_types(self):
+        seq = EventSequence([(t, 0) for t in range(30)])
+        result = winepi(seq, window=4, min_frequency=0.3,
+                        episode_type="serial", max_size=3)
+        assert (0, 0) in result  # two zeros within any window of 4
+
+    def test_wider_window_higher_frequency(self):
+        seq = EventSequence(
+            [(t, 0) for t in range(0, 50, 7)]
+            + [(t + 3, 1) for t in range(0, 50, 7)]
+        )
+        narrow = winepi(seq, window=4, min_frequency=0.01,
+                        episode_type="serial", max_size=2)
+        wide = winepi(seq, window=10, min_frequency=0.01,
+                      episode_type="serial", max_size=2)
+        assert wide.frequency((0, 1)) > narrow.frequency((0, 1))
+
+    def test_max_size(self):
+        seq = EventSequence([(t, t % 3) for t in range(40)])
+        result = winepi(seq, window=6, min_frequency=0.05, max_size=2)
+        assert all(len(e) <= 2 for e in result)
+
+    def test_empty_sequence(self):
+        result = winepi(EventSequence([]), window=5)
+        assert len(result) == 0 and result.n_windows == 0
+
+    def test_invalid_params(self):
+        seq = EventSequence([(1, 0)])
+        with pytest.raises(ValidationError):
+            winepi(seq, window=0)
+        with pytest.raises(ValidationError):
+            winepi(seq, window=5, episode_type="hybrid")
+        with pytest.raises(ValidationError):
+            winepi(seq, window=5, max_size=0)

@@ -1,0 +1,107 @@
+"""Unit tests for GSP's time constraints (window, min-gap, max-gap)."""
+
+import pytest
+
+from repro.core import SequenceDatabase, ValidationError
+from repro.sequences import gsp
+from repro.sequences.gsp import _ContainsChecker
+
+
+def _checker(min_gap=None, max_gap=None, window=0.0):
+    return _ContainsChecker(min_gap, max_gap, window)
+
+
+class TestContainsChecker:
+    SEQ = ((1,), (2,), (3,), (4,))
+    TIMES = [0.0, 1.0, 2.0, 10.0]
+
+    def test_plain_containment(self):
+        c = _checker()
+        assert c.contains(self.SEQ, self.TIMES, ((1,), (3,)))
+        assert not c.contains(self.SEQ, self.TIMES, ((3,), (1,)))
+
+    def test_max_gap_rejects_distant_elements(self):
+        c = _checker(max_gap=5.0)
+        assert c.contains(self.SEQ, self.TIMES, ((1,), (2,)))
+        assert not c.contains(self.SEQ, self.TIMES, ((3,), (4,)))
+
+    def test_min_gap_rejects_adjacent_elements(self):
+        c = _checker(min_gap=1.5)
+        # 1 -> 2 are 1.0 apart (< min_gap), but 1 -> 3 are 2.0 apart.
+        assert not c.contains(self.SEQ, self.TIMES, ((1,), (2,)))
+        assert c.contains(self.SEQ, self.TIMES, ((1,), (3,)))
+
+    def test_window_assembles_one_element_from_neighbours(self):
+        seq = ((1,), (2,), (5,))
+        times = [0.0, 0.5, 3.0]
+        # (1 2) never co-occurs, but a window of 1 merges the first two.
+        assert not _checker().contains(seq, times, ((1, 2),))
+        assert _checker(window=1.0).contains(seq, times, ((1, 2),))
+
+    def test_window_respects_span(self):
+        seq = ((1,), (2,))
+        times = [0.0, 5.0]
+        assert not _checker(window=1.0).contains(seq, times, ((1, 2),))
+
+    def test_empty_pattern(self):
+        assert _checker().contains(self.SEQ, self.TIMES, ())
+
+    def test_combined_constraints(self):
+        seq = ((1,), (2,), (3,))
+        times = [0.0, 2.0, 4.0]
+        c = _checker(min_gap=1.0, max_gap=3.0)
+        assert c.contains(seq, times, ((1,), (2,)))
+        assert c.contains(seq, times, ((2,), (3,)))
+        # 1 -> 3 violates max_gap (end 4.0 - start 0.0 > 3.0).
+        assert not c.contains(seq, times, ((1,), (3,)))
+
+
+class TestGspWithConstraints:
+    def _db(self):
+        return SequenceDatabase(
+            [
+                [(1,), (2,), (3,)],
+                [(1,), (2,), (3,)],
+                [(1,), (3,)],
+            ]
+        )
+
+    def test_max_gap_shrinks_results(self):
+        db = self._db()
+        unconstrained = gsp(db, 0.3)
+        constrained = gsp(db, 0.3, max_gap=1.0)
+        assert set(constrained.supports).issubset(set(unconstrained.supports))
+        # <(1)(3)> holds in all three sequences unconstrained...
+        assert unconstrained.supports[((1,), (3,))] == 3
+        # ...but with max_gap=1 only where 3 directly follows 1.
+        assert constrained.supports.get(((1,), (3,)), 0) == 1
+
+    def test_window_grows_results(self):
+        db = SequenceDatabase([[(1,), (2,)], [(1,), (2,)], [(1, 2)]])
+        without = gsp(db, 0.9)
+        with_window = gsp(db, 0.9, window=1.0)
+        # (1 2) as one element only reaches 90% support via the window.
+        assert ((1, 2),) not in without.supports
+        assert with_window.supports[((1, 2),)] == 3
+
+    def test_explicit_times(self):
+        db = SequenceDatabase([[(1,), (2,)]] * 3)
+        times = [[0.0, 100.0]] * 3
+        result = gsp(db, 0.9, max_gap=10.0, times=times)
+        assert ((1,), (2,)) not in result.supports
+
+    def test_times_validation(self):
+        db = SequenceDatabase([[(1,), (2,)]])
+        with pytest.raises(ValidationError):
+            gsp(db, 0.5, times=[[0.0]])
+        with pytest.raises(ValidationError):
+            gsp(db, 0.5, times=[[1.0, 0.5]])
+
+    def test_parameter_validation(self):
+        db = self._db()
+        with pytest.raises(ValidationError):
+            gsp(db, 0.5, window=-1.0)
+        with pytest.raises(ValidationError):
+            gsp(db, 0.5, min_gap=-0.5)
+        with pytest.raises(ValidationError):
+            gsp(db, 0.5, max_gap=0.0)

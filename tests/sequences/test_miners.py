@@ -1,0 +1,104 @@
+"""Unit tests for AprioriAll, GSP and PrefixSpan (shared behaviours)."""
+
+import pytest
+
+from repro.core import SequenceDatabase, ValidationError
+from repro.core.sequences import pattern_length
+from repro.sequences import (
+    apriori_all,
+    brute_force_sequences,
+    gsp,
+    prefixspan,
+)
+
+
+class TestWorkedExample:
+    """The AprioriAll paper's five-customer example at 25% support
+    (min_count = 2)."""
+
+    def test_maximal_sequences(self, small_seq_db):
+        result = apriori_all(small_seq_db, min_support=0.4)
+        maximal = result.maximal()
+        # The paper's answer: <(3)(9)> and <(3)(4 7)> are maximal
+        # (plus any singleton not contained in them: (1 2)-family absent
+        # at this support).
+        assert ((3,), (9,)) in maximal
+        assert ((3,), (4, 7)) in maximal
+
+    def test_supports_match_full_scan(self, small_seq_db):
+        result = apriori_all(small_seq_db, min_support=0.4)
+        for pattern, count in result.supports.items():
+            assert count == small_seq_db.support_count(pattern), pattern
+
+
+@pytest.mark.parametrize("miner", [gsp, prefixspan])
+class TestItemLevelMiners:
+    def test_matches_oracle_small(self, miner, small_seq_db):
+        ref = brute_force_sequences(small_seq_db, 0.4, max_length=5).supports
+        got = miner(small_seq_db, 0.4, max_length=5).supports
+        assert got == ref
+
+    def test_matches_oracle_medium(self, miner, medium_seq_db):
+        # Restrict to sequences the exponential oracle can afford.
+        small_enough = SequenceDatabase(
+            [
+                seq
+                for seq in medium_seq_db
+                if len(seq) <= 10 and all(len(e) <= 5 for e in seq)
+            ],
+            item_labels=medium_seq_db.item_labels,
+        )
+        assert len(small_enough) >= 50  # the filter must keep real data
+        ref = brute_force_sequences(small_enough, 0.1, max_length=4).supports
+        got = miner(small_enough, 0.1, max_length=4).supports
+        assert got == ref
+
+    def test_empty_db(self, miner):
+        assert len(miner(SequenceDatabase([]), 0.5)) == 0
+
+    def test_monotone_in_support(self, miner, medium_seq_db):
+        loose = set(miner(medium_seq_db, 0.1, max_length=4).supports)
+        tight = set(miner(medium_seq_db, 0.3, max_length=4).supports)
+        assert tight.issubset(loose)
+
+    def test_max_length_counts_items(self, miner, medium_seq_db):
+        result = miner(medium_seq_db, 0.1, max_length=2)
+        assert all(pattern_length(p) <= 2 for p in result.supports)
+
+    def test_invalid_max_length(self, miner, small_seq_db):
+        with pytest.raises(ValidationError):
+            miner(small_seq_db, 0.5, max_length=0)
+
+
+class TestAprioriAllAgreesWithGsp:
+    def test_same_patterns_without_length_cap(self, medium_seq_db):
+        a = apriori_all(medium_seq_db, 0.15).supports
+        g = gsp(medium_seq_db, 0.15).supports
+        assert a == g
+
+    def test_small_db_agreement(self, small_seq_db):
+        a = apriori_all(small_seq_db, 0.4).supports
+        g = gsp(small_seq_db, 0.4).supports
+        assert a == g
+
+
+class TestResultContainer:
+    def test_of_length_and_max_length(self, small_seq_db):
+        result = gsp(small_seq_db, 0.4)
+        for length, patterns in [
+            (1, result.of_length(1)), (2, result.of_length(2))
+        ]:
+            assert all(pattern_length(p) == length for p in patterns)
+        assert result.max_length() >= 2
+
+    def test_sorted_by_support(self, small_seq_db):
+        ordered = gsp(small_seq_db, 0.4).sorted_by_support()
+        counts = [c for _, c in ordered]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_support_accessors(self, small_seq_db):
+        result = gsp(small_seq_db, 0.4)
+        pattern = ((3,), (9,))
+        assert result.count(pattern) == 2
+        assert result.support(pattern) == pytest.approx(0.4)
+        assert pattern in result

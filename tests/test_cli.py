@@ -1,0 +1,96 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def basket_file(tmp_path):
+    path = tmp_path / "basket.dat"
+    assert main(["generate", "basket", str(path), "--rows", "300",
+                 "--seed", "1"]) == 0
+    return path
+
+
+@pytest.fixture
+def agrawal_file(tmp_path):
+    path = tmp_path / "credit.csv"
+    assert main(["generate", "agrawal", str(path), "--rows", "600",
+                 "--function", "2", "--seed", "2"]) == 0
+    return path
+
+
+@pytest.fixture
+def blobs_file(tmp_path):
+    path = tmp_path / "blobs.csv"
+    assert main(["generate", "blobs", str(path), "--rows", "200",
+                 "--centers", "3", "--seed", "3"]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_basket_file_loads(self, basket_file):
+        from repro.datasets import load_transactions
+
+        db = load_transactions(basket_file)
+        assert len(db) == 300
+
+    def test_agrawal_file_loads(self, agrawal_file):
+        from repro.datasets import load_table
+
+        table = load_table(agrawal_file)
+        assert table.n_rows == 600
+        assert "group" in table.attribute_names
+
+
+class TestMine:
+    def test_mine_reports_itemsets_and_rules(self, basket_file, capsys):
+        assert main(["mine", str(basket_file), "--min-support", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "frequent itemsets" in out
+        assert "rules at confidence" in out
+
+    def test_all_miners_run(self, basket_file):
+        for miner in ("apriori", "fp_growth", "eclat", "apriori_tid"):
+            assert main(["mine", str(basket_file), "--miner", miner,
+                         "--min-support", "0.05"]) == 0
+
+    def test_missing_file_fails_cleanly(self, capsys):
+        assert main(["mine", "/nonexistent/file.dat"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestClassify:
+    def test_c45_on_generated_table(self, agrawal_file, capsys):
+        assert main(["classify", str(agrawal_file), "--target", "group"]) == 0
+        out = capsys.readouterr().out
+        assert "test accuracy" in out
+        assert "class 'A'" in out or "class 'B'" in out
+
+    @pytest.mark.parametrize("clf", ["cart", "nb", "zeror"])
+    def test_other_classifiers(self, agrawal_file, clf):
+        assert main(["classify", str(agrawal_file), "--target", "group",
+                     "--classifier", clf]) == 0
+
+    def test_unknown_target_fails_cleanly(self, agrawal_file, capsys):
+        assert main(["classify", str(agrawal_file), "--target", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCluster:
+    def test_kmeans(self, blobs_file, capsys):
+        assert main(["cluster", str(blobs_file), "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "clusters: 3" in out
+        assert "silhouette" in out
+
+    def test_dbscan(self, blobs_file, capsys):
+        assert main(["cluster", str(blobs_file), "--algorithm", "dbscan",
+                     "--eps", "1.5"]) == 0
+        assert "SSE" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algo", ["pam", "birch", "agglomerative"])
+    def test_other_algorithms(self, blobs_file, algo):
+        assert main(["cluster", str(blobs_file), "--algorithm", algo,
+                     "--k", "3", "--eps", "1.0"]) == 0

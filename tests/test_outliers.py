@@ -1,0 +1,93 @@
+"""Unit tests for the outlier detectors."""
+
+import numpy as np
+import pytest
+
+from repro.core import ValidationError
+from repro.outliers import distance_outliers, iqr_outliers, zscore_outliers
+
+
+@pytest.fixture
+def blob_with_outliers():
+    rng = np.random.default_rng(0)
+    X = rng.normal(0, 1.0, size=(200, 2))
+    outliers = np.array([[25.0, 25.0], [-30.0, 10.0], [0.0, 40.0]])
+    return np.vstack([X, outliers]), np.array([False] * 200 + [True] * 3)
+
+
+class TestZScore:
+    def test_flags_planted_outliers(self, blob_with_outliers):
+        X, truth = blob_with_outliers
+        flags = zscore_outliers(X, threshold=4.0)
+        assert flags[truth].all()
+        assert flags[~truth].mean() < 0.02
+
+    def test_constant_column_never_flags(self):
+        X = np.column_stack([np.ones(50), np.linspace(0, 1, 50)])
+        assert not zscore_outliers(X, threshold=3.0)[:10].any()
+
+    def test_lower_threshold_flags_more(self, blob_with_outliers):
+        X, _ = blob_with_outliers
+        loose = zscore_outliers(X, threshold=1.0).sum()
+        strict = zscore_outliers(X, threshold=3.0).sum()
+        assert loose > strict
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValidationError):
+            zscore_outliers(np.ones((3, 1)), threshold=0.0)
+
+
+class TestIQR:
+    def test_flags_planted_outliers(self, blob_with_outliers):
+        X, truth = blob_with_outliers
+        flags = iqr_outliers(X, k=3.0)
+        assert flags[truth].all()
+
+    def test_uniform_data_mostly_clean(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(300, 3))
+        assert iqr_outliers(X, k=1.5).mean() < 0.05
+
+    def test_textbook_fences(self):
+        X = np.array([[1.0], [2.0], [3.0], [4.0], [100.0]])
+        flags = iqr_outliers(X)
+        assert flags.tolist() == [False, False, False, False, True]
+
+
+class TestDistanceBased:
+    def test_flags_planted_outliers(self, blob_with_outliers):
+        X, truth = blob_with_outliers
+        flags = distance_outliers(X, eps=5.0, fraction=0.95)
+        assert flags[truth].all()
+        assert not flags[~truth].any()
+
+    def test_handles_cluster_structure_unlike_zscore(self):
+        # Two tight clusters far apart: cluster members are NOT outliers
+        # under DB(p, D) with a sensible eps, but a lone point is.
+        rng = np.random.default_rng(2)
+        X = np.vstack([
+            rng.normal(0, 0.2, (50, 2)),
+            rng.normal(50, 0.2, (50, 2)),
+            [[25.0, 25.0]],
+        ])
+        flags = distance_outliers(X, eps=2.0, fraction=0.6)
+        assert flags[-1]
+        assert not flags[:100].any()
+
+    def test_blockwise_matches_single_block(self, blob_with_outliers):
+        X, _ = blob_with_outliers
+        a = distance_outliers(X, eps=5.0, fraction=0.95, block_size=7)
+        b = distance_outliers(X, eps=5.0, fraction=0.95, block_size=10**6)
+        assert (a == b).all()
+
+    def test_fraction_one_flags_isolated_only(self):
+        X = np.array([[0.0], [0.1], [100.0]])
+        flags = distance_outliers(X, eps=1.0, fraction=1.0)
+        # fraction=1 demands ALL other points beyond eps.
+        assert flags.tolist() == [False, False, True]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            distance_outliers(np.ones((3, 1)), eps=0.0)
+        with pytest.raises(ValidationError):
+            distance_outliers(np.ones((3, 1)), eps=1.0, fraction=1.5)
