@@ -26,6 +26,8 @@ evaluation
 datasets
     Quest-style basket/sequence generators, Agrawal functions, Gaussian
     mixtures, shape data, toy tables, CSV I/O.
+runtime
+    Execution budgets, cooperative cancellation, fault injection.
 """
 
 __version__ = "1.0.0"
@@ -39,6 +41,7 @@ from . import (
     evaluation,
     preprocessing,
     regression,
+    runtime,
     sequences,
 )
 from . import outliers
@@ -54,5 +57,6 @@ __all__ = [
     "outliers",
     "evaluation",
     "datasets",
+    "runtime",
     "__version__",
 ]

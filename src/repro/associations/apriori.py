@@ -17,11 +17,15 @@ from ..core.base import check_in_range
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset, PassStats
 from ..core.transactions import TransactionDatabase
+from ..runtime import Budget, BudgetExceeded
 from .candidates import apriori_gen
 from .hash_tree import HashTree
 
 #: candidate-store strategies accepted by :func:`apriori`
 CANDIDATE_STORES = ("hash_tree", "dict")
+
+#: budget-exhaustion policies accepted by the levelwise miners
+ON_EXHAUSTED = ("raise", "truncate", "partition", "sampling")
 
 
 def min_count_from_support(n_transactions: int, min_support: float) -> int:
@@ -52,6 +56,8 @@ def apriori(
     min_support: float = 0.01,
     max_size: Optional[int] = None,
     candidate_store: str = "hash_tree",
+    budget: Optional[Budget] = None,
+    on_exhausted: str = "raise",
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with the Apriori algorithm.
 
@@ -67,6 +73,20 @@ def apriori(
         ``"hash_tree"`` for the paper's hash tree, ``"dict"`` for a plain
         per-candidate subset check (O(|t| choose k) per transaction; fine
         for short transactions, used mostly for cross-validation in tests).
+    budget:
+        Optional :class:`~repro.runtime.Budget` checked once per pass,
+        per generated candidate, and periodically during counting scans.
+        ``None`` (the default) skips every check.
+    on_exhausted:
+        What to do when the budget fires: ``"raise"`` propagates the
+        :class:`~repro.runtime.BudgetExceeded`; ``"truncate"`` returns
+        the passes completed so far flagged ``truncated=True``;
+        ``"partition"`` / ``"sampling"`` additionally hand the
+        interrupted pass to the cheaper two-scan
+        :func:`~repro.associations.partition.partition_miner` or
+        :func:`~repro.associations.sampling.sampling_miner` before
+        returning the (still truncated) union.  Cancellation always
+        propagates regardless of this setting.
 
     Returns
     -------
@@ -86,6 +106,7 @@ def apriori(
             f"candidate_store must be one of {CANDIDATE_STORES}, "
             f"got {candidate_store!r}"
         )
+    check_on_exhausted(on_exhausted)
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
@@ -107,42 +128,103 @@ def apriori(
     all_frequent: Dict[Itemset, int] = dict(frequent)
 
     k = 2
-    while frequent and (max_size is None or k <= max_size):
-        started = time.perf_counter()
-        candidates = apriori_gen(frequent)
-        if not candidates:
-            stats.append(PassStats(k, 0, 0, time.perf_counter() - started))
-            break
-        if candidate_store == "hash_tree":
-            frequent = _count_with_hash_tree(db, candidates, min_count)
-        else:
-            frequent = _count_with_dict(db, candidates, k, min_count)
-        stats.append(
-            PassStats(
-                k=k,
-                n_candidates=len(candidates),
-                n_frequent=len(frequent),
-                elapsed=time.perf_counter() - started,
+    try:
+        while frequent and (max_size is None or k <= max_size):
+            if budget is not None:
+                budget.check(phase=f"pass-{k}")
+                budget.progress(f"pass-{k}", n_frequent_prev=len(frequent))
+            started = time.perf_counter()
+            candidates = apriori_gen(frequent, budget)
+            if not candidates:
+                stats.append(PassStats(k, 0, 0, time.perf_counter() - started))
+                break
+            if candidate_store == "hash_tree":
+                frequent = _count_with_hash_tree(db, candidates, min_count, budget)
+            else:
+                frequent = _count_with_dict(db, candidates, k, min_count, budget)
+            stats.append(
+                PassStats(
+                    k=k,
+                    n_candidates=len(candidates),
+                    n_frequent=len(frequent),
+                    elapsed=time.perf_counter() - started,
+                )
             )
+            all_frequent.update(frequent)
+            k += 1
+    except BudgetExceeded as exc:
+        if on_exhausted == "raise":
+            raise
+        return degrade_levelwise(
+            db, min_support, all_frequent, stats, k, exc, on_exhausted
         )
-        all_frequent.update(frequent)
-        k += 1
 
     result = FrequentItemsets(all_frequent, n, min_support)
     result.pass_stats = stats
     return result
 
 
-def _count_with_hash_tree(db, candidates, min_count) -> Dict[Itemset, int]:
+def check_on_exhausted(on_exhausted: str) -> None:
+    """Validate an ``on_exhausted`` policy name."""
+    if on_exhausted not in ON_EXHAUSTED:
+        raise ValidationError(
+            f"on_exhausted must be one of {ON_EXHAUSTED}, got {on_exhausted!r}"
+        )
+
+
+def degrade_levelwise(
+    db: TransactionDatabase,
+    min_support: float,
+    all_frequent: Dict[Itemset, int],
+    stats: list,
+    k: int,
+    exc: BudgetExceeded,
+    on_exhausted: str,
+) -> FrequentItemsets:
+    """Build the partial result of a budget-interrupted levelwise run.
+
+    Passes ``1 .. k-1`` in ``all_frequent`` are complete; pass ``k`` was
+    interrupted.  Under ``"partition"``/``"sampling"`` the interrupted
+    pass is re-mined with the cheaper two-scan miner bounded at
+    ``max_size=k`` (its own lattice walk is depth-first and far cheaper
+    per level), and the union returned.  Either way the result carries
+    ``truncated=True``: levels beyond ``k`` are unexplored.
+    """
+    n = len(db)
+    if on_exhausted in ("partition", "sampling"):
+        # Local imports: partition/sampling import helpers from this module.
+        if on_exhausted == "partition":
+            from .partition import partition_miner as fallback
+        else:
+            from .sampling import sampling_miner as fallback
+        try:
+            recovered = fallback(db, min_support, max_size=k)
+            all_frequent = {**recovered.supports, **all_frequent}
+        except BudgetExceeded:  # pragma: no cover - fallback has no budget
+            pass
+    result = FrequentItemsets(
+        all_frequent,
+        n,
+        min_support,
+        truncated=True,
+        truncation_reason=f"{type(exc).__name__}: {exc}",
+    )
+    result.pass_stats = stats
+    return result
+
+
+def _count_with_hash_tree(db, candidates, min_count, budget=None) -> Dict[Itemset, int]:
     tree = HashTree(candidates)
-    tree.count_transactions(db)
+    tree.count_transactions(db, budget)
     return tree.frequent(min_count)
 
 
-def _count_with_dict(db, candidates, k, min_count) -> Dict[Itemset, int]:
+def _count_with_dict(db, candidates, k, min_count, budget=None) -> Dict[Itemset, int]:
     candidate_set = set(candidates)
     counts: Dict[Itemset, int] = dict.fromkeys(candidates, 0)
-    for txn in db:
+    for i, txn in enumerate(db):
+        if budget is not None and i % 256 == 0:
+            budget.check(phase=f"count-{k}")
         if len(txn) < k:
             continue
         # Enumerate the transaction's k-subsets only when that is cheaper
@@ -165,5 +247,8 @@ __all__ = [
     "apriori",
     "frequent_one_itemsets",
     "min_count_from_support",
+    "check_on_exhausted",
+    "degrade_levelwise",
     "CANDIDATE_STORES",
+    "ON_EXHAUSTED",
 ]

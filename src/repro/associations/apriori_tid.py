@@ -19,7 +19,13 @@ from typing import Dict, List, Optional, Tuple
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset, PassStats
 from ..core.transactions import TransactionDatabase
-from .apriori import frequent_one_itemsets, min_count_from_support
+from ..runtime import Budget, BudgetExceeded
+from .apriori import (
+    check_on_exhausted,
+    degrade_levelwise,
+    frequent_one_itemsets,
+    min_count_from_support,
+)
 from .candidates import apriori_gen
 
 
@@ -27,12 +33,15 @@ def apriori_tid(
     db: TransactionDatabase,
     min_support: float = 0.01,
     max_size: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    on_exhausted: str = "raise",
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with the AprioriTid algorithm.
 
     Parameters and result are identical to
-    :func:`~repro.associations.apriori.apriori`; only the counting
-    machinery differs, so the two must return exactly the same itemsets.
+    :func:`~repro.associations.apriori.apriori` (including the
+    ``budget``/``on_exhausted`` guardrails); only the counting machinery
+    differs, so the two must return exactly the same itemsets.
 
     Examples
     --------
@@ -40,6 +49,7 @@ def apriori_tid(
     >>> apriori_tid(db, 0.5).supports[(0, 1)]
     2
     """
+    check_on_exhausted(on_exhausted)
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
@@ -66,9 +76,33 @@ def apriori_tid(
             tidlists.append((tid, present))
 
     k = 2
+    try:
+        return _mine_levelwise(
+            db, min_support, max_size, min_count, budget, frequent,
+            all_frequent, tidlists, stats, n,
+        )
+    except BudgetExceeded as exc:
+        if on_exhausted == "raise":
+            raise
+        # all_frequent/stats are mutated in place, so the partial state
+        # survives the exception.
+        k = 2 + sum(1 for s in stats if s.k >= 2)
+        return degrade_levelwise(
+            db, min_support, all_frequent, stats, k, exc, on_exhausted
+        )
+
+
+def _mine_levelwise(
+    db, min_support, max_size, min_count, budget, frequent,
+    all_frequent, tidlists, stats, n,
+) -> FrequentItemsets:
+    k = 2
     while frequent and (max_size is None or k <= max_size):
+        if budget is not None:
+            budget.check(phase=f"pass-{k}")
+            budget.progress(f"pass-{k}", n_entries=len(tidlists))
         started = time.perf_counter()
-        candidates = apriori_gen(frequent)
+        candidates = apriori_gen(frequent, budget)
         if not candidates:
             stats.append(PassStats(k, 0, 0, time.perf_counter() - started))
             break
@@ -85,7 +119,9 @@ def apriori_tid(
             by_gen1.setdefault(gen1, []).append((cand, gen2))
         counts: Dict[Itemset, int] = dict.fromkeys(candidates, 0)
         next_tidlists: List[Tuple[int, frozenset]] = []
-        for tid, present in tidlists:
+        for i, (tid, present) in enumerate(tidlists):
+            if budget is not None and i % 256 == 0:
+                budget.check(phase=f"tid-count-{k}")
             supported = []
             for gen1 in present:
                 for cand, gen2 in by_gen1.get(gen1, ()):

@@ -12,12 +12,14 @@ k-itemsets in two steps:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from ..core.itemsets import Itemset, subsets_of_size
 
 
-def apriori_gen(frequent_prev: Iterable[Itemset]) -> List[Itemset]:
+def apriori_gen(
+    frequent_prev: Iterable[Itemset], budget: Optional[object] = None
+) -> List[Itemset]:
     """Generate candidate k-itemsets from frequent (k-1)-itemsets.
 
     Parameters
@@ -25,6 +27,11 @@ def apriori_gen(frequent_prev: Iterable[Itemset]) -> List[Itemset]:
     frequent_prev:
         The frequent itemsets of the previous level, all the same size
         ``k - 1`` and in canonical form.
+    budget:
+        Optional :class:`~repro.runtime.Budget`; charged one candidate
+        unit per itemset that survives the prune, so a candidate-count
+        cap aborts a blow-up *during* the join instead of after it has
+        materialised.
 
     Returns
     -------
@@ -61,6 +68,8 @@ def apriori_gen(frequent_prev: Iterable[Itemset]) -> List[Itemset]:
                     candidate, prev_set
                 ):
                     continue
+                if budget is not None:
+                    budget.charge_candidates(phase=f"apriori-gen-{k_minus_1 + 1}")
                 candidates.append(candidate)
     candidates.sort()
     return candidates

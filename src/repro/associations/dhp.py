@@ -18,7 +18,8 @@ from ..core.base import check_in_range
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset, PassStats
 from ..core.transactions import TransactionDatabase
-from .apriori import min_count_from_support
+from ..runtime import Budget, BudgetExceeded
+from .apriori import check_on_exhausted, degrade_levelwise, min_count_from_support
 from .candidates import apriori_gen
 from .hash_tree import HashTree
 
@@ -28,14 +29,18 @@ def dhp(
     min_support: float = 0.01,
     n_buckets: int = 4096,
     max_size: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    on_exhausted: str = "raise",
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with DHP's hash-filtered pass 2.
 
     Parameters
     ----------
-    db, min_support, max_size:
+    db, min_support, max_size, budget, on_exhausted:
         As in :func:`~repro.associations.apriori.apriori`; the result is
-        identical.
+        identical.  The unfiltered C2 size ``|F1 choose 2|`` is charged
+        against the candidate budget *before* the pair list materialises,
+        so a space cap rejects the classic pass-2 blow-up up front.
     n_buckets:
         Size of the pass-1 hash table.  More buckets = fewer collisions
         = sharper C2 pruning.
@@ -53,6 +58,7 @@ def dhp(
     2
     """
     check_in_range("n_buckets", n_buckets, 1, None)
+    check_on_exhausted(on_exhausted)
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
@@ -63,14 +69,39 @@ def dhp(
         return result
     min_count = min_count_from_support(n, min_support)
     stats = []
+    all_frequent: Dict[Itemset, int] = {}
 
+    try:
+        return _dhp_mine(
+            db, min_support, n_buckets, max_size, budget, min_count, stats,
+            all_frequent, n,
+        )
+    except BudgetExceeded as exc:
+        if on_exhausted == "raise":
+            raise
+        k = 1 + len(stats)
+        result = degrade_levelwise(
+            db, min_support, all_frequent, stats, max(k, 2), exc, on_exhausted
+        )
+        # C2 filter statistics are unknown for an interrupted pass 2.
+        result.c2_unfiltered = 0
+        result.c2_filtered = 0
+        return result
+
+
+def _dhp_mine(
+    db, min_support, n_buckets, max_size, budget, min_count, stats,
+    all_frequent, n,
+) -> FrequentItemsets:
     # ------------------------------------------------------------------
     # Pass 1: item counts + the 2-subset hash filter.
     # ------------------------------------------------------------------
     started = time.perf_counter()
     item_counts: Dict[int, int] = {}
     buckets = [0] * n_buckets
-    for txn in db:
+    for i, txn in enumerate(db):
+        if budget is not None and i % 256 == 0:
+            budget.check(phase="dhp-pass-1")
         for item in txn:
             item_counts[item] = item_counts.get(item, 0) + 1
         for a, b in combinations(txn, 2):
@@ -83,12 +114,20 @@ def dhp(
     stats.append(
         PassStats(1, db.n_items, len(frequent), time.perf_counter() - started)
     )
-    all_frequent: Dict[Itemset, int] = dict(frequent)
+    all_frequent.update(frequent)
 
     # ------------------------------------------------------------------
     # Pass 2: hash-filtered pair candidates.
     # ------------------------------------------------------------------
     if max_size is None or max_size >= 2:
+        if budget is not None:
+            budget.check(phase="pass-2")
+            # Charge the full |F1 choose 2| estimate before materialising
+            # the pair list: the blow-up is rejected while it is still an
+            # arithmetic fact rather than an allocated list.
+            m = len(frequent)
+            budget.charge_candidates(m * (m - 1) // 2, phase="pass-2")
+            budget.progress("pass-2", c2_estimate=m * (m - 1) // 2)
         started = time.perf_counter()
         frequent_items = sorted(item[0] for item in frequent)
         unfiltered = [
@@ -100,7 +139,7 @@ def dhp(
             if buckets[_bucket(pair[0], pair[1], n_buckets)] >= min_count
         ]
         c2_unfiltered, c2_filtered = len(unfiltered), len(candidates)
-        frequent = _count(db, candidates, min_count)
+        frequent = _count(db, candidates, min_count, budget)
         stats.append(
             PassStats(2, len(candidates), len(frequent), time.perf_counter() - started)
         )
@@ -114,12 +153,15 @@ def dhp(
     # ------------------------------------------------------------------
     k = 3
     while frequent and (max_size is None or k <= max_size):
+        if budget is not None:
+            budget.check(phase=f"pass-{k}")
+            budget.progress(f"pass-{k}", n_frequent_prev=len(frequent))
         started = time.perf_counter()
-        candidates = apriori_gen(frequent)
+        candidates = apriori_gen(frequent, budget)
         if not candidates:
             stats.append(PassStats(k, 0, 0, time.perf_counter() - started))
             break
-        frequent = _count(db, candidates, min_count)
+        frequent = _count(db, candidates, min_count, budget)
         stats.append(
             PassStats(k, len(candidates), len(frequent), time.perf_counter() - started)
         )
@@ -143,9 +185,9 @@ def _bucket(a: int, b: int, n_buckets: int) -> int:
     return h % n_buckets
 
 
-def _count(db, candidates, min_count) -> Dict[Itemset, int]:
+def _count(db, candidates, min_count, budget=None) -> Dict[Itemset, int]:
     tree = HashTree(candidates)
-    tree.count_transactions(db)
+    tree.count_transactions(db, budget)
     return tree.frequent(min_count)
 
 

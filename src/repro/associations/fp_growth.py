@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset
 from ..core.transactions import TransactionDatabase
+from ..runtime import Budget, BudgetExceeded
 from .apriori import min_count_from_support
 
 
@@ -99,6 +100,8 @@ def fp_growth(
     db: TransactionDatabase,
     min_support: float = 0.01,
     max_size: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    on_exhausted: str = "raise",
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with FP-Growth.
 
@@ -106,12 +109,23 @@ def fp_growth(
     :func:`~repro.associations.apriori.apriori`; ``pass_stats`` is empty
     because FP-Growth is not levelwise.
 
+    The ``budget`` is charged one expansion per conditional-tree descent
+    and one candidate per emitted itemset (including the combinatorial
+    single-path emission, FP-Growth's blow-up site).  ``on_exhausted``
+    supports ``"raise"`` and ``"truncate"`` — FP-Growth has no cheaper
+    fallback miner, so the partition/sampling policies are rejected.
+
     Examples
     --------
     >>> db = TransactionDatabase([(0, 1, 2), (0, 1), (0, 2), (1, 2)])
     >>> fp_growth(db, 0.5).supports[(0, 2)]
     2
     """
+    if on_exhausted not in ("raise", "truncate"):
+        raise ValidationError(
+            f"on_exhausted must be 'raise' or 'truncate' for fp_growth, "
+            f"got {on_exhausted!r}"
+        )
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
@@ -131,7 +145,9 @@ def fp_growth(
     }
 
     tree = _FPTree()
-    for txn in db:
+    for i, txn in enumerate(db):
+        if budget is not None and i % 256 == 0:
+            budget.check(phase="fp-tree-build")
         filtered = sorted(
             (item for item in txn if item in frequent_items),
             key=order.__getitem__,
@@ -140,7 +156,20 @@ def fp_growth(
             tree.insert(filtered, 1)
 
     out: Dict[Itemset, int] = {}
-    _mine(tree, (), min_count, max_size, out)
+    try:
+        _mine(tree, (), min_count, max_size, out, budget)
+    except BudgetExceeded as exc:
+        if on_exhausted == "raise":
+            raise
+        # Every itemset already emitted is genuinely frequent with its
+        # exact support — exhaustion only loses itemsets.
+        return FrequentItemsets(
+            out,
+            n,
+            min_support,
+            truncated=True,
+            truncation_reason=f"{type(exc).__name__}: {exc}",
+        )
     return FrequentItemsets(out, n, min_support)
 
 
@@ -150,10 +179,13 @@ def _mine(
     min_count: int,
     max_size: Optional[int],
     out: Dict[Itemset, int],
+    budget: Optional[Budget] = None,
 ) -> None:
+    if budget is not None:
+        budget.charge_expansions(phase="fp-mine")
     path = tree.single_path()
     if path is not None:
-        _emit_single_path(path, suffix, max_size, out)
+        _emit_single_path(path, suffix, max_size, out, budget)
         return
     counts = tree.item_counts()
     # Process items least-frequent-first (standard FP-Growth order).
@@ -162,12 +194,14 @@ def _mine(
         if support < min_count:
             continue
         new_suffix = tuple(sorted((item,) + suffix))
+        if budget is not None:
+            budget.charge_candidates(phase="fp-emit")
         out[new_suffix] = support
         if max_size is not None and len(new_suffix) >= max_size:
             continue
         cond_tree = _conditional_tree(tree, item, min_count)
         if cond_tree is not None:
-            _mine(cond_tree, new_suffix, min_count, max_size, out)
+            _mine(cond_tree, new_suffix, min_count, max_size, out, budget)
 
 
 def _conditional_tree(
@@ -207,16 +241,20 @@ def _emit_single_path(
     suffix: Itemset,
     max_size: Optional[int],
     out: Dict[Itemset, int],
+    budget: Optional[Budget] = None,
 ) -> None:
     """All combinations of a single-path tree are frequent.
 
     The support of a combination is the count of its deepest (lowest-count)
-    node; path counts are non-increasing with depth.
+    node; path counts are non-increasing with depth.  This is FP-Growth's
+    2^n blow-up site, so each emission is charged against the budget.
     """
     for r in range(1, len(path) + 1):
         if max_size is not None and r + len(suffix) > max_size:
             break
         for combo in combinations(path, r):
+            if budget is not None:
+                budget.charge_candidates(phase="fp-single-path")
             itemset = tuple(sorted(tuple(i for i, _ in combo) + suffix))
             out[itemset] = min(c for _, c in combo)
 

@@ -9,7 +9,7 @@ hundreds of thousands of candidates.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..core.itemsets import Itemset
 
@@ -127,9 +127,19 @@ class HashTree:
         self._txn_serial += 1
         self._descend(self._root, transaction, 0)
 
-    def count_transactions(self, transactions: Iterable[Sequence[int]]) -> None:
-        """Count every transaction in ``transactions``."""
-        for txn in transactions:
+    def count_transactions(
+        self,
+        transactions: Iterable[Sequence[int]],
+        budget: Optional[object] = None,
+    ) -> None:
+        """Count every transaction in ``transactions``.
+
+        ``budget`` (a :class:`~repro.runtime.Budget`) is checked
+        periodically so a deadline or cancellation fires mid-scan.
+        """
+        for i, txn in enumerate(transactions):
+            if budget is not None and i % 256 == 0:
+                budget.check(phase="hash-tree-count")
             self.count_transaction(txn)
 
     def _descend(self, node: _Node, txn: Sequence[int], start: int) -> None:

@@ -18,6 +18,7 @@ from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset, subsets_of_size
 from ..core.random import RandomState, check_random_state
 from ..core.transactions import TransactionDatabase
+from ..runtime import IterationBudgetExceeded
 from .apriori import apriori, min_count_from_support
 from .candidates import apriori_gen
 
@@ -101,7 +102,20 @@ def sampling_miner(
         # joined over *all* currently known frequent itemsets (not just
         # the newest ones) so no cross join is missed.
         supports.update({b: counts[b] for b in missed})
-        while True:
+        # Each closure pass grows the largest known itemset by one item,
+        # and no itemset can exceed the vocabulary size, so n_items + 1
+        # passes is a proven upper bound — exceeding it means the loop
+        # invariant broke, which must surface rather than spin.
+        max_passes = db.n_items + 1
+        for _pass in range(max_passes + 1):
+            if _pass == max_passes:
+                raise IterationBudgetExceeded(
+                    f"negative-border closure did not converge within "
+                    f"{max_passes} passes",
+                    resource="expansions",
+                    limit=max_passes,
+                    used=max_passes,
+                )
             by_size: Dict[int, list] = {}
             for itemset in supports:
                 by_size.setdefault(len(itemset), []).append(itemset)

@@ -16,13 +16,15 @@ Improvements over ID3, all implemented here:
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional
 
 import numpy as np
 
 from ..core.base import Classifier, check_in_range
-from ..core.exceptions import ValidationError
+from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..core.table import Attribute, Table
+from ..runtime import Budget, BudgetExceeded
 from .criteria import entropy, gain_ratio, information_gain, split_information
 from .pruning import pessimistic_prune
 from .tree_model import (
@@ -31,7 +33,13 @@ from .tree_model import (
     NumericSplit,
     TreeNode,
     predict_distributions,
+    safe_threshold,
 )
+
+#: hard recursion ceiling applied even with ``max_depth=None`` — a tree
+#: deeper than this is pathological, and Python's own recursion limit is
+#: only a little further down.
+_MAX_SAFE_DEPTH = 512
 
 
 class C45(Classifier):
@@ -50,6 +58,12 @@ class C45(Classifier):
     confidence:
         Confidence level for the pessimistic error estimate (Quinlan's
         default 0.25).
+    budget:
+        Optional :class:`~repro.runtime.Budget`, charged one node unit
+        per attempted split and checked at every node.  On exhaustion
+        the grower stops splitting, finalizes the remaining frontier as
+        leaves, and sets ``truncated_ = True`` — the tree is complete
+        and usable, just shallower than an unbudgeted fit.
 
     Examples
     --------
@@ -66,6 +80,7 @@ class C45(Classifier):
         min_gain: float = 1e-6,
         prune: bool = True,
         confidence: float = 0.25,
+        budget: Optional[Budget] = None,
     ):
         if max_depth is not None and max_depth < 1:
             raise ValidationError(f"max_depth must be >= 1, got {max_depth}")
@@ -76,12 +91,17 @@ class C45(Classifier):
         self.min_gain = min_gain
         self.prune = prune
         self.confidence = confidence
+        self.budget = budget
         self.tree_: Optional[TreeNode] = None
+        self.truncated_ = False
+        self.truncation_reason_: Optional[str] = None
 
     def _fit(self, features: Table, y: np.ndarray, target: Attribute) -> None:
         self._features = features
         self._y = y
         self._n_classes = len(target.values)
+        self.truncated_ = False
+        self.truncation_reason_ = None
         indices = np.arange(features.n_rows)
         weights = np.ones(features.n_rows, dtype=np.float64)
         available = list(features.attribute_names)
@@ -114,6 +134,24 @@ class C45(Classifier):
             or (self.max_depth is not None and depth >= self.max_depth)
         ):
             return Leaf(counts)
+        if depth >= _MAX_SAFE_DEPTH:
+            warnings.warn(
+                f"C45 stopped splitting at safety depth {_MAX_SAFE_DEPTH}",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+            return Leaf(counts)
+        if self.budget is not None:
+            try:
+                self.budget.charge_nodes(phase="c45-grow")
+                self.budget.check(phase="c45-grow")
+            except BudgetExceeded as exc:
+                # Graceful degradation: this subtree (and, since the
+                # budget stays exhausted, every remaining frontier node)
+                # finalizes as a leaf.
+                self.truncated_ = True
+                self.truncation_reason_ = f"{type(exc).__name__}: {exc}"
+                return Leaf(counts)
 
         best = self._best_split(indices, weights, available, counts)
         if best is None:
@@ -155,6 +193,10 @@ class C45(Classifier):
         right = known & (values > threshold)
         left_mass = weights[left].sum()
         right_mass = weights[right].sum()
+        if left_mass <= 0 or right_mass <= 0:
+            # A threshold that fails to separate the known values would
+            # recreate this node verbatim in one child — stop here.
+            return Leaf(counts)
         left_idx = np.concatenate([indices[left], indices[~known]])
         left_w = np.concatenate(
             [weights[left], weights[~known] * (left_mass / known_mass)]
@@ -266,7 +308,7 @@ class C45(Classifier):
             gain = parent_entropy - child_entropy
             if gain > best_gain:
                 best_gain = gain
-                best_threshold = (v[boundary] + v[boundary + 1]) / 2.0
+                best_threshold = safe_threshold(v[boundary], v[boundary + 1])
                 info = split_information([left_counts, right_counts])
                 best_ratio = gain / info if info > 0 else 0.0
         if best_threshold is None:

@@ -24,6 +24,7 @@ import numpy as np
 from ..core.base import Classifier, check_in_range
 from ..core.exceptions import ValidationError
 from ..core.table import Attribute, Table
+from ..runtime import Budget, BudgetExceeded
 from .criteria import entropy, gini
 from .pruning import prune_to_alpha
 from .tree_model import (
@@ -32,6 +33,7 @@ from .tree_model import (
     NumericSplit,
     TreeNode,
     predict_distributions,
+    safe_threshold,
 )
 
 _CRITERIA = {"gini": gini, "entropy": entropy}
@@ -55,6 +57,10 @@ class CART(Classifier):
         get an exhaustive binary-subset search; beyond it, categories are
         ordered by the node's majority-class proportion and only the
         resulting linear splits are scanned (exact for binary targets).
+    budget:
+        Optional :class:`~repro.runtime.Budget`, charged one node unit
+        per attempted split.  On exhaustion growth stops, the remaining
+        frontier finalizes as leaves, and ``truncated_`` is set.
 
     Examples
     --------
@@ -73,6 +79,7 @@ class CART(Classifier):
         min_impurity_decrease: float = 0.0,
         ccp_alpha: float = 0.0,
         max_exhaustive_categories: int = 8,
+        budget: Optional[Budget] = None,
     ):
         if criterion not in _CRITERIA:
             raise ValidationError(
@@ -91,13 +98,18 @@ class CART(Classifier):
         self.min_impurity_decrease = min_impurity_decrease
         self.ccp_alpha = ccp_alpha
         self.max_exhaustive_categories = max_exhaustive_categories
+        self.budget = budget
         self.tree_: Optional[TreeNode] = None
+        self.truncated_ = False
+        self.truncation_reason_: Optional[str] = None
 
     def _fit(self, features: Table, y: np.ndarray, target: Attribute) -> None:
         self._features = features
         self._y = y
         self._n_classes = len(target.values)
         self._impurity = _CRITERIA[self.criterion]
+        self.truncated_ = False
+        self.truncation_reason_ = None
         indices = np.arange(features.n_rows)
         self.tree_ = self._build(indices, depth=0)
         if self.ccp_alpha > 0.0:
@@ -119,6 +131,14 @@ class CART(Classifier):
             or (self.max_depth is not None and depth >= self.max_depth)
         ):
             return Leaf(counts)
+        if self.budget is not None:
+            try:
+                self.budget.charge_nodes(phase="cart-grow")
+                self.budget.check(phase="cart-grow")
+            except BudgetExceeded as exc:
+                self.truncated_ = True
+                self.truncation_reason_ = f"{type(exc).__name__}: {exc}"
+                return Leaf(counts)
 
         best = self._best_split(indices, counts)
         if best is None:
@@ -196,7 +216,11 @@ class CART(Classifier):
                 best_boundary = b
         if best_boundary is None:
             return None
-        threshold = (v[best_boundary] + v[best_boundary + 1]) / 2.0
+        # Partitioning is by boundary index, so growth cannot degenerate;
+        # the safe threshold keeps *prediction* consistent with the
+        # training partition when the midpoint rounds up to the higher
+        # value.
+        threshold = safe_threshold(v[best_boundary], v[best_boundary + 1])
         left_idx = known_sorted[: best_boundary + 1]
         right_idx = known_sorted[best_boundary + 1:]
         # Missing values follow the heavier branch.

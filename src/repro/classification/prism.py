@@ -21,6 +21,7 @@ import numpy as np
 from ..core.base import Classifier, check_in_range
 from ..core.exceptions import ValidationError
 from ..core.table import Attribute, Table
+from ..runtime import IterationBudgetExceeded
 
 
 @dataclass(frozen=True)
@@ -143,7 +144,19 @@ class PRISM(Classifier):
         conditions: List[Tuple[str, int]] = []
         covered = remaining.copy()
         used = set()
-        while True:
+        # Each pass consumes one attribute, so len(attr_values) passes is
+        # the true ceiling; the explicit cap turns any bookkeeping bug
+        # that would loop forever into a loud, typed failure.
+        max_growth = len(attr_values) + 1
+        for _growth in range(max_growth + 1):
+            if _growth == max_growth:
+                raise IterationBudgetExceeded(
+                    f"PRISM rule growth did not terminate within "
+                    f"{max_growth} passes",
+                    resource="expansions",
+                    limit=max_growth,
+                    used=max_growth,
+                )
             positives = (y == class_code) & covered
             negatives = (y != class_code) & covered
             if not negatives.any():

@@ -25,6 +25,7 @@ import numpy as np
 from ..core.base import Classifier, check_in_range
 from ..core.exceptions import ValidationError
 from ..core.table import Attribute, Table
+from ..runtime import Budget, BudgetExceeded
 from .criteria import gini
 from .pruning import pessimistic_prune
 from .tree_model import (
@@ -33,6 +34,7 @@ from .tree_model import (
     NumericSplit,
     TreeNode,
     predict_distributions,
+    safe_threshold,
 )
 
 
@@ -71,6 +73,12 @@ class SLIQ(Classifier):
         Apply pessimistic pruning after growth (stand-in for SLIQ's MDL
         pruning — both collapse statistically unjustified subtrees; the
         substitution is recorded in DESIGN.md).
+    budget:
+        Optional :class:`~repro.runtime.Budget`, checked once per level
+        and charged two node units per applied split.  On exhaustion the
+        still-growing frontier finalizes as leaves and ``truncated_`` is
+        set — breadth-first growth makes the budgeted tree a balanced
+        prefix of the full one.
 
     Notes
     -----
@@ -92,6 +100,7 @@ class SLIQ(Classifier):
         min_gini_decrease: float = 1e-9,
         prune: bool = False,
         max_exhaustive_categories: int = 8,
+        budget: Optional[Budget] = None,
     ):
         if max_depth is not None and max_depth < 1:
             raise ValidationError(f"max_depth must be >= 1, got {max_depth}")
@@ -103,7 +112,10 @@ class SLIQ(Classifier):
         self.min_gini_decrease = min_gini_decrease
         self.prune = prune
         self.max_exhaustive_categories = max_exhaustive_categories
+        self.budget = budget
         self.tree_: Optional[TreeNode] = None
+        self.truncated_ = False
+        self.truncation_reason_: Optional[str] = None
 
     def _fit(self, features: Table, y: np.ndarray, target: Attribute) -> None:
         for attr in features.attributes:
@@ -117,6 +129,8 @@ class SLIQ(Classifier):
                 )
         n = features.n_rows
         n_classes = len(target.values)
+        self.truncated_ = False
+        self.truncation_reason_ = None
 
         # Pre-sort every numeric attribute once — the SLIQ invariant.
         presorted: Dict[str, np.ndarray] = {}
@@ -136,6 +150,19 @@ class SLIQ(Classifier):
         depth = 0
 
         while growing and (self.max_depth is None or depth < self.max_depth):
+            if self.budget is not None:
+                try:
+                    self.budget.check(phase=f"sliq-level-{depth}")
+                    # Applying this level materialises up to two children
+                    # per splitter; charge before the work happens.
+                    self.budget.charge_nodes(
+                        2 * len(growing), phase=f"sliq-level-{depth}"
+                    )
+                except BudgetExceeded as exc:
+                    # The tail below finalizes every still-growing leaf.
+                    self.truncated_ = True
+                    self.truncation_reason_ = f"{type(exc).__name__}: {exc}"
+                    break
             for g in growing.values():
                 g.best_decrease = self.min_gini_decrease
                 g.best_split = None
@@ -215,7 +242,9 @@ class SLIQ(Classifier):
                     continue
                 v = values[row]
                 if g.last_value is not None and v > g.last_value:
-                    self._consider_numeric(g, attr.name, (g.last_value + v) / 2.0)
+                    self._consider_numeric(
+                        g, attr.name, safe_threshold(g.last_value, float(v))
+                    )
                 g.below[y[row]] += 1.0
                 g.last_value = v
 

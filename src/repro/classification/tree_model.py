@@ -241,6 +241,29 @@ class BinaryCategoricalSplit(TreeNode):
 # ----------------------------------------------------------------------
 # Whole-table prediction and rendering helpers
 # ----------------------------------------------------------------------
+def safe_threshold(lo: float, hi: float) -> float:
+    """Split threshold strictly separating two adjacent sorted values.
+
+    The naive midpoint ``(lo + hi) / 2`` rounds up to ``hi`` when the two
+    are adjacent floats, so a ``value <= threshold`` test sends *every*
+    row left — a degenerate split that recurses forever in builders that
+    re-partition by threshold.  Fall back to ``lo`` (which always
+    separates, since ``lo < hi``) whenever the midpoint fails
+    ``lo <= mid < hi``.
+
+    >>> safe_threshold(1.0, 2.0)
+    1.5
+    >>> import math
+    >>> hi = math.nextafter(1.0, 2.0)
+    >>> safe_threshold(1.0, hi)
+    1.0
+    """
+    mid = (lo + hi) / 2.0
+    if not (lo <= mid < hi):
+        return lo
+    return mid
+
+
 def predict_distributions(root: TreeNode, table: Table) -> np.ndarray:
     """Class-distribution matrix for every row of ``table``."""
     rows = _rows_as_dicts(table)
@@ -363,6 +386,7 @@ __all__ = [
     "CategoricalSplit",
     "NumericSplit",
     "BinaryCategoricalSplit",
+    "safe_threshold",
     "predict_distributions",
     "render_tree",
     "extract_rules",

@@ -13,6 +13,14 @@ Four commands cover the library's workflows without writing Python:
 
 Every command prints a compact human-readable report to stdout and
 exits non-zero on invalid input.
+
+``mine``, ``classify`` and ``cluster`` accept execution-budget flags:
+``--time-limit SECONDS`` bounds wall-clock time and ``--max-candidates N``
+bounds the dominant resource (generated candidates for ``mine``, tree
+nodes for ``classify``, optimisation steps for ``cluster``).  When a
+budget runs out the command still exits 0, reporting the partial result
+with a ``NOTE: budget exhausted`` line; without these flags the commands
+run exactly as before, unbudgeted.
 """
 
 from __future__ import annotations
@@ -22,6 +30,34 @@ import sys
 from typing import List, Optional
 
 from .core.exceptions import ReproError
+
+
+def _add_budget_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; exhaustion yields a partial result",
+    )
+    sub.add_argument(
+        "--max-candidates", type=int, default=None, metavar="N",
+        help="resource budget: candidates (mine), tree nodes (classify) "
+             "or optimisation steps (cluster)",
+    )
+
+
+def _make_budget(args, resource: str):
+    """Budget from the CLI flags, or None when neither flag was given.
+
+    Returning None keeps the unbudgeted call path byte-identical to a
+    build without these flags.
+    """
+    if args.time_limit is None and args.max_candidates is None:
+        return None
+    from .runtime import Budget
+
+    kwargs = {"time_limit": args.time_limit}
+    if args.max_candidates is not None:
+        kwargs[resource] = args.max_candidates
+    return Budget(**kwargs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument("--top", type=int, default=10,
                       help="rules/itemsets to display")
+    _add_budget_flags(mine)
 
     classify = sub.add_parser("classify", help="train/evaluate a classifier")
     classify.add_argument("path", help="typed CSV (name:num / name:cat)")
@@ -53,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     classify.add_argument("--test-fraction", type=float, default=0.3)
     classify.add_argument("--seed", type=int, default=0)
+    _add_budget_flags(classify)
 
     cluster = sub.add_parser("cluster", help="cluster numeric columns")
     cluster.add_argument("path", help="typed CSV (numeric columns used)")
@@ -65,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--eps", type=float, default=0.5)
     cluster.add_argument("--min-samples", type=int, default=5)
     cluster.add_argument("--seed", type=int, default=0)
+    _add_budget_flags(cluster)
 
     generate = sub.add_parser("generate", help="emit synthetic data")
     generate.add_argument(
@@ -96,7 +135,20 @@ def _cmd_mine(args) -> int:
     db = load_transactions(args.path)
     print(f"{len(db)} transactions, {db.n_items} items, "
           f"avg length {db.avg_transaction_length():.1f}")
-    itemsets = miners[args.miner](db, args.min_support)
+    budget = _make_budget(args, "max_candidates")
+    if budget is None:
+        itemsets = miners[args.miner](db, args.min_support)
+    else:
+        if args.miner == "eclat":
+            print("error: eclat does not support --time-limit/"
+                  "--max-candidates", file=sys.stderr)
+            return 2
+        itemsets = miners[args.miner](
+            db, args.min_support, budget=budget, on_exhausted="truncate"
+        )
+    if getattr(itemsets, "truncated", False):
+        print(f"NOTE: budget exhausted -- partial result "
+              f"({itemsets.truncation_reason})")
     print(f"{len(itemsets)} frequent itemsets at support "
           f">= {args.min_support} (largest size {itemsets.max_size()})")
     for itemset, count in itemsets.sorted_by_support()[: args.top]:
@@ -128,7 +180,19 @@ def _cmd_classify(args) -> int:
         table, args.test_fraction, stratify=args.target,
         random_state=args.seed,
     )
-    model = classifiers[args.classifier]().fit(train, args.target)
+    budget = _make_budget(args, "max_nodes")
+    if budget is None:
+        model = classifiers[args.classifier]()
+    else:
+        if args.classifier not in ("c45", "cart", "sliq"):
+            print(f"error: {args.classifier} does not support --time-limit/"
+                  "--max-candidates", file=sys.stderr)
+            return 2
+        model = classifiers[args.classifier](budget=budget)
+    model.fit(train, args.target)
+    if getattr(model, "truncated_", False):
+        print(f"NOTE: budget exhausted -- tree truncated "
+              f"({model.truncation_reason_})")
     accuracy = model.score(test)
     print(f"{args.classifier} on {args.path}: "
           f"train {train.n_rows} / test {test.n_rows}")
@@ -153,18 +217,27 @@ def _cmd_cluster(args) -> int:
     if X.shape[1] == 0:
         print("error: no numeric columns to cluster", file=sys.stderr)
         return 2
+    budget = _make_budget(args, "max_expansions")
+    if budget is not None and args.algorithm not in ("kmeans", "pam", "dbscan"):
+        print(f"error: {args.algorithm} does not support --time-limit/"
+              "--max-candidates", file=sys.stderr)
+        return 2
     if args.algorithm == "kmeans":
-        model = KMeans(args.k, random_state=args.seed)
+        model = KMeans(args.k, random_state=args.seed, budget=budget)
     elif args.algorithm == "pam":
-        model = PAM(args.k)
+        model = PAM(args.k, budget=budget)
     elif args.algorithm == "birch":
         model = Birch(threshold=args.eps, n_clusters=args.k,
                       random_state=args.seed)
     elif args.algorithm == "agglomerative":
         model = Agglomerative(args.k)
     else:
-        model = DBSCAN(eps=args.eps, min_samples=args.min_samples)
+        model = DBSCAN(eps=args.eps, min_samples=args.min_samples,
+                       budget=budget)
     labels = model.fit_predict(X)
+    if getattr(model, "truncated_", False):
+        print(f"NOTE: budget exhausted -- partial clustering "
+              f"({model.truncation_reason_})")
     import numpy as np
 
     clusters = sorted(set(labels.tolist()) - {-1})

@@ -12,13 +12,15 @@ scan for randomized sampling.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
 
 from ..core.base import Clusterer, check_in_range
-from ..core.exceptions import ValidationError
+from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..core.random import RandomState, check_random_state
+from ..runtime import Budget, BudgetExceeded
 from .distance import pairwise_distances
 
 
@@ -34,11 +36,22 @@ class CLARANS(Clusterer):
     max_neighbor:
         Neighbours sampled before declaring a local minimum; the paper
         recommends ``max(250, 1.25% of k(n-k))``, applied when ``None``.
+    max_steps:
+        Cap on *accepted* moves per descent.  Each accepted move resets
+        the neighbour counter, so on adversarial data a descent could
+        otherwise wander indefinitely; hitting the cap ends the descent
+        with a :class:`ConvergenceWarning`.
+    budget:
+        Optional :class:`~repro.runtime.Budget`, charged one expansion
+        per neighbour evaluation.  On exhaustion the best medoid set
+        found so far is kept and ``truncated_`` is set.
 
     Attributes
     ----------
     medoid_indices_, cluster_centers_, labels_, cost_:
         As in :class:`~repro.clustering.kmedoids.PAM`.
+    truncated_:
+        True when a budget ended the search early.
 
     Examples
     --------
@@ -55,18 +68,25 @@ class CLARANS(Clusterer):
         num_local: int = 2,
         max_neighbor: Optional[int] = None,
         random_state: RandomState = None,
+        max_steps: int = 10_000,
+        budget: Optional[Budget] = None,
     ):
         check_in_range("n_clusters", n_clusters, 1, None)
         check_in_range("num_local", num_local, 1, None)
         if max_neighbor is not None:
             check_in_range("max_neighbor", max_neighbor, 1, None)
+        check_in_range("max_steps", max_steps, 1, None)
         self.n_clusters = int(n_clusters)
         self.num_local = int(num_local)
         self.max_neighbor = max_neighbor
         self.random_state = random_state
+        self.max_steps = int(max_steps)
+        self.budget = budget
         self.medoid_indices_: Optional[np.ndarray] = None
         self.cluster_centers_: Optional[np.ndarray] = None
         self.cost_: Optional[float] = None
+        self.truncated_ = False
+        self.truncation_reason_: Optional[str] = None
 
     def _fit(self, X: np.ndarray) -> None:
         n = len(X)
@@ -79,13 +99,26 @@ class CLARANS(Clusterer):
             250, int(0.0125 * k * (n - k))
         )
 
+        self.truncated_ = False
+        self.truncation_reason_ = None
         best_cost = np.inf
         best_medoids = None
         for _ in range(self.num_local):
+            if self.truncated_:
+                break  # budget exhausted: no further descents
             current = list(rng.choice(n, size=k, replace=False))
             current_cost = self._cost(d, current)
             examined = 0
+            accepted = 0
             while examined < max_neighbor:
+                if self.budget is not None:
+                    try:
+                        self.budget.charge_expansions(phase="clarans-descent")
+                        self.budget.check(phase="clarans-descent")
+                    except BudgetExceeded as exc:
+                        self.truncated_ = True
+                        self.truncation_reason_ = f"{type(exc).__name__}: {exc}"
+                        break
                 m_pos = int(rng.integers(k))
                 h = int(rng.integers(n))
                 if h in current:
@@ -97,6 +130,15 @@ class CLARANS(Clusterer):
                 if neighbour_cost < current_cost - 1e-12:
                     current, current_cost = neighbour, neighbour_cost
                     examined = 0  # restart the neighbour counter
+                    accepted += 1
+                    if accepted >= self.max_steps:
+                        warnings.warn(
+                            f"CLARANS descent did not reach a local minimum "
+                            f"within {self.max_steps} accepted moves",
+                            ConvergenceWarning,
+                            stacklevel=2,
+                        )
+                        break
                 else:
                     examined += 1
             if current_cost < best_cost:

@@ -16,6 +16,7 @@ data of low dimension.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from itertools import product
 from typing import Dict, List, Optional, Tuple
@@ -23,7 +24,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.base import Clusterer, check_in_range
-from ..core.exceptions import ValidationError
+from ..core.exceptions import ConvergenceWarning, ValidationError
+from ..runtime import Budget, BudgetExceeded
 
 NOISE = -1
 
@@ -67,6 +69,11 @@ class DBSCAN(Clusterer):
         The grid index is used up to this dimensionality; beyond it the
         3^d cell fan-out loses to a plain O(n²) scan, which is used
         instead.
+    budget:
+        Optional :class:`~repro.runtime.Budget`, charged one expansion
+        per region query.  On exhaustion the scan stops: clusters found
+        so far are kept, every unreached point stays noise (``-1``),
+        and ``truncated_`` is set.
 
     Attributes
     ----------
@@ -76,6 +83,8 @@ class DBSCAN(Clusterer):
         Indices of the core points.
     n_clusters_:
         Number of discovered clusters.
+    truncated_:
+        True when a budget stopped the density scan early.
 
     Examples
     --------
@@ -91,56 +100,80 @@ class DBSCAN(Clusterer):
         eps: float = 0.5,
         min_samples: int = 5,
         max_grid_dimensions: int = 6,
+        budget: Optional[Budget] = None,
     ):
         check_in_range("eps", eps, 0.0, None, low_inclusive=False)
         check_in_range("min_samples", min_samples, 1, None)
         self.eps = float(eps)
         self.min_samples = int(min_samples)
         self.max_grid_dimensions = int(max_grid_dimensions)
+        self.budget = budget
         self.core_sample_indices_: Optional[np.ndarray] = None
         self.n_clusters_: Optional[int] = None
+        self.truncated_ = False
+        self.truncation_reason_: Optional[str] = None
 
     def _fit(self, X: np.ndarray) -> None:
         n = len(X)
         if X.shape[1] <= self.max_grid_dimensions:
             index = _GridIndex(X, self.eps)
-            neighbours = index.neighbours
+            region_query = index.neighbours
         else:
-            neighbours = self._brute_neighbours_fn(X)
+            region_query = self._brute_neighbours_fn(X)
 
+        def neighbours(idx: int) -> np.ndarray:
+            if self.budget is not None:
+                self.budget.charge_expansions(phase="dbscan-region-query")
+            return region_query(idx)
+
+        self.truncated_ = False
+        self.truncation_reason_ = None
         labels = np.full(n, NOISE, dtype=np.int64)
         visited = np.zeros(n, dtype=bool)
         core: List[int] = []
         cluster = 0
-        for start in range(n):
-            if visited[start]:
-                continue
-            visited[start] = True
-            seed_neighbours = neighbours(start)
-            if len(seed_neighbours) < self.min_samples:
-                continue  # noise for now; may become a border point later
-            core.append(start)
-            labels[start] = cluster
-            queue = deque(int(i) for i in seed_neighbours if i != start)
-            while queue:
-                point = queue.popleft()
-                if labels[point] == NOISE:
-                    labels[point] = cluster  # border or newly reached
-                if visited[point]:
+        try:
+            for start in range(n):
+                if visited[start]:
                     continue
-                visited[point] = True
-                point_neighbours = neighbours(point)
-                if len(point_neighbours) >= self.min_samples:
-                    core.append(point)
-                    for other in point_neighbours:
-                        other = int(other)
-                        if not visited[other] or labels[other] == NOISE:
-                            queue.append(other)
-            cluster += 1
+                visited[start] = True
+                seed_neighbours = neighbours(start)
+                if len(seed_neighbours) < self.min_samples:
+                    continue  # noise for now; may become a border point later
+                core.append(start)
+                labels[start] = cluster
+                queue = deque(int(i) for i in seed_neighbours if i != start)
+                while queue:
+                    point = queue.popleft()
+                    if labels[point] == NOISE:
+                        labels[point] = cluster  # border or newly reached
+                    if visited[point]:
+                        continue
+                    visited[point] = True
+                    point_neighbours = neighbours(point)
+                    if len(point_neighbours) >= self.min_samples:
+                        core.append(point)
+                        for other in point_neighbours:
+                            other = int(other)
+                            if not visited[other] or labels[other] == NOISE:
+                                queue.append(other)
+                cluster += 1
+        except BudgetExceeded as exc:
+            # Every cluster discovered so far is genuine; unreached
+            # points simply stay noise.
+            self.truncated_ = True
+            self.truncation_reason_ = f"{type(exc).__name__}: {exc}"
+            warnings.warn(
+                f"DBSCAN stopped before visiting every point: {exc}",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
 
         self.labels_ = labels
         self.core_sample_indices_ = np.asarray(sorted(core), dtype=np.int64)
-        self.n_clusters_ = cluster
+        # labels.max() counts the partially-expanded cluster a budget
+        # interruption may leave behind; -1-only data yields 0.
+        self.n_clusters_ = int(labels.max()) + 1
 
     def _brute_neighbours_fn(self, X: np.ndarray):
         eps_sq = self.eps**2

@@ -17,6 +17,7 @@ import numpy as np
 from ..core.base import Clusterer, check_in_range
 from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..core.random import RandomState, check_random_state, spawn
+from ..runtime import Budget, BudgetExceeded
 from .distance import nearest_center, pairwise_distances
 
 _INITS = ("kmeans++", "forgy", "random_partition")
@@ -40,6 +41,15 @@ class KMeans(Clusterer):
         Independent restarts; the run with the lowest inertia wins.
     max_iter, tol:
         Per-run iteration cap and centroid-shift convergence threshold.
+    max_restarts:
+        Extra reseeded runs granted when none of the first ``n_init``
+        runs converges; a :class:`ConvergenceWarning` is issued only
+        after the retry allowance is exhausted.
+    budget:
+        Optional :class:`~repro.runtime.Budget`, charged one expansion
+        per optimisation iteration.  On exhaustion the current run keeps
+        its best-so-far centroids, no further runs launch, and
+        ``truncated_`` is set.
 
     Attributes
     ----------
@@ -51,6 +61,8 @@ class KMeans(Clusterer):
         Within-cluster sum of squared distances.
     n_iter_:
         Iterations used by the winning run.
+    truncated_:
+        True when a budget stopped optimisation early.
 
     Examples
     --------
@@ -70,11 +82,14 @@ class KMeans(Clusterer):
         max_iter: int = 300,
         tol: float = 1e-6,
         random_state: RandomState = None,
+        max_restarts: int = 0,
+        budget: Optional[Budget] = None,
     ):
         check_in_range("n_clusters", n_clusters, 1, None)
         check_in_range("n_init", n_init, 1, None)
         check_in_range("max_iter", max_iter, 1, None)
         check_in_range("tol", tol, 0.0, None)
+        check_in_range("max_restarts", max_restarts, 0, None)
         if init not in _INITS:
             raise ValidationError(f"init must be one of {_INITS}, got {init!r}")
         if algorithm not in _ALGORITHMS:
@@ -88,9 +103,13 @@ class KMeans(Clusterer):
         self.max_iter = int(max_iter)
         self.tol = float(tol)
         self.random_state = random_state
+        self.max_restarts = int(max_restarts)
+        self.budget = budget
         self.cluster_centers_: Optional[np.ndarray] = None
         self.inertia_: Optional[float] = None
         self.n_iter_: Optional[int] = None
+        self.truncated_ = False
+        self.truncation_reason_: Optional[str] = None
 
     def _fit(self, X: np.ndarray) -> None:
         if self.n_clusters > len(X):
@@ -98,16 +117,37 @@ class KMeans(Clusterer):
                 f"n_clusters={self.n_clusters} exceeds {len(X)} samples"
             )
         rng = check_random_state(self.random_state)
+        self.truncated_ = False
+        self.truncation_reason_ = None
         best = None
-        for child in spawn(rng, self.n_init):
+        any_converged = False
+        launched = 0
+        for child in spawn(rng, self.n_init + self.max_restarts):
+            if launched >= self.n_init and any_converged:
+                break  # the retry allowance only serves non-converged fits
+            if self.truncated_:
+                break  # budget exhausted: no further runs
+            launched += 1
             centers = self._init_centers(X, child)
             if self.algorithm == "lloyd":
-                centers, labels, inertia, n_iter = self._lloyd(X, centers, child)
+                centers, labels, inertia, n_iter, converged = self._lloyd(
+                    X, centers, child
+                )
             else:
-                centers, labels, inertia, n_iter = self._macqueen(X, centers)
+                centers, labels, inertia, n_iter, converged = self._macqueen(
+                    X, centers
+                )
+            any_converged = any_converged or converged
             if best is None or inertia < best[2]:
                 best = (centers, labels, inertia, n_iter)
         self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
+        if not any_converged and not self.truncated_:
+            warnings.warn(
+                f"k-means did not converge in {self.max_iter} iterations "
+                f"in any of {launched} runs",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
 
     # ------------------------------------------------------------------
     # Initialisation
@@ -140,9 +180,26 @@ class KMeans(Clusterer):
     # ------------------------------------------------------------------
     # Optimisation
     # ------------------------------------------------------------------
+    def _charge_iteration(self, phase: str) -> bool:
+        """Charge one optimisation iteration; True when budget survives."""
+        if self.budget is None:
+            return True
+        try:
+            self.budget.charge_expansions(phase=phase)
+            self.budget.check(phase=phase)
+        except BudgetExceeded as exc:
+            self.truncated_ = True
+            self.truncation_reason_ = f"{type(exc).__name__}: {exc}"
+            return False
+        return True
+
     def _lloyd(self, X, centers, rng):
         labels = None
+        converged = False
+        iteration = 0
         for iteration in range(1, self.max_iter + 1):
+            if not self._charge_iteration("kmeans-lloyd"):
+                break
             labels, sq = nearest_center(X, centers)
             new_centers = centers.copy()
             for c in range(self.n_clusters):
@@ -155,21 +212,19 @@ class KMeans(Clusterer):
             shift = float(np.sqrt(((new_centers - centers) ** 2).sum(axis=1)).max())
             centers = new_centers
             if shift <= self.tol:
+                converged = True
                 break
-        else:
-            warnings.warn(
-                f"k-means did not converge in {self.max_iter} iterations",
-                ConvergenceWarning,
-                stacklevel=3,
-            )
-            iteration = self.max_iter
         labels, sq = nearest_center(X, centers)
-        return centers, labels, float(sq.sum()), iteration
+        return centers, labels, float(sq.sum()), iteration, converged
 
     def _macqueen(self, X, centers):
         """MacQueen's online update: each point moves its centroid at once."""
         counts = np.ones(self.n_clusters)
+        converged = False
+        iteration = 0
         for iteration in range(1, self.max_iter + 1):
+            if not self._charge_iteration("kmeans-macqueen"):
+                break
             moved = 0.0
             for x in X:
                 d = ((centers - x) ** 2).sum(axis=1)
@@ -179,9 +234,10 @@ class KMeans(Clusterer):
                 centers[c] = centers[c] + step
                 moved = max(moved, float(np.sqrt((step**2).sum())))
             if moved <= self.tol:
+                converged = True
                 break
         labels, sq = nearest_center(X, centers)
-        return centers, labels, float(sq.sum()), iteration
+        return centers, labels, float(sq.sum()), iteration, converged
 
     # ------------------------------------------------------------------
     # Prediction

@@ -10,13 +10,15 @@ E9/E10 benchmarks exhibit.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
 
 from ..core.base import Clusterer, check_in_range
-from ..core.exceptions import ValidationError
+from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..core.random import RandomState
+from ..runtime import Budget, BudgetExceeded
 from .distance import pairwise_distances
 
 
@@ -29,6 +31,13 @@ class PAM(Clusterer):
         Number of medoids (k).
     max_swaps:
         Upper bound on accepted swaps (each is a full O(k(n-k)²) scan).
+        Exhausting it without reaching a local optimum raises a
+        :class:`ConvergenceWarning` (``max_swaps=0`` requests the BUILD
+        phase only and never warns).
+    budget:
+        Optional :class:`~repro.runtime.Budget`, charged one expansion
+        per swap scan.  On exhaustion the best medoids found so far are
+        kept and ``truncated_`` is set.
 
     Attributes
     ----------
@@ -50,14 +59,22 @@ class PAM(Clusterer):
     3
     """
 
-    def __init__(self, n_clusters: int = 8, max_swaps: int = 200):
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        max_swaps: int = 200,
+        budget: Optional[Budget] = None,
+    ):
         check_in_range("n_clusters", n_clusters, 1, None)
         check_in_range("max_swaps", max_swaps, 0, None)
         self.n_clusters = int(n_clusters)
         self.max_swaps = int(max_swaps)
+        self.budget = budget
         self.medoid_indices_: Optional[np.ndarray] = None
         self.cluster_centers_: Optional[np.ndarray] = None
         self.cost_: Optional[float] = None
+        self.truncated_ = False
+        self.truncation_reason_: Optional[str] = None
 
     def _fit(self, X: np.ndarray) -> None:
         n = len(X)
@@ -65,6 +82,8 @@ class PAM(Clusterer):
             raise ValidationError(
                 f"n_clusters={self.n_clusters} exceeds {n} samples"
             )
+        self.truncated_ = False
+        self.truncation_reason_ = None
         d = pairwise_distances(X)
         medoids = self._build(d)
         medoids, cost = self._swap(d, medoids)
@@ -99,6 +118,14 @@ class PAM(Clusterer):
         n = len(d)
         medoids = list(medoids)
         for _ in range(self.max_swaps):
+            if self.budget is not None:
+                try:
+                    self.budget.charge_expansions(phase="pam-swap")
+                    self.budget.check(phase="pam-swap")
+                except BudgetExceeded as exc:
+                    self.truncated_ = True
+                    self.truncation_reason_ = f"{type(exc).__name__}: {exc}"
+                    break
             med = np.array(medoids)
             dist_to_meds = d[:, med]
             order = np.argsort(dist_to_meds, axis=1)
@@ -129,6 +156,14 @@ class PAM(Clusterer):
             if best_swap is None:
                 return medoids, current_cost
             medoids[best_swap[0]] = best_swap[1]
+        else:
+            if self.max_swaps > 0:
+                warnings.warn(
+                    f"PAM swap phase did not reach a local optimum within "
+                    f"{self.max_swaps} swaps",
+                    ConvergenceWarning,
+                    stacklevel=3,
+                )
         med = np.array(medoids)
         cost = float(d[:, med].min(axis=1).sum())
         return medoids, cost

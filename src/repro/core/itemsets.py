@@ -10,7 +10,7 @@ prefixes, as in the original Apriori join step) simple and deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 from .exceptions import ValidationError
 
@@ -120,12 +120,22 @@ class FrequentItemsets:
         The relative minimum support threshold the run used.
     pass_stats:
         Per-level statistics (empty for miners that are not levelwise).
+    truncated:
+        True when the run hit an execution budget and returned a partial
+        answer (see :mod:`repro.runtime`).  Every itemset present is
+        still genuinely frequent — exhaustion can only lose itemsets,
+        never fabricate them.
+    truncation_reason:
+        Human-readable description of the budget that fired (``None``
+        for a complete run).
     """
 
     supports: Dict[Itemset, int]
     n_transactions: int
     min_support: float
     pass_stats: list = field(default_factory=list)
+    truncated: bool = False
+    truncation_reason: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.supports)

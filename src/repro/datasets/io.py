@@ -73,14 +73,21 @@ def load_table(path: PathLike) -> Table:
         for row in reader:
             if len(row) != len(names):
                 raise ValidationError(
-                    f"{path}: row with {len(row)} cells, expected {len(names)}"
+                    f"{path}: line {reader.line_num}: row with {len(row)} "
+                    f"cells, expected {len(names)}"
                 )
             parsed = []
-            for cell, kind in zip(row, kinds):
+            for cell, name, kind in zip(row, names, kinds):
                 if cell == "":
                     parsed.append(None)
                 elif kind == "num":
-                    value = float(cell)
+                    try:
+                        value = float(cell)
+                    except ValueError:
+                        raise ValidationError(
+                            f"{path}: line {reader.line_num}: non-numeric "
+                            f"value {cell!r} in numeric column {name!r}"
+                        ) from None
                     parsed.append(None if math.isnan(value) else value)
                 else:
                     parsed.append(cell)
@@ -112,7 +119,12 @@ def save_transactions(
     >>> os.remove(path)
     """
     with open(path, "w") as handle:
-        for txn in db:
+        for position, txn in enumerate(db):
+            if len(txn) == 0:
+                raise ValidationError(
+                    f"transaction {position} is empty: the FIMI line format "
+                    "cannot represent empty transactions"
+                )
             handle.write(delimiter.join(str(item) for item in txn))
             handle.write("\n")
 
@@ -121,15 +133,32 @@ def load_transactions(
     path: PathLike, delimiter: str = " "
 ) -> TransactionDatabase:
     """Read a FIMI-layout transaction file written by
-    :func:`save_transactions`."""
+    :func:`save_transactions`.
+
+    Blank lines and non-integer tokens are rejected with a
+    :class:`ValidationError` naming the file and 1-based line number —
+    silently skipping (or worse, mis-parsing) a corrupt basket file
+    would quietly change every support count downstream.
+    """
     transactions = []
     with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                transactions.append([])
-                continue
-            transactions.append([int(tok) for tok in line.split(delimiter)])
+        for line_num, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                raise ValidationError(
+                    f"{path}: line {line_num}: blank line (the FIMI format "
+                    "has no representation for empty transactions)"
+                )
+            try:
+                transactions.append(
+                    [int(tok) for tok in stripped.split(delimiter)]
+                )
+            except ValueError:
+                raise ValidationError(
+                    f"{path}: line {line_num}: malformed transaction "
+                    f"{stripped!r} (items must be integers separated by "
+                    f"{delimiter!r})"
+                ) from None
     return TransactionDatabase(transactions)
 
 

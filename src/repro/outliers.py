@@ -81,17 +81,26 @@ def distance_outliers(
     n = len(X)
     if n < 2:
         return np.zeros(n, dtype=bool)
+    # Distances are translation-invariant, so centre the data first: the
+    # quadratic expansion below cancels catastrophically when ||x||^2
+    # dwarfs the pairwise distances (data far from the origin).
+    X = X - X.mean(axis=0)
+    norms = (X**2).sum(axis=1)
     eps_sq = eps * eps
+    # The expansion's rounding error scales with the squared magnitudes
+    # involved; a purely absolute tolerance flips points sitting exactly
+    # on the eps boundary once the spread of the data is large.
+    slack = 1e-12 + 128.0 * np.finfo(np.float64).eps * float(norms.max())
     within = np.zeros(n, dtype=np.int64)
     for start in range(0, n, block_size):
         stop = min(start + block_size, n)
         block = X[start:stop]
         d_sq = (
-            (block**2).sum(axis=1)[:, None]
+            norms[start:stop, None]
             - 2.0 * block @ X.T
-            + (X**2).sum(axis=1)[None, :]
+            + norms[None, :]
         )
-        within[start:stop] = (d_sq <= eps_sq + 1e-12).sum(axis=1)
+        within[start:stop] = (d_sq <= eps_sq + slack).sum(axis=1)
     # `within` counts the point itself; outlier iff at least `fraction`
     # of the OTHER n-1 points lie beyond eps.
     beyond_others = n - within

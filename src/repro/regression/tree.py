@@ -203,7 +203,12 @@ class RegressionTree:
                 best_boundary = b
         if best_boundary is None:
             return None
-        threshold = (v[best_boundary] + v[best_boundary + 1]) / 2.0
+        # Index-based partition cannot degenerate, but the safe threshold
+        # keeps prediction consistent with the training partition when
+        # the naive midpoint would round up to the higher value.
+        from ..classification.tree_model import safe_threshold
+
+        threshold = safe_threshold(v[best_boundary], v[best_boundary + 1])
         left_idx = known_sorted[: best_boundary + 1]
         right_idx = known_sorted[best_boundary + 1:]
         missing = indices[~known_mask]

@@ -1,0 +1,34 @@
+"""Execution guardrails: budgets, cancellation, and fault injection.
+
+See :mod:`repro.runtime.budget` for the budget/cancellation machinery
+and :mod:`repro.runtime.faults` for the deterministic fault harness
+used by ``tests/runtime``.
+"""
+
+from .budget import (
+    Budget,
+    BudgetExceeded,
+    CancellationToken,
+    IterationBudgetExceeded,
+    OperationCancelled,
+    ProgressEvent,
+    SpaceBudgetExceeded,
+    TimeBudgetExceeded,
+)
+from .faults import Fault, InjectedFault, SlowPass, TriggerAfter, VirtualClock
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "TimeBudgetExceeded",
+    "SpaceBudgetExceeded",
+    "IterationBudgetExceeded",
+    "CancellationToken",
+    "OperationCancelled",
+    "ProgressEvent",
+    "Fault",
+    "InjectedFault",
+    "TriggerAfter",
+    "SlowPass",
+    "VirtualClock",
+]

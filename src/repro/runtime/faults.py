@@ -1,0 +1,135 @@
+"""Deterministic fault injection for budget checkpoints.
+
+The ``tests/runtime`` suite needs to prove that every guarded loop
+actually reaches a budget checkpoint — without relying on wall-clock
+races or pathological inputs.  The pieces here make that deterministic:
+
+* :class:`VirtualClock` — an injectable time source (``Budget(clock=...)``)
+  that only moves when told to, so deadline tests never sleep;
+* :class:`SlowPass` — a fault that advances a virtual clock on every
+  checkpoint, simulating a slow pass until the deadline fires;
+* :class:`TriggerAfter` — a fault that raises on the N-th checkpoint,
+  proving the guarded loop polls its budget at all.
+
+Faults are attached with :meth:`Budget.install_fault` and run at the
+start of every full :meth:`Budget.check`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.base import check_in_range
+from .budget import Budget, IterationBudgetExceeded, TimeBudgetExceeded
+
+
+class Fault:
+    """Base class: ``on_check`` runs at every full budget checkpoint."""
+
+    def on_check(self, budget: Budget) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class InjectedFault(IterationBudgetExceeded):
+    """Raised by :class:`TriggerAfter` when no custom factory is given.
+
+    Subclasses :class:`IterationBudgetExceeded` so production code paths
+    treat an injected failure exactly like real budget exhaustion.
+    """
+
+
+class TriggerAfter(Fault):
+    """Raise deterministically on the ``n_checks``-th budget checkpoint.
+
+    Parameters
+    ----------
+    n_checks:
+        Which full check fires the fault (1 = the very first).
+    exc_factory:
+        Optional zero-argument callable building the exception to raise;
+        defaults to :class:`InjectedFault`.
+
+    Examples
+    --------
+    >>> budget = Budget().install_fault(TriggerAfter(2))
+    >>> budget.check()
+    >>> budget.check()
+    Traceback (most recent call last):
+        ...
+    repro.runtime.faults.InjectedFault: injected fault at check 2
+    """
+
+    def __init__(
+        self,
+        n_checks: int,
+        exc_factory: Optional[Callable[[], BaseException]] = None,
+    ):
+        check_in_range("n_checks", n_checks, 1, None)
+        self.n_checks = n_checks
+        self.exc_factory = exc_factory
+        self.fired = False
+
+    def on_check(self, budget: Budget) -> None:
+        if budget.n_checks >= self.n_checks and not self.fired:
+            self.fired = True
+            if self.exc_factory is not None:
+                raise self.exc_factory()
+            raise InjectedFault(
+                f"injected fault at check {budget.n_checks}",
+                resource="expansions",
+                limit=self.n_checks,
+                used=budget.n_checks,
+            )
+
+
+class SlowPass(Fault):
+    """Advance a :class:`VirtualClock` on every checkpoint.
+
+    Attach to a budget whose ``clock`` is the same virtual clock and
+    every check costs ``delay`` simulated seconds — a deadline of
+    ``time_limit`` then fires after ``time_limit / delay`` checks with
+    zero real sleeping, raising :class:`TimeBudgetExceeded` from the
+    budget's own deadline logic.
+    """
+
+    def __init__(self, clock: "VirtualClock", delay: float):
+        check_in_range("delay", delay, 0.0, None)
+        self.clock = clock
+        self.delay = delay
+
+    def on_check(self, budget: Budget) -> None:
+        self.clock.advance(self.delay)
+
+
+class VirtualClock:
+    """Deterministic manual time source for deadline tests.
+
+    Callable (returns the current simulated time) so it plugs straight
+    into ``Budget(clock=...)``.
+
+    >>> clock = VirtualClock()
+    >>> clock()
+    0.0
+    >>> clock.advance(1.5)
+    >>> clock()
+    1.5
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        check_in_range("dt", dt, 0.0, None)
+        self.now += dt
+
+
+__all__ = [
+    "Fault",
+    "InjectedFault",
+    "TriggerAfter",
+    "SlowPass",
+    "VirtualClock",
+]

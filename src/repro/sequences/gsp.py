@@ -25,6 +25,7 @@ from ..core.exceptions import ValidationError
 from ..core.itemsets import PassStats
 from ..core.sequences import SequenceDatabase, SequencePattern, pattern_length
 from ..associations.apriori import min_count_from_support
+from ..runtime import Budget, BudgetExceeded
 from .result import FrequentSequences
 
 
@@ -36,6 +37,8 @@ def gsp(
     max_gap: Optional[float] = None,
     window: float = 0.0,
     times: Optional[Sequence[Sequence[float]]] = None,
+    budget: Optional[Budget] = None,
+    on_exhausted: str = "raise",
 ) -> FrequentSequences:
     """Mine frequent sequential patterns with GSP.
 
@@ -55,6 +58,14 @@ def gsp(
         Optional per-sequence timestamp lists, aligned with the elements
         of each sequence and strictly increasing.  Defaults to element
         indices 0, 1, 2, ...
+    budget:
+        Optional :class:`~repro.runtime.Budget` checked once per pass,
+        charged per generated candidate, and checked periodically in the
+        counting scan.
+    on_exhausted:
+        ``"raise"`` propagates :class:`~repro.runtime.BudgetExceeded`;
+        ``"truncate"`` returns the completed passes flagged
+        ``truncated=True``.
 
     Returns
     -------
@@ -66,6 +77,11 @@ def gsp(
     >>> gsp(db, min_support=0.6).supports[((1,), (2,))]
     2
     """
+    if on_exhausted not in ("raise", "truncate"):
+        raise ValidationError(
+            f"on_exhausted must be 'raise' or 'truncate' for gsp, "
+            f"got {on_exhausted!r}"
+        )
     if max_length is not None and max_length < 1:
         raise ValidationError(f"max_length must be >= 1, got {max_length}")
     if window < 0:
@@ -113,35 +129,56 @@ def gsp(
     all_frequent: Dict[SequencePattern, int] = dict(frequent)
 
     k = 2
-    while frequent and (max_length is None or k <= max_length):
-        started = _time.perf_counter()
-        if k == 2:
-            candidates = _candidates_len2(frequent)
-        else:
-            candidates = _candidates_join(frequent, max_gap is not None)
-        if not candidates:
-            stats.append(PassStats(k, 0, 0, _time.perf_counter() - started))
-            break
-        counts = dict.fromkeys(candidates, 0)
-        candidate_items = [
-            (cand, frozenset(i for e in cand for i in e))
-            for cand in candidates
-        ]
-        for seq, t in zip(db, times):
-            if sum(len(e) for e in seq) < k:
-                continue
-            # Cheap prefilter: a pattern's items must all occur somewhere
-            # in the sequence before the (expensive) ordered check runs.
-            seq_items = frozenset(i for e in seq for i in e)
-            for cand, items in candidate_items:
-                if items <= seq_items and checker.contains(seq, t, cand):
-                    counts[cand] += 1
-        frequent = {c: cnt for c, cnt in counts.items() if cnt >= min_count}
-        stats.append(
-            PassStats(k, len(candidates), len(frequent), _time.perf_counter() - started)
+    try:
+        while frequent and (max_length is None or k <= max_length):
+            if budget is not None:
+                budget.check(phase=f"pass-{k}")
+                budget.progress(f"pass-{k}", n_frequent_prev=len(frequent))
+            started = _time.perf_counter()
+            if k == 2:
+                candidates = _candidates_len2(frequent)
+            else:
+                candidates = _candidates_join(frequent, max_gap is not None)
+            if budget is not None:
+                budget.charge_candidates(len(candidates), phase=f"pass-{k}")
+            if not candidates:
+                stats.append(PassStats(k, 0, 0, _time.perf_counter() - started))
+                break
+            counts = dict.fromkeys(candidates, 0)
+            candidate_items = [
+                (cand, frozenset(i for e in cand for i in e))
+                for cand in candidates
+            ]
+            for i, (seq, t) in enumerate(zip(db, times)):
+                if budget is not None and i % 64 == 0:
+                    budget.check(phase=f"count-{k}")
+                if sum(len(e) for e in seq) < k:
+                    continue
+                # Cheap prefilter: a pattern's items must all occur
+                # somewhere in the sequence before the (expensive)
+                # ordered check runs.
+                seq_items = frozenset(i for e in seq for i in e)
+                for cand, items in candidate_items:
+                    if items <= seq_items and checker.contains(seq, t, cand):
+                        counts[cand] += 1
+            frequent = {c: cnt for c, cnt in counts.items() if cnt >= min_count}
+            stats.append(
+                PassStats(k, len(candidates), len(frequent), _time.perf_counter() - started)
+            )
+            all_frequent.update(frequent)
+            k += 1
+    except BudgetExceeded as exc:
+        if on_exhausted == "raise":
+            raise
+        result = FrequentSequences(
+            all_frequent,
+            n,
+            min_support,
+            truncated=True,
+            truncation_reason=f"{type(exc).__name__}: {exc}",
         )
-        all_frequent.update(frequent)
-        k += 1
+        result.pass_stats = stats
+        return result
 
     result = FrequentSequences(all_frequent, n, min_support)
     result.pass_stats = stats

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 from ..core.sequences import SequencePattern, pattern_length, sequence_contains
 
@@ -23,12 +23,20 @@ class FrequentSequences:
         The relative threshold used.
     pass_stats:
         Per-level statistics for levelwise miners (AprioriAll, GSP).
+    truncated:
+        True when the run hit an execution budget and returned a partial
+        answer (see :mod:`repro.runtime`); every pattern present is
+        still genuinely frequent.
+    truncation_reason:
+        Which budget fired (``None`` for a complete run).
     """
 
     supports: Dict[SequencePattern, int]
     n_sequences: int
     min_support: float
     pass_stats: List = field(default_factory=list)
+    truncated: bool = False
+    truncation_reason: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.supports)

@@ -94,8 +94,31 @@ class TestTransactionsCSV:
         loaded = load_transactions(path)
         assert list(loaded) == list(small_db)
 
-    def test_empty_lines_become_empty_transactions(self, tmp_path):
+    def test_blank_line_rejected_with_location(self, tmp_path):
         path = tmp_path / "t.dat"
         path.write_text("1 2\n\n3\n")
-        loaded = load_transactions(path)
-        assert list(loaded) == [(1, 2), (), (3,)]
+        with pytest.raises(ValidationError, match=r"line 2.*blank"):
+            load_transactions(path)
+
+    def test_malformed_token_rejected_with_location(self, tmp_path):
+        path = tmp_path / "t.dat"
+        path.write_text("1 2\n3 oops 4\n")
+        with pytest.raises(ValidationError, match=r"line 2.*malformed"):
+            load_transactions(path)
+
+    def test_save_rejects_empty_transaction(self, tmp_path):
+        db = TransactionDatabase([(0, 1), ()])
+        with pytest.raises(ValidationError, match="empty"):
+            save_transactions(db, tmp_path / "t.dat")
+
+    def test_non_numeric_cell_rejected_with_location(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a:num,b:cat\n1.0,x\noops,y\n")
+        with pytest.raises(ValidationError, match=r"line 3.*non-numeric"):
+            load_table(path)
+
+    def test_ragged_row_error_names_line(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a:num,b:num\n1.0,2.0\n1.0\n")
+        with pytest.raises(ValidationError, match=r"line 3"):
+            load_table(path)
