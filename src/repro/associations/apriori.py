@@ -17,7 +17,7 @@ from ..core.base import check_in_range
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset, PassStats
 from ..core.transactions import TransactionDatabase
-from ..runtime import Budget, BudgetExceeded
+from ..runtime import Budget, BudgetExceeded, Checkpointer
 from .candidates import apriori_gen
 from .hash_tree import HashTree
 
@@ -51,6 +51,24 @@ def frequent_one_itemsets(
     }
 
 
+def checkpoint_key(algorithm: str, db, min_support: float, **extra) -> dict:
+    """Identity of a mining run for checkpoint verification.
+
+    Everything that determines the result belongs here: resuming a
+    snapshot whose key differs raises
+    :class:`~repro.runtime.CheckpointMismatch` instead of silently
+    blending two runs.
+    """
+    key = {
+        "algorithm": algorithm,
+        "n_transactions": len(db),
+        "n_items": db.n_items,
+        "min_support": min_support,
+    }
+    key.update(extra)
+    return key
+
+
 def apriori(
     db: TransactionDatabase,
     min_support: float = 0.01,
@@ -58,6 +76,7 @@ def apriori(
     candidate_store: str = "hash_tree",
     budget: Optional[Budget] = None,
     on_exhausted: str = "raise",
+    checkpoint: Optional[Checkpointer] = None,
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with the Apriori algorithm.
 
@@ -87,6 +106,12 @@ def apriori(
         :func:`~repro.associations.sampling.sampling_miner` before
         returning the (still truncated) union.  Cancellation always
         propagates regardless of this setting.
+    checkpoint:
+        Optional :class:`~repro.runtime.Checkpointer`.  The state of
+        every completed pass is marked (and periodically persisted) so
+        an interrupted run resumes from its last completed pass; any
+        exit — normal, exhausted, cancelled — flushes a final snapshot.
+        ``None`` (the default) is byte-identical to no checkpointing.
 
     Returns
     -------
@@ -114,20 +139,35 @@ def apriori(
         return FrequentItemsets({}, 0, min_support)
     min_count = min_count_from_support(n, min_support)
 
-    stats = []
-    started = time.perf_counter()
-    frequent = frequent_one_itemsets(db, min_count)
-    stats.append(
-        PassStats(
-            k=1,
-            n_candidates=db.n_items,
-            n_frequent=len(frequent),
-            elapsed=time.perf_counter() - started,
+    key = None
+    if checkpoint is not None:
+        key = checkpoint_key(
+            "apriori", db, min_support,
+            max_size=max_size, candidate_store=candidate_store,
         )
-    )
-    all_frequent: Dict[Itemset, int] = dict(frequent)
+    resumed = checkpoint.resume(key) if checkpoint is not None else None
+    if resumed is not None:
+        k = resumed["k"]
+        frequent = resumed["frequent"]
+        all_frequent: Dict[Itemset, int] = resumed["all_frequent"]
+        stats = resumed["stats"]
+    else:
+        stats = []
+        started = time.perf_counter()
+        frequent = frequent_one_itemsets(db, min_count)
+        stats.append(
+            PassStats(
+                k=1,
+                n_candidates=db.n_items,
+                n_frequent=len(frequent),
+                elapsed=time.perf_counter() - started,
+            )
+        )
+        all_frequent = dict(frequent)
+        k = 2
+        if checkpoint is not None:
+            checkpoint.mark(key, levelwise_state(k, frequent, all_frequent, stats))
 
-    k = 2
     try:
         while frequent and (max_size is None or k <= max_size):
             if budget is not None:
@@ -152,16 +192,36 @@ def apriori(
             )
             all_frequent.update(frequent)
             k += 1
+            if checkpoint is not None:
+                checkpoint.mark(key, levelwise_state(k, frequent, all_frequent, stats))
     except BudgetExceeded as exc:
         if on_exhausted == "raise":
             raise
         return degrade_levelwise(
             db, min_support, all_frequent, stats, k, exc, on_exhausted
         )
+    finally:
+        if checkpoint is not None:
+            checkpoint.flush()
 
     result = FrequentItemsets(all_frequent, n, min_support)
     result.pass_stats = stats
     return result
+
+
+def levelwise_state(k, frequent, all_frequent, stats) -> dict:
+    """Resumable snapshot of a levelwise miner at the start of pass ``k``.
+
+    Shallow copies isolate the snapshot from in-place mutation by the
+    passes that run between this boundary and the next flush; itemset
+    tuples and frozen :class:`PassStats` need no deeper copying.
+    """
+    return {
+        "k": k,
+        "frequent": dict(frequent),
+        "all_frequent": dict(all_frequent),
+        "stats": list(stats),
+    }
 
 
 def check_on_exhausted(on_exhausted: str) -> None:
@@ -245,7 +305,9 @@ def _count_with_dict(db, candidates, k, min_count, budget=None) -> Dict[Itemset,
 
 __all__ = [
     "apriori",
+    "checkpoint_key",
     "frequent_one_itemsets",
+    "levelwise_state",
     "min_count_from_support",
     "check_on_exhausted",
     "degrade_levelwise",

@@ -19,11 +19,13 @@ from typing import Dict, List, Optional, Tuple
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset, PassStats
 from ..core.transactions import TransactionDatabase
-from ..runtime import Budget, BudgetExceeded
+from ..runtime import Budget, BudgetExceeded, Checkpointer
 from .apriori import (
     check_on_exhausted,
+    checkpoint_key,
     degrade_levelwise,
     frequent_one_itemsets,
+    levelwise_state,
     min_count_from_support,
 )
 from .candidates import apriori_gen
@@ -35,13 +37,16 @@ def apriori_tid(
     max_size: Optional[int] = None,
     budget: Optional[Budget] = None,
     on_exhausted: str = "raise",
+    checkpoint: Optional[Checkpointer] = None,
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with the AprioriTid algorithm.
 
     Parameters and result are identical to
     :func:`~repro.associations.apriori.apriori` (including the
-    ``budget``/``on_exhausted`` guardrails); only the counting machinery
-    differs, so the two must return exactly the same itemsets.
+    ``budget``/``on_exhausted``/``checkpoint`` guardrails); only the
+    counting machinery differs, so the two must return exactly the same
+    itemsets.  Snapshots carry the transformed C̄_k lists alongside the
+    levelwise state, so a resumed run rereads nothing.
 
     Examples
     --------
@@ -57,29 +62,42 @@ def apriori_tid(
         return FrequentItemsets({}, 0, min_support)
     min_count = min_count_from_support(n, min_support)
 
-    stats = []
-    started = time.perf_counter()
-    frequent = frequent_one_itemsets(db, min_count)
-    stats.append(
-        PassStats(1, db.n_items, len(frequent), time.perf_counter() - started)
-    )
-    all_frequent: Dict[Itemset, int] = dict(frequent)
-
-    # C̄_1: per transaction, the frozenset of frequent 1-itemsets present.
-    frequent_items = {itemset[0] for itemset in frequent}
-    tidlists: List[Tuple[int, frozenset]] = []
-    for tid, txn in enumerate(db):
-        present = frozenset(
-            (item,) for item in txn if item in frequent_items
+    key = None
+    if checkpoint is not None:
+        key = checkpoint_key("apriori_tid", db, min_support, max_size=max_size)
+    resumed = checkpoint.resume(key) if checkpoint is not None else None
+    if resumed is not None:
+        frequent = resumed["frequent"]
+        all_frequent: Dict[Itemset, int] = resumed["all_frequent"]
+        stats = resumed["stats"]
+        tidlists: List[Tuple[int, frozenset]] = resumed["tidlists"]
+        start_k = resumed["k"]
+    else:
+        stats = []
+        started = time.perf_counter()
+        frequent = frequent_one_itemsets(db, min_count)
+        stats.append(
+            PassStats(1, db.n_items, len(frequent), time.perf_counter() - started)
         )
-        if present:
-            tidlists.append((tid, present))
+        all_frequent = dict(frequent)
 
-    k = 2
+        # C̄_1: per transaction, the frozenset of frequent 1-itemsets present.
+        frequent_items = {itemset[0] for itemset in frequent}
+        tidlists = []
+        for tid, txn in enumerate(db):
+            present = frozenset(
+                (item,) for item in txn if item in frequent_items
+            )
+            if present:
+                tidlists.append((tid, present))
+        start_k = 2
+        if checkpoint is not None:
+            checkpoint.mark(key, _tid_state(start_k, frequent, all_frequent, stats, tidlists))
+
     try:
         return _mine_levelwise(
             db, min_support, max_size, min_count, budget, frequent,
-            all_frequent, tidlists, stats, n,
+            all_frequent, tidlists, stats, n, start_k, checkpoint, key,
         )
     except BudgetExceeded as exc:
         if on_exhausted == "raise":
@@ -90,13 +108,22 @@ def apriori_tid(
         return degrade_levelwise(
             db, min_support, all_frequent, stats, k, exc, on_exhausted
         )
+    finally:
+        if checkpoint is not None:
+            checkpoint.flush()
+
+
+def _tid_state(k, frequent, all_frequent, stats, tidlists) -> dict:
+    state = levelwise_state(k, frequent, all_frequent, stats)
+    state["tidlists"] = list(tidlists)
+    return state
 
 
 def _mine_levelwise(
     db, min_support, max_size, min_count, budget, frequent,
-    all_frequent, tidlists, stats, n,
+    all_frequent, tidlists, stats, n, start_k, checkpoint, key,
 ) -> FrequentItemsets:
-    k = 2
+    k = start_k
     while frequent and (max_size is None or k <= max_size):
         if budget is not None:
             budget.check(phase=f"pass-{k}")
@@ -145,6 +172,8 @@ def _mine_levelwise(
             if kept:
                 tidlists.append((tid, kept))
         k += 1
+        if checkpoint is not None:
+            checkpoint.mark(key, _tid_state(k, frequent, all_frequent, stats, tidlists))
 
     result = FrequentItemsets(all_frequent, n, min_support)
     result.pass_stats = stats

@@ -18,8 +18,14 @@ from ..core.base import check_in_range
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset, PassStats
 from ..core.transactions import TransactionDatabase
-from ..runtime import Budget, BudgetExceeded
-from .apriori import check_on_exhausted, degrade_levelwise, min_count_from_support
+from ..runtime import Budget, BudgetExceeded, Checkpointer
+from .apriori import (
+    check_on_exhausted,
+    checkpoint_key,
+    degrade_levelwise,
+    levelwise_state,
+    min_count_from_support,
+)
 from .candidates import apriori_gen
 from .hash_tree import HashTree
 
@@ -31,16 +37,20 @@ def dhp(
     max_size: Optional[int] = None,
     budget: Optional[Budget] = None,
     on_exhausted: str = "raise",
+    checkpoint: Optional[Checkpointer] = None,
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with DHP's hash-filtered pass 2.
 
     Parameters
     ----------
-    db, min_support, max_size, budget, on_exhausted:
+    db, min_support, max_size, budget, on_exhausted, checkpoint:
         As in :func:`~repro.associations.apriori.apriori`; the result is
         identical.  The unfiltered C2 size ``|F1 choose 2|`` is charged
         against the candidate budget *before* the pair list materialises,
         so a space cap rejects the classic pass-2 blow-up up front.
+        Snapshots record which stage completed (the hash-filter pass, the
+        filtered pass 2, or a later pass k) together with the pass-1
+        bucket counters, which pass 2 still needs after a resume.
     n_buckets:
         Size of the pass-1 hash table.  More buckets = fewer collisions
         = sharper C2 pruning.
@@ -71,10 +81,20 @@ def dhp(
     stats = []
     all_frequent: Dict[Itemset, int] = {}
 
+    key = None
+    if checkpoint is not None:
+        key = checkpoint_key(
+            "dhp", db, min_support, max_size=max_size, n_buckets=n_buckets
+        )
+    resumed = checkpoint.resume(key) if checkpoint is not None else None
+    if resumed is not None:
+        stats.extend(resumed["stats"])
+        all_frequent.update(resumed["all_frequent"])
+
     try:
         return _dhp_mine(
             db, min_support, n_buckets, max_size, budget, min_count, stats,
-            all_frequent, n,
+            all_frequent, n, checkpoint, key, resumed,
         )
     except BudgetExceeded as exc:
         if on_exhausted == "raise":
@@ -87,71 +107,93 @@ def dhp(
         result.c2_unfiltered = 0
         result.c2_filtered = 0
         return result
+    finally:
+        if checkpoint is not None:
+            checkpoint.flush()
 
 
 def _dhp_mine(
     db, min_support, n_buckets, max_size, budget, min_count, stats,
-    all_frequent, n,
+    all_frequent, n, checkpoint=None, key=None, resumed=None,
 ) -> FrequentItemsets:
     # ------------------------------------------------------------------
     # Pass 1: item counts + the 2-subset hash filter.
     # ------------------------------------------------------------------
-    started = time.perf_counter()
-    item_counts: Dict[int, int] = {}
-    buckets = [0] * n_buckets
-    for i, txn in enumerate(db):
-        if budget is not None and i % 256 == 0:
-            budget.check(phase="dhp-pass-1")
-        for item in txn:
-            item_counts[item] = item_counts.get(item, 0) + 1
-        for a, b in combinations(txn, 2):
-            buckets[_bucket(a, b, n_buckets)] += 1
-    frequent = {
-        (item,): cnt
-        for item, cnt in sorted(item_counts.items())
-        if cnt >= min_count
-    }
-    stats.append(
-        PassStats(1, db.n_items, len(frequent), time.perf_counter() - started)
-    )
-    all_frequent.update(frequent)
+    if resumed is None:
+        started = time.perf_counter()
+        item_counts: Dict[int, int] = {}
+        buckets = [0] * n_buckets
+        for i, txn in enumerate(db):
+            if budget is not None and i % 256 == 0:
+                budget.check(phase="dhp-pass-1")
+            for item in txn:
+                item_counts[item] = item_counts.get(item, 0) + 1
+            for a, b in combinations(txn, 2):
+                buckets[_bucket(a, b, n_buckets)] += 1
+        frequent = {
+            (item,): cnt
+            for item, cnt in sorted(item_counts.items())
+            if cnt >= min_count
+        }
+        stats.append(
+            PassStats(1, db.n_items, len(frequent), time.perf_counter() - started)
+        )
+        all_frequent.update(frequent)
+        if checkpoint is not None:
+            state = levelwise_state(2, frequent, all_frequent, stats)
+            state.update(stage="pass-2", buckets=list(buckets))
+            checkpoint.mark(key, state)
+    elif resumed["stage"] == "pass-2":
+        frequent = resumed["frequent"]
+        buckets = resumed["buckets"]
+    else:
+        frequent = resumed["frequent"]
+        buckets = None  # later passes never consult the hash filter
 
     # ------------------------------------------------------------------
     # Pass 2: hash-filtered pair candidates.
     # ------------------------------------------------------------------
-    if max_size is None or max_size >= 2:
-        if budget is not None:
-            budget.check(phase="pass-2")
-            # Charge the full |F1 choose 2| estimate before materialising
-            # the pair list: the blow-up is rejected while it is still an
-            # arithmetic fact rather than an allocated list.
-            m = len(frequent)
-            budget.charge_candidates(m * (m - 1) // 2, phase="pass-2")
-            budget.progress("pass-2", c2_estimate=m * (m - 1) // 2)
-        started = time.perf_counter()
-        frequent_items = sorted(item[0] for item in frequent)
-        unfiltered = [
-            (a, b) for i, a in enumerate(frequent_items)
-            for b in frequent_items[i + 1:]
-        ]
-        candidates = [
-            pair for pair in unfiltered
-            if buckets[_bucket(pair[0], pair[1], n_buckets)] >= min_count
-        ]
-        c2_unfiltered, c2_filtered = len(unfiltered), len(candidates)
-        frequent = _count(db, candidates, min_count, budget)
-        stats.append(
-            PassStats(2, len(candidates), len(frequent), time.perf_counter() - started)
-        )
-        all_frequent.update(frequent)
+    if resumed is not None and resumed["stage"] == "passes":
+        k = resumed["k"]
+        c2_unfiltered, c2_filtered = resumed["c2"]
     else:
-        c2_unfiltered = c2_filtered = 0
-        frequent = {}
+        if max_size is None or max_size >= 2:
+            if budget is not None:
+                budget.check(phase="pass-2")
+                # Charge the full |F1 choose 2| estimate before materialising
+                # the pair list: the blow-up is rejected while it is still an
+                # arithmetic fact rather than an allocated list.
+                m = len(frequent)
+                budget.charge_candidates(m * (m - 1) // 2, phase="pass-2")
+                budget.progress("pass-2", c2_estimate=m * (m - 1) // 2)
+            started = time.perf_counter()
+            frequent_items = sorted(item[0] for item in frequent)
+            unfiltered = [
+                (a, b) for i, a in enumerate(frequent_items)
+                for b in frequent_items[i + 1:]
+            ]
+            candidates = [
+                pair for pair in unfiltered
+                if buckets[_bucket(pair[0], pair[1], n_buckets)] >= min_count
+            ]
+            c2_unfiltered, c2_filtered = len(unfiltered), len(candidates)
+            frequent = _count(db, candidates, min_count, budget)
+            stats.append(
+                PassStats(2, len(candidates), len(frequent), time.perf_counter() - started)
+            )
+            all_frequent.update(frequent)
+        else:
+            c2_unfiltered = c2_filtered = 0
+            frequent = {}
+        k = 3
+        if checkpoint is not None:
+            state = levelwise_state(k, frequent, all_frequent, stats)
+            state.update(stage="passes", c2=(c2_unfiltered, c2_filtered))
+            checkpoint.mark(key, state)
 
     # ------------------------------------------------------------------
     # Passes 3+: standard Apriori.
     # ------------------------------------------------------------------
-    k = 3
     while frequent and (max_size is None or k <= max_size):
         if budget is not None:
             budget.check(phase=f"pass-{k}")
@@ -167,6 +209,10 @@ def _dhp_mine(
         )
         all_frequent.update(frequent)
         k += 1
+        if checkpoint is not None:
+            state = levelwise_state(k, frequent, all_frequent, stats)
+            state.update(stage="passes", c2=(c2_unfiltered, c2_filtered))
+            checkpoint.mark(key, state)
 
     result = FrequentItemsets(all_frequent, n, min_support)
     result.pass_stats = stats

@@ -9,6 +9,11 @@ Exactly two scans of the database, regardless of the largest itemset:
    union of local results is a superset of the global answer.
 2. **Scan 2** — count the global support of every local candidate and
    keep those clearing the global threshold.
+
+Partition boundaries are natural restart points: the optional
+``checkpoint`` marks the candidate union after every completed
+partition, so a killed scan 1 resumes at the next partition instead of
+re-mining the completed ones.
 """
 
 from __future__ import annotations
@@ -20,7 +25,8 @@ from ..core.base import check_in_range
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset
 from ..core.transactions import TransactionDatabase
-from .apriori import min_count_from_support
+from ..runtime import Budget, BudgetExceeded, Checkpointer
+from .apriori import checkpoint_key, min_count_from_support
 
 
 def partition_miner(
@@ -28,6 +34,9 @@ def partition_miner(
     min_support: float = 0.01,
     n_partitions: int = 4,
     max_size: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    on_exhausted: str = "raise",
+    checkpoint: Optional[Checkpointer] = None,
 ) -> FrequentItemsets:
     """Mine frequent itemsets with the two-scan Partition algorithm.
 
@@ -40,6 +49,19 @@ def partition_miner(
         How many contiguous chunks the database is split into.  More
         partitions = less memory per local mine but more false local
         candidates to recount in scan 2.
+    budget:
+        Optional :class:`~repro.runtime.Budget`, checked at every
+        partition boundary and class expansion, charged one candidate
+        per tidset join, and polled periodically during scan 2.
+    on_exhausted:
+        ``"raise"`` propagates :class:`~repro.runtime.BudgetExceeded`;
+        ``"truncate"`` globally recounts the candidates collected so far
+        (unbudgeted — scan 2 is the cheap part) and returns them flagged
+        ``truncated=True``; itemsets from unmined partitions are lost
+        but everything returned is genuinely frequent.
+    checkpoint:
+        Optional :class:`~repro.runtime.Checkpointer`; every completed
+        partition of scan 1 is a resumable boundary.
 
     Examples
     --------
@@ -48,33 +70,88 @@ def partition_miner(
     2
     """
     check_in_range("n_partitions", n_partitions, 1, None)
+    if on_exhausted not in ("raise", "truncate"):
+        raise ValidationError(
+            f"on_exhausted must be 'raise' or 'truncate' for "
+            f"partition_miner, got {on_exhausted!r}"
+        )
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
     if n == 0:
         return FrequentItemsets({}, 0, min_support)
     n_partitions = min(n_partitions, n)
+    min_count = min_count_from_support(n, min_support)
+    bounds = _partition_bounds(n, n_partitions)
+
+    key = None
+    if checkpoint is not None:
+        key = checkpoint_key(
+            "partition", db, min_support,
+            max_size=max_size, n_partitions=n_partitions,
+        )
+    resumed = checkpoint.resume(key) if checkpoint is not None else None
+    candidates: Set[Itemset] = set()
+    start = 0
+    if resumed is not None:
+        candidates.update(resumed["candidates"])
+        start = resumed["next_partition"]
 
     # ------------------------------------------------------------------
     # Scan 1: local mining per partition (vertical, depth-first).
     # ------------------------------------------------------------------
-    bounds = _partition_bounds(n, n_partitions)
-    candidates: Set[Itemset] = set()
-    for start, stop in bounds:
-        local_min_count = max(
-            1, math.ceil(min_support * (stop - start))
-        )
-        candidates |= _mine_partition(db, start, stop, local_min_count, max_size)
+    try:
+        for p in range(start, len(bounds)):
+            if budget is not None:
+                budget.check(phase=f"partition-{p}")
+                budget.progress(f"partition-{p}", n_candidates=len(candidates))
+            begin, stop = bounds[p]
+            local_min_count = max(
+                1, math.ceil(min_support * (stop - begin))
+            )
+            candidates |= _mine_partition(
+                db, begin, stop, local_min_count, max_size, budget
+            )
+            if checkpoint is not None:
+                checkpoint.mark(
+                    key,
+                    {"next_partition": p + 1, "candidates": sorted(candidates)},
+                )
 
-    # ------------------------------------------------------------------
-    # Scan 2: global counting of the candidate union.
-    # ------------------------------------------------------------------
-    min_count = min_count_from_support(n, min_support)
+        # --------------------------------------------------------------
+        # Scan 2: global counting of the candidate union.
+        # --------------------------------------------------------------
+        supports = _global_count(db, candidates, min_count, budget)
+    except BudgetExceeded as exc:
+        if on_exhausted == "raise":
+            raise
+        supports = _global_count(db, candidates, min_count, None)
+        return FrequentItemsets(
+            supports,
+            n,
+            min_support,
+            truncated=True,
+            truncation_reason=f"{type(exc).__name__}: {exc}",
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.flush()
+    return FrequentItemsets(supports, n, min_support)
+
+
+def _global_count(
+    db: TransactionDatabase,
+    candidates: Set[Itemset],
+    min_count: int,
+    budget: Optional[Budget],
+) -> Dict[Itemset, int]:
     counts: Dict[Itemset, int] = dict.fromkeys(candidates, 0)
     by_size: Dict[int, List[Itemset]] = {}
     for cand in candidates:
         by_size.setdefault(len(cand), []).append(cand)
-    for txn in db:
+    for i, txn in enumerate(db):
+        if budget is not None and i % 256 == 0:
+            budget.check(phase="partition-scan-2")
         txn_set = set(txn)
         for size, cands in by_size.items():
             if size > len(txn):
@@ -82,8 +159,7 @@ def partition_miner(
             for cand in cands:
                 if txn_set.issuperset(cand):
                     counts[cand] += 1
-    supports = {c: cnt for c, cnt in counts.items() if cnt >= min_count}
-    return FrequentItemsets(supports, n, min_support)
+    return {c: cnt for c, cnt in counts.items() if cnt >= min_count}
 
 
 def _partition_bounds(n: int, k: int) -> List[Tuple[int, int]]:
@@ -104,6 +180,7 @@ def _mine_partition(
     stop: int,
     min_count: int,
     max_size: Optional[int],
+    budget: Optional[Budget] = None,
 ) -> Set[Itemset]:
     """Local frequent itemsets of db[start:stop] via tidlist DFS."""
     tidlists: Dict[int, Set[int]] = {}
@@ -116,23 +193,27 @@ def _mine_partition(
         if len(tids) >= min_count
     ]
     found: Set[Itemset] = {itemset for itemset, _ in root}
-    _expand(root, min_count, max_size, found)
+    _expand(root, min_count, max_size, found, budget)
     return found
 
 
-def _expand(members, min_count, max_size, found: Set[Itemset]) -> None:
+def _expand(members, min_count, max_size, found: Set[Itemset], budget=None) -> None:
+    if budget is not None:
+        budget.check(phase="partition-class")
     for i, (itemset, tids) in enumerate(members):
         if max_size is not None and len(itemset) >= max_size:
             continue
         child = []
         for other_itemset, other_tids in members[i + 1:]:
+            if budget is not None:
+                budget.charge_candidates(phase="partition-join")
             joined = tids & other_tids
             if len(joined) >= min_count:
                 new_itemset = itemset + (other_itemset[-1],)
                 found.add(new_itemset)
                 child.append((new_itemset, joined))
         if child:
-            _expand(child, min_count, max_size, found)
+            _expand(child, min_count, max_size, found, budget)
 
 
 __all__ = ["partition_miner"]

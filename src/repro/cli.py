@@ -21,6 +21,17 @@ nodes for ``classify``, optimisation steps for ``cluster``).  When a
 budget runs out the command still exits 0, reporting the partial result
 with a ``NOTE: budget exhausted`` line; without these flags the commands
 run exactly as before, unbudgeted.
+
+``mine`` and ``cluster`` additionally accept crash-safety flags:
+``--checkpoint-dir DIR`` persists a snapshot at every ``--checkpoint-every``
+N-th pass boundary, ``--resume`` continues from the newest valid snapshot
+in that directory (so a budget-exhausted or killed run can be finished
+later with a fresh ``--time-limit``), and ``--retries N`` retries
+transient faults with exponential backoff.
+
+Exit codes: 0 = success, including budget-degraded partial results
+(flagged by a ``NOTE:`` line); 2 = invalid input or an unsupported
+flag/algorithm combination.
 """
 
 from __future__ import annotations
@@ -42,6 +53,46 @@ def _add_budget_flags(sub: argparse.ArgumentParser) -> None:
         help="resource budget: candidates (mine), tree nodes (classify) "
              "or optimisation steps (cluster)",
     )
+
+
+def _add_checkpoint_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist resumable snapshots of pass boundaries into DIR",
+    )
+    sub.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="persist every N-th boundary snapshot (default: 1)",
+    )
+    sub.add_argument(
+        "--resume", action="store_true",
+        help="resume from the newest valid snapshot in --checkpoint-dir",
+    )
+    sub.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry transient faults up to N times with exponential backoff",
+    )
+
+
+def _make_checkpointer(args):
+    """Checkpointer from the CLI flags, or None when no dir was given."""
+    if args.checkpoint_dir is None:
+        return None
+    from .runtime import Checkpointer
+
+    return Checkpointer(
+        args.checkpoint_dir, every=args.checkpoint_every, resume=args.resume
+    )
+
+
+def _with_retries(args, fn):
+    """Run ``fn`` directly, or under a RetryPolicy when --retries is set."""
+    if not args.retries:
+        return fn()
+    from .runtime import RetryPolicy
+
+    policy = RetryPolicy(max_retries=args.retries, random_state=0)
+    return policy.run(fn)
 
 
 def _make_budget(args, resource: str):
@@ -73,12 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--min-confidence", type=float, default=0.6)
     mine.add_argument(
         "--miner",
-        choices=["apriori", "fp_growth", "eclat", "apriori_tid"],
+        choices=["apriori", "fp_growth", "eclat", "apriori_tid", "dhp",
+                 "partition"],
         default="apriori",
     )
     mine.add_argument("--top", type=int, default=10,
                       help="rules/itemsets to display")
     _add_budget_flags(mine)
+    _add_checkpoint_flags(mine)
 
     classify = sub.add_parser("classify", help="train/evaluate a classifier")
     classify.add_argument("path", help="typed CSV (name:num / name:cat)")
@@ -104,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--min-samples", type=int, default=5)
     cluster.add_argument("--seed", type=int, default=0)
     _add_budget_flags(cluster)
+    _add_checkpoint_flags(cluster)
 
     generate = sub.add_parser("generate", help="emit synthetic data")
     generate.add_argument(
@@ -123,7 +177,15 @@ def build_parser() -> argparse.ArgumentParser:
 # Commands
 # ----------------------------------------------------------------------
 def _cmd_mine(args) -> int:
-    from .associations import apriori, apriori_tid, eclat, fp_growth, generate_rules
+    from .associations import (
+        apriori,
+        apriori_tid,
+        dhp,
+        eclat,
+        fp_growth,
+        generate_rules,
+        partition_miner,
+    )
     from .datasets import load_transactions
 
     miners = {
@@ -131,21 +193,29 @@ def _cmd_mine(args) -> int:
         "fp_growth": fp_growth,
         "eclat": eclat,
         "apriori_tid": apriori_tid,
+        "dhp": dhp,
+        "partition": partition_miner,
     }
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     db = load_transactions(args.path)
     print(f"{len(db)} transactions, {db.n_items} items, "
           f"avg length {db.avg_transaction_length():.1f}")
     budget = _make_budget(args, "max_candidates")
-    if budget is None:
-        itemsets = miners[args.miner](db, args.min_support)
-    else:
-        if args.miner == "eclat":
-            print("error: eclat does not support --time-limit/"
-                  "--max-candidates", file=sys.stderr)
-            return 2
-        itemsets = miners[args.miner](
-            db, args.min_support, budget=budget, on_exhausted="truncate"
-        )
+    checkpoint = _make_checkpointer(args)
+    if checkpoint is not None and args.miner == "fp_growth":
+        print("error: fp_growth does not support --checkpoint-dir/--resume",
+              file=sys.stderr)
+        return 2
+    kwargs = {}
+    if budget is not None:
+        kwargs.update(budget=budget, on_exhausted="truncate")
+    if checkpoint is not None:
+        kwargs["checkpoint"] = checkpoint
+    itemsets = _with_retries(
+        args, lambda: miners[args.miner](db, args.min_support, **kwargs)
+    )
     if getattr(itemsets, "truncated", False):
         print(f"NOTE: budget exhausted -- partial result "
               f"({itemsets.truncation_reason})")
@@ -212,29 +282,34 @@ def _cmd_cluster(args) -> int:
     from .datasets import load_table
     from .evaluation import silhouette, sse
 
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     table = load_table(args.path)
     X = table.to_matrix()
     if X.shape[1] == 0:
         print("error: no numeric columns to cluster", file=sys.stderr)
         return 2
     budget = _make_budget(args, "max_expansions")
-    if budget is not None and args.algorithm not in ("kmeans", "pam", "dbscan"):
-        print(f"error: {args.algorithm} does not support --time-limit/"
-              "--max-candidates", file=sys.stderr)
+    checkpoint = _make_checkpointer(args)
+    if checkpoint is not None and args.algorithm not in ("kmeans", "pam"):
+        print(f"error: {args.algorithm} does not support --checkpoint-dir/"
+              "--resume", file=sys.stderr)
         return 2
     if args.algorithm == "kmeans":
-        model = KMeans(args.k, random_state=args.seed, budget=budget)
+        model = KMeans(args.k, random_state=args.seed, budget=budget,
+                       checkpoint=checkpoint)
     elif args.algorithm == "pam":
-        model = PAM(args.k, budget=budget)
+        model = PAM(args.k, budget=budget, checkpoint=checkpoint)
     elif args.algorithm == "birch":
         model = Birch(threshold=args.eps, n_clusters=args.k,
-                      random_state=args.seed)
+                      random_state=args.seed, budget=budget)
     elif args.algorithm == "agglomerative":
-        model = Agglomerative(args.k)
+        model = Agglomerative(args.k, budget=budget)
     else:
         model = DBSCAN(eps=args.eps, min_samples=args.min_samples,
                        budget=budget)
-    labels = model.fit_predict(X)
+    labels = _with_retries(args, lambda: model.fit_predict(X))
     if getattr(model, "truncated_", False):
         print(f"NOTE: budget exhausted -- partial clustering "
               f"({model.truncation_reason_})")

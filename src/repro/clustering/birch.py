@@ -20,6 +20,7 @@ import numpy as np
 from ..core.base import Clusterer, check_in_range
 from ..core.exceptions import ValidationError
 from ..core.random import RandomState
+from ..runtime import Budget, BudgetExceeded
 from .distance import nearest_center
 
 
@@ -84,6 +85,12 @@ class Birch(Clusterer):
     global_clusterer:
         ``"kmeans"`` (weighted, default) or ``"agglomerative"`` over the
         leaf-entry centroids.
+    budget:
+        Optional :class:`~repro.runtime.Budget`, charged one node per
+        point inserted into the CF-tree.  On exhaustion the scan stops,
+        the global phase runs over the partial tree (every point seen so
+        far is summarised), and ``truncated_`` is set; labels are still
+        produced for all rows.
 
     Attributes
     ----------
@@ -93,6 +100,8 @@ class Birch(Clusterer):
         Centroids of the CF-tree leaf entries (the compressed dataset).
     cluster_centers_:
         Global cluster centroids.
+    truncated_:
+        True when a budget stopped the insertion scan early.
 
     Examples
     --------
@@ -110,6 +119,7 @@ class Birch(Clusterer):
         n_clusters: int = 3,
         global_clusterer: str = "kmeans",
         random_state: RandomState = None,
+        budget: Optional[Budget] = None,
     ):
         check_in_range("threshold", threshold, 0.0, None, low_inclusive=False)
         check_in_range("branching_factor", branching_factor, 2, None)
@@ -124,13 +134,28 @@ class Birch(Clusterer):
         self.n_clusters = int(n_clusters)
         self.global_clusterer = global_clusterer
         self.random_state = random_state
+        self.budget = budget
         self.subcluster_centers_: Optional[np.ndarray] = None
         self.cluster_centers_: Optional[np.ndarray] = None
+        self.truncated_ = False
+        self.truncation_reason_: Optional[str] = None
 
     def _fit(self, X: np.ndarray) -> None:
         self._root = _Node(is_leaf=True)
+        self.truncated_ = False
+        self.truncation_reason_ = None
         for x in X:
             self._insert(CF.of_point(np.asarray(x, dtype=np.float64)))
+            if self.budget is not None:
+                # Charge after inserting, so a truncated tree always
+                # summarises at least the points already scanned.
+                try:
+                    self.budget.charge_nodes(phase="birch-insert")
+                    self.budget.check(phase="birch-insert")
+                except BudgetExceeded as exc:
+                    self.truncated_ = True
+                    self.truncation_reason_ = f"{type(exc).__name__}: {exc}"
+                    break
 
         leaf_cfs = self._leaf_entries()
         centroids = np.stack([cf.centroid for cf in leaf_cfs])

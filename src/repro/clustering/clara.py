@@ -8,12 +8,13 @@ medoid set with the lowest total cost.  The paper's sample size of
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
 
 from ..core.base import Clusterer, check_in_range
-from ..core.exceptions import ValidationError
+from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..core.random import RandomState, check_random_state, spawn
 from .distance import pairwise_distances
 from .kmedoids import PAM
@@ -30,6 +31,11 @@ class CLARA(Clusterer):
         How many random samples to try (the paper uses 5).
     sample_size:
         Rows per sample; ``None`` = the paper's ``40 + 2k``.
+    max_swaps:
+        Swap cap handed to each inner :class:`PAM` run.  When any inner
+        run exhausts it without reaching a local optimum, CLARA re-emits
+        a single summary :class:`ConvergenceWarning` (instead of one
+        warning per sample, attributed to PAM internals).
 
     Attributes
     ----------
@@ -52,15 +58,18 @@ class CLARA(Clusterer):
         n_samples: int = 5,
         sample_size: Optional[int] = None,
         random_state: RandomState = None,
+        max_swaps: int = 200,
     ):
         check_in_range("n_clusters", n_clusters, 1, None)
         check_in_range("n_samples", n_samples, 1, None)
         if sample_size is not None:
             check_in_range("sample_size", sample_size, n_clusters, None)
+        check_in_range("max_swaps", max_swaps, 0, None)
         self.n_clusters = int(n_clusters)
         self.n_samples = int(n_samples)
         self.sample_size = sample_size
         self.random_state = random_state
+        self.max_swaps = int(max_swaps)
         self.medoid_indices_: Optional[np.ndarray] = None
         self.cluster_centers_: Optional[np.ndarray] = None
         self.cost_: Optional[float] = None
@@ -77,15 +86,34 @@ class CLARA(Clusterer):
 
         best_cost = np.inf
         best_medoids = None
+        unconverged = 0
         for child in spawn(rng, self.n_samples):
             sample_idx = child.choice(n, size=min(size, n), replace=False)
-            pam = PAM(self.n_clusters).fit(X[sample_idx])
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                pam = PAM(self.n_clusters, max_swaps=self.max_swaps).fit(
+                    X[sample_idx]
+                )
+            for w in caught:
+                if issubclass(w.category, ConvergenceWarning):
+                    unconverged += 1
+                else:
+                    warnings.warn_explicit(
+                        w.message, w.category, w.filename, w.lineno
+                    )
             medoids = sample_idx[pam.medoid_indices_]
             d = pairwise_distances(X, X[medoids])
             cost = float(d.min(axis=1).sum())
             if cost < best_cost:
                 best_cost = cost
                 best_medoids = medoids
+        if unconverged:
+            warnings.warn(
+                f"{unconverged} of {self.n_samples} inner PAM runs did not "
+                f"reach a local optimum within {self.max_swaps} swaps",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
         self.medoid_indices_ = np.array(sorted(best_medoids))
         self.cluster_centers_ = X[self.medoid_indices_]
         d = pairwise_distances(X, self.cluster_centers_)

@@ -20,7 +20,7 @@ import numpy as np
 from ..core.base import Clusterer, check_in_range
 from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..core.random import RandomState, check_random_state
-from ..runtime import Budget, BudgetExceeded
+from ..runtime import Budget, BudgetExceeded, Checkpointer
 from .distance import pairwise_distances
 
 
@@ -45,6 +45,12 @@ class CLARANS(Clusterer):
         Optional :class:`~repro.runtime.Budget`, charged one expansion
         per neighbour evaluation.  On exhaustion the best medoid set
         found so far is kept and ``truncated_`` is set.
+    checkpoint:
+        Optional :class:`~repro.runtime.Checkpointer`.  Every neighbour
+        evaluation and every completed descent is a resumable boundary;
+        snapshots capture the generator state
+        (``rng.bit_generator.state``), so a resumed search draws exactly
+        the neighbours the uninterrupted one would have drawn.
 
     Attributes
     ----------
@@ -70,6 +76,7 @@ class CLARANS(Clusterer):
         random_state: RandomState = None,
         max_steps: int = 10_000,
         budget: Optional[Budget] = None,
+        checkpoint: Optional[Checkpointer] = None,
     ):
         check_in_range("n_clusters", n_clusters, 1, None)
         check_in_range("num_local", num_local, 1, None)
@@ -82,6 +89,7 @@ class CLARANS(Clusterer):
         self.random_state = random_state
         self.max_steps = int(max_steps)
         self.budget = budget
+        self.checkpoint = checkpoint
         self.medoid_indices_: Optional[np.ndarray] = None
         self.cluster_centers_: Optional[np.ndarray] = None
         self.cost_: Optional[float] = None
@@ -101,49 +109,101 @@ class CLARANS(Clusterer):
 
         self.truncated_ = False
         self.truncation_reason_ = None
+        key = None
+        resumed = None
+        if self.checkpoint is not None:
+            key = {
+                "algorithm": "clarans",
+                "n_samples": int(n),
+                "n_features": int(X.shape[1]),
+                "n_clusters": k,
+                "num_local": self.num_local,
+                "max_neighbor": max_neighbor,
+                "max_steps": self.max_steps,
+            }
+            resumed = self.checkpoint.resume(key)
         best_cost = np.inf
         best_medoids = None
-        for _ in range(self.num_local):
-            if self.truncated_:
-                break  # budget exhausted: no further descents
-            current = list(rng.choice(n, size=k, replace=False))
-            current_cost = self._cost(d, current)
-            examined = 0
-            accepted = 0
-            while examined < max_neighbor:
-                if self.budget is not None:
-                    try:
-                        self.budget.charge_expansions(phase="clarans-descent")
-                        self.budget.check(phase="clarans-descent")
-                    except BudgetExceeded as exc:
-                        self.truncated_ = True
-                        self.truncation_reason_ = f"{type(exc).__name__}: {exc}"
-                        break
-                m_pos = int(rng.integers(k))
-                h = int(rng.integers(n))
-                if h in current:
-                    examined += 1
-                    continue
-                neighbour = list(current)
-                neighbour[m_pos] = h
-                neighbour_cost = self._cost(d, neighbour)
-                if neighbour_cost < current_cost - 1e-12:
-                    current, current_cost = neighbour, neighbour_cost
-                    examined = 0  # restart the neighbour counter
-                    accepted += 1
-                    if accepted >= self.max_steps:
-                        warnings.warn(
-                            f"CLARANS descent did not reach a local minimum "
-                            f"within {self.max_steps} accepted moves",
-                            ConvergenceWarning,
-                            stacklevel=2,
-                        )
-                        break
+        start_descent = 0
+        mid = None
+        if resumed is not None:
+            best_cost = resumed["best_cost"]
+            best_medoids = resumed["best_medoids"]
+            start_descent = resumed["descent"]
+            mid = resumed["current"]
+            rng.bit_generator.state = resumed["rng_state"]
+
+        def mark(descent, current_state):
+            self.checkpoint.mark(key, {
+                "descent": descent,
+                "best_cost": best_cost,
+                "best_medoids": None if best_medoids is None else list(best_medoids),
+                "current": current_state,
+                "rng_state": rng.bit_generator.state,
+            })
+
+        try:
+            for descent in range(start_descent, self.num_local):
+                if self.truncated_:
+                    break  # budget exhausted: no further descents
+                if mid is not None:
+                    current = list(mid["medoids"])
+                    current_cost = mid["cost"]
+                    examined = mid["examined"]
+                    accepted = mid["accepted"]
+                    mid = None
                 else:
-                    examined += 1
-            if current_cost < best_cost:
-                best_cost = current_cost
-                best_medoids = current
+                    current = list(rng.choice(n, size=k, replace=False))
+                    current_cost = self._cost(d, current)
+                    examined = 0
+                    accepted = 0
+                while examined < max_neighbor:
+                    if self.budget is not None:
+                        try:
+                            self.budget.charge_expansions(phase="clarans-descent")
+                            self.budget.check(phase="clarans-descent")
+                        except BudgetExceeded as exc:
+                            self.truncated_ = True
+                            self.truncation_reason_ = f"{type(exc).__name__}: {exc}"
+                            break
+                    m_pos = int(rng.integers(k))
+                    h = int(rng.integers(n))
+                    if h in current:
+                        examined += 1
+                    else:
+                        neighbour = list(current)
+                        neighbour[m_pos] = h
+                        neighbour_cost = self._cost(d, neighbour)
+                        if neighbour_cost < current_cost - 1e-12:
+                            current, current_cost = neighbour, neighbour_cost
+                            examined = 0  # restart the neighbour counter
+                            accepted += 1
+                            if accepted >= self.max_steps:
+                                warnings.warn(
+                                    f"CLARANS descent did not reach a local "
+                                    f"minimum within {self.max_steps} accepted "
+                                    f"moves",
+                                    ConvergenceWarning,
+                                    stacklevel=2,
+                                )
+                                break
+                        else:
+                            examined += 1
+                    if self.checkpoint is not None:
+                        mark(descent, {
+                            "medoids": list(current),
+                            "cost": current_cost,
+                            "examined": examined,
+                            "accepted": accepted,
+                        })
+                if current_cost < best_cost:
+                    best_cost = current_cost
+                    best_medoids = current
+                if self.checkpoint is not None:
+                    mark(descent + 1, None)
+        finally:
+            if self.checkpoint is not None:
+                self.checkpoint.flush()
 
         self.medoid_indices_ = np.array(sorted(best_medoids))
         self.cluster_centers_ = X[self.medoid_indices_]

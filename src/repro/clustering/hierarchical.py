@@ -25,6 +25,7 @@ import numpy as np
 
 from ..core.base import Clusterer, check_in_range
 from ..core.exceptions import ValidationError
+from ..runtime import Budget, BudgetExceeded
 from .distance import pairwise_distances
 
 _LINKAGES = ("single", "complete", "average", "ward")
@@ -39,6 +40,12 @@ class Agglomerative(Clusterer):
         Number of clusters to cut the dendrogram at.
     linkage:
         One of ``single``, ``complete``, ``average``, ``ward``.
+    budget:
+        Optional :class:`~repro.runtime.Budget`, charged one expansion
+        per merge.  On exhaustion the dendrogram stops where it is: the
+        merge history so far is kept, best-effort labels are cut at the
+        current (coarsest reached) number of clusters, and
+        ``truncated_`` is set.
 
     Attributes
     ----------
@@ -48,6 +55,8 @@ class Agglomerative(Clusterer):
         (n-1, 4) array; row i = (cluster_a, cluster_b, distance, size)
         for the i-th merge, clusters >= n denoting merge products —
         the scipy ``linkage`` convention.
+    truncated_:
+        True when a budget stopped merging early.
 
     Examples
     --------
@@ -58,7 +67,12 @@ class Agglomerative(Clusterer):
     3
     """
 
-    def __init__(self, n_clusters: int = 2, linkage: str = "ward"):
+    def __init__(
+        self,
+        n_clusters: int = 2,
+        linkage: str = "ward",
+        budget: Optional[Budget] = None,
+    ):
         check_in_range("n_clusters", n_clusters, 1, None)
         if linkage not in _LINKAGES:
             raise ValidationError(
@@ -66,7 +80,10 @@ class Agglomerative(Clusterer):
             )
         self.n_clusters = int(n_clusters)
         self.linkage = linkage
+        self.budget = budget
         self.merges_: Optional[np.ndarray] = None
+        self.truncated_ = False
+        self.truncation_reason_: Optional[str] = None
 
     def _fit(self, X: np.ndarray) -> None:
         n = len(X)
@@ -74,6 +91,8 @@ class Agglomerative(Clusterer):
             raise ValidationError(
                 f"n_clusters={self.n_clusters} exceeds {n} samples"
             )
+        self.truncated_ = False
+        self.truncation_reason_ = None
         d = pairwise_distances(X)
         if self.linkage == "ward":
             # Ward works on squared Euclidean merge costs; seed with
@@ -90,6 +109,14 @@ class Agglomerative(Clusterer):
         members: List[List[int]] = [[i] for i in range(n)]
 
         while len(active) > 1:
+            if self.budget is not None:
+                try:
+                    self.budget.charge_expansions(phase="agglomerative-merge")
+                    self.budget.check(phase="agglomerative-merge")
+                except BudgetExceeded as exc:
+                    self.truncated_ = True
+                    self.truncation_reason_ = f"{type(exc).__name__}: {exc}"
+                    break
             # Closest active pair.
             sub = d[np.ix_(active, active)]
             flat = int(np.argmin(sub))
@@ -142,8 +169,14 @@ class Agglomerative(Clusterer):
 
         if self.n_clusters == n:
             self.labels_ = np.arange(n)
-        if self.n_clusters == 1:
+        if self.n_clusters == 1 and not self.truncated_:
             self.labels_ = np.zeros(n, dtype=np.int64)
+        if self.truncated_ and len(active) > self.n_clusters:
+            # Best-effort cut at the coarsest level reached.
+            labels = np.empty(n, dtype=np.int64)
+            for idx, slot in enumerate(sorted(active)):
+                labels[members[slot]] = idx
+            self.labels_ = labels
         merge_array = np.array(merges, dtype=np.float64)
         if self.linkage == "ward" and len(merge_array):
             # Report conventional Ward heights (sqrt of twice the cost).

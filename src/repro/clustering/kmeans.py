@@ -17,7 +17,7 @@ import numpy as np
 from ..core.base import Clusterer, check_in_range
 from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..core.random import RandomState, check_random_state, spawn
-from ..runtime import Budget, BudgetExceeded
+from ..runtime import Budget, BudgetExceeded, Checkpointer
 from .distance import nearest_center, pairwise_distances
 
 _INITS = ("kmeans++", "forgy", "random_partition")
@@ -50,6 +50,13 @@ class KMeans(Clusterer):
         per optimisation iteration.  On exhaustion the current run keeps
         its best-so-far centroids, no further runs launch, and
         ``truncated_`` is set.
+    checkpoint:
+        Optional :class:`~repro.runtime.Checkpointer`.  Every completed
+        optimisation iteration and every completed restart is a
+        resumable boundary; a resumed fit reproduces the uninterrupted
+        centroids, labels, inertia, and iteration count exactly
+        (iterations are deterministic given the boundary centroids, and
+        restart seeds are re-derived from ``random_state``).
 
     Attributes
     ----------
@@ -84,6 +91,7 @@ class KMeans(Clusterer):
         random_state: RandomState = None,
         max_restarts: int = 0,
         budget: Optional[Budget] = None,
+        checkpoint: Optional[Checkpointer] = None,
     ):
         check_in_range("n_clusters", n_clusters, 1, None)
         check_in_range("n_init", n_init, 1, None)
@@ -105,6 +113,7 @@ class KMeans(Clusterer):
         self.random_state = random_state
         self.max_restarts = int(max_restarts)
         self.budget = budget
+        self.checkpoint = checkpoint
         self.cluster_centers_: Optional[np.ndarray] = None
         self.inertia_: Optional[float] = None
         self.n_iter_: Optional[int] = None
@@ -119,27 +128,78 @@ class KMeans(Clusterer):
         rng = check_random_state(self.random_state)
         self.truncated_ = False
         self.truncation_reason_ = None
+        key = None
+        resumed = None
+        if self.checkpoint is not None:
+            key = self._checkpoint_key(X)
+            resumed = self.checkpoint.resume(key)
         best = None
         any_converged = False
-        launched = 0
-        for child in spawn(rng, self.n_init + self.max_restarts):
-            if launched >= self.n_init and any_converged:
-                break  # the retry allowance only serves non-converged fits
-            if self.truncated_:
-                break  # budget exhausted: no further runs
-            launched += 1
-            centers = self._init_centers(X, child)
-            if self.algorithm == "lloyd":
-                centers, labels, inertia, n_iter, converged = self._lloyd(
-                    X, centers, child
-                )
-            else:
-                centers, labels, inertia, n_iter, converged = self._macqueen(
-                    X, centers
-                )
-            any_converged = any_converged or converged
-            if best is None or inertia < best[2]:
-                best = (centers, labels, inertia, n_iter)
+        completed = 0  # fully finished restarts
+        run_state = None  # mid-run boundary of restart `completed`, if any
+        if resumed is not None:
+            best = resumed["best"]
+            any_converged = resumed["any_converged"]
+            completed = resumed["completed"]
+            run_state = resumed["run"]
+        launched = completed
+        try:
+            # Restart seeds are re-derived from random_state, so skipping
+            # the first `completed` children replays the original schedule.
+            for run_idx, child in enumerate(spawn(rng, self.n_init + self.max_restarts)):
+                if run_idx < completed:
+                    continue
+                if run_idx >= self.n_init and any_converged:
+                    break  # the retry allowance only serves non-converged fits
+                if self.truncated_:
+                    break  # budget exhausted: no further runs
+                launched += 1
+                if run_idx == completed and run_state is not None:
+                    centers = run_state["centers"]
+                    start_iter = run_state["iteration"]
+                    counts = run_state.get("counts")
+                else:
+                    centers = self._init_centers(X, child)
+                    start_iter = 0
+                    counts = None
+
+                on_iter = None
+                if self.checkpoint is not None:
+                    def on_iter(iteration, centers_now, counts_now):
+                        run = {"iteration": iteration, "centers": centers_now.copy()}
+                        if counts_now is not None:
+                            run["counts"] = counts_now.copy()
+                        self.checkpoint.mark(key, {
+                            "completed": completed,
+                            "any_converged": any_converged,
+                            "best": best,
+                            "run": run,
+                        })
+
+                if self.algorithm == "lloyd":
+                    centers, labels, inertia, n_iter, converged = self._lloyd(
+                        X, centers, child, start_iter=start_iter, on_iter=on_iter
+                    )
+                else:
+                    centers, labels, inertia, n_iter, converged = self._macqueen(
+                        X, centers, start_iter=start_iter, counts=counts,
+                        on_iter=on_iter,
+                    )
+                any_converged = any_converged or converged
+                if best is None or inertia < best[2]:
+                    best = (centers, labels, inertia, n_iter)
+                completed = run_idx + 1
+                run_state = None
+                if self.checkpoint is not None:
+                    self.checkpoint.mark(key, {
+                        "completed": completed,
+                        "any_converged": any_converged,
+                        "best": best,
+                        "run": None,
+                    })
+        finally:
+            if self.checkpoint is not None:
+                self.checkpoint.flush()
         self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
         if not any_converged and not self.truncated_:
             warnings.warn(
@@ -148,6 +208,19 @@ class KMeans(Clusterer):
                 ConvergenceWarning,
                 stacklevel=2,
             )
+
+    def _checkpoint_key(self, X: np.ndarray) -> dict:
+        return {
+            "algorithm": "kmeans",
+            "variant": self.algorithm,
+            "n_samples": int(len(X)),
+            "n_features": int(X.shape[1]),
+            "n_clusters": self.n_clusters,
+            "init": self.init,
+            "n_init": self.n_init,
+            "max_iter": self.max_iter,
+            "tol": self.tol,
+        }
 
     # ------------------------------------------------------------------
     # Initialisation
@@ -193,11 +266,11 @@ class KMeans(Clusterer):
             return False
         return True
 
-    def _lloyd(self, X, centers, rng):
+    def _lloyd(self, X, centers, rng, start_iter=0, on_iter=None):
         labels = None
         converged = False
-        iteration = 0
-        for iteration in range(1, self.max_iter + 1):
+        iteration = start_iter
+        for iteration in range(start_iter + 1, self.max_iter + 1):
             if not self._charge_iteration("kmeans-lloyd"):
                 break
             labels, sq = nearest_center(X, centers)
@@ -214,15 +287,18 @@ class KMeans(Clusterer):
             if shift <= self.tol:
                 converged = True
                 break
+            if on_iter is not None:
+                on_iter(iteration, centers, None)
         labels, sq = nearest_center(X, centers)
         return centers, labels, float(sq.sum()), iteration, converged
 
-    def _macqueen(self, X, centers):
+    def _macqueen(self, X, centers, start_iter=0, counts=None, on_iter=None):
         """MacQueen's online update: each point moves its centroid at once."""
-        counts = np.ones(self.n_clusters)
+        if counts is None:
+            counts = np.ones(self.n_clusters)
         converged = False
-        iteration = 0
-        for iteration in range(1, self.max_iter + 1):
+        iteration = start_iter
+        for iteration in range(start_iter + 1, self.max_iter + 1):
             if not self._charge_iteration("kmeans-macqueen"):
                 break
             moved = 0.0
@@ -236,6 +312,8 @@ class KMeans(Clusterer):
             if moved <= self.tol:
                 converged = True
                 break
+            if on_iter is not None:
+                on_iter(iteration, centers, counts)
         labels, sq = nearest_center(X, centers)
         return centers, labels, float(sq.sum()), iteration, converged
 

@@ -18,7 +18,7 @@ import numpy as np
 from ..core.base import Clusterer, check_in_range
 from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..core.random import RandomState
-from ..runtime import Budget, BudgetExceeded
+from ..runtime import Budget, BudgetExceeded, Checkpointer
 from .distance import pairwise_distances
 
 
@@ -38,6 +38,11 @@ class PAM(Clusterer):
         Optional :class:`~repro.runtime.Budget`, charged one expansion
         per swap scan.  On exhaustion the best medoids found so far are
         kept and ``truncated_`` is set.
+    checkpoint:
+        Optional :class:`~repro.runtime.Checkpointer`.  The BUILD result
+        and every accepted swap are resumable boundaries; the swap phase
+        is a deterministic steepest descent, so a resumed fit reproduces
+        the uninterrupted medoids and cost exactly.
 
     Attributes
     ----------
@@ -64,12 +69,14 @@ class PAM(Clusterer):
         n_clusters: int = 8,
         max_swaps: int = 200,
         budget: Optional[Budget] = None,
+        checkpoint: Optional[Checkpointer] = None,
     ):
         check_in_range("n_clusters", n_clusters, 1, None)
         check_in_range("max_swaps", max_swaps, 0, None)
         self.n_clusters = int(n_clusters)
         self.max_swaps = int(max_swaps)
         self.budget = budget
+        self.checkpoint = checkpoint
         self.medoid_indices_: Optional[np.ndarray] = None
         self.cluster_centers_: Optional[np.ndarray] = None
         self.cost_: Optional[float] = None
@@ -84,9 +91,33 @@ class PAM(Clusterer):
             )
         self.truncated_ = False
         self.truncation_reason_ = None
+        key = None
+        resumed = None
+        if self.checkpoint is not None:
+            key = {
+                "algorithm": "pam",
+                "n_samples": int(n),
+                "n_features": int(X.shape[1]),
+                "n_clusters": self.n_clusters,
+                "max_swaps": self.max_swaps,
+            }
+            resumed = self.checkpoint.resume(key)
         d = pairwise_distances(X)
-        medoids = self._build(d)
-        medoids, cost = self._swap(d, medoids)
+        try:
+            if resumed is not None:
+                medoids = list(resumed["medoids"])
+                start = resumed["swaps_done"]
+            else:
+                medoids = self._build(d)
+                start = 0
+                if self.checkpoint is not None:
+                    self.checkpoint.mark(
+                        key, {"medoids": list(medoids), "swaps_done": 0}
+                    )
+            medoids, cost = self._swap(d, medoids, start=start, key=key)
+        finally:
+            if self.checkpoint is not None:
+                self.checkpoint.flush()
         self.medoid_indices_ = np.array(sorted(medoids))
         self.cluster_centers_ = X[self.medoid_indices_]
         self.labels_ = d[:, self.medoid_indices_].argmin(axis=1)
@@ -114,10 +145,10 @@ class PAM(Clusterer):
     # ------------------------------------------------------------------
     # SWAP: steepest-descent medoid exchange
     # ------------------------------------------------------------------
-    def _swap(self, d: np.ndarray, medoids: list):
+    def _swap(self, d: np.ndarray, medoids: list, start: int = 0, key=None):
         n = len(d)
         medoids = list(medoids)
-        for _ in range(self.max_swaps):
+        for swaps_done in range(start, self.max_swaps):
             if self.budget is not None:
                 try:
                     self.budget.charge_expansions(phase="pam-swap")
@@ -156,6 +187,10 @@ class PAM(Clusterer):
             if best_swap is None:
                 return medoids, current_cost
             medoids[best_swap[0]] = best_swap[1]
+            if self.checkpoint is not None:
+                self.checkpoint.mark(
+                    key, {"medoids": list(medoids), "swaps_done": swaps_done + 1}
+                )
         else:
             if self.max_swaps > 0:
                 warnings.warn(

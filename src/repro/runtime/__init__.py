@@ -1,8 +1,11 @@
-"""Execution guardrails: budgets, cancellation, and fault injection.
+"""Execution guardrails: budgets, cancellation, checkpoint/resume,
+retries, and fault injection.
 
-See :mod:`repro.runtime.budget` for the budget/cancellation machinery
-and :mod:`repro.runtime.faults` for the deterministic fault harness
-used by ``tests/runtime``.
+See :mod:`repro.runtime.budget` for the budget/cancellation machinery,
+:mod:`repro.runtime.checkpoint` for crash-safe snapshot persistence,
+:mod:`repro.runtime.retry` for transient-fault retries, and
+:mod:`repro.runtime.faults` for the deterministic fault harness used by
+``tests/runtime``.
 """
 
 from .budget import (
@@ -15,7 +18,23 @@ from .budget import (
     SpaceBudgetExceeded,
     TimeBudgetExceeded,
 )
-from .faults import Fault, InjectedFault, SlowPass, TriggerAfter, VirtualClock
+from .checkpoint import (
+    CheckpointCorrupted,
+    CheckpointMismatch,
+    CheckpointStore,
+    Checkpointer,
+    Snapshottable,
+)
+from .faults import (
+    Fault,
+    FlakyFault,
+    InjectedFault,
+    SlowPass,
+    TransientFault,
+    TriggerAfter,
+    VirtualClock,
+)
+from .retry import RetryPolicy
 
 __all__ = [
     "Budget",
@@ -26,8 +45,16 @@ __all__ = [
     "CancellationToken",
     "OperationCancelled",
     "ProgressEvent",
+    "CheckpointCorrupted",
+    "CheckpointMismatch",
+    "CheckpointStore",
+    "Checkpointer",
+    "Snapshottable",
+    "RetryPolicy",
     "Fault",
+    "FlakyFault",
     "InjectedFault",
+    "TransientFault",
     "TriggerAfter",
     "SlowPass",
     "VirtualClock",

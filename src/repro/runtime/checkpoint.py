@@ -1,0 +1,342 @@
+"""Crash-safe checkpoint/resume for long-running miners.
+
+A levelwise miner killed mid-pass in the low-support blow-up regime
+should resume from its last completed pass instead of recomputing hours
+of work.  The pieces here make that safe against the two classic
+failure modes of naive "pickle to a file" checkpointing — torn writes
+and silent corruption:
+
+* :class:`CheckpointStore` persists numbered snapshots with an atomic
+  write-temp → fsync → rename protocol, a versioned header and a
+  SHA-256 payload checksum, and rotates old snapshots so at most
+  ``keep`` of them exist.  Loading verifies the header and checksum;
+  a torn, truncated, bit-flipped or stale-format file raises
+  :class:`CheckpointCorrupted`, and :meth:`CheckpointStore.load_latest`
+  falls back to the newest snapshot that still verifies.
+* :class:`Checkpointer` is the thin policy layer algorithms actually
+  talk to: :meth:`Checkpointer.mark` is called at every pass/level/
+  iteration boundary with the full resumable state, persists every
+  ``every``-th boundary, and :meth:`Checkpointer.flush` (called from the
+  algorithms' exhaustion/exception paths) persists the newest marked
+  state so budget exhaustion always leaves a final checkpoint behind.
+* Snapshots are stamped with the producing algorithm's *key* — its name
+  and result-determining parameters — and resuming verifies the key, so
+  a checkpoint from a different dataset, threshold or algorithm raises
+  :class:`CheckpointMismatch` instead of silently blending two runs.
+
+The contract every snapshottable algorithm honours (property-tested in
+``tests/runtime/test_resume_equivalence.py``): a run killed at an
+arbitrary budget checkpoint and resumed from its newest snapshot
+returns results identical to an uninterrupted run, and passing
+``checkpoint=None`` (the default everywhere) is byte-identical to a
+build without checkpointing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import re
+import struct
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+from ..core.base import check_in_range
+from ..core.exceptions import ReproError
+
+#: magic + format version; bumping the version invalidates old snapshots.
+MAGIC = b"RPCKPT01"
+
+#: header layout: magic, 8-byte big-endian payload length, SHA-256 digest.
+_HEADER = struct.Struct(">8sQ32s")
+
+_SNAPSHOT_RE = re.compile(r"^(?P<prefix>.+)-(?P<seq>\d{8})\.ckpt$")
+
+
+class CheckpointCorrupted(ReproError, RuntimeError):
+    """A snapshot file is torn, truncated, bit-flipped or stale-format.
+
+    Attributes
+    ----------
+    path:
+        The offending file (``None`` when every candidate failed).
+    """
+
+    def __init__(self, message: str, path: Optional[Path] = None):
+        super().__init__(message)
+        self.path = path
+
+
+class CheckpointMismatch(ReproError, RuntimeError):
+    """A snapshot was produced by a different algorithm/parameter key."""
+
+
+@runtime_checkable
+class Snapshottable(Protocol):
+    """Protocol for estimators that expose pass-boundary state.
+
+    Functional miners satisfy the same contract through their
+    ``checkpoint=`` parameter; clusterers implement these two methods so
+    generic harnesses can capture and restore them mid-optimisation.
+    """
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Resumable state at the last completed boundary."""
+        ...  # pragma: no cover - protocol
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`snapshot_state`."""
+        ...  # pragma: no cover - protocol
+
+
+def _encode(payload: Dict[str, Any]) -> bytes:
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(MAGIC, len(body), hashlib.sha256(body).digest()) + body
+
+
+def _decode(raw: bytes, path: Optional[Path] = None) -> Dict[str, Any]:
+    if len(raw) < _HEADER.size:
+        raise CheckpointCorrupted(
+            f"checkpoint shorter than its header ({len(raw)} bytes): {path}",
+            path,
+        )
+    magic, length, digest = _HEADER.unpack_from(raw)
+    if magic != MAGIC:
+        raise CheckpointCorrupted(
+            f"unrecognised checkpoint header {magic!r} "
+            f"(expected {MAGIC!r}): {path}",
+            path,
+        )
+    body = raw[_HEADER.size:]
+    if len(body) != length:
+        raise CheckpointCorrupted(
+            f"truncated checkpoint: header promises {length} payload bytes, "
+            f"found {len(body)}: {path}",
+            path,
+        )
+    if hashlib.sha256(body).digest() != digest:
+        raise CheckpointCorrupted(f"checkpoint checksum mismatch: {path}", path)
+    try:
+        return pickle.loads(body)
+    except Exception as exc:  # pickle raises many concrete types
+        raise CheckpointCorrupted(
+            f"checkpoint payload does not unpickle ({exc}): {path}", path
+        ) from exc
+
+
+class CheckpointStore:
+    """Versioned, checksummed snapshot files with N-snapshot rotation.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshots live; created on first save.
+    prefix:
+        Filename prefix — snapshots are ``{prefix}-{seq:08d}.ckpt``.
+    keep:
+        How many snapshots to retain; older ones are deleted after each
+        successful save.  Keeping more than one is what makes fallback
+        from a corrupted newest snapshot possible.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> store = CheckpointStore(tempfile.mkdtemp(), keep=2)
+    >>> store.save({"state": {"k": 3}})  # doctest: +ELLIPSIS
+    PosixPath('...-00000001.ckpt')
+    >>> store.load_latest()["state"]
+    {'k': 3}
+    """
+
+    def __init__(self, directory, prefix: str = "snapshot", keep: int = 3):
+        check_in_range("keep", keep, 1, None)
+        if not prefix or "/" in prefix:
+            from ..core.exceptions import ValidationError
+
+            raise ValidationError(f"invalid snapshot prefix {prefix!r}")
+        self.directory = Path(directory)
+        self.prefix = prefix
+        self.keep = int(keep)
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def snapshots(self) -> List[Tuple[int, Path]]:
+        """(seq, path) pairs of existing snapshots, oldest first."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for entry in self.directory.iterdir():
+            match = _SNAPSHOT_RE.match(entry.name)
+            if match and match.group("prefix") == self.prefix:
+                found.append((int(match.group("seq")), entry))
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def save(self, payload: Dict[str, Any]) -> Path:
+        """Atomically persist ``payload`` as the next numbered snapshot.
+
+        The bytes are written to a temp file in the same directory,
+        fsync'd, then renamed into place (atomic on POSIX), and the
+        directory entry is fsync'd — a crash at any point leaves either
+        the previous snapshots intact or the new one complete, never a
+        half-written file under the final name.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        existing = self.snapshots()
+        seq = existing[-1][0] + 1 if existing else 1
+        final = self.directory / f"{self.prefix}-{seq:08d}.ckpt"
+        tmp = self.directory / f".{final.name}.tmp"
+        raw = _encode(payload)
+        with open(tmp, "wb") as handle:
+            handle.write(raw)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+        self._fsync_dir()
+        self._rotate()
+        return final
+
+    def _fsync_dir(self) -> None:
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-specific
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-specific
+            pass
+        finally:
+            os.close(fd)
+
+    def _rotate(self) -> None:
+        snapshots = self.snapshots()
+        for _, path in snapshots[: max(0, len(snapshots) - self.keep)]:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def read(self, path) -> Dict[str, Any]:
+        """Decode one snapshot file; raises :class:`CheckpointCorrupted`."""
+        path = Path(path)
+        try:
+            raw = path.read_bytes()
+        except OSError as exc:
+            raise CheckpointCorrupted(
+                f"cannot read checkpoint {path}: {exc}", path
+            ) from exc
+        return _decode(raw, path)
+
+    def load_latest(self) -> Optional[Dict[str, Any]]:
+        """Newest snapshot that verifies, or ``None`` when none exist.
+
+        Corrupted snapshots are skipped newest-to-oldest; if every
+        existing snapshot fails verification the corruption is not
+        silently ignored — :class:`CheckpointCorrupted` propagates with
+        the details of the newest failure.
+        """
+        snapshots = self.snapshots()
+        if not snapshots:
+            return None
+        first_error: Optional[CheckpointCorrupted] = None
+        for _, path in reversed(snapshots):
+            try:
+                return self.read(path)
+            except CheckpointCorrupted as exc:
+                if first_error is None:
+                    first_error = exc
+        raise CheckpointCorrupted(
+            f"all {len(snapshots)} snapshots in {self.directory} are "
+            f"corrupted (newest failure: {first_error})",
+        )
+
+
+class Checkpointer:
+    """Boundary-marking policy over a :class:`CheckpointStore`.
+
+    Algorithms call :meth:`mark` at every completed pass/level/iteration
+    boundary with their full resumable state; every ``every``-th mark is
+    persisted, and :meth:`flush` persists the newest state regardless —
+    the algorithms' budget-exhaustion and error paths call it so an
+    interrupted run always leaves its last completed boundary on disk.
+
+    Parameters
+    ----------
+    store:
+        The backing store (or a directory path, for convenience).
+    every:
+        Persist one snapshot per this many boundary marks.  ``1`` (the
+        default) checkpoints every boundary; larger values trade
+        resume granularity for write volume.
+    resume:
+        When True, :meth:`resume` returns the state of the newest valid
+        snapshot (verifying its key); when False it returns ``None`` and
+        the algorithm starts from scratch.
+    """
+
+    def __init__(self, store, every: int = 1, resume: bool = False):
+        check_in_range("every", every, 1, None)
+        if not isinstance(store, CheckpointStore):
+            store = CheckpointStore(store)
+        self.store = store
+        self.every = int(every)
+        self.resume_requested = bool(resume)
+        self._marks = 0
+        self._latest: Optional[Dict[str, Any]] = None
+        self._dirty = False
+
+    def resume(self, key: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """State of the newest valid snapshot, verified against ``key``.
+
+        Returns ``None`` when resuming was not requested or no snapshot
+        exists.  A snapshot whose key differs raises
+        :class:`CheckpointMismatch` — resuming an apriori run from a
+        kmeans snapshot (or the same miner at a different threshold)
+        would silently corrupt results.
+        """
+        if not self.resume_requested:
+            return None
+        payload = self.store.load_latest()
+        if payload is None:
+            return None
+        if payload.get("key") != key:
+            raise CheckpointMismatch(
+                f"checkpoint key mismatch: snapshot was written by "
+                f"{payload.get('key')!r}, this run is {key!r}"
+            )
+        return payload["state"]
+
+    def mark(self, key: Dict[str, Any], state: Dict[str, Any]) -> None:
+        """Record ``state`` at a completed boundary (maybe persisting)."""
+        self._latest = {"key": key, "state": state}
+        self._dirty = True
+        self._marks += 1
+        if self._marks % self.every == 0:
+            self._persist()
+
+    def flush(self) -> None:
+        """Persist the newest marked state if it is not on disk yet."""
+        if self._dirty:
+            self._persist()
+
+    def _persist(self) -> None:
+        if self._latest is not None:
+            self.store.save(self._latest)
+            self._dirty = False
+
+
+__all__ = [
+    "MAGIC",
+    "CheckpointCorrupted",
+    "CheckpointMismatch",
+    "CheckpointStore",
+    "Checkpointer",
+    "Snapshottable",
+]

@@ -20,7 +20,19 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..core.base import check_in_range
+from ..core.exceptions import ReproError
 from .budget import Budget, IterationBudgetExceeded, TimeBudgetExceeded
+
+
+class TransientFault(ReproError, RuntimeError):
+    """A failure worth retrying: storage hiccups, flaky I/O, races.
+
+    Deliberately *not* a :class:`~repro.runtime.budget.BudgetExceeded`:
+    budget exhaustion is a deterministic property of the run and must
+    not be retried, whereas a transient fault is expected to clear on
+    its own — :class:`~repro.runtime.retry.RetryPolicy` retries exactly
+    this type by default.
+    """
 
 
 class Fault:
@@ -101,6 +113,27 @@ class SlowPass(Fault):
         self.clock.advance(self.delay)
 
 
+class FlakyFault(Fault):
+    """Raise :class:`TransientFault` on the next ``n_failures`` checks.
+
+    Models an environment that fails transiently a few times and then
+    recovers: each raise consumes one failure, so a run wrapped in a
+    :class:`~repro.runtime.retry.RetryPolicy` fails on its first
+    ``n_failures`` attempts and succeeds on the next one.
+    """
+
+    def __init__(self, n_failures: int):
+        check_in_range("n_failures", n_failures, 0, None)
+        self.remaining = int(n_failures)
+
+    def on_check(self, budget: Budget) -> None:
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise TransientFault(
+                f"injected transient fault ({self.remaining} remaining)"
+            )
+
+
 class VirtualClock:
     """Deterministic manual time source for deadline tests.
 
@@ -128,7 +161,9 @@ class VirtualClock:
 
 __all__ = [
     "Fault",
+    "FlakyFault",
     "InjectedFault",
+    "TransientFault",
     "TriggerAfter",
     "SlowPass",
     "VirtualClock",

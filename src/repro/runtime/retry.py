@@ -1,0 +1,142 @@
+"""Bounded retries with exponential backoff and seeded jitter.
+
+Production mining runs fail for reasons that have nothing to do with
+the algorithm — a flaky network filesystem serving the transaction
+file, a transient OOM-killer near miss, a storage hiccup while writing
+a checkpoint.  :class:`RetryPolicy` wraps a callable and retries it a
+bounded number of times when it raises a *transient* error
+(:class:`~repro.runtime.faults.TransientFault` by default), sleeping an
+exponentially growing, jittered delay between attempts.
+
+Two properties keep this testable and composable:
+
+* the sleep function is injectable — tests pass a
+  :class:`~repro.runtime.faults.VirtualClock`'s ``advance`` so retry
+  schedules are asserted without ever sleeping;
+* jitter is drawn from a seeded generator
+  (:func:`~repro.core.random.check_random_state`), so a given policy
+  produces one deterministic backoff schedule.
+
+Retries compose with checkpointing naturally: a retried attempt passes
+the same :class:`~repro.runtime.checkpoint.Checkpointer` back in, so
+work completed before the transient failure is not repeated.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Tuple, Type
+
+from ..core.base import check_in_range
+from ..core.random import RandomState, check_random_state
+
+
+class RetryPolicy:
+    """Retry transient failures with exponential backoff.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries *after* the first attempt; ``max_retries=3`` allows up
+        to four calls in total.  When the allowance is exhausted the
+        last transient error propagates to the caller.
+    base_delay:
+        Seconds slept before the first retry.
+    factor:
+        Multiplier applied per retry (``base_delay * factor**n``).
+    max_delay:
+        Cap on the un-jittered delay.
+    jitter:
+        Fraction of the delay added as seeded uniform noise; attempt
+        ``n`` sleeps ``delay_n * (1 + jitter * u)`` with ``u ~ U[0, 1)``.
+        Jitter de-synchronises herds of workers retrying in lock-step.
+    retry_on:
+        Exception types treated as transient; anything else propagates
+        immediately.
+    random_state:
+        Seed for the jitter stream.
+    sleep:
+        Sleep function; tests inject ``VirtualClock().advance``.
+
+    Examples
+    --------
+    >>> from repro.runtime.faults import TransientFault, VirtualClock
+    >>> clock = VirtualClock()
+    >>> policy = RetryPolicy(max_retries=2, base_delay=1.0, jitter=0.0,
+    ...                      sleep=clock.advance)
+    >>> calls = []
+    >>> def flaky():
+    ...     calls.append(len(calls))
+    ...     if len(calls) < 3:
+    ...         raise TransientFault("blip")
+    ...     return "ok"
+    >>> policy.run(flaky)
+    'ok'
+    >>> clock()  # 1.0 + 2.0 seconds of simulated backoff
+    3.0
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 3,
+        base_delay: float = 0.5,
+        factor: float = 2.0,
+        max_delay: float = 60.0,
+        jitter: float = 0.1,
+        retry_on: Optional[Tuple[Type[BaseException], ...]] = None,
+        random_state: RandomState = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ):
+        check_in_range("max_retries", max_retries, 0, None)
+        check_in_range("base_delay", base_delay, 0.0, None)
+        check_in_range("factor", factor, 1.0, None)
+        check_in_range("max_delay", max_delay, 0.0, None)
+        check_in_range("jitter", jitter, 0.0, None)
+        if retry_on is None:
+            from .faults import TransientFault
+
+            retry_on = (TransientFault,)
+        self.max_retries = int(max_retries)
+        self.base_delay = float(base_delay)
+        self.factor = float(factor)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.retry_on = tuple(retry_on)
+        self.random_state = random_state
+        self.sleep = sleep
+        self.on_retry = on_retry
+        #: (attempt, delay) pairs of retries performed by the last run.
+        self.retries_: List[Tuple[int, float]] = []
+
+    def delay(self, attempt: int, rng) -> float:
+        """Jittered backoff before retry number ``attempt`` (0-based)."""
+        raw = min(self.max_delay, self.base_delay * self.factor**attempt)
+        if self.jitter > 0.0:
+            raw *= 1.0 + self.jitter * float(rng.random())
+        return raw
+
+    def run(self, fn: Callable, *args, **kwargs):
+        """Call ``fn`` until it succeeds or retries are exhausted.
+
+        Only exceptions in ``retry_on`` are retried; the final failure
+        (retries exhausted) re-raises the last transient error.
+        """
+        rng = check_random_state(self.random_state)
+        self.retries_ = []
+        for attempt in range(self.max_retries + 1):
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on as exc:
+                if attempt >= self.max_retries:
+                    raise
+                pause = self.delay(attempt, rng)
+                self.retries_.append((attempt, pause))
+                if self.on_retry is not None:
+                    self.on_retry(attempt, exc, pause)
+                if pause > 0.0:
+                    self.sleep(pause)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+__all__ = ["RetryPolicy"]

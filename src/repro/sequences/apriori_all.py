@@ -32,6 +32,7 @@ from ..core.itemsets import PassStats
 from ..core.sequences import SequenceDatabase, SequencePattern
 from ..associations.apriori import min_count_from_support
 from ..associations.candidates import apriori_gen
+from ..runtime import Budget, BudgetExceeded
 from .result import FrequentSequences
 
 LitemsetSeq = Tuple[int, ...]  # sequence of litemset ids
@@ -41,6 +42,8 @@ def apriori_all(
     db: SequenceDatabase,
     min_support: float = 0.05,
     max_length: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    on_exhausted: str = "raise",
 ) -> FrequentSequences:
     """Mine all frequent sequential patterns with AprioriAll.
 
@@ -53,6 +56,15 @@ def apriori_all(
     max_length:
         Stop after patterns of this many *elements* (``None`` = mine to
         exhaustion).
+    budget:
+        Optional :class:`~repro.runtime.Budget` checked once per pass of
+        every phase, charged per generated candidate, and polled
+        periodically in the counting and transformation scans.  ``None``
+        (the default) skips every check.
+    on_exhausted:
+        ``"raise"`` propagates :class:`~repro.runtime.BudgetExceeded`;
+        ``"truncate"`` returns the patterns completed so far (decoded
+        from whatever phase was reached) flagged ``truncated=True``.
 
     Returns
     -------
@@ -68,30 +80,90 @@ def apriori_all(
     """
     if max_length is not None and max_length < 1:
         raise ValidationError(f"max_length must be >= 1, got {max_length}")
+    if on_exhausted not in ("raise", "truncate"):
+        raise ValidationError(
+            f"on_exhausted must be 'raise' or 'truncate' for apriori_all, "
+            f"got {on_exhausted!r}"
+        )
     n = len(db)
     if n == 0:
         return FrequentSequences({}, 0, min_support)
     min_count = min_count_from_support(n, min_support)
     stats: List[PassStats] = []
+    id_to_litemset: Dict[int, Itemset] = {}
+    all_frequent: Dict[LitemsetSeq, int] = {}
 
+    try:
+        _mine_phases(
+            db, min_count, max_length, budget, stats, id_to_litemset,
+            all_frequent,
+        )
+    except BudgetExceeded as exc:
+        if on_exhausted == "raise":
+            raise
+        result = FrequentSequences(
+            _decode(all_frequent, id_to_litemset),
+            n,
+            min_support,
+            truncated=True,
+            truncation_reason=f"{type(exc).__name__}: {exc}",
+        )
+        result.pass_stats = stats
+        return result
+
+    result = FrequentSequences(_decode(all_frequent, id_to_litemset), n, min_support)
+    result.pass_stats = stats
+    return result
+
+
+def _decode(
+    all_frequent: Dict[LitemsetSeq, int], id_to_litemset: Dict[int, Itemset]
+) -> Dict[SequencePattern, int]:
+    """Decode litemset-id sequences back to item-level patterns."""
+    return {
+        tuple(id_to_litemset[idx] for idx in seq): cnt
+        for seq, cnt in all_frequent.items()
+    }
+
+
+def _mine_phases(
+    db: SequenceDatabase,
+    min_count: int,
+    max_length: Optional[int],
+    budget: Optional[Budget],
+    stats: List[PassStats],
+    id_to_litemset: Dict[int, Itemset],
+    all_frequent: Dict[LitemsetSeq, int],
+) -> None:
+    """Run phases 1-3, mutating the caller's accumulators in place.
+
+    In-place mutation (rather than return values) keeps the partial
+    state visible to the ``on_exhausted="truncate"`` handler when a
+    budget fires mid-phase.
+    """
     # ------------------------------------------------------------------
     # Phase 1: litemsets (customer-level frequent itemsets).
     # ------------------------------------------------------------------
     started = time.perf_counter()
-    litemsets = _mine_litemsets(db, min_count)
+    litemsets = _mine_litemsets(db, min_count, budget)
     litemset_ids: Dict[Itemset, int] = {
         its: idx for idx, its in enumerate(sorted(litemsets))
     }
-    id_to_litemset = {idx: its for its, idx in litemset_ids.items()}
+    id_to_litemset.update({idx: its for its, idx in litemset_ids.items()})
     stats.append(
         PassStats(1, db.n_items, len(litemsets), time.perf_counter() - started)
+    )
+    all_frequent.update(
+        {(litemset_ids[its],): cnt for its, cnt in litemsets.items()}
     )
 
     # ------------------------------------------------------------------
     # Phase 2: transform sequences into litemset-id element sets.
     # ------------------------------------------------------------------
     transformed: List[List[Set[int]]] = []
-    for seq in db:
+    for i, seq in enumerate(db):
+        if budget is not None and i % 64 == 0:
+            budget.check(phase="aprioriall-transform")
         t_seq = []
         for element in seq:
             element_set = set(element)
@@ -111,17 +183,23 @@ def apriori_all(
     frequent: Dict[LitemsetSeq, int] = {
         (litemset_ids[its],): cnt for its, cnt in litemsets.items()
     }
-    all_frequent: Dict[LitemsetSeq, int] = dict(frequent)
     k = 2
     while frequent and (max_length is None or k <= max_length):
+        if budget is not None:
+            budget.check(phase=f"seq-pass-{k}")
+            budget.progress(f"seq-pass-{k}", n_frequent_prev=len(frequent))
         started = time.perf_counter()
         candidates = _sequence_candidates(list(frequent))
+        if budget is not None:
+            budget.charge_candidates(len(candidates), phase=f"seq-pass-{k}")
         if not candidates:
             stats.append(PassStats(k, 0, 0, time.perf_counter() - started))
             break
         counts = dict.fromkeys(candidates, 0)
         candidate_ids = [(cand, frozenset(cand)) for cand in candidates]
-        for t_seq in transformed:
+        for i, t_seq in enumerate(transformed):
+            if budget is not None and i % 64 == 0:
+                budget.check(phase=f"seq-count-{k}")
             if len(t_seq) < k:
                 continue
             # Prefilter on the union of litemset ids in the sequence.
@@ -138,19 +216,10 @@ def apriori_all(
         all_frequent.update(frequent)
         k += 1
 
-    # ------------------------------------------------------------------
-    # Decode litemset-id sequences back to item-level patterns.
-    # ------------------------------------------------------------------
-    supports: Dict[SequencePattern, int] = {
-        tuple(id_to_litemset[idx] for idx in seq): cnt
-        for seq, cnt in all_frequent.items()
-    }
-    result = FrequentSequences(supports, n, min_support)
-    result.pass_stats = stats
-    return result
 
-
-def _mine_litemsets(db: SequenceDatabase, min_count: int) -> Dict[Itemset, int]:
+def _mine_litemsets(
+    db: SequenceDatabase, min_count: int, budget: Optional[Budget] = None
+) -> Dict[Itemset, int]:
     """Levelwise customer-support itemset mining within elements."""
     # Pass 1: single items, counted once per customer.
     counts: Dict[Itemset, int] = {}
@@ -164,12 +233,16 @@ def _mine_litemsets(db: SequenceDatabase, min_count: int) -> Dict[Itemset, int]:
     all_frequent = dict(frequent)
     k = 2
     while frequent:
-        candidates = apriori_gen(sorted(frequent))
+        if budget is not None:
+            budget.check(phase=f"litemset-pass-{k}")
+        candidates = apriori_gen(sorted(frequent), budget)
         if not candidates:
             break
         candidate_set = set(candidates)
         counts = dict.fromkeys(candidates, 0)
-        for seq in db:
+        for i, seq in enumerate(db):
+            if budget is not None and i % 64 == 0:
+                budget.check(phase=f"litemset-count-{k}")
             supported: Set[Itemset] = set()
             for element in seq:
                 if len(element) < k:

@@ -24,8 +24,12 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..core.exceptions import ValidationError
 from ..core.itemsets import PassStats
 from ..core.sequences import SequenceDatabase, SequencePattern, pattern_length
-from ..associations.apriori import min_count_from_support
-from ..runtime import Budget, BudgetExceeded
+from ..associations.apriori import (
+    checkpoint_key,
+    levelwise_state,
+    min_count_from_support,
+)
+from ..runtime import Budget, BudgetExceeded, Checkpointer
 from .result import FrequentSequences
 
 
@@ -39,6 +43,7 @@ def gsp(
     times: Optional[Sequence[Sequence[float]]] = None,
     budget: Optional[Budget] = None,
     on_exhausted: str = "raise",
+    checkpoint: Optional[Checkpointer] = None,
 ) -> FrequentSequences:
     """Mine frequent sequential patterns with GSP.
 
@@ -66,6 +71,10 @@ def gsp(
         ``"raise"`` propagates :class:`~repro.runtime.BudgetExceeded`;
         ``"truncate"`` returns the completed passes flagged
         ``truncated=True``.
+    checkpoint:
+        Optional :class:`~repro.runtime.Checkpointer`; every completed
+        level is a resumable boundary, exactly as in the levelwise
+        itemset miners.
 
     Returns
     -------
@@ -109,26 +118,42 @@ def gsp(
     min_count = min_count_from_support(n, min_support)
     checker = _ContainsChecker(min_gap, max_gap, window)
 
-    stats: List[PassStats] = []
-    started = _time.perf_counter()
-    item_counts: Dict[int, int] = {}
-    for seq in db:
-        seen: Set[int] = set()
-        for element in seq:
-            seen.update(element)
-        for item in seen:
-            item_counts[item] = item_counts.get(item, 0) + 1
-    frequent: Dict[SequencePattern, int] = {
-        ((item,),): cnt
-        for item, cnt in sorted(item_counts.items())
-        if cnt >= min_count
-    }
-    stats.append(
-        PassStats(1, db.n_items, len(frequent), _time.perf_counter() - started)
-    )
-    all_frequent: Dict[SequencePattern, int] = dict(frequent)
+    key = None
+    if checkpoint is not None:
+        key = checkpoint_key(
+            "gsp", db, min_support,
+            max_length=max_length, min_gap=min_gap, max_gap=max_gap,
+            window=window,
+        )
+    resumed = checkpoint.resume(key) if checkpoint is not None else None
+    if resumed is not None:
+        k = resumed["k"]
+        frequent: Dict[SequencePattern, int] = resumed["frequent"]
+        all_frequent: Dict[SequencePattern, int] = resumed["all_frequent"]
+        stats: List[PassStats] = resumed["stats"]
+    else:
+        stats = []
+        started = _time.perf_counter()
+        item_counts: Dict[int, int] = {}
+        for seq in db:
+            seen: Set[int] = set()
+            for element in seq:
+                seen.update(element)
+            for item in seen:
+                item_counts[item] = item_counts.get(item, 0) + 1
+        frequent = {
+            ((item,),): cnt
+            for item, cnt in sorted(item_counts.items())
+            if cnt >= min_count
+        }
+        stats.append(
+            PassStats(1, db.n_items, len(frequent), _time.perf_counter() - started)
+        )
+        all_frequent = dict(frequent)
+        k = 2
+        if checkpoint is not None:
+            checkpoint.mark(key, levelwise_state(k, frequent, all_frequent, stats))
 
-    k = 2
     try:
         while frequent and (max_length is None or k <= max_length):
             if budget is not None:
@@ -167,6 +192,8 @@ def gsp(
             )
             all_frequent.update(frequent)
             k += 1
+            if checkpoint is not None:
+                checkpoint.mark(key, levelwise_state(k, frequent, all_frequent, stats))
     except BudgetExceeded as exc:
         if on_exhausted == "raise":
             raise
@@ -179,6 +206,9 @@ def gsp(
         )
         result.pass_stats = stats
         return result
+    finally:
+        if checkpoint is not None:
+            checkpoint.flush()
 
     result = FrequentSequences(all_frequent, n, min_support)
     result.pass_stats = stats

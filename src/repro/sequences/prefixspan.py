@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..core.exceptions import ValidationError
 from ..core.sequences import SequenceDatabase, SequencePattern, pattern_length
 from ..associations.apriori import min_count_from_support
+from ..runtime import Budget, BudgetExceeded
 from .result import FrequentSequences
 
 # A pseudo-projection entry: the pattern's earliest match in sequence
@@ -36,6 +37,8 @@ def prefixspan(
     db: SequenceDatabase,
     min_support: float = 0.05,
     max_length: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    on_exhausted: str = "raise",
 ) -> FrequentSequences:
     """Mine frequent sequential patterns with PrefixSpan.
 
@@ -48,6 +51,15 @@ def prefixspan(
     max_length:
         Stop after patterns with this many *items* in total (matching
         GSP's notion of length).
+    budget:
+        Optional :class:`~repro.runtime.Budget`, checked at every
+        pattern-growth step and charged one candidate per attempted
+        extension.  ``None`` (the default) skips every check.
+    on_exhausted:
+        ``"raise"`` propagates :class:`~repro.runtime.BudgetExceeded`;
+        ``"truncate"`` returns the patterns emitted so far flagged
+        ``truncated=True`` (every emitted pattern is genuinely frequent,
+        so truncation can only lose patterns).
 
     Returns
     -------
@@ -62,6 +74,11 @@ def prefixspan(
     """
     if max_length is not None and max_length < 1:
         raise ValidationError(f"max_length must be >= 1, got {max_length}")
+    if on_exhausted not in ("raise", "truncate"):
+        raise ValidationError(
+            f"on_exhausted must be 'raise' or 'truncate' for prefixspan, "
+            f"got {on_exhausted!r}"
+        )
     n = len(db)
     if n == 0:
         return FrequentSequences({}, 0, min_support)
@@ -79,13 +96,24 @@ def prefixspan(
                 if item not in seen_here:
                     seen_here.add(item)
                     first_occurrence.setdefault(item, []).append((sid, eid, iid))
-    for item in sorted(first_occurrence):
-        entries = first_occurrence[item]
-        if len(entries) < min_count:
-            continue
-        pattern: SequencePattern = ((item,),)
-        out[pattern] = len(entries)
-        _grow(sequences, pattern, entries, min_count, max_length, out)
+    try:
+        for item in sorted(first_occurrence):
+            entries = first_occurrence[item]
+            if len(entries) < min_count:
+                continue
+            pattern: SequencePattern = ((item,),)
+            out[pattern] = len(entries)
+            _grow(sequences, pattern, entries, min_count, max_length, out, budget)
+    except BudgetExceeded as exc:
+        if on_exhausted == "raise":
+            raise
+        return FrequentSequences(
+            out,
+            n,
+            min_support,
+            truncated=True,
+            truncation_reason=f"{type(exc).__name__}: {exc}",
+        )
 
     return FrequentSequences(out, n, min_support)
 
@@ -97,7 +125,10 @@ def _grow(
     min_count: int,
     max_length: Optional[int],
     out: Dict[SequencePattern, int],
+    budget: Optional[Budget] = None,
 ) -> None:
+    if budget is not None:
+        budget.check(phase="prefixspan-grow")
     if max_length is not None and pattern_length(pattern) >= max_length:
         return
     last_element = set(pattern[-1])
@@ -129,22 +160,26 @@ def _grow(
     for item in sorted(seq_candidates):
         if seq_candidates[item] < min_count:
             continue
+        if budget is not None:
+            budget.charge_candidates(phase="prefixspan-seq-ext")
         new_pattern = pattern + ((item,),)
         new_entries = _project_sequence_ext(sequences, entries, item)
         out[new_pattern] = len(new_entries)
-        _grow(sequences, new_pattern, new_entries, min_count, max_length, out)
+        _grow(sequences, new_pattern, new_entries, min_count, max_length, out, budget)
 
     # Itemset extensions: x joins the last element (x > current max item).
     for item in sorted(set_candidates):
         if set_candidates[item] < min_count:
             continue
+        if budget is not None:
+            budget.charge_candidates(phase="prefixspan-set-ext")
         new_last = tuple(sorted(last_element | {item}))
         new_pattern = pattern[:-1] + (new_last,)
         new_entries = _project_itemset_ext(
             sequences, entries, last_element, item
         )
         out[new_pattern] = len(new_entries)
-        _grow(sequences, new_pattern, new_entries, min_count, max_length, out)
+        _grow(sequences, new_pattern, new_entries, min_count, max_length, out, budget)
 
 
 def _project_sequence_ext(

@@ -86,6 +86,35 @@ class TestCLARA:
         b = CLARA(4, random_state=3).fit(X).medoid_indices_
         assert (a == b).all()
 
+    def test_inner_pam_convergence_warning_surfaces(self, blobs4):
+        # With a one-swap cap the inner PAM runs cannot reach a local
+        # optimum; CLARA must not swallow their ConvergenceWarning but
+        # re-emit it as a single attributable summary.
+        import warnings
+
+        from repro.core.exceptions import ConvergenceWarning
+
+        X, _ = blobs4
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            CLARA(4, n_samples=3, random_state=0, max_swaps=1).fit(X)
+        convergence = [
+            w for w in caught
+            if issubclass(w.category, ConvergenceWarning)
+        ]
+        assert len(convergence) == 1
+        message = str(convergence[0].message)
+        assert "inner PAM runs" in message
+        assert "of 3" in message
+
+    def test_no_warning_when_inner_runs_converge(self, blobs4):
+        import warnings
+
+        X, _ = blobs4
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning fails the test
+            CLARA(4, random_state=0).fit(X)
+
 
 class TestCLARANS:
     def test_recovers_blobs(self, blobs4):

@@ -1,0 +1,192 @@
+"""Unit tests for the CheckpointStore / Checkpointer primitives.
+
+The corruption suite mutilates snapshot files the way real crashes do —
+truncation (torn write), a flipped payload byte (silent bit rot), a
+stale format header — and asserts that loading falls back to the newest
+snapshot that still verifies instead of resuming from garbage.
+"""
+
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.runtime import (
+    CheckpointCorrupted,
+    CheckpointMismatch,
+    CheckpointStore,
+    Checkpointer,
+)
+from repro.runtime.checkpoint import MAGIC
+
+
+KEY = {"algorithm": "test", "n": 5}
+
+
+class TestStoreRoundTrip:
+    def test_save_then_load_latest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"key": KEY, "state": {"k": 3, "items": [1, 2]}})
+        payload = store.load_latest()
+        assert payload == {"key": KEY, "state": {"k": 3, "items": [1, 2]}}
+
+    def test_load_latest_empty_dir_is_none(self, tmp_path):
+        assert CheckpointStore(tmp_path).load_latest() is None
+        assert CheckpointStore(tmp_path / "never-created").load_latest() is None
+
+    def test_snapshots_numbered_and_sorted(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=10)
+        for k in range(3):
+            store.save({"state": k})
+        assert [seq for seq, _ in store.snapshots()] == [1, 2, 3]
+        assert store.load_latest() == {"state": 2}
+
+    def test_rotation_keeps_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        for k in range(5):
+            store.save({"state": k})
+        seqs = [seq for seq, _ in store.snapshots()]
+        assert seqs == [4, 5]
+        assert store.load_latest() == {"state": 4}
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"state": 1})
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".ckpt"]
+        assert leftovers == []
+
+    def test_prefixes_are_independent(self, tmp_path):
+        a = CheckpointStore(tmp_path, prefix="alpha")
+        b = CheckpointStore(tmp_path, prefix="beta")
+        a.save({"state": "a"})
+        b.save({"state": "b"})
+        assert a.load_latest() == {"state": "a"}
+        assert b.load_latest() == {"state": "b"}
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValidationError):
+            CheckpointStore(tmp_path, keep=0)
+        with pytest.raises(ValidationError):
+            CheckpointStore(tmp_path, prefix="")
+        with pytest.raises(ValidationError):
+            CheckpointStore(tmp_path, prefix="a/b")
+
+
+class TestCorruption:
+    """Each mutilation must raise CheckpointCorrupted on direct read and
+    be skipped by load_latest in favour of an older valid snapshot."""
+
+    def _store_with_two(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=5)
+        store.save({"state": "older"})
+        store.save({"state": "newest"})
+        return store, store.snapshots()[-1][1]
+
+    def test_truncated_file_falls_back(self, tmp_path):
+        store, newest = self._store_with_two(tmp_path)
+        raw = newest.read_bytes()
+        newest.write_bytes(raw[: len(raw) // 2])  # torn write
+        with pytest.raises(CheckpointCorrupted):
+            store.read(newest)
+        assert store.load_latest() == {"state": "older"}
+
+    def test_shorter_than_header_falls_back(self, tmp_path):
+        store, newest = self._store_with_two(tmp_path)
+        newest.write_bytes(b"\x00" * 4)
+        assert store.load_latest() == {"state": "older"}
+
+    def test_flipped_payload_byte_falls_back(self, tmp_path):
+        store, newest = self._store_with_two(tmp_path)
+        raw = bytearray(newest.read_bytes())
+        raw[-1] ^= 0xFF  # single-bit-rot-ish corruption
+        newest.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointCorrupted, match="checksum"):
+            store.read(newest)
+        assert store.load_latest() == {"state": "older"}
+
+    def test_stale_version_header_falls_back(self, tmp_path):
+        store, newest = self._store_with_two(tmp_path)
+        raw = bytearray(newest.read_bytes())
+        assert raw[: len(MAGIC)] == MAGIC
+        raw[: len(MAGIC)] = b"RPCKPT00"  # an older format version
+        newest.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointCorrupted, match="header"):
+            store.read(newest)
+        assert store.load_latest() == {"state": "older"}
+
+    def test_all_corrupted_raises(self, tmp_path):
+        store, _ = self._store_with_two(tmp_path)
+        for _, path in store.snapshots():
+            path.write_bytes(b"garbage")
+        with pytest.raises(CheckpointCorrupted, match="all 2 snapshots"):
+            store.load_latest()
+
+    def test_unpicklable_payload_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"state": 1})
+        path = store.snapshots()[0][1]
+        raw = bytearray(path.read_bytes())
+        # Valid header and checksum over a payload that is not a pickle.
+        import hashlib
+        import struct
+
+        body = b"not a pickle at all"
+        header = struct.pack(
+            ">8sQ32s", MAGIC, len(body), hashlib.sha256(body).digest()
+        )
+        path.write_bytes(header + body)
+        with pytest.raises(CheckpointCorrupted, match="unpickle"):
+            store.read(path)
+        del raw
+
+
+class TestCheckpointer:
+    def test_mark_persists_every_nth(self, tmp_path):
+        ckpt = Checkpointer(tmp_path, every=2)
+        ckpt.mark(KEY, {"k": 1})
+        assert ckpt.store.snapshots() == []  # first mark buffered
+        ckpt.mark(KEY, {"k": 2})
+        assert len(ckpt.store.snapshots()) == 1
+        ckpt.mark(KEY, {"k": 3})
+        ckpt.flush()  # exhaustion path persists the buffered mark
+        assert ckpt.store.load_latest()["state"] == {"k": 3}
+
+    def test_flush_without_pending_is_noop(self, tmp_path):
+        ckpt = Checkpointer(tmp_path)
+        ckpt.flush()
+        assert ckpt.store.snapshots() == []
+        ckpt.mark(KEY, {"k": 1})
+        n = len(ckpt.store.snapshots())
+        ckpt.flush()  # already on disk: no extra snapshot
+        assert len(ckpt.store.snapshots()) == n
+
+    def test_resume_not_requested_returns_none(self, tmp_path):
+        Checkpointer(tmp_path).mark(KEY, {"k": 1})
+        assert Checkpointer(tmp_path, resume=False).resume(KEY) is None
+
+    def test_resume_returns_latest_state(self, tmp_path):
+        writer = Checkpointer(tmp_path)
+        writer.mark(KEY, {"k": 1})
+        writer.mark(KEY, {"k": 2})
+        assert Checkpointer(tmp_path, resume=True).resume(KEY) == {"k": 2}
+
+    def test_resume_empty_dir_returns_none(self, tmp_path):
+        assert Checkpointer(tmp_path, resume=True).resume(KEY) is None
+
+    def test_resume_key_mismatch_raises(self, tmp_path):
+        Checkpointer(tmp_path).mark(KEY, {"k": 1})
+        other = dict(KEY, n=6)  # same algorithm, different threshold
+        with pytest.raises(CheckpointMismatch):
+            Checkpointer(tmp_path, resume=True).resume(other)
+
+    def test_resume_skips_corrupted_newest(self, tmp_path):
+        writer = Checkpointer(tmp_path)
+        writer.mark(KEY, {"k": 1})
+        writer.mark(KEY, {"k": 2})
+        newest = writer.store.snapshots()[-1][1]
+        raw = bytearray(newest.read_bytes())
+        raw[-1] ^= 0xFF
+        newest.write_bytes(bytes(raw))
+        assert Checkpointer(tmp_path, resume=True).resume(KEY) == {"k": 1}
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValidationError):
+            Checkpointer(tmp_path, every=0)

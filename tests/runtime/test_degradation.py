@@ -144,11 +144,21 @@ class TestCLIBudgets:
         assert code == 0
         assert "NOTE: budget exhausted" in out
 
-    def test_mine_eclat_rejects_budget(self, basket_file, capsys):
+    def test_mine_eclat_accepts_budget(self, basket_file, capsys):
+        # eclat gained budget support alongside checkpointing; a budget
+        # large enough to finish behaves exactly like no budget.
         code = main(["mine", str(basket_file), "--miner", "eclat",
-                     "--time-limit", "1"])
-        assert code == 2
-        assert "eclat" in capsys.readouterr().err
+                     "--min-support", "0.05", "--time-limit", "600"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "NOTE" not in out
+
+    def test_mine_eclat_budget_notice(self, basket_file, capsys):
+        code = main(["mine", str(basket_file), "--miner", "eclat",
+                     "--min-support", "0.01", "--max-candidates", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "NOTE: budget exhausted" in out
 
     def test_cluster_budget_notice(self, blobs_file, capsys):
         code = main(["cluster", str(blobs_file), "--algorithm", "kmeans",
@@ -157,12 +167,14 @@ class TestCLIBudgets:
         assert code == 0
         assert "NOTE: budget exhausted" in out
 
-    def test_cluster_unsupported_algorithm_rejects_budget(
-        self, blobs_file, capsys
-    ):
+    def test_cluster_birch_accepts_budget(self, blobs_file, capsys):
+        # birch gained budget support alongside the checkpoint work; the
+        # unsupported-combination exit 2 now applies to --checkpoint-dir
+        # (covered in tests/test_cli.py), not budgets.
         code = main(["cluster", str(blobs_file), "--algorithm", "birch",
-                     "--time-limit", "1"])
-        assert code == 2
+                     "--time-limit", "600"])
+        assert code == 0
+        assert "NOTE" not in capsys.readouterr().out
 
     def test_classify_budget_notice(self, tmp_path, capsys):
         path = tmp_path / "credit.csv"

@@ -94,3 +94,93 @@ class TestCluster:
     def test_other_algorithms(self, blobs_file, algo):
         assert main(["cluster", str(blobs_file), "--algorithm", algo,
                      "--k", "3", "--eps", "1.0"]) == 0
+
+
+class TestCheckpointCLI:
+    def _itemset_lines(self, out):
+        return [line for line in out.splitlines() if "->" in line or
+                "support" in line]
+
+    def test_mine_checkpoint_roundtrip(self, basket_file, tmp_path, capsys):
+        ckdir = tmp_path / "ck"
+        assert main(["mine", str(basket_file), "--min-support", "0.05",
+                     "--checkpoint-dir", str(ckdir)]) == 0
+        first = capsys.readouterr().out
+        assert list(ckdir.glob("*.ckpt"))
+        assert main(["mine", str(basket_file), "--min-support", "0.05",
+                     "--checkpoint-dir", str(ckdir), "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert self._itemset_lines(resumed) == self._itemset_lines(first)
+
+    def test_exhaust_then_resume_with_fresh_budget(self, basket_file,
+                                                   tmp_path, capsys):
+        """The walkthrough from the docs: a budget-limited run truncates
+        (exit 0 + NOTE), the checkpoint survives, and a resumed run with
+        a fresh budget completes with the full answer."""
+        assert main(["mine", str(basket_file), "--min-support", "0.02"]) == 0
+        full = capsys.readouterr().out
+        ckdir = tmp_path / "ck"
+        assert main(["mine", str(basket_file), "--min-support", "0.02",
+                     "--checkpoint-dir", str(ckdir),
+                     "--max-candidates", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "NOTE: budget exhausted" in out
+        assert list(ckdir.glob("*.ckpt"))
+        assert main(["mine", str(basket_file), "--min-support", "0.02",
+                     "--checkpoint-dir", str(ckdir), "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "NOTE" not in resumed
+        assert self._itemset_lines(resumed) == self._itemset_lines(full)
+
+    @pytest.mark.parametrize("miner", ["eclat", "apriori_tid", "dhp",
+                                       "partition"])
+    def test_all_snapshottable_miners_roundtrip(self, basket_file, tmp_path,
+                                                miner):
+        ckdir = tmp_path / miner
+        args = ["mine", str(basket_file), "--miner", miner,
+                "--min-support", "0.05", "--checkpoint-dir", str(ckdir)]
+        assert main(args) == 0
+        assert main(args + ["--resume"]) == 0
+
+    def test_resume_requires_checkpoint_dir(self, basket_file, capsys):
+        assert main(["mine", str(basket_file), "--resume"]) == 2
+        assert "checkpoint-dir" in capsys.readouterr().err
+
+    def test_fp_growth_checkpoint_unsupported(self, basket_file, tmp_path,
+                                              capsys):
+        assert main(["mine", str(basket_file), "--miner", "fp_growth",
+                     "--checkpoint-dir", str(tmp_path / "ck")]) == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_mine_retries_flag(self, basket_file):
+        assert main(["mine", str(basket_file), "--min-support", "0.05",
+                     "--retries", "2"]) == 0
+
+    def test_cluster_checkpoint_roundtrip(self, blobs_file, tmp_path,
+                                          capsys):
+        ckdir = tmp_path / "ck"
+        base = ["cluster", str(blobs_file), "--k", "3", "--seed", "0",
+                "--checkpoint-dir", str(ckdir)]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert list(ckdir.glob("*.ckpt"))
+        assert main(base + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_cluster_pam_checkpoint(self, blobs_file, tmp_path):
+        ckdir = tmp_path / "ck"
+        base = ["cluster", str(blobs_file), "--algorithm", "pam",
+                "--k", "3", "--checkpoint-dir", str(ckdir)]
+        assert main(base) == 0
+        assert main(base + ["--resume"]) == 0
+
+    def test_cluster_checkpoint_unsupported_algorithm(self, blobs_file,
+                                                      tmp_path, capsys):
+        assert main(["cluster", str(blobs_file), "--algorithm", "birch",
+                     "--checkpoint-dir", str(tmp_path / "ck")]) == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_cluster_resume_requires_checkpoint_dir(self, blobs_file,
+                                                    capsys):
+        assert main(["cluster", str(blobs_file), "--resume"]) == 2
+        assert "checkpoint-dir" in capsys.readouterr().err
