@@ -1,6 +1,15 @@
-"""``python -m repro`` — delegates to the CLI."""
+"""``python -m repro`` — delegates to the CLI.
+
+``faulthandler`` is enabled so that a hard crash of the *parent*
+process (the supervised path already contains child crashes) dumps a
+Python traceback instead of dying silently — the last rung of the
+failure-handling ladder documented in the README.
+"""
+
+import faulthandler
 
 from .cli import main
 
 if __name__ == "__main__":
+    faulthandler.enable()
     raise SystemExit(main())

@@ -13,7 +13,7 @@ import time
 from itertools import combinations
 from typing import Dict, Optional
 
-from ..core.base import check_in_range
+from ..core.base import check_in_range, check_nonempty
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset, PassStats
 from ..core.transactions import TransactionDatabase
@@ -32,10 +32,12 @@ def min_count_from_support(n_transactions: int, min_support: float) -> int:
     """Absolute count threshold implied by a relative ``min_support``.
 
     Uses ceiling semantics: an itemset is frequent iff
-    ``count >= ceil(min_support * n)`` — with the usual convention that a
-    threshold of zero still requires at least one occurrence.
+    ``count >= ceil(min_support * n)``.  ``min_support`` must lie in
+    ``(0, 1]`` — a non-positive threshold would declare every itemset
+    frequent (a guaranteed candidate-set blow-up), so it is rejected as
+    a :class:`~repro.core.exceptions.ValidationError` instead.
     """
-    check_in_range("min_support", min_support, 0.0, 1.0)
+    check_in_range("min_support", min_support, 0.0, 1.0, low_inclusive=False)
     import math
 
     return max(1, math.ceil(min_support * n_transactions))
@@ -85,7 +87,7 @@ def apriori(
     db:
         The transaction database.
     min_support:
-        Relative minimum support in [0, 1].
+        Relative minimum support in (0, 1].
     max_size:
         Stop after itemsets of this size (``None`` = mine to exhaustion).
     candidate_store:
@@ -135,8 +137,7 @@ def apriori(
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
-    if n == 0:
-        return FrequentItemsets({}, 0, min_support)
+    check_nonempty("transaction database", n, "transactions")
     min_count = min_count_from_support(n, min_support)
 
     key = None

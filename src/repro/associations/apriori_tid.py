@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..core.base import check_nonempty
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset, PassStats
 from ..core.transactions import TransactionDatabase
@@ -58,8 +59,7 @@ def apriori_tid(
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
-    if n == 0:
-        return FrequentItemsets({}, 0, min_support)
+    check_nonempty("transaction database", n, "transactions")
     min_count = min_count_from_support(n, min_support)
 
     key = None

@@ -14,7 +14,7 @@ import time
 from itertools import combinations
 from typing import Dict, Optional
 
-from ..core.base import check_in_range
+from ..core.base import check_in_range, check_nonempty
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset, PassStats
 from ..core.transactions import TransactionDatabase
@@ -72,11 +72,7 @@ def dhp(
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
-    if n == 0:
-        result = FrequentItemsets({}, 0, min_support)
-        result.c2_unfiltered = 0
-        result.c2_filtered = 0
-        return result
+    check_nonempty("transaction database", n, "transactions")
     min_count = min_count_from_support(n, min_support)
     stats = []
     all_frequent: Dict[Itemset, int] = {}

@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..core.base import check_in_range
+from ..core.base import check_in_range, check_nonempty
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset
 from ..core.taxonomy import Taxonomy
@@ -91,8 +91,7 @@ def cumulate(
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
-    if n == 0:
-        return FrequentItemsets({}, 0, min_support)
+    check_nonempty("transaction database", n, "transactions")
     min_count = min_count_from_support(n, min_support)
 
     # Optimization 1: the ancestor closure, computed once.

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..core.base import check_in_range
+from ..core.base import check_in_range, check_nonempty
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset
 from ..core.transactions import TransactionDatabase
@@ -78,8 +78,7 @@ def partition_miner(
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
-    if n == 0:
-        return FrequentItemsets({}, 0, min_support)
+    check_nonempty("transaction database", n, "transactions")
     n_partitions = min(n_partitions, n)
     min_count = min_count_from_support(n, min_support)
     bounds = _partition_bounds(n, n_partitions)

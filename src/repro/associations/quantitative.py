@@ -98,7 +98,8 @@ class QuantitativeMiner:
     ):
         check_in_range("n_base_intervals", n_base_intervals, 2, None)
         check_in_range("max_support", max_support, 0.0, 1.0, low_inclusive=False)
-        check_in_range("min_support", min_support, 0.0, 1.0)
+        check_in_range("min_support", min_support, 0.0, 1.0,
+                       low_inclusive=False)
         check_in_range("min_confidence", min_confidence, 0.0, 1.0)
         if max_support < min_support:
             raise ValidationError(

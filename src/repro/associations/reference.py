@@ -13,6 +13,7 @@ from collections import Counter
 from itertools import combinations
 from typing import Optional
 
+from ..core.base import check_nonempty
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets
 from ..core.transactions import TransactionDatabase
@@ -37,8 +38,7 @@ def brute_force(
         real workloads.
     """
     n = len(db)
-    if n == 0:
-        return FrequentItemsets({}, 0, min_support)
+    check_nonempty("transaction database", n, "transactions")
     longest = max((len(t) for t in db), default=0)
     if max_size is None and longest > 25:
         raise ValidationError(

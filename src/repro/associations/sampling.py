@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Set
 
-from ..core.base import check_in_range
+from ..core.base import check_in_range, check_nonempty
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset, subsets_of_size
 from ..core.random import RandomState, check_random_state
@@ -60,6 +60,7 @@ def sampling_miner(
     >>> result.supports[(0, 1)]
     20
     """
+    check_in_range("min_support", min_support, 0.0, 1.0, low_inclusive=False)
     check_in_range(
         "sample_fraction", sample_fraction, 0.0, 1.0, low_inclusive=False
     )
@@ -67,10 +68,7 @@ def sampling_miner(
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
-    if n == 0:
-        result = FrequentItemsets({}, 0, min_support)
-        result.misses = 0
-        return result
+    check_nonempty("transaction database", n, "transactions")
 
     rng = check_random_state(random_state)
     sample_size = max(1, int(round(n * sample_fraction)))

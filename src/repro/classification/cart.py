@@ -104,6 +104,11 @@ class CART(Classifier):
         self.truncation_reason_: Optional[str] = None
 
     def _fit(self, features: Table, y: np.ndarray, target: Attribute) -> None:
+        if features.n_rows < 2:
+            raise ValidationError(
+                f"cannot grow a decision tree from {features.n_rows} "
+                f"row(s); need at least 2"
+            )
         self._features = features
         self._y = y
         self._n_classes = len(target.values)

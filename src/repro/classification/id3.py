@@ -56,6 +56,11 @@ class ID3(Classifier):
         self.tree_: Optional[TreeNode] = None
 
     def _fit(self, features: Table, y: np.ndarray, target: Attribute) -> None:
+        if features.n_rows < 2:
+            raise ValidationError(
+                f"cannot grow a decision tree from {features.n_rows} "
+                f"row(s); need at least 2"
+            )
         for attr in features.attributes:
             if not attr.is_categorical:
                 raise ValidationError(

@@ -118,6 +118,11 @@ class SLIQ(Classifier):
         self.truncation_reason_: Optional[str] = None
 
     def _fit(self, features: Table, y: np.ndarray, target: Attribute) -> None:
+        if features.n_rows < 2:
+            raise ValidationError(
+                f"cannot grow a decision tree from {features.n_rows} "
+                f"row(s); need at least 2"
+            )
         for attr in features.attributes:
             col = features.column(attr.name)
             has_missing = (

@@ -29,9 +29,21 @@ in that directory (so a budget-exhausted or killed run can be finished
 later with a fresh ``--time-limit``), and ``--retries N`` retries
 transient faults with exponential backoff.
 
+``mine``, ``classify`` and ``cluster`` also accept process-level
+supervision flags: ``--supervise`` runs the algorithm in a child process
+so that a crash (OOM kill, segfault, operator ``kill -9``) is contained
+and reported instead of taking the CLI down, ``--max-rss-mb MB`` and
+``--hard-time-limit SECONDS`` set hard OS-enforced caps on the child.
+Under ``--supervise``, ``--retries`` relaunches a crashed child, and —
+for ``mine``/``cluster`` with ``--checkpoint-dir`` — every relaunch
+resumes from the newest valid snapshot; supervised ``classify`` restarts
+its (deterministic) fit from scratch.
+
 Exit codes: 0 = success, including budget-degraded partial results
 (flagged by a ``NOTE:`` line); 2 = invalid input or an unsupported
-flag/algorithm combination.
+flag/algorithm combination; 3 = a supervised child crashed and the
+retry allowance is exhausted (the final ``FailureReport`` is written to
+stderr as JSON).
 """
 
 from __future__ import annotations
@@ -72,6 +84,103 @@ def _add_checkpoint_flags(sub: argparse.ArgumentParser) -> None:
         "--retries", type=int, default=0, metavar="N",
         help="retry transient faults up to N times with exponential backoff",
     )
+
+
+def _add_supervise_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--supervise", action="store_true",
+        help="run the algorithm in a supervised child process: crashes "
+             "are contained and reported, hard limits are enforceable",
+    )
+    sub.add_argument(
+        "--max-rss-mb", type=float, default=None, metavar="MB",
+        help="hard memory cap for the supervised child "
+             "(requires --supervise)",
+    )
+    sub.add_argument(
+        "--hard-time-limit", type=float, default=None, metavar="SECONDS",
+        help="hard wall-clock cap for the supervised child; SIGTERM then "
+             "SIGKILL (requires --supervise)",
+    )
+
+
+def _usage_error(args, checkpointable: bool, algorithm: str) -> Optional[str]:
+    """One-line actionable message for a bad flag combination, or None.
+
+    Centralises the CLI's exit-2 contract: ``--resume`` without a
+    checkpoint directory, checkpoint/supervision flags on an algorithm
+    that cannot honour them, and hard-limit flags without
+    ``--supervise`` all fail fast here — before any data is loaded.
+    """
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if getattr(args, "resume", False) and checkpoint_dir is None:
+        return "--resume requires --checkpoint-dir"
+    if checkpoint_dir is not None and not checkpointable:
+        return f"{algorithm} does not support --checkpoint-dir/--resume"
+    if not args.supervise:
+        if args.max_rss_mb is not None:
+            return "--max-rss-mb requires --supervise"
+        if args.hard_time_limit is not None:
+            return "--hard-time-limit requires --supervise"
+        return None
+    if not checkpointable:
+        return (
+            f"{algorithm} does not support checkpoint/resume, so "
+            "--supervise cannot recover it after a crash; pick a "
+            "checkpoint-aware algorithm or drop --supervise"
+        )
+    return None
+
+
+def _run_supervised(args, target, *target_args, **target_kwargs):
+    """Run ``target`` under a Supervisor built from the CLI flags.
+
+    Returns the target's result; a child that crashes until the retry
+    allowance is exhausted raises
+    :class:`~repro.runtime.supervisor.SupervisedCrash`, which ``main``
+    converts into exit code 3 plus a JSON report on stderr.
+    """
+    from .runtime import HardLimits, RetryPolicy, Supervisor
+
+    limits = None
+    if args.max_rss_mb is not None or args.hard_time_limit is not None:
+        limits = HardLimits(
+            max_rss_mb=args.max_rss_mb,
+            wall_time_limit=args.hard_time_limit,
+        )
+    retries = getattr(args, "retries", 0)
+    retry = RetryPolicy(max_retries=retries, random_state=0) if retries else None
+    supervisor = Supervisor(
+        limits=limits,
+        retry=retry,
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        checkpoint_every=getattr(args, "checkpoint_every", 1),
+        resume=getattr(args, "resume", False),
+    )
+    outcome = supervisor.run(target, *target_args, **target_kwargs)
+    if outcome.reports:
+        causes = ", ".join(report.cause for report in outcome.reports)
+        print(f"NOTE: supervised run recovered after "
+              f"{len(outcome.reports)} crash(es) ({causes})")
+    return outcome.value
+
+
+def _fit_worker(model, table, target):
+    """Supervised-child entry for ``classify``: fit and ship the model."""
+    model.fit(table, target)
+    return model
+
+
+def _cluster_fit_worker(model, X, checkpoint=None):
+    """Supervised-child entry for ``cluster``.
+
+    The supervisor injects ``checkpoint`` per attempt (resuming on
+    relaunch); it must reach the model before ``fit``.
+    """
+    if checkpoint is not None:
+        model.checkpoint = checkpoint
+    model.fit(X)
+    return model
 
 
 def _make_checkpointer(args):
@@ -132,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="rules/itemsets to display")
     _add_budget_flags(mine)
     _add_checkpoint_flags(mine)
+    _add_supervise_flags(mine)
 
     classify = sub.add_parser("classify", help="train/evaluate a classifier")
     classify.add_argument("path", help="typed CSV (name:num / name:cat)")
@@ -143,13 +253,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     classify.add_argument("--test-fraction", type=float, default=0.3)
     classify.add_argument("--seed", type=int, default=0)
+    classify.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="with --supervise: relaunch a crashed fit up to N times",
+    )
     _add_budget_flags(classify)
+    _add_supervise_flags(classify)
 
     cluster = sub.add_parser("cluster", help="cluster numeric columns")
     cluster.add_argument("path", help="typed CSV (numeric columns used)")
     cluster.add_argument(
         "--algorithm",
-        choices=["kmeans", "pam", "birch", "dbscan", "agglomerative"],
+        choices=["kmeans", "pam", "clarans", "birch", "dbscan",
+                 "agglomerative"],
         default="kmeans",
     )
     cluster.add_argument("--k", type=int, default=3)
@@ -158,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--seed", type=int, default=0)
     _add_budget_flags(cluster)
     _add_checkpoint_flags(cluster)
+    _add_supervise_flags(cluster)
 
     generate = sub.add_parser("generate", help="emit synthetic data")
     generate.add_argument(
@@ -196,26 +313,30 @@ def _cmd_mine(args) -> int:
         "dhp": dhp,
         "partition": partition_miner,
     }
-    if args.resume and args.checkpoint_dir is None:
-        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+    usage = _usage_error(
+        args, checkpointable=args.miner != "fp_growth", algorithm=args.miner
+    )
+    if usage is not None:
+        print(f"error: {usage}", file=sys.stderr)
         return 2
     db = load_transactions(args.path)
     print(f"{len(db)} transactions, {db.n_items} items, "
           f"avg length {db.avg_transaction_length():.1f}")
     budget = _make_budget(args, "max_candidates")
-    checkpoint = _make_checkpointer(args)
-    if checkpoint is not None and args.miner == "fp_growth":
-        print("error: fp_growth does not support --checkpoint-dir/--resume",
-              file=sys.stderr)
-        return 2
     kwargs = {}
     if budget is not None:
         kwargs.update(budget=budget, on_exhausted="truncate")
-    if checkpoint is not None:
-        kwargs["checkpoint"] = checkpoint
-    itemsets = _with_retries(
-        args, lambda: miners[args.miner](db, args.min_support, **kwargs)
-    )
+    if args.supervise:
+        itemsets = _run_supervised(
+            args, miners[args.miner], db, args.min_support, **kwargs
+        )
+    else:
+        checkpoint = _make_checkpointer(args)
+        if checkpoint is not None:
+            kwargs["checkpoint"] = checkpoint
+        itemsets = _with_retries(
+            args, lambda: miners[args.miner](db, args.min_support, **kwargs)
+        )
     if getattr(itemsets, "truncated", False):
         print(f"NOTE: budget exhausted -- partial result "
               f"({itemsets.truncation_reason})")
@@ -245,6 +366,10 @@ def _cmd_classify(args) -> int:
         "oner": OneR,
         "zeror": ZeroR,
     }
+    usage = _usage_error(args, checkpointable=True, algorithm=args.classifier)
+    if usage is not None:
+        print(f"error: {usage}", file=sys.stderr)
+        return 2
     table = load_table(args.path)
     train, test = train_test_split(
         table, args.test_fraction, stratify=args.target,
@@ -259,7 +384,10 @@ def _cmd_classify(args) -> int:
                   "--max-candidates", file=sys.stderr)
             return 2
         model = classifiers[args.classifier](budget=budget)
-    model.fit(train, args.target)
+    if args.supervise:
+        model = _run_supervised(args, _fit_worker, model, train, args.target)
+    else:
+        model.fit(train, args.target)
     if getattr(model, "truncated_", False):
         print(f"NOTE: budget exhausted -- tree truncated "
               f"({model.truncation_reason_})")
@@ -278,12 +406,16 @@ def _cmd_classify(args) -> int:
 
 
 def _cmd_cluster(args) -> int:
-    from .clustering import DBSCAN, PAM, Agglomerative, Birch, KMeans
+    from .clustering import CLARANS, DBSCAN, PAM, Agglomerative, Birch, KMeans
     from .datasets import load_table
     from .evaluation import silhouette, sse
 
-    if args.resume and args.checkpoint_dir is None:
-        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+    checkpointable = args.algorithm in ("kmeans", "pam", "clarans")
+    usage = _usage_error(
+        args, checkpointable=checkpointable, algorithm=args.algorithm
+    )
+    if usage is not None:
+        print(f"error: {usage}", file=sys.stderr)
         return 2
     table = load_table(args.path)
     X = table.to_matrix()
@@ -291,16 +423,15 @@ def _cmd_cluster(args) -> int:
         print("error: no numeric columns to cluster", file=sys.stderr)
         return 2
     budget = _make_budget(args, "max_expansions")
-    checkpoint = _make_checkpointer(args)
-    if checkpoint is not None and args.algorithm not in ("kmeans", "pam"):
-        print(f"error: {args.algorithm} does not support --checkpoint-dir/"
-              "--resume", file=sys.stderr)
-        return 2
+    checkpoint = None if args.supervise else _make_checkpointer(args)
     if args.algorithm == "kmeans":
         model = KMeans(args.k, random_state=args.seed, budget=budget,
                        checkpoint=checkpoint)
     elif args.algorithm == "pam":
         model = PAM(args.k, budget=budget, checkpoint=checkpoint)
+    elif args.algorithm == "clarans":
+        model = CLARANS(args.k, random_state=args.seed, budget=budget,
+                        checkpoint=checkpoint)
     elif args.algorithm == "birch":
         model = Birch(threshold=args.eps, n_clusters=args.k,
                       random_state=args.seed, budget=budget)
@@ -309,7 +440,11 @@ def _cmd_cluster(args) -> int:
     else:
         model = DBSCAN(eps=args.eps, min_samples=args.min_samples,
                        budget=budget)
-    labels = _with_retries(args, lambda: model.fit_predict(X))
+    if args.supervise:
+        model = _run_supervised(args, _cluster_fit_worker, model, X)
+        labels = model.labels_
+    else:
+        labels = _with_retries(args, lambda: model.fit_predict(X))
     if getattr(model, "truncated_", False):
         print(f"NOTE: budget exhausted -- partial clustering "
               f"({model.truncation_reason_})")
@@ -382,6 +517,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return COMMANDS[args.command](args)
     except (ReproError, OSError) as exc:
+        from .runtime.supervisor import SupervisedCrash
+
+        if isinstance(exc, SupervisedCrash):
+            # The supervised child kept dying; hand operators the full
+            # structured report, machine-readable, on stderr.
+            print(exc.report.to_json(), file=sys.stderr)
+            return 3
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -10,9 +10,10 @@ Everything else in :mod:`repro` builds on these primitives:
 * :class:`Classifier` / :class:`Clusterer` — the fit/predict protocol.
 """
 
-from .base import Classifier, Clusterer, check_matrix
+from .base import Classifier, Clusterer, check_matrix, check_nonempty
 from .exceptions import (
     ConvergenceWarning,
+    EmptyInputError,
     NotFittedError,
     ReproError,
     ValidationError,
@@ -43,6 +44,8 @@ __all__ = [
     "Classifier",
     "Clusterer",
     "check_matrix",
+    "check_nonempty",
+    "EmptyInputError",
     "ConvergenceWarning",
     "NotFittedError",
     "ReproError",

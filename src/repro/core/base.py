@@ -20,7 +20,7 @@ from typing import Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .exceptions import NotFittedError, ValidationError
+from .exceptions import EmptyInputError, NotFittedError, ValidationError
 from .table import Attribute, Table
 
 
@@ -28,6 +28,18 @@ def check_fitted(estimator: object, attribute: str) -> None:
     """Raise :class:`NotFittedError` unless ``estimator.attribute`` exists."""
     if getattr(estimator, attribute, None) is None:
         raise NotFittedError(estimator)
+
+
+def check_nonempty(name: str, n_records: int, what: str = "records") -> None:
+    """Raise :class:`EmptyInputError` when ``n_records`` is zero.
+
+    Every public mine/fit entry point calls this on the user-supplied
+    dataset so degenerate inputs fail fast with the offending size in
+    the message instead of surfacing as an ``IndexError`` or
+    ``ZeroDivisionError`` from the middle of a pass.
+    """
+    if n_records == 0:
+        raise EmptyInputError(f"{name} is empty (0 {what})")
 
 
 def check_in_range(
@@ -81,8 +93,7 @@ class Classifier:
         attr = table.attribute(target)
         if not attr.is_categorical:
             raise ValidationError(f"target {target!r} must be categorical")
-        if table.n_rows == 0:
-            raise ValidationError("cannot fit on an empty table")
+        check_nonempty("table", table.n_rows, "rows")
         y = table.class_codes(target)
         features = table.drop([target])
         self.target_ = attr
@@ -164,4 +175,5 @@ __all__ = [
     "check_fitted",
     "check_in_range",
     "check_matrix",
+    "check_nonempty",
 ]

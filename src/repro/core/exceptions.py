@@ -18,6 +18,18 @@ class ValidationError(ReproError, ValueError):
     """Raised when user-supplied data or parameters are invalid."""
 
 
+class EmptyInputError(ValidationError):
+    """Raised when a dataset handed to an algorithm has no records.
+
+    Mining or fitting on zero records is always a caller mistake (a bad
+    path, an over-aggressive filter) — every algorithm rejects it with
+    this typed error instead of returning a vacuous result or dying on
+    an ``IndexError``/``ZeroDivisionError`` deep inside a pass.
+    Subclasses :class:`ValidationError`, so generic ``except ValueError``
+    handling keeps working.
+    """
+
+
 class NotFittedError(ReproError, RuntimeError):
     """Raised when ``predict``/``transform`` is called before ``fit``."""
 

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core.base import check_in_range
+from ..core.base import check_in_range, check_nonempty
 from ..core.exceptions import NotFittedError, ValidationError
 from ..core.table import Attribute, Table
 
@@ -120,8 +120,12 @@ class RegressionTree:
         y = table.column(target)
         if np.isnan(y).any():
             raise ValidationError(f"target {target!r} contains missing values")
-        if table.n_rows == 0:
-            raise ValidationError("cannot fit on an empty table")
+        check_nonempty("table", table.n_rows, "rows")
+        if table.n_rows < 2:
+            raise ValidationError(
+                f"cannot grow a regression tree from {table.n_rows} "
+                f"row(s); need at least 2"
+            )
         self.target_ = attr
         self._features = table.drop([target])
         self._y = y

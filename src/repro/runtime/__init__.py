@@ -3,9 +3,10 @@ retries, and fault injection.
 
 See :mod:`repro.runtime.budget` for the budget/cancellation machinery,
 :mod:`repro.runtime.checkpoint` for crash-safe snapshot persistence,
-:mod:`repro.runtime.retry` for transient-fault retries, and
+:mod:`repro.runtime.retry` for transient-fault retries,
 :mod:`repro.runtime.faults` for the deterministic fault harness used by
-``tests/runtime``.
+``tests/runtime``, and :mod:`repro.runtime.supervisor` for process-level
+supervision (hard limits, crash containment, chaos-proven resume).
 """
 
 from .budget import (
@@ -26,6 +27,7 @@ from .checkpoint import (
     Snapshottable,
 )
 from .faults import (
+    ChaosMonkey,
     Fault,
     FlakyFault,
     InjectedFault,
@@ -35,6 +37,13 @@ from .faults import (
     VirtualClock,
 )
 from .retry import RetryPolicy
+from .supervisor import (
+    FailureReport,
+    HardLimits,
+    SupervisedCrash,
+    SupervisedResult,
+    Supervisor,
+)
 
 __all__ = [
     "Budget",
@@ -51,6 +60,12 @@ __all__ = [
     "Checkpointer",
     "Snapshottable",
     "RetryPolicy",
+    "ChaosMonkey",
+    "FailureReport",
+    "HardLimits",
+    "SupervisedCrash",
+    "SupervisedResult",
+    "Supervisor",
     "Fault",
     "FlakyFault",
     "InjectedFault",

@@ -220,6 +220,39 @@ class CheckpointStore:
             except OSError:  # pragma: no cover - concurrent cleanup
                 pass
 
+    def clear(self) -> int:
+        """Delete every snapshot (and stray temp file) of this prefix.
+
+        Called on successful completion so long runs — a chaos harness
+        SIGKILLing the same job dozens of times, a supervised fleet
+        churning through retries — do not leak snapshot files onto disk.
+        Returns the number of files removed.
+        """
+        removed = 0
+        for _, path in self.snapshots():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+        if self.directory.is_dir():
+            for entry in self.directory.glob(f".{self.prefix}-*.ckpt.tmp"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+        return removed
+
+    def latest_seq(self) -> Optional[int]:
+        """Sequence number of the newest snapshot file, or ``None``.
+
+        Purely an enumeration — the file is not verified; use
+        :meth:`load_latest` to get verified contents.
+        """
+        snapshots = self.snapshots()
+        return snapshots[-1][0] if snapshots else None
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -330,6 +363,20 @@ class Checkpointer:
         if self._latest is not None:
             self.store.save(self._latest)
             self._dirty = False
+
+    def complete(self) -> int:
+        """Declare the run finished and delete its snapshots.
+
+        The inverse of :meth:`flush`: once a run has produced its final
+        result the snapshots have served their purpose, so harnesses
+        that own the whole lifecycle (the supervisor, batch drivers)
+        call this to leave the checkpoint directory clean.  Algorithms
+        never call it themselves — a bare library run keeps its final
+        snapshot so idempotent restarts stay cheap.
+        """
+        self._latest = None
+        self._dirty = False
+        return self.store.clear()
 
 
 __all__ = [

@@ -17,10 +17,14 @@ start of every full :meth:`Budget.check`.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import os
+import signal as _signal
+import time
+from typing import Callable, List, Optional, Tuple
 
 from ..core.base import check_in_range
 from ..core.exceptions import ReproError
+from ..core.random import RandomState, check_random_state
 from .budget import Budget, IterationBudgetExceeded, TimeBudgetExceeded
 
 
@@ -134,6 +138,126 @@ class FlakyFault(Fault):
             )
 
 
+class ChaosMonkey:
+    """SIGKILL a supervised child process at seeded random points mid-run.
+
+    The cooperative faults above prove that guarded loops poll their
+    budgets; the monkey proves the *process-level* story — that a child
+    killed by the OS (OOM killer, preempting scheduler, operator
+    ``kill -9``) resumes from its newest checkpoint and still produces
+    byte-identical results.  It is wired into
+    :class:`~repro.runtime.supervisor.Supervisor` via the ``monkey=``
+    parameter and stalks each attempt's child from a watcher thread.
+
+    Two seeded trigger modes:
+
+    * **checkpoint-triggered** (the default, used when the supervisor
+      manages a checkpoint directory): the strike fires after the child
+      persists ``n`` *new* snapshots this attempt, with ``n`` drawn from
+      ``after_checkpoints``.  Because every trigger requires at least
+      one newly persisted boundary, each doomed attempt makes forward
+      progress — a kill storm of any length terminates.
+    * **delay-triggered** (fallback when there is no checkpoint store to
+      watch): the strike fires after a delay drawn from ``delay_range``
+      seconds.
+
+    Parameters
+    ----------
+    kills:
+        Total strikes the monkey will perform across all attempts; once
+        exhausted it goes dormant and the run completes undisturbed.
+    after_checkpoints:
+        Inclusive ``(lo, hi)`` range for the checkpoint-count trigger.
+    delay_range:
+        ``(lo, hi)`` seconds for the delay trigger.
+    random_state:
+        Seed for the trigger stream — a given seed produces one
+        deterministic schedule of trigger points.
+    poll_interval:
+        Seconds between checks of the child / checkpoint directory.
+    """
+
+    def __init__(
+        self,
+        kills: int = 1,
+        after_checkpoints: Tuple[int, int] = (1, 2),
+        delay_range: Tuple[float, float] = (0.005, 0.05),
+        random_state: RandomState = 0,
+        poll_interval: float = 0.002,
+    ):
+        check_in_range("kills", kills, 0, None)
+        lo, hi = after_checkpoints
+        check_in_range("after_checkpoints[0]", lo, 1, None)
+        check_in_range("after_checkpoints[1]", hi, lo, None)
+        dlo, dhi = delay_range
+        check_in_range("delay_range[0]", dlo, 0.0, None)
+        check_in_range("delay_range[1]", dhi, dlo, None)
+        check_in_range("poll_interval", poll_interval, 0.0, None,
+                       low_inclusive=False)
+        self.kills = int(kills)
+        self.after_checkpoints = (int(lo), int(hi))
+        self.delay_range = (float(dlo), float(dhi))
+        self.poll_interval = float(poll_interval)
+        self._rng = check_random_state(random_state)
+        #: strike log: one dict per successful SIGKILL.
+        self.strikes: List[dict] = []
+
+    @property
+    def remaining(self) -> int:
+        """Strikes the monkey may still perform."""
+        return self.kills - len(self.strikes)
+
+    def stalk(self, process, store=None) -> None:
+        """Watch one attempt's ``process`` and maybe SIGKILL it.
+
+        Blocking — the supervisor runs it in a daemon thread per
+        attempt.  Returns when the strike lands, the child exits on its
+        own, or the monkey is dormant.  ``process`` needs ``pid`` and
+        ``is_alive()`` (a :class:`multiprocessing.Process` fits);
+        ``store`` is the :class:`~repro.runtime.checkpoint.CheckpointStore`
+        to watch for the checkpoint trigger.
+        """
+        if self.remaining <= 0:
+            return
+        lo, hi = self.after_checkpoints
+        dlo, dhi = self.delay_range
+        if store is not None:
+            threshold = int(self._rng.integers(lo, hi + 1))
+            baseline = store.latest_seq() or 0
+            while process.is_alive():
+                newest = store.latest_seq() or 0
+                if newest >= baseline + threshold:
+                    self._strike(process, trigger={
+                        "mode": "checkpoint",
+                        "threshold": threshold,
+                        "snapshot_seq": newest,
+                    })
+                    return
+                time.sleep(self.poll_interval)
+        else:
+            delay = dlo + (dhi - dlo) * float(self._rng.random())
+            deadline = time.monotonic() + delay
+            while process.is_alive():
+                if time.monotonic() >= deadline:
+                    self._strike(process, trigger={
+                        "mode": "delay",
+                        "delay": delay,
+                    })
+                    return
+                time.sleep(self.poll_interval)
+
+    def _strike(self, process, trigger: dict) -> None:
+        """Deliver SIGKILL; only a landed kill consumes an allowance."""
+        pid = process.pid
+        if pid is None or not process.is_alive():
+            return
+        try:
+            os.kill(pid, _signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            return
+        self.strikes.append({"pid": pid, **trigger})
+
+
 class VirtualClock:
     """Deterministic manual time source for deadline tests.
 
@@ -160,6 +284,7 @@ class VirtualClock:
 
 
 __all__ = [
+    "ChaosMonkey",
     "Fault",
     "FlakyFault",
     "InjectedFault",

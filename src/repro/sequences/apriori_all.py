@@ -26,6 +26,7 @@ from itertools import combinations
 from math import comb
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..core.base import check_nonempty
 from ..core.exceptions import ValidationError
 from ..core.itemsets import Itemset
 from ..core.itemsets import PassStats
@@ -86,8 +87,7 @@ def apriori_all(
             f"got {on_exhausted!r}"
         )
     n = len(db)
-    if n == 0:
-        return FrequentSequences({}, 0, min_support)
+    check_nonempty("sequence database", n, "sequences")
     min_count = min_count_from_support(n, min_support)
     stats: List[PassStats] = []
     id_to_litemset: Dict[int, Itemset] = {}

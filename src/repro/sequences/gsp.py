@@ -21,6 +21,7 @@ from __future__ import annotations
 import time as _time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..core.base import check_nonempty
 from ..core.exceptions import ValidationError
 from ..core.itemsets import PassStats
 from ..core.sequences import SequenceDatabase, SequencePattern, pattern_length
@@ -100,8 +101,7 @@ def gsp(
     if max_gap is not None and max_gap <= 0:
         raise ValidationError(f"max_gap must be > 0, got {max_gap}")
     n = len(db)
-    if n == 0:
-        return FrequentSequences({}, 0, min_support)
+    check_nonempty("sequence database", n, "sequences")
     if times is None:
         times = [list(range(len(seq))) for seq in db]
     else:

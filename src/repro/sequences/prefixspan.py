@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..core.base import check_nonempty
 from ..core.exceptions import ValidationError
 from ..core.sequences import SequenceDatabase, SequencePattern, pattern_length
 from ..associations.apriori import min_count_from_support
@@ -80,8 +81,7 @@ def prefixspan(
             f"got {on_exhausted!r}"
         )
     n = len(db)
-    if n == 0:
-        return FrequentSequences({}, 0, min_support)
+    check_nonempty("sequence database", n, "sequences")
     min_count = min_count_from_support(n, min_support)
     sequences = list(db)
 

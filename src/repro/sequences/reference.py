@@ -14,6 +14,7 @@ from typing import Counter as CounterType, Dict, Optional, Set
 
 from collections import Counter
 
+from ..core.base import check_nonempty
 from ..core.exceptions import ValidationError
 from ..core.sequences import SequenceDatabase, SequencePattern, pattern_length
 from ..associations.apriori import min_count_from_support
@@ -47,8 +48,7 @@ def brute_force_sequences(
                 "(<= 12 elements, <= 6 items each)"
             )
     n = len(db)
-    if n == 0:
-        return FrequentSequences({}, 0, min_support)
+    check_nonempty("sequence database", n, "sequences")
     min_count = min_count_from_support(n, min_support)
 
     counts: CounterType[SequencePattern] = Counter()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.associations import apriori, brute_force, min_count_from_support
-from repro.core import TransactionDatabase, ValidationError
+from repro.core import EmptyInputError, TransactionDatabase, ValidationError
 
 
 class TestMinCount:
@@ -12,8 +12,9 @@ class TestMinCount:
         assert min_count_from_support(10, 0.3) == 3
         assert min_count_from_support(100, 0.01) == 1
 
-    def test_zero_support_still_needs_one(self):
-        assert min_count_from_support(10, 0.0) == 1
+    def test_zero_support_rejected(self):
+        with pytest.raises(ValidationError, match="0.0"):
+            min_count_from_support(10, 0.0)
 
     def test_out_of_range_rejected(self):
         with pytest.raises(ValidationError):
@@ -43,10 +44,9 @@ class TestApriori:
         result = apriori(medium_db, 0.02, max_size=2)
         assert result.max_size() <= 2
 
-    def test_empty_database(self):
-        result = apriori(TransactionDatabase([]), 0.1)
-        assert len(result) == 0
-        assert result.n_transactions == 0
+    def test_empty_database_rejected(self):
+        with pytest.raises(EmptyInputError, match="empty"):
+            apriori(TransactionDatabase([]), 0.1)
 
     def test_support_one_returns_only_universal_items(self):
         db = TransactionDatabase([(0, 1), (0, 2), (0, 1)])

@@ -72,9 +72,11 @@ class TestGeneralized:
         # {jacket, outerwear} must carry jacket's own support.
         assert result.supports[(0, 4)] == result.supports[(0,)]
 
-    def test_empty_db(self, clothes_db):
+    def test_empty_db_rejected(self, clothes_db):
         _, tax = clothes_db
-        assert len(cumulate(TransactionDatabase([]), tax, 0.5)) == 0
+        from repro.core import EmptyInputError
+        with pytest.raises(EmptyInputError, match="empty"):
+            cumulate(TransactionDatabase([]), tax, 0.5)
 
     def test_r_interesting_filters_redundant_specialisations(self, clothes_db):
         db, tax = clothes_db

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.associations import brute_force
-from repro.core import TransactionDatabase, ValidationError
+from repro.core import EmptyInputError, TransactionDatabase, ValidationError
 
 
 class TestBruteForce:
@@ -28,5 +28,6 @@ class TestBruteForce:
         result = brute_force(db, 0.5, max_size=1)
         assert len(result) == 30
 
-    def test_empty_db(self):
-        assert len(brute_force(TransactionDatabase([]), 0.5)) == 0
+    def test_empty_db_rejected(self):
+        with pytest.raises(EmptyInputError, match="empty"):
+            brute_force(TransactionDatabase([]), 0.5)

@@ -75,8 +75,8 @@ class TestGenerateRules:
             generate_rules(_mined(small_db), min_confidence=1.5)
 
     def test_empty_itemsets_give_no_rules(self):
-        db = TransactionDatabase([])
-        assert generate_rules(apriori(db, 0.5), 0.5) == []
+        from repro.core import FrequentItemsets
+        assert generate_rules(FrequentItemsets({}, 0, 0.5), 0.5) == []
 
     def test_str_rendering(self):
         db = TransactionDatabase([(0, 1)] * 3)

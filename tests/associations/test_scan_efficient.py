@@ -10,7 +10,7 @@ from repro.associations import (
     partition_miner,
     sampling_miner,
 )
-from repro.core import TransactionDatabase, ValidationError
+from repro.core import EmptyInputError, TransactionDatabase, ValidationError
 
 
 class TestDHP:
@@ -40,9 +40,9 @@ class TestDHP:
         fine = dhp(medium_db, 0.05, n_buckets=65536)
         assert fine.c2_filtered <= coarse.c2_filtered
 
-    def test_empty_db(self):
-        result = dhp(TransactionDatabase([]), 0.1)
-        assert len(result) == 0 and result.c2_filtered == 0
+    def test_empty_db_rejected(self):
+        with pytest.raises(EmptyInputError, match="empty"):
+            dhp(TransactionDatabase([]), 0.1)
 
     def test_max_size_one_skips_pass2(self, medium_db):
         result = dhp(medium_db, 0.05, max_size=1)
@@ -62,8 +62,9 @@ class TestPartition:
         result = partition_miner(db, 0.3, n_partitions=10)
         assert result.supports == brute_force(db, 0.3).supports
 
-    def test_empty_db(self):
-        assert len(partition_miner(TransactionDatabase([]), 0.1)) == 0
+    def test_empty_db_rejected(self):
+        with pytest.raises(EmptyInputError, match="empty"):
+            partition_miner(TransactionDatabase([]), 0.1)
 
     def test_invalid_partitions(self, small_db):
         with pytest.raises(ValidationError):
@@ -99,9 +100,9 @@ class TestSampling:
         with pytest.raises(ValidationError):
             sampling_miner(small_db, 0.1, lowering=1.5)
 
-    def test_empty_db(self):
-        result = sampling_miner(TransactionDatabase([]), 0.1)
-        assert len(result) == 0 and result.misses == 0
+    def test_empty_db_rejected(self):
+        with pytest.raises(EmptyInputError, match="empty"):
+            sampling_miner(TransactionDatabase([]), 0.1)
 
 
 class TestNegativeBorder:

@@ -13,7 +13,7 @@ from repro.associations import (
     eclat,
     fp_growth,
 )
-from repro.core import TransactionDatabase, ValidationError
+from repro.core import EmptyInputError, TransactionDatabase, ValidationError
 
 MINERS = {
     "apriori_tid": apriori_tid,
@@ -34,9 +34,9 @@ class TestAgreement:
             want = apriori(medium_db, min_support).supports
             assert MINERS[name](medium_db, min_support).supports == want
 
-    def test_empty_db(self, name):
-        result = MINERS[name](TransactionDatabase([]), 0.1)
-        assert len(result) == 0
+    def test_empty_db_rejected(self, name):
+        with pytest.raises(EmptyInputError, match="empty"):
+            MINERS[name](TransactionDatabase([]), 0.1)
 
     def test_max_size(self, name, medium_db):
         result = MINERS[name](medium_db, 0.02, max_size=2)

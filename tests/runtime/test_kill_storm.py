@@ -1,0 +1,177 @@
+"""Kill-storm resume-identity under *real* process death.
+
+``test_resume_equivalence.py`` proves the checkpoint contract against
+cooperative kills (an injected exception at a budget checkpoint).  This
+file proves the stronger, process-level claim: a child SIGKILLed by
+:class:`~repro.runtime.faults.ChaosMonkey` at seeded points mid-run —
+no exception handling, no ``finally`` blocks, the interpreter simply
+ceases — and auto-resumed by the :class:`~repro.runtime.Supervisor`
+returns results identical to an uninterrupted in-process run, for every
+supervised algorithm family: levelwise miners (apriori, dhp), sequence
+miners (gsp), and iterative clusterers (kmeans, clarans).
+
+Each storm demands at least three landed kills.  The monkey's
+checkpoint trigger fires only after the child persists new snapshots,
+so every doomed attempt makes forward progress and the storm provably
+terminates.  A short sleep after each persisted mark (via a wrapping
+checkpointer) keeps the child inside the marked boundary long enough
+for the monkey's poll loop to land the kill there — making the strike
+schedule deterministic without touching the algorithms.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.associations import apriori, dhp
+from repro.clustering import CLARANS, KMeans
+from repro.datasets import gaussian_blobs
+from repro.runtime import ChaosMonkey, Checkpointer, RetryPolicy, Supervisor
+from repro.sequences import gsp
+
+MIN_KILLS = 3
+
+
+class _SlowCheckpointer(Checkpointer):
+    """Dwell inside each marked boundary so seeded strikes land there."""
+
+    def mark(self, key, state):
+        super().mark(key, state)
+        time.sleep(0.01)
+
+
+def _slowed(checkpoint):
+    if checkpoint is None:
+        return None
+    return _SlowCheckpointer(
+        checkpoint.store,
+        every=checkpoint.every,
+        resume=checkpoint.resume_requested,
+    )
+
+
+def _storm(tmp_path, target, *args, after_checkpoints=(1, 1), seed=0):
+    """Run ``target`` under a three-kill storm; return the outcome."""
+    monkey = ChaosMonkey(
+        kills=MIN_KILLS,
+        after_checkpoints=after_checkpoints,
+        random_state=seed,
+        poll_interval=0.001,
+    )
+    supervisor = Supervisor(
+        retry=RetryPolicy(
+            max_retries=MIN_KILLS + 2, base_delay=0.0, jitter=0.0,
+            sleep=lambda _s: None,
+        ),
+        checkpoint_dir=tmp_path / "storm",
+        monkey=monkey,
+    )
+    outcome = supervisor.run(target, *args)
+    assert len(monkey.strikes) >= MIN_KILLS, (
+        f"storm landed only {len(monkey.strikes)} kills: {monkey.strikes}"
+    )
+    assert outcome.attempts == len(monkey.strikes) + 1
+    assert [r.cause for r in outcome.reports] == ["killed"] * len(
+        monkey.strikes
+    )
+    # Chaos hygiene: the survivor cleaned up its snapshots.
+    assert not list((tmp_path / "storm").glob("*.ckpt"))
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Child targets (forked, so the databases close over cheaply; only the
+# returned results must pickle).
+# ----------------------------------------------------------------------
+def _mine_apriori(db, min_support, checkpoint=None):
+    return apriori(db, min_support, checkpoint=_slowed(checkpoint))
+
+
+def _mine_dhp(db, min_support, checkpoint=None):
+    return dhp(db, min_support, checkpoint=_slowed(checkpoint))
+
+
+def _mine_gsp(db, min_support, checkpoint=None):
+    return gsp(db, min_support, checkpoint=_slowed(checkpoint))
+
+
+def _fit_kmeans(X, checkpoint=None):
+    model = KMeans(
+        4, n_init=2, max_iter=50, random_state=0,
+        checkpoint=_slowed(checkpoint),
+    )
+    model.fit(X)
+    return (
+        model.cluster_centers_, model.labels_, model.inertia_, model.n_iter_
+    )
+
+
+def _fit_clarans(X, checkpoint=None):
+    model = CLARANS(
+        3, num_local=2, max_neighbor=25, random_state=4,
+        checkpoint=_slowed(checkpoint),
+    )
+    model.fit(X)
+    return (model.medoid_indices_, model.labels_, model.cost_)
+
+
+class TestKillStorm:
+    def test_apriori(self, medium_db, tmp_path):
+        clean = apriori(medium_db, 0.02)
+        outcome = _storm(
+            tmp_path, _mine_apriori, medium_db, 0.02,
+            after_checkpoints=(1, 2), seed=11,
+        )
+        assert outcome.value.supports == clean.supports
+        assert not outcome.value.truncated
+
+    def test_dhp(self, medium_db, tmp_path):
+        clean = dhp(medium_db, 0.03)
+        outcome = _storm(
+            tmp_path, _mine_dhp, medium_db, 0.03,
+            after_checkpoints=(1, 1), seed=23,
+        )
+        assert outcome.value.supports == clean.supports
+
+    def test_gsp(self, medium_seq_db, tmp_path):
+        clean = gsp(medium_seq_db, 0.2)
+        outcome = _storm(
+            tmp_path, _mine_gsp, medium_seq_db, 0.2,
+            after_checkpoints=(1, 1), seed=37,
+        )
+        assert outcome.value.supports == clean.supports
+
+    @pytest.mark.filterwarnings(
+        "ignore::repro.core.exceptions.ConvergenceWarning"
+    )
+    def test_kmeans(self, tmp_path):
+        centers = np.array([[0.0, 0.0], [2.5, 0.0], [0.0, 2.5], [2.5, 2.5]])
+        X, _ = gaussian_blobs(
+            200, centers=centers, cluster_std=1.2, random_state=5
+        )
+        ref = _fit_kmeans(X)
+        outcome = _storm(
+            tmp_path, _fit_kmeans, X, after_checkpoints=(1, 3), seed=41,
+        )
+        got = outcome.value
+        assert np.array_equal(got[0], ref[0])
+        assert np.array_equal(got[1], ref[1])
+        assert got[2] == ref[2]
+        assert got[3] == ref[3]
+
+    def test_clarans(self, tmp_path):
+        X, _ = gaussian_blobs(
+            90,
+            centers=np.array([[0.0, 0.0], [6.0, 0.0], [0.0, 6.0]]),
+            cluster_std=0.8,
+            random_state=2,
+        )
+        ref = _fit_clarans(X)
+        outcome = _storm(
+            tmp_path, _fit_clarans, X, after_checkpoints=(2, 5), seed=53,
+        )
+        got = outcome.value
+        assert np.array_equal(got[0], ref[0])
+        assert np.array_equal(got[1], ref[1])
+        assert got[2] == ref[2]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import SequenceDatabase, ValidationError
+from repro.core import EmptyInputError, SequenceDatabase, ValidationError
 from repro.core.sequences import pattern_length
 from repro.sequences import (
     apriori_all,
@@ -53,8 +53,9 @@ class TestItemLevelMiners:
         got = miner(small_enough, 0.1, max_length=4).supports
         assert got == ref
 
-    def test_empty_db(self, miner):
-        assert len(miner(SequenceDatabase([]), 0.5)) == 0
+    def test_empty_db_rejected(self, miner):
+        with pytest.raises(EmptyInputError, match="empty"):
+            miner(SequenceDatabase([]), 0.5)
 
     def test_monotone_in_support(self, miner, medium_seq_db):
         loose = set(miner(medium_seq_db, 0.1, max_length=4).supports)

@@ -1,8 +1,27 @@
 """Integration tests for the command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
+import repro
 from repro.cli import main
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def run_cli(*argv):
+    """Run the CLI in a fresh interpreter (true end-to-end contract)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True, text=True, env=env,
+    )
 
 
 @pytest.fixture
@@ -184,3 +203,87 @@ class TestCheckpointCLI:
                                                     capsys):
         assert main(["cluster", str(blobs_file), "--resume"]) == 2
         assert "checkpoint-dir" in capsys.readouterr().err
+
+
+class TestSupervisedCLI:
+    """Round-trips for --supervise / --max-rss-mb / --hard-time-limit."""
+
+    def test_supervised_mine_output_matches_unsupervised(self, basket_file,
+                                                         capsys):
+        base = ["mine", str(basket_file), "--min-support", "0.05"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(base + ["--supervise"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_supervised_mine_cleans_checkpoints(self, basket_file, tmp_path,
+                                                capsys):
+        ckdir = tmp_path / "ck"
+        assert main(["mine", str(basket_file), "--min-support", "0.05",
+                     "--supervise", "--retries", "2",
+                     "--checkpoint-dir", str(ckdir)]) == 0
+        # A completed supervised run leaves the checkpoint dir empty.
+        assert not list(ckdir.glob("*.ckpt"))
+
+    def test_supervised_classify(self, agrawal_file, capsys):
+        assert main(["classify", str(agrawal_file), "--target", "group",
+                     "--supervise"]) == 0
+        assert "test accuracy" in capsys.readouterr().out
+
+    def test_supervised_cluster_output_matches_unsupervised(self, blobs_file,
+                                                            capsys):
+        base = ["cluster", str(blobs_file), "--k", "3", "--seed", "0"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(base + ["--supervise"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_clarans_is_exposed_and_supervisable(self, blobs_file, capsys):
+        assert main(["cluster", str(blobs_file), "--algorithm", "clarans",
+                     "--k", "3", "--seed", "0", "--supervise"]) == 0
+        assert "clusters" in capsys.readouterr().out
+
+    def test_rss_limit_exits_3_with_json_report(self, basket_file):
+        # Runs in a fresh interpreter: forked from the in-process pytest
+        # parent, the child could satisfy its allocations from freed
+        # glibc arena space inherited at fork time and never trip
+        # RLIMIT_AS, so the cap only binds reliably from a small parent.
+        proc = run_cli("mine", str(basket_file), "--min-support", "0.02",
+                       "--supervise", "--max-rss-mb", "8")
+        assert proc.returncode == 3
+        report = json.loads(proc.stderr.strip().splitlines()[-1])
+        assert report["cause"] == "rss-limit"
+        assert report["limits"]["max_rss_mb"] == 8
+        assert "Traceback" not in proc.stderr
+
+    def test_hard_time_limit_exits_3_with_json_report(self, basket_file,
+                                                      capsys):
+        assert main(["mine", str(basket_file), "--min-support", "0.01",
+                     "--supervise", "--hard-time-limit", "0.2"]) == 3
+        report = json.loads(
+            capsys.readouterr().err.strip().splitlines()[-1]
+        )
+        assert report["cause"] == "wall-limit"
+
+    def test_max_rss_requires_supervise(self, basket_file, capsys):
+        assert main(["mine", str(basket_file), "--max-rss-mb", "100"]) == 2
+        assert "--supervise" in capsys.readouterr().err
+
+    def test_hard_time_limit_requires_supervise(self, blobs_file, capsys):
+        assert main(["cluster", str(blobs_file),
+                     "--hard-time-limit", "5"]) == 2
+        assert "--supervise" in capsys.readouterr().err
+
+    def test_supervise_rejects_non_checkpointable_miner(self, basket_file,
+                                                        capsys):
+        assert main(["mine", str(basket_file), "--miner", "fp_growth",
+                     "--supervise"]) == 2
+        err = capsys.readouterr().err
+        assert "fp_growth" in err
+        assert err.count("\n") == 1  # one-line message, not a traceback
+
+    def test_supervise_rejects_non_checkpointable_clusterer(self, blobs_file,
+                                                            capsys):
+        assert main(["cluster", str(blobs_file), "--algorithm", "dbscan",
+                     "--supervise"]) == 2
+        assert "dbscan" in capsys.readouterr().err

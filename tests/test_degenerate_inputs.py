@@ -1,0 +1,141 @@
+"""Degenerate-input hardening sweep.
+
+Every algorithm must reject pathological inputs — empty databases,
+``k > n_points``, out-of-range support thresholds, single-row tables in
+tree growers — with a typed error from :mod:`repro.core.exceptions`
+carrying the offending value, never an ``IndexError`` or
+``ZeroDivisionError`` from deep inside a pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.associations import (
+    QuantitativeMiner,
+    apriori,
+    apriori_hybrid,
+    apriori_tid,
+    brute_force,
+    cumulate,
+    dhp,
+    eclat,
+    fp_growth,
+    partition_miner,
+    sampling_miner,
+)
+from repro.classification import C45, CART, ID3, KNN, SLIQ, NaiveBayes, OneR, ZeroR
+from repro.clustering import CLARA, CLARANS, KMeans, PAM
+from repro.core import (
+    EmptyInputError,
+    SequenceDatabase,
+    TransactionDatabase,
+    ValidationError,
+)
+from repro.core.taxonomy import Taxonomy
+from repro.datasets import play_tennis
+from repro.regression import RegressionTree
+from repro.sequences import apriori_all, brute_force_sequences, gsp, prefixspan
+
+ITEMSET_MINERS = {
+    "apriori": apriori,
+    "apriori_tid": apriori_tid,
+    "apriori_hybrid": apriori_hybrid,
+    "dhp": dhp,
+    "eclat": eclat,
+    "fp_growth": fp_growth,
+    "partition": partition_miner,
+    "sampling": sampling_miner,
+    "brute_force": brute_force,
+    "cumulate": lambda db, s: cumulate(db, Taxonomy({}), s),
+}
+
+SEQUENCE_MINERS = {
+    "apriori_all": apriori_all,
+    "gsp": gsp,
+    "prefixspan": prefixspan,
+    "brute_force_sequences": brute_force_sequences,
+}
+
+
+class TestEmptyDatabases:
+    @pytest.mark.parametrize("name", sorted(ITEMSET_MINERS))
+    def test_itemset_miner_rejects_empty_db(self, name):
+        with pytest.raises(EmptyInputError, match="empty"):
+            ITEMSET_MINERS[name](TransactionDatabase([]), 0.5)
+
+    @pytest.mark.parametrize("name", sorted(SEQUENCE_MINERS))
+    def test_sequence_miner_rejects_empty_db(self, name):
+        with pytest.raises(EmptyInputError, match="empty"):
+            SEQUENCE_MINERS[name](SequenceDatabase([]), 0.5)
+
+    @pytest.mark.parametrize(
+        "make", [C45, CART, SLIQ, ID3, NaiveBayes, KNN, OneR, ZeroR],
+        ids=lambda cls: cls.__name__,
+    )
+    def test_classifier_rejects_empty_table(self, make):
+        empty = play_tennis().take([])
+        with pytest.raises(EmptyInputError, match="empty"):
+            make().fit(empty, "play")
+
+    def test_empty_input_error_is_a_validation_error(self):
+        # Generic `except ValueError` / `except ValidationError` callers
+        # keep working across the contract change.
+        assert issubclass(EmptyInputError, ValidationError)
+        assert issubclass(EmptyInputError, ValueError)
+
+
+class TestSupportThresholds:
+    @pytest.mark.parametrize("name", sorted(ITEMSET_MINERS))
+    @pytest.mark.parametrize("min_support", [0.0, -0.25, 1.5])
+    def test_itemset_miner_rejects_bad_support(self, name, min_support, small_db):
+        with pytest.raises(ValidationError, match=str(min_support)):
+            ITEMSET_MINERS[name](small_db, min_support)
+
+    @pytest.mark.parametrize("name", sorted(SEQUENCE_MINERS))
+    @pytest.mark.parametrize("min_support", [0.0, -0.25, 1.5])
+    def test_sequence_miner_rejects_bad_support(
+        self, name, min_support, small_seq_db
+    ):
+        with pytest.raises(ValidationError, match=str(min_support)):
+            SEQUENCE_MINERS[name](small_seq_db, min_support)
+
+    @pytest.mark.parametrize("min_support", [0.0, -0.25, 1.5])
+    def test_quantitative_miner_rejects_bad_support(self, min_support):
+        with pytest.raises(ValidationError, match=str(min_support)):
+            QuantitativeMiner(min_support=min_support)
+
+
+class TestTooManyClusters:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: KMeans(5, random_state=0),
+            lambda: PAM(5),
+            lambda: CLARANS(5, random_state=0),
+            lambda: CLARA(5, random_state=0),
+        ],
+        ids=["kmeans", "pam", "clarans", "clara"],
+    )
+    def test_k_exceeding_n_points_rejected(self, make):
+        X = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        with pytest.raises(ValidationError, match="5"):
+            make().fit(X)
+
+
+class TestSingleRowTrees:
+    @pytest.mark.parametrize(
+        "make", [C45, CART, SLIQ, ID3], ids=lambda cls: cls.__name__
+    )
+    def test_tree_grower_rejects_single_row(self, make):
+        one_row = play_tennis().take([0])
+        with pytest.raises(ValidationError, match="1"):
+            make().fit(one_row, "play")
+
+    def test_regression_tree_rejects_single_row(self, weather):
+        one_row = weather.take([0])
+        with pytest.raises(ValidationError, match="1"):
+            RegressionTree().fit(one_row, "humidity")
+
+    def test_regression_tree_rejects_empty_table(self, weather):
+        with pytest.raises(EmptyInputError, match="empty"):
+            RegressionTree().fit(weather.take([]), "humidity")
