@@ -29,14 +29,15 @@ class SlowCheckpointer(Checkpointer):
         time.sleep(0.01)
 
 
-def mine(db, min_support, checkpoint=None):
-    if checkpoint is not None:
-        checkpoint = SlowCheckpointer(
+def mine(db, min_support, ctx=None):
+    if ctx is not None and ctx.checkpointer is not None:
+        checkpoint = ctx.checkpointer
+        ctx = ctx.replace(checkpointer=SlowCheckpointer(
             checkpoint.store,
             every=checkpoint.every,
             resume=checkpoint.resume_requested,
-        )
-    return apriori(db, min_support, checkpoint=checkpoint)
+        ))
+    return apriori(db, min_support, ctx=ctx)
 
 
 def main() -> int:

@@ -36,6 +36,45 @@ from .reference import brute_force
 from .rules import AssociationRule, filter_rules, generate_rules
 from .sampling import negative_border, sampling_miner
 
+from ..registry import (
+    AlgorithmSpec as _Spec,
+    Capabilities as _Caps,
+    register as _register,
+)
+from ..runtime.context import (
+    BASIC_POLICIES as _BASIC,
+    LEVELWISE_POLICIES as _LEVELWISE,
+)
+
+# Capability declarations: the CLI (choices, flag gating, budget wiring)
+# and the conformance sweep derive everything from this table.  The
+# order fixes the CLI ``--miner`` choices.  ``sampling_miner`` and
+# ``apriori_hybrid`` take no runtime plumbing and stay unregistered.
+_LEVELWISE_CAPS = _Caps(
+    checkpointable=True, supervisable=True,
+    budget_resource="candidates", degradation_policies=_LEVELWISE,
+)
+_DEPTH_FIRST_CAPS = _Caps(
+    checkpointable=True, supervisable=True,
+    budget_resource="candidates", degradation_policies=_BASIC,
+)
+for _spec in (
+    _Spec("apriori", "associations", apriori, _LEVELWISE_CAPS,
+          summary="levelwise mining with hash-tree counting (VLDB '94)"),
+    _Spec("fp_growth", "associations", fp_growth,
+          _Caps(budget_resource="candidates", degradation_policies=_BASIC),
+          summary="pattern growth without candidate generation"),
+    _Spec("eclat", "associations", eclat, _DEPTH_FIRST_CAPS,
+          summary="vertical tidset intersection, depth-first"),
+    _Spec("apriori_tid", "associations", apriori_tid, _LEVELWISE_CAPS,
+          summary="levelwise over transformed transaction lists"),
+    _Spec("dhp", "associations", dhp, _LEVELWISE_CAPS,
+          summary="hash-filtered pass 2 (Park/Chen/Yu)"),
+    _Spec("partition", "associations", partition_miner, _DEPTH_FIRST_CAPS,
+          summary="two-scan partitioned mining (Savasere et al.)"),
+):
+    _register(_spec)
+
 __all__ = [
     "apriori",
     "apriori_tid",

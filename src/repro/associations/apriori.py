@@ -18,6 +18,12 @@ from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset, PassStats
 from ..core.transactions import TransactionDatabase
 from ..runtime import Budget, BudgetExceeded, Checkpointer
+from ..runtime.context import (
+    LEVELWISE_POLICIES,
+    ExecutionContext,
+    check_degradation_policy,
+    resolve_context,
+)
 from .candidates import apriori_gen
 from .hash_tree import HashTree
 
@@ -25,7 +31,8 @@ from .hash_tree import HashTree
 CANDIDATE_STORES = ("hash_tree", "dict")
 
 #: budget-exhaustion policies accepted by the levelwise miners
-ON_EXHAUSTED = ("raise", "truncate", "partition", "sampling")
+#: (compat alias of :data:`repro.runtime.context.LEVELWISE_POLICIES`)
+ON_EXHAUSTED = LEVELWISE_POLICIES
 
 
 def min_count_from_support(n_transactions: int, min_support: float) -> int:
@@ -79,6 +86,7 @@ def apriori(
     budget: Optional[Budget] = None,
     on_exhausted: str = "raise",
     checkpoint: Optional[Checkpointer] = None,
+    ctx: Optional[ExecutionContext] = None,
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with the Apriori algorithm.
 
@@ -95,7 +103,8 @@ def apriori(
         per-candidate subset check (O(|t| choose k) per transaction; fine
         for short transactions, used mostly for cross-validation in tests).
     budget:
-        Optional :class:`~repro.runtime.Budget` checked once per pass,
+        Deprecated alias for ``ctx=ExecutionContext(budget=...)``:
+        optional :class:`~repro.runtime.Budget` checked once per pass,
         per generated candidate, and periodically during counting scans.
         ``None`` (the default) skips every check.
     on_exhausted:
@@ -109,11 +118,16 @@ def apriori(
         returning the (still truncated) union.  Cancellation always
         propagates regardless of this setting.
     checkpoint:
-        Optional :class:`~repro.runtime.Checkpointer`.  The state of
+        Deprecated alias for ``ctx=ExecutionContext(checkpointer=...)``:
+        optional :class:`~repro.runtime.Checkpointer`.  The state of
         every completed pass is marked (and periodically persisted) so
         an interrupted run resumes from its last completed pass; any
         exit — normal, exhausted, cancelled — flushes a final snapshot.
         ``None`` (the default) is byte-identical to no checkpointing.
+    ctx:
+        Optional :class:`~repro.runtime.ExecutionContext` bundling
+        budget, checkpointer, cancellation and progress hooks.  The
+        default null context is byte-identical to a bare call.
 
     Returns
     -------
@@ -133,20 +147,21 @@ def apriori(
             f"candidate_store must be one of {CANDIDATE_STORES}, "
             f"got {candidate_store!r}"
         )
-    check_on_exhausted(on_exhausted)
+    ctx = resolve_context(ctx, budget=budget, checkpoint=checkpoint,
+                          owner="apriori")
+    check_degradation_policy(on_exhausted, LEVELWISE_POLICIES, "apriori")
+    ctx.raise_if_cancelled()
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
     check_nonempty("transaction database", n, "transactions")
     min_count = min_count_from_support(n, min_support)
 
-    key = None
-    if checkpoint is not None:
-        key = checkpoint_key(
-            "apriori", db, min_support,
-            max_size=max_size, candidate_store=candidate_store,
-        )
-    resumed = checkpoint.resume(key) if checkpoint is not None else None
+    budget = ctx.budget
+    resumed = ctx.resume(lambda: checkpoint_key(
+        "apriori", db, min_support,
+        max_size=max_size, candidate_store=candidate_store,
+    ))
     if resumed is not None:
         k = resumed["k"]
         frequent = resumed["frequent"]
@@ -166,14 +181,11 @@ def apriori(
         )
         all_frequent = dict(frequent)
         k = 2
-        if checkpoint is not None:
-            checkpoint.mark(key, levelwise_state(k, frequent, all_frequent, stats))
+        ctx.mark(lambda: levelwise_state(k, frequent, all_frequent, stats))
 
     try:
         while frequent and (max_size is None or k <= max_size):
-            if budget is not None:
-                budget.check(phase=f"pass-{k}")
-                budget.progress(f"pass-{k}", n_frequent_prev=len(frequent))
+            ctx.step(f"pass-{k}", n_frequent_prev=len(frequent))
             started = time.perf_counter()
             candidates = apriori_gen(frequent, budget)
             if not candidates:
@@ -193,8 +205,7 @@ def apriori(
             )
             all_frequent.update(frequent)
             k += 1
-            if checkpoint is not None:
-                checkpoint.mark(key, levelwise_state(k, frequent, all_frequent, stats))
+            ctx.mark(lambda: levelwise_state(k, frequent, all_frequent, stats))
     except BudgetExceeded as exc:
         if on_exhausted == "raise":
             raise
@@ -202,8 +213,7 @@ def apriori(
             db, min_support, all_frequent, stats, k, exc, on_exhausted
         )
     finally:
-        if checkpoint is not None:
-            checkpoint.flush()
+        ctx.flush()
 
     result = FrequentItemsets(all_frequent, n, min_support)
     result.pass_stats = stats
@@ -223,14 +233,6 @@ def levelwise_state(k, frequent, all_frequent, stats) -> dict:
         "all_frequent": dict(all_frequent),
         "stats": list(stats),
     }
-
-
-def check_on_exhausted(on_exhausted: str) -> None:
-    """Validate an ``on_exhausted`` policy name."""
-    if on_exhausted not in ON_EXHAUSTED:
-        raise ValidationError(
-            f"on_exhausted must be one of {ON_EXHAUSTED}, got {on_exhausted!r}"
-        )
 
 
 def degrade_levelwise(
@@ -310,7 +312,6 @@ __all__ = [
     "frequent_one_itemsets",
     "levelwise_state",
     "min_count_from_support",
-    "check_on_exhausted",
     "degrade_levelwise",
     "CANDIDATE_STORES",
     "ON_EXHAUSTED",

@@ -21,8 +21,13 @@ from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset, PassStats
 from ..core.transactions import TransactionDatabase
 from ..runtime import Budget, BudgetExceeded, Checkpointer
+from ..runtime.context import (
+    LEVELWISE_POLICIES,
+    ExecutionContext,
+    check_degradation_policy,
+    resolve_context,
+)
 from .apriori import (
-    check_on_exhausted,
     checkpoint_key,
     degrade_levelwise,
     frequent_one_itemsets,
@@ -39,6 +44,7 @@ def apriori_tid(
     budget: Optional[Budget] = None,
     on_exhausted: str = "raise",
     checkpoint: Optional[Checkpointer] = None,
+    ctx: Optional[ExecutionContext] = None,
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with the AprioriTid algorithm.
 
@@ -55,17 +61,20 @@ def apriori_tid(
     >>> apriori_tid(db, 0.5).supports[(0, 1)]
     2
     """
-    check_on_exhausted(on_exhausted)
+    ctx = resolve_context(ctx, budget=budget, checkpoint=checkpoint,
+                          owner="apriori_tid")
+    check_degradation_policy(on_exhausted, LEVELWISE_POLICIES, "apriori_tid")
+    ctx.raise_if_cancelled()
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
     check_nonempty("transaction database", n, "transactions")
     min_count = min_count_from_support(n, min_support)
 
-    key = None
-    if checkpoint is not None:
-        key = checkpoint_key("apriori_tid", db, min_support, max_size=max_size)
-    resumed = checkpoint.resume(key) if checkpoint is not None else None
+    resumed = ctx.resume(
+        lambda: checkpoint_key("apriori_tid", db, min_support,
+                               max_size=max_size)
+    )
     if resumed is not None:
         frequent = resumed["frequent"]
         all_frequent: Dict[Itemset, int] = resumed["all_frequent"]
@@ -91,13 +100,13 @@ def apriori_tid(
             if present:
                 tidlists.append((tid, present))
         start_k = 2
-        if checkpoint is not None:
-            checkpoint.mark(key, _tid_state(start_k, frequent, all_frequent, stats, tidlists))
+        ctx.mark(lambda: _tid_state(start_k, frequent, all_frequent, stats,
+                                    tidlists))
 
     try:
         return _mine_levelwise(
-            db, min_support, max_size, min_count, budget, frequent,
-            all_frequent, tidlists, stats, n, start_k, checkpoint, key,
+            db, min_support, max_size, min_count, frequent,
+            all_frequent, tidlists, stats, n, start_k, ctx,
         )
     except BudgetExceeded as exc:
         if on_exhausted == "raise":
@@ -109,8 +118,7 @@ def apriori_tid(
             db, min_support, all_frequent, stats, k, exc, on_exhausted
         )
     finally:
-        if checkpoint is not None:
-            checkpoint.flush()
+        ctx.flush()
 
 
 def _tid_state(k, frequent, all_frequent, stats, tidlists) -> dict:
@@ -120,14 +128,13 @@ def _tid_state(k, frequent, all_frequent, stats, tidlists) -> dict:
 
 
 def _mine_levelwise(
-    db, min_support, max_size, min_count, budget, frequent,
-    all_frequent, tidlists, stats, n, start_k, checkpoint, key,
+    db, min_support, max_size, min_count, frequent,
+    all_frequent, tidlists, stats, n, start_k, ctx,
 ) -> FrequentItemsets:
+    budget = ctx.budget
     k = start_k
     while frequent and (max_size is None or k <= max_size):
-        if budget is not None:
-            budget.check(phase=f"pass-{k}")
-            budget.progress(f"pass-{k}", n_entries=len(tidlists))
+        ctx.step(f"pass-{k}", n_entries=len(tidlists))
         started = time.perf_counter()
         candidates = apriori_gen(frequent, budget)
         if not candidates:
@@ -172,8 +179,8 @@ def _mine_levelwise(
             if kept:
                 tidlists.append((tid, kept))
         k += 1
-        if checkpoint is not None:
-            checkpoint.mark(key, _tid_state(k, frequent, all_frequent, stats, tidlists))
+        ctx.mark(lambda: _tid_state(k, frequent, all_frequent, stats,
+                                    tidlists))
 
     result = FrequentItemsets(all_frequent, n, min_support)
     result.pass_stats = stats

@@ -19,8 +19,13 @@ from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset, PassStats
 from ..core.transactions import TransactionDatabase
 from ..runtime import Budget, BudgetExceeded, Checkpointer
+from ..runtime.context import (
+    LEVELWISE_POLICIES,
+    ExecutionContext,
+    check_degradation_policy,
+    resolve_context,
+)
 from .apriori import (
-    check_on_exhausted,
     checkpoint_key,
     degrade_levelwise,
     levelwise_state,
@@ -38,6 +43,7 @@ def dhp(
     budget: Optional[Budget] = None,
     on_exhausted: str = "raise",
     checkpoint: Optional[Checkpointer] = None,
+    ctx: Optional[ExecutionContext] = None,
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with DHP's hash-filtered pass 2.
 
@@ -68,7 +74,10 @@ def dhp(
     2
     """
     check_in_range("n_buckets", n_buckets, 1, None)
-    check_on_exhausted(on_exhausted)
+    ctx = resolve_context(ctx, budget=budget, checkpoint=checkpoint,
+                          owner="dhp")
+    check_degradation_policy(on_exhausted, LEVELWISE_POLICIES, "dhp")
+    ctx.raise_if_cancelled()
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
@@ -77,20 +86,17 @@ def dhp(
     stats = []
     all_frequent: Dict[Itemset, int] = {}
 
-    key = None
-    if checkpoint is not None:
-        key = checkpoint_key(
-            "dhp", db, min_support, max_size=max_size, n_buckets=n_buckets
-        )
-    resumed = checkpoint.resume(key) if checkpoint is not None else None
+    resumed = ctx.resume(lambda: checkpoint_key(
+        "dhp", db, min_support, max_size=max_size, n_buckets=n_buckets
+    ))
     if resumed is not None:
         stats.extend(resumed["stats"])
         all_frequent.update(resumed["all_frequent"])
 
     try:
         return _dhp_mine(
-            db, min_support, n_buckets, max_size, budget, min_count, stats,
-            all_frequent, n, checkpoint, key, resumed,
+            db, min_support, n_buckets, max_size, min_count, stats,
+            all_frequent, n, ctx, resumed,
         )
     except BudgetExceeded as exc:
         if on_exhausted == "raise":
@@ -104,14 +110,14 @@ def dhp(
         result.c2_filtered = 0
         return result
     finally:
-        if checkpoint is not None:
-            checkpoint.flush()
+        ctx.flush()
 
 
 def _dhp_mine(
-    db, min_support, n_buckets, max_size, budget, min_count, stats,
-    all_frequent, n, checkpoint=None, key=None, resumed=None,
+    db, min_support, n_buckets, max_size, min_count, stats,
+    all_frequent, n, ctx, resumed=None,
 ) -> FrequentItemsets:
+    budget = ctx.budget
     # ------------------------------------------------------------------
     # Pass 1: item counts + the 2-subset hash filter.
     # ------------------------------------------------------------------
@@ -135,10 +141,13 @@ def _dhp_mine(
             PassStats(1, db.n_items, len(frequent), time.perf_counter() - started)
         )
         all_frequent.update(frequent)
-        if checkpoint is not None:
+
+        def _pass2_state(frequent=frequent, buckets=buckets):
             state = levelwise_state(2, frequent, all_frequent, stats)
             state.update(stage="pass-2", buckets=list(buckets))
-            checkpoint.mark(key, state)
+            return state
+
+        ctx.mark(_pass2_state)
     elif resumed["stage"] == "pass-2":
         frequent = resumed["frequent"]
         buckets = resumed["buckets"]
@@ -182,18 +191,14 @@ def _dhp_mine(
             c2_unfiltered = c2_filtered = 0
             frequent = {}
         k = 3
-        if checkpoint is not None:
-            state = levelwise_state(k, frequent, all_frequent, stats)
-            state.update(stage="passes", c2=(c2_unfiltered, c2_filtered))
-            checkpoint.mark(key, state)
+        ctx.mark(lambda: _passes_state(k, frequent, all_frequent, stats,
+                                       c2_unfiltered, c2_filtered))
 
     # ------------------------------------------------------------------
     # Passes 3+: standard Apriori.
     # ------------------------------------------------------------------
     while frequent and (max_size is None or k <= max_size):
-        if budget is not None:
-            budget.check(phase=f"pass-{k}")
-            budget.progress(f"pass-{k}", n_frequent_prev=len(frequent))
+        ctx.step(f"pass-{k}", n_frequent_prev=len(frequent))
         started = time.perf_counter()
         candidates = apriori_gen(frequent, budget)
         if not candidates:
@@ -205,16 +210,21 @@ def _dhp_mine(
         )
         all_frequent.update(frequent)
         k += 1
-        if checkpoint is not None:
-            state = levelwise_state(k, frequent, all_frequent, stats)
-            state.update(stage="passes", c2=(c2_unfiltered, c2_filtered))
-            checkpoint.mark(key, state)
+        ctx.mark(lambda: _passes_state(k, frequent, all_frequent, stats,
+                                       c2_unfiltered, c2_filtered))
 
     result = FrequentItemsets(all_frequent, n, min_support)
     result.pass_stats = stats
     result.c2_unfiltered = c2_unfiltered
     result.c2_filtered = c2_filtered
     return result
+
+
+def _passes_state(k, frequent, all_frequent, stats, c2_unfiltered,
+                  c2_filtered) -> dict:
+    state = levelwise_state(k, frequent, all_frequent, stats)
+    state.update(stage="passes", c2=(c2_unfiltered, c2_filtered))
+    return state
 
 
 def _bucket(a: int, b: int, n_buckets: int) -> int:

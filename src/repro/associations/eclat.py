@@ -20,6 +20,12 @@ from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset
 from ..core.transactions import TransactionDatabase
 from ..runtime import Budget, BudgetExceeded, Checkpointer
+from ..runtime.context import (
+    BASIC_POLICIES,
+    ExecutionContext,
+    check_degradation_policy,
+    resolve_context,
+)
 from .apriori import checkpoint_key, min_count_from_support
 
 
@@ -30,6 +36,7 @@ def eclat(
     budget: Optional[Budget] = None,
     on_exhausted: str = "raise",
     checkpoint: Optional[Checkpointer] = None,
+    ctx: Optional[ExecutionContext] = None,
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with Eclat (vertical DFS).
 
@@ -52,11 +59,10 @@ def eclat(
     >>> eclat(db, 0.5).supports[(1, 2)]
     2
     """
-    if on_exhausted not in ("raise", "truncate"):
-        raise ValidationError(
-            f"on_exhausted must be 'raise' or 'truncate' for eclat, "
-            f"got {on_exhausted!r}"
-        )
+    ctx = resolve_context(ctx, budget=budget, checkpoint=checkpoint,
+                          owner="eclat")
+    check_degradation_policy(on_exhausted, BASIC_POLICIES, "eclat")
+    ctx.raise_if_cancelled()
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
@@ -72,10 +78,10 @@ def eclat(
         if len(tids) >= min_count
     ]
 
-    key = None
-    if checkpoint is not None:
-        key = checkpoint_key("eclat", db, min_support, max_size=max_size)
-    resumed = checkpoint.resume(key) if checkpoint is not None else None
+    budget = ctx.budget
+    resumed = ctx.resume(
+        lambda: checkpoint_key("eclat", db, min_support, max_size=max_size)
+    )
     if resumed is not None:
         frequent: Dict[Itemset, int] = resumed["frequent"]
         start = resumed["next_root"]
@@ -84,22 +90,16 @@ def eclat(
         for itemset, tids in root:
             frequent[itemset] = len(tids)
         start = 0
-        if checkpoint is not None:
-            checkpoint.mark(key, {"next_root": 0, "frequent": dict(frequent)})
+        ctx.mark(lambda: {"next_root": 0, "frequent": dict(frequent)})
 
     try:
         for i in range(start, len(root)):
-            if budget is not None:
-                budget.check(phase=f"eclat-root-{i}")
-                budget.progress(f"eclat-root-{i}", n_frequent=len(frequent))
+            ctx.step(f"eclat-root-{i}", n_frequent=len(frequent))
             itemset, tids = root[i]
             _expand_member(
                 root, i, itemset, tids, min_count, max_size, frequent, budget
             )
-            if checkpoint is not None:
-                checkpoint.mark(
-                    key, {"next_root": i + 1, "frequent": dict(frequent)}
-                )
+            ctx.mark(lambda: {"next_root": i + 1, "frequent": dict(frequent)})
     except BudgetExceeded as exc:
         if on_exhausted == "raise":
             raise
@@ -111,8 +111,7 @@ def eclat(
             truncation_reason=f"{type(exc).__name__}: {exc}",
         )
     finally:
-        if checkpoint is not None:
-            checkpoint.flush()
+        ctx.flush()
     return FrequentItemsets(frequent, n, min_support)
 
 

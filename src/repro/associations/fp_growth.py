@@ -21,6 +21,12 @@ from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset
 from ..core.transactions import TransactionDatabase
 from ..runtime import Budget, BudgetExceeded
+from ..runtime.context import (
+    BASIC_POLICIES,
+    ExecutionContext,
+    check_degradation_policy,
+    resolve_context,
+)
 from .apriori import min_count_from_support
 
 
@@ -103,6 +109,7 @@ def fp_growth(
     max_size: Optional[int] = None,
     budget: Optional[Budget] = None,
     on_exhausted: str = "raise",
+    ctx: Optional[ExecutionContext] = None,
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with FP-Growth.
 
@@ -115,6 +122,9 @@ def fp_growth(
     single-path emission, FP-Growth's blow-up site).  ``on_exhausted``
     supports ``"raise"`` and ``"truncate"`` — FP-Growth has no cheaper
     fallback miner, so the partition/sampling policies are rejected.
+    ``budget`` is a deprecated alias for ``ctx=ExecutionContext(budget=...)``;
+    FP-Growth has no resumable boundary, so it declares no checkpoint
+    support.
 
     Examples
     --------
@@ -122,11 +132,10 @@ def fp_growth(
     >>> fp_growth(db, 0.5).supports[(0, 2)]
     2
     """
-    if on_exhausted not in ("raise", "truncate"):
-        raise ValidationError(
-            f"on_exhausted must be 'raise' or 'truncate' for fp_growth, "
-            f"got {on_exhausted!r}"
-        )
+    ctx = resolve_context(ctx, budget=budget, owner="fp_growth")
+    check_degradation_policy(on_exhausted, BASIC_POLICIES, "fp_growth")
+    ctx.raise_if_cancelled()
+    budget = ctx.budget
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)

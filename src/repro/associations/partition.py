@@ -26,6 +26,12 @@ from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset
 from ..core.transactions import TransactionDatabase
 from ..runtime import Budget, BudgetExceeded, Checkpointer
+from ..runtime.context import (
+    BASIC_POLICIES,
+    ExecutionContext,
+    check_degradation_policy,
+    resolve_context,
+)
 from .apriori import checkpoint_key, min_count_from_support
 
 
@@ -37,6 +43,7 @@ def partition_miner(
     budget: Optional[Budget] = None,
     on_exhausted: str = "raise",
     checkpoint: Optional[Checkpointer] = None,
+    ctx: Optional[ExecutionContext] = None,
 ) -> FrequentItemsets:
     """Mine frequent itemsets with the two-scan Partition algorithm.
 
@@ -70,11 +77,10 @@ def partition_miner(
     2
     """
     check_in_range("n_partitions", n_partitions, 1, None)
-    if on_exhausted not in ("raise", "truncate"):
-        raise ValidationError(
-            f"on_exhausted must be 'raise' or 'truncate' for "
-            f"partition_miner, got {on_exhausted!r}"
-        )
+    ctx = resolve_context(ctx, budget=budget, checkpoint=checkpoint,
+                          owner="partition_miner")
+    check_degradation_policy(on_exhausted, BASIC_POLICIES, "partition_miner")
+    ctx.raise_if_cancelled()
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
     n = len(db)
@@ -83,13 +89,11 @@ def partition_miner(
     min_count = min_count_from_support(n, min_support)
     bounds = _partition_bounds(n, n_partitions)
 
-    key = None
-    if checkpoint is not None:
-        key = checkpoint_key(
-            "partition", db, min_support,
-            max_size=max_size, n_partitions=n_partitions,
-        )
-    resumed = checkpoint.resume(key) if checkpoint is not None else None
+    budget = ctx.budget
+    resumed = ctx.resume(lambda: checkpoint_key(
+        "partition", db, min_support,
+        max_size=max_size, n_partitions=n_partitions,
+    ))
     candidates: Set[Itemset] = set()
     start = 0
     if resumed is not None:
@@ -101,9 +105,7 @@ def partition_miner(
     # ------------------------------------------------------------------
     try:
         for p in range(start, len(bounds)):
-            if budget is not None:
-                budget.check(phase=f"partition-{p}")
-                budget.progress(f"partition-{p}", n_candidates=len(candidates))
+            ctx.step(f"partition-{p}", n_candidates=len(candidates))
             begin, stop = bounds[p]
             local_min_count = max(
                 1, math.ceil(min_support * (stop - begin))
@@ -111,11 +113,9 @@ def partition_miner(
             candidates |= _mine_partition(
                 db, begin, stop, local_min_count, max_size, budget
             )
-            if checkpoint is not None:
-                checkpoint.mark(
-                    key,
-                    {"next_partition": p + 1, "candidates": sorted(candidates)},
-                )
+            ctx.mark(lambda: {
+                "next_partition": p + 1, "candidates": sorted(candidates),
+            })
 
         # --------------------------------------------------------------
         # Scan 2: global counting of the candidate union.
@@ -133,8 +133,7 @@ def partition_miner(
             truncation_reason=f"{type(exc).__name__}: {exc}",
         )
     finally:
-        if checkpoint is not None:
-            checkpoint.flush()
+        ctx.flush()
     return FrequentItemsets(supports, n, min_support)
 
 

@@ -55,6 +55,36 @@ from .tree_model import (
     render_tree,
 )
 
+from ..registry import (
+    AlgorithmSpec as _Spec,
+    Capabilities as _Caps,
+    register as _register,
+)
+
+# Capability declarations (see repro.registry).  Every classifier is a
+# deterministic fit, so all are supervisable via restart-from-scratch;
+# only the tree growers charge a budget (one node unit per attempted
+# split).  The order fixes the CLI ``--classifier`` choices.
+_TREE_CAPS = _Caps(supervisable=True, budget_resource="nodes")
+_PLAIN_CAPS = _Caps(supervisable=True)
+for _spec in (
+    _Spec("c45", "classification", C45, _TREE_CAPS,
+          summary="gain-ratio tree with pessimistic pruning"),
+    _Spec("cart", "classification", CART, _TREE_CAPS,
+          summary="binary Gini tree with cost-complexity pruning"),
+    _Spec("sliq", "classification", SLIQ, _TREE_CAPS,
+          summary="breadth-first tree over pre-sorted attribute lists"),
+    _Spec("nb", "classification", NaiveBayes, _PLAIN_CAPS,
+          summary="Gaussian + Laplace-smoothed naive Bayes"),
+    _Spec("knn", "classification", KNN, _PLAIN_CAPS,
+          summary="lazy nearest-neighbour voting"),
+    _Spec("oner", "classification", OneR, _PLAIN_CAPS,
+          summary="best single-attribute rule set"),
+    _Spec("zeror", "classification", ZeroR, _PLAIN_CAPS,
+          summary="majority-class floor"),
+):
+    _register(_spec)
+
 __all__ = [
     "ID3",
     "C45",

@@ -26,6 +26,9 @@ class ZeroR(Classifier):
     'yes'
     """
 
+    def __init__(self, ctx=None):
+        self._init_context(ctx)
+
     def _fit(self, features: Table, y: np.ndarray, target: Attribute) -> None:
         counts = np.bincount(y, minlength=len(target.values))
         self._majority = int(np.argmax(counts))
@@ -53,9 +56,10 @@ class OneR(Classifier):
         Bins used for numeric attributes.
     """
 
-    def __init__(self, n_bins: int = 6):
+    def __init__(self, n_bins: int = 6, ctx=None):
         check_in_range("n_bins", n_bins, 2, None)
         self.n_bins = int(n_bins)
+        self._init_context(ctx)
         self.rule_attribute_: Optional[str] = None
 
     def _fit(self, features: Table, y: np.ndarray, target: Attribute) -> None:

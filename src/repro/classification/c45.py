@@ -25,6 +25,7 @@ from ..core.base import Classifier, check_in_range
 from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..core.table import Attribute, Table
 from ..runtime import Budget, BudgetExceeded
+from ..runtime.context import ExecutionContext
 from .criteria import entropy, gain_ratio, information_gain, split_information
 from .pruning import pessimistic_prune
 from .tree_model import (
@@ -59,7 +60,8 @@ class C45(Classifier):
         Confidence level for the pessimistic error estimate (Quinlan's
         default 0.25).
     budget:
-        Optional :class:`~repro.runtime.Budget`, charged one node unit
+        Deprecated alias for ``ctx=ExecutionContext(budget=...)``:
+        optional :class:`~repro.runtime.Budget`, charged one node unit
         per attempted split and checked at every node.  On exhaustion
         the grower stops splitting, finalizes the remaining frontier as
         leaves, and sets ``truncated_ = True`` — the tree is complete
@@ -81,6 +83,7 @@ class C45(Classifier):
         prune: bool = True,
         confidence: float = 0.25,
         budget: Optional[Budget] = None,
+        ctx: Optional[ExecutionContext] = None,
     ):
         if max_depth is not None and max_depth < 1:
             raise ValidationError(f"max_depth must be >= 1, got {max_depth}")
@@ -91,7 +94,7 @@ class C45(Classifier):
         self.min_gain = min_gain
         self.prune = prune
         self.confidence = confidence
-        self.budget = budget
+        self._init_context(ctx, budget=budget)
         self.tree_: Optional[TreeNode] = None
         self.truncated_ = False
         self.truncation_reason_: Optional[str] = None

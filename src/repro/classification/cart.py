@@ -25,6 +25,7 @@ from ..core.base import Classifier, check_in_range
 from ..core.exceptions import ValidationError
 from ..core.table import Attribute, Table
 from ..runtime import Budget, BudgetExceeded
+from ..runtime.context import ExecutionContext
 from .criteria import entropy, gini
 from .pruning import prune_to_alpha
 from .tree_model import (
@@ -58,7 +59,8 @@ class CART(Classifier):
         ordered by the node's majority-class proportion and only the
         resulting linear splits are scanned (exact for binary targets).
     budget:
-        Optional :class:`~repro.runtime.Budget`, charged one node unit
+        Deprecated alias for ``ctx=ExecutionContext(budget=...)``:
+        optional :class:`~repro.runtime.Budget`, charged one node unit
         per attempted split.  On exhaustion growth stops, the remaining
         frontier finalizes as leaves, and ``truncated_`` is set.
 
@@ -80,6 +82,7 @@ class CART(Classifier):
         ccp_alpha: float = 0.0,
         max_exhaustive_categories: int = 8,
         budget: Optional[Budget] = None,
+        ctx: Optional[ExecutionContext] = None,
     ):
         if criterion not in _CRITERIA:
             raise ValidationError(
@@ -98,7 +101,7 @@ class CART(Classifier):
         self.min_impurity_decrease = min_impurity_decrease
         self.ccp_alpha = ccp_alpha
         self.max_exhaustive_categories = max_exhaustive_categories
-        self.budget = budget
+        self._init_context(ctx, budget=budget)
         self.tree_: Optional[TreeNode] = None
         self.truncated_ = False
         self.truncation_reason_: Optional[str] = None

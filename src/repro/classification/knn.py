@@ -59,6 +59,7 @@ class KNN(Classifier):
         metric: str = "euclidean",
         weights: str = "uniform",
         block_size: int = 1024,
+        ctx=None,
     ):
         check_in_range("n_neighbors", n_neighbors, 1, None)
         if metric not in _METRICS:
@@ -71,6 +72,7 @@ class KNN(Classifier):
         self.metric = metric
         self.weights = weights
         self.block_size = int(block_size)
+        self._init_context(ctx)
         self._train_numeric: Optional[np.ndarray] = None
 
     def _fit(self, features: Table, y: np.ndarray, target: Attribute) -> None:

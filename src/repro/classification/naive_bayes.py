@@ -46,11 +46,13 @@ class NaiveBayes(Classifier):
     True
     """
 
-    def __init__(self, laplace: float = 1.0, var_floor: float = 1e-9):
+    def __init__(self, laplace: float = 1.0, var_floor: float = 1e-9,
+                 ctx=None):
         check_in_range("laplace", laplace, 0.0, None, low_inclusive=False)
         check_in_range("var_floor", var_floor, 0.0, None, low_inclusive=False)
         self.laplace = laplace
         self.var_floor = var_floor
+        self._init_context(ctx)
         self.class_log_prior_: Optional[np.ndarray] = None
 
     def _fit(self, features: Table, y: np.ndarray, target: Attribute) -> None:

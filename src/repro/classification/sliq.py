@@ -26,6 +26,7 @@ from ..core.base import Classifier, check_in_range
 from ..core.exceptions import ValidationError
 from ..core.table import Attribute, Table
 from ..runtime import Budget, BudgetExceeded
+from ..runtime.context import ExecutionContext
 from .criteria import gini
 from .pruning import pessimistic_prune
 from .tree_model import (
@@ -74,7 +75,8 @@ class SLIQ(Classifier):
         pruning — both collapse statistically unjustified subtrees; the
         substitution is recorded in DESIGN.md).
     budget:
-        Optional :class:`~repro.runtime.Budget`, checked once per level
+        Deprecated alias for ``ctx=ExecutionContext(budget=...)``:
+        optional :class:`~repro.runtime.Budget`, checked once per level
         and charged two node units per applied split.  On exhaustion the
         still-growing frontier finalizes as leaves and ``truncated_`` is
         set — breadth-first growth makes the budgeted tree a balanced
@@ -101,6 +103,7 @@ class SLIQ(Classifier):
         prune: bool = False,
         max_exhaustive_categories: int = 8,
         budget: Optional[Budget] = None,
+        ctx: Optional[ExecutionContext] = None,
     ):
         if max_depth is not None and max_depth < 1:
             raise ValidationError(f"max_depth must be >= 1, got {max_depth}")
@@ -112,7 +115,7 @@ class SLIQ(Classifier):
         self.min_gini_decrease = min_gini_decrease
         self.prune = prune
         self.max_exhaustive_categories = max_exhaustive_categories
-        self.budget = budget
+        self._init_context(ctx, budget=budget)
         self.tree_: Optional[TreeNode] = None
         self.truncated_ = False
         self.truncation_reason_: Optional[str] = None

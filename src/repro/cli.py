@@ -1,26 +1,35 @@
 """Command-line interface: ``repro <command>``.
 
-Four commands cover the library's workflows without writing Python:
+Five commands cover the library's workflows without writing Python:
 
-* ``repro mine``      — frequent itemsets + rules from a FIMI-format
+* ``repro mine``       — frequent itemsets + rules from a FIMI-format
   transaction file (one transaction per line, integer items).
-* ``repro classify``  — train and evaluate a classifier on a typed CSV
+* ``repro classify``   — train and evaluate a classifier on a typed CSV
   (headers ``name:num`` / ``name:cat``, see
   :mod:`repro.datasets.io`).
-* ``repro cluster``   — cluster the numeric columns of a typed CSV.
-* ``repro generate``  — emit synthetic workloads (basket / table /
+* ``repro cluster``    — cluster the numeric columns of a typed CSV.
+* ``repro generate``   — emit synthetic workloads (basket / table /
   blobs) for the other commands to consume.
+* ``repro algorithms`` — list every registered algorithm with its
+  declared capabilities.
 
 Every command prints a compact human-readable report to stdout and
 exits non-zero on invalid input.
 
+Dispatch is entirely table-driven: subcommand choices, budget wiring,
+checkpoint/supervision gating and the usage-error messages all derive
+from the capability declarations in :mod:`repro.registry`.  Adding an
+algorithm means registering it in its family package — this module
+never changes.
+
 ``mine``, ``classify`` and ``cluster`` accept execution-budget flags:
 ``--time-limit SECONDS`` bounds wall-clock time and ``--max-candidates N``
-bounds the dominant resource (generated candidates for ``mine``, tree
-nodes for ``classify``, optimisation steps for ``cluster``).  When a
-budget runs out the command still exits 0, reporting the partial result
-with a ``NOTE: budget exhausted`` line; without these flags the commands
-run exactly as before, unbudgeted.
+bounds the dominant resource (the axis each algorithm declares as its
+``budget_resource`` capability: generated candidates for the miners,
+tree nodes for the tree growers, optimisation steps for most
+clusterers).  When a budget runs out the command still exits 0,
+reporting the partial result with a ``NOTE: budget exhausted`` line;
+without these flags the commands run exactly as before, unbudgeted.
 
 ``mine`` and ``cluster`` additionally accept crash-safety flags:
 ``--checkpoint-dir DIR`` persists a snapshot at every ``--checkpoint-every``
@@ -104,18 +113,19 @@ def _add_supervise_flags(sub: argparse.ArgumentParser) -> None:
     )
 
 
-def _usage_error(args, checkpointable: bool, algorithm: str) -> Optional[str]:
+def _usage_error(args, caps, algorithm: str) -> Optional[str]:
     """One-line actionable message for a bad flag combination, or None.
 
-    Centralises the CLI's exit-2 contract: ``--resume`` without a
-    checkpoint directory, checkpoint/supervision flags on an algorithm
-    that cannot honour them, and hard-limit flags without
+    Centralises the CLI's exit-2 contract against the algorithm's
+    declared :class:`~repro.registry.Capabilities`: ``--resume`` without
+    a checkpoint directory, checkpoint/supervision flags on an algorithm
+    whose capabilities cannot honour them, and hard-limit flags without
     ``--supervise`` all fail fast here — before any data is loaded.
     """
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
     if getattr(args, "resume", False) and checkpoint_dir is None:
         return "--resume requires --checkpoint-dir"
-    if checkpoint_dir is not None and not checkpointable:
+    if checkpoint_dir is not None and not caps.checkpointable:
         return f"{algorithm} does not support --checkpoint-dir/--resume"
     if not args.supervise:
         if args.max_rss_mb is not None:
@@ -123,7 +133,7 @@ def _usage_error(args, checkpointable: bool, algorithm: str) -> Optional[str]:
         if args.hard_time_limit is not None:
             return "--hard-time-limit requires --supervise"
         return None
-    if not checkpointable:
+    if not caps.supervisable:
         return (
             f"{algorithm} does not support checkpoint/resume, so "
             "--supervise cannot recover it after a crash; pick a "
@@ -171,14 +181,16 @@ def _fit_worker(model, table, target):
     return model
 
 
-def _cluster_fit_worker(model, X, checkpoint=None):
+def _cluster_fit_worker(model, X, ctx=None):
     """Supervised-child entry for ``cluster``.
 
-    The supervisor injects ``checkpoint`` per attempt (resuming on
-    relaunch); it must reach the model before ``fit``.
+    The supervisor injects a per-attempt ``ctx`` carrying the resuming
+    checkpointer; it must reach the model before ``fit``.  Only the
+    checkpointer is adopted — the model keeps the budget it was built
+    with.
     """
-    if checkpoint is not None:
-        model.checkpoint = checkpoint
+    if ctx is not None and ctx.checkpointer is not None:
+        model.checkpoint = ctx.checkpointer
     model.fit(X)
     return model
 
@@ -207,8 +219,10 @@ def _with_retries(args, fn):
 def _make_budget(args, resource: str):
     """Budget from the CLI flags, or None when neither flag was given.
 
-    Returning None keeps the unbudgeted call path byte-identical to a
-    build without these flags.
+    ``resource`` is the algorithm's declared ``budget_resource``
+    capability (``"candidates"`` / ``"nodes"`` / ``"expansions"``),
+    mapped onto the matching Budget axis.  Returning None keeps the
+    unbudgeted call path byte-identical to a build without these flags.
     """
     if args.time_limit is None and args.max_candidates is None:
         return None
@@ -216,11 +230,20 @@ def _make_budget(args, resource: str):
 
     kwargs = {"time_limit": args.time_limit}
     if args.max_candidates is not None:
-        kwargs[resource] = args.max_candidates
+        kwargs[f"max_{resource}"] = args.max_candidates
     return Budget(**kwargs)
 
 
+def _make_context(budget=None, checkpoint=None):
+    """ExecutionContext bundling the CLI-built budget and checkpointer."""
+    from .runtime.context import ExecutionContext
+
+    return ExecutionContext(budget=budget, checkpointer=checkpoint)
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from . import registry
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Classic data mining techniques from scratch.",
@@ -233,8 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--min-confidence", type=float, default=0.6)
     mine.add_argument(
         "--miner",
-        choices=["apriori", "fp_growth", "eclat", "apriori_tid", "dhp",
-                 "partition"],
+        choices=list(registry.names("associations")),
         default="apriori",
     )
     mine.add_argument("--top", type=int, default=10,
@@ -248,7 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--target", required=True)
     classify.add_argument(
         "--classifier",
-        choices=["c45", "cart", "sliq", "nb", "knn", "oner", "zeror"],
+        choices=list(registry.names("classification")),
         default="c45",
     )
     classify.add_argument("--test-fraction", type=float, default=0.3)
@@ -264,8 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("path", help="typed CSV (numeric columns used)")
     cluster.add_argument(
         "--algorithm",
-        choices=["kmeans", "pam", "clarans", "birch", "dbscan",
-                 "agglomerative"],
+        choices=list(registry.names("clustering")),
         default="kmeans",
     )
     cluster.add_argument("--k", type=int, default=3)
@@ -287,6 +308,11 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--noise", type=float, default=0.0)
     generate.add_argument("--centers", type=int, default=3)
     generate.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser(
+        "algorithms",
+        help="list registered algorithms and their capabilities",
+    )
     return parser
 
 
@@ -294,48 +320,37 @@ def build_parser() -> argparse.ArgumentParser:
 # Commands
 # ----------------------------------------------------------------------
 def _cmd_mine(args) -> int:
-    from .associations import (
-        apriori,
-        apriori_tid,
-        dhp,
-        eclat,
-        fp_growth,
-        generate_rules,
-        partition_miner,
-    )
+    from . import registry
+    from .associations import generate_rules
     from .datasets import load_transactions
 
-    miners = {
-        "apriori": apriori,
-        "fp_growth": fp_growth,
-        "eclat": eclat,
-        "apriori_tid": apriori_tid,
-        "dhp": dhp,
-        "partition": partition_miner,
-    }
-    usage = _usage_error(
-        args, checkpointable=args.miner != "fp_growth", algorithm=args.miner
-    )
+    spec = registry.get("associations", args.miner)
+    usage = _usage_error(args, spec.capabilities, args.miner)
     if usage is not None:
         print(f"error: {usage}", file=sys.stderr)
         return 2
     db = load_transactions(args.path)
     print(f"{len(db)} transactions, {db.n_items} items, "
           f"avg length {db.avg_transaction_length():.1f}")
-    budget = _make_budget(args, "max_candidates")
+    budget = _make_budget(args, spec.capabilities.budget_resource)
     kwargs = {}
     if budget is not None:
-        kwargs.update(budget=budget, on_exhausted="truncate")
+        kwargs["on_exhausted"] = "truncate"
     if args.supervise:
+        # The supervisor injects a per-attempt checkpointer into this
+        # context (ExecutionContext.replace), so the budget survives
+        # every relaunch.
+        if budget is not None:
+            kwargs["ctx"] = _make_context(budget=budget)
         itemsets = _run_supervised(
-            args, miners[args.miner], db, args.min_support, **kwargs
+            args, spec.factory, db, args.min_support, **kwargs
         )
     else:
         checkpoint = _make_checkpointer(args)
-        if checkpoint is not None:
-            kwargs["checkpoint"] = checkpoint
+        if budget is not None or checkpoint is not None:
+            kwargs["ctx"] = _make_context(budget=budget, checkpoint=checkpoint)
         itemsets = _with_retries(
-            args, lambda: miners[args.miner](db, args.min_support, **kwargs)
+            args, lambda: spec.factory(db, args.min_support, **kwargs)
         )
     if getattr(itemsets, "truncated", False):
         print(f"NOTE: budget exhausted -- partial result "
@@ -352,21 +367,13 @@ def _cmd_mine(args) -> int:
 
 
 def _cmd_classify(args) -> int:
-    from .classification import C45, CART, KNN, SLIQ, NaiveBayes, OneR, ZeroR
+    from . import registry
     from .datasets import load_table
     from .evaluation import classification_report
     from .preprocessing import train_test_split
 
-    classifiers = {
-        "c45": C45,
-        "cart": CART,
-        "sliq": SLIQ,
-        "nb": NaiveBayes,
-        "knn": KNN,
-        "oner": OneR,
-        "zeror": ZeroR,
-    }
-    usage = _usage_error(args, checkpointable=True, algorithm=args.classifier)
+    spec = registry.get("classification", args.classifier)
+    usage = _usage_error(args, spec.capabilities, args.classifier)
     if usage is not None:
         print(f"error: {usage}", file=sys.stderr)
         return 2
@@ -375,15 +382,16 @@ def _cmd_classify(args) -> int:
         table, args.test_fraction, stratify=args.target,
         random_state=args.seed,
     )
-    budget = _make_budget(args, "max_nodes")
-    if budget is None:
-        model = classifiers[args.classifier]()
+    resource = spec.capabilities.budget_resource
+    if args.time_limit is None and args.max_candidates is None:
+        model = spec.factory()
     else:
-        if args.classifier not in ("c45", "cart", "sliq"):
+        if resource is None:
             print(f"error: {args.classifier} does not support --time-limit/"
                   "--max-candidates", file=sys.stderr)
             return 2
-        model = classifiers[args.classifier](budget=budget)
+        budget = _make_budget(args, resource)
+        model = spec.factory(ctx=_make_context(budget=budget))
     if args.supervise:
         model = _run_supervised(args, _fit_worker, model, train, args.target)
     else:
@@ -406,14 +414,12 @@ def _cmd_classify(args) -> int:
 
 
 def _cmd_cluster(args) -> int:
-    from .clustering import CLARANS, DBSCAN, PAM, Agglomerative, Birch, KMeans
+    from . import registry
     from .datasets import load_table
     from .evaluation import silhouette, sse
 
-    checkpointable = args.algorithm in ("kmeans", "pam", "clarans")
-    usage = _usage_error(
-        args, checkpointable=checkpointable, algorithm=args.algorithm
-    )
+    spec = registry.get("clustering", args.algorithm)
+    usage = _usage_error(args, spec.capabilities, args.algorithm)
     if usage is not None:
         print(f"error: {usage}", file=sys.stderr)
         return 2
@@ -422,24 +428,12 @@ def _cmd_cluster(args) -> int:
     if X.shape[1] == 0:
         print("error: no numeric columns to cluster", file=sys.stderr)
         return 2
-    budget = _make_budget(args, "max_expansions")
+    budget = _make_budget(args, spec.capabilities.budget_resource)
     checkpoint = None if args.supervise else _make_checkpointer(args)
-    if args.algorithm == "kmeans":
-        model = KMeans(args.k, random_state=args.seed, budget=budget,
-                       checkpoint=checkpoint)
-    elif args.algorithm == "pam":
-        model = PAM(args.k, budget=budget, checkpoint=checkpoint)
-    elif args.algorithm == "clarans":
-        model = CLARANS(args.k, random_state=args.seed, budget=budget,
-                        checkpoint=checkpoint)
-    elif args.algorithm == "birch":
-        model = Birch(threshold=args.eps, n_clusters=args.k,
-                      random_state=args.seed, budget=budget)
-    elif args.algorithm == "agglomerative":
-        model = Agglomerative(args.k, budget=budget)
-    else:
-        model = DBSCAN(eps=args.eps, min_samples=args.min_samples,
-                       budget=budget)
+    model = spec.make(
+        _make_context(budget=budget, checkpoint=checkpoint),
+        k=args.k, eps=args.eps, min_samples=args.min_samples, seed=args.seed,
+    )
     if args.supervise:
         model = _run_supervised(args, _cluster_fit_worker, model, X)
         labels = model.labels_
@@ -502,11 +496,19 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_algorithms(args) -> int:
+    from . import registry
+
+    print(registry.render_table())
+    return 0
+
+
 COMMANDS = {
     "mine": _cmd_mine,
     "classify": _cmd_classify,
     "cluster": _cmd_cluster,
     "generate": _cmd_generate,
+    "algorithms": _cmd_algorithms,
 }
 
 

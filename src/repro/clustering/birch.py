@@ -21,6 +21,7 @@ from ..core.base import Clusterer, check_in_range
 from ..core.exceptions import ValidationError
 from ..core.random import RandomState
 from ..runtime import Budget, BudgetExceeded
+from ..runtime.context import ExecutionContext
 from .distance import nearest_center
 
 
@@ -120,6 +121,7 @@ class Birch(Clusterer):
         global_clusterer: str = "kmeans",
         random_state: RandomState = None,
         budget: Optional[Budget] = None,
+        ctx: Optional[ExecutionContext] = None,
     ):
         check_in_range("threshold", threshold, 0.0, None, low_inclusive=False)
         check_in_range("branching_factor", branching_factor, 2, None)
@@ -134,7 +136,7 @@ class Birch(Clusterer):
         self.n_clusters = int(n_clusters)
         self.global_clusterer = global_clusterer
         self.random_state = random_state
-        self.budget = budget
+        self._init_context(ctx, budget=budget)
         self.subcluster_centers_: Optional[np.ndarray] = None
         self.cluster_centers_: Optional[np.ndarray] = None
         self.truncated_ = False

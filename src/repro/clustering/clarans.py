@@ -21,6 +21,7 @@ from ..core.base import Clusterer, check_in_range
 from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..core.random import RandomState, check_random_state
 from ..runtime import Budget, BudgetExceeded, Checkpointer
+from ..runtime.context import ExecutionContext
 from .distance import pairwise_distances
 
 
@@ -42,11 +43,13 @@ class CLARANS(Clusterer):
         otherwise wander indefinitely; hitting the cap ends the descent
         with a :class:`ConvergenceWarning`.
     budget:
-        Optional :class:`~repro.runtime.Budget`, charged one expansion
+        Deprecated alias for ``ctx=ExecutionContext(budget=...)``:
+        optional :class:`~repro.runtime.Budget`, charged one expansion
         per neighbour evaluation.  On exhaustion the best medoid set
         found so far is kept and ``truncated_`` is set.
     checkpoint:
-        Optional :class:`~repro.runtime.Checkpointer`.  Every neighbour
+        Deprecated alias for ``ctx=ExecutionContext(checkpointer=...)``:
+        optional :class:`~repro.runtime.Checkpointer`.  Every neighbour
         evaluation and every completed descent is a resumable boundary;
         snapshots capture the generator state
         (``rng.bit_generator.state``), so a resumed search draws exactly
@@ -77,6 +80,7 @@ class CLARANS(Clusterer):
         max_steps: int = 10_000,
         budget: Optional[Budget] = None,
         checkpoint: Optional[Checkpointer] = None,
+        ctx: Optional[ExecutionContext] = None,
     ):
         check_in_range("n_clusters", n_clusters, 1, None)
         check_in_range("num_local", num_local, 1, None)
@@ -88,8 +92,7 @@ class CLARANS(Clusterer):
         self.max_neighbor = max_neighbor
         self.random_state = random_state
         self.max_steps = int(max_steps)
-        self.budget = budget
-        self.checkpoint = checkpoint
+        self._init_context(ctx, budget=budget, checkpoint=checkpoint)
         self.medoid_indices_: Optional[np.ndarray] = None
         self.cluster_centers_: Optional[np.ndarray] = None
         self.cost_: Optional[float] = None
@@ -109,19 +112,15 @@ class CLARANS(Clusterer):
 
         self.truncated_ = False
         self.truncation_reason_ = None
-        key = None
-        resumed = None
-        if self.checkpoint is not None:
-            key = {
-                "algorithm": "clarans",
-                "n_samples": int(n),
-                "n_features": int(X.shape[1]),
-                "n_clusters": k,
-                "num_local": self.num_local,
-                "max_neighbor": max_neighbor,
-                "max_steps": self.max_steps,
-            }
-            resumed = self.checkpoint.resume(key)
+        resumed = self.ctx.resume(lambda: {
+            "algorithm": "clarans",
+            "n_samples": int(n),
+            "n_features": int(X.shape[1]),
+            "n_clusters": k,
+            "num_local": self.num_local,
+            "max_neighbor": max_neighbor,
+            "max_steps": self.max_steps,
+        })
         best_cost = np.inf
         best_medoids = None
         start_descent = 0
@@ -134,7 +133,7 @@ class CLARANS(Clusterer):
             rng.bit_generator.state = resumed["rng_state"]
 
         def mark(descent, current_state):
-            self.checkpoint.mark(key, {
+            self.ctx.mark({
                 "descent": descent,
                 "best_cost": best_cost,
                 "best_medoids": None if best_medoids is None else list(best_medoids),
@@ -202,8 +201,7 @@ class CLARANS(Clusterer):
                 if self.checkpoint is not None:
                     mark(descent + 1, None)
         finally:
-            if self.checkpoint is not None:
-                self.checkpoint.flush()
+            self.ctx.flush()
 
         self.medoid_indices_ = np.array(sorted(best_medoids))
         self.cluster_centers_ = X[self.medoid_indices_]

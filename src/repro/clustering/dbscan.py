@@ -26,6 +26,7 @@ import numpy as np
 from ..core.base import Clusterer, check_in_range
 from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..runtime import Budget, BudgetExceeded
+from ..runtime.context import ExecutionContext
 
 NOISE = -1
 
@@ -101,13 +102,14 @@ class DBSCAN(Clusterer):
         min_samples: int = 5,
         max_grid_dimensions: int = 6,
         budget: Optional[Budget] = None,
+        ctx: Optional[ExecutionContext] = None,
     ):
         check_in_range("eps", eps, 0.0, None, low_inclusive=False)
         check_in_range("min_samples", min_samples, 1, None)
         self.eps = float(eps)
         self.min_samples = int(min_samples)
         self.max_grid_dimensions = int(max_grid_dimensions)
-        self.budget = budget
+        self._init_context(ctx, budget=budget)
         self.core_sample_indices_: Optional[np.ndarray] = None
         self.n_clusters_: Optional[int] = None
         self.truncated_ = False

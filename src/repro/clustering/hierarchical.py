@@ -26,6 +26,7 @@ import numpy as np
 from ..core.base import Clusterer, check_in_range
 from ..core.exceptions import ValidationError
 from ..runtime import Budget, BudgetExceeded
+from ..runtime.context import ExecutionContext
 from .distance import pairwise_distances
 
 _LINKAGES = ("single", "complete", "average", "ward")
@@ -72,6 +73,7 @@ class Agglomerative(Clusterer):
         n_clusters: int = 2,
         linkage: str = "ward",
         budget: Optional[Budget] = None,
+        ctx: Optional[ExecutionContext] = None,
     ):
         check_in_range("n_clusters", n_clusters, 1, None)
         if linkage not in _LINKAGES:
@@ -80,7 +82,7 @@ class Agglomerative(Clusterer):
             )
         self.n_clusters = int(n_clusters)
         self.linkage = linkage
-        self.budget = budget
+        self._init_context(ctx, budget=budget)
         self.merges_: Optional[np.ndarray] = None
         self.truncated_ = False
         self.truncation_reason_: Optional[str] = None

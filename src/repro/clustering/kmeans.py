@@ -18,6 +18,7 @@ from ..core.base import Clusterer, check_in_range
 from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..core.random import RandomState, check_random_state, spawn
 from ..runtime import Budget, BudgetExceeded, Checkpointer
+from ..runtime.context import ExecutionContext
 from .distance import nearest_center, pairwise_distances
 
 _INITS = ("kmeans++", "forgy", "random_partition")
@@ -46,17 +47,22 @@ class KMeans(Clusterer):
         runs converges; a :class:`ConvergenceWarning` is issued only
         after the retry allowance is exhausted.
     budget:
-        Optional :class:`~repro.runtime.Budget`, charged one expansion
+        Deprecated alias for ``ctx=ExecutionContext(budget=...)``:
+        optional :class:`~repro.runtime.Budget`, charged one expansion
         per optimisation iteration.  On exhaustion the current run keeps
         its best-so-far centroids, no further runs launch, and
         ``truncated_`` is set.
     checkpoint:
-        Optional :class:`~repro.runtime.Checkpointer`.  Every completed
+        Deprecated alias for ``ctx=ExecutionContext(checkpointer=...)``:
+        optional :class:`~repro.runtime.Checkpointer`.  Every completed
         optimisation iteration and every completed restart is a
         resumable boundary; a resumed fit reproduces the uninterrupted
         centroids, labels, inertia, and iteration count exactly
         (iterations are deterministic given the boundary centroids, and
         restart seeds are re-derived from ``random_state``).
+    ctx:
+        Optional :class:`~repro.runtime.ExecutionContext` bundling
+        budget, checkpointer, cancellation and progress hooks.
 
     Attributes
     ----------
@@ -92,6 +98,7 @@ class KMeans(Clusterer):
         max_restarts: int = 0,
         budget: Optional[Budget] = None,
         checkpoint: Optional[Checkpointer] = None,
+        ctx: Optional[ExecutionContext] = None,
     ):
         check_in_range("n_clusters", n_clusters, 1, None)
         check_in_range("n_init", n_init, 1, None)
@@ -112,8 +119,7 @@ class KMeans(Clusterer):
         self.tol = float(tol)
         self.random_state = random_state
         self.max_restarts = int(max_restarts)
-        self.budget = budget
-        self.checkpoint = checkpoint
+        self._init_context(ctx, budget=budget, checkpoint=checkpoint)
         self.cluster_centers_: Optional[np.ndarray] = None
         self.inertia_: Optional[float] = None
         self.n_iter_: Optional[int] = None
@@ -128,11 +134,7 @@ class KMeans(Clusterer):
         rng = check_random_state(self.random_state)
         self.truncated_ = False
         self.truncation_reason_ = None
-        key = None
-        resumed = None
-        if self.checkpoint is not None:
-            key = self._checkpoint_key(X)
-            resumed = self.checkpoint.resume(key)
+        resumed = self.ctx.resume(lambda: self._checkpoint_key(X))
         best = None
         any_converged = False
         completed = 0  # fully finished restarts
@@ -169,7 +171,7 @@ class KMeans(Clusterer):
                         run = {"iteration": iteration, "centers": centers_now.copy()}
                         if counts_now is not None:
                             run["counts"] = counts_now.copy()
-                        self.checkpoint.mark(key, {
+                        self.ctx.mark({
                             "completed": completed,
                             "any_converged": any_converged,
                             "best": best,
@@ -191,15 +193,14 @@ class KMeans(Clusterer):
                 completed = run_idx + 1
                 run_state = None
                 if self.checkpoint is not None:
-                    self.checkpoint.mark(key, {
+                    self.ctx.mark({
                         "completed": completed,
                         "any_converged": any_converged,
                         "best": best,
                         "run": None,
                     })
         finally:
-            if self.checkpoint is not None:
-                self.checkpoint.flush()
+            self.ctx.flush()
         self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
         if not any_converged and not self.truncated_:
             warnings.warn(

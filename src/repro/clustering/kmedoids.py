@@ -19,6 +19,7 @@ from ..core.base import Clusterer, check_in_range
 from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..core.random import RandomState
 from ..runtime import Budget, BudgetExceeded, Checkpointer
+from ..runtime.context import ExecutionContext
 from .distance import pairwise_distances
 
 
@@ -35,11 +36,13 @@ class PAM(Clusterer):
         :class:`ConvergenceWarning` (``max_swaps=0`` requests the BUILD
         phase only and never warns).
     budget:
-        Optional :class:`~repro.runtime.Budget`, charged one expansion
+        Deprecated alias for ``ctx=ExecutionContext(budget=...)``:
+        optional :class:`~repro.runtime.Budget`, charged one expansion
         per swap scan.  On exhaustion the best medoids found so far are
         kept and ``truncated_`` is set.
     checkpoint:
-        Optional :class:`~repro.runtime.Checkpointer`.  The BUILD result
+        Deprecated alias for ``ctx=ExecutionContext(checkpointer=...)``:
+        optional :class:`~repro.runtime.Checkpointer`.  The BUILD result
         and every accepted swap are resumable boundaries; the swap phase
         is a deterministic steepest descent, so a resumed fit reproduces
         the uninterrupted medoids and cost exactly.
@@ -70,13 +73,13 @@ class PAM(Clusterer):
         max_swaps: int = 200,
         budget: Optional[Budget] = None,
         checkpoint: Optional[Checkpointer] = None,
+        ctx: Optional[ExecutionContext] = None,
     ):
         check_in_range("n_clusters", n_clusters, 1, None)
         check_in_range("max_swaps", max_swaps, 0, None)
         self.n_clusters = int(n_clusters)
         self.max_swaps = int(max_swaps)
-        self.budget = budget
-        self.checkpoint = checkpoint
+        self._init_context(ctx, budget=budget, checkpoint=checkpoint)
         self.medoid_indices_: Optional[np.ndarray] = None
         self.cluster_centers_: Optional[np.ndarray] = None
         self.cost_: Optional[float] = None
@@ -91,17 +94,13 @@ class PAM(Clusterer):
             )
         self.truncated_ = False
         self.truncation_reason_ = None
-        key = None
-        resumed = None
-        if self.checkpoint is not None:
-            key = {
-                "algorithm": "pam",
-                "n_samples": int(n),
-                "n_features": int(X.shape[1]),
-                "n_clusters": self.n_clusters,
-                "max_swaps": self.max_swaps,
-            }
-            resumed = self.checkpoint.resume(key)
+        resumed = self.ctx.resume(lambda: {
+            "algorithm": "pam",
+            "n_samples": int(n),
+            "n_features": int(X.shape[1]),
+            "n_clusters": self.n_clusters,
+            "max_swaps": self.max_swaps,
+        })
         d = pairwise_distances(X)
         try:
             if resumed is not None:
@@ -110,14 +109,12 @@ class PAM(Clusterer):
             else:
                 medoids = self._build(d)
                 start = 0
-                if self.checkpoint is not None:
-                    self.checkpoint.mark(
-                        key, {"medoids": list(medoids), "swaps_done": 0}
-                    )
-            medoids, cost = self._swap(d, medoids, start=start, key=key)
+                self.ctx.mark(
+                    lambda: {"medoids": list(medoids), "swaps_done": 0}
+                )
+            medoids, cost = self._swap(d, medoids, start=start)
         finally:
-            if self.checkpoint is not None:
-                self.checkpoint.flush()
+            self.ctx.flush()
         self.medoid_indices_ = np.array(sorted(medoids))
         self.cluster_centers_ = X[self.medoid_indices_]
         self.labels_ = d[:, self.medoid_indices_].argmin(axis=1)
@@ -145,7 +142,7 @@ class PAM(Clusterer):
     # ------------------------------------------------------------------
     # SWAP: steepest-descent medoid exchange
     # ------------------------------------------------------------------
-    def _swap(self, d: np.ndarray, medoids: list, start: int = 0, key=None):
+    def _swap(self, d: np.ndarray, medoids: list, start: int = 0):
         n = len(d)
         medoids = list(medoids)
         for swaps_done in range(start, self.max_swaps):
@@ -187,10 +184,9 @@ class PAM(Clusterer):
             if best_swap is None:
                 return medoids, current_cost
             medoids[best_swap[0]] = best_swap[1]
-            if self.checkpoint is not None:
-                self.checkpoint.mark(
-                    key, {"medoids": list(medoids), "swaps_done": swaps_done + 1}
-                )
+            self.ctx.mark(
+                lambda: {"medoids": list(medoids), "swaps_done": swaps_done + 1}
+            )
         else:
             if self.max_swaps > 0:
                 warnings.warn(

@@ -77,7 +77,65 @@ def check_matrix(X, name: str = "X", allow_empty: bool = False) -> np.ndarray:
     return X
 
 
-class Classifier:
+class ContextAware:
+    """Mixin: estimators that thread an ExecutionContext through fit.
+
+    Exposes ``self.ctx`` (lazily defaulting to a null context) and keeps
+    the historical ``self.budget`` / ``self.checkpoint`` attributes
+    alive as properties routed into the context, so existing code that
+    assigns them directly — tests resetting ``model.budget``, the CLI's
+    supervised workers installing a per-attempt checkpointer — keeps
+    working unchanged.  Constructors call :meth:`_init_context` once,
+    which also services the deprecated ``budget=`` / ``checkpoint=``
+    keyword aliases.
+
+    Imports from :mod:`repro.runtime` are deferred to call time because
+    the runtime package itself imports this module.
+    """
+
+    def _init_context(self, ctx=None, budget=None, checkpoint=None) -> None:
+        from ..runtime.context import resolve_context
+
+        self._ctx = resolve_context(
+            ctx, budget=budget, checkpoint=checkpoint,
+            owner=type(self).__name__,
+        )
+
+    @property
+    def ctx(self):
+        ctx = getattr(self, "_ctx", None)
+        if ctx is None:
+            from ..runtime.context import ExecutionContext
+
+            ctx = self._ctx = ExecutionContext()
+        return ctx
+
+    @ctx.setter
+    def ctx(self, value) -> None:
+        if value is None:
+            from ..runtime.context import ExecutionContext
+
+            value = ExecutionContext()
+        self._ctx = value
+
+    @property
+    def budget(self):
+        return self.ctx.budget
+
+    @budget.setter
+    def budget(self, value) -> None:
+        self.ctx.budget = value
+
+    @property
+    def checkpoint(self):
+        return self.ctx.checkpointer
+
+    @checkpoint.setter
+    def checkpoint(self, value) -> None:
+        self.ctx.checkpointer = value
+
+
+class Classifier(ContextAware):
     """Base class for supervised classifiers over :class:`Table` data."""
 
     #: set during fit: the target Attribute (categorical)
@@ -94,6 +152,7 @@ class Classifier:
         if not attr.is_categorical:
             raise ValidationError(f"target {target!r} must be categorical")
         check_nonempty("table", table.n_rows, "rows")
+        self.ctx.raise_if_cancelled()
         y = table.class_codes(target)
         features = table.drop([target])
         self.target_ = attr
@@ -148,7 +207,7 @@ class Classifier:
         return float(np.mean(predictions == truth))
 
 
-class Clusterer:
+class Clusterer(ContextAware):
     """Base class for clusterers over dense float matrices."""
 
     #: set during fit: integer cluster id per row (-1 = noise)
@@ -157,6 +216,7 @@ class Clusterer:
     def fit(self, X) -> "Clusterer":
         """Cluster the rows of ``X``; returns ``self``."""
         X = check_matrix(X)
+        self.ctx.raise_if_cancelled()
         self._fit(X)
         return self
 
@@ -172,6 +232,7 @@ class Clusterer:
 __all__ = [
     "Classifier",
     "Clusterer",
+    "ContextAware",
     "check_fitted",
     "check_in_range",
     "check_matrix",

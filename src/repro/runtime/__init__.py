@@ -1,7 +1,9 @@
 """Execution guardrails: budgets, cancellation, checkpoint/resume,
 retries, and fault injection.
 
-See :mod:`repro.runtime.budget` for the budget/cancellation machinery,
+See :mod:`repro.runtime.context` for the :class:`ExecutionContext`
+that bundles these services into the single ``ctx=`` seam algorithms
+accept, :mod:`repro.runtime.budget` for the budget/cancellation machinery,
 :mod:`repro.runtime.checkpoint` for crash-safe snapshot persistence,
 :mod:`repro.runtime.retry` for transient-fault retries,
 :mod:`repro.runtime.faults` for the deterministic fault harness used by
@@ -25,6 +27,14 @@ from .checkpoint import (
     CheckpointStore,
     Checkpointer,
     Snapshottable,
+)
+from .context import (
+    BASIC_POLICIES,
+    LEVELWISE_POLICIES,
+    ExecutionContext,
+    RunCounters,
+    check_degradation_policy,
+    resolve_context,
 )
 from .faults import (
     ChaosMonkey,
@@ -59,6 +69,12 @@ __all__ = [
     "CheckpointStore",
     "Checkpointer",
     "Snapshottable",
+    "ExecutionContext",
+    "RunCounters",
+    "resolve_context",
+    "check_degradation_policy",
+    "BASIC_POLICIES",
+    "LEVELWISE_POLICIES",
     "RetryPolicy",
     "ChaosMonkey",
     "FailureReport",

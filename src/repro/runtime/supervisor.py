@@ -363,12 +363,16 @@ class Supervisor:
         :class:`~repro.runtime.faults.TransientFault` from flaky I/O).
     checkpoint_dir, checkpoint_every, resume:
         When ``checkpoint_dir`` is set the supervisor owns the
-        checkpoint lifecycle: each attempt receives a fresh
-        ``checkpoint=`` :class:`~repro.runtime.checkpoint.Checkpointer`
-        keyword, resuming from the newest valid snapshot on every
-        attempt after the first (and on the first too when ``resume``).
-        The target must accept the keyword — every checkpoint-aware
-        miner and clusterer does.
+        checkpoint lifecycle: each attempt receives a ``ctx=``
+        :class:`~repro.runtime.context.ExecutionContext` carrying a
+        fresh :class:`~repro.runtime.checkpoint.Checkpointer`, resuming
+        from the newest valid snapshot on every attempt after the first
+        (and on the first too when ``resume``).  A caller-provided
+        ``ctx`` keyword is preserved — the per-attempt context is
+        derived from it with :meth:`ExecutionContext.replace`, so its
+        budget and cancellation token ride along.  The target must
+        accept the ``ctx`` keyword — every registered checkpointable
+        algorithm does.
     keep_snapshots:
         By default a *successful* supervised run deletes its snapshots
         (they have served their purpose, and chaos runs would otherwise
@@ -464,12 +468,18 @@ class Supervisor:
         kwargs = dict(kwargs)
         store = None
         if self.checkpoint_dir is not None:
+            from .context import ExecutionContext
+
             store = self._store()
-            kwargs["checkpoint"] = Checkpointer(
+            checkpointer = Checkpointer(
                 self.checkpoint_dir,
                 every=self.checkpoint_every,
                 resume=self.resume or attempt > 1,
             )
+            base_ctx = kwargs.get("ctx")
+            if base_ctx is None:
+                base_ctx = ExecutionContext()
+            kwargs["ctx"] = base_ctx.replace(checkpointer=checkpointer)
         result_path = scratch / f"result-{attempt}.pkl"
 
         ctx = multiprocessing.get_context(self.start_method)

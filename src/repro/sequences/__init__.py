@@ -18,6 +18,29 @@ from .prefixspan import prefixspan
 from .reference import brute_force_sequences
 from .result import FrequentSequences
 
+from ..registry import (
+    AlgorithmSpec as _Spec,
+    Capabilities as _Caps,
+    register as _register,
+)
+from ..runtime.context import BASIC_POLICIES as _BASIC
+
+# Capability declarations (see repro.registry); the conformance sweep
+# picks these up even though sequences have no CLI subcommand yet.
+for _spec in (
+    _Spec("apriori_all", "sequences", apriori_all,
+          _Caps(budget_resource="candidates", degradation_policies=_BASIC),
+          summary="three-phase litemset sequence mining"),
+    _Spec("gsp", "sequences", gsp,
+          _Caps(checkpointable=True, supervisable=True,
+                budget_resource="candidates", degradation_policies=_BASIC),
+          summary="generalized sequential patterns with time constraints"),
+    _Spec("prefixspan", "sequences", prefixspan,
+          _Caps(budget_resource="candidates", degradation_policies=_BASIC),
+          summary="pattern growth with pseudo-projection"),
+):
+    _register(_spec)
+
 __all__ = [
     "apriori_all",
     "gsp",

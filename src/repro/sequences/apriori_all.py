@@ -34,6 +34,12 @@ from ..core.sequences import SequenceDatabase, SequencePattern
 from ..associations.apriori import min_count_from_support
 from ..associations.candidates import apriori_gen
 from ..runtime import Budget, BudgetExceeded
+from ..runtime.context import (
+    BASIC_POLICIES,
+    ExecutionContext,
+    check_degradation_policy,
+    resolve_context,
+)
 from .result import FrequentSequences
 
 LitemsetSeq = Tuple[int, ...]  # sequence of litemset ids
@@ -45,6 +51,7 @@ def apriori_all(
     max_length: Optional[int] = None,
     budget: Optional[Budget] = None,
     on_exhausted: str = "raise",
+    ctx: Optional[ExecutionContext] = None,
 ) -> FrequentSequences:
     """Mine all frequent sequential patterns with AprioriAll.
 
@@ -58,7 +65,8 @@ def apriori_all(
         Stop after patterns of this many *elements* (``None`` = mine to
         exhaustion).
     budget:
-        Optional :class:`~repro.runtime.Budget` checked once per pass of
+        Deprecated alias for ``ctx=ExecutionContext(budget=...)``:
+        optional :class:`~repro.runtime.Budget` checked once per pass of
         every phase, charged per generated candidate, and polled
         periodically in the counting and transformation scans.  ``None``
         (the default) skips every check.
@@ -81,11 +89,10 @@ def apriori_all(
     """
     if max_length is not None and max_length < 1:
         raise ValidationError(f"max_length must be >= 1, got {max_length}")
-    if on_exhausted not in ("raise", "truncate"):
-        raise ValidationError(
-            f"on_exhausted must be 'raise' or 'truncate' for apriori_all, "
-            f"got {on_exhausted!r}"
-        )
+    ctx = resolve_context(ctx, budget=budget, owner="apriori_all")
+    check_degradation_policy(on_exhausted, BASIC_POLICIES, "apriori_all")
+    ctx.raise_if_cancelled()
+    budget = ctx.budget
     n = len(db)
     check_nonempty("sequence database", n, "sequences")
     min_count = min_count_from_support(n, min_support)

@@ -31,6 +31,12 @@ from ..associations.apriori import (
     min_count_from_support,
 )
 from ..runtime import Budget, BudgetExceeded, Checkpointer
+from ..runtime.context import (
+    BASIC_POLICIES,
+    ExecutionContext,
+    check_degradation_policy,
+    resolve_context,
+)
 from .result import FrequentSequences
 
 
@@ -45,6 +51,7 @@ def gsp(
     budget: Optional[Budget] = None,
     on_exhausted: str = "raise",
     checkpoint: Optional[Checkpointer] = None,
+    ctx: Optional[ExecutionContext] = None,
 ) -> FrequentSequences:
     """Mine frequent sequential patterns with GSP.
 
@@ -65,7 +72,8 @@ def gsp(
         of each sequence and strictly increasing.  Defaults to element
         indices 0, 1, 2, ...
     budget:
-        Optional :class:`~repro.runtime.Budget` checked once per pass,
+        Deprecated alias for ``ctx=ExecutionContext(budget=...)``:
+        optional :class:`~repro.runtime.Budget` checked once per pass,
         charged per generated candidate, and checked periodically in the
         counting scan.
     on_exhausted:
@@ -73,9 +81,13 @@ def gsp(
         ``"truncate"`` returns the completed passes flagged
         ``truncated=True``.
     checkpoint:
-        Optional :class:`~repro.runtime.Checkpointer`; every completed
+        Deprecated alias for ``ctx=ExecutionContext(checkpointer=...)``:
+        optional :class:`~repro.runtime.Checkpointer`; every completed
         level is a resumable boundary, exactly as in the levelwise
         itemset miners.
+    ctx:
+        Optional :class:`~repro.runtime.ExecutionContext` bundling
+        budget, checkpointer, cancellation and progress hooks.
 
     Returns
     -------
@@ -87,11 +99,11 @@ def gsp(
     >>> gsp(db, min_support=0.6).supports[((1,), (2,))]
     2
     """
-    if on_exhausted not in ("raise", "truncate"):
-        raise ValidationError(
-            f"on_exhausted must be 'raise' or 'truncate' for gsp, "
-            f"got {on_exhausted!r}"
-        )
+    ctx = resolve_context(ctx, budget=budget, checkpoint=checkpoint,
+                          owner="gsp")
+    check_degradation_policy(on_exhausted, BASIC_POLICIES, "gsp")
+    ctx.raise_if_cancelled()
+    budget = ctx.budget
     if max_length is not None and max_length < 1:
         raise ValidationError(f"max_length must be >= 1, got {max_length}")
     if window < 0:
@@ -118,14 +130,11 @@ def gsp(
     min_count = min_count_from_support(n, min_support)
     checker = _ContainsChecker(min_gap, max_gap, window)
 
-    key = None
-    if checkpoint is not None:
-        key = checkpoint_key(
-            "gsp", db, min_support,
-            max_length=max_length, min_gap=min_gap, max_gap=max_gap,
-            window=window,
-        )
-    resumed = checkpoint.resume(key) if checkpoint is not None else None
+    resumed = ctx.resume(lambda: checkpoint_key(
+        "gsp", db, min_support,
+        max_length=max_length, min_gap=min_gap, max_gap=max_gap,
+        window=window,
+    ))
     if resumed is not None:
         k = resumed["k"]
         frequent: Dict[SequencePattern, int] = resumed["frequent"]
@@ -151,14 +160,11 @@ def gsp(
         )
         all_frequent = dict(frequent)
         k = 2
-        if checkpoint is not None:
-            checkpoint.mark(key, levelwise_state(k, frequent, all_frequent, stats))
+        ctx.mark(lambda: levelwise_state(k, frequent, all_frequent, stats))
 
     try:
         while frequent and (max_length is None or k <= max_length):
-            if budget is not None:
-                budget.check(phase=f"pass-{k}")
-                budget.progress(f"pass-{k}", n_frequent_prev=len(frequent))
+            ctx.step(f"pass-{k}", n_frequent_prev=len(frequent))
             started = _time.perf_counter()
             if k == 2:
                 candidates = _candidates_len2(frequent)
@@ -192,8 +198,7 @@ def gsp(
             )
             all_frequent.update(frequent)
             k += 1
-            if checkpoint is not None:
-                checkpoint.mark(key, levelwise_state(k, frequent, all_frequent, stats))
+            ctx.mark(lambda: levelwise_state(k, frequent, all_frequent, stats))
     except BudgetExceeded as exc:
         if on_exhausted == "raise":
             raise
@@ -207,8 +212,7 @@ def gsp(
         result.pass_stats = stats
         return result
     finally:
-        if checkpoint is not None:
-            checkpoint.flush()
+        ctx.flush()
 
     result = FrequentSequences(all_frequent, n, min_support)
     result.pass_stats = stats

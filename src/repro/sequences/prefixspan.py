@@ -27,6 +27,12 @@ from ..core.exceptions import ValidationError
 from ..core.sequences import SequenceDatabase, SequencePattern, pattern_length
 from ..associations.apriori import min_count_from_support
 from ..runtime import Budget, BudgetExceeded
+from ..runtime.context import (
+    BASIC_POLICIES,
+    ExecutionContext,
+    check_degradation_policy,
+    resolve_context,
+)
 from .result import FrequentSequences
 
 # A pseudo-projection entry: the pattern's earliest match in sequence
@@ -40,6 +46,7 @@ def prefixspan(
     max_length: Optional[int] = None,
     budget: Optional[Budget] = None,
     on_exhausted: str = "raise",
+    ctx: Optional[ExecutionContext] = None,
 ) -> FrequentSequences:
     """Mine frequent sequential patterns with PrefixSpan.
 
@@ -53,7 +60,8 @@ def prefixspan(
         Stop after patterns with this many *items* in total (matching
         GSP's notion of length).
     budget:
-        Optional :class:`~repro.runtime.Budget`, checked at every
+        Deprecated alias for ``ctx=ExecutionContext(budget=...)``:
+        optional :class:`~repro.runtime.Budget`, checked at every
         pattern-growth step and charged one candidate per attempted
         extension.  ``None`` (the default) skips every check.
     on_exhausted:
@@ -75,11 +83,10 @@ def prefixspan(
     """
     if max_length is not None and max_length < 1:
         raise ValidationError(f"max_length must be >= 1, got {max_length}")
-    if on_exhausted not in ("raise", "truncate"):
-        raise ValidationError(
-            f"on_exhausted must be 'raise' or 'truncate' for prefixspan, "
-            f"got {on_exhausted!r}"
-        )
+    ctx = resolve_context(ctx, budget=budget, owner="prefixspan")
+    check_degradation_policy(on_exhausted, BASIC_POLICIES, "prefixspan")
+    ctx.raise_if_cancelled()
+    budget = ctx.budget
     n = len(db)
     check_nonempty("sequence database", n, "sequences")
     min_count = min_count_from_support(n, min_support)

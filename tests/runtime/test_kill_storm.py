@@ -41,14 +41,16 @@ class _SlowCheckpointer(Checkpointer):
         time.sleep(0.01)
 
 
-def _slowed(checkpoint):
-    if checkpoint is None:
-        return None
-    return _SlowCheckpointer(
+def _slowed(ctx):
+    """Swap the supervisor-injected checkpointer for the dwelling one."""
+    if ctx is None or ctx.checkpointer is None:
+        return ctx
+    checkpoint = ctx.checkpointer
+    return ctx.replace(checkpointer=_SlowCheckpointer(
         checkpoint.store,
         every=checkpoint.every,
         resume=checkpoint.resume_requested,
-    )
+    ))
 
 
 def _storm(tmp_path, target, *args, after_checkpoints=(1, 1), seed=0):
@@ -84,22 +86,21 @@ def _storm(tmp_path, target, *args, after_checkpoints=(1, 1), seed=0):
 # Child targets (forked, so the databases close over cheaply; only the
 # returned results must pickle).
 # ----------------------------------------------------------------------
-def _mine_apriori(db, min_support, checkpoint=None):
-    return apriori(db, min_support, checkpoint=_slowed(checkpoint))
+def _mine_apriori(db, min_support, ctx=None):
+    return apriori(db, min_support, ctx=_slowed(ctx))
 
 
-def _mine_dhp(db, min_support, checkpoint=None):
-    return dhp(db, min_support, checkpoint=_slowed(checkpoint))
+def _mine_dhp(db, min_support, ctx=None):
+    return dhp(db, min_support, ctx=_slowed(ctx))
 
 
-def _mine_gsp(db, min_support, checkpoint=None):
-    return gsp(db, min_support, checkpoint=_slowed(checkpoint))
+def _mine_gsp(db, min_support, ctx=None):
+    return gsp(db, min_support, ctx=_slowed(ctx))
 
 
-def _fit_kmeans(X, checkpoint=None):
+def _fit_kmeans(X, ctx=None):
     model = KMeans(
-        4, n_init=2, max_iter=50, random_state=0,
-        checkpoint=_slowed(checkpoint),
+        4, n_init=2, max_iter=50, random_state=0, ctx=_slowed(ctx),
     )
     model.fit(X)
     return (
@@ -107,10 +108,9 @@ def _fit_kmeans(X, checkpoint=None):
     )
 
 
-def _fit_clarans(X, checkpoint=None):
+def _fit_clarans(X, ctx=None):
     model = CLARANS(
-        3, num_local=2, max_neighbor=25, random_state=4,
-        checkpoint=_slowed(checkpoint),
+        3, num_local=2, max_neighbor=25, random_state=4, ctx=_slowed(ctx),
     )
     model.fit(X)
     return (model.medoid_indices_, model.labels_, model.cost_)

@@ -63,7 +63,7 @@ def _kill_self():
     os.kill(os.getpid(), signal.SIGKILL)
 
 
-def _kill_self_checkpointed(checkpoint=None):
+def _kill_self_checkpointed(ctx=None):
     os.kill(os.getpid(), signal.SIGKILL)
 
 
@@ -90,9 +90,9 @@ def _allocate_mb(n_mb):
     return len(block)
 
 
-def _crash_until_resumable(value, checkpoint=None):
+def _crash_until_resumable(value, ctx=None):
     """Die hard on the fresh attempt; succeed once resume is requested."""
-    if checkpoint is None or not checkpoint.resume_requested:
+    if ctx is None or not ctx.resume_requested:
         os.kill(os.getpid(), signal.SIGKILL)
     return value
 

@@ -115,6 +115,40 @@ class TestCluster:
                      "--k", "3", "--eps", "1.0"]) == 0
 
 
+class TestAlgorithms:
+    def test_lists_every_registered_algorithm(self, capsys):
+        from repro import registry
+
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "capabilities" in out
+        for spec in registry.specs():
+            assert spec.name in out
+
+    def test_choices_come_from_the_registry(self):
+        """The subcommand choices are the registry, not a literal list."""
+        from repro import registry
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["mine", "x.dat", "--miner", registry.names("associations")[0]]
+        )
+        assert args.miner == "apriori"
+        for family, flag, command in (
+            ("associations", "--miner", "mine"),
+            ("clustering", "--algorithm", "cluster"),
+        ):
+            for name in registry.names(family):
+                assert parser.parse_args(
+                    [command, "x", flag, name]
+                ) is not None
+        for name in registry.names("classification"):
+            assert parser.parse_args(
+                ["classify", "x", "--target", "t", "--classifier", name]
+            ) is not None
+
+
 class TestCheckpointCLI:
     def _itemset_lines(self, out):
         return [line for line in out.splitlines() if "->" in line or
