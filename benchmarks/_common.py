@@ -8,6 +8,7 @@ on disk next to the timing output.
 
 from __future__ import annotations
 
+import json
 import time
 from functools import lru_cache
 from pathlib import Path
@@ -17,8 +18,14 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def write_rows(name: str, header: Sequence[str], rows: Iterable[Sequence]) -> Path:
-    """Write one experiment's table to benchmarks/results/<name>.txt."""
+    """Write one experiment's table to benchmarks/results/<name>.txt.
+
+    A machine-readable twin goes to ``<name>.json`` (one object per row,
+    keyed by the header) so downstream tooling never parses the aligned
+    text table.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
+    rows = [list(row) for row in rows]
     path = RESULTS_DIR / f"{name}.txt"
     widths = [max(len(str(h)), 12) for h in header]
     lines = ["  ".join(str(h).rjust(w) for h, w in zip(header, widths))]
@@ -30,6 +37,12 @@ def write_rows(name: str, header: Sequence[str], rows: Iterable[Sequence]) -> Pa
             )
         )
     path.write_text("\n".join(lines) + "\n")
+    json_path = RESULTS_DIR / f"{name}.json"
+    payload = {
+        "experiment": name,
+        "rows": [dict(zip(header, row)) for row in rows],
+    }
+    json_path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
     return path
 
 

@@ -53,10 +53,16 @@ from ..runtime.context import (
 _LEVELWISE_CAPS = _Caps(
     checkpointable=True, supervisable=True,
     budget_resource="candidates", degradation_policies=_LEVELWISE,
+    parallelizable=True,
 )
 _DEPTH_FIRST_CAPS = _Caps(
     checkpointable=True, supervisable=True,
     budget_resource="candidates", degradation_policies=_BASIC,
+)
+_PARTITION_CAPS = _Caps(
+    checkpointable=True, supervisable=True,
+    budget_resource="candidates", degradation_policies=_BASIC,
+    parallelizable=True,
 )
 for _spec in (
     _Spec("apriori", "associations", apriori, _LEVELWISE_CAPS,
@@ -66,11 +72,14 @@ for _spec in (
           summary="pattern growth without candidate generation"),
     _Spec("eclat", "associations", eclat, _DEPTH_FIRST_CAPS,
           summary="vertical tidset intersection, depth-first"),
-    _Spec("apriori_tid", "associations", apriori_tid, _LEVELWISE_CAPS,
+    _Spec("apriori_tid", "associations", apriori_tid,
+          _Caps(checkpointable=True, supervisable=True,
+                budget_resource="candidates",
+                degradation_policies=_LEVELWISE),
           summary="levelwise over transformed transaction lists"),
     _Spec("dhp", "associations", dhp, _LEVELWISE_CAPS,
           summary="hash-filtered pass 2 (Park/Chen/Yu)"),
-    _Spec("partition", "associations", partition_miner, _DEPTH_FIRST_CAPS,
+    _Spec("partition", "associations", partition_miner, _PARTITION_CAPS,
           summary="two-scan partitioned mining (Savasere et al.)"),
 ):
     _register(_spec)

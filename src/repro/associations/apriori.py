@@ -24,11 +24,13 @@ from ..runtime.context import (
     check_degradation_policy,
     resolve_context,
 )
+from ..runtime.parallel import WorkerPool, resolve_n_jobs, shard_bounds
+from .bitmap import BitmapDatabase
 from .candidates import apriori_gen
 from .hash_tree import HashTree
 
 #: candidate-store strategies accepted by :func:`apriori`
-CANDIDATE_STORES = ("hash_tree", "dict")
+CANDIDATE_STORES = ("hash_tree", "dict", "bitmap")
 
 #: budget-exhaustion policies accepted by the levelwise miners
 #: (compat alias of :data:`repro.runtime.context.LEVELWISE_POLICIES`)
@@ -87,6 +89,7 @@ def apriori(
     on_exhausted: str = "raise",
     checkpoint: Optional[Checkpointer] = None,
     ctx: Optional[ExecutionContext] = None,
+    n_jobs: Optional[int] = None,
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with the Apriori algorithm.
 
@@ -101,7 +104,12 @@ def apriori(
     candidate_store:
         ``"hash_tree"`` for the paper's hash tree, ``"dict"`` for a plain
         per-candidate subset check (O(|t| choose k) per transaction; fine
-        for short transactions, used mostly for cross-validation in tests).
+        for short transactions, used mostly for cross-validation in tests),
+        or ``"bitmap"`` for the vectorized
+        :class:`~repro.associations.bitmap.BitmapDatabase` backend — the
+        database is encoded once as a boolean item×transaction matrix and
+        supports are column AND-reductions (fastest for dense/basket
+        shapes; costs ``n_items × n_transactions`` bytes).
     budget:
         Deprecated alias for ``ctx=ExecutionContext(budget=...)``:
         optional :class:`~repro.runtime.Budget` checked once per pass,
@@ -128,6 +136,12 @@ def apriori(
         Optional :class:`~repro.runtime.ExecutionContext` bundling
         budget, checkpointer, cancellation and progress hooks.  The
         default null context is byte-identical to a bare call.
+    n_jobs:
+        Counting-scan parallelism: with ``n_jobs > 1`` each pass shards
+        the transaction database across a fork-based
+        :class:`~repro.runtime.WorkerPool` and sums the per-shard
+        candidate count vectors (map-reduce).  Results are byte-identical
+        to the serial scan for every backend; ``-1`` uses all cores.
 
     Returns
     -------
@@ -150,6 +164,7 @@ def apriori(
     ctx = resolve_context(ctx, budget=budget, checkpoint=checkpoint,
                           owner="apriori")
     check_degradation_policy(on_exhausted, LEVELWISE_POLICIES, "apriori")
+    n_jobs = resolve_n_jobs(n_jobs, "apriori")
     ctx.raise_if_cancelled()
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
@@ -158,6 +173,7 @@ def apriori(
     min_count = min_count_from_support(n, min_support)
 
     budget = ctx.budget
+    bitmap = BitmapDatabase(db) if candidate_store == "bitmap" else None
     resumed = ctx.resume(lambda: checkpoint_key(
         "apriori", db, min_support,
         max_size=max_size, candidate_store=candidate_store,
@@ -191,10 +207,10 @@ def apriori(
             if not candidates:
                 stats.append(PassStats(k, 0, 0, time.perf_counter() - started))
                 break
-            if candidate_store == "hash_tree":
-                frequent = _count_with_hash_tree(db, candidates, min_count, budget)
-            else:
-                frequent = _count_with_dict(db, candidates, k, min_count, budget)
+            frequent = count_pass(
+                db, candidates, k, min_count, candidate_store,
+                ctx=ctx, n_jobs=n_jobs, bitmap=bitmap,
+            )
             stats.append(
                 PassStats(
                     k=k,
@@ -276,6 +292,84 @@ def degrade_levelwise(
     return result
 
 
+def count_pass(
+    db: TransactionDatabase,
+    candidates,
+    k: int,
+    min_count: int,
+    candidate_store: str = "hash_tree",
+    ctx: Optional[ExecutionContext] = None,
+    n_jobs: int = 1,
+    bitmap: Optional[BitmapDatabase] = None,
+) -> Dict[Itemset, int]:
+    """One counting pass: candidate supports over the whole database.
+
+    The shared counting seam of the levelwise miners (apriori, dhp's
+    deep passes): dispatches to the selected backend, and with
+    ``n_jobs > 1`` runs it map-reduce style — the transaction database
+    is sharded into contiguous ranges, each forked worker produces a
+    count vector aligned with ``candidates``, and the parent sums the
+    vectors.  Integer sums over a disjoint cover of the rows are exactly
+    the serial counts, so the returned dict (built in candidates order
+    either way) is byte-identical to ``n_jobs=1``.
+    """
+    budget = None if ctx is None else ctx.budget
+    if n_jobs > 1 and len(db) > 1:
+        counts = _map_reduce_counts(
+            db, candidates, k, candidate_store, ctx, n_jobs, bitmap
+        )
+        return {
+            cand: cnt
+            for cand, cnt in zip(candidates, counts)
+            if cnt >= min_count
+        }
+    if candidate_store == "hash_tree":
+        return _count_with_hash_tree(db, candidates, min_count, budget)
+    if candidate_store == "dict":
+        return _count_with_dict(db, candidates, k, min_count, budget)
+    if bitmap is None:
+        bitmap = BitmapDatabase(db)
+    return bitmap.frequent(candidates, min_count, budget)
+
+
+def shard_count_vector(
+    db, candidates, k, candidate_store, begin, stop,
+    budget=None, bitmap=None,
+):
+    """Support counts of ``candidates`` over rows ``[begin, stop)``.
+
+    Returns a plain list aligned with ``candidates`` — the merge unit
+    of the map-reduce path.  Runs inside forked workers, so it must
+    only read ``db``/``bitmap`` (inherited copy-on-write) and respect
+    its shard-local ``budget``.
+    """
+    if candidate_store == "bitmap":
+        store = bitmap if bitmap is not None else BitmapDatabase(db)
+        return store.count(candidates, budget, begin, stop)
+    if candidate_store == "hash_tree":
+        tree = HashTree(candidates)
+        tree.count_transactions(db[begin:stop], budget)
+        return tree.count_vector()
+    counts = _count_with_dict(db[begin:stop], candidates, k,
+                              min_count=0, budget=budget)
+    return list(counts.values())
+
+
+def _map_reduce_counts(db, candidates, k, candidate_store, ctx, n_jobs,
+                       bitmap):
+    def shard(span, shard_ctx):
+        shard_budget = None if shard_ctx is None else shard_ctx.budget
+        return shard_count_vector(
+            db, candidates, k, candidate_store, span[0], span[1],
+            budget=shard_budget, bitmap=bitmap,
+        )
+
+    pool = WorkerPool(n_jobs=n_jobs)
+    vectors = pool.map(shard, shard_bounds(len(db), n_jobs),
+                       ctx=ctx, phase=f"count-{k}")
+    return [sum(column) for column in zip(*vectors)]
+
+
 def _count_with_hash_tree(db, candidates, min_count, budget=None) -> Dict[Itemset, int]:
     tree = HashTree(candidates)
     tree.count_transactions(db, budget)
@@ -283,32 +377,52 @@ def _count_with_hash_tree(db, candidates, min_count, budget=None) -> Dict[Itemse
 
 
 def _count_with_dict(db, candidates, k, min_count, budget=None) -> Dict[Itemset, int]:
-    candidate_set = set(candidates)
+    from math import comb
+
     counts: Dict[Itemset, int] = dict.fromkeys(candidates, 0)
+    # Candidates and transactions are both sorted, so a candidate can only
+    # occur in a transaction starting at a position holding its first item.
+    # Indexing by first item lets whole transactions be skipped when they
+    # share no prefix with any candidate, and shrinks both sides of the
+    # enumerate-vs-probe choice from (txn, all candidates) to
+    # (suffix, one prefix group).
+    groups: Dict[int, list] = {}
+    for cand in candidates:
+        groups.setdefault(cand[0], []).append(cand)
+    by_first = {item: (group, set(group)) for item, group in groups.items()}
     for i, txn in enumerate(db):
         if budget is not None and i % 256 == 0:
             budget.check(phase=f"count-{k}")
         if len(txn) < k:
             continue
-        # Enumerate the transaction's k-subsets only when that is cheaper
-        # than probing every candidate; otherwise test candidates directly.
-        from math import comb
-
-        if comb(len(txn), k) <= len(candidate_set):
-            for subset in combinations(txn, k):
-                if subset in candidate_set:
-                    counts[subset] += 1
-        else:
-            txn_set = set(txn)
-            for cand in candidates:
-                if txn_set.issuperset(cand):
-                    counts[cand] += 1
+        for j in range(len(txn) - k + 1):
+            entry = by_first.get(txn[j])
+            if entry is None:
+                continue
+            group, group_set = entry
+            rest = txn[j + 1:]
+            first = (txn[j],)
+            # Enumerate the suffix's (k-1)-subsets only when that is
+            # cheaper than probing the prefix group; otherwise test the
+            # group's candidates directly.
+            if comb(len(rest), k - 1) <= len(group):
+                for subset in combinations(rest, k - 1):
+                    cand = first + subset
+                    if cand in group_set:
+                        counts[cand] += 1
+            else:
+                rest_set = set(rest)
+                for cand in group:
+                    if rest_set.issuperset(cand[1:]):
+                        counts[cand] += 1
     return {c: cnt for c, cnt in counts.items() if cnt >= min_count}
 
 
 __all__ = [
     "apriori",
     "checkpoint_key",
+    "count_pass",
+    "shard_count_vector",
     "frequent_one_itemsets",
     "levelwise_state",
     "min_count_from_support",

@@ -1,0 +1,87 @@
+"""Vectorized support counting over a boolean item×transaction matrix.
+
+The vertical bitmap layout from the Eclat/VIPER lineage (see
+PAPERS.md, "Efficient Analysis of Pattern and Association Rule Mining
+Approaches"): the database is encoded *once* as a dense boolean matrix
+``M[item, transaction]`` and the support of a candidate itemset is the
+popcount of the AND of its item rows — one numpy reduction instead of a
+Python-level scan over transactions.
+
+Trade-off: the matrix costs ``n_items × n_transactions`` bytes (dense
+``bool``), so it suits the classic basket shape — modest vocabularies,
+many transactions — and loses to the hash tree when the item universe is
+huge and sparse.  Construction is a single pass; afterwards every pass
+of a levelwise miner counts against the same matrix, and forked workers
+share it copy-on-write.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.itemsets import Itemset
+from ..core.transactions import TransactionDatabase
+from ..runtime import Budget
+
+
+class BitmapDatabase:
+    """A :class:`TransactionDatabase` encoded for vectorized counting.
+
+    Examples
+    --------
+    >>> db = TransactionDatabase([(0, 1, 2), (0, 1), (0, 2), (1, 2)])
+    >>> BitmapDatabase(db).count([(0, 1), (0, 2), (1, 2)])
+    [2, 2, 2]
+    """
+
+    def __init__(self, db: TransactionDatabase):
+        matrix = np.zeros((db.n_items, len(db)), dtype=bool)
+        for column, txn in enumerate(db):
+            if txn:
+                matrix[list(txn), column] = True
+        self.matrix = matrix
+        self.n_transactions = len(db)
+
+    def count(
+        self,
+        candidates: Sequence[Itemset],
+        budget: Optional[Budget] = None,
+        begin: int = 0,
+        stop: Optional[int] = None,
+    ) -> List[int]:
+        """Exact support counts aligned with ``candidates`` order.
+
+        ``begin``/``stop`` restrict counting to a contiguous transaction
+        range — the shard interface of the map-reduce path; per-shard
+        vectors sum element-wise to the full-database counts.  ``budget``
+        is checked periodically so deadlines and cancellation fire
+        mid-count, mirroring the scan loops of the other backends.
+        """
+        window = self.matrix[:, begin:self.n_transactions if stop is None
+                             else stop]
+        counts: List[int] = []
+        for i, cand in enumerate(candidates):
+            if budget is not None and i % 256 == 0:
+                budget.check(phase="bitmap-count")
+            mask = np.logical_and.reduce(window[list(cand)], axis=0)
+            counts.append(int(mask.sum()))
+        return counts
+
+    def frequent(
+        self,
+        candidates: Sequence[Itemset],
+        min_count: int,
+        budget: Optional[Budget] = None,
+    ) -> Dict[Itemset, int]:
+        """Candidates whose support reaches ``min_count``, in input order."""
+        counts = self.count(candidates, budget)
+        return {
+            cand: cnt
+            for cand, cnt in zip(candidates, counts)
+            if cnt >= min_count
+        }
+
+
+__all__ = ["BitmapDatabase"]

@@ -25,14 +25,15 @@ from ..runtime.context import (
     check_degradation_policy,
     resolve_context,
 )
+from ..runtime.parallel import resolve_n_jobs
 from .apriori import (
     checkpoint_key,
+    count_pass,
     degrade_levelwise,
     levelwise_state,
     min_count_from_support,
 )
 from .candidates import apriori_gen
-from .hash_tree import HashTree
 
 
 def dhp(
@@ -44,14 +45,17 @@ def dhp(
     on_exhausted: str = "raise",
     checkpoint: Optional[Checkpointer] = None,
     ctx: Optional[ExecutionContext] = None,
+    n_jobs: Optional[int] = None,
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with DHP's hash-filtered pass 2.
 
     Parameters
     ----------
-    db, min_support, max_size, budget, on_exhausted, checkpoint:
+    db, min_support, max_size, budget, on_exhausted, checkpoint, n_jobs:
         As in :func:`~repro.associations.apriori.apriori`; the result is
-        identical.  The unfiltered C2 size ``|F1 choose 2|`` is charged
+        identical.  ``n_jobs`` parallelises the counting scans of pass 2
+        and the later apriori passes (the pass-1 hash-filter build stays
+        serial — it is a single cheap scan).  The unfiltered C2 size ``|F1 choose 2|`` is charged
         against the candidate budget *before* the pair list materialises,
         so a space cap rejects the classic pass-2 blow-up up front.
         Snapshots record which stage completed (the hash-filter pass, the
@@ -77,6 +81,7 @@ def dhp(
     ctx = resolve_context(ctx, budget=budget, checkpoint=checkpoint,
                           owner="dhp")
     check_degradation_policy(on_exhausted, LEVELWISE_POLICIES, "dhp")
+    n_jobs = resolve_n_jobs(n_jobs, "dhp")
     ctx.raise_if_cancelled()
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
@@ -96,7 +101,7 @@ def dhp(
     try:
         return _dhp_mine(
             db, min_support, n_buckets, max_size, min_count, stats,
-            all_frequent, n, ctx, resumed,
+            all_frequent, n, ctx, resumed, n_jobs,
         )
     except BudgetExceeded as exc:
         if on_exhausted == "raise":
@@ -115,7 +120,7 @@ def dhp(
 
 def _dhp_mine(
     db, min_support, n_buckets, max_size, min_count, stats,
-    all_frequent, n, ctx, resumed=None,
+    all_frequent, n, ctx, resumed=None, n_jobs=1,
 ) -> FrequentItemsets:
     budget = ctx.budget
     # ------------------------------------------------------------------
@@ -182,7 +187,8 @@ def _dhp_mine(
                 if buckets[_bucket(pair[0], pair[1], n_buckets)] >= min_count
             ]
             c2_unfiltered, c2_filtered = len(unfiltered), len(candidates)
-            frequent = _count(db, candidates, min_count, budget)
+            frequent = count_pass(db, candidates, 2, min_count,
+                                  ctx=ctx, n_jobs=n_jobs)
             stats.append(
                 PassStats(2, len(candidates), len(frequent), time.perf_counter() - started)
             )
@@ -204,7 +210,8 @@ def _dhp_mine(
         if not candidates:
             stats.append(PassStats(k, 0, 0, time.perf_counter() - started))
             break
-        frequent = _count(db, candidates, min_count, budget)
+        frequent = count_pass(db, candidates, k, min_count,
+                              ctx=ctx, n_jobs=n_jobs)
         stats.append(
             PassStats(k, len(candidates), len(frequent), time.perf_counter() - started)
         )
@@ -235,12 +242,6 @@ def _bucket(a: int, b: int, n_buckets: int) -> int:
     h = a * 0x9E3779B1 ^ (b + 0x7F4A7C15) * 0x85EBCA77
     h ^= h >> 16
     return h % n_buckets
-
-
-def _count(db, candidates, min_count, budget=None) -> Dict[Itemset, int]:
-    tree = HashTree(candidates)
-    tree.count_transactions(db, budget)
-    return tree.frequent(min_count)
 
 
 __all__ = ["dhp"]

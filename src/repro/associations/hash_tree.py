@@ -181,6 +181,14 @@ class HashTree:
         """Mapping candidate -> accumulated count."""
         return dict(zip(self._candidates, self._counts))
 
+    def count_vector(self) -> List[int]:
+        """Raw counts aligned with the construction-time candidate order.
+
+        The merge format of the map-reduce counting path: per-shard
+        vectors sum element-wise into the full-database counts.
+        """
+        return list(self._counts)
+
     def frequent(self, min_count: int) -> Dict[Itemset, int]:
         """Candidates whose count reached ``min_count``."""
         return {

@@ -32,6 +32,7 @@ from ..runtime.context import (
     check_degradation_policy,
     resolve_context,
 )
+from ..runtime.parallel import WorkerPool, resolve_n_jobs, shard_bounds
 from .apriori import checkpoint_key, min_count_from_support
 
 
@@ -44,6 +45,7 @@ def partition_miner(
     on_exhausted: str = "raise",
     checkpoint: Optional[Checkpointer] = None,
     ctx: Optional[ExecutionContext] = None,
+    n_jobs: Optional[int] = None,
 ) -> FrequentItemsets:
     """Mine frequent itemsets with the two-scan Partition algorithm.
 
@@ -69,6 +71,12 @@ def partition_miner(
     checkpoint:
         Optional :class:`~repro.runtime.Checkpointer`; every completed
         partition of scan 1 is a resumable boundary.
+    n_jobs:
+        Partitions are the algorithm's natural shard: with ``n_jobs > 1``
+        scan 1 mines them in forked workers and scan 2 splits the global
+        counting scan the same way, merging in partition/shard order so
+        the result is byte-identical to ``n_jobs=1``.  ``-1`` uses all
+        cores.
 
     Examples
     --------
@@ -80,6 +88,7 @@ def partition_miner(
     ctx = resolve_context(ctx, budget=budget, checkpoint=checkpoint,
                           owner="partition_miner")
     check_degradation_policy(on_exhausted, BASIC_POLICIES, "partition_miner")
+    n_jobs = resolve_n_jobs(n_jobs, "partition_miner")
     ctx.raise_if_cancelled()
     if max_size is not None and max_size < 1:
         raise ValidationError(f"max_size must be >= 1, got {max_size}")
@@ -104,23 +113,55 @@ def partition_miner(
     # Scan 1: local mining per partition (vertical, depth-first).
     # ------------------------------------------------------------------
     try:
-        for p in range(start, len(bounds)):
-            ctx.step(f"partition-{p}", n_candidates=len(candidates))
-            begin, stop = bounds[p]
-            local_min_count = max(
-                1, math.ceil(min_support * (stop - begin))
-            )
-            candidates |= _mine_partition(
-                db, begin, stop, local_min_count, max_size, budget
-            )
-            ctx.mark(lambda: {
-                "next_partition": p + 1, "candidates": sorted(candidates),
-            })
+        if n_jobs > 1 and len(bounds) - start > 1:
+            # Each remaining partition is mined in a forked worker; the
+            # unions (sets, so order-free) merge in partition order, and
+            # step/mark stay in the parent so the checkpoint trail keeps
+            # its per-partition shape.
+            pool = WorkerPool(n_jobs=n_jobs)
+
+            def mine_one(p, shard_ctx):
+                shard_budget = (
+                    None if shard_ctx is None else shard_ctx.budget
+                )
+                begin, stop = bounds[p]
+                local_min_count = max(
+                    1, math.ceil(min_support * (stop - begin))
+                )
+                return _mine_partition(
+                    db, begin, stop, local_min_count, max_size,
+                    shard_budget,
+                )
+
+            remaining = list(range(start, len(bounds)))
+            locals_ = pool.map(mine_one, remaining, ctx=ctx,
+                               phase="partition-scan-1")
+            for p, local in zip(remaining, locals_):
+                ctx.step(f"partition-{p}", n_candidates=len(candidates))
+                candidates |= local
+                ctx.mark(lambda: {
+                    "next_partition": p + 1,
+                    "candidates": sorted(candidates),
+                })
+        else:
+            for p in range(start, len(bounds)):
+                ctx.step(f"partition-{p}", n_candidates=len(candidates))
+                begin, stop = bounds[p]
+                local_min_count = max(
+                    1, math.ceil(min_support * (stop - begin))
+                )
+                candidates |= _mine_partition(
+                    db, begin, stop, local_min_count, max_size, budget
+                )
+                ctx.mark(lambda: {
+                    "next_partition": p + 1, "candidates": sorted(candidates),
+                })
 
         # --------------------------------------------------------------
         # Scan 2: global counting of the candidate union.
         # --------------------------------------------------------------
-        supports = _global_count(db, candidates, min_count, budget)
+        supports = _global_count(db, candidates, min_count, budget,
+                                 ctx=ctx, n_jobs=n_jobs)
     except BudgetExceeded as exc:
         if on_exhausted == "raise":
             raise
@@ -142,14 +183,48 @@ def _global_count(
     candidates: Set[Itemset],
     min_count: int,
     budget: Optional[Budget],
+    ctx: Optional[ExecutionContext] = None,
+    n_jobs: int = 1,
 ) -> Dict[Itemset, int]:
-    counts: Dict[Itemset, int] = dict.fromkeys(candidates, 0)
+    # Sorting canonicalises the result's key order: the candidate union
+    # is a set, and letting its iteration order leak into the supports
+    # dict would make equal runs byte-different.
+    ordered = sorted(candidates)
+    if n_jobs > 1 and len(db) > 1:
+        pool = WorkerPool(n_jobs=n_jobs)
+
+        def shard(span, shard_ctx):
+            shard_budget = None if shard_ctx is None else shard_ctx.budget
+            return _count_range(db, ordered, span[0], span[1], shard_budget)
+
+        vectors = pool.map(shard, shard_bounds(len(db), n_jobs),
+                           ctx=ctx, phase="partition-scan-2")
+        totals = [sum(column) for column in zip(*vectors)]
+    else:
+        totals = _count_range(db, ordered, 0, len(db), budget)
+    return {
+        cand: cnt
+        for cand, cnt in zip(ordered, totals)
+        if cnt >= min_count
+    }
+
+
+def _count_range(
+    db: TransactionDatabase,
+    ordered: List[Itemset],
+    begin: int,
+    stop: int,
+    budget: Optional[Budget],
+) -> List[int]:
+    """Scan-2 counts of ``ordered`` over rows ``[begin, stop)``."""
+    counts: Dict[Itemset, int] = dict.fromkeys(ordered, 0)
     by_size: Dict[int, List[Itemset]] = {}
-    for cand in candidates:
+    for cand in ordered:
         by_size.setdefault(len(cand), []).append(cand)
-    for i, txn in enumerate(db):
+    for i in range(begin, stop):
         if budget is not None and i % 256 == 0:
             budget.check(phase="partition-scan-2")
+        txn = db[i]
         txn_set = set(txn)
         for size, cands in by_size.items():
             if size > len(txn):
@@ -157,7 +232,7 @@ def _global_count(
             for cand in cands:
                 if txn_set.issuperset(cand):
                     counts[cand] += 1
-    return {c: cnt for c, cnt in counts.items() if cnt >= min_count}
+    return list(counts.values())
 
 
 def _partition_bounds(n: int, k: int) -> List[Tuple[int, int]]:

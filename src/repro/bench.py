@@ -1,0 +1,278 @@
+"""Benchmark harness: a fixed synthetic suite behind ``repro bench``.
+
+Four workloads exercise the parallel execution layer end to end —
+apriori support counting (serial backends vs. the map-reduce path and
+the bitmap kernel), partition shard mining, k-means restart trials and
+cross-validation folds.  Each benchmark times the serial run against
+the same call with ``n_jobs`` workers, checks the two results are
+byte-identical (the WorkerPool determinism contract), and the suite is
+written as machine-readable JSON (``BENCH_parallel.json``) so later PRs
+have a perf trajectory to beat.
+
+The payload records ``n_cpus`` alongside the timings: fork-parallel
+speedup is bounded by the cores actually available, so a single-core
+box legitimately reports speedup near (or below) 1.0 for the sharded
+runs while the vectorized bitmap kernel still shows its algorithmic
+gain.  Consumers must not assert speedups the hardware cannot deliver;
+the CI smoke job asserts only the schema and the identity bits.
+
+Two scales: ``full`` for the committed trajectory, ``smoke`` for CI
+(seconds, not minutes).  Timings take the best of ``repeat`` runs to
+damp scheduler noise; identity is checked on every run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import platform
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+SCHEMA_VERSION = 1
+
+#: workload sizes per scale; smoke keeps CI under a few seconds
+SCALES = {
+    "full": {
+        "apriori_rows": 4000,
+        "partition_rows": 6000,
+        "kmeans_rows": 3000,
+        "crossval_rows": 1500,
+    },
+    "smoke": {
+        "apriori_rows": 300,
+        "partition_rows": 400,
+        "kmeans_rows": 200,
+        "crossval_rows": 200,
+    },
+}
+
+
+def _best_of(repeat: int, fn: Callable[[], object]) -> Tuple[float, object]:
+    """(best wall-clock seconds, last result) over ``repeat`` calls."""
+    best = float("inf")
+    value = None
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def _entry(
+    name: str,
+    params: Dict,
+    n_jobs: int,
+    repeat: int,
+    serial: Callable[[], object],
+    parallel: Callable[[], object],
+    fingerprint: Callable[[object], bytes],
+) -> Dict:
+    """Time serial vs. parallel and compare their fingerprints."""
+    serial_seconds, serial_value = _best_of(repeat, serial)
+    parallel_seconds, parallel_value = _best_of(repeat, parallel)
+    return {
+        "name": name,
+        "params": params,
+        "n_jobs": n_jobs,
+        "serial_seconds": round(serial_seconds, 6),
+        "parallel_seconds": round(parallel_seconds, 6),
+        "speedup": round(serial_seconds / max(parallel_seconds, 1e-12), 4),
+        "identical": fingerprint(serial_value) == fingerprint(parallel_value),
+    }
+
+
+def _itemsets_fingerprint(itemsets) -> bytes:
+    return pickle.dumps(sorted(itemsets.supports.items()))
+
+
+def bench_apriori(rows: int, n_jobs: int, repeat: int) -> List[Dict]:
+    """Apriori scale-up: map-reduce counting and the bitmap kernel.
+
+    Emits two entries — the sharded hash-tree count path, and the
+    vectorized bitmap backend against the serial hash tree (a kernel
+    speedup that does not depend on core count).
+    """
+    from .associations import apriori
+    from .datasets import quest_basket
+
+    db = quest_basket(rows, random_state=1994)
+    min_support = 0.01
+    params = {"rows": rows, "min_support": min_support}
+    shard = _entry(
+        "apriori", params, n_jobs, repeat,
+        lambda: apriori(db, min_support),
+        lambda: apriori(db, min_support, n_jobs=n_jobs),
+        _itemsets_fingerprint,
+    )
+    bitmap = _entry(
+        "apriori_bitmap", params, 1, repeat,
+        lambda: apriori(db, min_support),
+        lambda: apriori(db, min_support, candidate_store="bitmap"),
+        _itemsets_fingerprint,
+    )
+    return [shard, bitmap]
+
+
+def bench_partition(rows: int, n_jobs: int, repeat: int) -> List[Dict]:
+    """Partition shards mined in parallel, then the sharded global count."""
+    from .associations import partition_miner
+    from .datasets import quest_basket
+
+    db = quest_basket(rows, random_state=1995)
+    min_support = 0.01
+    params = {"rows": rows, "min_support": min_support, "n_partitions": n_jobs}
+    return [_entry(
+        "partition", params, n_jobs, repeat,
+        lambda: partition_miner(db, min_support, n_partitions=n_jobs),
+        lambda: partition_miner(db, min_support, n_partitions=n_jobs,
+                                n_jobs=n_jobs),
+        _itemsets_fingerprint,
+    )]
+
+
+def bench_kmeans(rows: int, n_jobs: int, repeat: int) -> List[Dict]:
+    """k-means++ restarts as parallel trials."""
+    from .clustering import KMeans
+    from .datasets import gaussian_blobs
+
+    X, _ = gaussian_blobs(rows, centers=6, random_state=1996)
+    n_init = 8
+    params = {"rows": rows, "n_clusters": 6, "n_init": n_init}
+
+    def fingerprint(model) -> bytes:
+        return pickle.dumps(
+            (model.cluster_centers_.tobytes(), model.inertia_)
+        )
+
+    return [_entry(
+        "kmeans", params, n_jobs, repeat,
+        lambda: KMeans(6, n_init=n_init, random_state=0).fit(X),
+        lambda: KMeans(6, n_init=n_init, random_state=0, n_jobs=n_jobs).fit(X),
+        fingerprint,
+    )]
+
+
+def bench_crossval(rows: int, n_jobs: int, repeat: int) -> List[Dict]:
+    """Cross-validation folds fit and scored in parallel workers."""
+    from .classification import NaiveBayes
+    from .datasets import agrawal
+    from .evaluation import cross_val_score
+
+    table = agrawal(rows, function=2, noise=0.05, random_state=1997)
+    n_folds = 5
+    params = {"rows": rows, "n_folds": n_folds, "classifier": "nb"}
+    return [_entry(
+        "crossval", params, n_jobs, repeat,
+        lambda: cross_val_score(NaiveBayes, table, "group",
+                                n_folds=n_folds, random_state=0),
+        lambda: cross_val_score(NaiveBayes, table, "group",
+                                n_folds=n_folds, random_state=0,
+                                n_jobs=n_jobs),
+        pickle.dumps,
+    )]
+
+
+def run_suite(scale: str = "full", n_jobs: int = 4, repeat: int = 1) -> Dict:
+    """Run every benchmark at ``scale``; returns the JSON payload."""
+    if scale not in SCALES:
+        from .core.exceptions import ValidationError
+
+        raise ValidationError(
+            f"scale must be one of {sorted(SCALES)}, got {scale!r}"
+        )
+    sizes = SCALES[scale]
+    benchmarks: List[Dict] = []
+    benchmarks += bench_apriori(sizes["apriori_rows"], n_jobs, repeat)
+    benchmarks += bench_partition(sizes["partition_rows"], n_jobs, repeat)
+    benchmarks += bench_kmeans(sizes["kmeans_rows"], n_jobs, repeat)
+    benchmarks += bench_crossval(sizes["crossval_rows"], n_jobs, repeat)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "parallel",
+        "scale": scale,
+        "n_jobs": n_jobs,
+        "repeat": repeat,
+        "n_cpus": len(os.sched_getaffinity(0)),
+        "python": platform.python_version(),
+        "benchmarks": benchmarks,
+    }
+
+
+def validate_payload(payload: Dict) -> List[str]:
+    """Schema check used by tests and the CI smoke job.
+
+    Returns a list of problems (empty = valid) rather than raising, so
+    CI can report every violation at once.
+    """
+    problems: List[str] = []
+    for key, kind in (
+        ("schema_version", int), ("suite", str), ("scale", str),
+        ("n_jobs", int), ("repeat", int), ("n_cpus", int),
+        ("python", str), ("benchmarks", list),
+    ):
+        if not isinstance(payload.get(key), kind):
+            problems.append(f"missing or mistyped field {key!r}")
+    for i, entry in enumerate(payload.get("benchmarks") or []):
+        for key, kind in (
+            ("name", str), ("params", dict), ("n_jobs", int),
+            ("serial_seconds", (int, float)),
+            ("parallel_seconds", (int, float)),
+            ("speedup", (int, float)), ("identical", bool),
+        ):
+            if not isinstance(entry.get(key), kind):
+                problems.append(
+                    f"benchmark[{i}]: missing or mistyped field {key!r}"
+                )
+    return problems
+
+
+def write_payload(payload: Dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def render_report(payload: Dict) -> str:
+    """Human-readable table printed by ``repro bench``."""
+    lines = [
+        f"parallel benchmark suite (scale={payload['scale']}, "
+        f"n_jobs={payload['n_jobs']}, n_cpus={payload['n_cpus']})",
+        f"{'benchmark':<16} {'serial':>10} {'parallel':>10} "
+        f"{'speedup':>8}  identical",
+    ]
+    for entry in payload["benchmarks"]:
+        lines.append(
+            f"{entry['name']:<16} {entry['serial_seconds']:>9.3f}s "
+            f"{entry['parallel_seconds']:>9.3f}s "
+            f"{entry['speedup']:>7.2f}x  "
+            f"{'yes' if entry['identical'] else 'NO'}"
+        )
+    return "\n".join(lines)
+
+
+def main(scale: str = "full", n_jobs: int = 4, repeat: int = 1,
+         output: Optional[str] = "BENCH_parallel.json") -> Dict:
+    """Run, print and (optionally) write the suite; returns the payload."""
+    payload = run_suite(scale=scale, n_jobs=n_jobs, repeat=repeat)
+    print(render_report(payload))
+    if output:
+        write_payload(payload, output)
+        print(f"wrote {output}")
+    return payload
+
+
+__all__ = [
+    "SCALES",
+    "SCHEMA_VERSION",
+    "bench_apriori",
+    "bench_crossval",
+    "bench_kmeans",
+    "bench_partition",
+    "main",
+    "render_report",
+    "run_suite",
+    "validate_payload",
+    "write_payload",
+]

@@ -1,6 +1,6 @@
 """Command-line interface: ``repro <command>``.
 
-Five commands cover the library's workflows without writing Python:
+Six commands cover the library's workflows without writing Python:
 
 * ``repro mine``       — frequent itemsets + rules from a FIMI-format
   transaction file (one transaction per line, integer items).
@@ -10,6 +10,8 @@ Five commands cover the library's workflows without writing Python:
 * ``repro cluster``    — cluster the numeric columns of a typed CSV.
 * ``repro generate``   — emit synthetic workloads (basket / table /
   blobs) for the other commands to consume.
+* ``repro bench``      — run the fixed parallel benchmark suite and
+  write ``BENCH_parallel.json`` (see :mod:`repro.bench`).
 * ``repro algorithms`` — list every registered algorithm with its
   declared capabilities.
 
@@ -47,6 +49,12 @@ Under ``--supervise``, ``--retries`` relaunches a crashed child, and —
 for ``mine``/``cluster`` with ``--checkpoint-dir`` — every relaunch
 resumes from the newest valid snapshot; supervised ``classify`` restarts
 its (deterministic) fit from scratch.
+
+``mine`` and ``cluster`` accept ``--jobs N`` on algorithms declaring the
+``parallelizable`` capability: work is sharded across N forked workers
+with output byte-identical to the serial run (``--jobs -1`` uses every
+core).  The flag is registry-gated — requesting it on an algorithm
+without the capability exits 2 before any data is loaded.
 
 Exit codes: 0 = success, including budget-degraded partial results
 (flagged by a ``NOTE:`` line); 2 = invalid input or an unsupported
@@ -113,6 +121,14 @@ def _add_supervise_flags(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_parallel_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="shard work across N forked workers (-1 = all cores); "
+             "output is byte-identical to the serial run",
+    )
+
+
 def _usage_error(args, caps, algorithm: str) -> Optional[str]:
     """One-line actionable message for a bad flag combination, or None.
 
@@ -127,6 +143,9 @@ def _usage_error(args, caps, algorithm: str) -> Optional[str]:
         return "--resume requires --checkpoint-dir"
     if checkpoint_dir is not None and not caps.checkpointable:
         return f"{algorithm} does not support --checkpoint-dir/--resume"
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs != 1 and not caps.parallelizable:
+        return f"{algorithm} does not support --jobs"
     if not args.supervise:
         if args.max_rss_mb is not None:
             return "--max-rss-mb requires --supervise"
@@ -264,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_budget_flags(mine)
     _add_checkpoint_flags(mine)
     _add_supervise_flags(mine)
+    _add_parallel_flags(mine)
 
     classify = sub.add_parser("classify", help="train/evaluate a classifier")
     classify.add_argument("path", help="typed CSV (name:num / name:cat)")
@@ -296,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_budget_flags(cluster)
     _add_checkpoint_flags(cluster)
     _add_supervise_flags(cluster)
+    _add_parallel_flags(cluster)
 
     generate = sub.add_parser("generate", help="emit synthetic data")
     generate.add_argument(
@@ -308,6 +329,27 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--noise", type=float, default=0.0)
     generate.add_argument("--centers", type=int, default=3)
     generate.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the parallel benchmark suite, write BENCH_parallel.json",
+    )
+    bench.add_argument(
+        "--scale", choices=["full", "smoke"], default="full",
+        help="workload sizes: full (committed trajectory) or smoke (CI)",
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="worker count for the parallel side of each benchmark",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="take the best wall-clock of N runs per side",
+    )
+    bench.add_argument(
+        "--output", default="BENCH_parallel.json", metavar="PATH",
+        help="JSON output path ('-' to skip writing)",
+    )
 
     sub.add_parser(
         "algorithms",
@@ -336,6 +378,8 @@ def _cmd_mine(args) -> int:
     kwargs = {}
     if budget is not None:
         kwargs["on_exhausted"] = "truncate"
+    if args.jobs is not None and spec.capabilities.parallelizable:
+        kwargs["n_jobs"] = args.jobs
     if args.supervise:
         # The supervisor injects a per-attempt checkpointer into this
         # context (ExecutionContext.replace), so the budget survives
@@ -430,9 +474,13 @@ def _cmd_cluster(args) -> int:
         return 2
     budget = _make_budget(args, spec.capabilities.budget_resource)
     checkpoint = None if args.supervise else _make_checkpointer(args)
+    make_kwargs = {}
+    if args.jobs is not None and spec.capabilities.parallelizable:
+        make_kwargs["n_jobs"] = args.jobs
     model = spec.make(
         _make_context(budget=budget, checkpoint=checkpoint),
         k=args.k, eps=args.eps, min_samples=args.min_samples, seed=args.seed,
+        **make_kwargs,
     )
     if args.supervise:
         model = _run_supervised(args, _cluster_fit_worker, model, X)
@@ -496,6 +544,15 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from . import bench
+
+    output = None if args.output == "-" else args.output
+    payload = bench.main(scale=args.scale, n_jobs=args.jobs,
+                         repeat=args.repeat, output=output)
+    return 0 if all(e["identical"] for e in payload["benchmarks"]) else 2
+
+
 def _cmd_algorithms(args) -> int:
     from . import registry
 
@@ -508,6 +565,7 @@ COMMANDS = {
     "classify": _cmd_classify,
     "cluster": _cmd_cluster,
     "generate": _cmd_generate,
+    "bench": _cmd_bench,
     "algorithms": _cmd_algorithms,
 }
 

@@ -33,8 +33,8 @@ from ..registry import (
 # mapping the shared CLI surface (k / eps / min-samples / seed) onto
 # the estimator.  Extra params are accepted and ignored so the CLI can
 # pass its full flag set uniformly.
-def _make_kmeans(ctx, k=3, seed=0, **_):
-    return KMeans(k, random_state=seed, ctx=ctx)
+def _make_kmeans(ctx, k=3, seed=0, n_jobs=None, **_):
+    return KMeans(k, random_state=seed, ctx=ctx, n_jobs=n_jobs)
 
 
 def _make_pam(ctx, k=3, **_):
@@ -66,8 +66,12 @@ def _make_agglomerative(ctx, k=3, **_):
 _ITERATIVE_CAPS = _Caps(
     checkpointable=True, supervisable=True, budget_resource="expansions"
 )
+_KMEANS_CAPS = _Caps(
+    checkpointable=True, supervisable=True, budget_resource="expansions",
+    parallelizable=True,
+)
 for _spec in (
-    _Spec("kmeans", "clustering", KMeans, _ITERATIVE_CAPS,
+    _Spec("kmeans", "clustering", KMeans, _KMEANS_CAPS,
           summary="Lloyd/MacQueen with k-means++ seeding",
           make=_make_kmeans),
     _Spec("pam", "clustering", PAM, _ITERATIVE_CAPS,

@@ -16,6 +16,7 @@ import numpy as np
 from ..core.base import Clusterer, check_in_range
 from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..core.random import RandomState, check_random_state, spawn
+from ..runtime.parallel import WorkerPool, resolve_n_jobs
 from .distance import pairwise_distances
 from .kmedoids import PAM
 
@@ -36,6 +37,11 @@ class CLARA(Clusterer):
         run exhausts it without reaching a local optimum, CLARA re-emits
         a single summary :class:`ConvergenceWarning` (instead of one
         warning per sample, attributed to PAM internals).
+    n_jobs:
+        Samples are independent trials, so with ``n_jobs > 1`` they run
+        in forked workers; outcomes merge in sample order with the same
+        strict-less-than cost comparison, so the chosen medoid set is
+        identical to the serial loop.  ``-1`` uses all cores.
 
     Attributes
     ----------
@@ -59,6 +65,7 @@ class CLARA(Clusterer):
         sample_size: Optional[int] = None,
         random_state: RandomState = None,
         max_swaps: int = 200,
+        n_jobs: Optional[int] = None,
     ):
         check_in_range("n_clusters", n_clusters, 1, None)
         check_in_range("n_samples", n_samples, 1, None)
@@ -70,6 +77,7 @@ class CLARA(Clusterer):
         self.sample_size = sample_size
         self.random_state = random_state
         self.max_swaps = int(max_swaps)
+        self.n_jobs = resolve_n_jobs(n_jobs, "CLARA")
         self.medoid_indices_: Optional[np.ndarray] = None
         self.cluster_centers_: Optional[np.ndarray] = None
         self.cost_: Optional[float] = None
@@ -87,23 +95,35 @@ class CLARA(Clusterer):
         best_cost = np.inf
         best_medoids = None
         unconverged = 0
-        for child in spawn(rng, self.n_samples):
+
+        def run_sample(child, _shard_ctx):
             sample_idx = child.choice(n, size=min(size, n), replace=False)
             with warnings.catch_warnings(record=True) as caught:
                 warnings.simplefilter("always")
                 pam = PAM(self.n_clusters, max_swaps=self.max_swaps).fit(
                     X[sample_idx]
                 )
-            for w in caught:
-                if issubclass(w.category, ConvergenceWarning):
-                    unconverged += 1
-                else:
-                    warnings.warn_explicit(
-                        w.message, w.category, w.filename, w.lineno
-                    )
             medoids = sample_idx[pam.medoid_indices_]
             d = pairwise_distances(X, X[medoids])
             cost = float(d.min(axis=1).sum())
+            sample_unconverged = 0
+            foreign = []
+            for w in caught:
+                if issubclass(w.category, ConvergenceWarning):
+                    sample_unconverged += 1
+                else:
+                    foreign.append(
+                        (w.message, w.category, w.filename, w.lineno)
+                    )
+            return cost, medoids, sample_unconverged, foreign
+
+        pool = WorkerPool(n_jobs=self.n_jobs)
+        outcomes = pool.map(run_sample, list(spawn(rng, self.n_samples)),
+                            ctx=self.ctx, phase="clara-sample")
+        for cost, medoids, sample_unconverged, foreign in outcomes:
+            for message, category, filename, lineno in foreign:
+                warnings.warn_explicit(message, category, filename, lineno)
+            unconverged += sample_unconverged
             if cost < best_cost:
                 best_cost = cost
                 best_medoids = medoids

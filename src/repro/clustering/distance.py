@@ -20,11 +20,15 @@ def euclidean(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.sqrt(((a - b) ** 2).sum()))
 
 
-def pairwise_distances(X: np.ndarray, Y: np.ndarray = None) -> np.ndarray:
+def pairwise_distances(
+    X: np.ndarray, Y: np.ndarray = None, squared: bool = False
+) -> np.ndarray:
     """Dense Euclidean distance matrix between rows of X and Y (or X, X).
 
     Uses the expanded quadratic form with a clamp against tiny negative
-    round-off before the square root.
+    round-off.  ``squared=True`` skips the square root — squared
+    distances order identically to true ones, so argmin-style consumers
+    (the k-means assignment step) can avoid the round-trip entirely.
     """
     X = np.asarray(X, dtype=np.float64)
     Y = X if Y is None else np.asarray(Y, dtype=np.float64)
@@ -35,14 +39,15 @@ def pairwise_distances(X: np.ndarray, Y: np.ndarray = None) -> np.ndarray:
         - 2.0 * X @ Y.T
         + (Y**2).sum(axis=1)[None, :]
     )
-    return np.sqrt(np.maximum(sq, 0.0))
+    sq = np.maximum(sq, 0.0)
+    return sq if squared else np.sqrt(sq)
 
 
 def nearest_center(X: np.ndarray, centers: np.ndarray):
     """(assignment, squared distance to the assigned center) per row."""
-    d = pairwise_distances(X, centers)
-    labels = d.argmin(axis=1)
-    return labels, d[np.arange(len(X)), labels] ** 2
+    d2 = pairwise_distances(X, centers, squared=True)
+    labels = d2.argmin(axis=1)
+    return labels, d2[np.arange(len(X)), labels]
 
 
 __all__ = ["euclidean", "pairwise_distances", "nearest_center"]

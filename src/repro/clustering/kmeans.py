@@ -19,6 +19,7 @@ from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..core.random import RandomState, check_random_state, spawn
 from ..runtime import Budget, BudgetExceeded, Checkpointer
 from ..runtime.context import ExecutionContext
+from ..runtime.parallel import WorkerPool, resolve_n_jobs
 from .distance import nearest_center, pairwise_distances
 
 _INITS = ("kmeans++", "forgy", "random_partition")
@@ -63,6 +64,16 @@ class KMeans(Clusterer):
     ctx:
         Optional :class:`~repro.runtime.ExecutionContext` bundling
         budget, checkpointer, cancellation and progress hooks.
+    n_jobs:
+        With ``n_jobs > 1`` the ``n_init`` restarts run as parallel
+        trials in forked workers, merged in restart order with the same
+        strict-less-than inertia comparison, so the winning run is
+        identical to the serial loop (the ``max_restarts`` retry
+        allowance stays serial — it stops at the first convergence, an
+        inherently sequential rule).  Parallel trials engage only for
+        bare runs: a budget or checkpointer forces the serial loop,
+        whose truncation and resume semantics are order-dependent.
+        ``-1`` uses all cores.
 
     Attributes
     ----------
@@ -99,6 +110,7 @@ class KMeans(Clusterer):
         budget: Optional[Budget] = None,
         checkpoint: Optional[Checkpointer] = None,
         ctx: Optional[ExecutionContext] = None,
+        n_jobs: Optional[int] = None,
     ):
         check_in_range("n_clusters", n_clusters, 1, None)
         check_in_range("n_init", n_init, 1, None)
@@ -119,6 +131,7 @@ class KMeans(Clusterer):
         self.tol = float(tol)
         self.random_state = random_state
         self.max_restarts = int(max_restarts)
+        self.n_jobs = resolve_n_jobs(n_jobs, "KMeans")
         self._init_context(ctx, budget=budget, checkpoint=checkpoint)
         self.cluster_centers_: Optional[np.ndarray] = None
         self.inertia_: Optional[float] = None
@@ -134,6 +147,15 @@ class KMeans(Clusterer):
         rng = check_random_state(self.random_state)
         self.truncated_ = False
         self.truncation_reason_ = None
+        if (
+            self.n_jobs > 1
+            and self.ctx.budget is None
+            and self.ctx.checkpointer is None
+        ):
+            # Bare runs have no order-dependent budget truncation or
+            # per-iteration snapshots, so the restarts are pure trials.
+            self._fit_parallel(X, rng)
+            return
         resumed = self.ctx.resume(lambda: self._checkpoint_key(X))
         best = None
         any_converged = False
@@ -208,6 +230,58 @@ class KMeans(Clusterer):
                 f"in any of {launched} runs",
                 ConvergenceWarning,
                 stacklevel=2,
+            )
+
+    def _fit_parallel(self, X: np.ndarray, rng) -> None:
+        """The restart loop as parallel trials (bare runs only).
+
+        The first ``n_init`` restarts always all run in the serial loop
+        (its early exits need a budget, or apply only to the retry
+        allowance), so they fan out as independent trials and merge in
+        restart order.  The ``max_restarts`` extras keep the serial
+        stop-at-first-convergence rule.
+        """
+        children = list(spawn(rng, self.n_init + self.max_restarts))
+
+        def trial(child, _shard_ctx):
+            centers = self._init_centers(X, child)
+            if self.algorithm == "lloyd":
+                return self._lloyd(X, centers, child)
+            return self._macqueen(X, centers)
+
+        pool = WorkerPool(n_jobs=self.n_jobs)
+        outcomes = pool.map(trial, children[:self.n_init],
+                            ctx=self.ctx, phase="kmeans-restart")
+        best = None
+        any_converged = False
+        launched = self.n_init
+        for centers, labels, inertia, n_iter, converged in outcomes:
+            any_converged = any_converged or converged
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia, n_iter)
+        for child in children[self.n_init:]:
+            if any_converged:
+                break
+            launched += 1
+            centers = self._init_centers(X, child)
+            if self.algorithm == "lloyd":
+                centers, labels, inertia, n_iter, converged = self._lloyd(
+                    X, centers, child
+                )
+            else:
+                centers, labels, inertia, n_iter, converged = self._macqueen(
+                    X, centers
+                )
+            any_converged = any_converged or converged
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia, n_iter)
+        self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
+        if not any_converged:
+            warnings.warn(
+                f"k-means did not converge in {self.max_iter} iterations "
+                f"in any of {launched} runs",
+                ConvergenceWarning,
+                stacklevel=3,
             )
 
     def _checkpoint_key(self, X: np.ndarray) -> dict:

@@ -16,6 +16,8 @@ from ..core.base import Classifier, check_in_range
 from ..core.exceptions import ValidationError
 from ..core.random import RandomState, check_random_state
 from ..core.table import Table
+from ..runtime.context import ExecutionContext
+from ..runtime.parallel import WorkerPool, resolve_n_jobs
 
 
 def kfold_indices(
@@ -89,6 +91,8 @@ def cross_val_score(
     n_folds: int = 5,
     stratified: bool = True,
     random_state: RandomState = None,
+    n_jobs: int = None,
+    ctx: ExecutionContext = None,
 ) -> List[float]:
     """Accuracy of a classifier under k-fold cross-validation.
 
@@ -97,6 +101,15 @@ def cross_val_score(
     make_classifier:
         Zero-argument factory producing a *fresh* classifier per fold
         (e.g. ``lambda: C45()``) so folds never share state.
+    n_jobs:
+        Folds are independent, so with ``n_jobs > 1`` they fit and score
+        in forked workers; scores are merged in fold order and each fold
+        still gets a fresh classifier, so the result list is identical
+        to the serial loop.  ``-1`` uses all cores.
+    ctx:
+        Optional :class:`~repro.runtime.ExecutionContext`; its budget
+        deadline and cancellation token govern the parallel fold run
+        (each fold gets a derived sub-budget).
 
     Returns
     -------
@@ -112,17 +125,21 @@ def cross_val_score(
     >>> len(scores), all(s > 0.8 for s in scores)
     (5, True)
     """
+    n_jobs = resolve_n_jobs(n_jobs, "cross_val_score")
     y = table.class_codes(target)
     if stratified:
         folds = stratified_kfold_indices(y, n_folds, random_state)
     else:
         folds = kfold_indices(table.n_rows, n_folds, True, random_state)
-    scores = []
-    for train_idx, test_idx in folds:
+
+    def run_fold(fold, _shard_ctx):
+        train_idx, test_idx = fold
         model = make_classifier()
         model.fit(table.take(train_idx), target)
-        scores.append(model.score(table.take(test_idx)))
-    return scores
+        return model.score(table.take(test_idx))
+
+    pool = WorkerPool(n_jobs=n_jobs)
+    return pool.map(run_fold, list(folds), ctx=ctx, phase="fold")
 
 
 __all__ = ["kfold_indices", "stratified_kfold_indices", "cross_val_score"]

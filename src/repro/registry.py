@@ -46,12 +46,17 @@ class Capabilities:
         Values its ``on_exhausted`` parameter accepts; empty for
         estimators that degrade internally (truncated trees, best-so-far
         clusterings) without such a parameter.
+    parallelizable:
+        Accepts ``n_jobs`` and shards work across a fork-based
+        :class:`~repro.runtime.WorkerPool` with results byte-identical
+        to serial execution (``--jobs`` in the CLI).
     """
 
     checkpointable: bool = False
     supervisable: bool = False
     budget_resource: Optional[str] = None
     degradation_policies: Tuple[str, ...] = ()
+    parallelizable: bool = False
 
     def describe(self) -> str:
         """Compact one-cell rendering for the ``repro algorithms`` table."""
@@ -60,6 +65,8 @@ class Capabilities:
             parts.append("checkpoint")
         if self.supervisable:
             parts.append("supervise")
+        if self.parallelizable:
+            parts.append("parallel")
         if self.budget_resource is not None:
             parts.append(f"budget={self.budget_resource}")
         if self.degradation_policies:

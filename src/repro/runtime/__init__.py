@@ -7,8 +7,10 @@ accept, :mod:`repro.runtime.budget` for the budget/cancellation machinery,
 :mod:`repro.runtime.checkpoint` for crash-safe snapshot persistence,
 :mod:`repro.runtime.retry` for transient-fault retries,
 :mod:`repro.runtime.faults` for the deterministic fault harness used by
-``tests/runtime``, and :mod:`repro.runtime.supervisor` for process-level
-supervision (hard limits, crash containment, chaos-proven resume).
+``tests/runtime``, :mod:`repro.runtime.supervisor` for process-level
+supervision (hard limits, crash containment, chaos-proven resume), and
+:mod:`repro.runtime.parallel` for the fork-based :class:`WorkerPool`
+that executes shard tasks deterministically under the same budgets.
 """
 
 from .budget import (
@@ -46,6 +48,13 @@ from .faults import (
     TriggerAfter,
     VirtualClock,
 )
+from .parallel import (
+    WorkerCrashed,
+    WorkerPool,
+    effective_n_jobs,
+    resolve_n_jobs,
+    shard_bounds,
+)
 from .retry import RetryPolicy
 from .supervisor import (
     FailureReport,
@@ -76,6 +85,11 @@ __all__ = [
     "BASIC_POLICIES",
     "LEVELWISE_POLICIES",
     "RetryPolicy",
+    "WorkerCrashed",
+    "WorkerPool",
+    "effective_n_jobs",
+    "resolve_n_jobs",
+    "shard_bounds",
     "ChaosMonkey",
     "FailureReport",
     "HardLimits",

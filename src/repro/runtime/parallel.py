@@ -1,0 +1,398 @@
+"""Fork-based parallel shard execution with full context propagation.
+
+The shard-then-merge algorithms of the mining canon — Partition mines
+its database chunks independently (Savasere et al., VLDB '95), CLARA
+scores independent samples, levelwise miners sum per-chunk candidate
+counts — parallelise naturally, but a worker pool that ignores the
+runtime layer would undo PRs 1-4: budgets stop binding, cancellation
+stops reaching the hot loops, and results start depending on worker
+scheduling.  :class:`WorkerPool` keeps the contracts:
+
+* **Determinism** — tasks are identified by their position; results are
+  merged in task order no matter which child finishes first, so
+  ``n_jobs=k`` is byte-identical to ``n_jobs=1`` for any pure shard
+  function.
+* **Budget accounting across workers** — each child receives a derived
+  sub-budget (via :meth:`ExecutionContext.replace`) capped at whatever
+  the parent budget has left; when a shard returns, its counter usage is
+  charged back to the parent budget, so the shared limits keep binding
+  across process boundaries and exhaustion raises the ordinary
+  :class:`~repro.runtime.BudgetExceeded` in the parent.
+* **Cancellation fan-out** — the parent polls its own
+  :class:`~repro.runtime.CancellationToken` (and budget deadline) while
+  children run; cancelling the parent token SIGTERMs every child, reaps
+  them, and raises :class:`~repro.runtime.OperationCancelled`.
+* **Crash containment** — a child that dies on a signal or non-zero
+  exit surfaces as a structured :class:`WorkerCrashed` instead of a
+  hung ``join``; results travel through the same atomic pickled-file
+  transport the :class:`~repro.runtime.Supervisor` uses
+  (:mod:`repro.runtime.transport`).
+
+``n_jobs=1`` (the default everywhere) runs shards inline in the parent
+process — no fork, no transport, byte-identical to the pre-parallel
+code path.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..core.base import check_in_range
+from ..core.exceptions import ReproError, ValidationError
+from .budget import Budget
+from .context import ExecutionContext
+from .transport import READ_ERRORS, read_result, write_result
+
+
+def effective_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalise an ``n_jobs`` request into a concrete worker count.
+
+    ``None`` and ``1`` mean serial; ``-1`` means one worker per
+    available core; any other positive integer is taken literally.
+    """
+    if n_jobs is None:
+        return 1
+    if n_jobs == -1:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux fallback
+            return max(1, os.cpu_count() or 1)
+    check_in_range("n_jobs", n_jobs, 1, None)
+    return int(n_jobs)
+
+
+def shard_bounds(n: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` ranges covering ``0..n`` evenly.
+
+    Sizes differ by at most one; empty shards are dropped, so the
+    result is deterministic in ``n`` and ``n_shards`` and never yields
+    zero-width work.
+    """
+    check_in_range("n_shards", n_shards, 1, None)
+    n_shards = min(n_shards, n) if n else 1
+    sizes = [n // n_shards] * n_shards
+    for i in range(n % n_shards):
+        sizes[i] += 1
+    bounds = []
+    start = 0
+    for size in sizes:
+        if size:
+            bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+class WorkerCrashed(ReproError, RuntimeError):
+    """A pool child died without delivering a result.
+
+    Attributes
+    ----------
+    task_index:
+        Position of the shard the dead child was running.
+    exit_code, signal_number:
+        Raw process exit status (``signal_number`` set when the child
+        died on a signal).
+    """
+
+    def __init__(self, message: str, task_index: int,
+                 exit_code: Optional[int] = None,
+                 signal_number: Optional[int] = None):
+        super().__init__(message)
+        self.task_index = task_index
+        self.exit_code = exit_code
+        self.signal_number = signal_number
+
+
+def _budget_usage(budget: Optional[Budget]) -> dict:
+    if budget is None:
+        return {"candidates": 0, "nodes": 0, "expansions": 0}
+    return {
+        "candidates": budget.candidates_used,
+        "nodes": budget.nodes_used,
+        "expansions": budget.expansions_used,
+    }
+
+
+def _derive_sub_budget(budget: Optional[Budget]) -> Optional[Budget]:
+    """A child-side budget capped at what the parent has left.
+
+    Counter caps are the parent's remaining allowance (floored at one
+    unit so construction stays valid — the parent re-charges actual
+    usage on merge and is the authority on exhaustion); the deadline is
+    the parent's remaining wall-clock.  Tokens and progress hooks do
+    not cross the fork: cancellation reaches children as SIGTERM from
+    the parent's poll loop.
+    """
+    if budget is None:
+        return None
+    kwargs = {"check_interval": budget.check_interval}
+    if budget.time_limit is not None:
+        kwargs["time_limit"] = budget.remaining_time()
+    if budget.max_candidates is not None:
+        kwargs["max_candidates"] = max(
+            1, budget.max_candidates - budget.candidates_used
+        )
+    if budget.max_nodes is not None:
+        kwargs["max_nodes"] = max(1, budget.max_nodes - budget.nodes_used)
+    if budget.max_expansions is not None:
+        kwargs["max_expansions"] = max(
+            1, budget.max_expansions - budget.expansions_used
+        )
+    return Budget(**kwargs)
+
+
+def _charge_usage(budget: Optional[Budget], usage: dict, phase: str) -> None:
+    """Charge one shard's counter usage back to the parent budget."""
+    if budget is None:
+        return
+    if usage.get("candidates"):
+        budget.charge_candidates(usage["candidates"], phase=phase)
+    if usage.get("nodes"):
+        budget.charge_nodes(usage["nodes"], phase=phase)
+    if usage.get("expansions"):
+        budget.charge_expansions(usage["expansions"], phase=phase)
+
+
+def _shard_main(fn, task, ctx, result_path: str) -> None:
+    """Entry point of one forked shard child.
+
+    Exit protocol mirrors the supervisor's: ``0`` means a complete
+    payload file exists (a value *or* a pickled application error plus
+    the shard's budget usage); anything else is a crash for the parent
+    to classify.  SIGTERM keeps its default disposition, so the
+    parent's cancellation fan-out kills the child immediately.
+    """
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        budget = None if ctx is None else ctx.budget
+        try:
+            value = fn(task, ctx)
+        except BaseException as exc:
+            write_result(result_path, {
+                "ok": False, "error": exc, "usage": _budget_usage(budget),
+            })
+            os._exit(0)
+        write_result(result_path, {
+            "ok": True, "value": value, "usage": _budget_usage(budget),
+        })
+        os._exit(0)
+    except BaseException:  # pragma: no cover - last-resort crash path
+        import traceback
+
+        traceback.print_exc()
+        os._exit(1)
+
+
+class WorkerPool:
+    """Execute shard tasks in forked children, merging deterministically.
+
+    Parameters
+    ----------
+    n_jobs:
+        Maximum concurrent children; ``1`` runs every shard inline in
+        the parent (no fork), ``-1`` uses one child per available core.
+    start_method:
+        ``multiprocessing`` start method; the default ``"fork"`` lets
+        shard functions close over unpicklable state (databases, numpy
+        matrices) because children inherit the parent's memory image.
+    poll_interval:
+        Seconds between parent-side polls of child liveness, the
+        cancellation token, and the budget deadline.
+
+    Examples
+    --------
+    >>> pool = WorkerPool(n_jobs=2)
+    >>> pool.map(lambda span, ctx: sum(range(*span)), [(0, 5), (5, 10)])
+    [10, 35]
+    """
+
+    def __init__(self, n_jobs: int = 1, start_method: str = "fork",
+                 poll_interval: float = 0.01):
+        check_in_range("poll_interval", poll_interval, 0.0, None,
+                       low_inclusive=False)
+        self.n_jobs = effective_n_jobs(n_jobs)
+        self.start_method = start_method
+        self.poll_interval = float(poll_interval)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[Any, Optional[ExecutionContext]], Any],
+        tasks: Sequence[Any],
+        ctx: Optional[ExecutionContext] = None,
+        phase: str = "shard",
+    ) -> List[Any]:
+        """``[fn(task, shard_ctx) for task in tasks]``, possibly forked.
+
+        ``fn`` must be deterministic in its task and must not rely on
+        mutating shared state — under ``n_jobs>1`` it runs in a forked
+        copy of the parent, and only its return value (which must be
+        picklable) comes back.  Each shard context carries a derived
+        sub-budget; checkpointers and progress hooks are stripped (the
+        caller marks/reports at merge points in the parent).
+
+        Results are returned in task order.  A shard that raises sees
+        its exception re-raised here (after its budget usage is charged
+        to the parent), remaining children are SIGTERMed, and the pool
+        is left clean.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.n_jobs == 1 or len(tasks) == 1:
+            return [fn(task, ctx) for task in tasks]
+        return self._map_forked(fn, tasks, ctx, phase)
+
+    # ------------------------------------------------------------------
+    # Forked execution
+    # ------------------------------------------------------------------
+    def _shard_ctx(self, ctx: Optional[ExecutionContext]):
+        if ctx is None:
+            return None
+        return ctx.replace(
+            budget=_derive_sub_budget(ctx.budget),
+            checkpointer=None,
+            cancel_token=None,
+            on_progress=None,
+        )
+
+    def _map_forked(self, fn, tasks, ctx, phase) -> List[Any]:
+        import multiprocessing
+
+        mp = multiprocessing.get_context(self.start_method)
+        budget = None if ctx is None else ctx.budget
+        scratch = Path(tempfile.mkdtemp(prefix="repro-pool-"))
+        results: List[Any] = [None] * len(tasks)
+        pending = list(enumerate(tasks))
+        running: List[Tuple[int, Any, Path]] = []
+        error: Optional[BaseException] = None
+        try:
+            while (pending or running) and error is None:
+                while pending and len(running) < self.n_jobs:
+                    index, task = pending.pop(0)
+                    result_path = scratch / f"shard-{index}.pkl"
+                    proc = mp.Process(
+                        target=_shard_main,
+                        args=(fn, task, self._shard_ctx(ctx),
+                              str(result_path)),
+                    )
+                    proc.start()
+                    running.append((index, proc, result_path))
+                time.sleep(self.poll_interval)
+                # Parent-side fan-out point: budget deadline and
+                # cancellation fire here, terminating every child.
+                if ctx is not None:
+                    if budget is not None:
+                        budget.check(phase=phase)
+                    ctx.raise_if_cancelled()
+                still_running = []
+                for index, proc, result_path in running:
+                    if proc.exitcode is None:
+                        still_running.append((index, proc, result_path))
+                        continue
+                    outcome = self._collect(
+                        index, proc.exitcode, result_path, budget, phase
+                    )
+                    if isinstance(outcome, _ShardError):
+                        error = outcome.error
+                        break
+                    results[index] = outcome.value
+                running = still_running
+            if error is not None:
+                raise error
+            return results
+        finally:
+            self._terminate(running)
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    def _collect(self, index, exit_code, result_path, budget, phase):
+        """Turn one finished child into a value or a shard error."""
+        if exit_code != 0:
+            signal_number = -exit_code if exit_code < 0 else None
+            detail = (
+                f"killed by {signal.Signals(signal_number).name}"
+                if signal_number is not None
+                else f"exited with status {exit_code}"
+            )
+            return _ShardError(WorkerCrashed(
+                f"pool worker for shard {index} {detail}",
+                task_index=index,
+                exit_code=exit_code,
+                signal_number=signal_number,
+            ))
+        try:
+            payload = read_result(str(result_path))
+        except READ_ERRORS as exc:
+            return _ShardError(WorkerCrashed(
+                f"pool worker for shard {index} exited cleanly but its "
+                f"result file is missing or unreadable ({exc!r})",
+                task_index=index,
+                exit_code=0,
+            ))
+        # Charging before propagating keeps the parent budget authoritative:
+        # a shard that burned the last of the allowance makes the *parent*
+        # raise, exactly as the serial loop would have.
+        try:
+            _charge_usage(budget, payload.get("usage", {}), phase)
+        except BaseException as exc:
+            return _ShardError(exc)
+        if payload["ok"]:
+            return _ShardValue(payload["value"])
+        return _ShardError(payload["error"])
+
+    @staticmethod
+    def _terminate(running) -> None:
+        for _index, proc, _path in running:
+            if proc.exitcode is None:
+                proc.terminate()
+        deadline = time.monotonic() + 5.0
+        for _index, proc, _path in running:
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.exitcode is None:  # pragma: no cover - stuck child
+                proc.kill()
+                proc.join(1.0)
+
+
+class _ShardValue:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class _ShardError:
+    __slots__ = ("error",)
+
+    def __init__(self, error):
+        self.error = error
+
+
+def resolve_n_jobs(n_jobs: Optional[int], owner: str = "this algorithm") -> int:
+    """Validate an algorithm's ``n_jobs`` argument.
+
+    Centralised so every shard point rejects garbage identically; the
+    return value is a concrete positive worker count.
+    """
+    try:
+        return effective_n_jobs(n_jobs)
+    except ValidationError:
+        raise ValidationError(
+            f"n_jobs for {owner} must be a positive int or -1, got {n_jobs!r}"
+        ) from None
+
+
+__all__ = [
+    "WorkerCrashed",
+    "WorkerPool",
+    "effective_n_jobs",
+    "resolve_n_jobs",
+    "shard_bounds",
+]

@@ -37,7 +37,6 @@ from __future__ import annotations
 
 import math
 import os
-import pickle
 import resource
 import shutil
 import signal
@@ -49,10 +48,10 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
 from ..core.base import check_in_range
-from ..core.exceptions import ReproError
 from .checkpoint import CheckpointCorrupted, Checkpointer, CheckpointStore
 from .faults import ChaosMonkey, TransientFault
 from .retry import RetryPolicy
+from .transport import READ_ERRORS, read_result, write_result
 
 _MB = 1024 * 1024
 
@@ -279,25 +278,6 @@ def _child_rss_guard(fn: Callable[[], None]) -> None:
         os._exit(EXIT_MEMORY)
 
 
-def _write_result(result_path: str, payload: Dict[str, Any]) -> None:
-    """Atomically persist the child's outcome (success or app error)."""
-    try:
-        raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception as exc:
-        raw = pickle.dumps({
-            "ok": False,
-            "error": ReproError(
-                f"supervised result is not picklable: {exc!r}"
-            ),
-        })
-    tmp = result_path + ".tmp"
-    with open(tmp, "wb") as handle:
-        handle.write(raw)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, result_path)
-
-
 def _child_main(target, args, kwargs, limits, result_path) -> None:
     """Entry point of the forked child.
 
@@ -319,11 +299,11 @@ def _child_main(target, args, kwargs, limits, result_path) -> None:
             os._exit(EXIT_MEMORY)
         except BaseException as exc:
             _child_rss_guard(
-                lambda: _write_result(result_path, {"ok": False, "error": exc})
+                lambda: write_result(result_path, {"ok": False, "error": exc})
             )
             os._exit(0)
         _child_rss_guard(
-            lambda: _write_result(result_path, {"ok": True, "value": value})
+            lambda: write_result(result_path, {"ok": True, "value": value})
         )
         os._exit(0)
     except _HardTerminated:
@@ -540,10 +520,8 @@ class Supervisor:
         """Load the child's result file; a missing/unreadable file on a
         clean exit is itself a crash (``"torn-result"``)."""
         try:
-            with open(result_path, "rb") as handle:
-                return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError) as exc:
+            return read_result(str(result_path))
+        except READ_ERRORS as exc:
             report = self._base_report(
                 cause="torn-result",
                 message=(

@@ -1,0 +1,60 @@
+"""Result transport between forked children and their parent.
+
+One file per outcome, written atomically: the child pickles a payload
+dict, writes it to ``<path>.tmp``, fsyncs, and renames.  The parent
+either reads a complete payload or — when the child died mid-write —
+sees no file at all, never a torn one.  Both the
+:class:`~repro.runtime.supervisor.Supervisor` and the
+:class:`~repro.runtime.parallel.WorkerPool` ship results through here,
+so the two process layers cannot drift apart in their crash semantics.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Dict
+
+from ..core.exceptions import ReproError
+
+#: exception types a result read can raise; anything here means the
+#: writer exited "cleanly" but its payload is missing or unusable.
+READ_ERRORS = (OSError, pickle.UnpicklingError, EOFError,
+               AttributeError, ImportError)
+
+
+def write_result(result_path: str, payload: Dict[str, Any]) -> None:
+    """Atomically persist a child's outcome (success or app error).
+
+    An unpicklable payload degrades to a pickled :class:`ReproError`
+    describing the failure, so the parent always gets *something* to
+    re-raise instead of a torn transport.
+    """
+    try:
+        raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raw = pickle.dumps({
+            "ok": False,
+            "error": ReproError(
+                f"supervised result is not picklable: {exc!r}"
+            ),
+        })
+    tmp = result_path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(raw)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, result_path)
+
+
+def read_result(result_path: str) -> Dict[str, Any]:
+    """Load a payload written by :func:`write_result`.
+
+    Raises one of :data:`READ_ERRORS` when the file is missing or
+    unreadable; callers classify that as a torn result.
+    """
+    with open(result_path, "rb") as handle:
+        return pickle.load(handle)
+
+
+__all__ = ["READ_ERRORS", "read_result", "write_result"]

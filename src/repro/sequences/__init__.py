@@ -33,7 +33,8 @@ for _spec in (
           summary="three-phase litemset sequence mining"),
     _Spec("gsp", "sequences", gsp,
           _Caps(checkpointable=True, supervisable=True,
-                budget_resource="candidates", degradation_policies=_BASIC),
+                budget_resource="candidates", degradation_policies=_BASIC,
+                parallelizable=True),
           summary="generalized sequential patterns with time constraints"),
     _Spec("prefixspan", "sequences", prefixspan,
           _Caps(budget_resource="candidates", degradation_policies=_BASIC),

@@ -37,6 +37,7 @@ from ..runtime.context import (
     check_degradation_policy,
     resolve_context,
 )
+from ..runtime.parallel import WorkerPool, resolve_n_jobs, shard_bounds
 from .result import FrequentSequences
 
 
@@ -52,6 +53,7 @@ def gsp(
     on_exhausted: str = "raise",
     checkpoint: Optional[Checkpointer] = None,
     ctx: Optional[ExecutionContext] = None,
+    n_jobs: Optional[int] = None,
 ) -> FrequentSequences:
     """Mine frequent sequential patterns with GSP.
 
@@ -88,6 +90,11 @@ def gsp(
     ctx:
         Optional :class:`~repro.runtime.ExecutionContext` bundling
         budget, checkpointer, cancellation and progress hooks.
+    n_jobs:
+        With ``n_jobs > 1`` each pass's counting scan shards the
+        sequence database across forked workers and sums the per-shard
+        candidate counts; results are byte-identical to the serial
+        scan.  ``-1`` uses all cores.
 
     Returns
     -------
@@ -102,6 +109,7 @@ def gsp(
     ctx = resolve_context(ctx, budget=budget, checkpoint=checkpoint,
                           owner="gsp")
     check_degradation_policy(on_exhausted, BASIC_POLICIES, "gsp")
+    n_jobs = resolve_n_jobs(n_jobs, "gsp")
     ctx.raise_if_cancelled()
     budget = ctx.budget
     if max_length is not None and max_length < 1:
@@ -175,24 +183,34 @@ def gsp(
             if not candidates:
                 stats.append(PassStats(k, 0, 0, _time.perf_counter() - started))
                 break
-            counts = dict.fromkeys(candidates, 0)
             candidate_items = [
                 (cand, frozenset(i for e in cand for i in e))
                 for cand in candidates
             ]
-            for i, (seq, t) in enumerate(zip(db, times)):
-                if budget is not None and i % 64 == 0:
-                    budget.check(phase=f"count-{k}")
-                if sum(len(e) for e in seq) < k:
-                    continue
-                # Cheap prefilter: a pattern's items must all occur
-                # somewhere in the sequence before the (expensive)
-                # ordered check runs.
-                seq_items = frozenset(i for e in seq for i in e)
-                for cand, items in candidate_items:
-                    if items <= seq_items and checker.contains(seq, t, cand):
-                        counts[cand] += 1
-            frequent = {c: cnt for c, cnt in counts.items() if cnt >= min_count}
+            if n_jobs > 1 and n > 1:
+                pool = WorkerPool(n_jobs=n_jobs)
+
+                def shard(span, shard_ctx):
+                    shard_budget = (
+                        None if shard_ctx is None else shard_ctx.budget
+                    )
+                    return _count_range(
+                        db, times, candidate_items, k, checker,
+                        span[0], span[1], shard_budget,
+                    )
+
+                vectors = pool.map(shard, shard_bounds(n, n_jobs),
+                                   ctx=ctx, phase=f"count-{k}")
+                totals = [sum(column) for column in zip(*vectors)]
+            else:
+                totals = _count_range(
+                    db, times, candidate_items, k, checker, 0, n, budget
+                )
+            frequent = {
+                cand: cnt
+                for cand, cnt in zip(candidates, totals)
+                if cnt >= min_count
+            }
             stats.append(
                 PassStats(k, len(candidates), len(frequent), _time.perf_counter() - started)
             )
@@ -217,6 +235,38 @@ def gsp(
     result = FrequentSequences(all_frequent, n, min_support)
     result.pass_stats = stats
     return result
+
+
+def _count_range(
+    db: SequenceDatabase,
+    times: List[List[float]],
+    candidate_items: List[Tuple[SequencePattern, frozenset]],
+    k: int,
+    checker: "_ContainsChecker",
+    begin: int,
+    stop: int,
+    budget: Optional[Budget],
+) -> List[int]:
+    """Candidate counts over sequences ``[begin, stop)``.
+
+    Returns a vector aligned with ``candidate_items`` — the merge unit
+    of the map-reduce counting path; per-shard vectors sum to the
+    full-scan counts.
+    """
+    counts = [0] * len(candidate_items)
+    for i in range(begin, stop):
+        if budget is not None and i % 64 == 0:
+            budget.check(phase=f"count-{k}")
+        seq, t = db[i], times[i]
+        if sum(len(e) for e in seq) < k:
+            continue
+        # Cheap prefilter: a pattern's items must all occur somewhere in
+        # the sequence before the (expensive) ordered check runs.
+        seq_items = frozenset(item for e in seq for item in e)
+        for j, (cand, items) in enumerate(candidate_items):
+            if items <= seq_items and checker.contains(seq, t, cand):
+                counts[j] += 1
+    return counts
 
 
 # ----------------------------------------------------------------------

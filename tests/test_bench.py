@@ -1,0 +1,74 @@
+"""Benchmark harness: schema validation and payload shape.
+
+The suite itself runs in CI's ``bench-smoke`` job (and ``repro bench``
+locally); these tests cover the schema contract without paying for a
+full run — one real smoke-sized benchmark plus synthetic payloads
+through ``validate_payload``.
+"""
+
+import json
+
+from repro import bench
+
+
+def _valid_payload():
+    return {
+        "schema_version": bench.SCHEMA_VERSION,
+        "suite": "parallel",
+        "scale": "smoke",
+        "n_jobs": 2,
+        "repeat": 1,
+        "n_cpus": 1,
+        "python": "3.11.0",
+        "benchmarks": [
+            {
+                "name": "apriori",
+                "params": {"rows": 10},
+                "n_jobs": 2,
+                "serial_seconds": 0.5,
+                "parallel_seconds": 0.3,
+                "speedup": 1.6667,
+                "identical": True,
+            }
+        ],
+    }
+
+
+def test_validate_payload_accepts_valid():
+    assert bench.validate_payload(_valid_payload()) == []
+
+
+def test_validate_payload_reports_every_problem():
+    payload = _valid_payload()
+    del payload["n_cpus"]
+    payload["benchmarks"][0]["identical"] = "yes"
+    del payload["benchmarks"][0]["speedup"]
+    problems = bench.validate_payload(payload)
+    assert len(problems) == 3
+    assert any("n_cpus" in p for p in problems)
+    assert any("identical" in p for p in problems)
+    assert any("speedup" in p for p in problems)
+
+
+def test_validate_payload_handles_missing_benchmarks():
+    problems = bench.validate_payload({})
+    assert any("benchmarks" in p for p in problems)
+
+
+def test_crossval_benchmark_entry_shape(tmp_path):
+    entries = bench.bench_crossval(rows=120, n_jobs=2, repeat=1)
+    payload = {**_valid_payload(), "benchmarks": entries}
+    assert bench.validate_payload(payload) == []
+    assert entries[0]["identical"] is True
+    out = tmp_path / "bench.json"
+    bench.write_payload(payload, str(out))
+    assert json.loads(out.read_text())["benchmarks"][0]["name"] == "crossval"
+
+
+def test_run_suite_rejects_unknown_scale():
+    import pytest
+
+    from repro.core.exceptions import ValidationError
+
+    with pytest.raises(ValidationError, match="scale"):
+        bench.run_suite(scale="galactic")
