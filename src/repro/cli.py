@@ -1,6 +1,6 @@
 """Command-line interface: ``repro <command>``.
 
-Six commands cover the library's workflows without writing Python:
+Seven commands cover the library's workflows without writing Python:
 
 * ``repro mine``       — frequent itemsets + rules from a FIMI-format
   transaction file (one transaction per line, integer items).
@@ -13,7 +13,10 @@ Six commands cover the library's workflows without writing Python:
 * ``repro bench``      — run the fixed parallel benchmark suite and
   write ``BENCH_parallel.json`` (see :mod:`repro.bench`).
 * ``repro algorithms`` — list every registered algorithm with its
-  declared capabilities.
+  declared capabilities (``--json`` for the machine-readable table).
+* ``repro serve``      — run the fault-tolerant mining job server
+  (HTTP/JSON, durable job store, crash recovery; see
+  :mod:`repro.server`).
 
 Every command prints a compact human-readable report to stdout and
 exits non-zero on invalid input.
@@ -351,9 +354,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON output path ('-' to skip writing)",
     )
 
-    sub.add_parser(
+    algorithms = sub.add_parser(
         "algorithms",
         help="list registered algorithms and their capabilities",
+    )
+    algorithms.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable capability table (the payload "
+             "the job server's admission layer consumes)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant mining job server (HTTP/JSON)",
+    )
+    serve.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="durable job store directory (survives restarts; a server "
+             "restarted against the same store resumes interrupted jobs)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="scheduler worker threads")
+    serve.add_argument(
+        "--quotas", default=None, metavar="FILE",
+        help="per-tenant quota policy JSON (see repro.server.quotas)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="crash-retry allowance per job dispatch",
     )
     return parser
 
@@ -556,8 +587,24 @@ def _cmd_bench(args) -> int:
 def _cmd_algorithms(args) -> int:
     from . import registry
 
-    print(registry.render_table())
+    if args.json:
+        import json
+
+        print(json.dumps({"algorithms": registry.capability_table()},
+                         indent=2, sort_keys=True))
+    else:
+        print(registry.render_table())
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .server import QuotaPolicy, serve
+
+    quotas = QuotaPolicy.from_file(args.quotas) if args.quotas else None
+    return serve(
+        args.store, host=args.host, port=args.port, workers=args.workers,
+        quotas=quotas, max_retries=args.retries,
+    )
 
 
 COMMANDS = {
@@ -567,6 +614,7 @@ COMMANDS = {
     "generate": _cmd_generate,
     "bench": _cmd_bench,
     "algorithms": _cmd_algorithms,
+    "serve": _cmd_serve,
 }
 
 

@@ -73,6 +73,17 @@ class Capabilities:
             parts.append("degrade=" + "/".join(self.degradation_policies))
         return ", ".join(parts) if parts else "-"
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form, consumed by ``repro algorithms --json`` and
+        the job server's admission layer."""
+        return {
+            "checkpointable": self.checkpointable,
+            "supervisable": self.supervisable,
+            "budget_resource": self.budget_resource,
+            "degradation_policies": list(self.degradation_policies),
+            "parallelizable": self.parallelizable,
+        }
+
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
@@ -97,6 +108,15 @@ class AlgorithmSpec:
             raise ValidationError(
                 f"family must be one of {FAMILIES}, got {self.family!r}"
             )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (factories stay out — they are not data)."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "summary": self.summary,
+            "capabilities": self.capabilities.to_dict(),
+        }
 
 
 _REGISTRY: Dict[Tuple[str, str], AlgorithmSpec] = {}
@@ -152,6 +172,17 @@ def specs(family: Optional[str] = None) -> Tuple[AlgorithmSpec, ...]:
     )
 
 
+def capability_table(family: Optional[str] = None) -> list:
+    """The machine-readable capability table: one dict per algorithm.
+
+    The JSON twin of :func:`render_table` — ``repro algorithms --json``
+    prints it and the job server's admission layer returns it alongside
+    every capability-violation rejection, so clients can self-correct
+    without scraping the human-rendered table.
+    """
+    return [spec.to_dict() for spec in specs(family)]
+
+
 def render_table(rows: Optional[Iterable[AlgorithmSpec]] = None) -> str:
     """The ``repro algorithms`` listing: name, family, capabilities."""
     entries = list(specs() if rows is None else rows)
@@ -180,6 +211,7 @@ __all__ = [
     "FAMILIES",
     "AlgorithmSpec",
     "Capabilities",
+    "capability_table",
     "ensure_populated",
     "get",
     "names",

@@ -56,6 +56,7 @@ from .parallel import (
     shard_bounds,
 )
 from .retry import RetryPolicy
+from .transport import sweep_stale_tmp, sweep_stale_transport
 from .supervisor import (
     FailureReport,
     HardLimits,
@@ -96,6 +97,8 @@ __all__ = [
     "SupervisedCrash",
     "SupervisedResult",
     "Supervisor",
+    "sweep_stale_tmp",
+    "sweep_stale_transport",
     "Fault",
     "FlakyFault",
     "InjectedFault",

@@ -47,7 +47,12 @@ from ..core.base import check_in_range
 from ..core.exceptions import ReproError, ValidationError
 from .budget import Budget
 from .context import ExecutionContext
-from .transport import READ_ERRORS, read_result, write_result
+from .transport import (
+    READ_ERRORS,
+    read_result,
+    sweep_stale_transport,
+    write_result,
+)
 
 
 def effective_n_jobs(n_jobs: Optional[int]) -> int:
@@ -267,6 +272,9 @@ class WorkerPool:
     def _map_forked(self, fn, tasks, ctx, phase) -> List[Any]:
         import multiprocessing
 
+        # Pool startup hygiene: reap transport scratch orphaned by a
+        # SIGKILLed predecessor (once per process; age-guarded).
+        sweep_stale_transport(once=True)
         mp = multiprocessing.get_context(self.start_method)
         budget = None if ctx is None else ctx.budget
         scratch = Path(tempfile.mkdtemp(prefix="repro-pool-"))

@@ -51,7 +51,13 @@ from ..core.base import check_in_range
 from .checkpoint import CheckpointCorrupted, Checkpointer, CheckpointStore
 from .faults import ChaosMonkey, TransientFault
 from .retry import RetryPolicy
-from .transport import READ_ERRORS, read_result, write_result
+from .transport import (
+    READ_ERRORS,
+    read_result,
+    sweep_stale_tmp,
+    sweep_stale_transport,
+    write_result,
+)
 
 _MB = 1024 * 1024
 
@@ -270,6 +276,25 @@ def _sigterm_to_exception(signum, frame):
     raise _HardTerminated()
 
 
+def _bind_to_parent_death() -> None:
+    """Ask the kernel to SIGKILL this child when its parent dies.
+
+    ``PR_SET_PDEATHSIG`` (Linux-only, best-effort elsewhere) closes the
+    orphan gap for long-lived services: a supervisor whose *own* process
+    is SIGKILLed never reaches its cleanup code, and without this the
+    mining child would keep running — and keep writing checkpoints —
+    while a restarted service resumes the same job from the same store.
+    """
+    try:
+        import ctypes
+
+        PR_SET_PDEATHSIG = 1
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(PR_SET_PDEATHSIG, signal.SIGKILL, 0, 0, 0)
+    except Exception:  # pragma: no cover - non-Linux platforms
+        pass
+
+
 def _child_rss_guard(fn: Callable[[], None]) -> None:
     """Run ``fn``; any ``MemoryError`` becomes the dedicated exit code."""
     try:
@@ -278,7 +303,8 @@ def _child_rss_guard(fn: Callable[[], None]) -> None:
         os._exit(EXIT_MEMORY)
 
 
-def _child_main(target, args, kwargs, limits, result_path) -> None:
+def _child_main(target, args, kwargs, limits, result_path,
+                bind_parent_death=False) -> None:
     """Entry point of the forked child.
 
     Exit protocol: ``0`` means a complete result file exists (success
@@ -288,6 +314,8 @@ def _child_main(target, args, kwargs, limits, result_path) -> None:
     is a crash for the parent to classify.
     """
     try:
+        if bind_parent_death:
+            _bind_to_parent_death()
         if limits is not None:
             limits.apply_in_child()
         signal.signal(signal.SIGTERM, _sigterm_to_exception)
@@ -365,6 +393,21 @@ class Supervisor:
         ``multiprocessing`` start method.  The default ``"fork"`` lets
         targets close over unpicklable state (databases, fitted models)
         because the child inherits the parent's memory image.
+    scratch_dir:
+        Directory for the result transport files.  ``None`` (the
+        default) uses a fresh ``mkdtemp`` removed after the run; a path
+        makes the transport durable and caller-owned — the job server
+        points it inside each job's store directory so a service
+        SIGKILLed mid-job can sweep the torn remains on restart.  On
+        every :meth:`run` the directory is created if missing and
+        swept of stale ``*.tmp`` payloads *and* stale ``result-*.pkl``
+        files from a previous life (a dead run's complete result must
+        never be mistaken for the new run's).
+    kill_on_parent_death:
+        When True every child binds its fate to the supervising process
+        (``PR_SET_PDEATHSIG``, Linux): SIGKILLing the supervisor kills
+        the child too, so a restarted service resuming the same
+        checkpoint directory never races a live orphan.
 
     Examples
     --------
@@ -388,6 +431,8 @@ class Supervisor:
         keep_snapshots: bool = False,
         monkey: Optional[ChaosMonkey] = None,
         start_method: str = "fork",
+        scratch_dir: Optional[str] = None,
+        kill_on_parent_death: bool = False,
     ):
         check_in_range("checkpoint_every", checkpoint_every, 1, None)
         self.limits = limits
@@ -398,6 +443,8 @@ class Supervisor:
         self.keep_snapshots = bool(keep_snapshots)
         self.monkey = monkey
         self.start_method = start_method
+        self.scratch_dir = scratch_dir
+        self.kill_on_parent_death = bool(kill_on_parent_death)
         #: FailureReports of crashed attempts from the last run.
         self.reports_: List[FailureReport] = []
         self._attempt = 0
@@ -419,12 +466,25 @@ class Supervisor:
         )
         self.reports_ = []
         self._attempt = 0
-        scratch = Path(tempfile.mkdtemp(prefix="repro-supervised-"))
+        # Orphan hygiene: one cheap scan per process removes transport
+        # scratch a SIGKILLed predecessor never got to clean up.
+        sweep_stale_transport(once=True)
+        if self.scratch_dir is not None:
+            scratch = Path(self.scratch_dir)
+            scratch.mkdir(parents=True, exist_ok=True)
+            self._sweep_scratch(scratch)
+            owns_scratch = False
+        else:
+            scratch = Path(tempfile.mkdtemp(prefix="repro-supervised-"))
+            owns_scratch = True
         try:
             value = policy.run(self._attempt_once, target, args, kwargs,
                                scratch)
         finally:
-            shutil.rmtree(scratch, ignore_errors=True)
+            if owns_scratch:
+                shutil.rmtree(scratch, ignore_errors=True)
+            else:
+                self._sweep_scratch(scratch)
         if self.checkpoint_dir is not None and not self.keep_snapshots:
             self._store().clear()
         return SupervisedResult(
@@ -437,6 +497,14 @@ class Supervisor:
     # ------------------------------------------------------------------
     # One attempt
     # ------------------------------------------------------------------
+    @staticmethod
+    def _sweep_scratch(scratch: Path) -> None:
+        """Reset a persistent scratch dir: no torn temp files, and no
+        complete result files from a previous process's attempts (their
+        names would collide with this run's attempt numbering)."""
+        sweep_stale_tmp(scratch)
+        sweep_stale_tmp(scratch, pattern="result-*.pkl")
+
     def _store(self) -> CheckpointStore:
         return CheckpointStore(self.checkpoint_dir)
 
@@ -465,7 +533,8 @@ class Supervisor:
         ctx = multiprocessing.get_context(self.start_method)
         proc = ctx.Process(
             target=_child_main,
-            args=(target, args, kwargs, self.limits, str(result_path)),
+            args=(target, args, kwargs, self.limits, str(result_path),
+                  self.kill_on_parent_death),
         )
         started = time.monotonic()
         proc.start()

@@ -13,7 +13,11 @@ from __future__ import annotations
 
 import os
 import pickle
-from typing import Any, Dict
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Set, Union
 
 from ..core.exceptions import ReproError
 
@@ -21,6 +25,13 @@ from ..core.exceptions import ReproError
 #: writer exited "cleanly" but its payload is missing or unusable.
 READ_ERRORS = (OSError, pickle.UnpicklingError, EOFError,
                AttributeError, ImportError)
+
+#: suffix of the not-yet-renamed half of an atomic payload write.
+TMP_SUFFIX = ".tmp"
+
+#: scratch-directory prefixes the process layers create under the system
+#: temp root; the stale-transport sweep only ever touches these.
+TRANSPORT_PREFIXES = ("repro-supervised-", "repro-pool-")
 
 
 def write_result(result_path: str, payload: Dict[str, Any]) -> None:
@@ -57,4 +68,92 @@ def read_result(result_path: str) -> Dict[str, Any]:
         return pickle.load(handle)
 
 
-__all__ = ["READ_ERRORS", "read_result", "write_result"]
+def sweep_stale_tmp(
+    directory: Union[str, Path],
+    min_age_seconds: float = 0.0,
+    pattern: str = f"*{TMP_SUFFIX}",
+) -> int:
+    """Delete torn ``*.tmp`` payloads left in one transport directory.
+
+    A writer SIGKILLed between opening its temp file and the atomic
+    rename leaves the ``*.tmp`` half behind forever — harmless to
+    correctness (readers only ever see renamed, complete payloads) but a
+    disk leak in any directory that outlives a single run (job stores,
+    persistent scratch dirs).  Callers invoke this on startup, before
+    any writer of the new run is live, so every matching file is by
+    definition orphaned.  Returns the number of files removed; missing
+    directories and racing deleters are not errors.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    now = time.time()
+    removed = 0
+    for entry in directory.glob(pattern):
+        try:
+            if min_age_seconds and now - entry.stat().st_mtime < min_age_seconds:
+                continue
+            entry.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - concurrent cleanup
+            continue
+    return removed
+
+
+#: temp roots already swept by this process (``once=True`` guard).
+_SWEPT_ROOTS: Set[str] = set()
+
+
+def sweep_stale_transport(
+    root: Optional[Union[str, Path]] = None,
+    min_age_seconds: float = 3600.0,
+    once: bool = False,
+) -> int:
+    """Remove orphaned transport scratch directories from ``root``.
+
+    The supervisor and the worker pool normally delete their
+    ``mkdtemp`` scratch in a ``finally`` block, but a parent process
+    SIGKILLed mid-run never reaches it and the whole directory —
+    including any torn ``*.tmp`` payload its children were writing —
+    leaks into the system temp dir.  This sweep deletes entries whose
+    name carries one of :data:`TRANSPORT_PREFIXES` and whose mtime is
+    older than ``min_age_seconds`` (the age guard keeps concurrently
+    *live* runs safe).  With ``once=True`` the scan runs at most one
+    time per process per root — the cheap form both process layers call
+    on startup.  Returns the number of entries removed.
+    """
+    root = Path(root if root is not None else tempfile.gettempdir())
+    if once:
+        key = str(root)
+        if key in _SWEPT_ROOTS:
+            return 0
+        _SWEPT_ROOTS.add(key)
+    if not root.is_dir():
+        return 0
+    now = time.time()
+    removed = 0
+    for entry in root.iterdir():
+        if not entry.name.startswith(TRANSPORT_PREFIXES):
+            continue
+        try:
+            if now - entry.stat().st_mtime < min_age_seconds:
+                continue
+            if entry.is_dir() and not entry.is_symlink():
+                shutil.rmtree(entry, ignore_errors=True)
+            else:
+                entry.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - concurrent cleanup
+            continue
+    return removed
+
+
+__all__ = [
+    "READ_ERRORS",
+    "TMP_SUFFIX",
+    "TRANSPORT_PREFIXES",
+    "read_result",
+    "sweep_stale_tmp",
+    "sweep_stale_transport",
+    "write_result",
+]

@@ -1,0 +1,61 @@
+"""Fault-tolerant mining job server (``repro serve``).
+
+A small HTTP/JSON service that runs the repo's miners, classifiers and
+clusterers as *jobs*: submitted over POST, executed under the runtime's
+Supervisor with durable checkpoints, surviving server crashes (kill -9
+included) with byte-identical results, and degrading — not failing —
+when a tenant's budget quota bites.
+
+Layering::
+
+    api.py        HTTP surface (stdlib ThreadingHTTPServer)
+    scheduler.py  queue + workers + supervised execution + recovery
+    quotas.py     per-tenant admission control and budget caps
+    store.py      one-directory-per-job durable state (atomic writes)
+
+The store is the source of truth; the scheduler and API never hold
+state the store does not, which is what makes restart recovery a pure
+function of the directory tree.
+"""
+
+from .api import BadSubmission, build_server, serve, validate_submission
+from .quotas import OverQuota, QuotaPolicy, TenantQuota, job_budget
+from .scheduler import (
+    FAMILY_BY_KIND,
+    FileCancelToken,
+    Scheduler,
+    canonical_result_bytes,
+    execute_job,
+)
+from .store import (
+    STATES,
+    TERMINAL_STATES,
+    InvalidTransition,
+    JobRecord,
+    JobStore,
+    JobStoreError,
+    UnknownJob,
+)
+
+__all__ = [
+    "BadSubmission",
+    "FAMILY_BY_KIND",
+    "FileCancelToken",
+    "InvalidTransition",
+    "JobRecord",
+    "JobStore",
+    "JobStoreError",
+    "OverQuota",
+    "QuotaPolicy",
+    "STATES",
+    "Scheduler",
+    "TERMINAL_STATES",
+    "TenantQuota",
+    "UnknownJob",
+    "build_server",
+    "canonical_result_bytes",
+    "execute_job",
+    "job_budget",
+    "serve",
+    "validate_submission",
+]

@@ -1,0 +1,349 @@
+"""The job server's HTTP/JSON surface (stdlib ``http.server`` only).
+
+Routes::
+
+    GET  /healthz                → liveness + store/scheduler summary
+    GET  /algorithms             → machine-readable capability table
+    GET  /jobs[?tenant=NAME]     → job listing (records, newest first)
+    POST /jobs                   → submit; 202 record | 400 | 429
+    GET  /jobs/<id>              → one job record
+    GET  /jobs/<id>/result       → stored result bytes (done jobs)
+    POST /jobs/<id>/cancel       → request cancellation
+
+Error semantics mirror the CLI's exit codes (the DESIGN doc carries the
+full mapping):
+
+* a submission the registry cannot honour — unknown kind/algorithm, a
+  flag the algorithm's capabilities reject — is ``400`` and the body
+  includes the relevant capability table so clients can self-correct;
+* a tenant over its backlog quota is ``429`` with ``Retry-After``;
+* asking for the result of an unfinished job is ``409`` with the
+  current state (and the failure report once the job has failed);
+* everything else that goes wrong in a handler is a ``500`` with the
+  exception type — never a torn response or a dead server thread.
+
+The server is a ``ThreadingHTTPServer``: handler threads only touch the
+store (lock-protected, atomic writes) and the scheduler's queue, so a
+slow mining job never blocks status polls.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .. import registry
+from ..core.exceptions import ReproError
+from .quotas import OverQuota, QuotaPolicy
+from .scheduler import FAMILY_BY_KIND, Scheduler
+from .store import InvalidTransition, JobStore, UnknownJob
+
+#: refuse request bodies larger than this (defensive, not a quota).
+MAX_BODY_BYTES = 1 << 20
+
+#: submission fields the API accepts.
+_SUBMIT_FIELDS = {"tenant", "kind", "algorithm", "dataset", "params"}
+
+
+class BadSubmission(ReproError, ValueError):
+    """A submission the capability registry (or schema) rejects."""
+
+    def __init__(self, message: str, family: Optional[str] = None):
+        super().__init__(message)
+        self.family = family
+
+
+def validate_submission(payload: Any) -> Dict[str, Any]:
+    """Check a POST /jobs body against the schema and the registry.
+
+    Returns the normalized submission dict.  Raises
+    :class:`BadSubmission` — carrying the relevant registry family so
+    the handler can attach the capability table — on anything the
+    server could never run.
+    """
+    if not isinstance(payload, dict):
+        raise BadSubmission("request body must be a JSON object")
+    unknown = set(payload) - _SUBMIT_FIELDS
+    if unknown:
+        raise BadSubmission(f"unknown fields: {sorted(unknown)}")
+    for name in ("kind", "algorithm", "dataset"):
+        value = payload.get(name)
+        if not isinstance(value, str) or not value:
+            raise BadSubmission(f"{name!r} must be a non-empty string")
+    tenant = payload.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        raise BadSubmission("'tenant' must be a non-empty string")
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise BadSubmission("'params' must be an object")
+
+    kind = payload["kind"]
+    family = FAMILY_BY_KIND.get(kind)
+    if family is None:
+        raise BadSubmission(
+            f"unknown kind {kind!r}; choices: {sorted(FAMILY_BY_KIND)}"
+        )
+    try:
+        spec = registry.get(family, payload["algorithm"])
+    except ReproError as exc:
+        raise BadSubmission(str(exc), family=family) from exc
+
+    caps = spec.capabilities
+    if params.get("n_jobs") is not None and not caps.parallelizable:
+        raise BadSubmission(
+            f"{spec.name!r} is not parallelizable; drop 'n_jobs'",
+            family=family,
+        )
+    if params.get("checkpoint_every") is not None and not caps.checkpointable:
+        raise BadSubmission(
+            f"{spec.name!r} is not checkpointable; drop 'checkpoint_every'",
+            family=family,
+        )
+    if params.get("max_candidates") is not None and caps.budget_resource is None:
+        raise BadSubmission(
+            f"{spec.name!r} takes no work budget; drop 'max_candidates'",
+            family=family,
+        )
+    on_exhausted = params.get("on_exhausted")
+    if on_exhausted is not None and on_exhausted not in caps.degradation_policies:
+        raise BadSubmission(
+            f"{spec.name!r} does not support on_exhausted={on_exhausted!r}; "
+            f"choices: {list(caps.degradation_policies) or 'none'}",
+            family=family,
+        )
+    if kind == "classify" and "target" not in params:
+        raise BadSubmission("classify jobs require params.target")
+    return {
+        "tenant": tenant, "kind": kind, "algorithm": payload["algorithm"],
+        "dataset": payload["dataset"], "params": params,
+    }
+
+
+class JobRequestHandler(BaseHTTPRequestHandler):
+    """Dispatches the route table above against the shared scheduler."""
+
+    server_version = "repro-jobs/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # Injected by build_server().
+    scheduler: Scheduler = None  # type: ignore[assignment]
+
+    def log_message(self, format, *args):  # noqa: A002 - base signature
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, Any],
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        body = (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise BadSubmission(
+                f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise BadSubmission("request body is empty")
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise BadSubmission(f"request body is not valid JSON: {exc}") from exc
+
+    def _route(self) -> Tuple[str, Dict[str, str]]:
+        split = urlsplit(self.path)
+        query = {
+            name: values[-1]
+            for name, values in parse_qs(split.query).items()
+        }
+        return split.path.rstrip("/") or "/", query
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            path, query = self._route()
+            if path == "/healthz":
+                return self._get_healthz()
+            if path == "/algorithms":
+                return self._send_json(
+                    200, {"algorithms": registry.capability_table()}
+                )
+            if path == "/jobs":
+                return self._get_jobs(query.get("tenant"))
+            parts = path.strip("/").split("/")
+            if len(parts) == 2 and parts[0] == "jobs":
+                return self._get_job(parts[1])
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+                return self._get_result(parts[1])
+            self._send_json(404, {"error": f"no such route {path!r}"})
+        except UnknownJob as exc:
+            self._send_json(404, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - handler must answer
+            self._send_json(500, {"error": str(exc),
+                                  "type": type(exc).__name__})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            path, _query = self._route()
+            if path == "/jobs":
+                return self._post_job()
+            parts = path.strip("/").split("/")
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                return self._post_cancel(parts[1])
+            self._send_json(404, {"error": f"no such route {path!r}"})
+        except BadSubmission as exc:
+            body: Dict[str, Any] = {"error": str(exc)}
+            body["capabilities"] = registry.capability_table(exc.family)
+            self._send_json(400, body)
+        except OverQuota as exc:
+            self._send_json(
+                429, {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": str(int(exc.retry_after) or 1)},
+            )
+        except UnknownJob as exc:
+            self._send_json(404, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - handler must answer
+            self._send_json(500, {"error": str(exc),
+                                  "type": type(exc).__name__})
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _get_healthz(self) -> None:
+        counts = self.scheduler.store.counts()
+        self._send_json(200, {
+            "status": "ok",
+            "workers": self.scheduler.workers,
+            "jobs": counts,
+        })
+
+    def _get_jobs(self, tenant: Optional[str]) -> None:
+        records = self.scheduler.store.list(tenant=tenant)
+        self._send_json(200, {
+            "jobs": [record.to_dict() for record in records],
+        })
+
+    def _get_job(self, job_id: str) -> None:
+        record = self.scheduler.store.get(job_id)
+        self._send_json(200, record.to_dict())
+
+    def _get_result(self, job_id: str) -> None:
+        record = self.scheduler.store.get(job_id)
+        if record.state != "done":
+            return self._send_json(409, {
+                "error": f"job {job_id} is {record.state}, not done",
+                "state": record.state,
+                "job": record.to_dict(),
+            })
+        body = self.scheduler.store.read_result_bytes(job_id)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _post_job(self) -> None:
+        submission = validate_submission(self._read_json_body())
+        record = self.scheduler.submit(**submission)
+        self._send_json(202, record.to_dict())
+
+    def _post_cancel(self, job_id: str) -> None:
+        try:
+            record = self.scheduler.cancel(job_id)
+        except InvalidTransition as exc:
+            return self._send_json(409, {"error": str(exc)})
+        self._send_json(202, record.to_dict())
+
+
+def build_server(
+    store_root: str,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    workers: int = 2,
+    quotas: Optional[QuotaPolicy] = None,
+    max_retries: int = 2,
+) -> Tuple[ThreadingHTTPServer, Scheduler]:
+    """Wire store + scheduler + HTTP server (not yet started).
+
+    The handler class is subclassed per call so the scheduler reference
+    never leaks between servers in the same process (tests run many).
+    """
+    store = JobStore(store_root)
+    scheduler = Scheduler(
+        store, quotas=quotas, workers=workers, max_retries=max_retries,
+    )
+
+    class _Handler(JobRequestHandler):
+        pass
+
+    _Handler.scheduler = scheduler
+    httpd = ThreadingHTTPServer((host, port), _Handler)
+    httpd.daemon_threads = True
+    return httpd, scheduler
+
+
+def serve(
+    store_root: str,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    workers: int = 2,
+    quotas: Optional[QuotaPolicy] = None,
+    max_retries: int = 2,
+) -> int:
+    """Run the server until SIGTERM/SIGINT; the CLI entry point.
+
+    Prints one parseable banner line (``repro-server listening
+    host=... port=... store=...``) once recovery has run and the
+    socket is accepting, so harnesses know when to start submitting.
+    """
+    httpd, scheduler = build_server(
+        store_root, host=host, port=port, workers=workers,
+        quotas=quotas, max_retries=max_retries,
+    )
+    recovered = scheduler.start()
+    for record in recovered:
+        print(f"repro-server recovered job={record.job_id} "
+              f"recoveries={record.recoveries}", flush=True)
+    stop = threading.Event()
+
+    def _shutdown(signum, frame):  # noqa: ARG001 - signal API
+        stop.set()
+        threading.Thread(target=httpd.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    actual_host, actual_port = httpd.server_address[:2]
+    print(f"repro-server listening host={actual_host} port={actual_port} "
+          f"store={store_root}", flush=True)
+    try:
+        httpd.serve_forever(poll_interval=0.2)
+    finally:
+        httpd.server_close()
+        scheduler.stop()
+    return 0
+
+
+__all__ = [
+    "BadSubmission",
+    "JobRequestHandler",
+    "MAX_BODY_BYTES",
+    "build_server",
+    "serve",
+    "validate_submission",
+]

@@ -1,0 +1,488 @@
+"""Job scheduler: durable queue → supervised execution → stored result.
+
+The scheduler is the composition layer the ROADMAP promised: every hard
+primitive already exists, this module only wires them around the
+:class:`~repro.server.store.JobStore`:
+
+* each dispatched job runs under a
+  :class:`~repro.runtime.Supervisor` (when its registry capabilities
+  allow) with the job's own checkpoint directory, ``resume=True`` and a
+  persistent scratch dir inside the job's store directory — a child
+  crash is a :class:`~repro.runtime.SupervisedCrash`
+  (:class:`~repro.runtime.faults.TransientFault`), retried with backoff
+  and resumed from the newest valid snapshot;
+* children bind to the scheduler's life (``kill_on_parent_death``), so
+  ``kill -9`` of the server leaves no orphan miner racing the restarted
+  service over the same checkpoints;
+* on boot :meth:`Scheduler.start` runs the store's recovery scan and
+  re-enqueues every job the dead server left ``running`` — combined
+  with checkpoint resume this is the "never loses a job" property, and
+  results are byte-identical to an uninterrupted run (the resume
+  contract the kill-storm tests pin);
+* cancellation is durable: the store's marker file is polled by a
+  :class:`FileCancelToken` from inside the forked child, so a running
+  job aborts at its next pass boundary even though tokens cannot cross
+  the fork;
+* quotas degrade instead of failing: budget caps from the tenant's
+  :class:`~repro.server.quotas.TenantQuota` run the job with
+  ``on_exhausted="truncate"`` where the algorithm supports it, and a
+  truncated result marks the job ``degraded`` — still ``done``, still
+  a valid (partial) answer.
+
+Results are serialized to *canonical bytes* (sorted-key JSON, fixed
+separators) before the atomic write, so "byte-identical to a serial
+in-process run" is a testable equality on the stored file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from .. import registry
+from ..core.exceptions import ReproError
+from ..runtime.budget import (
+    BudgetExceeded,
+    CancellationToken,
+    OperationCancelled,
+)
+from ..runtime.context import ExecutionContext
+from ..runtime.retry import RetryPolicy
+from ..runtime.supervisor import SupervisedCrash, Supervisor
+from .quotas import QuotaPolicy, job_budget
+from .store import InvalidTransition, JobStore, JobStoreError, JobRecord
+
+#: job ``kind`` → registry family.
+FAMILY_BY_KIND = {
+    "mine": "associations",
+    "classify": "classification",
+    "cluster": "clustering",
+}
+
+
+class FileCancelToken(CancellationToken):
+    """A cancellation token backed by a marker file.
+
+    In-memory tokens cannot cross a fork: the parent setting its event
+    after ``fork()`` is invisible to the child.  The job store's cancel
+    marker *is* visible to both, so the child polls it at every
+    ``ctx.step`` boundary (pass/level/iteration — cheap relative to the
+    work between boundaries) and raises
+    :class:`~repro.runtime.OperationCancelled` exactly like an
+    in-process token would.
+    """
+
+    def __init__(self, path):
+        super().__init__()
+        self.path = str(path)
+
+    def _poll(self) -> None:
+        if not self._event.is_set() and os.path.exists(self.path):
+            self.cancel("job cancelled through the job store")
+
+    @property
+    def cancelled(self) -> bool:
+        self._poll()
+        return self._event.is_set()
+
+    def raise_if_cancelled(self) -> None:
+        if self.cancelled:
+            raise OperationCancelled(self.reason)
+
+
+# ----------------------------------------------------------------------
+# The job target (runs inside the supervised child)
+# ----------------------------------------------------------------------
+def canonical_result_bytes(payload: Dict[str, Any]) -> bytes:
+    """Deterministic byte serialization of a result payload.
+
+    Sorted keys and fixed separators make equal payloads equal *bytes*,
+    which is what the crash-recovery contract asserts on.
+    """
+    return (json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode()
+
+
+def _apply_pass_delay(ctx: Optional[ExecutionContext],
+                      params: Dict[str, Any]) -> Optional[ExecutionContext]:
+    """Optional per-boundary throttle (``params["pass_delay"]`` seconds).
+
+    An operations/testing hook: it stretches a job's wall-clock without
+    touching its output, which is how the chaos harness guarantees the
+    server dies *mid-job*.  No delay, or no context, leaves the context
+    untouched.
+    """
+    delay = params.get("pass_delay")
+    if not delay or ctx is None:
+        return ctx
+    pause = float(delay)
+    return ctx.replace(on_progress=lambda phase, info: time.sleep(pause))
+
+
+def execute_job(kind: str, dataset: str, algorithm: str,
+                params: Dict[str, Any], ctx=None) -> Dict[str, Any]:
+    """Run one job and return its JSON-ready result payload.
+
+    This is the Supervisor target: it runs in a forked child with the
+    injected per-attempt context (budget + file cancel token +
+    resuming checkpointer) and must be deterministic in its inputs —
+    the recovery proof compares its serialized output across crashed
+    and uninterrupted runs.
+    """
+    ctx = _apply_pass_delay(ctx, params)
+    if kind == "mine":
+        return _mine_payload(dataset, algorithm, params, ctx)
+    if kind == "classify":
+        return _classify_payload(dataset, algorithm, params, ctx)
+    if kind == "cluster":
+        return _cluster_payload(dataset, algorithm, params, ctx)
+    raise ReproError(f"unknown job kind {kind!r}")
+
+
+def _mine_payload(dataset, algorithm, params, ctx) -> Dict[str, Any]:
+    from ..associations import generate_rules
+    from ..datasets import load_transactions
+
+    spec = registry.get("associations", algorithm)
+    db = load_transactions(dataset)
+    min_support = float(params.get("min_support", 0.05))
+    kwargs: Dict[str, Any] = {}
+    if (spec.capabilities.degradation_policies
+            and ctx is not None and ctx.budget is not None):
+        kwargs["on_exhausted"] = str(params.get("on_exhausted", "truncate"))
+    if params.get("n_jobs") is not None:
+        kwargs["n_jobs"] = int(params["n_jobs"])
+    itemsets = spec.factory(db, min_support, ctx=ctx, **kwargs)
+    payload: Dict[str, Any] = {
+        "kind": "mine",
+        "algorithm": algorithm,
+        "n_transactions": len(db),
+        "min_support": min_support,
+        "n_itemsets": len(itemsets),
+        "itemsets": [
+            {"items": [int(item) for item in itemset], "count": int(count)}
+            for itemset, count in itemsets.sorted_by_support()
+        ],
+        "degraded": bool(itemsets.truncated),
+        "degraded_reason": itemsets.truncation_reason,
+    }
+    min_confidence = params.get("min_confidence")
+    if min_confidence is not None:
+        rules = generate_rules(itemsets, float(min_confidence))
+        payload["min_confidence"] = float(min_confidence)
+        payload["rules"] = [
+            {
+                "antecedent": [int(i) for i in rule.antecedent],
+                "consequent": [int(i) for i in rule.consequent],
+                "support": rule.support,
+                "confidence": rule.confidence,
+                "lift": rule.lift,
+            }
+            for rule in rules
+        ]
+    return payload
+
+
+def _classify_payload(dataset, algorithm, params, ctx) -> Dict[str, Any]:
+    from ..datasets import load_table
+    from ..evaluation import classification_report
+    from ..preprocessing import train_test_split
+
+    spec = registry.get("classification", algorithm)
+    table = load_table(dataset)
+    target = str(params["target"])
+    test_fraction = float(params.get("test_fraction", 0.3))
+    seed = int(params.get("seed", 0))
+    train, test = train_test_split(
+        table, test_fraction, stratify=target, random_state=seed,
+    )
+    model = spec.factory(ctx=ctx)
+    model.fit(train, target)
+    y_true = [test.value(i, target) for i in range(test.n_rows)]
+    y_pred = model.predict(test)
+    report = {
+        str(label): {
+            "precision": entry.precision,
+            "recall": entry.recall,
+            "f1": entry.f1,
+            "support": int(entry.support),
+        }
+        for label, entry in classification_report(y_true, y_pred).items()
+    }
+    return {
+        "kind": "classify",
+        "algorithm": algorithm,
+        "target": target,
+        "n_train": int(train.n_rows),
+        "n_test": int(test.n_rows),
+        "accuracy": float(model.score(test)),
+        "report": report,
+        "degraded": bool(getattr(model, "truncated_", False)),
+        "degraded_reason": getattr(model, "truncation_reason_", None),
+    }
+
+
+def _cluster_payload(dataset, algorithm, params, ctx) -> Dict[str, Any]:
+    from ..datasets import load_table
+    from ..evaluation import sse
+
+    spec = registry.get("clustering", algorithm)
+    table = load_table(dataset)
+    X = table.to_matrix()
+    if X.shape[1] == 0:
+        raise ReproError("dataset has no numeric columns to cluster")
+    model = spec.make(
+        ctx,
+        k=int(params.get("k", 3)),
+        eps=float(params.get("eps", 0.5)),
+        min_samples=int(params.get("min_samples", 5)),
+        seed=int(params.get("seed", 0)),
+        n_jobs=params.get("n_jobs"),
+    )
+    labels = model.fit_predict(X)
+    label_list = [int(label) for label in labels]
+    clusters = sorted(set(label_list) - {-1})
+    return {
+        "kind": "cluster",
+        "algorithm": algorithm,
+        "n_points": int(len(X)),
+        "n_features": int(X.shape[1]),
+        "n_clusters": len(clusters),
+        "n_noise": sum(1 for label in label_list if label == -1),
+        "labels": label_list,
+        "sse": float(sse(X, labels)),
+        "degraded": bool(getattr(model, "truncated_", False)),
+        "degraded_reason": getattr(model, "truncation_reason_", None),
+    }
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+_SENTINEL = object()
+
+
+class Scheduler:
+    """Worker threads draining the durable queue under quota gates.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.server.store.JobStore` all state lives in.
+    quotas:
+        :class:`~repro.server.quotas.QuotaPolicy`; admission is checked
+        in :meth:`submit`, the per-tenant running-job gate at dispatch.
+    workers:
+        Worker threads (each runs at most one job at a time; supervised
+        jobs fork, so the actual mining happens in child processes).
+    max_retries:
+        Crash-retry allowance per dispatch, fed to the
+        :class:`~repro.runtime.RetryPolicy` that relaunches supervised
+        children with exponential backoff.
+    checkpoint_every:
+        Default pass-boundary checkpoint cadence for checkpointable
+        algorithms (jobs may override via ``params["checkpoint_every"]``).
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        quotas: Optional[QuotaPolicy] = None,
+        workers: int = 2,
+        max_retries: int = 2,
+        checkpoint_every: int = 1,
+        poll_interval: float = 0.05,
+    ):
+        self.store = store
+        self.quotas = quotas or QuotaPolicy()
+        self.workers = max(1, int(workers))
+        self.max_retries = max(0, int(max_retries))
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.poll_interval = float(poll_interval)
+        self._queue: "queue.Queue" = queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._admission_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> List[JobRecord]:
+        """Recover the store, enqueue the backlog, start the workers.
+
+        Returns the records that were mid-run when the previous server
+        process died and are now re-enqueued.
+        """
+        recovered = self.store.recover()
+        for record in reversed(self.store.list(states=("queued",))):
+            self._queue.put(record.job_id)
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-scheduler-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return recovered
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop dispatching; jobs already running finish (or are found
+        ``running`` by the next boot's recovery scan if the process
+        exits first — that is the durable design, not a leak)."""
+        self._stop.set()
+        for _ in self._threads:
+            self._queue.put(_SENTINEL)
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        self._threads = []
+
+    # ------------------------------------------------------------------
+    # Submission / cancellation
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str, kind: str, algorithm: str, dataset: str,
+               params: Optional[Dict[str, Any]] = None) -> JobRecord:
+        """Admit one job: quota check + durable create + enqueue.
+
+        The admission lock serializes concurrent submits so two racing
+        requests cannot both squeeze past the same quota headroom.
+        Raises :class:`~repro.server.quotas.OverQuota` on rejection —
+        nothing is persisted in that case.
+        """
+        with self._admission_lock:
+            self.quotas.admit(tenant, self.store.counts(tenant))
+            record = self.store.create(
+                tenant=tenant, kind=kind, algorithm=algorithm,
+                dataset=dataset, params=params,
+            )
+        self._queue.put(record.job_id)
+        return record
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Durably request cancellation (see :meth:`JobStore.request_cancel`)."""
+        return self.store.request_cancel(job_id)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                job_id = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            if job_id is _SENTINEL:
+                return
+            try:
+                record = self.store.get(job_id)
+            except JobStoreError:
+                continue
+            if record.state != "queued":
+                continue
+            if self.quotas.over_concurrency(
+                record.tenant, self.store.counts(record.tenant)
+            ):
+                # Tenant at its running limit: park at the back of the
+                # queue and let other tenants' work through.
+                self._queue.put(job_id)
+                time.sleep(self.poll_interval)
+                continue
+            self._run_job(record)
+
+    def _retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_retries=self.max_retries, base_delay=0.2, max_delay=5.0,
+            random_state=0,
+        )
+
+    def _run_job(self, record: JobRecord) -> None:
+        store = self.store
+        job_id = record.job_id
+        if store.cancel_requested(job_id):
+            try:
+                store.transition(job_id, "cancelled")
+            except InvalidTransition:  # pragma: no cover - racing cancel
+                pass
+            return
+        try:
+            record = store.transition(
+                job_id, "running", expect="queued",
+                attempts=record.attempts + 1,
+            )
+        except InvalidTransition:
+            return  # cancelled (or otherwise moved) while queued
+        try:
+            payload = self._execute(record)
+            store.write_result_bytes(job_id, canonical_result_bytes(payload))
+            store.transition(
+                job_id, "done",
+                degraded=bool(payload.get("degraded")), error=None,
+            )
+        except OperationCancelled:
+            self._finish(job_id, "cancelled")
+        except SupervisedCrash as exc:
+            report = dict(exc.report.to_dict())
+            report["kind"] = "crash"
+            self._finish(job_id, "failed", error=report)
+        except BudgetExceeded as exc:
+            self._finish(job_id, "failed", error={
+                "cause": "budget-exhausted",
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "resource": exc.resource,
+            })
+        except Exception as exc:  # noqa: BLE001 - a worker must not die
+            self._finish(job_id, "failed", error={
+                "cause": "error",
+                "type": type(exc).__name__,
+                "message": str(exc),
+            })
+
+    def _finish(self, job_id: str, state: str, **changes: Any) -> None:
+        try:
+            self.store.transition(job_id, state, **changes)
+        except JobStoreError:  # pragma: no cover - store died underneath
+            pass
+
+    def _execute(self, record: JobRecord) -> Dict[str, Any]:
+        spec = registry.get(FAMILY_BY_KIND[record.kind], record.algorithm)
+        quota = self.quotas.quota_for(record.tenant)
+        budget = job_budget(spec.capabilities, quota, record.params)
+        ctx = ExecutionContext(
+            budget=budget,
+            cancel_token=FileCancelToken(self.store.cancel_path(record.job_id)),
+        )
+        args = (record.kind, record.dataset, record.algorithm, record.params)
+        if spec.capabilities.supervisable:
+            checkpoint_dir = None
+            if spec.capabilities.checkpointable:
+                checkpoint_dir = str(self.store.checkpoint_dir(record.job_id))
+            supervisor = Supervisor(
+                retry=self._retry_policy(),
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=int(record.params.get(
+                    "checkpoint_every", self.checkpoint_every
+                )),
+                resume=True,
+                scratch_dir=str(self.store.scratch_dir(record.job_id)),
+                kill_on_parent_death=True,
+            )
+            outcome = supervisor.run(execute_job, *args, ctx=ctx)
+            return outcome.value
+        return self._retry_policy().run(execute_job, *args, ctx=ctx)
+
+
+__all__ = [
+    "FAMILY_BY_KIND",
+    "FileCancelToken",
+    "Scheduler",
+    "canonical_result_bytes",
+    "execute_job",
+]

@@ -1,0 +1,421 @@
+"""Durable job store: one directory per job, crash-safe state records.
+
+The job server's headline property — *it never loses a job* — rests
+entirely on this module.  Every job owns one directory under the store
+root::
+
+    <root>/<job_id>/
+        job.json        # the state record, written atomically
+        checkpoints/    # the job's CheckpointStore (resumable snapshots)
+        scratch/        # the Supervisor's result-transport files
+        result.json     # canonical result bytes, written atomically
+        cancel          # marker file: cancellation requested
+
+``job.json`` is persisted with the same write-temp → fsync → rename
+protocol the checkpoint store uses, so a server SIGKILLed mid-update
+leaves either the old record or the new one on disk — never a torn
+half.  The record carries the full job lifecycle
+(``queued → running → done/failed/cancelled``, with the recovery edge
+``running → queued``), the submitted parameters, a ``degraded`` flag
+for budget-truncated results, and the structured failure report when a
+job dies for good.
+
+:meth:`JobStore.recover` is the crash-recovery scan the server runs on
+boot: every job found ``running`` was in flight when the previous
+process died, so it is moved back to ``queued`` (bumping its
+``recoveries`` counter) and its scratch directory is swept of torn
+transport files.  A job whose ``job.json`` cannot be parsed at all is
+quarantined as ``failed`` with cause ``store-corrupted`` instead of
+crashing the boot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..core.exceptions import ReproError
+from ..runtime.transport import sweep_stale_tmp
+
+#: every state a job record can be in.
+STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: states a job never leaves.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: the legal state machine; ``running → queued`` is the recovery edge.
+_TRANSITIONS = {
+    "queued": {"running", "cancelled"},
+    "running": {"done", "failed", "cancelled", "queued"},
+    "done": set(),
+    "failed": set(),
+    "cancelled": set(),
+}
+
+_RECORD_NAME = "job.json"
+_RESULT_NAME = "result.json"
+_CANCEL_NAME = "cancel"
+
+
+class JobStoreError(ReproError, RuntimeError):
+    """The store cannot honour a request (unknown job, bad record...)."""
+
+
+class UnknownJob(JobStoreError):
+    """No job with the given id exists in the store."""
+
+
+class InvalidTransition(JobStoreError):
+    """A state change that the job lifecycle does not allow."""
+
+
+@dataclass
+class JobRecord:
+    """One job's durable state.
+
+    ``params`` is the submitted parameter dict verbatim; ``error`` is a
+    JSON-ready failure description (a
+    :class:`~repro.runtime.supervisor.FailureReport` dict for crashes,
+    a ``{"cause", "type", "message"}`` triple for application errors);
+    ``degraded`` marks a job that hit its budget quota and finished
+    with a truncated-but-valid result; ``recoveries`` counts how many
+    times a server boot found the job mid-run and re-enqueued it.
+    """
+
+    job_id: str
+    tenant: str
+    kind: str
+    algorithm: str
+    dataset: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    state: str = "queued"
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    attempts: int = 0
+    recoveries: int = 0
+    degraded: bool = False
+    cancel_requested: bool = False
+    error: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobRecord":
+        fields = {name: payload[name] for name in cls.__dataclass_fields__
+                  if name in payload}
+        missing = set(cls.__dataclass_fields__) - set(fields)
+        required = {"job_id", "tenant", "kind", "algorithm", "dataset"}
+        if missing & required:
+            raise JobStoreError(
+                f"job record is missing required fields {sorted(missing & required)}"
+            )
+        record = cls(**fields)
+        if record.state not in STATES:
+            raise JobStoreError(f"job record has unknown state {record.state!r}")
+        return record
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """write-temp → fsync → rename, plus a directory fsync."""
+    tmp = path.parent / f".{path.name}.tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    try:
+        fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)
+
+
+class JobStore:
+    """Crash-safe persistence for the job server.
+
+    All read-modify-write access goes through one re-entrant lock, so
+    concurrent HTTP handler threads and scheduler workers can never
+    interleave a torn update; durability against process death comes
+    from the atomic record writes, not the lock.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def job_dir(self, job_id: str) -> Path:
+        return self.root / job_id
+
+    def record_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / _RECORD_NAME
+
+    def checkpoint_dir(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "checkpoints"
+
+    def scratch_dir(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "scratch"
+
+    def result_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / _RESULT_NAME
+
+    def cancel_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / _CANCEL_NAME
+
+    # ------------------------------------------------------------------
+    # Record lifecycle
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        tenant: str,
+        kind: str,
+        algorithm: str,
+        dataset: str,
+        params: Optional[Dict[str, Any]] = None,
+        job_id: Optional[str] = None,
+    ) -> JobRecord:
+        """Persist a fresh ``queued`` record and return it."""
+        with self._lock:
+            job_id = job_id or uuid.uuid4().hex[:12]
+            if self.record_path(job_id).exists():
+                raise JobStoreError(f"job {job_id!r} already exists")
+            now = time.time()
+            record = JobRecord(
+                job_id=job_id, tenant=tenant, kind=kind,
+                algorithm=algorithm, dataset=dataset,
+                params=dict(params or {}), state="queued",
+                created_at=now, updated_at=now,
+            )
+            self.job_dir(job_id).mkdir(parents=True, exist_ok=True)
+            self._save(record)
+            return record
+
+    def _save(self, record: JobRecord) -> None:
+        data = (json.dumps(record.to_dict(), sort_keys=True, indent=2)
+                + "\n").encode()
+        _atomic_write_bytes(self.record_path(record.job_id), data)
+
+    def get(self, job_id: str) -> JobRecord:
+        """Load one record; :class:`UnknownJob` when absent,
+        :class:`JobStoreError` when the record file is unreadable."""
+        with self._lock:
+            path = self.record_path(job_id)
+            if not path.exists():
+                raise UnknownJob(f"unknown job {job_id!r}")
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError) as exc:
+                raise JobStoreError(
+                    f"job record {path} is unreadable: {exc}"
+                ) from exc
+            if not isinstance(payload, dict):
+                raise JobStoreError(f"job record {path} is not an object")
+            return JobRecord.from_dict(payload)
+
+    def list(
+        self,
+        tenant: Optional[str] = None,
+        states: Optional[Tuple[str, ...]] = None,
+    ) -> List[JobRecord]:
+        """All readable records, newest first, optionally filtered."""
+        with self._lock:
+            records = []
+            for entry in sorted(self.root.iterdir()) if self.root.is_dir() else []:
+                if not (entry / _RECORD_NAME).exists():
+                    continue
+                try:
+                    record = self.get(entry.name)
+                except JobStoreError:
+                    continue
+                if tenant is not None and record.tenant != tenant:
+                    continue
+                if states is not None and record.state not in states:
+                    continue
+                records.append(record)
+            records.sort(key=lambda r: (-r.created_at, r.job_id))
+            return records
+
+    def counts(self, tenant: Optional[str] = None) -> Dict[str, int]:
+        """Per-state job counts (optionally for one tenant)."""
+        with self._lock:
+            tally = {state: 0 for state in STATES}
+            for record in self.list(tenant=tenant):
+                tally[record.state] += 1
+            return tally
+
+    def update(self, job_id: str, **changes: Any) -> JobRecord:
+        """Read-modify-write arbitrary record fields (no state check)."""
+        with self._lock:
+            record = self.get(job_id)
+            for name, value in changes.items():
+                if name not in record.__dataclass_fields__:
+                    raise JobStoreError(f"unknown record field {name!r}")
+                setattr(record, name, value)
+            record.updated_at = time.time()
+            self._save(record)
+            return record
+
+    def transition(
+        self,
+        job_id: str,
+        to_state: str,
+        expect: Optional[str] = None,
+        **changes: Any,
+    ) -> JobRecord:
+        """Move a job along the state machine, persisting atomically.
+
+        ``expect`` (optional) makes the transition conditional on the
+        current state — the scheduler uses it so a job cancelled while
+        queued is never yanked back to ``running``.
+        """
+        with self._lock:
+            record = self.get(job_id)
+            if to_state not in STATES:
+                raise JobStoreError(f"unknown state {to_state!r}")
+            if expect is not None and record.state != expect:
+                raise InvalidTransition(
+                    f"job {job_id} is {record.state!r}, expected {expect!r}"
+                )
+            if to_state not in _TRANSITIONS[record.state]:
+                raise InvalidTransition(
+                    f"job {job_id} cannot go {record.state!r} → {to_state!r}"
+                )
+            record.state = to_state
+            for name, value in changes.items():
+                if name not in record.__dataclass_fields__:
+                    raise JobStoreError(f"unknown record field {name!r}")
+                setattr(record, name, value)
+            record.updated_at = time.time()
+            self._save(record)
+            return record
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def request_cancel(self, job_id: str) -> JobRecord:
+        """Flag a job for cancellation.
+
+        A ``queued`` job is cancelled outright; a ``running`` job gets
+        the durable marker file its in-child cancellation token polls,
+        plus the record flag.  Terminal jobs raise
+        :class:`InvalidTransition`.
+        """
+        with self._lock:
+            record = self.get(job_id)
+            if record.state in TERMINAL_STATES:
+                raise InvalidTransition(
+                    f"job {job_id} is already {record.state}"
+                )
+            self.cancel_path(job_id).touch()
+            if record.state == "queued":
+                return self.transition(job_id, "cancelled",
+                                       cancel_requested=True)
+            return self.update(job_id, cancel_requested=True)
+
+    def cancel_requested(self, job_id: str) -> bool:
+        return self.cancel_path(job_id).exists()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def write_result_bytes(self, job_id: str, data: bytes) -> None:
+        """Atomically persist a job's canonical result payload."""
+        with self._lock:
+            _atomic_write_bytes(self.result_path(job_id), data)
+
+    def read_result_bytes(self, job_id: str) -> bytes:
+        path = self.result_path(job_id)
+        try:
+            return path.read_bytes()
+        except OSError as exc:
+            raise JobStoreError(
+                f"no result stored for job {job_id!r}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> List[JobRecord]:
+        """Boot-time scan: re-enqueue jobs the dead server left running.
+
+        * ``running`` + cancel marker → ``cancelled`` (honour the last
+          client instruction, don't redo the work);
+        * ``running`` → ``queued`` with ``recoveries + 1``, scratch
+          swept of torn transport files — the scheduler will resume it
+          from its newest checkpoint;
+        * unreadable ``job.json`` → quarantined as ``failed`` with
+          cause ``store-corrupted`` (recovery must never crash);
+        * stray ``.job.json.tmp`` halves are deleted.
+
+        Returns the records that were re-enqueued.
+        """
+        with self._lock:
+            recovered: List[JobRecord] = []
+            if not self.root.is_dir():
+                return recovered
+            for entry in sorted(self.root.iterdir()):
+                if not entry.is_dir():
+                    continue
+                sweep_stale_tmp(entry, pattern=f".{_RECORD_NAME}.tmp")
+                sweep_stale_tmp(entry, pattern=f".{_RESULT_NAME}.tmp")
+                if not (entry / _RECORD_NAME).exists():
+                    continue
+                try:
+                    record = self.get(entry.name)
+                except JobStoreError:
+                    self._quarantine(entry.name)
+                    continue
+                if record.state != "running":
+                    continue
+                sweep_stale_tmp(self.scratch_dir(record.job_id))
+                sweep_stale_tmp(self.scratch_dir(record.job_id),
+                                pattern="result-*.pkl")
+                if self.cancel_requested(record.job_id):
+                    self.transition(record.job_id, "cancelled")
+                    continue
+                recovered.append(self.transition(
+                    record.job_id, "queued",
+                    recoveries=record.recoveries + 1,
+                ))
+            return recovered
+
+    def _quarantine(self, job_id: str) -> None:
+        """Replace an unreadable record with a minimal ``failed`` one."""
+        now = time.time()
+        record = JobRecord(
+            job_id=job_id, tenant="unknown", kind="unknown",
+            algorithm="unknown", dataset="", state="failed",
+            created_at=now, updated_at=now,
+            error={
+                "cause": "store-corrupted",
+                "message": "job record was unreadable after a crash; "
+                           "the job's history is lost",
+            },
+        )
+        self._save(record)
+
+
+__all__ = [
+    "STATES",
+    "TERMINAL_STATES",
+    "InvalidTransition",
+    "JobRecord",
+    "JobStore",
+    "JobStoreError",
+    "UnknownJob",
+]

@@ -190,3 +190,54 @@ class TestCheckpointer:
     def test_validation(self, tmp_path):
         with pytest.raises(ValidationError):
             Checkpointer(tmp_path, every=0)
+
+
+class TestWorstCase:
+    """The disk at its most hostile: nothing valid left, heavy churn."""
+
+    def test_resume_with_every_snapshot_corrupted_raises_cleanly(
+        self, tmp_path
+    ):
+        """All snapshots trashed → CheckpointCorrupted, not a crash.
+
+        The resume path must surface one well-typed error (so the
+        supervisor/scheduler can classify it), never an unpickling
+        traceback or a silent ``None`` that would restart from scratch
+        and mask the data loss.
+        """
+        writer = Checkpointer(tmp_path)
+        writer.mark(KEY, {"k": 1})
+        writer.mark(KEY, {"k": 2})
+        writer.mark(KEY, {"k": 3})
+        for _, path in writer.store.snapshots():
+            path.write_bytes(b"every byte is wrong")
+        with pytest.raises(CheckpointCorrupted, match="all 3 snapshots"):
+            Checkpointer(tmp_path, resume=True).resume(KEY)
+
+    def test_rotation_keeps_exactly_n_across_interleaved_mark_flush(
+        self, tmp_path
+    ):
+        """keep=N holds as an invariant, not just an end state.
+
+        Interleaving ``every=2`` marks with off-beat flushes (the
+        budget-exhaustion path) exercises persist from both call sites;
+        at no point may more than ``keep`` snapshots exist, and the
+        newest must always be the latest persisted state.
+        """
+        store = CheckpointStore(tmp_path, keep=3)
+        ckpt = Checkpointer(store, every=2)
+        for i in range(20):
+            ckpt.mark(KEY, {"k": i})
+            if i % 5 == 0:
+                ckpt.flush()
+            assert len(store.snapshots()) <= 3
+        ckpt.flush()
+        snapshots = store.snapshots()
+        assert len(snapshots) == 3
+        sequences = [seq for seq, _ in snapshots]
+        assert sequences == sorted(sequences)
+        assert store.load_latest()["state"] == {"k": 19}
+        # Rotation unlinks cleanly: no temp halves left next to them.
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.suffix == ".tmp"]
+        assert leftovers == []

@@ -1,0 +1,117 @@
+"""Regression tests: orphaned transport temp files are swept, not leaked.
+
+Before the sweep existed, a SIGKILLed parent left its
+``repro-supervised-*`` / ``repro-pool-*`` scratch directories (and any
+half-written ``*.tmp`` result files inside them) in the system temp dir
+forever.  These tests pin the three sweep surfaces:
+
+* :func:`sweep_stale_tmp` — targeted unlink of torn temp files;
+* :func:`sweep_stale_transport` — startup scan of the temp root for
+  aged transport droppings, run once per process by pools/supervisors;
+* the Supervisor's persistent-scratch reset, which must clear stale
+  ``result-*.pkl`` files whose names would collide with the new run's
+  attempt numbering.
+"""
+
+import os
+import time
+
+from repro.runtime import Supervisor, sweep_stale_tmp, sweep_stale_transport
+from repro.runtime.transport import _SWEPT_ROOTS, TRANSPORT_PREFIXES
+
+
+def _age(path, seconds):
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
+class TestSweepStaleTmp:
+    def test_removes_matching_files_only(self, tmp_path):
+        torn = tmp_path / "result-1.pkl.tmp"
+        torn.write_bytes(b"half")
+        keep = tmp_path / "result-1.pkl"
+        keep.write_bytes(b"whole")
+        assert sweep_stale_tmp(tmp_path) == 1
+        assert not torn.exists()
+        assert keep.exists()
+
+    def test_custom_pattern(self, tmp_path):
+        stale = tmp_path / "result-7.pkl"
+        stale.write_bytes(b"old attempt")
+        assert sweep_stale_tmp(tmp_path, pattern="result-*.pkl") == 1
+        assert not stale.exists()
+
+    def test_min_age_spares_young_files(self, tmp_path):
+        young = tmp_path / "a.tmp"
+        young.write_bytes(b"")
+        old = tmp_path / "b.tmp"
+        old.write_bytes(b"")
+        _age(old, 7200)
+        assert sweep_stale_tmp(tmp_path, min_age_seconds=3600) == 1
+        assert young.exists()
+        assert not old.exists()
+
+    def test_missing_directory_is_noop(self, tmp_path):
+        assert sweep_stale_tmp(tmp_path / "nope") == 0
+
+
+class TestSweepStaleTransport:
+    def test_removes_aged_transport_dirs(self, tmp_path):
+        for prefix in TRANSPORT_PREFIXES:
+            dead = tmp_path / f"{prefix}dead"
+            dead.mkdir()
+            (dead / "result-1.pkl.tmp").write_bytes(b"torn")
+            _age(dead, 7200)
+        fresh = tmp_path / f"{TRANSPORT_PREFIXES[0]}fresh"
+        fresh.mkdir()
+        unrelated = tmp_path / "someone-elses-dir"
+        unrelated.mkdir()
+        _age(unrelated, 7200)
+        removed = sweep_stale_transport(root=tmp_path)
+        assert removed == len(TRANSPORT_PREFIXES)
+        assert fresh.exists()
+        assert unrelated.exists()
+        assert not any(
+            (tmp_path / f"{p}dead").exists() for p in TRANSPORT_PREFIXES
+        )
+
+    def test_once_guard_scans_a_root_only_once(self, tmp_path):
+        _SWEPT_ROOTS.discard(str(tmp_path))
+        first = tmp_path / f"{TRANSPORT_PREFIXES[0]}one"
+        first.mkdir()
+        _age(first, 7200)
+        assert sweep_stale_transport(root=tmp_path, once=True) == 1
+        second = tmp_path / f"{TRANSPORT_PREFIXES[0]}two"
+        second.mkdir()
+        _age(second, 7200)
+        # Guarded: the second call is a no-op for this root...
+        assert sweep_stale_transport(root=tmp_path, once=True) == 0
+        assert second.exists()
+        # ...but an unguarded call still works.
+        assert sweep_stale_transport(root=tmp_path) == 1
+        _SWEPT_ROOTS.discard(str(tmp_path))
+
+
+def _answer():
+    return 42
+
+
+class TestSupervisorScratchReset:
+    def test_persistent_scratch_swept_before_and_after_run(self, tmp_path):
+        """Stale attempt results in a reused scratch dir must go.
+
+        A ``result-1.pkl`` left by a dead process would otherwise be
+        read as attempt 1's (complete, wrong) result by the next run.
+        """
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        stale = scratch / "result-1.pkl"
+        stale.write_bytes(b"a corpse from the previous process")
+        torn = scratch / "result-2.pkl.tmp"
+        torn.write_bytes(b"half")
+        outcome = Supervisor(scratch_dir=str(scratch)).run(_answer)
+        assert outcome.value == 42
+        assert scratch.exists()  # persistent dirs are kept...
+        assert list(scratch.iterdir()) == []  # ...but left clean
+        assert not stale.exists()
+        assert not torn.exists()

@@ -1,0 +1,41 @@
+"""Shared fixtures for the job-server tests: small on-disk datasets."""
+
+import pytest
+
+from repro.core.table import Table, numeric
+from repro.datasets import (
+    agrawal,
+    gaussian_blobs,
+    quest_basket,
+    save_table,
+    save_transactions,
+)
+
+
+@pytest.fixture(scope="session")
+def basket_path(tmp_path_factory):
+    """A small FIMI transaction file for mine jobs."""
+    path = tmp_path_factory.mktemp("server-data") / "basket.dat"
+    save_transactions(quest_basket(150, random_state=0), str(path))
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def agrawal_path(tmp_path_factory):
+    """A small typed CSV with a categorical target for classify jobs."""
+    path = tmp_path_factory.mktemp("server-data") / "agrawal.csv"
+    save_table(agrawal(200, function=1, random_state=0), str(path))
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def blobs_path(tmp_path_factory):
+    """A small numeric CSV for cluster jobs."""
+    path = tmp_path_factory.mktemp("server-data") / "blobs.csv"
+    X, _y = gaussian_blobs(120, centers=3, random_state=0)
+    table = Table(
+        [numeric("x"), numeric("y")],
+        {"x": X[:, 0], "y": X[:, 1]},
+    )
+    save_table(table, str(path))
+    return str(path)

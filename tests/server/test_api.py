@@ -1,0 +1,227 @@
+"""HTTP surface: routes, error semantics, quota back-pressure."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.server import build_server
+from repro.server.api import BadSubmission, validate_submission
+from repro.server.quotas import QuotaPolicy, TenantQuota
+
+DEADLINE = 60.0
+
+
+@pytest.fixture
+def server(tmp_path):
+    quotas = QuotaPolicy(
+        default=TenantQuota(max_running=1, max_queued=2,
+                            retry_after_seconds=3.0),
+    )
+    httpd, scheduler = build_server(
+        str(tmp_path / "store"), port=0, workers=1, quotas=quotas,
+    )
+    scheduler.start()
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd, scheduler
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        scheduler.stop()
+        thread.join(timeout=5.0)
+
+
+def _call(httpd, method, path, body=None):
+    port = httpd.server_address[1]
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", method=method,
+        data=json.dumps(body).encode() if body is not None else None,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), \
+                json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+def _submit(httpd, dataset, **overrides):
+    body = {"kind": "mine", "algorithm": "apriori", "dataset": dataset,
+            "params": {"min_support": 0.05}}
+    body.update(overrides)
+    return _call(httpd, "POST", "/jobs", body)
+
+
+def _wait_state(httpd, job_id, states, deadline=DEADLINE):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        _status, _headers, record = _call(httpd, "GET", f"/jobs/{job_id}")
+        if record["state"] in states:
+            return record
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never reached {states}")
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        httpd, _scheduler = server
+        status, _headers, payload = _call(httpd, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert set(payload["jobs"]) == {"queued", "running", "done",
+                                        "failed", "cancelled"}
+
+    def test_algorithms_table(self, server):
+        httpd, _scheduler = server
+        status, _headers, payload = _call(httpd, "GET", "/algorithms")
+        assert status == 200
+        names = {entry["name"] for entry in payload["algorithms"]}
+        assert {"apriori", "kmeans", "c45"} <= names
+        apriori = next(e for e in payload["algorithms"]
+                       if e["name"] == "apriori")
+        assert apriori["capabilities"]["checkpointable"] is True
+
+    def test_unknown_route_404(self, server):
+        httpd, _scheduler = server
+        assert _call(httpd, "GET", "/nope")[0] == 404
+        assert _call(httpd, "POST", "/nope")[0] == 404
+        assert _call(httpd, "GET", "/jobs/missing")[0] == 404
+        assert _call(httpd, "POST", "/jobs/missing/cancel")[0] == 404
+
+
+class TestSubmitLifecycle:
+    def test_submit_poll_fetch(self, server, basket_path):
+        httpd, scheduler = server
+        status, _headers, record = _submit(httpd, basket_path)
+        assert status == 202
+        assert record["state"] == "queued"
+        final = _wait_state(httpd, record["job_id"], ("done", "failed"))
+        assert final["state"] == "done", final.get("error")
+        port = httpd.server_address[1]
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/jobs/{record['job_id']}/result",
+            timeout=30,
+        ) as response:
+            body = response.read()
+        assert body == scheduler.store.read_result_bytes(record["job_id"])
+
+    def test_result_before_done_is_409(self, server, basket_path):
+        httpd, _scheduler = server
+        _status, _headers, record = _submit(
+            httpd, basket_path, params={"min_support": 0.05,
+                                        "pass_delay": 0.2},
+        )
+        status, _headers, payload = _call(
+            httpd, "GET", f"/jobs/{record['job_id']}/result"
+        )
+        assert status == 409
+        assert payload["state"] in ("queued", "running")
+        _wait_state(httpd, record["job_id"], ("done",))
+
+    def test_job_listing(self, server, basket_path):
+        httpd, _scheduler = server
+        _status, _headers, record = _submit(httpd, basket_path,
+                                            tenant="lister")
+        _wait_state(httpd, record["job_id"], ("done",))
+        status, _headers, payload = _call(
+            httpd, "GET", "/jobs?tenant=lister"
+        )
+        assert status == 200
+        assert [j["job_id"] for j in payload["jobs"]] == [record["job_id"]]
+
+    def test_cancel_flow(self, server, basket_path):
+        httpd, _scheduler = server
+        _status, _headers, record = _submit(
+            httpd, basket_path,
+            params={"min_support": 0.02, "pass_delay": 0.3},
+        )
+        status, _headers, _payload = _call(
+            httpd, "POST", f"/jobs/{record['job_id']}/cancel"
+        )
+        assert status == 202
+        final = _wait_state(httpd, record["job_id"], ("cancelled", "done"))
+        assert final["state"] == "cancelled"
+        # Cancelling a terminal job is a conflict, not a 500.
+        status, _headers, _payload = _call(
+            httpd, "POST", f"/jobs/{record['job_id']}/cancel"
+        )
+        assert status == 409
+
+
+class TestRejections:
+    def test_unknown_algorithm_400_with_capabilities(self, server,
+                                                     basket_path):
+        httpd, _scheduler = server
+        status, _headers, payload = _submit(httpd, basket_path,
+                                            algorithm="nope")
+        assert status == 400
+        names = {entry["name"] for entry in payload["capabilities"]}
+        assert "apriori" in names
+        assert all(entry["family"] == "associations"
+                   for entry in payload["capabilities"])
+
+    def test_capability_gated_flags_400(self, server, basket_path):
+        httpd, _scheduler = server
+        cases = [
+            {"kind": "classify", "algorithm": "knn",
+             "params": {"target": "y", "checkpoint_every": 2}},
+            {"kind": "classify", "algorithm": "nb",
+             "params": {"target": "y", "n_jobs": 2}},
+            {"kind": "mine", "algorithm": "apriori",
+             "params": {"on_exhausted": "explode"}},
+        ]
+        for case in cases:
+            status, _headers, payload = _submit(httpd, basket_path, **case)
+            assert status == 400, case
+            assert "capabilities" in payload
+
+    def test_malformed_bodies_400(self, server, basket_path):
+        httpd, _scheduler = server
+        for body in [[], {"kind": "mine"}, {"surprise": 1},
+                     {"kind": "teleport", "algorithm": "a", "dataset": "d"}]:
+            status, _headers, _payload = _call(httpd, "POST", "/jobs", body)
+            assert status == 400, body
+
+    def test_over_quota_429_with_retry_after(self, server, basket_path):
+        httpd, _scheduler = server
+        slow = {"min_support": 0.02, "pass_delay": 0.5}
+        accepted = []
+        rejected = None
+        for _ in range(4):
+            status, headers, payload = _submit(
+                httpd, basket_path, tenant="burst", params=slow,
+            )
+            if status == 202:
+                accepted.append(payload["job_id"])
+            else:
+                rejected = (status, headers, payload)
+        assert rejected is not None, "backlog quota never tripped"
+        status, headers, payload = rejected
+        assert status == 429
+        assert headers["Retry-After"] == "3"
+        assert payload["retry_after"] == 3.0
+        # The rejection must not disturb the admitted jobs: every one
+        # still runs to completion.
+        for job_id in accepted:
+            final = _wait_state(httpd, job_id, ("done", "failed"))
+            assert final["state"] == "done", final.get("error")
+
+
+class TestValidateSubmission:
+    def test_normalizes_defaults(self, basket_path):
+        submission = validate_submission({
+            "kind": "mine", "algorithm": "apriori", "dataset": basket_path,
+        })
+        assert submission["tenant"] == "default"
+        assert submission["params"] == {}
+
+    def test_classify_requires_target(self):
+        with pytest.raises(BadSubmission):
+            validate_submission({
+                "kind": "classify", "algorithm": "c45", "dataset": "d.csv",
+            })

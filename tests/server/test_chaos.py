@@ -1,0 +1,145 @@
+"""The acceptance proof: SIGKILL the *server* mid-job, restart, finish.
+
+``test_kill_storm.py`` proves the child-process story; this file proves
+the server-level one.  A real ``repro serve`` process is killed with
+SIGKILL while a checkpointed apriori job is mid-run.  A second process
+started against the same store must:
+
+* report the job as recovered on boot,
+* move it back through ``queued → running`` and finish it,
+* produce result bytes identical to an uninterrupted serial run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.server.scheduler import canonical_result_bytes, execute_job
+from repro.server.store import JobStore
+
+DEADLINE = 90.0
+
+#: slow the job to one checkpoint boundary per second so the kill
+#: reliably lands mid-run.
+JOB_PARAMS = {
+    "min_support": 0.02,
+    "min_confidence": 0.6,
+    "pass_delay": 1.0,
+    "checkpoint_every": 1,
+}
+
+
+def _src_env():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _start_server(store_root):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--store", str(store_root),
+         "--port", "0", "--workers", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=_src_env(),
+    )
+    deadline = time.monotonic() + 30.0
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"server died during startup:\n{''.join(lines)}"
+            )
+        lines.append(line)
+        if line.startswith("repro-server listening"):
+            port = int(line.split("port=")[1].split()[0])
+            return proc, port, lines
+    raise AssertionError("server never printed its banner")
+
+
+def _request(port, method, path, body=None):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", method=method,
+        data=json.dumps(body).encode() if body is not None else None,
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def _wait(predicate, deadline=DEADLINE, message="condition"):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.1)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+@pytest.mark.slow
+def test_sigkill_server_midjob_then_restart_finishes_byte_identical(
+    tmp_path, basket_path
+):
+    store_root = tmp_path / "store"
+    proc, port, _lines = _start_server(store_root)
+    try:
+        record = _request(port, "POST", "/jobs", {
+            "kind": "mine", "algorithm": "apriori",
+            "dataset": basket_path, "params": JOB_PARAMS,
+        })
+        job_id = record["job_id"]
+        store = JobStore(store_root)
+
+        def _mid_run():
+            current = store.get(job_id)
+            snapshots = list(store.checkpoint_dir(job_id).glob("snapshot-*"))
+            return current.state == "running" and snapshots
+        _wait(_mid_run, message="job running with a persisted checkpoint")
+
+        # No warning, no cleanup, no finally blocks: the server is gone.
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    # The store still says "running" -- the truth as the dead server
+    # knew it.  Restart against the same store.
+    assert store.get(job_id).state == "running"
+    proc, port, lines = _start_server(store_root)
+    try:
+        assert any(f"recovered job={job_id}" in line for line in lines), lines
+        final = _wait(
+            lambda: (store.get(job_id)
+                     if store.get(job_id).state in
+                     ("done", "failed", "cancelled") else None),
+            message="recovered job to finish",
+        )
+        assert final.state == "done", final.error
+        assert final.recoveries == 1
+        assert final.attempts == 2
+        result = store.read_result_bytes(job_id)
+        reference = canonical_result_bytes(
+            execute_job("mine", basket_path, "apriori", JOB_PARAMS)
+        )
+        assert result == reference
+        # And the HTTP surface serves the same bytes.
+        fetched = _request(port, "GET", f"/jobs/{job_id}/result")
+        assert canonical_result_bytes(fetched) == reference
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)

@@ -1,0 +1,170 @@
+"""Scheduler: supervised execution, degradation, cancellation, recovery."""
+
+import time
+
+import pytest
+
+from repro.server.quotas import QuotaPolicy, TenantQuota
+from repro.server.scheduler import (
+    Scheduler,
+    canonical_result_bytes,
+    execute_job,
+)
+from repro.server.store import JobStore
+
+#: generous ceiling for a small job to finish on a loaded CI box.
+DEADLINE = 60.0
+
+
+def _wait_terminal(store, job_id, deadline=DEADLINE):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        record = store.get(job_id)
+        if record.state in ("done", "failed", "cancelled"):
+            return record
+        time.sleep(0.05)
+    raise AssertionError(
+        f"job {job_id} still {store.get(job_id).state!r} after {deadline}s"
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "store")
+
+
+def _run_one(store, kind, algorithm, dataset, params, **sched_kwargs):
+    scheduler = Scheduler(store, workers=1, **sched_kwargs)
+    scheduler.start()
+    try:
+        record = scheduler.submit("t", kind, algorithm, dataset, params)
+        return _wait_terminal(store, record.job_id)
+    finally:
+        scheduler.stop()
+
+
+class TestExecution:
+    def test_mine_job_matches_serial_reference(self, store, basket_path):
+        params = {"min_support": 0.05, "min_confidence": 0.6}
+        record = _run_one(store, "mine", "apriori", basket_path, params)
+        assert record.state == "done", record.error
+        assert record.degraded is False
+        reference = canonical_result_bytes(
+            execute_job("mine", basket_path, "apriori", params)
+        )
+        assert store.read_result_bytes(record.job_id) == reference
+
+    def test_classify_job(self, store, agrawal_path):
+        record = _run_one(store, "classify", "c45", agrawal_path,
+                          {"target": "group"})
+        assert record.state == "done", record.error
+        payload = store.read_result_bytes(record.job_id)
+        assert b'"accuracy"' in payload
+
+    def test_cluster_job(self, store, blobs_path):
+        record = _run_one(store, "cluster", "kmeans", blobs_path, {"k": 3})
+        assert record.state == "done", record.error
+        payload = store.read_result_bytes(record.job_id)
+        assert b'"sse"' in payload
+
+    def test_application_error_is_failed_not_crash(self, store):
+        record = _run_one(store, "mine", "apriori", "/no/such/file.dat", {})
+        assert record.state == "failed"
+        assert record.error["cause"] == "error"
+
+    def test_unknown_kind_is_failed(self, store, basket_path):
+        record = _run_one(store, "bogus-kind", "apriori", basket_path, {})
+        assert record.state == "failed"
+
+
+class TestDegradation:
+    def test_quota_budget_degrades_instead_of_failing(self, store, basket_path):
+        quotas = QuotaPolicy(default=TenantQuota(max_candidates=5))
+        record = _run_one(store, "mine", "apriori", basket_path,
+                          {"min_support": 0.02}, quotas=quotas)
+        assert record.state == "done", record.error
+        assert record.degraded is True
+        result = store.read_result_bytes(record.job_id)
+        assert b'"degraded":true' in result
+
+
+class TestCancellation:
+    def test_cancel_queued_job_never_runs(self, store, basket_path):
+        scheduler = Scheduler(store, workers=1)
+        # Not started: the job stays queued, cancel wins the race trivially.
+        record = scheduler.submit("t", "mine", "apriori", basket_path, {})
+        cancelled = scheduler.cancel(record.job_id)
+        assert cancelled.state == "cancelled"
+        scheduler.start()
+        try:
+            time.sleep(0.3)
+            assert store.get(record.job_id).state == "cancelled"
+        finally:
+            scheduler.stop()
+
+    def test_cancel_running_job_lands_cancelled(self, store, basket_path):
+        scheduler = Scheduler(store, workers=1)
+        scheduler.start()
+        try:
+            record = scheduler.submit(
+                "t", "mine", "apriori", basket_path,
+                {"min_support": 0.02, "pass_delay": 0.3},
+            )
+            deadline = time.monotonic() + DEADLINE
+            while store.get(record.job_id).state == "queued":
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            if store.get(record.job_id).state == "running":
+                scheduler.cancel(record.job_id)
+            final = _wait_terminal(store, record.job_id)
+            # If the job outran the cancel it may have finished; both are
+            # legal, but with a 0.3s-per-pass throttle cancel should win.
+            assert final.state == "cancelled"
+        finally:
+            scheduler.stop()
+
+
+class TestRecovery:
+    def test_restart_requeues_and_finishes_byte_identical(
+        self, store, basket_path
+    ):
+        """A job left ``running`` by a dead scheduler restarts cleanly."""
+        params = {"min_support": 0.05, "min_confidence": 0.6}
+        abandoned = store.create(
+            tenant="t", kind="mine", algorithm="apriori",
+            dataset=basket_path, params=params,
+        )
+        store.transition(abandoned.job_id, "running", attempts=1)
+        scheduler = Scheduler(store, workers=1)
+        recovered = scheduler.start()
+        try:
+            assert [r.job_id for r in recovered] == [abandoned.job_id]
+            final = _wait_terminal(store, abandoned.job_id)
+            assert final.state == "done", final.error
+            assert final.recoveries == 1
+            reference = canonical_result_bytes(
+                execute_job("mine", basket_path, "apriori", params)
+            )
+            assert store.read_result_bytes(abandoned.job_id) == reference
+        finally:
+            scheduler.stop()
+
+
+class TestConcurrencyGate:
+    def test_tenant_running_limit_serializes_dispatch(
+        self, store, basket_path
+    ):
+        quotas = QuotaPolicy(default=TenantQuota(max_running=1))
+        scheduler = Scheduler(store, workers=2, quotas=quotas,
+                              poll_interval=0.02)
+        scheduler.start()
+        try:
+            first = scheduler.submit("t", "mine", "apriori", basket_path,
+                                     {"min_support": 0.05})
+            second = scheduler.submit("t", "mine", "apriori", basket_path,
+                                      {"min_support": 0.05})
+            for job_id in (first.job_id, second.job_id):
+                final = _wait_terminal(store, job_id)
+                assert final.state == "done", final.error
+        finally:
+            scheduler.stop()

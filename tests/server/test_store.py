@@ -1,0 +1,196 @@
+"""Durable job store: lifecycle, atomicity, crash recovery."""
+
+import json
+
+import pytest
+
+from repro.server.store import (
+    InvalidTransition,
+    JobRecord,
+    JobStore,
+    JobStoreError,
+    TERMINAL_STATES,
+    UnknownJob,
+)
+
+
+def _store(tmp_path):
+    return JobStore(tmp_path / "store")
+
+
+def _job(store, **overrides):
+    kwargs = dict(tenant="t", kind="mine", algorithm="apriori",
+                  dataset="basket.dat", params={"min_support": 0.1})
+    kwargs.update(overrides)
+    return store.create(**kwargs)
+
+
+class TestLifecycle:
+    def test_create_persists_queued_record(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        loaded = store.get(record.job_id)
+        assert loaded.state == "queued"
+        assert loaded.params == {"min_support": 0.1}
+        assert loaded.created_at > 0
+
+    def test_record_file_is_valid_json(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        payload = json.loads(store.record_path(record.job_id).read_text())
+        assert payload["job_id"] == record.job_id
+
+    def test_get_unknown_job_raises(self, tmp_path):
+        with pytest.raises(UnknownJob):
+            _store(tmp_path).get("nope")
+
+    def test_duplicate_id_rejected(self, tmp_path):
+        store = _store(tmp_path)
+        _job(store, job_id="fixed")
+        with pytest.raises(JobStoreError):
+            _job(store, job_id="fixed")
+
+    def test_full_happy_path(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        store.transition(record.job_id, "running", expect="queued")
+        store.write_result_bytes(record.job_id, b'{"x":1}\n')
+        done = store.transition(record.job_id, "done", degraded=True)
+        assert done.state == "done"
+        assert done.degraded is True
+        assert store.read_result_bytes(record.job_id) == b'{"x":1}\n'
+
+    def test_terminal_states_are_final(self, tmp_path):
+        store = _store(tmp_path)
+        for terminal in sorted(TERMINAL_STATES):
+            record = _job(store)
+            store.transition(record.job_id, "running")
+            store.transition(record.job_id, terminal)
+            with pytest.raises(InvalidTransition):
+                store.transition(record.job_id, "running")
+
+    def test_expect_guard(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        with pytest.raises(InvalidTransition):
+            store.transition(record.job_id, "running", expect="running")
+
+    def test_illegal_edge_rejected(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        with pytest.raises(InvalidTransition):
+            store.transition(record.job_id, "done")  # queued -> done
+
+    def test_unknown_field_rejected(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        with pytest.raises(JobStoreError):
+            store.update(record.job_id, nonsense=1)
+
+    def test_list_filters_and_orders(self, tmp_path):
+        store = _store(tmp_path)
+        first = _job(store, tenant="a")
+        second = _job(store, tenant="b")
+        assert [r.tenant for r in store.list(tenant="a")] == ["a"]
+        listing = store.list()
+        assert {r.job_id for r in listing} == {first.job_id, second.job_id}
+        assert [r.job_id for r in store.list(states=("running",))] == []
+
+    def test_counts_per_tenant(self, tmp_path):
+        store = _store(tmp_path)
+        _job(store, tenant="a")
+        record = _job(store, tenant="a")
+        store.transition(record.job_id, "running")
+        counts = store.counts("a")
+        assert counts["queued"] == 1
+        assert counts["running"] == 1
+        assert store.counts("b")["queued"] == 0
+
+
+class TestCancellation:
+    def test_cancel_queued_is_immediate(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        cancelled = store.request_cancel(record.job_id)
+        assert cancelled.state == "cancelled"
+
+    def test_cancel_running_sets_marker(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        store.transition(record.job_id, "running")
+        flagged = store.request_cancel(record.job_id)
+        assert flagged.state == "running"
+        assert flagged.cancel_requested is True
+        assert store.cancel_requested(record.job_id)
+
+    def test_cancel_terminal_raises(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        store.transition(record.job_id, "running")
+        store.transition(record.job_id, "done")
+        with pytest.raises(InvalidTransition):
+            store.request_cancel(record.job_id)
+
+
+class TestRecovery:
+    def test_running_jobs_requeued_with_bumped_counter(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        store.transition(record.job_id, "running", attempts=1)
+        # Simulate the server dying here; a fresh store object boots.
+        reborn = JobStore(store.root)
+        recovered = reborn.recover()
+        assert [r.job_id for r in recovered] == [record.job_id]
+        after = reborn.get(record.job_id)
+        assert after.state == "queued"
+        assert after.recoveries == 1
+
+    def test_terminal_jobs_untouched(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        store.transition(record.job_id, "running")
+        store.transition(record.job_id, "done")
+        assert JobStore(store.root).recover() == []
+        assert store.get(record.job_id).state == "done"
+
+    def test_running_with_cancel_marker_becomes_cancelled(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        store.transition(record.job_id, "running")
+        store.request_cancel(record.job_id)
+        assert JobStore(store.root).recover() == []
+        assert store.get(record.job_id).state == "cancelled"
+
+    def test_corrupted_record_is_quarantined(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        store.record_path(record.job_id).write_text("{ not json")
+        assert JobStore(store.root).recover() == []
+        after = store.get(record.job_id)
+        assert after.state == "failed"
+        assert after.error["cause"] == "store-corrupted"
+
+    def test_torn_tmp_files_swept(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        store.transition(record.job_id, "running")
+        torn = store.job_dir(record.job_id) / ".job.json.tmp"
+        torn.write_bytes(b"half a record")
+        scratch = store.scratch_dir(record.job_id)
+        scratch.mkdir(parents=True)
+        (scratch / "result-1.pkl").write_bytes(b"stale")
+        (scratch / ".result-2.pkl.tmp").write_bytes(b"torn")
+        JobStore(store.root).recover()
+        assert not torn.exists()
+        assert list(scratch.iterdir()) == []
+
+    def test_record_roundtrip_and_validation(self):
+        record = JobRecord(job_id="j", tenant="t", kind="mine",
+                           algorithm="apriori", dataset="d")
+        assert JobRecord.from_dict(record.to_dict()) == record
+        with pytest.raises(JobStoreError):
+            JobRecord.from_dict({"job_id": "j"})
+        bad = record.to_dict()
+        bad["state"] = "limbo"
+        with pytest.raises(JobStoreError):
+            JobRecord.from_dict(bad)

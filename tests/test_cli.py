@@ -125,6 +125,22 @@ class TestAlgorithms:
         for spec in registry.specs():
             assert spec.name in out
 
+    def test_json_emits_the_machine_readable_table(self, capsys):
+        import json
+
+        from repro import registry
+
+        assert main(["algorithms", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        entries = {e["name"]: e for e in payload["algorithms"]}
+        assert set(entries) == {s.name for s in registry.specs()}
+        apriori = entries["apriori"]
+        assert apriori["family"] == "associations"
+        caps = apriori["capabilities"]
+        assert caps["checkpointable"] is True
+        assert caps["budget_resource"] == "candidates"
+        assert isinstance(caps["degradation_policies"], list)
+
     def test_choices_come_from_the_registry(self):
         """The subcommand choices are the registry, not a literal list."""
         from repro import registry
