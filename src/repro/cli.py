@@ -386,6 +386,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=2, metavar="N",
         help="crash-retry allowance per job dispatch",
     )
+    serve.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="running jobs whose lease heartbeat is older than this are "
+             "reclaimed by the reaper (re-enqueued, or poisoned past the "
+             "failure cap)",
+    )
+    serve.add_argument(
+        "--max-failures", type=int, default=None, metavar="N",
+        help="dead-letter cap: poison a job after this many recorded "
+             "failures (crashes, lease expiries, recoveries; default 3)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="SECONDS",
+        help="on SIGTERM or POST /drain, how long running jobs get to "
+             "checkpoint and stop before escalation",
+    )
     return parser
 
 
@@ -604,6 +620,8 @@ def _cmd_serve(args) -> int:
     return serve(
         args.store, host=args.host, port=args.port, workers=args.workers,
         quotas=quotas, max_retries=args.retries,
+        lease_timeout=args.lease_timeout, max_failures=args.max_failures,
+        drain_grace=args.drain_grace,
     )
 
 

@@ -27,6 +27,7 @@ from .checkpoint import (
     CheckpointCorrupted,
     CheckpointMismatch,
     CheckpointStore,
+    CheckpointWriteError,
     Checkpointer,
     Snapshottable,
 )
@@ -39,7 +40,9 @@ from .context import (
     resolve_context,
 )
 from .faults import (
+    DISK_OPS,
     ChaosMonkey,
+    DiskGremlin,
     Fault,
     FlakyFault,
     InjectedFault,
@@ -47,6 +50,12 @@ from .faults import (
     TransientFault,
     TriggerAfter,
     VirtualClock,
+)
+from .fsio import (
+    atomic_write_bytes,
+    clear_injector,
+    injected,
+    install_injector,
 )
 from .parallel import (
     WorkerCrashed,
@@ -63,6 +72,7 @@ from .supervisor import (
     SupervisedCrash,
     SupervisedResult,
     Supervisor,
+    SupervisorStopped,
 )
 
 __all__ = [
@@ -77,6 +87,7 @@ __all__ = [
     "CheckpointCorrupted",
     "CheckpointMismatch",
     "CheckpointStore",
+    "CheckpointWriteError",
     "Checkpointer",
     "Snapshottable",
     "ExecutionContext",
@@ -92,11 +103,18 @@ __all__ = [
     "resolve_n_jobs",
     "shard_bounds",
     "ChaosMonkey",
+    "DISK_OPS",
+    "DiskGremlin",
     "FailureReport",
     "HardLimits",
     "SupervisedCrash",
     "SupervisedResult",
     "Supervisor",
+    "SupervisorStopped",
+    "atomic_write_bytes",
+    "clear_injector",
+    "injected",
+    "install_injector",
     "sweep_stale_tmp",
     "sweep_stale_transport",
     "Fault",

@@ -35,7 +35,6 @@ build without checkpointing.
 from __future__ import annotations
 
 import hashlib
-import os
 import pickle
 import re
 import struct
@@ -44,6 +43,8 @@ from typing import Any, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
 from ..core.base import check_in_range
 from ..core.exceptions import ReproError
+from .faults import TransientFault
+from .fsio import atomic_write_bytes
 
 #: magic + format version; bumping the version invalidates old snapshots.
 MAGIC = b"RPCKPT01"
@@ -70,6 +71,22 @@ class CheckpointCorrupted(ReproError, RuntimeError):
 
 class CheckpointMismatch(ReproError, RuntimeError):
     """A snapshot was produced by a different algorithm/parameter key."""
+
+
+class CheckpointWriteError(TransientFault):
+    """Persisting a snapshot failed at the filesystem (ENOSPC, EIO...).
+
+    A :class:`~repro.runtime.faults.TransientFault`: a full or flaky
+    disk is expected to clear, so a
+    :class:`~repro.runtime.retry.RetryPolicy` retries the run — and
+    because the atomic protocol never touches existing snapshots on a
+    failed save, every previously persisted snapshot is still valid to
+    resume from.  ``path`` is the snapshot that could not be written.
+    """
+
+    def __init__(self, message: str, path: Optional[Path] = None):
+        super().__init__(message)
+        self.path = path
 
 
 @runtime_checkable
@@ -183,34 +200,23 @@ class CheckpointStore:
         fsync'd, then renamed into place (atomic on POSIX), and the
         directory entry is fsync'd — a crash at any point leaves either
         the previous snapshots intact or the new one complete, never a
-        half-written file under the final name.
+        half-written file under the final name.  A filesystem failure
+        (full disk, I/O error) raises :class:`CheckpointWriteError` —
+        retryable, with every prior snapshot untouched.
         """
-        self.directory.mkdir(parents=True, exist_ok=True)
-        existing = self.snapshots()
-        seq = existing[-1][0] + 1 if existing else 1
-        final = self.directory / f"{self.prefix}-{seq:08d}.ckpt"
-        tmp = self.directory / f".{final.name}.tmp"
-        raw = _encode(payload)
-        with open(tmp, "wb") as handle:
-            handle.write(raw)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, final)
-        self._fsync_dir()
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            existing = self.snapshots()
+            seq = existing[-1][0] + 1 if existing else 1
+            final = self.directory / f"{self.prefix}-{seq:08d}.ckpt"
+            atomic_write_bytes(final, _encode(payload))
+        except OSError as exc:
+            raise CheckpointWriteError(
+                f"cannot persist checkpoint in {self.directory}: {exc}",
+                path=getattr(exc, "filename", None),
+            ) from exc
         self._rotate()
         return final
-
-    def _fsync_dir(self) -> None:
-        try:
-            fd = os.open(self.directory, os.O_RDONLY)
-        except OSError:  # pragma: no cover - platform-specific
-            return
-        try:
-            os.fsync(fd)
-        except OSError:  # pragma: no cover - platform-specific
-            pass
-        finally:
-            os.close(fd)
 
     def _rotate(self) -> None:
         snapshots = self.snapshots()
@@ -384,6 +390,7 @@ __all__ = [
     "CheckpointCorrupted",
     "CheckpointMismatch",
     "CheckpointStore",
+    "CheckpointWriteError",
     "Checkpointer",
     "Snapshottable",
 ]

@@ -17,10 +17,11 @@ start of every full :meth:`Budget.check`.
 
 from __future__ import annotations
 
+import errno as _errno
 import os
 import signal as _signal
 import time
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
 from ..core.base import check_in_range
 from ..core.exceptions import ReproError
@@ -258,6 +259,124 @@ class ChaosMonkey:
         self.strikes.append({"pid": pid, **trigger})
 
 
+#: atomic-write stages a :class:`DiskGremlin` can break (the ``op``
+#: strings :func:`repro.runtime.fsio.atomic_write_bytes` reports).
+DISK_OPS = ("write", "fsync", "replace", "fsync-dir")
+
+
+class DiskGremlin:
+    """Inject disk faults into the atomic-write seam (:mod:`..fsio`).
+
+    The sibling of :class:`ChaosMonkey`: the monkey kills processes,
+    the gremlin breaks the *disk* under them — ``ENOSPC`` on a full
+    store, ``EIO`` from a dying device, an fsync the hardware lies
+    about, a rename a power cut tears in half.  Install it process-wide
+    with :func:`repro.runtime.fsio.install_injector` (or the
+    ``fsio.injected(...)`` context manager); forked supervised children
+    inherit the installation, so one gremlin covers every storage plane
+    — job-store records, checkpoint snapshots, transport payloads.
+
+    The trigger is deterministic and seedable: the first ``after``
+    matching operations pass through untouched, then the next ``burst``
+    matching operations fail, then the disk "heals" and everything
+    passes again — the classic shape of a store filling up and an
+    operator clearing space.
+
+    Parameters
+    ----------
+    op:
+        Which protocol stage to break: ``"write"``, ``"fsync"``,
+        ``"replace"`` or ``"fsync-dir"``.
+    errno_code:
+        ``errno`` of the injected :class:`OSError`;
+        ``errno.ENOSPC`` by default, ``errno.EIO`` for device faults.
+    after:
+        Matching operations let through before the first fault — an
+        int, or an inclusive ``(lo, hi)`` range drawn once from
+        ``random_state`` (the seeded mid-job burst the CI smoke uses).
+    burst:
+        Consecutive matching operations that fail once triggered;
+        ``None`` never heals (a permanently full disk).
+    match:
+        Substring the *path* must contain for the gremlin to care
+        (e.g. ``"result.json"`` to target only the store's result
+        plane); ``None`` matches everything.
+    torn:
+        Simulate a power cut at the rename: the injected error is
+        marked so the seam leaves the half-written temp file on disk
+        for the recovery sweeps to find, exactly like a real crash.
+        Only meaningful with ``op="replace"``.
+    random_state:
+        Seed for the ``after`` range draw.
+
+    Examples
+    --------
+    >>> import errno
+    >>> gremlin = DiskGremlin(op="write", after=0, burst=2)
+    >>> try:
+    ...     gremlin.on_op("write", "/store/job/.job.json.tmp")
+    ... except OSError as exc:
+    ...     exc.errno == errno.ENOSPC
+    True
+    """
+
+    def __init__(
+        self,
+        op: str = "write",
+        errno_code: int = _errno.ENOSPC,
+        after: Union[int, Tuple[int, int]] = 0,
+        burst: Optional[int] = 1,
+        match: Optional[str] = None,
+        torn: bool = False,
+        random_state: RandomState = 0,
+    ):
+        if op not in DISK_OPS:
+            raise ReproError(
+                f"unknown disk op {op!r}; choices: {DISK_OPS}"
+            )
+        if isinstance(after, tuple):
+            lo, hi = after
+            check_in_range("after[0]", lo, 0, None)
+            check_in_range("after[1]", hi, lo, None)
+            rng = check_random_state(random_state)
+            self.after = int(rng.integers(int(lo), int(hi) + 1))
+        else:
+            check_in_range("after", after, 0, None)
+            self.after = int(after)
+        if burst is not None:
+            check_in_range("burst", burst, 1, None)
+        self.op = op
+        self.errno_code = int(errno_code)
+        self.burst = None if burst is None else int(burst)
+        self.match = match
+        self.torn = bool(torn)
+        self._seen = 0
+        #: log of the faults actually injected, oldest first.
+        self.injected: List[dict] = []
+
+    def on_op(self, op: str, path: str) -> None:
+        """The :mod:`..fsio` hook: raise :class:`OSError` per schedule."""
+        if op != self.op:
+            return
+        if self.match is not None and self.match not in path:
+            return
+        self._seen += 1
+        if self._seen <= self.after:
+            return
+        if self.burst is not None and len(self.injected) >= self.burst:
+            return  # the disk has healed
+        self.injected.append({"op": op, "path": path,
+                              "errno": self.errno_code})
+        message = (
+            f"injected disk fault at {op} #{self._seen} "
+            f"({os.strerror(self.errno_code)})"
+        )
+        exc = OSError(self.errno_code, message, path)
+        if self.torn:
+            exc.repro_leave_tmp = True
+        raise exc
+
+
 class VirtualClock:
     """Deterministic manual time source for deadline tests.
 
@@ -285,6 +404,8 @@ class VirtualClock:
 
 __all__ = [
     "ChaosMonkey",
+    "DISK_OPS",
+    "DiskGremlin",
     "Fault",
     "FlakyFault",
     "InjectedFault",

@@ -1,0 +1,160 @@
+"""The injectable filesystem seam under every atomic write.
+
+Three storage planes share one durability protocol — write-temp →
+fsync → rename → directory fsync: the job store's ``job.json`` /
+``result.json`` records, the checkpoint store's snapshots, and the
+fork-result transport files.  Before this module each plane carried its
+own copy of the protocol, which left no single place to inject the disk
+faults the robustness tests need (ENOSPC, EIO, a rename that never
+lands, an fsync the device lies about).
+
+:func:`atomic_write_bytes` is now that single place.  A fault injector
+(:class:`~repro.runtime.faults.DiskGremlin`, or anything with an
+``on_op(op, path)`` method) installed via :func:`install_injector` is
+consulted at every stage of every atomic write in the process —
+*including* forked children, which inherit the installed injector
+through the fork.  Production runs never install one, and the seam then
+costs a single ``is None`` check per stage.
+
+The stages, in protocol order (the ``op`` strings an injector sees):
+
+* ``"write"``  — before the temp file is opened/written;
+* ``"fsync"``  — before the temp file's ``fsync``;
+* ``"replace"``— before the atomic rename onto the final name;
+* ``"fsync-dir"`` — before the containing directory's ``fsync``.
+
+A fault raised at any stage leaves the final path untouched (the old
+contents, or nothing, are still there — that is the point of the
+protocol).  The half-written temp file is removed best-effort unless
+the injected exception carries ``repro_leave_tmp = True``, which
+simulates a power-cut between write and rename: the torn temp file
+stays on disk for the recovery sweeps to find, exactly like a real
+crash would leave it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Protocol, Union, runtime_checkable
+
+
+@runtime_checkable
+class FaultInjector(Protocol):
+    """Anything that wants a veto over atomic-write stages."""
+
+    def on_op(self, op: str, path: str) -> None:
+        """Called before each stage; raise ``OSError`` to inject."""
+        ...  # pragma: no cover - protocol
+
+
+#: the process-wide injector; ``None`` in every production run.
+_INJECTOR: Optional[FaultInjector] = None
+
+
+def install_injector(injector: FaultInjector) -> FaultInjector:
+    """Install a process-wide disk-fault injector (returns it).
+
+    Forked children inherit the installation; tests pair this with
+    :func:`clear_injector` in a ``finally`` (or use :class:`injected`).
+    """
+    global _INJECTOR
+    _INJECTOR = injector
+    return injector
+
+
+def clear_injector() -> None:
+    """Remove the installed injector (idempotent)."""
+    global _INJECTOR
+    _INJECTOR = None
+
+
+def current_injector() -> Optional[FaultInjector]:
+    return _INJECTOR
+
+
+class injected:
+    """Context manager: install an injector for the ``with`` body only.
+
+    >>> from repro.runtime.faults import DiskGremlin
+    >>> with injected(DiskGremlin(op="write", after=0)):
+    ...     pass  # every atomic write in here hits the gremlin
+    """
+
+    def __init__(self, injector: FaultInjector):
+        self.injector = injector
+
+    def __enter__(self) -> FaultInjector:
+        return install_injector(self.injector)
+
+    def __exit__(self, *exc_info) -> None:
+        clear_injector()
+
+
+def _hook(op: str, path: Path) -> None:
+    if _INJECTOR is not None:
+        _INJECTOR.on_op(op, str(path))
+
+
+def fsync_directory(directory: Union[str, Path]) -> None:
+    """Flush a directory entry; best-effort on platforms that refuse."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: Union[str, Path],
+    data: bytes,
+    tmp_name: Optional[str] = None,
+    fsync_dir: bool = True,
+) -> None:
+    """Write ``data`` to ``path`` with the full durability protocol.
+
+    ``tmp_name`` overrides the temp file's name within the same
+    directory (default ``.{name}.tmp``) so callers keep their historic
+    torn-file patterns and the recovery sweeps keep matching them.  On
+    any failure the final path is untouched; the temp half is removed
+    unless the exception asks to be left torn (``repro_leave_tmp``).
+    """
+    path = Path(path)
+    tmp = path.parent / (tmp_name if tmp_name else f".{path.name}.tmp")
+    try:
+        _hook("write", tmp)
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            _hook("fsync", tmp)
+            os.fsync(handle.fileno())
+        _hook("replace", path)
+        os.replace(tmp, path)
+    except BaseException as exc:
+        if not getattr(exc, "repro_leave_tmp", False):
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        raise
+    if fsync_dir:
+        # The hook sees the *file* being made durable, not the directory
+        # — injectors match on the record they want to fail.
+        _hook("fsync-dir", path)
+        fsync_directory(path.parent)
+
+
+__all__ = [
+    "FaultInjector",
+    "atomic_write_bytes",
+    "clear_injector",
+    "current_injector",
+    "fsync_directory",
+    "injected",
+    "install_injector",
+]

@@ -48,6 +48,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
 from ..core.base import check_in_range
+from ..core.exceptions import ReproError
 from .checkpoint import CheckpointCorrupted, Checkpointer, CheckpointStore
 from .faults import ChaosMonkey, TransientFault
 from .retry import RetryPolicy
@@ -240,6 +241,22 @@ class SupervisedCrash(TransientFault):
         self.report = report
 
 
+class SupervisorStopped(ReproError, RuntimeError):
+    """The supervised run was stopped on request (``stop_event`` set).
+
+    Deliberately *not* a :class:`~repro.runtime.faults.TransientFault`:
+    a planned stop — graceful drain, a lease reaper reclaiming the job —
+    must end the attempt loop immediately, not trigger retries.  The
+    child was SIGTERMed first, so its checkpoint ``finally`` blocks had
+    a grace period to flush; the caller re-enqueues and a later run
+    resumes from that snapshot.
+    """
+
+    def __init__(self, reason: str = "stop requested"):
+        super().__init__(f"supervised run stopped: {reason}")
+        self.reason = reason
+
+
 class SupervisedResult:
     """Outcome of a successful :meth:`Supervisor.run`.
 
@@ -408,6 +425,14 @@ class Supervisor:
         (``PR_SET_PDEATHSIG``, Linux): SIGKILLing the supervisor kills
         the child too, so a restarted service resuming the same
         checkpoint directory never races a live orphan.
+    stop_event:
+        Optional :class:`threading.Event` giving the caller a
+        cooperative kill switch over the running attempt.  When set,
+        the child is SIGTERMed (its handler unwinds through ``finally``
+        blocks, flushing checkpoints), SIGKILLed after the grace period
+        if it lingers, and :class:`SupervisorStopped` is raised — no
+        :class:`FailureReport`, no retries.  The job server's drain
+        path and lease reaper both stop jobs through this seam.
 
     Examples
     --------
@@ -433,6 +458,7 @@ class Supervisor:
         start_method: str = "fork",
         scratch_dir: Optional[str] = None,
         kill_on_parent_death: bool = False,
+        stop_event: Optional[threading.Event] = None,
     ):
         check_in_range("checkpoint_every", checkpoint_every, 1, None)
         self.limits = limits
@@ -445,6 +471,7 @@ class Supervisor:
         self.start_method = start_method
         self.scratch_dir = scratch_dir
         self.kill_on_parent_death = bool(kill_on_parent_death)
+        self.stop_event = stop_event
         #: FailureReports of crashed attempts from the last run.
         self.reports_: List[FailureReport] = []
         self._attempt = 0
@@ -545,45 +572,57 @@ class Supervisor:
             )
             watcher.start()
 
-        watchdog_fired = self._wait(proc, started)
+        watchdog_fired, stopped = self._wait(proc, started)
         elapsed = time.monotonic() - started
         if watcher is not None:
             watcher.join(timeout=5.0)
 
         exit_code = proc.exitcode
         if exit_code == 0:
+            # Even under a stop request a complete result wins: the
+            # child beat the SIGTERM to the finish line.
             payload = self._read_result(result_path, attempt, elapsed)
             if payload["ok"]:
                 return payload["value"]
             raise payload["error"]
+        if stopped:
+            # A planned stop is not a failure: no report, no retry.
+            raise SupervisorStopped()
         report = self._classify(exit_code, watchdog_fired, attempt, elapsed)
         self.reports_.append(report)
         raise SupervisedCrash(report)
 
-    def _wait(self, proc, started: float) -> bool:
-        """Join the child under the wall-clock watchdog.
+    def _wait(self, proc, started: float):
+        """Join the child under the wall-clock watchdog and stop event.
 
-        Returns True when the watchdog fired (SIGTERM, then SIGKILL
-        after the grace period).
+        Returns ``(watchdog_fired, stop_requested)``; either path is
+        SIGTERM first, SIGKILL after the grace period.
         """
         wall = self.limits.wall_time_limit if self.limits else None
         grace = self.limits.grace_period if self.limits else 2.0
         deadline = None if wall is None else started + wall
         kill_at: Optional[float] = None
         fired = False
+        stopped = False
         while proc.exitcode is None:
             proc.join(0.05)
-            if deadline is None:
-                continue
             now = time.monotonic()
-            if not fired and now >= deadline:
-                fired = True
+            if (
+                not stopped and not fired
+                and self.stop_event is not None and self.stop_event.is_set()
+            ):
+                stopped = True
                 proc.terminate()
                 kill_at = now + grace
-            elif kill_at is not None and now >= kill_at:
+            if not fired and deadline is not None and now >= deadline:
+                fired = True
+                if not stopped:
+                    proc.terminate()
+                    kill_at = now + grace
+            if kill_at is not None and now >= kill_at:
                 proc.kill()
                 kill_at = None
-        return fired
+        return fired, stopped
 
     def _read_result(self, result_path: Path, attempt: int, elapsed: float):
         """Load the child's result file; a missing/unreadable file on a
@@ -701,4 +740,5 @@ __all__ = [
     "SupervisedCrash",
     "SupervisedResult",
     "Supervisor",
+    "SupervisorStopped",
 ]

@@ -11,7 +11,6 @@ so the two process layers cannot drift apart in their crash semantics.
 
 from __future__ import annotations
 
-import os
 import pickle
 import shutil
 import tempfile
@@ -20,6 +19,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Set, Union
 
 from ..core.exceptions import ReproError
+from .fsio import atomic_write_bytes
 
 #: exception types a result read can raise; anything here means the
 #: writer exited "cleanly" but its payload is missing or unusable.
@@ -50,12 +50,9 @@ def write_result(result_path: str, payload: Dict[str, Any]) -> None:
                 f"supervised result is not picklable: {exc!r}"
             ),
         })
-    tmp = result_path + ".tmp"
-    with open(tmp, "wb") as handle:
-        handle.write(raw)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, result_path)
+    path = Path(result_path)
+    atomic_write_bytes(path, raw, tmp_name=path.name + TMP_SUFFIX,
+                       fsync_dir=False)
 
 
 def read_result(result_path: str) -> Dict[str, Any]:

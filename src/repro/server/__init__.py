@@ -22,12 +22,14 @@ from .api import BadSubmission, build_server, serve, validate_submission
 from .quotas import OverQuota, QuotaPolicy, TenantQuota, job_budget
 from .scheduler import (
     FAMILY_BY_KIND,
+    Draining,
     FileCancelToken,
     Scheduler,
     canonical_result_bytes,
     execute_job,
 )
 from .store import (
+    DEFAULT_MAX_FAILURES,
     STATES,
     TERMINAL_STATES,
     InvalidTransition,
@@ -39,6 +41,8 @@ from .store import (
 
 __all__ = [
     "BadSubmission",
+    "DEFAULT_MAX_FAILURES",
+    "Draining",
     "FAMILY_BY_KIND",
     "FileCancelToken",
     "InvalidTransition",

@@ -2,13 +2,17 @@
 
 Routes::
 
-    GET  /healthz                → liveness + store/scheduler summary
+    GET  /healthz                → liveness, per-state counts, worker
+                                   heartbeat ages, draining flag
     GET  /algorithms             → machine-readable capability table
     GET  /jobs[?tenant=NAME]     → job listing (records, newest first)
-    POST /jobs                   → submit; 202 record | 400 | 429
-    GET  /jobs/<id>              → one job record
+    POST /jobs                   → submit; 202 record | 400 | 429 | 503
+    GET  /jobs/<id>              → one job record (+ dead-letter
+                                   ``failures`` history when present)
     GET  /jobs/<id>/result       → stored result bytes (done jobs)
     POST /jobs/<id>/cancel       → request cancellation
+    POST /drain                  → graceful drain: stop admission,
+                                   checkpoint-and-stop running jobs
 
 Error semantics mirror the CLI's exit codes (the DESIGN doc carries the
 full mapping):
@@ -17,6 +21,8 @@ full mapping):
   flag the algorithm's capabilities reject — is ``400`` and the body
   includes the relevant capability table so clients can self-correct;
 * a tenant over its backlog quota is ``429`` with ``Retry-After``;
+* a submission while the server is draining is ``503`` with
+  ``Retry-After`` — nothing is persisted, retry elsewhere/later;
 * asking for the result of an unfinished job is ``409`` with the
   current state (and the failure report once the job has failed);
 * everything else that goes wrong in a handler is a ``500`` with the
@@ -29,8 +35,10 @@ slow mining job never blocks status polls.
 
 from __future__ import annotations
 
+import errno
 import json
 import signal
+import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -39,7 +47,7 @@ from urllib.parse import parse_qs, urlsplit
 from .. import registry
 from ..core.exceptions import ReproError
 from .quotas import OverQuota, QuotaPolicy
-from .scheduler import FAMILY_BY_KIND, Scheduler
+from .scheduler import FAMILY_BY_KIND, Draining, Scheduler
 from .store import InvalidTransition, JobStore, UnknownJob
 
 #: refuse request bodies larger than this (defensive, not a quota).
@@ -203,6 +211,8 @@ class JobRequestHandler(BaseHTTPRequestHandler):
             path, _query = self._route()
             if path == "/jobs":
                 return self._post_job()
+            if path == "/drain":
+                return self._post_drain()
             parts = path.strip("/").split("/")
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
                 return self._post_cancel(parts[1])
@@ -211,6 +221,11 @@ class JobRequestHandler(BaseHTTPRequestHandler):
             body: Dict[str, Any] = {"error": str(exc)}
             body["capabilities"] = registry.capability_table(exc.family)
             self._send_json(400, body)
+        except Draining as exc:
+            self._send_json(
+                503, {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": str(int(exc.retry_after) or 1)},
+            )
         except OverQuota as exc:
             self._send_json(
                 429, {"error": str(exc), "retry_after": exc.retry_after},
@@ -226,10 +241,13 @@ class JobRequestHandler(BaseHTTPRequestHandler):
     # Handlers
     # ------------------------------------------------------------------
     def _get_healthz(self) -> None:
-        counts = self.scheduler.store.counts()
+        scheduler = self.scheduler
+        counts = scheduler.store.counts()
         self._send_json(200, {
-            "status": "ok",
-            "workers": self.scheduler.workers,
+            "status": "draining" if scheduler.draining else "ok",
+            "draining": scheduler.draining,
+            "workers": scheduler.workers,
+            "worker_liveness": scheduler.worker_liveness(),
             "jobs": counts,
         })
 
@@ -241,7 +259,11 @@ class JobRequestHandler(BaseHTTPRequestHandler):
 
     def _get_job(self, job_id: str) -> None:
         record = self.scheduler.store.get(job_id)
-        self._send_json(200, record.to_dict())
+        payload = record.to_dict()
+        failures = self.scheduler.store.read_failures(job_id)
+        if failures:
+            payload["failures"] = failures
+        self._send_json(200, payload)
 
     def _get_result(self, job_id: str) -> None:
         record = self.scheduler.store.get(job_id)
@@ -270,6 +292,27 @@ class JobRequestHandler(BaseHTTPRequestHandler):
             return self._send_json(409, {"error": str(exc)})
         self._send_json(202, record.to_dict())
 
+    def _post_drain(self) -> None:
+        """Flip to draining, stop running jobs at a checkpoint, answer.
+
+        The handler blocks until the drain settles (bounded by the
+        server's ``drain_grace``) so the response can report whether
+        every running job stopped cleanly.  When the surrounding
+        :func:`serve` loop installed an ``on_drained`` callback the
+        process then shuts down — an operator's ``POST /drain`` is a
+        full graceful stop, not just a pause.
+        """
+        grace = float(getattr(self.server, "drain_grace", 10.0))
+        stopped = self.scheduler.drain(grace=grace)
+        self._send_json(202, {
+            "draining": True,
+            "stopped_clean": bool(stopped),
+            "jobs": self.scheduler.store.counts(),
+        })
+        callback = getattr(self.server, "on_drained", None)
+        if callback is not None:
+            threading.Thread(target=callback, daemon=True).start()
+
 
 def build_server(
     store_root: str,
@@ -278,6 +321,9 @@ def build_server(
     workers: int = 2,
     quotas: Optional[QuotaPolicy] = None,
     max_retries: int = 2,
+    lease_timeout: float = 30.0,
+    max_failures: Optional[int] = None,
+    drain_grace: float = 10.0,
 ) -> Tuple[ThreadingHTTPServer, Scheduler]:
     """Wire store + scheduler + HTTP server (not yet started).
 
@@ -285,8 +331,12 @@ def build_server(
     never leaks between servers in the same process (tests run many).
     """
     store = JobStore(store_root)
+    kwargs: Dict[str, Any] = {}
+    if max_failures is not None:
+        kwargs["max_failures"] = max_failures
     scheduler = Scheduler(
         store, quotas=quotas, workers=workers, max_retries=max_retries,
+        lease_timeout=lease_timeout, **kwargs,
     )
 
     class _Handler(JobRequestHandler):
@@ -295,6 +345,7 @@ def build_server(
     _Handler.scheduler = scheduler
     httpd = ThreadingHTTPServer((host, port), _Handler)
     httpd.daemon_threads = True
+    httpd.drain_grace = float(drain_grace)
     return httpd, scheduler
 
 
@@ -305,29 +356,54 @@ def serve(
     workers: int = 2,
     quotas: Optional[QuotaPolicy] = None,
     max_retries: int = 2,
+    lease_timeout: float = 30.0,
+    max_failures: Optional[int] = None,
+    drain_grace: float = 10.0,
 ) -> int:
-    """Run the server until SIGTERM/SIGINT; the CLI entry point.
+    """Run the server until SIGTERM/SIGINT/``POST /drain``.
 
     Prints one parseable banner line (``repro-server listening
     host=... port=... store=...``) once recovery has run and the
     socket is accepting, so harnesses know when to start submitting.
+    A busy or forbidden port is a one-line error and exit code 2, not
+    a traceback.  SIGTERM (and SIGINT) drain first — running jobs get
+    ``drain_grace`` seconds to checkpoint and stop, their records go
+    back to ``queued`` — and the process exits 0 with the store
+    byte-identically recoverable by the next boot.
     """
-    httpd, scheduler = build_server(
-        store_root, host=host, port=port, workers=workers,
-        quotas=quotas, max_retries=max_retries,
-    )
+    try:
+        httpd, scheduler = build_server(
+            store_root, host=host, port=port, workers=workers,
+            quotas=quotas, max_retries=max_retries,
+            lease_timeout=lease_timeout, max_failures=max_failures,
+            drain_grace=drain_grace,
+        )
+    except OSError as exc:
+        if exc.errno in (errno.EADDRINUSE, errno.EACCES):
+            print(f"repro-server error: cannot bind {host}:{port} "
+                  f"({exc.strerror}); is another server running?",
+                  file=sys.stderr, flush=True)
+            return 2
+        raise
     recovered = scheduler.start()
     for record in recovered:
         print(f"repro-server recovered job={record.job_id} "
               f"recoveries={record.recoveries}", flush=True)
-    stop = threading.Event()
+    for record in scheduler.store.list(states=("poisoned",)):
+        print(f"repro-server poisoned job={record.job_id} "
+              f"failures={scheduler.store.failure_count(record.job_id)}",
+              flush=True)
+
+    def _drain_then_shutdown() -> None:
+        scheduler.drain(grace=drain_grace)
+        httpd.shutdown()
 
     def _shutdown(signum, frame):  # noqa: ARG001 - signal API
-        stop.set()
-        threading.Thread(target=httpd.shutdown, daemon=True).start()
+        threading.Thread(target=_drain_then_shutdown, daemon=True).start()
 
     signal.signal(signal.SIGTERM, _shutdown)
     signal.signal(signal.SIGINT, _shutdown)
+    httpd.on_drained = httpd.shutdown
     actual_host, actual_port = httpd.server_address[:2]
     print(f"repro-server listening host={actual_host} port={actual_port} "
           f"store={store_root}", flush=True)
@@ -336,6 +412,7 @@ def serve(
     finally:
         httpd.server_close()
         scheduler.stop()
+    print("repro-server drained clean exit", flush=True)
     return 0
 
 

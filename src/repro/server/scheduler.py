@@ -32,13 +32,36 @@ primitive already exists, this module only wires them around the
 Results are serialized to *canonical bytes* (sorted-key JSON, fixed
 separators) before the atomic write, so "byte-identical to a serial
 in-process run" is a testable equality on the stored file.
+
+The robustness layer on top of plain dispatch:
+
+* **Leases** — every dispatched job heartbeats through the store's
+  lease file (touched at ``running`` entry, refreshed by the forked
+  child at every ``ctx.step``); a reaper thread reclaims running jobs
+  whose lease went stale — a wedged child is SIGTERMed through the
+  supervisor's ``stop_event`` and the job re-enqueued, an orphan record
+  (no live worker at all) is re-enqueued directly.
+* **Poison quarantine** — every failed attempt appends a dead-letter
+  entry to the job's ``failures.json``; past ``max_failures`` the job
+  is moved to the terminal ``poisoned`` state instead of being retried
+  forever.
+* **Graceful drain** — :meth:`Scheduler.drain` stops admission
+  (:class:`Draining`), signals every running supervisor to
+  checkpoint-and-exit, and re-queues the interrupted jobs so a
+  restarted server resumes them byte-identically.
+* **Disk faults** — an ``OSError`` escaping a job (ENOSPC from the
+  result write, an injected :class:`~repro.runtime.faults.DiskGremlin`
+  burst) is classified as a structured ``store-full`` / ``disk-error``
+  failure instead of an anonymous crash.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import queue
+import signal
 import threading
 import time
 from typing import Any, Dict, List, Optional
@@ -50,11 +73,22 @@ from ..runtime.budget import (
     CancellationToken,
     OperationCancelled,
 )
+from ..runtime.checkpoint import CheckpointWriteError
 from ..runtime.context import ExecutionContext
 from ..runtime.retry import RetryPolicy
-from ..runtime.supervisor import SupervisedCrash, Supervisor
+from ..runtime.supervisor import (
+    SupervisedCrash,
+    Supervisor,
+    SupervisorStopped,
+)
 from .quotas import QuotaPolicy, job_budget
-from .store import InvalidTransition, JobStore, JobStoreError, JobRecord
+from .store import (
+    DEFAULT_MAX_FAILURES,
+    InvalidTransition,
+    JobRecord,
+    JobStore,
+    JobStoreError,
+)
 
 #: job ``kind`` → registry family.
 FAMILY_BY_KIND = {
@@ -107,6 +141,25 @@ def canonical_result_bytes(payload: Dict[str, Any]) -> bytes:
                        separators=(",", ":")) + "\n").encode()
 
 
+def _chain_progress(ctx: ExecutionContext, hook) -> ExecutionContext:
+    """Compose ``hook`` after the context's existing ``on_progress``.
+
+    Several layers want the pass-boundary callback — the scheduler's
+    lease heartbeat, the ``pass_delay`` throttle, the ``kill_at_step``
+    chaos hook — and a plain ``replace(on_progress=...)`` would silently
+    clobber whichever installed first (dropping heartbeats is how a
+    healthy job gets reaped).
+    """
+    previous = ctx.on_progress
+
+    def chained(phase, info):
+        if previous is not None:
+            previous(phase, info)
+        hook(phase, info)
+
+    return ctx.replace(on_progress=chained)
+
+
 def _apply_pass_delay(ctx: Optional[ExecutionContext],
                       params: Dict[str, Any]) -> Optional[ExecutionContext]:
     """Optional per-boundary throttle (``params["pass_delay"]`` seconds).
@@ -120,7 +173,35 @@ def _apply_pass_delay(ctx: Optional[ExecutionContext],
     if not delay or ctx is None:
         return ctx
     pause = float(delay)
-    return ctx.replace(on_progress=lambda phase, info: time.sleep(pause))
+    return _chain_progress(ctx, lambda phase, info: time.sleep(pause))
+
+
+def _apply_kill_at_step(ctx: Optional[ExecutionContext],
+                        params: Dict[str, Any]) -> Optional[ExecutionContext]:
+    """Chaos hook: SIGKILL the worker child at its N-th ``ctx.step``.
+
+    ``params["kill_at_step"] = N`` makes every supervised attempt die
+    at exactly the same deterministic point — the poison-quarantine
+    proof needs a job that *always* crashes, not one that happens to.
+    Ignored outside a forked worker child so a mis-targeted parameter
+    can never SIGKILL the server process itself.
+    """
+    step = params.get("kill_at_step")
+    if not step or ctx is None:
+        return ctx
+    import multiprocessing
+
+    if multiprocessing.parent_process() is None:
+        return ctx
+    threshold = int(step)
+    counter = {"steps": 0}
+
+    def hook(phase, info):
+        counter["steps"] += 1
+        if counter["steps"] >= threshold:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    return _chain_progress(ctx, hook)
 
 
 def execute_job(kind: str, dataset: str, algorithm: str,
@@ -134,6 +215,7 @@ def execute_job(kind: str, dataset: str, algorithm: str,
     and uninterrupted runs.
     """
     ctx = _apply_pass_delay(ctx, params)
+    ctx = _apply_kill_at_step(ctx, params)
     if kind == "mine":
         return _mine_payload(dataset, algorithm, params, ctx)
     if kind == "classify":
@@ -266,6 +348,39 @@ def _cluster_payload(dataset, algorithm, params, ctx) -> Dict[str, Any]:
 _SENTINEL = object()
 
 
+class Draining(ReproError, RuntimeError):
+    """The server is draining: no new work is admitted.
+
+    ``retry_after`` is the back-off hint (seconds) the API layer turns
+    into a ``Retry-After`` header — clients should retry against the
+    restarted (or replacement) instance.
+    """
+
+    def __init__(
+        self,
+        message: str = "server is draining; no new jobs are admitted",
+        retry_after: float = 5.0,
+    ):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class _ActiveJob:
+    """In-memory handle for one dispatched job: its cooperative kill
+    switch and the reason it was asked to stop (drain vs lease expiry
+    decide very different follow-ups)."""
+
+    def __init__(self, job_id: str):
+        self.job_id = job_id
+        self.stop_event = threading.Event()
+        self.reason: Optional[str] = None
+
+    def request_stop(self, reason: str) -> None:
+        if self.reason is None:
+            self.reason = reason
+        self.stop_event.set()
+
+
 class Scheduler:
     """Worker threads draining the durable queue under quota gates.
 
@@ -286,6 +401,17 @@ class Scheduler:
     checkpoint_every:
         Default pass-boundary checkpoint cadence for checkpointable
         algorithms (jobs may override via ``params["checkpoint_every"]``).
+    lease_timeout:
+        Seconds a running job's lease may go unrefreshed before the
+        reaper reclaims it.  Heartbeats land at every ``ctx.step``, so
+        this bounds the tolerated gap between pass boundaries of a
+        healthy job — keep it generous (default 30 s); tests shrink it.
+    max_failures:
+        Dead-letter cap: a job whose ``failures.json`` grows past this
+        many entries (crashed attempts, lease expiries, boot
+        recoveries) is poisoned instead of retried again.
+    reap_interval:
+        Reaper poll cadence; defaults to a quarter of ``lease_timeout``.
     """
 
     def __init__(
@@ -296,6 +422,9 @@ class Scheduler:
         max_retries: int = 2,
         checkpoint_every: int = 1,
         poll_interval: float = 0.05,
+        lease_timeout: float = 30.0,
+        max_failures: int = DEFAULT_MAX_FAILURES,
+        reap_interval: Optional[float] = None,
     ):
         self.store = store
         self.quotas = quotas or QuotaPolicy()
@@ -303,10 +432,21 @@ class Scheduler:
         self.max_retries = max(0, int(max_retries))
         self.checkpoint_every = max(1, int(checkpoint_every))
         self.poll_interval = float(poll_interval)
+        self.lease_timeout = float(lease_timeout)
+        self.max_failures = max(1, int(max_failures))
+        self.reap_interval = (
+            float(reap_interval) if reap_interval is not None
+            else max(0.05, self.lease_timeout / 4.0)
+        )
         self._queue: "queue.Queue" = queue.Queue()
         self._threads: List[threading.Thread] = []
+        self._reaper: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        self._draining = threading.Event()
         self._admission_lock = threading.Lock()
+        self._active: Dict[str, _ActiveJob] = {}
+        self._active_lock = threading.Lock()
+        self._worker_seen: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -317,7 +457,7 @@ class Scheduler:
         Returns the records that were mid-run when the previous server
         process died and are now re-enqueued.
         """
-        recovered = self.store.recover()
+        recovered = self.store.recover(max_failures=self.max_failures)
         for record in reversed(self.store.list(states=("queued",))):
             self._queue.put(record.job_id)
         for index in range(self.workers):
@@ -328,6 +468,10 @@ class Scheduler:
             )
             thread.start()
             self._threads.append(thread)
+        self._reaper = threading.Thread(
+            target=self._reaper_loop, name="repro-reaper", daemon=True,
+        )
+        self._reaper.start()
         return recovered
 
     def stop(self, timeout: float = 10.0) -> None:
@@ -341,6 +485,47 @@ class Scheduler:
         for thread in self._threads:
             thread.join(max(0.0, deadline - time.monotonic()))
         self._threads = []
+        if self._reaper is not None:
+            self._reaper.join(max(0.0, deadline - time.monotonic()))
+            self._reaper = None
+
+    def drain(self, grace: float = 10.0) -> bool:
+        """Flip to draining and stop running jobs at a checkpoint.
+
+        New submissions raise :class:`Draining`; queued jobs stay
+        queued (durable — the restarted server picks them up); every
+        running supervisor is signalled to checkpoint-and-exit and its
+        job re-queued.  Returns True when all running jobs stopped
+        within ``grace`` seconds (the supervisor escalates
+        SIGTERM → SIGKILL itself, so even a wedged child cannot hold
+        the drain hostage much past its grace period).
+        """
+        self._draining.set()
+        with self._active_lock:
+            active = list(self._active.values())
+        for job in active:
+            job.request_stop("drain")
+        deadline = time.monotonic() + max(0.0, float(grace))
+        while True:
+            with self._active_lock:
+                if not self._active:
+                    return True
+            if time.monotonic() >= deadline:
+                with self._active_lock:
+                    return not self._active
+            time.sleep(0.02)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def worker_liveness(self, now: Optional[float] = None) -> Dict[str, float]:
+        """Seconds since each worker thread last went through its loop."""
+        now = time.time() if now is None else now
+        return {
+            name: round(max(0.0, now - seen), 3)
+            for name, seen in sorted(self._worker_seen.items())
+        }
 
     # ------------------------------------------------------------------
     # Submission / cancellation
@@ -351,9 +536,12 @@ class Scheduler:
 
         The admission lock serializes concurrent submits so two racing
         requests cannot both squeeze past the same quota headroom.
-        Raises :class:`~repro.server.quotas.OverQuota` on rejection —
-        nothing is persisted in that case.
+        Raises :class:`~repro.server.quotas.OverQuota` on rejection and
+        :class:`Draining` while the server is shutting down — nothing
+        is persisted in either case.
         """
+        if self._draining.is_set():
+            raise Draining()
         with self._admission_lock:
             self.quotas.admit(tenant, self.store.counts(tenant))
             record = self.store.create(
@@ -372,6 +560,7 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
         while True:
+            self._worker_seen[threading.current_thread().name] = time.time()
             try:
                 job_id = self._queue.get(timeout=0.2)
             except queue.Empty:
@@ -380,6 +569,10 @@ class Scheduler:
                 continue
             if job_id is _SENTINEL:
                 return
+            if self._draining.is_set():
+                # Leave the job queued in the store: the restarted
+                # server's boot scan re-enqueues the backlog.
+                continue
             try:
                 record = self.store.get(job_id)
             except JobStoreError:
@@ -418,8 +611,11 @@ class Scheduler:
             )
         except InvalidTransition:
             return  # cancelled (or otherwise moved) while queued
+        active = _ActiveJob(job_id)
+        with self._active_lock:
+            self._active[job_id] = active
         try:
-            payload = self._execute(record)
+            payload = self._execute(record, active)
             store.write_result_bytes(job_id, canonical_result_bytes(payload))
             store.transition(
                 job_id, "done",
@@ -427,10 +623,28 @@ class Scheduler:
             )
         except OperationCancelled:
             self._finish(job_id, "cancelled")
+        except SupervisorStopped:
+            self._handle_stopped(record, active.reason or "stopped")
         except SupervisedCrash as exc:
+            reports = getattr(exc, "all_reports", None) or [exc.report]
+            count = 0
+            for attempt_report in reports:
+                entry = dict(attempt_report.to_dict())
+                entry["kind"] = "crash"
+                count = self._append_failure(job_id, entry)
             report = dict(exc.report.to_dict())
             report["kind"] = "crash"
-            self._finish(job_id, "failed", error=report)
+            if count >= self.max_failures:
+                self._poison(job_id, count, last=report)
+            else:
+                self._finish(job_id, "failed", error=report)
+        except CheckpointWriteError as exc:
+            self._finish(job_id, "failed", error={
+                "cause": "store-full",
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "path": exc.path,
+            })
         except BudgetExceeded as exc:
             self._finish(job_id, "failed", error={
                 "cause": "budget-exhausted",
@@ -438,32 +652,149 @@ class Scheduler:
                 "message": str(exc),
                 "resource": exc.resource,
             })
+        except OSError as exc:
+            # Only genuine device/capacity failures get the disk
+            # taxonomy; an ENOENT from a bad dataset path is an
+            # ordinary application error.
+            if exc.errno in (errno.ENOSPC, errno.EDQUOT):
+                cause = "store-full"
+            elif exc.errno in (errno.EIO, errno.EROFS):
+                cause = "disk-error"
+            else:
+                cause = "error"
+            report = {
+                "cause": cause,
+                "type": type(exc).__name__,
+                "message": str(exc),
+            }
+            if cause != "error":
+                report["errno"] = exc.errno
+                report["path"] = getattr(exc, "filename", None)
+            self._finish(job_id, "failed", error=report)
         except Exception as exc:  # noqa: BLE001 - a worker must not die
             self._finish(job_id, "failed", error={
                 "cause": "error",
                 "type": type(exc).__name__,
                 "message": str(exc),
             })
+        finally:
+            with self._active_lock:
+                self._active.pop(job_id, None)
+
+    def _handle_stopped(self, record: JobRecord, reason: str) -> None:
+        """A planned stop ended the attempt: requeue, or poison.
+
+        * ``drain`` — not a failure at all: the job goes back to
+          ``queued`` (no dead-letter entry, no recovery bump) for the
+          restarted server to resume from its checkpoint.
+        * ``lease-expired`` (and any other reaper stop) — the attempt
+          *was* sick; record it, bump ``recoveries``, and either
+          re-enqueue in-process or poison past the cap.
+        """
+        job_id = record.job_id
+        if reason == "drain":
+            self._finish(job_id, "queued")
+            return
+        count = self._append_failure(job_id, {
+            "cause": reason,
+            "message": f"running attempt stopped by the reaper ({reason}); "
+                       f"lease unrefreshed past {self.lease_timeout:g}s",
+            "attempt": record.attempts,
+        })
+        if count >= self.max_failures:
+            self._poison(job_id, count)
+            return
+        self._finish(job_id, "queued", recoveries=record.recoveries + 1)
+        self._queue.put(job_id)
+
+    def _append_failure(self, job_id: str, entry: Dict[str, Any]) -> int:
+        try:
+            return self.store.append_failure(job_id, entry)
+        except OSError:  # the dead-letter write itself hit the disk fault
+            return len(self.store.read_failures(job_id))
+
+    def _poison(self, job_id: str, count: int,
+                last: Optional[Dict[str, Any]] = None) -> None:
+        error = {
+            "cause": "poisoned",
+            "message": f"quarantined after {count} recorded failures "
+                       f"(cap {self.max_failures}); see the job's "
+                       f"failures.json dead-letter history",
+        }
+        if last is not None:
+            error["last_failure"] = last
+        self._finish(job_id, "poisoned", error=error)
 
     def _finish(self, job_id: str, state: str, **changes: Any) -> None:
         try:
             self.store.transition(job_id, state, **changes)
-        except JobStoreError:  # pragma: no cover - store died underneath
+        except (JobStoreError, OSError):  # pragma: no cover - store died
             pass
 
-    def _execute(self, record: JobRecord) -> Dict[str, Any]:
+    # ------------------------------------------------------------------
+    # The lease reaper
+    # ------------------------------------------------------------------
+    def _reaper_loop(self) -> None:
+        while not self._stop.wait(self.reap_interval):
+            try:
+                self._reap()
+            except Exception:  # noqa: BLE001 - the reaper must never die
+                pass
+
+    def _reap(self) -> None:
+        """Reclaim running jobs whose lease went stale.
+
+        A job with a live :class:`_ActiveJob` has a wedged child (the
+        heartbeat rides ``ctx.step``): its supervisor is told to stop
+        and the owning worker thread handles the requeue-or-poison.  A
+        running record with *no* active handle is an orphan — a worker
+        thread that died, or a record inherited from a dead process —
+        and is reclaimed directly.
+        """
+        for record in self.store.list(states=("running",)):
+            if self.store.lease_age(record.job_id) <= self.lease_timeout:
+                continue
+            with self._active_lock:
+                active = self._active.get(record.job_id)
+            if active is not None:
+                active.request_stop("lease-expired")
+                continue
+            count = self._append_failure(record.job_id, {
+                "cause": "lease-expired",
+                "message": "running record has no live worker and a stale "
+                           "lease; reclaimed by the reaper",
+                "attempt": record.attempts,
+            })
+            if count >= self.max_failures:
+                self._poison(record.job_id, count)
+                continue
+            self._finish(record.job_id, "queued",
+                         recoveries=record.recoveries + 1)
+            self._queue.put(record.job_id)
+
+    def _execute(self, record: JobRecord,
+                 active: Optional[_ActiveJob] = None) -> Dict[str, Any]:
         spec = registry.get(FAMILY_BY_KIND[record.kind], record.algorithm)
         quota = self.quotas.quota_for(record.tenant)
         budget = job_budget(spec.capabilities, quota, record.params)
+        job_id = record.job_id
+        store = self.store
+
+        def heartbeat(phase, info):
+            # Runs inside the forked child at every ctx.step: the lease
+            # file is the only liveness channel that crosses the fork.
+            store.touch_lease(job_id)
+
         ctx = ExecutionContext(
             budget=budget,
-            cancel_token=FileCancelToken(self.store.cancel_path(record.job_id)),
+            cancel_token=FileCancelToken(store.cancel_path(job_id)),
+            on_progress=heartbeat,
         )
         args = (record.kind, record.dataset, record.algorithm, record.params)
         if spec.capabilities.supervisable:
             checkpoint_dir = None
             if spec.capabilities.checkpointable:
-                checkpoint_dir = str(self.store.checkpoint_dir(record.job_id))
+                checkpoint_dir = str(store.checkpoint_dir(job_id))
             supervisor = Supervisor(
                 retry=self._retry_policy(),
                 checkpoint_dir=checkpoint_dir,
@@ -471,15 +802,23 @@ class Scheduler:
                     "checkpoint_every", self.checkpoint_every
                 )),
                 resume=True,
-                scratch_dir=str(self.store.scratch_dir(record.job_id)),
+                scratch_dir=str(store.scratch_dir(job_id)),
                 kill_on_parent_death=True,
+                stop_event=active.stop_event if active is not None else None,
             )
-            outcome = supervisor.run(execute_job, *args, ctx=ctx)
+            try:
+                outcome = supervisor.run(execute_job, *args, ctx=ctx)
+            except SupervisedCrash as exc:
+                # Every attempt's post-mortem, not just the last one:
+                # the poison ledger wants the full history.
+                exc.all_reports = list(supervisor.reports_)
+                raise
             return outcome.value
         return self._retry_policy().run(execute_job, *args, ctx=ctx)
 
 
 __all__ = [
+    "Draining",
     "FAMILY_BY_KIND",
     "FileCancelToken",
     "Scheduler",

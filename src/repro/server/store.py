@@ -26,13 +26,27 @@ process died, so it is moved back to ``queued`` (bumping its
 ``recoveries`` counter) and its scratch directory is swept of torn
 transport files.  A job whose ``job.json`` cannot be parsed at all is
 quarantined as ``failed`` with cause ``store-corrupted`` instead of
-crashing the boot.
+crashing the boot; a job directory with *no* record at all (a
+``create()`` torn mid-write) is removed outright.
+
+Two robustness planes added by the lease/poison layer:
+
+* **Leases** — a ``lease`` marker file per running job, touched by the
+  worker at dispatch and by the forked child at every ``ctx.step``
+  boundary.  :meth:`JobStore.lease_age` is what the scheduler's reaper
+  polls: a running job whose lease has gone stale has lost its worker
+  (wedged thread, hard-killed process) and is reclaimed.
+* **Dead letters** — ``failures.json`` per job accumulates one entry
+  per failed attempt (crash :class:`FailureReport` dicts, lease
+  expiries, recovery bumps).  Past the configurable cap the job is
+  *poisoned*: a terminal quarantine state that ends the infinite
+  crash-retry loop while keeping the full post-mortem on disk.
 """
 
 from __future__ import annotations
 
 import json
-import os
+import shutil
 import threading
 import time
 import uuid
@@ -41,26 +55,35 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..core.exceptions import ReproError
+from ..runtime.fsio import atomic_write_bytes
 from ..runtime.transport import sweep_stale_tmp
 
 #: every state a job record can be in.
-STATES = ("queued", "running", "done", "failed", "cancelled")
+STATES = ("queued", "running", "done", "failed", "cancelled", "poisoned")
 
 #: states a job never leaves.
-TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled", "poisoned"})
 
-#: the legal state machine; ``running → queued`` is the recovery edge.
+#: recorded failures (crashed attempts, lease expiries, recoveries) at
+#: which a job is poisoned: reaching the cap quarantines.
+DEFAULT_MAX_FAILURES = 3
+
+#: the legal state machine; ``running → queued`` is the recovery edge,
+#: ``→ poisoned`` the dead-letter quarantine past the failure cap.
 _TRANSITIONS = {
-    "queued": {"running", "cancelled"},
-    "running": {"done", "failed", "cancelled", "queued"},
+    "queued": {"running", "cancelled", "poisoned"},
+    "running": {"done", "failed", "cancelled", "queued", "poisoned"},
     "done": set(),
     "failed": set(),
     "cancelled": set(),
+    "poisoned": set(),
 }
 
 _RECORD_NAME = "job.json"
 _RESULT_NAME = "result.json"
 _CANCEL_NAME = "cancel"
+_LEASE_NAME = "lease"
+_FAILURES_NAME = "failures.json"
 
 
 class JobStoreError(ReproError, RuntimeError):
@@ -124,22 +147,7 @@ class JobRecord:
 
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
     """write-temp → fsync → rename, plus a directory fsync."""
-    tmp = path.parent / f".{path.name}.tmp"
-    with open(tmp, "wb") as handle:
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
-    try:
-        fd = os.open(path.parent, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform-specific
-        return
-    try:
-        os.fsync(fd)
-    except OSError:  # pragma: no cover - platform-specific
-        pass
-    finally:
-        os.close(fd)
+    atomic_write_bytes(path, data)
 
 
 class JobStore:
@@ -176,6 +184,12 @@ class JobStore:
 
     def cancel_path(self, job_id: str) -> Path:
         return self.job_dir(job_id) / _CANCEL_NAME
+
+    def lease_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / _LEASE_NAME
+
+    def failures_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / _FAILURES_NAME
 
     # ------------------------------------------------------------------
     # Record lifecycle
@@ -295,6 +309,7 @@ class JobStore:
                 raise InvalidTransition(
                     f"job {job_id} cannot go {record.state!r} → {to_state!r}"
                 )
+            from_state = record.state
             record.state = to_state
             for name, value in changes.items():
                 if name not in record.__dataclass_fields__:
@@ -302,7 +317,78 @@ class JobStore:
                 setattr(record, name, value)
             record.updated_at = time.time()
             self._save(record)
+            # Lease hygiene rides the state machine so no caller can
+            # forget it: a job entering ``running`` gets a fresh lease
+            # (a stale file from a reclaimed attempt must not trip the
+            # reaper instantly), a job leaving it sheds the lease.
+            if to_state == "running":
+                self.touch_lease(job_id)
+            elif from_state == "running":
+                try:
+                    self.lease_path(job_id).unlink()
+                except OSError:
+                    pass
             return record
+
+    # ------------------------------------------------------------------
+    # Leases
+    # ------------------------------------------------------------------
+    def touch_lease(self, job_id: str) -> None:
+        """Refresh a running job's liveness marker (heartbeat)."""
+        try:
+            self.lease_path(job_id).touch()
+        except OSError:
+            # A heartbeat must never kill the worker it vouches for; a
+            # full disk here surfaces later as a stale lease at worst.
+            pass
+
+    def lease_age(self, job_id: str, now: Optional[float] = None) -> float:
+        """Seconds since the job's lease was last refreshed.
+
+        Falls back to the record's ``updated_at`` when the lease file
+        is missing (e.g. a pre-lease store, or the marker lost to a
+        crash) so the reaper still converges instead of dividing jobs
+        into watched and invisible.
+        """
+        now = time.time() if now is None else now
+        try:
+            return max(0.0, now - self.lease_path(job_id).stat().st_mtime)
+        except OSError:
+            return max(0.0, now - self.get(job_id).updated_at)
+
+    # ------------------------------------------------------------------
+    # Dead letters
+    # ------------------------------------------------------------------
+    def append_failure(self, job_id: str, entry: Dict[str, Any]) -> int:
+        """Append one attempt's post-mortem to ``failures.json``.
+
+        The file is the job's dead-letter history: a JSON list with one
+        entry per failed attempt / lease expiry / recovery, each stamped
+        with ``at``.  A corrupt existing file is replaced rather than
+        crashing the failure path.  Returns the new entry count.
+        """
+        with self._lock:
+            failures = self.read_failures(job_id)
+            stamped = dict(entry)
+            stamped.setdefault("at", time.time())
+            failures.append(stamped)
+            data = (json.dumps(failures, sort_keys=True, indent=2)
+                    + "\n").encode()
+            atomic_write_bytes(self.failures_path(job_id), data)
+            return len(failures)
+
+    def read_failures(self, job_id: str) -> List[Dict[str, Any]]:
+        """The job's dead-letter history; ``[]`` if absent or corrupt."""
+        try:
+            payload = json.loads(self.failures_path(job_id).read_text())
+        except (OSError, ValueError):
+            return []
+        if not isinstance(payload, list):
+            return []
+        return [item for item in payload if isinstance(item, dict)]
+
+    def failure_count(self, job_id: str) -> int:
+        return len(self.read_failures(job_id))
 
     # ------------------------------------------------------------------
     # Cancellation
@@ -350,7 +436,9 @@ class JobStore:
     # ------------------------------------------------------------------
     # Crash recovery
     # ------------------------------------------------------------------
-    def recover(self) -> List[JobRecord]:
+    def recover(
+        self, max_failures: int = DEFAULT_MAX_FAILURES,
+    ) -> List[JobRecord]:
         """Boot-time scan: re-enqueue jobs the dead server left running.
 
         * ``running`` + cancel marker → ``cancelled`` (honour the last
@@ -358,11 +446,19 @@ class JobStore:
         * ``running`` → ``queued`` with ``recoveries + 1``, scratch
           swept of torn transport files — the scheduler will resume it
           from its newest checkpoint;
+        * ``running`` whose dead-letter history would exceed
+          ``max_failures`` → ``poisoned``: a job that takes the server
+          down (or gets killed) on every attempt must not be re-fed to
+          it forever;
         * unreadable ``job.json`` → quarantined as ``failed`` with
           cause ``store-corrupted`` (recovery must never crash);
-        * stray ``.job.json.tmp`` halves are deleted.
+        * a job directory with *no* ``job.json`` at all — a ``create()``
+          torn mid-write — is removed outright;
+        * stray ``.job.json.tmp`` / ``.result.json.tmp`` /
+          ``.failures.json.tmp`` halves are deleted.
 
-        Returns the records that were re-enqueued.
+        Returns the records that were re-enqueued (poisoned jobs are
+        discoverable via ``list(states=("poisoned",))``).
         """
         with self._lock:
             recovered: List[JobRecord] = []
@@ -373,7 +469,11 @@ class JobStore:
                     continue
                 sweep_stale_tmp(entry, pattern=f".{_RECORD_NAME}.tmp")
                 sweep_stale_tmp(entry, pattern=f".{_RESULT_NAME}.tmp")
+                sweep_stale_tmp(entry, pattern=f".{_FAILURES_NAME}.tmp")
                 if not (entry / _RECORD_NAME).exists():
+                    # ``create()`` died between mkdir and the record
+                    # rename: the directory never held a job.
+                    shutil.rmtree(entry, ignore_errors=True)
                     continue
                 try:
                     record = self.get(entry.name)
@@ -387,6 +487,27 @@ class JobStore:
                                 pattern="result-*.pkl")
                 if self.cancel_requested(record.job_id):
                     self.transition(record.job_id, "cancelled")
+                    continue
+                failures = self.append_failure(record.job_id, {
+                    "cause": "recovery",
+                    "message": "server died while the job was running; "
+                               "re-enqueued from its newest checkpoint",
+                    "attempt": record.attempts,
+                    "recovery": record.recoveries + 1,
+                })
+                if failures >= max_failures:
+                    self.transition(
+                        record.job_id, "poisoned",
+                        recoveries=record.recoveries + 1,
+                        error={
+                            "cause": "poisoned",
+                            "message": f"quarantined after {failures} "
+                                       f"recorded failures "
+                                       f"(cap {max_failures}); see the "
+                                       f"job's failures.json dead-letter "
+                                       f"history",
+                        },
+                    )
                     continue
                 recovered.append(self.transition(
                     record.job_id, "queued",
@@ -411,6 +532,7 @@ class JobStore:
 
 
 __all__ = [
+    "DEFAULT_MAX_FAILURES",
     "STATES",
     "TERMINAL_STATES",
     "InvalidTransition",

@@ -241,3 +241,51 @@ class TestWorstCase:
         leftovers = [p for p in tmp_path.iterdir()
                      if p.suffix == ".tmp"]
         assert leftovers == []
+
+
+class TestWriteFailureMidJob:
+    """A checkpoint write failing mid-run must neither corrupt prior
+    snapshots nor masquerade as an application error.
+
+    ``CheckpointWriteError`` subclasses ``TransientFault``, so the
+    default retry policy relaunches the attempt — the failure mode is
+    a full disk or flaky device, both recoverable — while every
+    snapshot persisted before the fault keeps verifying.
+    """
+
+    def test_flush_failure_is_transient_and_preserves_snapshots(
+        self, tmp_path
+    ):
+        from repro.runtime.checkpoint import CheckpointWriteError
+        from repro.runtime.faults import DiskGremlin, TransientFault
+        from repro.runtime.fsio import injected
+
+        store = CheckpointStore(tmp_path)
+        ckpt = Checkpointer(store, every=1)
+        ckpt.mark(KEY, {"pass": 1})
+        ckpt.mark(KEY, {"pass": 2})
+        with injected(DiskGremlin(op="write", after=0, burst=None)):
+            with pytest.raises(CheckpointWriteError) as excinfo:
+                ckpt.mark(KEY, {"pass": 3})
+        assert isinstance(excinfo.value, TransientFault)
+        # Prior snapshots still verify and resume from pass 2.
+        resumed = Checkpointer(store, resume=True).resume(KEY)
+        assert resumed == {"pass": 2}
+
+    def test_retry_after_write_failure_lands_the_state(self, tmp_path):
+        from repro.runtime.checkpoint import CheckpointWriteError
+        from repro.runtime.faults import DiskGremlin
+        from repro.runtime.fsio import injected
+        from repro.runtime.retry import RetryPolicy
+
+        store = CheckpointStore(tmp_path)
+        ckpt = Checkpointer(store, every=1)
+        ckpt.mark(KEY, {"pass": 1})
+        with injected(DiskGremlin(op="write", after=0, burst=1)):
+            with pytest.raises(CheckpointWriteError):
+                ckpt.mark(KEY, {"pass": 2})
+            # The dirty flag survives the failure: the retry policy can
+            # re-drive the flush once the disk heals.
+            RetryPolicy(max_retries=2, base_delay=0.0,
+                        jitter=0.0).run(ckpt.flush)
+        assert store.load_latest()["state"] == {"pass": 2}

@@ -1,0 +1,159 @@
+"""Disk-fault injection: the fsio seam, the DiskGremlin, and the
+no-torn-record matrix.
+
+The contract pinned here is the storage half of the robustness story:
+whatever stage of the atomic-write protocol a fault hits — temp write,
+fsync, rename, directory fsync — the *final* path never holds a torn
+record.  Either the old bytes survive intact, or the new bytes landed
+completely, or (for a fresh file) nothing is there at all.
+"""
+
+import errno
+
+import pytest
+
+from repro.core.exceptions import ReproError
+from repro.runtime import fsio
+from repro.runtime.checkpoint import CheckpointStore, CheckpointWriteError
+from repro.runtime.faults import DISK_OPS, DiskGremlin, TransientFault
+from repro.runtime.fsio import atomic_write_bytes, injected
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    """A test that dies mid-``injected`` must not poison its neighbours."""
+    yield
+    fsio.clear_injector()
+
+
+class TestDiskGremlinSchedule:
+    def test_after_then_burst_then_heal(self):
+        gremlin = DiskGremlin(op="write", after=2, burst=2)
+        outcomes = []
+        for _ in range(6):
+            try:
+                gremlin.on_op("write", "/store/x")
+                outcomes.append("ok")
+            except OSError:
+                outcomes.append("fault")
+        assert outcomes == ["ok", "ok", "fault", "fault", "ok", "ok"]
+        assert len(gremlin.injected) == 2
+
+    def test_burst_none_never_heals(self):
+        gremlin = DiskGremlin(op="write", after=0, burst=None)
+        for _ in range(5):
+            with pytest.raises(OSError):
+                gremlin.on_op("write", "/store/x")
+
+    def test_errno_and_message(self):
+        gremlin = DiskGremlin(op="fsync", errno_code=errno.EIO)
+        with pytest.raises(OSError) as excinfo:
+            gremlin.on_op("fsync", "/dev/sick")
+        assert excinfo.value.errno == errno.EIO
+        assert excinfo.value.filename == "/dev/sick"
+
+    def test_op_and_match_filters(self):
+        gremlin = DiskGremlin(op="replace", match="result.json")
+        gremlin.on_op("write", "/store/job/result.json")     # wrong op
+        gremlin.on_op("replace", "/store/job/job.json")      # wrong path
+        with pytest.raises(OSError):
+            gremlin.on_op("replace", "/store/job/result.json")
+
+    def test_seeded_after_range_is_deterministic(self):
+        draws = {DiskGremlin(after=(3, 9), random_state=7).after
+                 for _ in range(5)}
+        assert len(draws) == 1
+        assert 3 <= draws.pop() <= 9
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ReproError):
+            DiskGremlin(op="defragment")
+
+    def test_torn_marks_exception(self):
+        gremlin = DiskGremlin(op="replace", torn=True)
+        with pytest.raises(OSError) as excinfo:
+            gremlin.on_op("replace", "/store/x")
+        assert excinfo.value.repro_leave_tmp is True
+
+
+class TestAtomicWriteMatrix:
+    """No stage of the protocol, failing, may tear the final record."""
+
+    @pytest.mark.parametrize("op", DISK_OPS)
+    def test_fault_never_tears_existing_record(self, tmp_path, op):
+        target = tmp_path / "record.json"
+        atomic_write_bytes(target, b"old-and-complete")
+        gremlin = DiskGremlin(op=op, after=0, burst=None)
+        with injected(gremlin):
+            if op == "fsync-dir":
+                # The rename already landed; only the durability of the
+                # *directory entry* is at stake, and the error surfaces.
+                with pytest.raises(OSError):
+                    atomic_write_bytes(target, b"new-and-complete")
+                assert target.read_bytes() == b"new-and-complete"
+            else:
+                with pytest.raises(OSError):
+                    atomic_write_bytes(target, b"new-and-complete")
+                assert target.read_bytes() == b"old-and-complete"
+        # No stray temp halves either way.
+        assert [p.name for p in tmp_path.iterdir()] == ["record.json"]
+
+    @pytest.mark.parametrize("op", ("write", "fsync", "replace"))
+    def test_fault_on_fresh_file_leaves_nothing(self, tmp_path, op):
+        target = tmp_path / "record.json"
+        with injected(DiskGremlin(op=op, after=0)):
+            with pytest.raises(OSError):
+                atomic_write_bytes(target, b"data")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_torn_rename_leaves_tmp_for_the_sweep(self, tmp_path):
+        target = tmp_path / "record.json"
+        with injected(DiskGremlin(op="replace", torn=True)):
+            with pytest.raises(OSError):
+                atomic_write_bytes(target, b"data")
+        assert not target.exists()
+        assert [p.name for p in tmp_path.iterdir()] == [".record.json.tmp"]
+
+    def test_heal_after_burst_lets_writes_through(self, tmp_path):
+        target = tmp_path / "record.json"
+        gremlin = DiskGremlin(op="write", after=0, burst=2)
+        with injected(gremlin):
+            for _ in range(2):
+                with pytest.raises(OSError):
+                    atomic_write_bytes(target, b"blocked")
+            atomic_write_bytes(target, b"landed")
+        assert target.read_bytes() == b"landed"
+
+    def test_injector_cleared_after_context(self, tmp_path):
+        with injected(DiskGremlin(op="write", after=0)):
+            pass
+        assert fsio.current_injector() is None
+        atomic_write_bytes(tmp_path / "x", b"fine")
+
+
+class TestCheckpointStoreUnderFaults:
+    def test_save_failure_is_retryable_and_keeps_prior_snapshots(
+        self, tmp_path
+    ):
+        store = CheckpointStore(tmp_path)
+        store.save({"state": 1})
+        store.save({"state": 2})
+        before = store.snapshots()
+        with injected(DiskGremlin(op="write", after=0, burst=None)):
+            with pytest.raises(CheckpointWriteError) as excinfo:
+                store.save({"state": 3})
+        # The classification the retry policy keys on.
+        assert isinstance(excinfo.value, TransientFault)
+        # Prior snapshots are untouched and still load.
+        assert store.snapshots() == before
+        assert store.load_latest() == {"state": 2}
+
+    def test_store_full_then_healed_resumes_numbering(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=10)
+        store.save({"state": 1})
+        with injected(DiskGremlin(op="write", after=0, burst=1)):
+            with pytest.raises(CheckpointWriteError):
+                store.save({"state": 2})
+            store.save({"state": 2})
+        assert [seq for seq, _ in store.snapshots()] == [1, 2]
+        assert store.load_latest() == {"state": 2}

@@ -1,6 +1,7 @@
 """HTTP surface: routes, error semantics, quota back-pressure."""
 
 import json
+import os
 import threading
 import time
 import urllib.error
@@ -73,8 +74,14 @@ class TestRoutes:
         status, _headers, payload = _call(httpd, "GET", "/healthz")
         assert status == 200
         assert payload["status"] == "ok"
+        assert payload["draining"] is False
         assert set(payload["jobs"]) == {"queued", "running", "done",
-                                        "failed", "cancelled"}
+                                        "failed", "cancelled", "poisoned"}
+        # Worker liveness: one worker thread, heartbeat age in seconds.
+        liveness = payload["worker_liveness"]
+        assert len(liveness) == 1
+        for age in liveness.values():
+            assert 0.0 <= age < 30.0
 
     def test_algorithms_table(self, server):
         httpd, _scheduler = server
@@ -210,6 +217,99 @@ class TestRejections:
         for job_id in accepted:
             final = _wait_state(httpd, job_id, ("done", "failed"))
             assert final["state"] == "done", final.get("error")
+
+
+class TestDrainRoute:
+    def test_drain_flips_healthz_and_rejects_submissions(
+        self, server, basket_path
+    ):
+        httpd, scheduler = server
+        status, _headers, payload = _call(httpd, "POST", "/drain")
+        assert status == 202
+        assert payload["draining"] is True
+        assert payload["stopped_clean"] is True
+        status, _headers, payload = _call(httpd, "GET", "/healthz")
+        assert payload["status"] == "draining"
+        assert payload["draining"] is True
+        # Submissions now bounce with 503 + Retry-After and persist
+        # nothing.
+        status, headers, payload = _submit(httpd, basket_path)
+        assert status == 503
+        assert int(headers["Retry-After"]) >= 1
+        assert payload["retry_after"] > 0
+        assert scheduler.store.list() == []
+
+
+class TestFailureSurface:
+    def test_job_payload_carries_dead_letter_history(
+        self, server, basket_path
+    ):
+        httpd, scheduler = server
+        _status, _headers, record = _submit(httpd, basket_path)
+        job_id = record["job_id"]
+        _wait_state(httpd, job_id, ("done",))
+        # A clean job exposes no failures key at all.
+        _status, _headers, payload = _call(httpd, "GET", f"/jobs/{job_id}")
+        assert "failures" not in payload
+        scheduler.store.append_failure(job_id, {"cause": "crash",
+                                                "message": "boom"})
+        _status, _headers, payload = _call(httpd, "GET", f"/jobs/{job_id}")
+        assert [f["cause"] for f in payload["failures"]] == ["crash"]
+        assert payload["failures"][0]["at"] > 0
+
+
+class TestBusyPort:
+    def test_serve_on_taken_port_is_one_line_and_exit_2(
+        self, tmp_path, capsys
+    ):
+        import socket
+
+        from repro.server.api import serve
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            code = serve(str(tmp_path / "store"), port=port)
+        finally:
+            blocker.close()
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot bind" in err
+        assert "is another server running?" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_cli_serve_on_taken_port_exits_2_without_traceback(
+        self, tmp_path
+    ):
+        import socket
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(Path(__file__).resolve().parents[2] / "src")
+            + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "serve",
+                 "--store", str(tmp_path / "store"),
+                 "--port", str(port)],
+                capture_output=True, text=True, timeout=30, env=env,
+            )
+        finally:
+            blocker.close()
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        assert "cannot bind" in proc.stderr
 
 
 class TestValidateSubmission:

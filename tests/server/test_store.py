@@ -194,3 +194,120 @@ class TestRecovery:
         bad["state"] = "limbo"
         with pytest.raises(JobStoreError):
             JobRecord.from_dict(bad)
+
+
+class TestLeases:
+    def test_entering_running_creates_a_fresh_lease(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        assert not store.lease_path(record.job_id).exists()
+        store.transition(record.job_id, "running")
+        assert store.lease_path(record.job_id).exists()
+        assert store.lease_age(record.job_id) < 5.0
+
+    def test_leaving_running_sheds_the_lease(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        store.transition(record.job_id, "running")
+        store.transition(record.job_id, "done")
+        assert not store.lease_path(record.job_id).exists()
+
+    def test_touch_refreshes_age(self, tmp_path):
+        import os
+
+        store = _store(tmp_path)
+        record = _job(store)
+        store.transition(record.job_id, "running")
+        lease = store.lease_path(record.job_id)
+        stale = lease.stat().st_mtime - 1000
+        os.utime(lease, (stale, stale))
+        assert store.lease_age(record.job_id) > 900
+        store.touch_lease(record.job_id)
+        assert store.lease_age(record.job_id) < 5.0
+
+    def test_missing_lease_falls_back_to_updated_at(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        store.transition(record.job_id, "running")
+        store.lease_path(record.job_id).unlink()
+        # The record was just written: the fallback age is small, so
+        # a pre-lease store is not instantly reaped.
+        assert store.lease_age(record.job_id) < 5.0
+
+
+class TestDeadLetters:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        assert store.read_failures(record.job_id) == []
+        count = store.append_failure(record.job_id,
+                                     {"cause": "crash", "message": "boom"})
+        assert count == 1
+        count = store.append_failure(record.job_id,
+                                     {"cause": "lease-expired"})
+        assert count == 2
+        failures = store.read_failures(record.job_id)
+        assert [f["cause"] for f in failures] == ["crash", "lease-expired"]
+        assert all(f["at"] > 0 for f in failures)
+        assert store.failure_count(record.job_id) == 2
+
+    def test_corrupt_history_is_replaced_not_fatal(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        store.failures_path(record.job_id).write_text("{torn")
+        assert store.read_failures(record.job_id) == []
+        count = store.append_failure(record.job_id, {"cause": "crash"})
+        assert count == 1
+
+
+class TestPoisonedState:
+    def test_poisoned_is_terminal(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        store.transition(record.job_id, "running")
+        store.transition(record.job_id, "poisoned",
+                         error={"cause": "poisoned"})
+        assert "poisoned" in TERMINAL_STATES
+        with pytest.raises(InvalidTransition):
+            store.transition(record.job_id, "queued")
+        with pytest.raises(InvalidTransition):
+            store.request_cancel(record.job_id)
+
+    def test_recover_poisons_past_the_failure_cap(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        store.transition(record.job_id, "running", attempts=1)
+        # Two prior lives already recorded their post-mortems; the
+        # third recovery entry breaches the cap of 3.
+        store.append_failure(record.job_id, {"cause": "recovery"})
+        store.append_failure(record.job_id, {"cause": "recovery"})
+        recovered = store.recover(max_failures=3)
+        assert recovered == []
+        final = store.get(record.job_id)
+        assert final.state == "poisoned"
+        assert final.error["cause"] == "poisoned"
+        assert store.failure_count(record.job_id) == 3
+
+    def test_recover_below_cap_requeues_and_records(self, tmp_path):
+        store = _store(tmp_path)
+        record = _job(store)
+        store.transition(record.job_id, "running", attempts=1)
+        recovered = store.recover(max_failures=3)
+        assert [r.job_id for r in recovered] == [record.job_id]
+        assert store.get(record.job_id).state == "queued"
+        failures = store.read_failures(record.job_id)
+        assert [f["cause"] for f in failures] == ["recovery"]
+
+
+class TestTornCreate:
+    def test_job_dir_without_record_is_removed(self, tmp_path):
+        store = _store(tmp_path)
+        survivor = _job(store)
+        # A create() torn between mkdir and the record rename: the
+        # directory exists, with at most a temp half inside.
+        torn = store.job_dir("torn0000babe")
+        torn.mkdir(parents=True)
+        (torn / ".job.json.tmp").write_text("{half")
+        store.recover()
+        assert not torn.exists()
+        assert store.get(survivor.job_id).state == "queued"
