@@ -402,6 +402,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="on SIGTERM or POST /drain, how long running jobs get to "
              "checkpoint and stop before escalation",
     )
+    serve.add_argument(
+        "--no-result-cache", action="store_true",
+        help="disable the integrity-checked result cache (identical "
+             "resubmissions re-mine instead of being served from cache; "
+             "in-flight dedupe via Idempotency-Key still applies)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: the store's reserved "
+             "_cache/ subdirectory)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="drop client connections that stall mid-request longer "
+             "than this (slow-loris defence)",
+    )
     return parser
 
 
@@ -622,6 +638,9 @@ def _cmd_serve(args) -> int:
         quotas=quotas, max_retries=args.retries,
         lease_timeout=args.lease_timeout, max_failures=args.max_failures,
         drain_grace=args.drain_grace,
+        result_cache=not args.no_result_cache,
+        cache_dir=args.cache_dir,
+        request_timeout=args.request_timeout,
     )
 
 

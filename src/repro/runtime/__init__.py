@@ -37,6 +37,7 @@ from .context import (
     ExecutionContext,
     RunCounters,
     check_degradation_policy,
+    progress_event,
     resolve_context,
 )
 from .faults import (
@@ -94,6 +95,7 @@ __all__ = [
     "RunCounters",
     "resolve_context",
     "check_degradation_policy",
+    "progress_event",
     "BASIC_POLICIES",
     "LEVELWISE_POLICIES",
     "RetryPolicy",

@@ -31,8 +31,9 @@ The degradation-policy vocabulary shared by the budget-aware miners
 
 from __future__ import annotations
 
+import time
 import warnings
-from typing import Any, Callable, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
 from ..core.exceptions import ValidationError
 from .budget import Budget, CancellationToken
@@ -60,6 +61,35 @@ def check_degradation_policy(
             f"on_exhausted for {algorithm} must be one of {allowed}, "
             f"got {policy!r}"
         )
+
+
+def progress_event(
+    seq: int,
+    phase: str,
+    info: Optional[Mapping[str, Any]] = None,
+    at: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Shape one progress event for an append-only event log.
+
+    The single record shape shared by everything that serializes a
+    progress stream — the job server's per-job ``events.jsonl`` most of
+    all.  The key set is fixed and flat so pollers can parse blind:
+
+    * ``seq`` — 0-based position in the log, gapless per log;
+    * ``at`` — unix timestamp of the append (``time.time()`` unless
+      the caller pins one);
+    * ``phase`` — a ``ctx.step`` phase name (``"pass"``,
+      ``"iteration"``...) or a lifecycle marker the log owner defines
+      (``"submitted"``, ``"requeued"``, ``"done"``...);
+    * ``info`` — the step's progress payload, nested so arbitrary
+      per-phase keys can never collide with the envelope.
+    """
+    return {
+        "seq": int(seq),
+        "at": float(time.time() if at is None else at),
+        "phase": str(phase),
+        "info": dict(info or {}),
+    }
 
 
 class RunCounters:
@@ -310,5 +340,6 @@ __all__ = [
     "ExecutionContext",
     "RunCounters",
     "check_degradation_policy",
+    "progress_event",
     "resolve_context",
 ]

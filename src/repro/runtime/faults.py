@@ -259,9 +259,11 @@ class ChaosMonkey:
         self.strikes.append({"pid": pid, **trigger})
 
 
-#: atomic-write stages a :class:`DiskGremlin` can break (the ``op``
-#: strings :func:`repro.runtime.fsio.atomic_write_bytes` reports).
-DISK_OPS = ("write", "fsync", "replace", "fsync-dir")
+#: disk-protocol stages a :class:`DiskGremlin` can break: the ``op``
+#: strings :func:`repro.runtime.fsio.atomic_write_bytes` reports, plus
+#: the ``"append"`` stage of :func:`repro.runtime.fsio.append_bytes`
+#: (event-log appends).
+DISK_OPS = ("write", "fsync", "replace", "fsync-dir", "append")
 
 
 class DiskGremlin:
@@ -286,7 +288,8 @@ class DiskGremlin:
     ----------
     op:
         Which protocol stage to break: ``"write"``, ``"fsync"``,
-        ``"replace"`` or ``"fsync-dir"``.
+        ``"replace"``, ``"fsync-dir"``, or ``"append"`` (event-log
+        appends).
     errno_code:
         ``errno`` of the injected :class:`OSError`;
         ``errno.ENOSPC`` by default, ``errno.EIO`` for device faults.

@@ -23,6 +23,12 @@ The stages, in protocol order (the ``op`` strings an injector sees):
 * ``"replace"``— before the atomic rename onto the final name;
 * ``"fsync-dir"`` — before the containing directory's ``fsync``.
 
+:func:`append_bytes` is the second, smaller plane: append-only logs
+(the job server's per-job ``events.jsonl``) grow by whole records
+through it.  It carries its own single ``"append"`` stage — an injected
+fault fires before anything is written, so the log keeps exactly the
+records it had.
+
 A fault raised at any stage leaves the final path untouched (the old
 contents, or nothing, are still there — that is the point of the
 protocol).  The half-written temp file is removed best-effort unless
@@ -149,8 +155,34 @@ def atomic_write_bytes(
         fsync_directory(path.parent)
 
 
+def append_bytes(
+    path: Union[str, Path],
+    data: bytes,
+    fsync_file: bool = True,
+) -> None:
+    """Append ``data`` to ``path`` (created if missing) and fsync it.
+
+    The append-only sibling of :func:`atomic_write_bytes`, used for
+    event logs that grow one record at a time.  The injector seam sees
+    one ``"append"`` stage per call, consulted *before* the file is
+    opened — an injected ENOSPC/EIO leaves the log exactly as it was.
+    A process killed between the kernel write and the fsync can still
+    leave a torn final record; readers own that case (they treat the
+    first unparsable line as the end of the log) and writers truncate
+    the tear before extending.
+    """
+    path = Path(path)
+    _hook("append", path)
+    with open(path, "ab") as handle:
+        handle.write(data)
+        handle.flush()
+        if fsync_file:
+            os.fsync(handle.fileno())
+
+
 __all__ = [
     "FaultInjector",
+    "append_bytes",
     "atomic_write_bytes",
     "clear_injector",
     "current_injector",

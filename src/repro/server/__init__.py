@@ -11,14 +11,28 @@ Layering::
     api.py        HTTP surface (stdlib ThreadingHTTPServer)
     scheduler.py  queue + workers + supervised execution + recovery
     quotas.py     per-tenant admission control and budget caps
-    store.py      one-directory-per-job durable state (atomic writes)
+    cache.py      integrity-checked result cache + content keys
+    store.py      one-directory-per-job durable state (atomic writes),
+                  progress event logs, submission index
 
 The store is the source of truth; the scheduler and API never hold
 state the store does not, which is what makes restart recovery a pure
-function of the directory tree.
+function of the directory tree.  The client edge is idempotent:
+retried submissions deduplicate onto one job, completed identical
+submissions are served byte-identically from the checksummed result
+cache, and per-job ``events.jsonl`` logs make progress polling
+resumable across crashes.
 """
 
-from .api import BadSubmission, build_server, serve, validate_submission
+from .api import (
+    BadRequest,
+    BadSubmission,
+    PayloadTooLarge,
+    build_server,
+    serve,
+    validate_submission,
+)
+from .cache import ResultCache, content_key
 from .quotas import OverQuota, QuotaPolicy, TenantQuota, job_budget
 from .scheduler import (
     FAMILY_BY_KIND,
@@ -32,17 +46,21 @@ from .store import (
     DEFAULT_MAX_FAILURES,
     STATES,
     TERMINAL_STATES,
+    EventAppender,
     InvalidTransition,
     JobRecord,
     JobStore,
     JobStoreError,
     UnknownJob,
+    scan_events,
 )
 
 __all__ = [
+    "BadRequest",
     "BadSubmission",
     "DEFAULT_MAX_FAILURES",
     "Draining",
+    "EventAppender",
     "FAMILY_BY_KIND",
     "FileCancelToken",
     "InvalidTransition",
@@ -50,7 +68,9 @@ __all__ = [
     "JobStore",
     "JobStoreError",
     "OverQuota",
+    "PayloadTooLarge",
     "QuotaPolicy",
+    "ResultCache",
     "STATES",
     "Scheduler",
     "TERMINAL_STATES",
@@ -58,8 +78,10 @@ __all__ = [
     "UnknownJob",
     "build_server",
     "canonical_result_bytes",
+    "content_key",
     "execute_job",
     "job_budget",
+    "scan_events",
     "serve",
     "validate_submission",
 ]

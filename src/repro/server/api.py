@@ -3,12 +3,20 @@
 Routes::
 
     GET  /healthz                → liveness, per-state counts, worker
-                                   heartbeat ages, draining flag
+                                   heartbeat ages, draining flag,
+                                   cache stats, events-appended counter
     GET  /algorithms             → machine-readable capability table
     GET  /jobs[?tenant=NAME]     → job listing (records, newest first)
-    POST /jobs                   → submit; 202 record | 400 | 429 | 503
+    POST /jobs                   → submit; 202 record | 200 dedupe |
+                                   400 | 413 | 429 | 503.  An optional
+                                   ``Idempotency-Key`` header (and,
+                                   always, the content-derived key)
+                                   collapses retries onto one job
     GET  /jobs/<id>              → one job record (+ dead-letter
                                    ``failures`` history when present)
+    GET  /jobs/<id>/events[?offset=N]
+                                 → the job's progress event log from
+                                   position N on (resumable polling)
     GET  /jobs/<id>/result       → stored result bytes (done jobs)
     POST /jobs/<id>/cancel       → request cancellation
     POST /drain                  → graceful drain: stop admission,
@@ -17,6 +25,15 @@ Routes::
 Error semantics mirror the CLI's exit codes (the DESIGN doc carries the
 full mapping):
 
+* a request the server refuses to *parse* — malformed JSON, a bad
+  ``Content-Length``, a bad ``offset`` — is a structured ``400`` with a
+  machine-readable ``reason`` (no capability table: the client's
+  transport is broken, not its submission);
+* a body larger than ``MAX_BODY_BYTES`` is ``413`` and the connection
+  is closed (the unread body cannot be skipped safely);
+* a client that stalls mid-request past the handler timeout gets its
+  connection dropped (slow-loris defence) — handler threads are a
+  finite resource;
 * a submission the registry cannot honour — unknown kind/algorithm, a
   flag the algorithm's capabilities reject — is ``400`` and the body
   includes the relevant capability table so clients can self-correct;
@@ -46,12 +63,16 @@ from urllib.parse import parse_qs, urlsplit
 
 from .. import registry
 from ..core.exceptions import ReproError
+from .cache import ResultCache
 from .quotas import OverQuota, QuotaPolicy
 from .scheduler import FAMILY_BY_KIND, Draining, Scheduler
 from .store import InvalidTransition, JobStore, UnknownJob
 
 #: refuse request bodies larger than this (defensive, not a quota).
 MAX_BODY_BYTES = 1 << 20
+
+#: drop connections that stall longer than this mid-request.
+DEFAULT_REQUEST_TIMEOUT = 30.0
 
 #: submission fields the API accepts.
 _SUBMIT_FIELDS = {"tenant", "kind", "algorithm", "dataset", "params"}
@@ -63,6 +84,26 @@ class BadSubmission(ReproError, ValueError):
     def __init__(self, message: str, family: Optional[str] = None):
         super().__init__(message)
         self.family = family
+
+
+class BadRequest(ReproError, ValueError):
+    """A request the server refuses to parse (transport-level 400).
+
+    Distinct from :class:`BadSubmission`: the capability table would be
+    noise here — the client's HTTP layer is broken, not its choice of
+    algorithm.  ``reason`` is a stable machine-readable tag.
+    """
+
+    def __init__(self, message: str, reason: str = "bad-request"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class PayloadTooLarge(BadRequest):
+    """Request body over ``MAX_BODY_BYTES`` (413; connection closed)."""
+
+    def __init__(self, message: str):
+        super().__init__(message, reason="payload-too-large")
 
 
 def validate_submission(payload: Any) -> Dict[str, Any]:
@@ -137,6 +178,12 @@ class JobRequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-jobs/1.0"
     protocol_version = "HTTP/1.1"
 
+    #: socket timeout applied by ``StreamRequestHandler.setup`` — a
+    #: client that stops sending mid-request (slow-loris) frees its
+    #: handler thread after this many seconds instead of holding it
+    #: hostage forever.  Overridden per-server by ``build_server``.
+    timeout = DEFAULT_REQUEST_TIMEOUT
+
     # Injected by build_server().
     scheduler: Scheduler = None  # type: ignore[assignment]
 
@@ -159,18 +206,32 @@ class JobRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _read_json_body(self) -> Any:
-        length = int(self.headers.get("Content-Length", 0) or 0)
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError as exc:
+            raise BadRequest(
+                "Content-Length is not an integer",
+                reason="bad-content-length",
+            ) from exc
+        if length < 0:
+            raise BadRequest(
+                "Content-Length is negative", reason="bad-content-length"
+            )
         if length > MAX_BODY_BYTES:
-            raise BadSubmission(
-                f"request body exceeds {MAX_BODY_BYTES} bytes"
+            raise PayloadTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte cap"
             )
         raw = self.rfile.read(length) if length else b""
         if not raw:
-            raise BadSubmission("request body is empty")
+            raise BadRequest("request body is empty", reason="empty-body")
         try:
             return json.loads(raw)
         except ValueError as exc:
-            raise BadSubmission(f"request body is not valid JSON: {exc}") from exc
+            raise BadRequest(
+                f"request body is not valid JSON: {exc}",
+                reason="invalid-json",
+            ) from exc
 
     def _route(self) -> Tuple[str, Dict[str, str]]:
         split = urlsplit(self.path)
@@ -199,7 +260,16 @@ class JobRequestHandler(BaseHTTPRequestHandler):
                 return self._get_job(parts[1])
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
                 return self._get_result(parts[1])
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+                return self._get_events(parts[1], query.get("offset"))
             self._send_json(404, {"error": f"no such route {path!r}"})
+        except TimeoutError:
+            # The socket stalled; there is nobody to answer.  Re-raise
+            # so handle_one_request's timeout path drops the connection.
+            self.close_connection = True
+            raise
+        except BadRequest as exc:
+            self._send_json(400, {"error": str(exc), "reason": exc.reason})
         except UnknownJob as exc:
             self._send_json(404, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - handler must answer
@@ -217,6 +287,18 @@ class JobRequestHandler(BaseHTTPRequestHandler):
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
                 return self._post_cancel(parts[1])
             self._send_json(404, {"error": f"no such route {path!r}"})
+        except TimeoutError:
+            # Slow-loris: the client never finished sending its body.
+            # Answering 500 would write into a dead socket; drop it.
+            self.close_connection = True
+            raise
+        except PayloadTooLarge as exc:
+            # The refused body was never read, so the connection cannot
+            # be reused for a next request — close it after answering.
+            self.close_connection = True
+            self._send_json(413, {"error": str(exc), "reason": exc.reason})
+        except BadRequest as exc:
+            self._send_json(400, {"error": str(exc), "reason": exc.reason})
         except BadSubmission as exc:
             body: Dict[str, Any] = {"error": str(exc)}
             body["capabilities"] = registry.capability_table(exc.family)
@@ -249,6 +331,8 @@ class JobRequestHandler(BaseHTTPRequestHandler):
             "workers": scheduler.workers,
             "worker_liveness": scheduler.worker_liveness(),
             "jobs": counts,
+            "cache": scheduler.cache_stats(),
+            "events_appended": scheduler.store.events_appended_total(),
         })
 
     def _get_jobs(self, tenant: Optional[str]) -> None:
@@ -280,10 +364,51 @@ class JobRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _get_events(self, job_id: str, offset: Optional[str]) -> None:
+        """Resumable progress polling: events from ``offset`` on.
+
+        Clients store the returned ``next_offset`` and pass it back on
+        the next poll; the contract (no gap, no repeat, no torn line —
+        across server crashes too) is carried by the store's event-log
+        scanner, which stops at the first invalid line.
+        """
+        record = self.scheduler.store.get(job_id)  # 404s unknown ids
+        try:
+            start = int(offset) if offset is not None else 0
+        except ValueError as exc:
+            raise BadRequest(
+                "offset must be an integer", reason="bad-offset"
+            ) from exc
+        if start < 0:
+            raise BadRequest(
+                "offset must be non-negative", reason="bad-offset"
+            )
+        events, total = self.scheduler.store.read_events(job_id, start)
+        self._send_json(200, {
+            "job_id": job_id,
+            "state": record.state,
+            "events": events,
+            "next_offset": total,
+        })
+
     def _post_job(self) -> None:
+        key = self.headers.get("Idempotency-Key")
+        if key is not None:
+            key = key.strip()
+            if not key or len(key) > 200:
+                raise BadRequest(
+                    "Idempotency-Key must be 1-200 characters",
+                    reason="bad-idempotency-key",
+                )
         submission = validate_submission(self._read_json_body())
-        record = self.scheduler.submit(**submission)
-        self._send_json(202, record.to_dict())
+        record = self.scheduler.submit(**submission, idempotency_key=key)
+        payload = record.to_dict()
+        if getattr(record, "deduplicated", False):
+            # A retry of an in-flight submission: same job, nothing
+            # admitted — 200, not 202, and the body says why.
+            payload["deduplicated"] = True
+            return self._send_json(200, payload)
+        self._send_json(202, payload)
 
     def _post_cancel(self, job_id: str) -> None:
         try:
@@ -324,25 +449,35 @@ def build_server(
     lease_timeout: float = 30.0,
     max_failures: Optional[int] = None,
     drain_grace: float = 10.0,
+    result_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
 ) -> Tuple[ThreadingHTTPServer, Scheduler]:
     """Wire store + scheduler + HTTP server (not yet started).
 
     The handler class is subclassed per call so the scheduler reference
     never leaks between servers in the same process (tests run many).
+    ``result_cache=False`` disables result caching; ``cache_dir``
+    relocates the cache (default: the store's reserved ``_cache/``
+    directory, so cache and results share a filesystem — and a fate).
     """
     store = JobStore(store_root)
+    cache = None
+    if result_cache:
+        cache = ResultCache(cache_dir or store.root / "_cache")
     kwargs: Dict[str, Any] = {}
     if max_failures is not None:
         kwargs["max_failures"] = max_failures
     scheduler = Scheduler(
         store, quotas=quotas, workers=workers, max_retries=max_retries,
-        lease_timeout=lease_timeout, **kwargs,
+        lease_timeout=lease_timeout, result_cache=cache, **kwargs,
     )
 
     class _Handler(JobRequestHandler):
         pass
 
     _Handler.scheduler = scheduler
+    _Handler.timeout = float(request_timeout)
     httpd = ThreadingHTTPServer((host, port), _Handler)
     httpd.daemon_threads = True
     httpd.drain_grace = float(drain_grace)
@@ -359,6 +494,9 @@ def serve(
     lease_timeout: float = 30.0,
     max_failures: Optional[int] = None,
     drain_grace: float = 10.0,
+    result_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
 ) -> int:
     """Run the server until SIGTERM/SIGINT/``POST /drain``.
 
@@ -376,7 +514,8 @@ def serve(
             store_root, host=host, port=port, workers=workers,
             quotas=quotas, max_retries=max_retries,
             lease_timeout=lease_timeout, max_failures=max_failures,
-            drain_grace=drain_grace,
+            drain_grace=drain_grace, result_cache=result_cache,
+            cache_dir=cache_dir, request_timeout=request_timeout,
         )
     except OSError as exc:
         if exc.errno in (errno.EADDRINUSE, errno.EACCES):
@@ -417,9 +556,12 @@ def serve(
 
 
 __all__ = [
+    "BadRequest",
     "BadSubmission",
+    "DEFAULT_REQUEST_TIMEOUT",
     "JobRequestHandler",
     "MAX_BODY_BYTES",
+    "PayloadTooLarge",
     "build_server",
     "serve",
     "validate_submission",

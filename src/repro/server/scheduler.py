@@ -53,6 +53,28 @@ The robustness layer on top of plain dispatch:
   result write, an injected :class:`~repro.runtime.faults.DiskGremlin`
   burst) is classified as a structured ``store-full`` / ``disk-error``
   failure instead of an anonymous crash.
+
+The client-edge robustness layer (this PR's tentpole):
+
+* **Idempotent submission** — :meth:`Scheduler.submit` accepts an
+  optional client ``idempotency_key`` and always derives the
+  content key (``sha256(dataset bytes) + kind + algorithm + canonical
+  params``); both are bound to the job id in the store's durable
+  submission index under the admission lock, so N concurrent retries
+  of the same POST collapse onto one job directory and get the same id
+  back.
+* **Progress events** — the forked child's ``ctx.step`` callback
+  appends one line per boundary to the job's ``events.jsonl``
+  (composed with the lease heartbeat through :func:`_chain_progress`);
+  lifecycle transitions append their own markers, so
+  ``GET /jobs/{id}/events`` can resume a poll across a server crash
+  with no gap and no torn line.
+* **Result cache** — a completed, non-degraded job's canonical result
+  bytes are stored in the :class:`~repro.server.cache.ResultCache`
+  under the content key; an identical later submission is admitted
+  straight to ``done`` (``cache_hit``) with byte-identical bytes,
+  quota-free.  Corrupt entries are quarantined and recomputed, never
+  served.
 """
 
 from __future__ import annotations
@@ -61,6 +83,7 @@ import errno
 import json
 import os
 import queue
+import shutil
 import signal
 import threading
 import time
@@ -81,9 +104,11 @@ from ..runtime.supervisor import (
     Supervisor,
     SupervisorStopped,
 )
+from .cache import ResultCache, content_key
 from .quotas import QuotaPolicy, job_budget
 from .store import (
     DEFAULT_MAX_FAILURES,
+    TERMINAL_STATES,
     InvalidTransition,
     JobRecord,
     JobStore,
@@ -225,6 +250,25 @@ def execute_job(kind: str, dataset: str, algorithm: str,
     raise ReproError(f"unknown job kind {kind!r}")
 
 
+def _pulse(ctx, phase: str, **info: Any) -> None:
+    """A liveness beat between ``ctx.step`` boundaries.
+
+    Result serialization and rule generation can dwarf a mining pass on
+    dense outputs, and they sit *after* the last ``ctx.step`` — without
+    a beat there the lease goes stale mid-finalize and the reaper
+    reclaims a perfectly healthy job.  Deliberately NOT ``ctx.step``:
+    the budget is not consulted, so a job that finished its mine under
+    ``on_exhausted="truncate"`` still gets to serialize the truncated
+    result instead of tripping ``BudgetExceeded`` at the finish line.
+    Cancellation, by contrast, still applies.
+    """
+    if ctx is None:
+        return
+    ctx.raise_if_cancelled()
+    if ctx.on_progress is not None:
+        ctx.on_progress(phase, dict(info))
+
+
 def _mine_payload(dataset, algorithm, params, ctx) -> Dict[str, Any]:
     from ..associations import generate_rules
     from ..datasets import load_transactions
@@ -239,6 +283,7 @@ def _mine_payload(dataset, algorithm, params, ctx) -> Dict[str, Any]:
     if params.get("n_jobs") is not None:
         kwargs["n_jobs"] = int(params["n_jobs"])
     itemsets = spec.factory(db, min_support, ctx=ctx, **kwargs)
+    _pulse(ctx, "finalize", n_itemsets=len(itemsets))
     payload: Dict[str, Any] = {
         "kind": "mine",
         "algorithm": algorithm,
@@ -254,7 +299,9 @@ def _mine_payload(dataset, algorithm, params, ctx) -> Dict[str, Any]:
     }
     min_confidence = params.get("min_confidence")
     if min_confidence is not None:
+        _pulse(ctx, "rules")
         rules = generate_rules(itemsets, float(min_confidence))
+        _pulse(ctx, "finalize", n_rules=len(rules))
         payload["min_confidence"] = float(min_confidence)
         payload["rules"] = [
             {
@@ -412,6 +459,13 @@ class Scheduler:
         recoveries) is poisoned instead of retried again.
     reap_interval:
         Reaper poll cadence; defaults to a quarter of ``lease_timeout``.
+    result_cache:
+        Optional :class:`~repro.server.cache.ResultCache`.  When set,
+        completed non-degraded results are cached under their content
+        key and identical resubmissions are served from the cache
+        without re-mining; ``None`` disables caching entirely
+        (idempotent *dedupe* of in-flight jobs still works — it rides
+        the store's submission index, not the cache).
     """
 
     def __init__(
@@ -425,8 +479,10 @@ class Scheduler:
         lease_timeout: float = 30.0,
         max_failures: int = DEFAULT_MAX_FAILURES,
         reap_interval: Optional[float] = None,
+        result_cache: Optional[ResultCache] = None,
     ):
         self.store = store
+        self.result_cache = result_cache
         self.quotas = quotas or QuotaPolicy()
         self.workers = max(1, int(workers))
         self.max_retries = max(0, int(max_retries))
@@ -531,25 +587,131 @@ class Scheduler:
     # Submission / cancellation
     # ------------------------------------------------------------------
     def submit(self, tenant: str, kind: str, algorithm: str, dataset: str,
-               params: Optional[Dict[str, Any]] = None) -> JobRecord:
-        """Admit one job: quota check + durable create + enqueue.
+               params: Optional[Dict[str, Any]] = None,
+               idempotency_key: Optional[str] = None) -> JobRecord:
+        """Admit one job: dedupe + cache lookup + quota + durable create.
 
         The admission lock serializes concurrent submits so two racing
-        requests cannot both squeeze past the same quota headroom.
+        requests cannot both squeeze past the same quota headroom — and
+        so N concurrent retries of the *same* submission (same
+        ``idempotency_key``, or byte-identical dataset + algorithm +
+        params) resolve to exactly one job directory:
+
+        * an **in-flight** duplicate returns the existing record with a
+          transient ``deduplicated`` marker (the API answers 200, not
+          202) — no new work, no quota charge;
+        * a duplicate of a **completed** job whose result sits in the
+          cache is admitted straight to ``done`` with ``cache_hit``
+          set, quota-free (no work is burned — rejecting a free answer
+          on backlog grounds would punish exactly the cheap requests);
+        * everything else is a fresh admission: quota check, durable
+          create, index bind, enqueue.
+
         Raises :class:`~repro.server.quotas.OverQuota` on rejection and
         :class:`Draining` while the server is shutting down — nothing
         is persisted in either case.
         """
         if self._draining.is_set():
             raise Draining()
+        params = dict(params or {})
+        ckey = content_key(kind, algorithm, dataset, params)
+        keys = []
+        if idempotency_key:
+            keys.append(f"user:{idempotency_key}")
+        if ckey is not None:
+            keys.append(f"content:{ckey}")
         with self._admission_lock:
+            existing = self._find_inflight(keys)
+            if existing is not None:
+                return existing
+            cached = self._cached_result(ckey)
+            if cached is not None:
+                return self._admit_from_cache(
+                    tenant, kind, algorithm, dataset, params,
+                    ckey, keys, cached,
+                )
             self.quotas.admit(tenant, self.store.counts(tenant))
             record = self.store.create(
                 tenant=tenant, kind=kind, algorithm=algorithm,
-                dataset=dataset, params=params,
+                dataset=dataset, params=params, content_key=ckey,
             )
+            self._bind_or_rollback(keys, record.job_id)
         self._queue.put(record.job_id)
         return record
+
+    def _find_inflight(self, keys: List[str]) -> Optional[JobRecord]:
+        """The live (non-terminal) job already bound to one of ``keys``.
+
+        Terminal bindings fall through: a *finished* duplicate is the
+        cache's business (or a genuine re-run if caching is off /
+        the result was degraded), not a dedupe.
+        """
+        for key in keys:
+            job_id = self.store.lookup_submission(key)
+            if job_id is None:
+                continue
+            try:
+                record = self.store.get(job_id)
+            except JobStoreError:
+                continue
+            if record.state in TERMINAL_STATES:
+                continue
+            # Transient marker, not a persisted field: only this
+            # response needs to know it was a dedupe.
+            record.deduplicated = True
+            return record
+        return None
+
+    def _cached_result(self, ckey: Optional[str]) -> Optional[bytes]:
+        if self.result_cache is None or ckey is None:
+            return None
+        return self.result_cache.get(ckey)
+
+    def _admit_from_cache(self, tenant: str, kind: str, algorithm: str,
+                          dataset: str, params: Dict[str, Any],
+                          ckey: str, keys: List[str],
+                          data: bytes) -> JobRecord:
+        """Admit a duplicate submission directly to ``done`` from cache.
+
+        A *new* job record is created (each submission keeps its own
+        auditable history) but its result bytes come verbatim from the
+        cache — byte-identical to the original run — and it never
+        enters the queue.  Any disk fault mid-admission rolls the whole
+        directory back so the exactly-one-dir invariant holds even
+        under ENOSPC storms.
+        """
+        record = self.store.create(
+            tenant=tenant, kind=kind, algorithm=algorithm,
+            dataset=dataset, params=params, content_key=ckey,
+        )
+        job_id = record.job_id
+        try:
+            self.store.write_result_bytes(job_id, data)
+            for key in keys:
+                self.store.bind_submission(key, job_id)
+            return self.store.transition(
+                job_id, "done", cache_hit=True,
+                event_info={"cache_hit": True},
+            )
+        except OSError:
+            shutil.rmtree(self.store.job_dir(job_id), ignore_errors=True)
+            raise
+
+    def _bind_or_rollback(self, keys: List[str], job_id: str) -> None:
+        """Bind submission keys, or roll the whole create back.
+
+        A half-admitted job (directory exists, index bind failed) would
+        break the duplicate-storm invariant the moment the next retry
+        cannot find it: two directories for one submission.  Undoing
+        the create keeps the failure atomic — the client retries, and
+        whichever retry gets a healthy disk wins cleanly.
+        """
+        try:
+            for key in keys:
+                self.store.bind_submission(key, job_id)
+        except OSError:
+            shutil.rmtree(self.store.job_dir(job_id), ignore_errors=True)
+            raise
 
     def cancel(self, job_id: str) -> JobRecord:
         """Durably request cancellation (see :meth:`JobStore.request_cancel`)."""
@@ -608,6 +770,7 @@ class Scheduler:
             record = store.transition(
                 job_id, "running", expect="queued",
                 attempts=record.attempts + 1,
+                event_info={"attempt": record.attempts + 1},
             )
         except InvalidTransition:
             return  # cancelled (or otherwise moved) while queued
@@ -616,10 +779,22 @@ class Scheduler:
             self._active[job_id] = active
         try:
             payload = self._execute(record, active)
-            store.write_result_bytes(job_id, canonical_result_bytes(payload))
+            # The child is gone; from here the *worker thread* is the
+            # one making progress, so it owns the heartbeat while it
+            # canonicalizes and lands a possibly-large result.
+            store.touch_lease(job_id)
+            data = canonical_result_bytes(payload)
+            store.touch_lease(job_id)
+            store.write_result_bytes(job_id, data)
+            # Cache *before* the done transition: the moment a poller
+            # can observe ``done``, an identical resubmission must be
+            # able to hit the cache.  (The insert is best-effort, so
+            # this ordering costs nothing on the failure path.)
+            self._cache_result(record, payload, data)
             store.transition(
                 job_id, "done",
                 degraded=bool(payload.get("degraded")), error=None,
+                event_info={"degraded": bool(payload.get("degraded"))},
             )
         except OperationCancelled:
             self._finish(job_id, "cancelled")
@@ -693,7 +868,7 @@ class Scheduler:
         """
         job_id = record.job_id
         if reason == "drain":
-            self._finish(job_id, "queued")
+            self._finish(job_id, "queued", event_info={"reason": "drain"})
             return
         count = self._append_failure(job_id, {
             "cause": reason,
@@ -704,7 +879,8 @@ class Scheduler:
         if count >= self.max_failures:
             self._poison(job_id, count)
             return
-        self._finish(job_id, "queued", recoveries=record.recoveries + 1)
+        self._finish(job_id, "queued", recoveries=record.recoveries + 1,
+                     event_info={"reason": reason})
         self._queue.put(job_id)
 
     def _append_failure(self, job_id: str, entry: Dict[str, Any]) -> int:
@@ -726,10 +902,42 @@ class Scheduler:
         self._finish(job_id, "poisoned", error=error)
 
     def _finish(self, job_id: str, state: str, **changes: Any) -> None:
+        error = changes.get("error")
+        if "event_info" not in changes and isinstance(error, dict):
+            # Surface the failure taxonomy in the event stream too, so
+            # a poller learns *why* without refetching the full record.
+            changes["event_info"] = {"cause": error.get("cause")}
         try:
             self.store.transition(job_id, state, **changes)
         except (JobStoreError, OSError):  # pragma: no cover - store died
             pass
+
+    def _cache_result(self, record: JobRecord, payload: Dict[str, Any],
+                      data: bytes) -> None:
+        """Best-effort cache insert after a successful completion.
+
+        Degraded (quota-truncated) results are never cached: their
+        shape depends on the *submitting* tenant's budget, and serving
+        one tenant's truncation to another would be a correctness (and
+        isolation) bug.  A disk fault here is swallowed — the result
+        itself is already durably stored; the cache is an optimization.
+        """
+        if (self.result_cache is None or not record.content_key
+                or payload.get("degraded")):
+            return
+        try:
+            self.result_cache.put(record.content_key, data)
+        except OSError:
+            pass
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """The ``/healthz`` cache block (all-zero when disabled)."""
+        if self.result_cache is None:
+            return {"enabled": False, "entries": 0, "hits": 0,
+                    "misses": 0, "quarantined": 0}
+        stats: Dict[str, Any] = {"enabled": True}
+        stats.update(self.result_cache.stats())
+        return stats
 
     # ------------------------------------------------------------------
     # The lease reaper
@@ -769,7 +977,8 @@ class Scheduler:
                 self._poison(record.job_id, count)
                 continue
             self._finish(record.job_id, "queued",
-                         recoveries=record.recoveries + 1)
+                         recoveries=record.recoveries + 1,
+                         event_info={"reason": "lease-expired"})
             self._queue.put(record.job_id)
 
     def _execute(self, record: JobRecord,
@@ -780,15 +989,23 @@ class Scheduler:
         job_id = record.job_id
         store = self.store
 
-        def heartbeat(phase, info):
+        appender = store.event_appender(job_id)
+
+        def record_progress(phase, info):
             # Runs inside the forked child at every ctx.step: the lease
-            # file is the only liveness channel that crosses the fork.
+            # file is the only liveness channel that crosses the fork,
+            # and the event log rides the same boundary.  The appender
+            # is deliberately created unprimed here (pre-fork): each
+            # supervised attempt primes it lazily in its own child, so
+            # the seq counter always continues from what is actually on
+            # disk — including events a killed earlier attempt wrote.
             store.touch_lease(job_id)
+            appender.append(phase, info)
 
         ctx = ExecutionContext(
             budget=budget,
             cancel_token=FileCancelToken(store.cancel_path(job_id)),
-            on_progress=heartbeat,
+            on_progress=record_progress,
         )
         args = (record.kind, record.dataset, record.algorithm, record.params)
         if spec.capabilities.supervisable:

@@ -9,7 +9,16 @@ root::
         checkpoints/    # the job's CheckpointStore (resumable snapshots)
         scratch/        # the Supervisor's result-transport files
         result.json     # canonical result bytes, written atomically
+        events.jsonl    # append-only progress/lifecycle event log
         cancel          # marker file: cancellation requested
+        failures.json   # dead-letter history (one entry per bad attempt)
+
+    <root>/_index/      # idempotency/content key -> job id bindings
+    <root>/_cache/      # the ResultCache (when the server enables it)
+
+Underscore-prefixed directories under the root are reserved for these
+store-level planes; job ids (uuid hex) can never collide with them and
+the recovery scan skips them.
 
 ``job.json`` is persisted with the same write-temp → fsync → rename
 protocol the checkpoint store uses, so a server SIGKILLed mid-update
@@ -41,21 +50,41 @@ Two robustness planes added by the lease/poison layer:
   expiries, recovery bumps).  Past the configurable cap the job is
   *poisoned*: a terminal quarantine state that ends the infinite
   crash-retry loop while keeping the full post-mortem on disk.
+
+And two client-edge planes:
+
+* **Event log** — ``events.jsonl`` per job is the crash-safe progress
+  stream: one JSON object per line (the
+  :func:`~repro.runtime.context.progress_event` shape), appended
+  through :func:`~repro.runtime.fsio.append_bytes` by the forked
+  child's progress chain and by :meth:`JobStore.transition` for
+  lifecycle edges (``submitted``/``running``/``requeued``/``done``...).
+  Reads treat the first unparsable line as the end of the log, so a
+  power cut mid-append never breaks a poll; writers (and the boot
+  sweep) truncate the torn tail before extending, so sequence numbers
+  stay gapless across any number of crashes.
+* **Submission index** — ``_index/`` maps idempotency keys (explicit
+  client keys and content-derived fallback keys) to job ids, written
+  atomically, so a retried POST lands on the job the first attempt
+  created instead of double-enqueueing the work.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import shutil
 import threading
 import time
 import uuid
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..core.exceptions import ReproError
-from ..runtime.fsio import atomic_write_bytes
+from ..runtime.context import progress_event
+from ..runtime.fsio import append_bytes, atomic_write_bytes
 from ..runtime.transport import sweep_stale_tmp
 
 #: every state a job record can be in.
@@ -69,9 +98,11 @@ TERMINAL_STATES = frozenset({"done", "failed", "cancelled", "poisoned"})
 DEFAULT_MAX_FAILURES = 3
 
 #: the legal state machine; ``running → queued`` is the recovery edge,
-#: ``→ poisoned`` the dead-letter quarantine past the failure cap.
+#: ``queued → done`` the cache-hit edge (a job admitted with its result
+#: already known never runs), ``→ poisoned`` the dead-letter quarantine
+#: past the failure cap.
 _TRANSITIONS = {
-    "queued": {"running", "cancelled", "poisoned"},
+    "queued": {"running", "done", "cancelled", "poisoned"},
     "running": {"done", "failed", "cancelled", "queued", "poisoned"},
     "done": set(),
     "failed": set(),
@@ -84,6 +115,8 @@ _RESULT_NAME = "result.json"
 _CANCEL_NAME = "cancel"
 _LEASE_NAME = "lease"
 _FAILURES_NAME = "failures.json"
+_EVENTS_NAME = "events.jsonl"
+_INDEX_DIR = "_index"
 
 
 class JobStoreError(ReproError, RuntimeError):
@@ -123,6 +156,8 @@ class JobRecord:
     attempts: int = 0
     recoveries: int = 0
     degraded: bool = False
+    cache_hit: bool = False
+    content_key: Optional[str] = None
     cancel_requested: bool = False
     error: Optional[Dict[str, Any]] = None
 
@@ -148,6 +183,94 @@ class JobRecord:
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
     """write-temp → fsync → rename, plus a directory fsync."""
     atomic_write_bytes(path, data)
+
+
+# ----------------------------------------------------------------------
+# Event log
+# ----------------------------------------------------------------------
+def _encode_event(event: Dict[str, Any]) -> bytes:
+    # default=repr: a progress hook may pass any object; an event log
+    # must never be the thing that crashes the run reporting on it.
+    return (json.dumps(event, sort_keys=True, separators=(",", ":"),
+                       default=repr) + "\n").encode()
+
+
+def scan_events(path: Union[str, Path]) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse an ``events.jsonl``: (events, byte length of valid prefix).
+
+    Parsing stops at the first line that is torn (no trailing newline)
+    or not a JSON object.  With a single sequential appender the only
+    way such a line appears is a tear at the tail — a power cut or
+    SIGKILL mid-append — so everything before it is the trustworthy
+    prefix and everything from it on is the tear.  A missing file is an
+    empty log.
+    """
+    try:
+        raw = Path(path).read_bytes()
+    except OSError:
+        return [], 0
+    events: List[Dict[str, Any]] = []
+    end = 0
+    for line in raw.splitlines(keepends=True):
+        if not line.endswith(b"\n"):
+            break
+        try:
+            event = json.loads(line)
+        except ValueError:
+            break
+        if not isinstance(event, dict):
+            break
+        events.append(event)
+        end += len(line)
+    return events, end
+
+
+class EventAppender:
+    """Single-writer append handle for one job's ``events.jsonl``.
+
+    Created by the scheduler *before* the fork and used from inside the
+    forked child's progress chain; initialization is lazy (first
+    append), so the sequence counter is read in the writer process,
+    after the tail repair, and each supervised retry attempt re-primes
+    in its own child and continues the sequence where the previous
+    attempt's tear left off.
+
+    Appends are fail-soft: a disk fault drops the event — without
+    consuming its sequence number, keeping the log gapless — rather
+    than killing the job that was reporting progress.  The event log is
+    the observability plane, not the durability plane; ``job.json`` and
+    the checkpoints own correctness.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._next_seq: Optional[int] = None
+
+    def _prime(self) -> int:
+        events, end = scan_events(self.path)
+        try:
+            # Truncate a torn tail before extending: appending after a
+            # newline-less fragment would weld the fragment onto the
+            # new event and corrupt *both*.
+            if self.path.exists() and self.path.stat().st_size > end:
+                os.truncate(self.path, end)
+        except OSError:
+            pass
+        return len(events)
+
+    def append(self, phase: str,
+               info: Optional[Mapping[str, Any]] = None,
+               ) -> Optional[Dict[str, Any]]:
+        """Append one event; returns it, or ``None`` when dropped."""
+        if self._next_seq is None:
+            self._next_seq = self._prime()
+        event = progress_event(self._next_seq, phase, info)
+        try:
+            append_bytes(self.path, _encode_event(event))
+        except OSError:
+            return None
+        self._next_seq += 1
+        return event
 
 
 class JobStore:
@@ -191,6 +314,12 @@ class JobStore:
     def failures_path(self, job_id: str) -> Path:
         return self.job_dir(job_id) / _FAILURES_NAME
 
+    def events_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / _EVENTS_NAME
+
+    def index_dir(self) -> Path:
+        return self.root / _INDEX_DIR
+
     # ------------------------------------------------------------------
     # Record lifecycle
     # ------------------------------------------------------------------
@@ -202,8 +331,14 @@ class JobStore:
         dataset: str,
         params: Optional[Dict[str, Any]] = None,
         job_id: Optional[str] = None,
+        content_key: Optional[str] = None,
     ) -> JobRecord:
-        """Persist a fresh ``queued`` record and return it."""
+        """Persist a fresh ``queued`` record and return it.
+
+        A record write that fails (full disk) removes the job directory
+        again: a half-created job must not survive to shadow a later
+        submission with the same idempotency key.
+        """
         with self._lock:
             job_id = job_id or uuid.uuid4().hex[:12]
             if self.record_path(job_id).exists():
@@ -214,9 +349,15 @@ class JobStore:
                 algorithm=algorithm, dataset=dataset,
                 params=dict(params or {}), state="queued",
                 created_at=now, updated_at=now,
+                content_key=content_key,
             )
             self.job_dir(job_id).mkdir(parents=True, exist_ok=True)
-            self._save(record)
+            try:
+                self._save(record)
+            except BaseException:
+                shutil.rmtree(self.job_dir(job_id), ignore_errors=True)
+                raise
+            self.append_event(job_id, "submitted", {"tenant": tenant})
             return record
 
     def _save(self, record: JobRecord) -> None:
@@ -289,6 +430,7 @@ class JobStore:
         job_id: str,
         to_state: str,
         expect: Optional[str] = None,
+        event_info: Optional[Dict[str, Any]] = None,
         **changes: Any,
     ) -> JobRecord:
         """Move a job along the state machine, persisting atomically.
@@ -296,6 +438,13 @@ class JobStore:
         ``expect`` (optional) makes the transition conditional on the
         current state — the scheduler uses it so a job cancelled while
         queued is never yanked back to ``running``.
+
+        Every successful transition also appends a lifecycle event to
+        the job's event log (phase = the new state, except the
+        ``→ queued`` recovery/drain edge which is the explicit
+        ``requeued`` event); ``event_info`` rides along as the event's
+        ``info`` payload.  The append is fail-soft — the state record
+        is the durability plane, the log the observability plane.
         """
         with self._lock:
             record = self.get(job_id)
@@ -328,6 +477,8 @@ class JobStore:
                     self.lease_path(job_id).unlink()
                 except OSError:
                     pass
+            phase = "requeued" if to_state == "queued" else to_state
+            self.append_event(job_id, phase, event_info)
             return record
 
     # ------------------------------------------------------------------
@@ -389,6 +540,92 @@ class JobStore:
 
     def failure_count(self, job_id: str) -> int:
         return len(self.read_failures(job_id))
+
+    # ------------------------------------------------------------------
+    # Event log
+    # ------------------------------------------------------------------
+    def event_appender(self, job_id: str) -> EventAppender:
+        """A single-writer append handle for the job's event log."""
+        return EventAppender(self.events_path(job_id))
+
+    def append_event(self, job_id: str, phase: str,
+                     info: Optional[Mapping[str, Any]] = None,
+                     ) -> Optional[Dict[str, Any]]:
+        """One-shot lifecycle append (scans for the next seq; fail-soft)."""
+        return EventAppender(self.events_path(job_id)).append(phase, info)
+
+    def read_events(
+        self, job_id: str, offset: int = 0,
+    ) -> Tuple[List[Dict[str, Any]], int]:
+        """Events from position ``offset`` on, plus the next offset.
+
+        The resumable-poll contract: a client that stored
+        ``next_offset`` from its last read gets exactly the events
+        appended since, no gap, no repeat — a torn tail line (power cut
+        mid-append) is treated as the end of the log, never served.
+        """
+        events, _end = scan_events(self.events_path(job_id))
+        offset = max(0, int(offset))
+        return events[offset:], len(events)
+
+    def repair_events_tail(self, job_id: str) -> bool:
+        """Truncate a torn final event line; True when bytes dropped.
+
+        Run by the boot sweep so a power cut mid-append can never fail
+        a job load or weld garbage onto the next appended event.
+        """
+        path = self.events_path(job_id)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return False
+        _events, end = scan_events(path)
+        if end >= size:
+            return False
+        try:
+            os.truncate(path, end)
+        except OSError:
+            return False
+        return True
+
+    def events_appended_total(self) -> int:
+        """Valid events across every job's log (the /healthz counter)."""
+        total = 0
+        if not self.root.is_dir():
+            return total
+        for entry in self.root.iterdir():
+            if not entry.is_dir() or entry.name.startswith("_"):
+                continue
+            total += len(scan_events(entry / _EVENTS_NAME)[0])
+        return total
+
+    # ------------------------------------------------------------------
+    # Submission index (idempotency keys)
+    # ------------------------------------------------------------------
+    def _index_path(self, key: str) -> Path:
+        # Keys are hashed to a fixed-width name: client-supplied
+        # Idempotency-Key strings must never become path components.
+        name = hashlib.sha256(key.encode()).hexdigest()
+        return self.index_dir() / f"{name}.json"
+
+    def bind_submission(self, key: str, job_id: str) -> None:
+        """Durably map an idempotency/content key to a job id."""
+        with self._lock:
+            self.index_dir().mkdir(parents=True, exist_ok=True)
+            data = (json.dumps({"key": key, "job_id": job_id},
+                               sort_keys=True) + "\n").encode()
+            atomic_write_bytes(self._index_path(key), data)
+
+    def lookup_submission(self, key: str) -> Optional[str]:
+        """The job id a key is bound to; ``None`` if absent or corrupt."""
+        try:
+            payload = json.loads(self._index_path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        job_id = payload.get("job_id")
+        return job_id if isinstance(job_id, str) else None
 
     # ------------------------------------------------------------------
     # Cancellation
@@ -455,7 +692,11 @@ class JobStore:
         * a job directory with *no* ``job.json`` at all — a ``create()``
           torn mid-write — is removed outright;
         * stray ``.job.json.tmp`` / ``.result.json.tmp`` /
-          ``.failures.json.tmp`` halves are deleted.
+          ``.failures.json.tmp`` halves are deleted;
+        * a torn final ``events.jsonl`` line (power cut mid-append) is
+          truncated away so the log ends on a valid event;
+        * reserved underscore directories (``_index/``, ``_cache/``)
+          are skipped — they are store metadata, not job dirs.
 
         Returns the records that were re-enqueued (poisoned jobs are
         discoverable via ``list(states=("poisoned",))``).
@@ -464,9 +705,12 @@ class JobStore:
             recovered: List[JobRecord] = []
             if not self.root.is_dir():
                 return recovered
+            if self.index_dir().is_dir():
+                sweep_stale_tmp(self.index_dir())
             for entry in sorted(self.root.iterdir()):
-                if not entry.is_dir():
+                if not entry.is_dir() or entry.name.startswith("_"):
                     continue
+                self.repair_events_tail(entry.name)
                 sweep_stale_tmp(entry, pattern=f".{_RECORD_NAME}.tmp")
                 sweep_stale_tmp(entry, pattern=f".{_RESULT_NAME}.tmp")
                 sweep_stale_tmp(entry, pattern=f".{_FAILURES_NAME}.tmp")
@@ -512,6 +756,8 @@ class JobStore:
                 recovered.append(self.transition(
                     record.job_id, "queued",
                     recoveries=record.recoveries + 1,
+                    event_info={"reason": "recovery",
+                                "recovery": record.recoveries + 1},
                 ))
             return recovered
 
@@ -535,9 +781,11 @@ __all__ = [
     "DEFAULT_MAX_FAILURES",
     "STATES",
     "TERMINAL_STATES",
+    "EventAppender",
     "InvalidTransition",
     "JobRecord",
     "JobStore",
     "JobStoreError",
     "UnknownJob",
+    "scan_events",
 ]

@@ -85,7 +85,12 @@ class TestAtomicWriteMatrix:
         atomic_write_bytes(target, b"old-and-complete")
         gremlin = DiskGremlin(op=op, after=0, burst=None)
         with injected(gremlin):
-            if op == "fsync-dir":
+            if op == "append":
+                # The append plane is a different protocol entirely: a
+                # gremlin on it must not touch atomic writes at all.
+                atomic_write_bytes(target, b"new-and-complete")
+                assert target.read_bytes() == b"new-and-complete"
+            elif op == "fsync-dir":
                 # The rename already landed; only the durability of the
                 # *directory entry* is at stake, and the error surfaces.
                 with pytest.raises(OSError):
@@ -105,6 +110,25 @@ class TestAtomicWriteMatrix:
             with pytest.raises(OSError):
                 atomic_write_bytes(target, b"data")
         assert list(tmp_path.iterdir()) == []
+
+    def test_append_fault_surfaces_and_preserves_prefix(self, tmp_path):
+        from repro.runtime.fsio import append_bytes
+
+        target = tmp_path / "events.jsonl"
+        append_bytes(target, b"line-1\n")
+        with injected(DiskGremlin(op="append", after=0, burst=1)):
+            with pytest.raises(OSError):
+                append_bytes(target, b"line-2\n")
+            append_bytes(target, b"line-3\n")  # the disk healed
+        assert target.read_bytes() == b"line-1\nline-3\n"
+
+    def test_write_fault_does_not_touch_appends(self, tmp_path):
+        from repro.runtime.fsio import append_bytes
+
+        target = tmp_path / "events.jsonl"
+        with injected(DiskGremlin(op="write", after=0, burst=None)):
+            append_bytes(target, b"line-1\n")
+        assert target.read_bytes() == b"line-1\n"
 
     def test_torn_rename_leaves_tmp_for_the_sweep(self, tmp_path):
         target = tmp_path / "record.json"

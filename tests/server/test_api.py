@@ -37,11 +37,12 @@ def server(tmp_path):
         thread.join(timeout=5.0)
 
 
-def _call(httpd, method, path, body=None):
+def _call(httpd, method, path, body=None, headers=None):
     port = httpd.server_address[1]
     request = urllib.request.Request(
         f"http://127.0.0.1:{port}{path}", method=method,
         data=json.dumps(body).encode() if body is not None else None,
+        headers=headers or {},
     )
     try:
         with urllib.request.urlopen(request, timeout=30) as response:
@@ -196,10 +197,12 @@ class TestRejections:
 
     def test_over_quota_429_with_retry_after(self, server, basket_path):
         httpd, _scheduler = server
-        slow = {"min_support": 0.02, "pass_delay": 0.5}
         accepted = []
         rejected = None
-        for _ in range(4):
+        for n in range(4):
+            # Distinct params per request: identical submissions would
+            # now deduplicate onto one job and never fill the backlog.
+            slow = {"min_support": 0.02, "pass_delay": 0.5, "nonce": n}
             status, headers, payload = _submit(
                 httpd, basket_path, tenant="burst", params=slow,
             )
@@ -325,3 +328,191 @@ class TestValidateSubmission:
             validate_submission({
                 "kind": "classify", "algorithm": "c45", "dataset": "d.csv",
             })
+
+
+class TestClientEdge:
+    """Idempotent resubmission, the events route, and request hardening."""
+
+    def test_healthz_reports_cache_and_events(self, server):
+        httpd, _scheduler = server
+        _status, _headers, payload = _call(httpd, "GET", "/healthz")
+        cache = payload["cache"]
+        assert cache["enabled"] is True
+        assert {"entries", "hits", "misses", "quarantined"} <= set(cache)
+        assert isinstance(payload["events_appended"], int)
+
+    def test_duplicate_post_is_200_same_id(self, server, basket_path):
+        httpd, _scheduler = server
+        slow = {"min_support": 0.02, "pass_delay": 0.3}
+        status, _h, first = _submit(httpd, basket_path, params=slow)
+        assert status == 202
+        status, _h, second = _submit(httpd, basket_path, params=slow)
+        assert status == 200
+        assert second["job_id"] == first["job_id"]
+        assert second["deduplicated"] is True
+        _wait_state(httpd, first["job_id"], ("done",))
+
+    def test_idempotency_key_header_dedupes(self, server, basket_path):
+        httpd, _scheduler = server
+        headers = {"Idempotency-Key": "client-retry-7"}
+        body = {"kind": "mine", "algorithm": "apriori",
+                "dataset": basket_path,
+                "params": {"min_support": 0.02, "pass_delay": 0.3}}
+        status, _h, first = _call(httpd, "POST", "/jobs", body,
+                                  headers=headers)
+        assert status == 202
+        # Same key, different params: still the same job.
+        body["params"] = {"min_support": 0.05, "pass_delay": 0.3}
+        status, _h, second = _call(httpd, "POST", "/jobs", body,
+                                   headers=headers)
+        assert status == 200
+        assert second["job_id"] == first["job_id"]
+        _wait_state(httpd, first["job_id"], ("done",))
+
+    def test_bad_idempotency_key_400(self, server, basket_path):
+        httpd, _scheduler = server
+        body = {"kind": "mine", "algorithm": "apriori",
+                "dataset": basket_path}
+        status, _h, payload = _call(
+            httpd, "POST", "/jobs", body,
+            headers={"Idempotency-Key": "x" * 300},
+        )
+        assert status == 400
+        assert payload["reason"] == "bad-idempotency-key"
+
+    def test_cached_resubmission_via_http(self, server, basket_path):
+        httpd, scheduler = server
+        params = {"min_support": 0.05, "nonce": "cache-http"}
+        _s, _h, first = _submit(httpd, basket_path, params=params)
+        _wait_state(httpd, first["job_id"], ("done",))
+        status, _h, second = _submit(httpd, basket_path, params=params)
+        assert status == 202
+        record = _wait_state(httpd, second["job_id"], ("done",))
+        assert record["cache_hit"] is True
+        assert (scheduler.store.read_result_bytes(second["job_id"])
+                == scheduler.store.read_result_bytes(first["job_id"]))
+        _s, _h, health = _call(httpd, "GET", "/healthz")
+        assert health["cache"]["hits"] >= 1
+
+    def test_events_route_resumable(self, server, basket_path):
+        httpd, _scheduler = server
+        params = {"min_support": 0.05, "nonce": "events-http"}
+        _s, _h, record = _submit(httpd, basket_path, params=params)
+        job_id = record["job_id"]
+        _wait_state(httpd, job_id, ("done",))
+        status, _h, payload = _call(httpd, "GET", f"/jobs/{job_id}/events")
+        assert status == 200
+        phases = [e["phase"] for e in payload["events"]]
+        assert phases[0] == "submitted" and phases[-1] == "done"
+        assert payload["next_offset"] == len(phases)
+        # Resume from next_offset: nothing new, same offset back.
+        status, _h, tail = _call(
+            httpd, "GET",
+            f"/jobs/{job_id}/events?offset={payload['next_offset']}",
+        )
+        assert status == 200
+        assert tail["events"] == []
+        assert tail["next_offset"] == payload["next_offset"]
+
+    def test_events_route_errors(self, server, basket_path):
+        httpd, _scheduler = server
+        assert _call(httpd, "GET", "/jobs/missing/events")[0] == 404
+        _s, _h, record = _submit(
+            httpd, basket_path,
+            params={"min_support": 0.05, "nonce": "events-err"},
+        )
+        status, _h, payload = _call(
+            httpd, "GET", f"/jobs/{record['job_id']}/events?offset=bogus"
+        )
+        assert status == 400
+        assert payload["reason"] == "bad-offset"
+        _wait_state(httpd, record["job_id"], ("done",))
+
+
+def _raw_http(httpd, data, timeout=10.0):
+    """Send raw bytes, return everything the server answers."""
+    import socket
+
+    port = httpd.server_address[1]
+    with socket.create_connection(("127.0.0.1", port),
+                                  timeout=timeout) as sock:
+        sock.sendall(data)
+        chunks = b""
+        while True:
+            try:
+                part = sock.recv(65536)
+            except socket.timeout:
+                break
+            if not part:
+                break
+            chunks += part
+    return chunks
+
+
+class TestRequestHardening:
+    def test_payload_too_large_413(self, server):
+        httpd, _scheduler = server
+        response = _raw_http(
+            httpd,
+            b"POST /jobs HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 2000000\r\n\r\n",
+        )
+        head, _, body = response.partition(b"\r\n\r\n")
+        assert b"413" in head.splitlines()[0]
+        assert b"payload-too-large" in body
+
+    def test_malformed_json_structured_400(self, server):
+        httpd, _scheduler = server
+        payload = b"{this is not json"
+        response = _raw_http(
+            httpd,
+            b"POST /jobs HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(payload)}\r\n\r\n".encode()
+            + payload
+            + b"",
+        )
+        head, _, body = response.partition(b"\r\n\r\n")
+        assert b"400" in head.splitlines()[0]
+        parsed = json.loads(body.split(b"\r\n\r\n")[-1] or body)
+        assert parsed["reason"] == "invalid-json"
+        assert "capabilities" not in parsed
+
+    def test_bad_content_length_400(self, server):
+        httpd, _scheduler = server
+        response = _raw_http(
+            httpd,
+            b"POST /jobs HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: banana\r\n\r\n",
+        )
+        head, _, body = response.partition(b"\r\n\r\n")
+        assert b"400" in head.splitlines()[0]
+        assert b"bad-content-length" in body
+
+    def test_slow_loris_connection_dropped(self, tmp_path):
+        httpd, scheduler = build_server(
+            str(tmp_path / "loris-store"), port=0, workers=1,
+            request_timeout=0.5,
+        )
+        scheduler.start()
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            start = time.monotonic()
+            # Headers promise a body that never arrives: the handler
+            # thread must give up and close, not wait forever.
+            response = _raw_http(
+                httpd,
+                b"POST /jobs HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 100\r\n\r\n",
+                timeout=10.0,
+            )
+            elapsed = time.monotonic() - start
+            assert response == b""  # dropped without an answer
+            assert elapsed < 8.0
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            scheduler.stop()
+            thread.join(timeout=5.0)

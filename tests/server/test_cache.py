@@ -1,0 +1,237 @@
+"""Result cache: integrity checking, quarantine, cache-hit admission."""
+
+import time
+
+import pytest
+
+from repro.runtime.faults import DiskGremlin
+from repro.runtime.fsio import clear_injector, install_injector
+from repro.server.cache import MAGIC, ResultCache, content_key
+from repro.server.quotas import QuotaPolicy, TenantQuota
+from repro.server.scheduler import Scheduler
+from repro.server.store import JobStore
+
+DEADLINE = 60.0
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "store")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    clear_injector()
+    yield
+    clear_injector()
+
+
+def _wait_terminal(store, job_id, deadline=DEADLINE):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        record = store.get(job_id)
+        if record.state in ("done", "failed", "cancelled"):
+            return record
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+class TestResultCacheUnit:
+    def test_roundtrip(self, cache):
+        cache.put("k1", b'{"answer":42}\n')
+        assert cache.get("k1") == b'{"answer":42}\n'
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 0,
+                                 "quarantined": 0}
+
+    def test_miss(self, cache):
+        assert cache.get("absent") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_overwrite(self, cache):
+        cache.put("k", b"old")
+        cache.put("k", b"new")
+        assert cache.get("k") == b"new"
+        assert cache.entries() == 1
+
+    @pytest.mark.parametrize("corrupt", [
+        lambda raw: raw[:-3],                          # truncated payload
+        lambda raw: raw[: len(MAGIC)],                 # header only
+        lambda raw: b"XX" + raw[2:],                   # wrong magic
+        lambda raw: raw[:-1] + bytes([raw[-1] ^ 1]),   # flipped bit
+        lambda raw: b"",                               # empty file
+    ])
+    def test_corruption_is_quarantined_never_served(self, cache, corrupt):
+        cache.put("k", b'{"answer":42}\n')
+        path = cache.entry_path("k")
+        path.write_bytes(corrupt(path.read_bytes()))
+        assert cache.get("k") is None  # a wrong answer is never served
+        assert cache.entries() == 0
+        assert cache.quarantined() == 1
+        # The damaged bytes are kept aside for post-mortem.
+        assert path.with_name(path.name + ".quarantined").exists()
+        # The key is reusable: a recompute repopulates it cleanly.
+        cache.put("k", b'{"answer":42}\n')
+        assert cache.get("k") == b'{"answer":42}\n'
+
+    def test_put_failure_raises_oserror(self, cache):
+        gremlin = DiskGremlin(op="write", after=0, burst=1,
+                              match=str(cache.root))
+        install_injector(gremlin)
+        with pytest.raises(OSError):
+            cache.put("k", b"data")
+        clear_injector()
+        assert cache.entries() == 0  # atomic: no torn entry visible
+
+
+class TestCacheHitAdmission:
+    def _scheduler(self, store, tmp_path, **kwargs):
+        return Scheduler(store, workers=1,
+                         result_cache=ResultCache(tmp_path / "cache"),
+                         **kwargs)
+
+    def test_identical_resubmission_served_from_cache(
+        self, store, tmp_path, basket_path
+    ):
+        scheduler = self._scheduler(store, tmp_path)
+        scheduler.start()
+        try:
+            params = {"min_support": 0.05}
+            first = scheduler.submit("t", "mine", "apriori", basket_path,
+                                     params)
+            done = _wait_terminal(store, first.job_id)
+            assert done.state == "done", done.error
+            original = store.read_result_bytes(first.job_id)
+
+            second = scheduler.submit("t", "mine", "apriori", basket_path,
+                                      params)
+            # Admitted straight to done — no queue wait, no re-mining.
+            fresh = store.get(second.job_id)
+            assert fresh.state == "done"
+            assert fresh.cache_hit is True
+            assert second.job_id != first.job_id
+            assert store.read_result_bytes(second.job_id) == original
+            events, _ = store.read_events(second.job_id)
+            assert [e["phase"] for e in events] == ["submitted", "done"]
+            assert events[-1]["info"] == {"cache_hit": True}
+        finally:
+            scheduler.stop()
+
+    def test_cache_hit_bypasses_backlog_quota(
+        self, store, tmp_path, basket_path
+    ):
+        quotas = QuotaPolicy(default=TenantQuota(max_queued=1))
+        scheduler = self._scheduler(store, tmp_path, quotas=quotas)
+        scheduler.start()
+        try:
+            params = {"min_support": 0.05}
+            first = scheduler.submit("t", "mine", "apriori", basket_path,
+                                     params)
+            _wait_terminal(store, first.job_id)
+        finally:
+            scheduler.stop()
+        # Fill the backlog (scheduler stopped: jobs stay queued).
+        scheduler.submit("t", "mine", "apriori", basket_path,
+                         {"min_support": 0.2})
+        # A fresh submission bounces off the full backlog...
+        from repro.server.quotas import OverQuota
+        with pytest.raises(OverQuota):
+            scheduler.submit("t", "mine", "apriori", basket_path,
+                             {"min_support": 0.3})
+        # ...but the cached duplicate still gets in: no work is burned.
+        hit = scheduler.submit("t", "mine", "apriori", basket_path, params)
+        assert store.get(hit.job_id).cache_hit is True
+
+    def test_degraded_results_are_never_cached(
+        self, store, tmp_path, basket_path
+    ):
+        quotas = QuotaPolicy(default=TenantQuota(max_candidates=5))
+        scheduler = self._scheduler(store, tmp_path, quotas=quotas)
+        scheduler.start()
+        try:
+            params = {"min_support": 0.02}
+            first = scheduler.submit("t", "mine", "apriori", basket_path,
+                                     params)
+            done = _wait_terminal(store, first.job_id)
+            assert done.state == "done" and done.degraded is True
+            assert scheduler.result_cache.entries() == 0
+            # The resubmission runs again instead of inheriting the
+            # truncated answer.
+            second = scheduler.submit("t", "mine", "apriori", basket_path,
+                                      params)
+            assert store.get(second.job_id).cache_hit is False
+        finally:
+            scheduler.stop()
+
+    def test_corrupted_entry_recomputed_not_served(
+        self, store, tmp_path, basket_path
+    ):
+        scheduler = self._scheduler(store, tmp_path)
+        scheduler.start()
+        try:
+            params = {"min_support": 0.05}
+            first = scheduler.submit("t", "mine", "apriori", basket_path,
+                                     params)
+            _wait_terminal(store, first.job_id)
+            original = store.read_result_bytes(first.job_id)
+            cache = scheduler.result_cache
+            key = content_key("mine", "apriori", basket_path, params)
+            path = cache.entry_path(key)
+            raw = path.read_bytes()
+            path.write_bytes(raw[:-4])  # bit rot
+
+            second = scheduler.submit("t", "mine", "apriori", basket_path,
+                                      params)
+            assert getattr(second, "deduplicated", False) is False
+            final = _wait_terminal(store, second.job_id)
+            assert final.state == "done"
+            assert final.cache_hit is False  # recomputed, not served
+            assert store.read_result_bytes(second.job_id) == original
+            assert cache.quarantined() == 1
+            # ...and the recompute healed the entry for the next one.
+            third = scheduler.submit("t", "mine", "apriori", basket_path,
+                                     params)
+            assert store.get(third.job_id).cache_hit is True
+        finally:
+            scheduler.stop()
+
+    def test_cache_put_fault_does_not_fail_job(
+        self, store, tmp_path, basket_path
+    ):
+        scheduler = self._scheduler(store, tmp_path)
+        gremlin = DiskGremlin(op="write", after=0, burst=None,
+                              match=str(tmp_path / "cache"))
+        install_injector(gremlin)
+        scheduler.start()
+        try:
+            record = scheduler.submit("t", "mine", "apriori", basket_path,
+                                      {"min_support": 0.05})
+            final = _wait_terminal(store, record.job_id)
+            assert final.state == "done", final.error
+            assert scheduler.result_cache.entries() == 0
+        finally:
+            scheduler.stop()
+            clear_injector()
+
+    def test_disabled_cache_never_hits(self, store, basket_path):
+        scheduler = Scheduler(store, workers=1)  # result_cache=None
+        scheduler.start()
+        try:
+            params = {"min_support": 0.05}
+            first = scheduler.submit("t", "mine", "apriori", basket_path,
+                                     params)
+            _wait_terminal(store, first.job_id)
+            second = scheduler.submit("t", "mine", "apriori", basket_path,
+                                      params)
+            final = _wait_terminal(store, second.job_id)
+            assert final.cache_hit is False
+            assert scheduler.cache_stats() == {
+                "enabled": False, "entries": 0, "hits": 0,
+                "misses": 0, "quarantined": 0,
+            }
+        finally:
+            scheduler.stop()

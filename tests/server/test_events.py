@@ -1,0 +1,181 @@
+"""Crash-safe progress event log: gapless seq, torn tails, resumable reads."""
+
+import json
+import time
+
+import pytest
+
+from repro.runtime.faults import DiskGremlin
+from repro.runtime.fsio import clear_injector, install_injector
+from repro.server.scheduler import Scheduler
+from repro.server.store import JobStore, scan_events
+
+DEADLINE = 60.0
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "store")
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    clear_injector()
+    yield
+    clear_injector()
+
+
+def _job(store, **overrides):
+    fields = dict(tenant="t", kind="mine", algorithm="apriori",
+                  dataset="/data/basket.dat")
+    fields.update(overrides)
+    return store.create(**fields)
+
+
+def _wait_terminal(store, job_id, deadline=DEADLINE):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        record = store.get(job_id)
+        if record.state in ("done", "failed", "cancelled"):
+            return record
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+class TestAppendAndScan:
+    def test_lifecycle_events_are_gapless(self, store):
+        record = _job(store)
+        store.transition(record.job_id, "running")
+        appender = store.event_appender(record.job_id)
+        appender.append("pass", {"candidates": 10})
+        appender.append("pass", {"candidates": 4})
+        store.transition(record.job_id, "done")
+        events, total = store.read_events(record.job_id)
+        assert total == 5
+        assert [e["phase"] for e in events] == [
+            "submitted", "running", "pass", "pass", "done",
+        ]
+        assert [e["seq"] for e in events] == list(range(5))
+        assert events[2]["info"] == {"candidates": 10}
+
+    def test_offset_read_is_resumable(self, store):
+        record = _job(store)
+        appender = store.event_appender(record.job_id)
+        appender.append("pass", {"n": 1})
+        tail, next_offset = store.read_events(record.job_id, offset=1)
+        assert [e["phase"] for e in tail] == ["pass"]
+        assert next_offset == 2
+        # Nothing new: the poll from next_offset returns no events and
+        # the same offset — no gap, no repeat.
+        again, still = store.read_events(record.job_id, offset=next_offset)
+        assert again == [] and still == next_offset
+        appender.append("pass", {"n": 2})
+        fresh, _ = store.read_events(record.job_id, offset=next_offset)
+        assert [e["info"]["n"] for e in fresh] == [2]
+
+    def test_requeue_appends_requeued_event(self, store):
+        record = _job(store)
+        store.transition(record.job_id, "running")
+        store.transition(record.job_id, "queued",
+                         event_info={"reason": "drain"})
+        events, _ = store.read_events(record.job_id)
+        assert events[-1]["phase"] == "requeued"
+        assert events[-1]["info"] == {"reason": "drain"}
+
+
+class TestTornTail:
+    def _tear(self, store, job_id, fragment=b'{"seq": 99, "ph'):
+        with open(store.events_path(job_id), "ab") as handle:
+            handle.write(fragment)
+
+    def test_reader_stops_at_torn_line(self, store):
+        record = _job(store)
+        self._tear(store, record.job_id)
+        events, total = store.read_events(record.job_id)
+        assert [e["phase"] for e in events] == ["submitted"]
+        assert total == 1
+
+    def test_recover_truncates_torn_tail(self, store):
+        record = _job(store)
+        self._tear(store, record.job_id)
+        before = store.events_path(record.job_id).stat().st_size
+        store.recover()
+        after = store.events_path(record.job_id).stat().st_size
+        assert after < before
+        # The log ends on a valid line and extends cleanly.
+        store.append_event(record.job_id, "resumed")
+        events, _ = store.read_events(record.job_id)
+        assert [e["phase"] for e in events] == ["submitted", "resumed"]
+        assert [e["seq"] for e in events] == [0, 1]
+
+    def test_writer_repairs_before_extending(self, store):
+        # Appending after a newline-less fragment must not weld the
+        # fragment and the new event into one corrupt line.
+        record = _job(store)
+        self._tear(store, record.job_id)
+        store.append_event(record.job_id, "next", {"k": 1})
+        raw = store.events_path(record.job_id).read_text()
+        lines = [json.loads(line) for line in raw.splitlines()]
+        assert [entry["phase"] for entry in lines] == ["submitted", "next"]
+
+    def test_garbage_line_ends_the_log(self, store):
+        record = _job(store)
+        with open(store.events_path(record.job_id), "ab") as handle:
+            handle.write(b"not json at all\n")
+            handle.write(b'{"seq": 2, "phase": "after"}\n')
+        events, total = store.read_events(record.job_id)
+        assert total == 1  # nothing past the first invalid line counts
+        _events, end = scan_events(store.events_path(record.job_id))
+        assert end == len(b'') or end > 0
+
+
+class TestAppendFaults:
+    def test_failed_append_does_not_consume_seq(self, store):
+        record = _job(store)
+        appender = store.event_appender(record.job_id)
+        appender.append("pass", {"n": 1})
+        gremlin = DiskGremlin(op="append", after=0, burst=2)
+        install_injector(gremlin)
+        assert appender.append("lost", {"n": 2}) is None
+        assert appender.append("lost", {"n": 3}) is None
+        clear_injector()
+        appender.append("pass", {"n": 4})
+        events, _ = store.read_events(record.job_id)
+        assert [e["phase"] for e in events] == ["submitted", "pass", "pass"]
+        assert [e["seq"] for e in events] == [0, 1, 2]  # gapless
+
+    def test_lifecycle_append_fault_never_fails_transition(self, store):
+        record = _job(store)
+        gremlin = DiskGremlin(op="append", after=0, burst=None)
+        install_injector(gremlin)
+        done = store.transition(record.job_id, "running")
+        assert done.state == "running"  # the transition survived
+
+
+class TestSchedulerEvents:
+    def test_run_emits_progress_events(self, store, basket_path):
+        scheduler = Scheduler(store, workers=1)
+        scheduler.start()
+        try:
+            record = scheduler.submit(
+                "t", "mine", "apriori", basket_path,
+                {"min_support": 0.05, "checkpoint_every": 1},
+            )
+            final = _wait_terminal(store, record.job_id)
+        finally:
+            scheduler.stop()
+        assert final.state == "done", final.error
+        events, total = store.read_events(record.job_id)
+        phases = [e["phase"] for e in events]
+        assert phases[0] == "submitted"
+        assert phases[1] == "running"
+        assert phases[-1] == "done"
+        # The forked child's ctx.step boundaries ("pass-2", "pass-3"...)
+        assert any(p.startswith("pass") for p in phases)
+        assert [e["seq"] for e in events] == list(range(total))
+
+    def test_healthz_counter_counts_all_logs(self, store):
+        a, b = _job(store), _job(store)
+        store.append_event(a.job_id, "x")
+        store.append_event(b.job_id, "y")
+        assert store.events_appended_total() == 4  # 2 submitted + 2 manual

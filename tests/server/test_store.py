@@ -79,7 +79,16 @@ class TestLifecycle:
         store = _store(tmp_path)
         record = _job(store)
         with pytest.raises(InvalidTransition):
-            store.transition(record.job_id, "done")  # queued -> done
+            store.transition(record.job_id, "failed")  # queued -> failed
+
+    def test_cache_hit_edge(self, tmp_path):
+        # queued -> done is the one legal shortcut past "running": a
+        # resubmission served from the result cache never runs.
+        store = _store(tmp_path)
+        record = _job(store)
+        done = store.transition(record.job_id, "done", cache_hit=True)
+        assert done.state == "done"
+        assert done.cache_hit is True
 
     def test_unknown_field_rejected(self, tmp_path):
         store = _store(tmp_path)
