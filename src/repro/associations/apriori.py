@@ -24,7 +24,8 @@ from ..runtime.context import (
     check_degradation_policy,
     resolve_context,
 )
-from ..runtime.parallel import WorkerPool, resolve_n_jobs, shard_bounds
+from ..runtime.parallel import resolve_n_jobs, shard_bounds, shared_pool
+from ..runtime.transport import SharedRegion, get_object
 from .bitmap import BitmapDatabase
 from .candidates import apriori_gen
 from .hash_tree import HashTree
@@ -174,6 +175,9 @@ def apriori(
 
     budget = ctx.budget
     bitmap = BitmapDatabase(db) if candidate_store == "bitmap" else None
+    assets = (
+        CountingAssets(db, bitmap) if n_jobs > 1 and len(db) > 1 else None
+    )
     resumed = ctx.resume(lambda: checkpoint_key(
         "apriori", db, min_support,
         max_size=max_size, candidate_store=candidate_store,
@@ -209,7 +213,7 @@ def apriori(
                 break
             frequent = count_pass(
                 db, candidates, k, min_count, candidate_store,
-                ctx=ctx, n_jobs=n_jobs, bitmap=bitmap,
+                ctx=ctx, n_jobs=n_jobs, bitmap=bitmap, assets=assets,
             )
             stats.append(
                 PassStats(
@@ -229,6 +233,8 @@ def apriori(
             db, min_support, all_frequent, stats, k, exc, on_exhausted
         )
     finally:
+        if assets is not None:
+            assets.close()
         ctx.flush()
 
     result = FrequentItemsets(all_frequent, n, min_support)
@@ -292,6 +298,56 @@ def degrade_levelwise(
     return result
 
 
+class CountingAssets:
+    """Shared segments serving every counting pass of one miner run.
+
+    The database (and bitmap encoding, if any) is placed into a
+    :class:`~repro.runtime.transport.SharedRegion` once; each pass then
+    ships workers a :class:`~repro.runtime.transport.SegmentHandle`
+    instead of re-pickling the payload per task.  Pool workers forked
+    after the placement resolve the handles to the parent's own objects
+    copy-on-write — the database never crosses a pipe at all.  Close
+    when the run finishes (the owning miner does so in its ``finally``).
+    """
+
+    def __init__(self, db, bitmap=None):
+        self.region = SharedRegion()
+        self.db_handle = self.region.put_object(db)
+        self.bitmap_handle = (
+            self.region.put_object(bitmap) if bitmap is not None else None
+        )
+
+    def close(self) -> None:
+        self.region.close()
+
+
+def _count_shard_task(args, shard_ctx):
+    """Pool task: one row shard's count vector, inputs via handles."""
+    db_handle, cands_handle, k, candidate_store, bitmap_handle, begin, stop \
+        = args
+    budget = None if shard_ctx is None else shard_ctx.budget
+    return shard_count_vector(
+        get_object(db_handle), get_object(cands_handle), k, candidate_store,
+        begin, stop, budget=budget,
+        bitmap=get_object(bitmap_handle) if bitmap_handle is not None
+        else None,
+    )
+
+
+def _count_candidate_shard_task(args, shard_ctx):
+    """Pool task: one candidate slice counted over the full database."""
+    db_handle, cands_handle, k, candidate_store, bitmap_handle, begin, stop \
+        = args
+    budget = None if shard_ctx is None else shard_ctx.budget
+    db = get_object(db_handle)
+    return shard_count_vector(
+        db, get_object(cands_handle)[begin:stop], k, candidate_store,
+        0, len(db), budget=budget,
+        bitmap=get_object(bitmap_handle) if bitmap_handle is not None
+        else None,
+    )
+
+
 def count_pass(
     db: TransactionDatabase,
     candidates,
@@ -301,22 +357,28 @@ def count_pass(
     ctx: Optional[ExecutionContext] = None,
     n_jobs: int = 1,
     bitmap: Optional[BitmapDatabase] = None,
+    assets: Optional[CountingAssets] = None,
 ) -> Dict[Itemset, int]:
     """One counting pass: candidate supports over the whole database.
 
     The shared counting seam of the levelwise miners (apriori, dhp's
     deep passes): dispatches to the selected backend, and with
     ``n_jobs > 1`` runs it map-reduce style — the transaction database
-    is sharded into contiguous ranges, each forked worker produces a
+    is sharded into contiguous ranges, each pool worker produces a
     count vector aligned with ``candidates``, and the parent sums the
     vectors.  Integer sums over a disjoint cover of the rows are exactly
     the serial counts, so the returned dict (built in candidates order
     either way) is byte-identical to ``n_jobs=1``.
+
+    ``assets`` carries the run-scoped shared segments
+    (:class:`CountingAssets`); without it, a pass-scoped region is
+    created and released here — correct, but placing the database once
+    per pass instead of once per run.
     """
     budget = None if ctx is None else ctx.budget
     if n_jobs > 1 and len(db) > 1:
         counts = _map_reduce_counts(
-            db, candidates, k, candidate_store, ctx, n_jobs, bitmap
+            db, candidates, k, candidate_store, ctx, n_jobs, bitmap, assets
         )
         return {
             cand: cnt
@@ -356,17 +418,44 @@ def shard_count_vector(
 
 
 def _map_reduce_counts(db, candidates, k, candidate_store, ctx, n_jobs,
-                       bitmap):
-    def shard(span, shard_ctx):
-        shard_budget = None if shard_ctx is None else shard_ctx.budget
-        return shard_count_vector(
-            db, candidates, k, candidate_store, span[0], span[1],
-            budget=shard_budget, bitmap=bitmap,
+                       bitmap, assets=None):
+    pass_region = None
+    if assets is None:
+        pass_region = assets = CountingAssets(db, bitmap)
+    region = assets.region
+    candidates = list(candidates)
+    cands_handle = region.put_object(candidates)
+    # Shard along the larger axis.  Counting cost grows with the
+    # candidate side of the (transactions x candidates) rectangle, and
+    # a hash tree over a candidate slice prunes each transaction's
+    # subset walk far earlier — so when candidates outnumber rows,
+    # giving every worker a candidate slice and the full row range does
+    # strictly less total work than re-walking the full tree per row
+    # shard (the pass-2 blow-up shape).  Either axis merges to the same
+    # vector: disjoint row shards sum, disjoint candidate slices
+    # concatenate, and both orders are fixed by the candidate list.
+    by_candidates = len(candidates) > len(db)
+    span = len(candidates) if by_candidates else len(db)
+    task_fn = _count_candidate_shard_task if by_candidates \
+        else _count_shard_task
+    try:
+        tasks = [
+            (assets.db_handle, cands_handle, k, candidate_store,
+             assets.bitmap_handle, begin, stop)
+            for begin, stop in shard_bounds(span, n_jobs)
+        ]
+        vectors = shared_pool(n_jobs).map(
+            task_fn, tasks, ctx=ctx, phase=f"count-{k}"
         )
-
-    pool = WorkerPool(n_jobs=n_jobs)
-    vectors = pool.map(shard, shard_bounds(len(db), n_jobs),
-                       ctx=ctx, phase=f"count-{k}")
+    finally:
+        # The candidate set is pass-scoped even when the assets are
+        # run-scoped: release it so segments don't pile up per pass.
+        if pass_region is not None:
+            pass_region.close()
+        else:
+            region.release(cands_handle)
+    if by_candidates:
+        return [count for vector in vectors for count in vector]
     return [sum(column) for column in zip(*vectors)]
 
 
@@ -419,6 +508,7 @@ def _count_with_dict(db, candidates, k, min_count, budget=None) -> Dict[Itemset,
 
 
 __all__ = [
+    "CountingAssets",
     "apriori",
     "checkpoint_key",
     "count_pass",

@@ -27,6 +27,7 @@ from ..runtime.context import (
 )
 from ..runtime.parallel import resolve_n_jobs
 from .apriori import (
+    CountingAssets,
     checkpoint_key,
     count_pass,
     degrade_levelwise,
@@ -98,10 +99,11 @@ def dhp(
         stats.extend(resumed["stats"])
         all_frequent.update(resumed["all_frequent"])
 
+    assets = CountingAssets(db) if n_jobs > 1 and n > 1 else None
     try:
         return _dhp_mine(
             db, min_support, n_buckets, max_size, min_count, stats,
-            all_frequent, n, ctx, resumed, n_jobs,
+            all_frequent, n, ctx, resumed, n_jobs, assets,
         )
     except BudgetExceeded as exc:
         if on_exhausted == "raise":
@@ -115,12 +117,14 @@ def dhp(
         result.c2_filtered = 0
         return result
     finally:
+        if assets is not None:
+            assets.close()
         ctx.flush()
 
 
 def _dhp_mine(
     db, min_support, n_buckets, max_size, min_count, stats,
-    all_frequent, n, ctx, resumed=None, n_jobs=1,
+    all_frequent, n, ctx, resumed=None, n_jobs=1, assets=None,
 ) -> FrequentItemsets:
     budget = ctx.budget
     # ------------------------------------------------------------------
@@ -188,7 +192,7 @@ def _dhp_mine(
             ]
             c2_unfiltered, c2_filtered = len(unfiltered), len(candidates)
             frequent = count_pass(db, candidates, 2, min_count,
-                                  ctx=ctx, n_jobs=n_jobs)
+                                  ctx=ctx, n_jobs=n_jobs, assets=assets)
             stats.append(
                 PassStats(2, len(candidates), len(frequent), time.perf_counter() - started)
             )
@@ -211,7 +215,7 @@ def _dhp_mine(
             stats.append(PassStats(k, 0, 0, time.perf_counter() - started))
             break
         frequent = count_pass(db, candidates, k, min_count,
-                              ctx=ctx, n_jobs=n_jobs)
+                              ctx=ctx, n_jobs=n_jobs, assets=assets)
         stats.append(
             PassStats(k, len(candidates), len(frequent), time.perf_counter() - started)
         )

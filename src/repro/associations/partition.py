@@ -32,7 +32,8 @@ from ..runtime.context import (
     check_degradation_policy,
     resolve_context,
 )
-from ..runtime.parallel import WorkerPool, resolve_n_jobs, shard_bounds
+from ..runtime.parallel import resolve_n_jobs, shard_bounds, shared_pool
+from ..runtime.transport import SharedRegion, get_object
 from .apriori import checkpoint_key, min_count_from_support
 
 
@@ -112,30 +113,28 @@ def partition_miner(
     # ------------------------------------------------------------------
     # Scan 1: local mining per partition (vertical, depth-first).
     # ------------------------------------------------------------------
+    # One shared region spans both scans: the database segment placed
+    # for scan 1's partition mining is the same one scan 2's counting
+    # shards resolve.
+    region = SharedRegion() if n_jobs > 1 and n > 1 else None
+    db_handle = region.put_object(db) if region is not None else None
     try:
         if n_jobs > 1 and len(bounds) - start > 1:
-            # Each remaining partition is mined in a forked worker; the
+            # Each remaining partition is mined in a pool worker; the
             # unions (sets, so order-free) merge in partition order, and
             # step/mark stay in the parent so the checkpoint trail keeps
             # its per-partition shape.
-            pool = WorkerPool(n_jobs=n_jobs)
-
-            def mine_one(p, shard_ctx):
-                shard_budget = (
-                    None if shard_ctx is None else shard_ctx.budget
-                )
-                begin, stop = bounds[p]
-                local_min_count = max(
-                    1, math.ceil(min_support * (stop - begin))
-                )
-                return _mine_partition(
-                    db, begin, stop, local_min_count, max_size,
-                    shard_budget,
-                )
-
             remaining = list(range(start, len(bounds)))
-            locals_ = pool.map(mine_one, remaining, ctx=ctx,
-                               phase="partition-scan-1")
+            tasks = [
+                (db_handle, bounds[p][0], bounds[p][1],
+                 max(1, math.ceil(min_support * (bounds[p][1] - bounds[p][0]))),
+                 max_size)
+                for p in remaining
+            ]
+            locals_ = shared_pool(n_jobs).map(
+                _mine_partition_task, tasks, ctx=ctx,
+                phase="partition-scan-1",
+            )
             for p, local in zip(remaining, locals_):
                 ctx.step(f"partition-{p}", n_candidates=len(candidates))
                 candidates |= local
@@ -161,7 +160,8 @@ def partition_miner(
         # Scan 2: global counting of the candidate union.
         # --------------------------------------------------------------
         supports = _global_count(db, candidates, min_count, budget,
-                                 ctx=ctx, n_jobs=n_jobs)
+                                 ctx=ctx, n_jobs=n_jobs,
+                                 region=region, db_handle=db_handle)
     except BudgetExceeded as exc:
         if on_exhausted == "raise":
             raise
@@ -174,8 +174,28 @@ def partition_miner(
             truncation_reason=f"{type(exc).__name__}: {exc}",
         )
     finally:
+        if region is not None:
+            region.close()
         ctx.flush()
     return FrequentItemsets(supports, n, min_support)
+
+
+def _mine_partition_task(args, shard_ctx):
+    """Pool task: local mine of one partition, database via handle."""
+    db_handle, begin, stop, local_min_count, max_size = args
+    budget = None if shard_ctx is None else shard_ctx.budget
+    return _mine_partition(
+        get_object(db_handle), begin, stop, local_min_count, max_size, budget
+    )
+
+
+def _count_range_task(args, shard_ctx):
+    """Pool task: scan-2 counts over one row range, inputs via handles."""
+    db_handle, ordered_handle, begin, stop = args
+    budget = None if shard_ctx is None else shard_ctx.budget
+    return _count_range(
+        get_object(db_handle), get_object(ordered_handle), begin, stop, budget
+    )
 
 
 def _global_count(
@@ -185,20 +205,25 @@ def _global_count(
     budget: Optional[Budget],
     ctx: Optional[ExecutionContext] = None,
     n_jobs: int = 1,
+    region: Optional[SharedRegion] = None,
+    db_handle=None,
 ) -> Dict[Itemset, int]:
     # Sorting canonicalises the result's key order: the candidate union
     # is a set, and letting its iteration order leak into the supports
     # dict would make equal runs byte-different.
     ordered = sorted(candidates)
-    if n_jobs > 1 and len(db) > 1:
-        pool = WorkerPool(n_jobs=n_jobs)
-
-        def shard(span, shard_ctx):
-            shard_budget = None if shard_ctx is None else shard_ctx.budget
-            return _count_range(db, ordered, span[0], span[1], shard_budget)
-
-        vectors = pool.map(shard, shard_bounds(len(db), n_jobs),
-                           ctx=ctx, phase="partition-scan-2")
+    if n_jobs > 1 and len(db) > 1 and region is not None:
+        ordered_handle = region.put_object(ordered)
+        try:
+            tasks = [
+                (db_handle, ordered_handle, begin, stop)
+                for begin, stop in shard_bounds(len(db), n_jobs)
+            ]
+            vectors = shared_pool(n_jobs).map(
+                _count_range_task, tasks, ctx=ctx, phase="partition-scan-2"
+            )
+        finally:
+            region.release(ordered_handle)
         totals = [sum(column) for column in zip(*vectors)]
     else:
         totals = _count_range(db, ordered, 0, len(db), budget)

@@ -1,9 +1,11 @@
 """Benchmark harness: a fixed synthetic suite behind ``repro bench``.
 
-Four workloads exercise the parallel execution layer end to end —
+Five workloads exercise the parallel execution layer end to end —
 apriori support counting (serial backends vs. the map-reduce path and
-the bitmap kernel), partition shard mining, k-means restart trials and
-cross-validation folds.  Each benchmark times the serial run against
+the bitmap kernel), partition shard mining, k-means restart trials,
+cross-validation folds, and a dispatch microbenchmark that isolates
+per-task transport cost (fork-per-task vs. the persistent
+WorkerPool).  Each benchmark times the serial run against
 the same call with ``n_jobs`` workers, checks the two results are
 byte-identical (the WorkerPool determinism contract), and the suite is
 written as machine-readable JSON (``BENCH_parallel.json``) so later PRs
@@ -30,7 +32,7 @@ import platform
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: workload sizes per scale; smoke keeps CI under a few seconds
 SCALES = {
@@ -39,12 +41,14 @@ SCALES = {
         "partition_rows": 6000,
         "kmeans_rows": 3000,
         "crossval_rows": 1500,
+        "dispatch_tasks": 64,
     },
     "smoke": {
         "apriori_rows": 300,
         "partition_rows": 400,
         "kmeans_rows": 200,
         "crossval_rows": 200,
+        "dispatch_tasks": 16,
     },
 }
 
@@ -174,6 +178,43 @@ def bench_crossval(rows: int, n_jobs: int, repeat: int) -> List[Dict]:
     )]
 
 
+def _dispatch_noop(task, _shard_ctx):
+    """Minimal task body: the benchmark measures transport, not work."""
+    return task
+
+
+def bench_dispatch(n_tasks: int, n_jobs: int, repeat: int) -> List[Dict]:
+    """Per-task dispatch overhead: fork-per-task vs. the warm pool.
+
+    Both sides run the same no-op task list, so the entire measured
+    time is transport — process management plus pickling.  The legacy
+    path pays a fork + pickle file round-trip per task; the persistent
+    pool pays one pipe message each way.  The per-task costs land in
+    ``params`` (microseconds) and ``speedup`` is the overhead ratio.
+    """
+    from .runtime.parallel import fork_per_task_map, shared_pool
+
+    tasks = list(range(n_tasks))
+    pool = shared_pool(n_jobs)
+    # Fork the workers outside the timed region: pool start-up is paid
+    # once per process lifetime, not per map, and the suite's other
+    # benchmarks have typically paid it already.
+    pool.map(_dispatch_noop, tasks[:n_jobs])
+    entry = _entry(
+        "dispatch", {"tasks": n_tasks}, n_jobs, repeat,
+        lambda: fork_per_task_map(_dispatch_noop, tasks, n_jobs=n_jobs),
+        lambda: pool.map(_dispatch_noop, tasks),
+        pickle.dumps,
+    )
+    entry["params"]["per_task_fork_us"] = round(
+        entry["serial_seconds"] / n_tasks * 1e6, 1
+    )
+    entry["params"]["per_task_pool_us"] = round(
+        entry["parallel_seconds"] / n_tasks * 1e6, 1
+    )
+    return [entry]
+
+
 def run_suite(scale: str = "full", n_jobs: int = 4, repeat: int = 1) -> Dict:
     """Run every benchmark at ``scale``; returns the JSON payload."""
     if scale not in SCALES:
@@ -188,14 +229,25 @@ def run_suite(scale: str = "full", n_jobs: int = 4, repeat: int = 1) -> Dict:
     benchmarks += bench_partition(sizes["partition_rows"], n_jobs, repeat)
     benchmarks += bench_kmeans(sizes["kmeans_rows"], n_jobs, repeat)
     benchmarks += bench_crossval(sizes["crossval_rows"], n_jobs, repeat)
+    benchmarks += bench_dispatch(sizes["dispatch_tasks"], n_jobs, repeat)
+    n_cpus = len(os.sched_getaffinity(0))
+    warnings: List[str] = []
+    if n_cpus == 1:
+        warnings.append(
+            "single-core host: fork-parallel speedups are bounded by the "
+            "cores available, so sharded benchmarks legitimately report "
+            "speedup near or below 1.0; only the dispatch and bitmap "
+            "entries measure core-independent gains"
+        )
     return {
         "schema_version": SCHEMA_VERSION,
         "suite": "parallel",
         "scale": scale,
         "n_jobs": n_jobs,
         "repeat": repeat,
-        "n_cpus": len(os.sched_getaffinity(0)),
+        "n_cpus": n_cpus,
         "python": platform.python_version(),
+        "warnings": warnings,
         "benchmarks": benchmarks,
     }
 
@@ -210,7 +262,7 @@ def validate_payload(payload: Dict) -> List[str]:
     for key, kind in (
         ("schema_version", int), ("suite", str), ("scale", str),
         ("n_jobs", int), ("repeat", int), ("n_cpus", int),
-        ("python", str), ("benchmarks", list),
+        ("python", str), ("warnings", list), ("benchmarks", list),
     ):
         if not isinstance(payload.get(key), kind):
             problems.append(f"missing or mistyped field {key!r}")
@@ -249,6 +301,14 @@ def render_report(payload: Dict) -> str:
             f"{entry['speedup']:>7.2f}x  "
             f"{'yes' if entry['identical'] else 'NO'}"
         )
+        if entry["name"] == "dispatch":
+            lines.append(
+                f"{'':<16} per-task overhead: "
+                f"{entry['params']['per_task_fork_us']:.0f}us fork-per-task "
+                f"vs {entry['params']['per_task_pool_us']:.0f}us pooled"
+            )
+    for warning in payload.get("warnings") or []:
+        lines.append(f"warning: {warning}")
     return "\n".join(lines)
 
 
@@ -268,6 +328,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "bench_apriori",
     "bench_crossval",
+    "bench_dispatch",
     "bench_kmeans",
     "bench_partition",
     "main",

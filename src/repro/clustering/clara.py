@@ -16,9 +16,40 @@ import numpy as np
 from ..core.base import Clusterer, check_in_range
 from ..core.exceptions import ConvergenceWarning, ValidationError
 from ..core.random import RandomState, check_random_state, spawn
-from ..runtime.parallel import WorkerPool, resolve_n_jobs
+from ..runtime.parallel import resolve_n_jobs, shared_pool
+from ..runtime.transport import SegmentHandle, SharedRegion, get_array
 from .distance import pairwise_distances
 from .kmedoids import PAM
+
+
+def _clara_sample_task(args, _shard_ctx):
+    """Pool task: one CLARA sample — PAM on the sample, cost on full X.
+
+    ``X`` arrives as a shared-segment handle (zero-copy mmap view in
+    the worker); the child RNG travels in the task, so the sample drawn
+    is identical to the serial loop's.  Warnings raised by the inner
+    PAM run are captured and returned for the parent to re-emit — a
+    worker's ``warnings`` state dies with the task otherwise.
+    """
+    X_handle, n_clusters, max_swaps, size, child = args
+    X = get_array(X_handle) if isinstance(X_handle, SegmentHandle) \
+        else X_handle
+    n = len(X)
+    sample_idx = child.choice(n, size=min(size, n), replace=False)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        pam = PAM(n_clusters, max_swaps=max_swaps).fit(X[sample_idx])
+    medoids = sample_idx[pam.medoid_indices_]
+    d = pairwise_distances(X, X[medoids])
+    cost = float(d.min(axis=1).sum())
+    sample_unconverged = 0
+    foreign = []
+    for w in caught:
+        if issubclass(w.category, ConvergenceWarning):
+            sample_unconverged += 1
+        else:
+            foreign.append((w.message, w.category, w.filename, w.lineno))
+    return cost, medoids, sample_unconverged, foreign
 
 
 class CLARA(Clusterer):
@@ -96,30 +127,28 @@ class CLARA(Clusterer):
         best_medoids = None
         unconverged = 0
 
-        def run_sample(child, _shard_ctx):
-            sample_idx = child.choice(n, size=min(size, n), replace=False)
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                pam = PAM(self.n_clusters, max_swaps=self.max_swaps).fit(
-                    X[sample_idx]
+        children = list(spawn(rng, self.n_samples))
+        if self.n_jobs > 1 and self.n_samples > 1:
+            with SharedRegion() as region:
+                X_handle = region.put_array(X)
+                tasks = [
+                    (X_handle, self.n_clusters, self.max_swaps, size, child)
+                    for child in children
+                ]
+                # probe=True: a sample on small data can run in well
+                # under dispatch cost, in which case the whole map gates
+                # back to the serial loop.
+                outcomes = shared_pool(self.n_jobs).map(
+                    _clara_sample_task, tasks, ctx=self.ctx,
+                    phase="clara-sample", probe=True,
                 )
-            medoids = sample_idx[pam.medoid_indices_]
-            d = pairwise_distances(X, X[medoids])
-            cost = float(d.min(axis=1).sum())
-            sample_unconverged = 0
-            foreign = []
-            for w in caught:
-                if issubclass(w.category, ConvergenceWarning):
-                    sample_unconverged += 1
-                else:
-                    foreign.append(
-                        (w.message, w.category, w.filename, w.lineno)
-                    )
-            return cost, medoids, sample_unconverged, foreign
-
-        pool = WorkerPool(n_jobs=self.n_jobs)
-        outcomes = pool.map(run_sample, list(spawn(rng, self.n_samples)),
-                            ctx=self.ctx, phase="clara-sample")
+        else:
+            outcomes = [
+                _clara_sample_task(
+                    (X, self.n_clusters, self.max_swaps, size, child), None
+                )
+                for child in children
+            ]
         for cost, medoids, sample_unconverged, foreign in outcomes:
             for message, category, filename, lineno in foreign:
                 warnings.warn_explicit(message, category, filename, lineno)

@@ -17,7 +17,8 @@ from ..core.exceptions import ValidationError
 from ..core.random import RandomState, check_random_state
 from ..core.table import Table
 from ..runtime.context import ExecutionContext
-from ..runtime.parallel import WorkerPool, resolve_n_jobs
+from ..runtime.parallel import resolve_n_jobs, shared_pool
+from ..runtime.transport import SegmentHandle, SharedRegion, get_object
 
 
 def kfold_indices(
@@ -84,6 +85,23 @@ def stratified_kfold_indices(
         yield train, test
 
 
+def _fold_task(args, _shard_ctx):
+    """Pool task: fit a fresh classifier on one fold and score it.
+
+    The table travels as a shared-segment handle (placed once per
+    cross-validation run); the factory and fold indices ride in the
+    task tuple.  Factories that do not pickle (e.g. lambdas wrapping a
+    configured model) make the map fall back to fork-per-task, where
+    closures survive the fork, so both styles keep working.
+    """
+    table_handle, make_classifier, target, train_idx, test_idx = args
+    table = get_object(table_handle) \
+        if isinstance(table_handle, SegmentHandle) else table_handle
+    model = make_classifier()
+    model.fit(table.take(train_idx), target)
+    return model.score(table.take(test_idx))
+
+
 def cross_val_score(
     make_classifier: Callable[[], Classifier],
     table: Table,
@@ -132,14 +150,23 @@ def cross_val_score(
     else:
         folds = kfold_indices(table.n_rows, n_folds, True, random_state)
 
-    def run_fold(fold, _shard_ctx):
-        train_idx, test_idx = fold
-        model = make_classifier()
-        model.fit(table.take(train_idx), target)
-        return model.score(table.take(test_idx))
-
-    pool = WorkerPool(n_jobs=n_jobs)
-    return pool.map(run_fold, list(folds), ctx=ctx, phase="fold")
+    folds = list(folds)
+    if n_jobs == 1 or len(folds) == 1:
+        return [
+            _fold_task((table, make_classifier, target, train, test), None)
+            for train, test in folds
+        ]
+    with SharedRegion() as region:
+        table_handle = region.put_object(table)
+        tasks = [
+            (table_handle, make_classifier, target, train, test)
+            for train, test in folds
+        ]
+        # probe=True: folds over small tables finish in well under
+        # dispatch cost, in which case the map gates back to serial.
+        return shared_pool(n_jobs).map(
+            _fold_task, tasks, ctx=ctx, phase="fold", probe=True,
+        )
 
 
 __all__ = ["kfold_indices", "stratified_kfold_indices", "cross_val_score"]

@@ -9,8 +9,10 @@ accept, :mod:`repro.runtime.budget` for the budget/cancellation machinery,
 :mod:`repro.runtime.faults` for the deterministic fault harness used by
 ``tests/runtime``, :mod:`repro.runtime.supervisor` for process-level
 supervision (hard limits, crash containment, chaos-proven resume), and
-:mod:`repro.runtime.parallel` for the fork-based :class:`WorkerPool`
-that executes shard tasks deterministically under the same budgets.
+:mod:`repro.runtime.parallel` for the persistent prefork
+:class:`WorkerPool` that executes shard tasks deterministically under
+the same budgets, fed by the shared-memory segments of
+:mod:`repro.runtime.transport`.
 """
 
 from .budget import (
@@ -37,6 +39,7 @@ from .context import (
     ExecutionContext,
     RunCounters,
     check_degradation_policy,
+    derive_shard_budget,
     progress_event,
     resolve_context,
 )
@@ -47,10 +50,14 @@ from .faults import (
     Fault,
     FlakyFault,
     InjectedFault,
+    PoolGremlin,
     SlowPass,
     TransientFault,
     TriggerAfter,
     VirtualClock,
+    active_pool_gremlin,
+    clear_pool_gremlin,
+    install_pool_gremlin,
 )
 from .fsio import (
     atomic_write_bytes,
@@ -59,14 +66,27 @@ from .fsio import (
     install_injector,
 )
 from .parallel import (
+    INLINE_RESULT_LIMIT,
+    SMALL_TASK_SECONDS,
     WorkerCrashed,
     WorkerPool,
+    close_shared_pools,
     effective_n_jobs,
+    fork_per_task_map,
     resolve_n_jobs,
     shard_bounds,
+    shared_pool,
 )
 from .retry import RetryPolicy
-from .transport import sweep_stale_tmp, sweep_stale_transport
+from .transport import (
+    SegmentHandle,
+    SharedRegion,
+    get_array,
+    get_object,
+    segment_dir,
+    sweep_stale_tmp,
+    sweep_stale_transport,
+)
 from .supervisor import (
     FailureReport,
     HardLimits,
@@ -101,9 +121,20 @@ __all__ = [
     "RetryPolicy",
     "WorkerCrashed",
     "WorkerPool",
+    "INLINE_RESULT_LIMIT",
+    "SMALL_TASK_SECONDS",
+    "close_shared_pools",
+    "derive_shard_budget",
     "effective_n_jobs",
+    "fork_per_task_map",
     "resolve_n_jobs",
     "shard_bounds",
+    "shared_pool",
+    "SegmentHandle",
+    "SharedRegion",
+    "get_array",
+    "get_object",
+    "segment_dir",
     "ChaosMonkey",
     "DISK_OPS",
     "DiskGremlin",
@@ -122,8 +153,12 @@ __all__ = [
     "Fault",
     "FlakyFault",
     "InjectedFault",
+    "PoolGremlin",
     "TransientFault",
     "TriggerAfter",
     "SlowPass",
     "VirtualClock",
+    "active_pool_gremlin",
+    "clear_pool_gremlin",
+    "install_pool_gremlin",
 ]

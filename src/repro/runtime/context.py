@@ -283,6 +283,27 @@ class ExecutionContext:
         if self.cancel_token is not None:
             self.cancel_token.raise_if_cancelled()
 
+    def shard_context(self) -> "ExecutionContext":
+        """The context one parallel shard runs under.
+
+        Derives a sub-budget capped at what this context's budget has
+        left (:func:`derive_shard_budget`) and strips everything that
+        must not cross a process boundary: the checkpointer (the parent
+        marks at merge points), the cancellation token (cancellation
+        reaches workers as SIGTERM from the parent's poll loop, and the
+        token's event is unpicklable anyway), and the progress hook
+        (closures don't pickle; the parent reports at merge points).
+        The result is fully picklable whenever the budget's clock is
+        the default, which is what lets shard contexts travel over the
+        pool's pipes instead of requiring a fork per task.
+        """
+        return self.replace(
+            budget=derive_shard_budget(self.budget),
+            checkpointer=None,
+            cancel_token=None,
+            on_progress=None,
+        )
+
     def __repr__(self) -> str:
         slots = []
         if self.budget is not None:
@@ -297,6 +318,34 @@ class ExecutionContext:
             slots.append("on_progress")
         inner = "+".join(slots) if slots else "null"
         return f"ExecutionContext<{inner}, {self.counters!r}>"
+
+
+def derive_shard_budget(budget: Optional[Budget]) -> Optional[Budget]:
+    """A shard-side budget capped at what the parent has left.
+
+    Counter caps are the parent's remaining allowance (floored at one
+    unit so construction stays valid — the parent re-charges actual
+    usage on merge and is the authority on exhaustion); the deadline is
+    the parent's remaining wall-clock.  Tokens and progress hooks do
+    not cross the process boundary: cancellation reaches workers as
+    SIGTERM from the parent's poll loop.
+    """
+    if budget is None:
+        return None
+    kwargs = {"check_interval": budget.check_interval}
+    if budget.time_limit is not None:
+        kwargs["time_limit"] = budget.remaining_time()
+    if budget.max_candidates is not None:
+        kwargs["max_candidates"] = max(
+            1, budget.max_candidates - budget.candidates_used
+        )
+    if budget.max_nodes is not None:
+        kwargs["max_nodes"] = max(1, budget.max_nodes - budget.nodes_used)
+    if budget.max_expansions is not None:
+        kwargs["max_expansions"] = max(
+            1, budget.max_expansions - budget.expansions_used
+        )
+    return Budget(**kwargs)
 
 
 def resolve_context(
@@ -340,6 +389,7 @@ __all__ = [
     "ExecutionContext",
     "RunCounters",
     "check_degradation_policy",
+    "derive_shard_budget",
     "progress_event",
     "resolve_context",
 ]

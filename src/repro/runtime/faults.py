@@ -380,6 +380,71 @@ class DiskGremlin:
         raise exc
 
 
+class PoolGremlin:
+    """Crash a persistent pool worker on its N-th task, from the inside.
+
+    :class:`ChaosMonkey` SIGKILLs supervised children from the outside;
+    the pool's failure surface is different — a long-lived worker dying
+    *mid-task* must surface as :class:`~repro.runtime.parallel.WorkerCrashed`
+    with the right classification and be replaced by a fresh worker on
+    the next dispatch.  The gremlin is installed process-wide **before**
+    the pool forks its workers, so every worker inherits it and counts
+    the tasks it executes; the worker whose counter hits ``kill_at_task``
+    dies via ``os._exit`` / raw signal without writing a result, exactly
+    like an OOM kill between recv and send.
+
+    Parameters
+    ----------
+    kill_at_task:
+        1-based index, per worker process, of the task that dies.
+    signum:
+        ``None`` exits with :attr:`exit_code`; a signal number (e.g.
+        ``signal.SIGKILL``) raises it against the worker itself.
+    exit_code:
+        Exit status used when ``signum`` is ``None``.
+    """
+
+    def __init__(self, kill_at_task: int = 1,
+                 signum: Optional[int] = None, exit_code: int = 7):
+        check_in_range("kill_at_task", kill_at_task, 1, None)
+        self.kill_at_task = int(kill_at_task)
+        self.signum = signum
+        self.exit_code = int(exit_code)
+        self._tasks_seen = 0
+
+    def on_task(self) -> None:
+        """Called by a worker as it picks up one task; maybe dies here."""
+        self._tasks_seen += 1
+        if self._tasks_seen != self.kill_at_task:
+            return
+        if self.signum is not None:
+            os.kill(os.getpid(), self.signum)
+            time.sleep(5.0)  # pragma: no cover - waiting for the signal
+        os._exit(self.exit_code)
+
+
+#: the process-wide pool gremlin, inherited by forked pool workers.
+_POOL_GREMLIN: Optional[PoolGremlin] = None
+
+
+def install_pool_gremlin(gremlin: PoolGremlin) -> PoolGremlin:
+    """Install ``gremlin`` process-wide; fork workers *after* this."""
+    global _POOL_GREMLIN
+    _POOL_GREMLIN = gremlin
+    return gremlin
+
+
+def clear_pool_gremlin() -> None:
+    """Remove the installed pool gremlin (parent-side cleanup)."""
+    global _POOL_GREMLIN
+    _POOL_GREMLIN = None
+
+
+def active_pool_gremlin() -> Optional[PoolGremlin]:
+    """The installed pool gremlin, if any (worker-side hook)."""
+    return _POOL_GREMLIN
+
+
 class VirtualClock:
     """Deterministic manual time source for deadline tests.
 
@@ -412,8 +477,12 @@ __all__ = [
     "Fault",
     "FlakyFault",
     "InjectedFault",
+    "PoolGremlin",
     "TransientFault",
     "TriggerAfter",
     "SlowPass",
     "VirtualClock",
+    "active_pool_gremlin",
+    "clear_pool_gremlin",
+    "install_pool_gremlin",
 ]

@@ -1,32 +1,46 @@
-"""Fork-based parallel shard execution with full context propagation.
+"""Persistent prefork worker pool with full context propagation.
 
 The shard-then-merge algorithms of the mining canon — Partition mines
 its database chunks independently (Savasere et al., VLDB '95), CLARA
 scores independent samples, levelwise miners sum per-chunk candidate
-counts — parallelise naturally, but a worker pool that ignores the
-runtime layer would undo PRs 1-4: budgets stop binding, cancellation
-stops reaching the hot loops, and results start depending on worker
-scheduling.  :class:`WorkerPool` keeps the contracts:
+counts — parallelise naturally, but the first cut of this module paid
+a fork plus a pickled-file round trip *per task*, which ate the
+parallel win before core count even mattered.  :class:`WorkerPool` is
+now a persistent prefork pool: N long-lived workers forked once per
+pool lifetime, fed task descriptors over pipes, returning small
+results inline and reserving the file transport of
+:mod:`repro.runtime.transport` for oversized payloads.  Large inputs
+travel as :class:`~repro.runtime.transport.SegmentHandle` references
+into shared mmap segments placed once per parallel region, not as
+per-task pickles.
+
+The contracts of the fork-per-task era survive unchanged:
 
 * **Determinism** — tasks are identified by their position; results are
-  merged in task order no matter which child finishes first, so
+  merged in task order no matter which worker finishes first, so
   ``n_jobs=k`` is byte-identical to ``n_jobs=1`` for any pure shard
   function.
-* **Budget accounting across workers** — each child receives a derived
-  sub-budget (via :meth:`ExecutionContext.replace`) capped at whatever
-  the parent budget has left; when a shard returns, its counter usage is
-  charged back to the parent budget, so the shared limits keep binding
-  across process boundaries and exhaustion raises the ordinary
-  :class:`~repro.runtime.BudgetExceeded` in the parent.
+* **Budget accounting across workers** — each task ships with a derived
+  sub-budget (:meth:`ExecutionContext.shard_context`) capped at
+  whatever the parent budget has left; when a shard returns, its
+  counter usage is charged back to the parent budget, so the shared
+  limits keep binding across process boundaries and exhaustion raises
+  the ordinary :class:`~repro.runtime.BudgetExceeded` in the parent.
 * **Cancellation fan-out** — the parent polls its own
   :class:`~repro.runtime.CancellationToken` (and budget deadline) while
-  children run; cancelling the parent token SIGTERMs every child, reaps
-  them, and raises :class:`~repro.runtime.OperationCancelled`.
-* **Crash containment** — a child that dies on a signal or non-zero
-  exit surfaces as a structured :class:`WorkerCrashed` instead of a
-  hung ``join``; results travel through the same atomic pickled-file
-  transport the :class:`~repro.runtime.Supervisor` uses
-  (:mod:`repro.runtime.transport`).
+  workers run; cancelling the parent token SIGTERMs every busy worker,
+  reaps it, and raises :class:`~repro.runtime.OperationCancelled`.
+  Idle workers survive for the next region.
+* **Crash containment** — a worker that dies mid-task surfaces as a
+  structured :class:`WorkerCrashed` carrying the exit status, and the
+  dead slot is respawned at the next dispatch, so one OOM kill costs
+  one task, not the pool.
+
+Tasks that do not survive a pipe — closures over databases, lambdas —
+fall back transparently to the legacy fork-per-task path
+(:func:`fork_per_task_map`), which inherits everything by fork.  The
+pooled fast path needs module-level task functions and picklable task
+descriptors; the algorithm layer meets it with segment handles.
 
 ``n_jobs=1`` (the default everywhere) runs shards inline in the parent
 process — no fork, no transport, byte-identical to the pre-parallel
@@ -35,41 +49,69 @@ code path.
 
 from __future__ import annotations
 
+import atexit
+import gc
 import os
+import pickle
 import signal
 import shutil
 import tempfile
+import threading
 import time
+import weakref
+from multiprocessing import connection as _mpconn
 from pathlib import Path
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.base import check_in_range
 from ..core.exceptions import ReproError, ValidationError
 from .budget import Budget
 from .context import ExecutionContext
+from . import faults as _faults
+from .fsio import atomic_write_bytes
 from .transport import (
     READ_ERRORS,
+    TMP_SUFFIX,
     read_result,
     sweep_stale_transport,
     write_result,
 )
 
+#: estimated per-task seconds below which dispatching to a worker costs
+#: more than it saves; :func:`effective_n_jobs` gates to serial under it.
+SMALL_TASK_SECONDS = 0.01
 
-def effective_n_jobs(n_jobs: Optional[int]) -> int:
+#: pickled-result size (bytes) above which a worker ships its payload
+#: through the file transport instead of the pipe.
+INLINE_RESULT_LIMIT = 1 << 20
+
+
+def effective_n_jobs(n_jobs: Optional[int],
+                     task_seconds: Optional[float] = None) -> int:
     """Normalise an ``n_jobs`` request into a concrete worker count.
 
     ``None`` and ``1`` mean serial; ``-1`` means one worker per
     available core; any other positive integer is taken literally.
+    When the caller knows (or has measured) the per-task cost, passing
+    ``task_seconds`` applies small-task gating: work below
+    :data:`SMALL_TASK_SECONDS` per task runs serial regardless of the
+    request, because dispatch overhead would dominate — the shape that
+    made pre-pool kmeans restarts run at 0.29× "speedup".
     """
     if n_jobs is None:
         return 1
     if n_jobs == -1:
         try:
-            return max(1, len(os.sched_getaffinity(0)))
+            jobs = max(1, len(os.sched_getaffinity(0)))
         except AttributeError:  # pragma: no cover - non-Linux fallback
-            return max(1, os.cpu_count() or 1)
-    check_in_range("n_jobs", n_jobs, 1, None)
-    return int(n_jobs)
+            jobs = max(1, os.cpu_count() or 1)
+    else:
+        check_in_range("n_jobs", n_jobs, 1, None)
+        jobs = int(n_jobs)
+    if jobs > 1 and task_seconds is not None \
+            and task_seconds < SMALL_TASK_SECONDS:
+        return 1
+    return jobs
 
 
 def shard_bounds(n: int, n_shards: int) -> List[Tuple[int, int]]:
@@ -94,14 +136,14 @@ def shard_bounds(n: int, n_shards: int) -> List[Tuple[int, int]]:
 
 
 class WorkerCrashed(ReproError, RuntimeError):
-    """A pool child died without delivering a result.
+    """A pool worker died without delivering a result.
 
     Attributes
     ----------
     task_index:
-        Position of the shard the dead child was running.
+        Position of the shard the dead worker was running.
     exit_code, signal_number:
-        Raw process exit status (``signal_number`` set when the child
+        Raw process exit status (``signal_number`` set when the worker
         died on a signal).
     """
 
@@ -124,34 +166,6 @@ def _budget_usage(budget: Optional[Budget]) -> dict:
     }
 
 
-def _derive_sub_budget(budget: Optional[Budget]) -> Optional[Budget]:
-    """A child-side budget capped at what the parent has left.
-
-    Counter caps are the parent's remaining allowance (floored at one
-    unit so construction stays valid — the parent re-charges actual
-    usage on merge and is the authority on exhaustion); the deadline is
-    the parent's remaining wall-clock.  Tokens and progress hooks do
-    not cross the fork: cancellation reaches children as SIGTERM from
-    the parent's poll loop.
-    """
-    if budget is None:
-        return None
-    kwargs = {"check_interval": budget.check_interval}
-    if budget.time_limit is not None:
-        kwargs["time_limit"] = budget.remaining_time()
-    if budget.max_candidates is not None:
-        kwargs["max_candidates"] = max(
-            1, budget.max_candidates - budget.candidates_used
-        )
-    if budget.max_nodes is not None:
-        kwargs["max_nodes"] = max(1, budget.max_nodes - budget.nodes_used)
-    if budget.max_expansions is not None:
-        kwargs["max_expansions"] = max(
-            1, budget.max_expansions - budget.expansions_used
-        )
-    return Budget(**kwargs)
-
-
 def _charge_usage(budget: Optional[Budget], usage: dict, phase: str) -> None:
     """Charge one shard's counter usage back to the parent budget."""
     if budget is None:
@@ -164,14 +178,506 @@ def _charge_usage(budget: Optional[Budget], usage: dict, phase: str) -> None:
         budget.charge_expansions(usage["expansions"], phase=phase)
 
 
-def _shard_main(fn, task, ctx, result_path: str) -> None:
-    """Entry point of one forked shard child.
+def _shard_ctx(ctx: Optional[ExecutionContext]) -> Optional[ExecutionContext]:
+    return None if ctx is None else ctx.shard_context()
+
+
+WORKER_COMM = b"repro-pool-wkr"
+"""Kernel comm name given to pool workers (15-byte prctl limit).
+
+Makes leaked workers visible to ``ps -o comm`` / pgrep — the CI
+pool-smoke job greps for exactly this string after the suites exit.
+"""
+
+
+def _set_pdeathsig() -> None:
+    """Ask the kernel to SIGKILL this worker when its parent dies.
+
+    Same mechanism the supervisor's children use: a SIGKILLed pool
+    owner cannot run its cleanup, so the workers must not depend on it.
+    Also renames the process to :data:`WORKER_COMM` so stray workers
+    are identifiable from ``ps``.
+    """
+    try:
+        import ctypes
+
+        PR_SET_PDEATHSIG = 1
+        PR_SET_NAME = 15
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(PR_SET_PDEATHSIG, signal.SIGKILL, 0, 0, 0)
+        libc.prctl(PR_SET_NAME, WORKER_COMM, 0, 0, 0)
+    except Exception:  # pragma: no cover - non-Linux / no libc
+        pass
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _encode_payload(payload: dict, budget: Optional[Budget]) -> bytes:
+    try:
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        return pickle.dumps({
+            "ok": False,
+            "error": ReproError(f"shard result is not picklable: {exc!r}"),
+            "usage": _budget_usage(budget),
+        })
+
+
+def _worker_main(conn, scratch: str) -> None:
+    """Main loop of one persistent pool worker.
+
+    Protocol: the parent sends ``(index, fn, task, ctx, inline_limit)``
+    tuples; the worker answers each with one bytes message — ``b"I"``
+    plus the pickled payload when it fits ``inline_limit``, or ``b"F"``
+    plus a path under ``scratch`` holding the payload written through
+    the atomic file transport.  A ``None`` message (or a torn pipe) is
+    the shutdown sentinel.  SIGTERM keeps its default disposition so
+    the parent's cancellation fan-out kills a busy worker immediately;
+    PDEATHSIG covers a parent that dies without running cleanup.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    _set_pdeathsig()
+    # The inherited heap (shared segments, module state, the parent's
+    # whole object graph) is permanent from this worker's point of
+    # view: freezing it keeps the cyclic GC from crawling millions of
+    # inherited objects on every collection — and, on fork, from
+    # copy-on-write-faulting their pages just to twiddle GC headers.
+    gc.freeze()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            os._exit(0)
+        if message is None:
+            os._exit(0)
+        index, fn, task, ctx, inline_limit = message
+        gremlin = _faults.active_pool_gremlin()
+        if gremlin is not None:
+            gremlin.on_task()
+        budget = None if ctx is None else ctx.budget
+        try:
+            value = fn(task, ctx)
+            payload = {"ok": True, "value": value,
+                       "usage": _budget_usage(budget)}
+        except BaseException as exc:
+            payload = {"ok": False, "error": exc,
+                       "usage": _budget_usage(budget)}
+        raw = _encode_payload(payload, budget)
+        try:
+            if len(raw) <= inline_limit:
+                conn.send_bytes(b"I" + raw)
+            else:
+                path = Path(scratch) / f"result-{os.getpid()}-{index}.pkl"
+                atomic_write_bytes(path, raw, tmp_name=path.name + TMP_SUFFIX,
+                                   fsync_dir=False)
+                conn.send_bytes(b"F" + str(path).encode())
+        except (BrokenPipeError, OSError):
+            os._exit(0)
+
+
+class _WorkerSlot:
+    """One persistent worker: its process, pipe, and in-flight task."""
+
+    __slots__ = ("proc", "conn", "busy_index", "tasks_done")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.busy_index: Optional[int] = None
+        self.tasks_done = 0
+
+
+def _shutdown_workers(workers: List[_WorkerSlot], scratch) -> None:
+    """Best-effort teardown shared by close(), GC, and atexit.
+
+    Idle workers get the ``None`` sentinel and exit on their own; busy
+    or unresponsive ones are SIGTERMed, then SIGKILLed past a joint
+    deadline.  Operates on the mutable worker list in place so a
+    ``weakref.finalize`` can run it without keeping the pool alive.
+    """
+    for slot in workers:
+        if slot.proc.exitcode is None and slot.busy_index is None:
+            try:
+                slot.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+    deadline = time.monotonic() + 5.0
+    for slot in workers:
+        slot.proc.join(max(0.0, deadline - time.monotonic()))
+        if slot.proc.exitcode is None:
+            slot.proc.terminate()
+            slot.proc.join(max(0.1, deadline - time.monotonic()))
+        if slot.proc.exitcode is None:  # pragma: no cover - stuck worker
+            slot.proc.kill()
+            slot.proc.join(1.0)
+        try:
+            slot.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    workers.clear()
+    if scratch is not None:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+class WorkerPool:
+    """Execute shard tasks on persistent forked workers, merging
+    deterministically.
+
+    Parameters
+    ----------
+    n_jobs:
+        Maximum concurrent workers; ``1`` runs every shard inline in
+        the parent (no fork), ``-1`` uses one worker per available
+        core.
+    start_method:
+        ``multiprocessing`` start method; the default ``"fork"`` makes
+        the workers inherit the parent's memory image, which is what
+        lets shared segments placed before the first dispatch reach
+        them copy-on-write.
+    poll_interval:
+        Upper bound on the parent's wait between polls of the
+        cancellation token and budget deadline (result arrival wakes
+        the parent immediately via ``connection.wait``).
+    inline_result_limit:
+        Pickled-result size above which a worker ships through the
+        file transport instead of the pipe.
+
+    The pool is a context manager; workers are forked lazily at the
+    first parallel ``map`` and reused across successive maps until
+    :meth:`close`.  A pool that is garbage-collected or alive at
+    interpreter exit shuts its workers down via ``weakref.finalize``,
+    so no usage pattern leaks processes.
+
+    Examples
+    --------
+    >>> with WorkerPool(n_jobs=2) as pool:
+    ...     pool.map(lambda span, ctx: sum(range(*span)), [(0, 5), (5, 10)])
+    [10, 35]
+    """
+
+    def __init__(self, n_jobs: int = 1, start_method: str = "fork",
+                 poll_interval: float = 0.01,
+                 inline_result_limit: int = INLINE_RESULT_LIMIT):
+        check_in_range("poll_interval", poll_interval, 0.0, None,
+                       low_inclusive=False)
+        check_in_range("inline_result_limit", inline_result_limit, 1, None)
+        self.n_jobs = effective_n_jobs(n_jobs)
+        self.start_method = start_method
+        self.poll_interval = float(poll_interval)
+        self.inline_result_limit = int(inline_result_limit)
+        self._workers: List[_WorkerSlot] = []
+        self._scratch: Optional[Path] = None
+        self._owner_pid = os.getpid()
+        self._closed = False
+        self._finalizer = None
+        # Serialises concurrent maps from different threads (the server
+        # runs non-supervisable jobs in worker threads, all of which
+        # reach for the same shared pool).  Interleaving two maps on
+        # one set of slots would cross-deliver results; queueing the
+        # second map is also the right throughput call, since the pool
+        # already holds every worker this pool size is allowed.
+        self._map_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[Any, Optional[ExecutionContext]], Any],
+        tasks: Sequence[Any],
+        ctx: Optional[ExecutionContext] = None,
+        phase: str = "shard",
+        probe: bool = False,
+    ) -> List[Any]:
+        """``[fn(task, shard_ctx) for task in tasks]``, possibly pooled.
+
+        ``fn`` must be deterministic in its task and must not rely on
+        mutating shared state — under ``n_jobs>1`` it runs in a worker
+        process, and only its return value (which must be picklable)
+        comes back.  Each task ships with a shard context carrying a
+        derived sub-budget; checkpointers and progress hooks are
+        stripped (the caller marks/reports at merge points in the
+        parent).
+
+        With ``probe=True`` the first task runs inline in the parent
+        and is timed; when it finishes under
+        :data:`SMALL_TASK_SECONDS`, the remaining tasks run inline too
+        — dispatch overhead would exceed the work.  Use it for
+        many-small-task regions (clustering restarts, CV folds), not
+        for counting passes whose per-shard cost is known to dominate.
+
+        Results are returned in task order.  A shard that raises sees
+        its exception re-raised here (after its budget usage is charged
+        to the parent), busy workers are SIGTERMed, and idle workers
+        stay warm for the next map.
+
+        ``fn``/task pairs that cannot be pickled (closures over
+        databases, lambdas) fall back to the legacy fork-per-task path
+        transparently — correctness is identical, only the dispatch
+        cost differs.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.n_jobs == 1 or len(tasks) == 1:
+            return [fn(task, ctx) for task in tasks]
+        head: List[Any] = []
+        if probe:
+            started = time.monotonic()
+            head.append(fn(tasks[0], ctx))
+            elapsed = time.monotonic() - started
+            tasks = tasks[1:]
+            if elapsed < SMALL_TASK_SECONDS or len(tasks) == 1:
+                return head + [fn(task, ctx) for task in tasks]
+        if not self._pipe_safe(fn, tasks[0], ctx):
+            return head + fork_per_task_map(
+                fn, tasks, n_jobs=self.n_jobs, ctx=ctx, phase=phase,
+                poll_interval=self.poll_interval,
+            )
+        with self._map_lock:
+            return head + self._map_pooled(fn, tasks, ctx, phase)
+
+    def close(self) -> None:
+        """Shut every worker down and delete the scratch directory.
+
+        Idempotent; safe to call with workers never forked.  Only the
+        owning process tears workers down — a pool object inherited
+        across a fork abandons its slots instead of killing processes
+        it does not own.
+        """
+        self._closed = True
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if os.getpid() != self._owner_pid:
+            self._workers = []
+            self._scratch = None
+            return
+        _shutdown_workers(self._workers, self._scratch)
+        self._scratch = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live workers (diagnostics and leak tests)."""
+        return [slot.proc.pid for slot in self._workers
+                if slot.proc.exitcode is None]
+
+    # ------------------------------------------------------------------
+    # Pooled execution
+    # ------------------------------------------------------------------
+    def _pipe_safe(self, fn, sample_task, ctx) -> bool:
+        try:
+            pickle.dumps((fn, sample_task, _shard_ctx(ctx)),
+                         protocol=pickle.HIGHEST_PROTOCOL)
+            return True
+        except Exception:
+            return False
+
+    def _ensure_workers(self) -> None:
+        """Fork workers into empty/dead slots; abandon inherited state.
+
+        Respawning here (not at crash time) keeps the crash path simple
+        — a dead slot costs its in-flight task a :class:`WorkerCrashed`
+        and is replaced at the next dispatch, exactly once.
+        """
+        if self._closed:
+            raise ValidationError("WorkerPool is closed")
+        if os.getpid() != self._owner_pid:
+            # Inherited across a fork: the workers belong to the parent.
+            self._workers = []
+            self._scratch = None
+            self._owner_pid = os.getpid()
+            self._finalizer = None
+        import multiprocessing
+
+        mp = multiprocessing.get_context(self.start_method)
+        if self._scratch is None:
+            sweep_stale_transport(once=True)
+            self._scratch = Path(tempfile.mkdtemp(prefix="repro-pool-"))
+        self._workers[:] = [
+            slot for slot in self._workers if slot.proc.exitcode is None
+        ]
+        while len(self._workers) < self.n_jobs:
+            parent_conn, child_conn = mp.Pipe(duplex=True)
+            proc = mp.Process(
+                target=_worker_main,
+                args=(child_conn, str(self._scratch)),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append(_WorkerSlot(proc, parent_conn))
+        if self._finalizer is None:
+            self._finalizer = weakref.finalize(
+                self, _shutdown_workers, self._workers, self._scratch
+            )
+
+    def _map_pooled(self, fn, tasks, ctx, phase) -> List[Any]:
+        self._ensure_workers()
+        budget = None if ctx is None else ctx.budget
+        results: List[Any] = [None] * len(tasks)
+        pending = list(enumerate(tasks))
+        error: Optional[BaseException] = None
+        try:
+            while error is None and (
+                pending or any(s.busy_index is not None
+                               for s in self._workers)
+            ):
+                # Fill idle workers.  The shard context is derived at
+                # dispatch time so later tasks see the budget remaining
+                # *after* earlier charges — same as fork-per-task did.
+                for slot in self._workers:
+                    if not pending:
+                        break
+                    if slot.busy_index is not None \
+                            or slot.proc.exitcode is not None:
+                        continue
+                    index, task = pending.pop(0)
+                    try:
+                        slot.conn.send((index, fn, task, _shard_ctx(ctx),
+                                        self.inline_result_limit))
+                    except (BrokenPipeError, OSError):
+                        pending.insert(0, (index, task))
+                        error = self._crash_error(slot, index)
+                        break
+                    slot.busy_index = index
+                if error is not None:
+                    break
+                busy = [s for s in self._workers if s.busy_index is not None]
+                if not busy and pending:
+                    # every worker slot died before accepting work
+                    error = error or WorkerCrashed(
+                        "no live pool workers remain",
+                        task_index=pending[0][0],
+                    )
+                    break
+                waitables = [s.conn for s in busy] + \
+                    [s.proc.sentinel for s in busy]
+                ready = set(_mpconn.wait(waitables,
+                                         timeout=self.poll_interval))
+                # Parent-side fan-out point: budget deadline and
+                # cancellation fire here, terminating busy workers.
+                if ctx is not None:
+                    if budget is not None:
+                        budget.check(phase=phase)
+                    ctx.raise_if_cancelled()
+                for slot in busy:
+                    if slot.conn in ready or slot.conn.poll(0):
+                        outcome = self._collect(slot, budget, phase)
+                    elif slot.proc.sentinel in ready:
+                        outcome = _ShardError(
+                            self._crash_error(slot, slot.busy_index)
+                        )
+                        slot.busy_index = None
+                    else:
+                        continue
+                    if isinstance(outcome, _ShardError):
+                        error = outcome.error
+                        break
+                    results[outcome.index] = outcome.value
+            if error is not None:
+                raise error
+            return results
+        except BaseException:
+            self._terminate_busy()
+            raise
+
+    def _collect(self, slot: _WorkerSlot, budget, phase):
+        """Turn one worker's answer into a value or a shard error."""
+        index = slot.busy_index
+        try:
+            blob = slot.conn.recv_bytes()
+        except (EOFError, OSError):
+            slot.proc.join(5.0)
+            slot.busy_index = None
+            return _ShardError(self._crash_error(slot, index))
+        slot.busy_index = None
+        slot.tasks_done += 1
+        try:
+            if blob[:1] == b"I":
+                payload = pickle.loads(blob[1:])
+            else:
+                path = blob[1:].decode()
+                payload = read_result(path)
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        except READ_ERRORS as exc:
+            return _ShardError(WorkerCrashed(
+                f"pool worker answered for shard {index} but its result "
+                f"is missing or unreadable ({exc!r})",
+                task_index=index,
+                exit_code=0,
+            ))
+        # Charging before propagating keeps the parent budget
+        # authoritative: a shard that burned the last of the allowance
+        # makes the *parent* raise, exactly as the serial loop would.
+        try:
+            _charge_usage(budget, payload.get("usage", {}), phase)
+        except BaseException as exc:
+            return _ShardError(exc)
+        if payload["ok"]:
+            return _ShardValue(index, payload["value"])
+        return _ShardError(payload["error"])
+
+    def _crash_error(self, slot: _WorkerSlot, index) -> WorkerCrashed:
+        slot.proc.join(5.0)
+        exit_code = slot.proc.exitcode
+        signal_number = -exit_code if exit_code is not None \
+            and exit_code < 0 else None
+        detail = (
+            f"killed by {signal.Signals(signal_number).name}"
+            if signal_number is not None
+            else f"exited with status {exit_code}"
+        )
+        return WorkerCrashed(
+            f"pool worker for shard {index} {detail}",
+            task_index=index if index is not None else -1,
+            exit_code=exit_code if signal_number is None else exit_code,
+            signal_number=signal_number,
+        )
+
+    def _terminate_busy(self) -> None:
+        """Kill workers still holding a task; idle workers stay warm."""
+        busy = [s for s in self._workers if s.busy_index is not None
+                and s.proc.exitcode is None]
+        for slot in busy:
+            slot.proc.terminate()
+        deadline = time.monotonic() + 5.0
+        for slot in busy:
+            slot.proc.join(max(0.0, deadline - time.monotonic()))
+            if slot.proc.exitcode is None:  # pragma: no cover - stuck
+                slot.proc.kill()
+                slot.proc.join(1.0)
+        dead = [s for s in self._workers if s.proc.exitcode is not None]
+        for slot in dead:
+            try:
+                slot.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._workers[:] = [
+            s for s in self._workers if s.proc.exitcode is None
+        ]
+
+
+# ----------------------------------------------------------------------
+# Legacy fork-per-task path (pipe-unsafe callables; bench baseline)
+# ----------------------------------------------------------------------
+def _forked_shard_main(fn, task, ctx, result_path: str) -> None:
+    """Entry point of one fork-per-task child (legacy transport).
 
     Exit protocol mirrors the supervisor's: ``0`` means a complete
     payload file exists (a value *or* a pickled application error plus
     the shard's budget usage); anything else is a crash for the parent
-    to classify.  SIGTERM keeps its default disposition, so the
-    parent's cancellation fan-out kills the child immediately.
+    to classify.
     """
     try:
         signal.signal(signal.SIGTERM, signal.SIG_DFL)
@@ -194,135 +700,41 @@ def _shard_main(fn, task, ctx, result_path: str) -> None:
         os._exit(1)
 
 
-class WorkerPool:
-    """Execute shard tasks in forked children, merging deterministically.
+def fork_per_task_map(
+    fn: Callable[[Any, Optional[ExecutionContext]], Any],
+    tasks: Sequence[Any],
+    n_jobs: int = 2,
+    ctx: Optional[ExecutionContext] = None,
+    phase: str = "shard",
+    poll_interval: float = 0.01,
+    start_method: str = "fork",
+) -> List[Any]:
+    """The original fork-per-task execution strategy, kept on two jobs:
 
-    Parameters
-    ----------
-    n_jobs:
-        Maximum concurrent children; ``1`` runs every shard inline in
-        the parent (no fork), ``-1`` uses one child per available core.
-    start_method:
-        ``multiprocessing`` start method; the default ``"fork"`` lets
-        shard functions close over unpicklable state (databases, numpy
-        matrices) because children inherit the parent's memory image.
-    poll_interval:
-        Seconds between parent-side polls of child liveness, the
-        cancellation token, and the budget deadline.
-
-    Examples
-    --------
-    >>> pool = WorkerPool(n_jobs=2)
-    >>> pool.map(lambda span, ctx: sum(range(*span)), [(0, 5), (5, 10)])
-    [10, 35]
+    as the fallback for callables that cannot cross a pipe (closures
+    inherit everything by fork), and as the baseline the dispatch
+    benchmark measures the pool against.  Same contracts as
+    :meth:`WorkerPool.map`: order-preserving merge, sub-budget
+    charge-back, cancellation fan-out, crash classification.
     """
+    import multiprocessing
 
-    def __init__(self, n_jobs: int = 1, start_method: str = "fork",
-                 poll_interval: float = 0.01):
-        check_in_range("poll_interval", poll_interval, 0.0, None,
-                       low_inclusive=False)
-        self.n_jobs = effective_n_jobs(n_jobs)
-        self.start_method = start_method
-        self.poll_interval = float(poll_interval)
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    n_jobs = effective_n_jobs(n_jobs)
+    if n_jobs == 1 or len(tasks) == 1:
+        return [fn(task, ctx) for task in tasks]
+    sweep_stale_transport(once=True)
+    mp = multiprocessing.get_context(start_method)
+    budget = None if ctx is None else ctx.budget
+    scratch = Path(tempfile.mkdtemp(prefix="repro-pool-"))
+    results: List[Any] = [None] * len(tasks)
+    pending = list(enumerate(tasks))
+    running: List[Tuple[int, Any, Path]] = []
+    error: Optional[BaseException] = None
 
-    # ------------------------------------------------------------------
-    # Public API
-    # ------------------------------------------------------------------
-    def map(
-        self,
-        fn: Callable[[Any, Optional[ExecutionContext]], Any],
-        tasks: Sequence[Any],
-        ctx: Optional[ExecutionContext] = None,
-        phase: str = "shard",
-    ) -> List[Any]:
-        """``[fn(task, shard_ctx) for task in tasks]``, possibly forked.
-
-        ``fn`` must be deterministic in its task and must not rely on
-        mutating shared state — under ``n_jobs>1`` it runs in a forked
-        copy of the parent, and only its return value (which must be
-        picklable) comes back.  Each shard context carries a derived
-        sub-budget; checkpointers and progress hooks are stripped (the
-        caller marks/reports at merge points in the parent).
-
-        Results are returned in task order.  A shard that raises sees
-        its exception re-raised here (after its budget usage is charged
-        to the parent), remaining children are SIGTERMed, and the pool
-        is left clean.
-        """
-        tasks = list(tasks)
-        if not tasks:
-            return []
-        if self.n_jobs == 1 or len(tasks) == 1:
-            return [fn(task, ctx) for task in tasks]
-        return self._map_forked(fn, tasks, ctx, phase)
-
-    # ------------------------------------------------------------------
-    # Forked execution
-    # ------------------------------------------------------------------
-    def _shard_ctx(self, ctx: Optional[ExecutionContext]):
-        if ctx is None:
-            return None
-        return ctx.replace(
-            budget=_derive_sub_budget(ctx.budget),
-            checkpointer=None,
-            cancel_token=None,
-            on_progress=None,
-        )
-
-    def _map_forked(self, fn, tasks, ctx, phase) -> List[Any]:
-        import multiprocessing
-
-        # Pool startup hygiene: reap transport scratch orphaned by a
-        # SIGKILLed predecessor (once per process; age-guarded).
-        sweep_stale_transport(once=True)
-        mp = multiprocessing.get_context(self.start_method)
-        budget = None if ctx is None else ctx.budget
-        scratch = Path(tempfile.mkdtemp(prefix="repro-pool-"))
-        results: List[Any] = [None] * len(tasks)
-        pending = list(enumerate(tasks))
-        running: List[Tuple[int, Any, Path]] = []
-        error: Optional[BaseException] = None
-        try:
-            while (pending or running) and error is None:
-                while pending and len(running) < self.n_jobs:
-                    index, task = pending.pop(0)
-                    result_path = scratch / f"shard-{index}.pkl"
-                    proc = mp.Process(
-                        target=_shard_main,
-                        args=(fn, task, self._shard_ctx(ctx),
-                              str(result_path)),
-                    )
-                    proc.start()
-                    running.append((index, proc, result_path))
-                time.sleep(self.poll_interval)
-                # Parent-side fan-out point: budget deadline and
-                # cancellation fire here, terminating every child.
-                if ctx is not None:
-                    if budget is not None:
-                        budget.check(phase=phase)
-                    ctx.raise_if_cancelled()
-                still_running = []
-                for index, proc, result_path in running:
-                    if proc.exitcode is None:
-                        still_running.append((index, proc, result_path))
-                        continue
-                    outcome = self._collect(
-                        index, proc.exitcode, result_path, budget, phase
-                    )
-                    if isinstance(outcome, _ShardError):
-                        error = outcome.error
-                        break
-                    results[index] = outcome.value
-                running = still_running
-            if error is not None:
-                raise error
-            return results
-        finally:
-            self._terminate(running)
-            shutil.rmtree(scratch, ignore_errors=True)
-
-    def _collect(self, index, exit_code, result_path, budget, phase):
-        """Turn one finished child into a value or a shard error."""
+    def _collect(index, exit_code, result_path):
         if exit_code != 0:
             signal_number = -exit_code if exit_code < 0 else None
             detail = (
@@ -345,19 +757,45 @@ class WorkerPool:
                 task_index=index,
                 exit_code=0,
             ))
-        # Charging before propagating keeps the parent budget authoritative:
-        # a shard that burned the last of the allowance makes the *parent*
-        # raise, exactly as the serial loop would have.
         try:
             _charge_usage(budget, payload.get("usage", {}), phase)
         except BaseException as exc:
             return _ShardError(exc)
         if payload["ok"]:
-            return _ShardValue(payload["value"])
+            return _ShardValue(index, payload["value"])
         return _ShardError(payload["error"])
 
-    @staticmethod
-    def _terminate(running) -> None:
+    try:
+        while (pending or running) and error is None:
+            while pending and len(running) < n_jobs:
+                index, task = pending.pop(0)
+                result_path = scratch / f"shard-{index}.pkl"
+                proc = mp.Process(
+                    target=_forked_shard_main,
+                    args=(fn, task, _shard_ctx(ctx), str(result_path)),
+                )
+                proc.start()
+                running.append((index, proc, result_path))
+            time.sleep(poll_interval)
+            if ctx is not None:
+                if budget is not None:
+                    budget.check(phase=phase)
+                ctx.raise_if_cancelled()
+            still_running = []
+            for index, proc, result_path in running:
+                if proc.exitcode is None:
+                    still_running.append((index, proc, result_path))
+                    continue
+                outcome = _collect(index, proc.exitcode, result_path)
+                if isinstance(outcome, _ShardError):
+                    error = outcome.error
+                    break
+                results[index] = outcome.value
+            running = still_running
+        if error is not None:
+            raise error
+        return results
+    finally:
         for _index, proc, _path in running:
             if proc.exitcode is None:
                 proc.terminate()
@@ -367,12 +805,14 @@ class WorkerPool:
             if proc.exitcode is None:  # pragma: no cover - stuck child
                 proc.kill()
                 proc.join(1.0)
+        shutil.rmtree(scratch, ignore_errors=True)
 
 
 class _ShardValue:
-    __slots__ = ("value",)
+    __slots__ = ("index", "value")
 
-    def __init__(self, value):
+    def __init__(self, index, value):
+        self.index = index
         self.value = value
 
 
@@ -381,6 +821,49 @@ class _ShardError:
 
     def __init__(self, error):
         self.error = error
+
+
+# ----------------------------------------------------------------------
+# Shared pools (one warm pool per worker count, per process)
+# ----------------------------------------------------------------------
+_SHARED_POOLS: Dict[int, WorkerPool] = {}
+_SHARED_POOLS_PID: Optional[int] = None
+
+
+def shared_pool(n_jobs: int) -> WorkerPool:
+    """The process-wide warm pool for ``n_jobs`` workers.
+
+    Algorithm shard points use this instead of constructing throwaway
+    pools, so successive passes — and successive *jobs* in the server —
+    reuse the same forked workers instead of re-paying fork cost per
+    parallel region.  Pools are keyed by worker count and torn down by
+    :func:`close_shared_pools` (wired to ``atexit`` and the scheduler's
+    stop path).  A registry inherited across a fork is abandoned, never
+    reused: each process gets its own workers.
+    """
+    global _SHARED_POOLS_PID
+    if _SHARED_POOLS_PID != os.getpid():
+        _SHARED_POOLS.clear()
+        _SHARED_POOLS_PID = os.getpid()
+    n_jobs = effective_n_jobs(n_jobs)
+    pool = _SHARED_POOLS.get(n_jobs)
+    if pool is None or pool._closed:
+        pool = WorkerPool(n_jobs=n_jobs)
+        _SHARED_POOLS[n_jobs] = pool
+    return pool
+
+
+def close_shared_pools() -> None:
+    """Shut down every warm shared pool owned by this process."""
+    if _SHARED_POOLS_PID is not None and _SHARED_POOLS_PID != os.getpid():
+        _SHARED_POOLS.clear()
+        return
+    for pool in list(_SHARED_POOLS.values()):
+        pool.close()
+    _SHARED_POOLS.clear()
+
+
+atexit.register(close_shared_pools)
 
 
 def resolve_n_jobs(n_jobs: Optional[int], owner: str = "this algorithm") -> int:
@@ -398,9 +881,14 @@ def resolve_n_jobs(n_jobs: Optional[int], owner: str = "this algorithm") -> int:
 
 
 __all__ = [
+    "INLINE_RESULT_LIMIT",
+    "SMALL_TASK_SECONDS",
     "WorkerCrashed",
     "WorkerPool",
+    "close_shared_pools",
     "effective_n_jobs",
+    "fork_per_task_map",
     "resolve_n_jobs",
     "shard_bounds",
+    "shared_pool",
 ]

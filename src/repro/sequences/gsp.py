@@ -37,7 +37,8 @@ from ..runtime.context import (
     check_degradation_policy,
     resolve_context,
 )
-from ..runtime.parallel import WorkerPool, resolve_n_jobs, shard_bounds
+from ..runtime.parallel import resolve_n_jobs, shard_bounds, shared_pool
+from ..runtime.transport import SharedRegion, get_object
 from .result import FrequentSequences
 
 
@@ -170,6 +171,13 @@ def gsp(
         k = 2
         ctx.mark(lambda: levelwise_state(k, frequent, all_frequent, stats))
 
+    # Run-scoped shared segment: the sequence database and its
+    # timestamps are placed once; every pass's counting shards resolve
+    # the same handle instead of re-pickling the database per task.
+    region = SharedRegion() if n_jobs > 1 and n > 1 else None
+    db_handle = (
+        region.put_object((db, times)) if region is not None else None
+    )
     try:
         while frequent and (max_length is None or k <= max_length):
             ctx.step(f"pass-{k}", n_frequent_prev=len(frequent))
@@ -188,19 +196,18 @@ def gsp(
                 for cand in candidates
             ]
             if n_jobs > 1 and n > 1:
-                pool = WorkerPool(n_jobs=n_jobs)
-
-                def shard(span, shard_ctx):
-                    shard_budget = (
-                        None if shard_ctx is None else shard_ctx.budget
+                cands_handle = region.put_object(candidate_items)
+                try:
+                    tasks = [
+                        (db_handle, cands_handle, k, checker, begin, stop)
+                        for begin, stop in shard_bounds(n, n_jobs)
+                    ]
+                    vectors = shared_pool(n_jobs).map(
+                        _count_shard_task, tasks, ctx=ctx,
+                        phase=f"count-{k}",
                     )
-                    return _count_range(
-                        db, times, candidate_items, k, checker,
-                        span[0], span[1], shard_budget,
-                    )
-
-                vectors = pool.map(shard, shard_bounds(n, n_jobs),
-                                   ctx=ctx, phase=f"count-{k}")
+                finally:
+                    region.release(cands_handle)
                 totals = [sum(column) for column in zip(*vectors)]
             else:
                 totals = _count_range(
@@ -230,11 +237,23 @@ def gsp(
         result.pass_stats = stats
         return result
     finally:
+        if region is not None:
+            region.close()
         ctx.flush()
 
     result = FrequentSequences(all_frequent, n, min_support)
     result.pass_stats = stats
     return result
+
+
+def _count_shard_task(args, shard_ctx):
+    """Pool task: one shard's candidate counts, inputs via handles."""
+    db_handle, cands_handle, k, checker, begin, stop = args
+    db, times = get_object(db_handle)
+    budget = None if shard_ctx is None else shard_ctx.budget
+    return _count_range(
+        db, times, get_object(cands_handle), k, checker, begin, stop, budget
+    )
 
 
 def _count_range(

@@ -98,6 +98,7 @@ from ..runtime.budget import (
 )
 from ..runtime.checkpoint import CheckpointWriteError
 from ..runtime.context import ExecutionContext
+from ..runtime.parallel import close_shared_pools
 from ..runtime.retry import RetryPolicy
 from ..runtime.supervisor import (
     SupervisedCrash,
@@ -544,6 +545,11 @@ class Scheduler:
         if self._reaper is not None:
             self._reaper.join(max(0.0, deadline - time.monotonic()))
             self._reaper = None
+        # In-thread (non-supervisable) jobs run their parallel regions
+        # through the process-wide shared pools, which stay warm across
+        # jobs by design; a stopped scheduler has no more jobs, so reap
+        # the pooled workers now rather than at interpreter exit.
+        close_shared_pools()
 
     def drain(self, grace: float = 10.0) -> bool:
         """Flip to draining and stop running jobs at a checkpoint.

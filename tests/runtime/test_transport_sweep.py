@@ -17,7 +17,13 @@ import os
 import time
 
 from repro.runtime import Supervisor, sweep_stale_tmp, sweep_stale_transport
-from repro.runtime.transport import _SWEPT_ROOTS, TRANSPORT_PREFIXES
+from repro.runtime.transport import (
+    _SWEPT_ROOTS,
+    SEGMENT_PREFIX,
+    TRANSPORT_PREFIXES,
+    SharedRegion,
+    segment_dir,
+)
 
 
 def _age(path, seconds):
@@ -90,6 +96,47 @@ class TestSweepStaleTransport:
         # ...but an unguarded call still works.
         assert sweep_stale_transport(root=tmp_path) == 1
         _SWEPT_ROOTS.discard(str(tmp_path))
+
+
+class TestSweepSharedSegments:
+    """Orphaned shared-memory segment *files* are reclaimed too.
+
+    Segments live in :func:`segment_dir` (``/dev/shm`` when writable)
+    rather than the temp root, and are plain files rather than scratch
+    directories — a SIGKILLed pool owner leaks them all the same.
+    """
+
+    def test_aged_orphan_segment_files_are_swept(self, tmp_path):
+        dead = tmp_path / f"{SEGMENT_PREFIX}12345-deadbeef"
+        dead.write_bytes(b"orphaned payload")
+        _age(dead, 7200)
+        young = tmp_path / f"{SEGMENT_PREFIX}12345-cafef00d"
+        young.write_bytes(b"live run, leave me")
+        assert sweep_stale_transport(root=tmp_path) == 1
+        assert not dead.exists()
+        assert young.exists()
+
+    def test_segments_of_live_regions_are_never_swept(self):
+        region = SharedRegion()
+        try:
+            handle = region.put_object([1, 2, 3])
+            _age(handle.path, 7200)
+            sweep_stale_transport(root=os.path.dirname(handle.path))
+            assert os.path.exists(handle.path)
+        finally:
+            region.close()
+        assert not os.path.exists(handle.path)
+
+    def test_default_roots_cover_the_segment_dir(self, tmp_path, monkeypatch):
+        import repro.runtime.transport as transport
+
+        monkeypatch.setattr(transport, "segment_dir", lambda: tmp_path)
+        orphan = tmp_path / f"{SEGMENT_PREFIX}999-feedface"
+        orphan.write_bytes(b"")
+        _age(orphan, 7200)
+        removed = sweep_stale_transport()
+        assert removed >= 1
+        assert not orphan.exists()
 
 
 def _answer():

@@ -20,6 +20,7 @@ def _valid_payload():
         "repeat": 1,
         "n_cpus": 1,
         "python": "3.11.0",
+        "warnings": [],
         "benchmarks": [
             {
                 "name": "apriori",
@@ -63,6 +64,17 @@ def test_crossval_benchmark_entry_shape(tmp_path):
     out = tmp_path / "bench.json"
     bench.write_payload(payload, str(out))
     assert json.loads(out.read_text())["benchmarks"][0]["name"] == "crossval"
+
+
+def test_dispatch_benchmark_entry_shape():
+    entries = bench.bench_dispatch(n_tasks=4, n_jobs=2, repeat=1)
+    payload = {**_valid_payload(), "benchmarks": entries}
+    assert bench.validate_payload(payload) == []
+    entry = entries[0]
+    assert entry["name"] == "dispatch"
+    assert entry["identical"] is True
+    assert entry["params"]["per_task_fork_us"] > 0
+    assert entry["params"]["per_task_pool_us"] > 0
 
 
 def test_run_suite_rejects_unknown_scale():
