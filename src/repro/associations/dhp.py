@@ -27,6 +27,7 @@ from ..runtime.context import (
 )
 from ..runtime.parallel import resolve_n_jobs
 from .apriori import (
+    CANDIDATE_STORES,
     CountingAssets,
     checkpoint_key,
     count_pass,
@@ -34,6 +35,7 @@ from .apriori import (
     levelwise_state,
     min_count_from_support,
 )
+from .bitmap import BitmapDatabase
 from .candidates import apriori_gen
 
 
@@ -47,6 +49,7 @@ def dhp(
     checkpoint: Optional[Checkpointer] = None,
     ctx: Optional[ExecutionContext] = None,
     n_jobs: Optional[int] = None,
+    backend: str = "hash_tree",
 ) -> FrequentItemsets:
     """Mine all frequent itemsets with DHP's hash-filtered pass 2.
 
@@ -65,6 +68,14 @@ def dhp(
     n_buckets:
         Size of the pass-1 hash table.  More buckets = fewer collisions
         = sharper C2 pruning.
+    backend:
+        Counting backend for pass 2 and the later passes — apriori's
+        ``candidate_store`` seam under the registry's uniform backend
+        name, accepting the same values.  ``"bitmap"`` counts the
+        hash-filtered pairs by AND+popcount over the database's
+        memoized packed bit matrix (:mod:`repro.core.columnar`) —
+        byte-identical supports, one vectorized reduction per
+        surviving pair.
 
     Notes
     -----
@@ -79,6 +90,12 @@ def dhp(
     2
     """
     check_in_range("n_buckets", n_buckets, 1, None)
+    if backend not in CANDIDATE_STORES:
+        raise ValidationError(
+            f"backend must be one of {CANDIDATE_STORES}, "
+            f"got {backend!r}"
+        )
+    candidate_store = backend
     ctx = resolve_context(ctx, budget=budget, checkpoint=checkpoint,
                           owner="dhp")
     check_degradation_policy(on_exhausted, LEVELWISE_POLICIES, "dhp")
@@ -99,11 +116,15 @@ def dhp(
         stats.extend(resumed["stats"])
         all_frequent.update(resumed["all_frequent"])
 
-    assets = CountingAssets(db) if n_jobs > 1 and n > 1 else None
+    bitmap = BitmapDatabase(db) if candidate_store == "bitmap" else None
+    assets = (
+        CountingAssets(db, bitmap) if n_jobs > 1 and n > 1 else None
+    )
     try:
         return _dhp_mine(
             db, min_support, n_buckets, max_size, min_count, stats,
             all_frequent, n, ctx, resumed, n_jobs, assets,
+            candidate_store, bitmap,
         )
     except BudgetExceeded as exc:
         if on_exhausted == "raise":
@@ -125,6 +146,7 @@ def dhp(
 def _dhp_mine(
     db, min_support, n_buckets, max_size, min_count, stats,
     all_frequent, n, ctx, resumed=None, n_jobs=1, assets=None,
+    candidate_store="hash_tree", bitmap=None,
 ) -> FrequentItemsets:
     budget = ctx.budget
     # ------------------------------------------------------------------
@@ -192,7 +214,8 @@ def _dhp_mine(
             ]
             c2_unfiltered, c2_filtered = len(unfiltered), len(candidates)
             frequent = count_pass(db, candidates, 2, min_count,
-                                  ctx=ctx, n_jobs=n_jobs, assets=assets)
+                                  candidate_store, ctx=ctx, n_jobs=n_jobs,
+                                  bitmap=bitmap, assets=assets)
             stats.append(
                 PassStats(2, len(candidates), len(frequent), time.perf_counter() - started)
             )
@@ -215,7 +238,8 @@ def _dhp_mine(
             stats.append(PassStats(k, 0, 0, time.perf_counter() - started))
             break
         frequent = count_pass(db, candidates, k, min_count,
-                              ctx=ctx, n_jobs=n_jobs, assets=assets)
+                              candidate_store, ctx=ctx, n_jobs=n_jobs,
+                              bitmap=bitmap, assets=assets)
         stats.append(
             PassStats(k, len(candidates), len(frequent), time.perf_counter() - started)
         )

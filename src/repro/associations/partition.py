@@ -22,6 +22,7 @@ import math
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.base import check_in_range, check_nonempty
+from ..core.columnar import popcount, transaction_bitmap, window_mask
 from ..core.exceptions import ValidationError
 from ..core.itemsets import FrequentItemsets, Itemset
 from ..core.transactions import TransactionDatabase
@@ -35,6 +36,7 @@ from ..runtime.context import (
 from ..runtime.parallel import resolve_n_jobs, shard_bounds, shared_pool
 from ..runtime.transport import SharedRegion, get_object
 from .apriori import checkpoint_key, min_count_from_support
+from .eclat import TIDSET_BACKENDS
 
 
 def partition_miner(
@@ -47,6 +49,7 @@ def partition_miner(
     checkpoint: Optional[Checkpointer] = None,
     ctx: Optional[ExecutionContext] = None,
     n_jobs: Optional[int] = None,
+    backend: str = "tidset",
 ) -> FrequentItemsets:
     """Mine frequent itemsets with the two-scan Partition algorithm.
 
@@ -78,6 +81,14 @@ def partition_miner(
         counting scan the same way, merging in partition/shard order so
         the result is byte-identical to ``n_jobs=1``.  ``-1`` uses all
         cores.
+    backend:
+        ``"tidset"`` (the default) mines scan 1 over per-partition
+        frozenset tidlists and counts scan 2 with Python subset tests;
+        ``"bitset"`` runs both scans over the database's memoized
+        packed bit matrix (:mod:`repro.core.columnar`) — scan 1 joins
+        are AND+popcount over window-masked item rows, scan 2 is the
+        windowed bitmap counting kernel.  Output is byte-identical;
+        workers inherit the one shared encoding copy-on-write.
 
     Examples
     --------
@@ -85,6 +96,10 @@ def partition_miner(
     >>> partition_miner(db, 0.5, n_partitions=2).supports[(0, 1)]
     2
     """
+    if backend not in TIDSET_BACKENDS:
+        raise ValidationError(
+            f"backend must be one of {TIDSET_BACKENDS}, got {backend!r}"
+        )
     check_in_range("n_partitions", n_partitions, 1, None)
     ctx = resolve_context(ctx, budget=budget, checkpoint=checkpoint,
                           owner="partition_miner")
@@ -116,6 +131,11 @@ def partition_miner(
     # One shared region spans both scans: the database segment placed
     # for scan 1's partition mining is the same one scan 2's counting
     # shards resolve.
+    if backend == "bitset":
+        # Build the memoized encoding in the parent *before* any worker
+        # forks: workers resolving the same database object inherit the
+        # cached packed matrix copy-on-write instead of re-encoding.
+        transaction_bitmap(db)
     region = SharedRegion() if n_jobs > 1 and n > 1 else None
     db_handle = region.put_object(db) if region is not None else None
     try:
@@ -128,7 +148,7 @@ def partition_miner(
             tasks = [
                 (db_handle, bounds[p][0], bounds[p][1],
                  max(1, math.ceil(min_support * (bounds[p][1] - bounds[p][0]))),
-                 max_size)
+                 max_size, backend)
                 for p in remaining
             ]
             locals_ = shared_pool(n_jobs).map(
@@ -150,7 +170,8 @@ def partition_miner(
                     1, math.ceil(min_support * (stop - begin))
                 )
                 candidates |= _mine_partition(
-                    db, begin, stop, local_min_count, max_size, budget
+                    db, begin, stop, local_min_count, max_size, budget,
+                    backend,
                 )
                 ctx.mark(lambda: {
                     "next_partition": p + 1, "candidates": sorted(candidates),
@@ -161,11 +182,13 @@ def partition_miner(
         # --------------------------------------------------------------
         supports = _global_count(db, candidates, min_count, budget,
                                  ctx=ctx, n_jobs=n_jobs,
-                                 region=region, db_handle=db_handle)
+                                 region=region, db_handle=db_handle,
+                                 backend=backend)
     except BudgetExceeded as exc:
         if on_exhausted == "raise":
             raise
-        supports = _global_count(db, candidates, min_count, None)
+        supports = _global_count(db, candidates, min_count, None,
+                                 backend=backend)
         return FrequentItemsets(
             supports,
             n,
@@ -182,19 +205,21 @@ def partition_miner(
 
 def _mine_partition_task(args, shard_ctx):
     """Pool task: local mine of one partition, database via handle."""
-    db_handle, begin, stop, local_min_count, max_size = args
+    db_handle, begin, stop, local_min_count, max_size, backend = args
     budget = None if shard_ctx is None else shard_ctx.budget
     return _mine_partition(
-        get_object(db_handle), begin, stop, local_min_count, max_size, budget
+        get_object(db_handle), begin, stop, local_min_count, max_size,
+        budget, backend,
     )
 
 
 def _count_range_task(args, shard_ctx):
     """Pool task: scan-2 counts over one row range, inputs via handles."""
-    db_handle, ordered_handle, begin, stop = args
+    db_handle, ordered_handle, begin, stop, backend = args
     budget = None if shard_ctx is None else shard_ctx.budget
     return _count_range(
-        get_object(db_handle), get_object(ordered_handle), begin, stop, budget
+        get_object(db_handle), get_object(ordered_handle), begin, stop,
+        budget, backend,
     )
 
 
@@ -207,6 +232,7 @@ def _global_count(
     n_jobs: int = 1,
     region: Optional[SharedRegion] = None,
     db_handle=None,
+    backend: str = "tidset",
 ) -> Dict[Itemset, int]:
     # Sorting canonicalises the result's key order: the candidate union
     # is a set, and letting its iteration order leak into the supports
@@ -216,7 +242,7 @@ def _global_count(
         ordered_handle = region.put_object(ordered)
         try:
             tasks = [
-                (db_handle, ordered_handle, begin, stop)
+                (db_handle, ordered_handle, begin, stop, backend)
                 for begin, stop in shard_bounds(len(db), n_jobs)
             ]
             vectors = shared_pool(n_jobs).map(
@@ -226,7 +252,7 @@ def _global_count(
             region.release(ordered_handle)
         totals = [sum(column) for column in zip(*vectors)]
     else:
-        totals = _count_range(db, ordered, 0, len(db), budget)
+        totals = _count_range(db, ordered, 0, len(db), budget, backend)
     return {
         cand: cnt
         for cand, cnt in zip(ordered, totals)
@@ -240,8 +266,11 @@ def _count_range(
     begin: int,
     stop: int,
     budget: Optional[Budget],
+    backend: str = "tidset",
 ) -> List[int]:
     """Scan-2 counts of ``ordered`` over rows ``[begin, stop)``."""
+    if backend == "bitset":
+        return transaction_bitmap(db).count(ordered, budget, begin, stop)
     counts: Dict[Itemset, int] = dict.fromkeys(ordered, 0)
     by_size: Dict[int, List[Itemset]] = {}
     for cand in ordered:
@@ -279,23 +308,41 @@ def _mine_partition(
     min_count: int,
     max_size: Optional[int],
     budget: Optional[Budget] = None,
+    backend: str = "tidset",
 ) -> Set[Itemset]:
-    """Local frequent itemsets of db[start:stop] via tidlist DFS."""
-    tidlists: Dict[int, Set[int]] = {}
-    for tid in range(start, stop):
-        for item in db[tid]:
-            tidlists.setdefault(item, set()).add(tid)
-    root = [
-        ((item,), frozenset(tids))
-        for item, tids in sorted(tidlists.items())
-        if len(tids) >= min_count
-    ]
+    """Local frequent itemsets of db[start:stop] via tidlist DFS.
+
+    Both backends run the same joins in the same order; ``bitset``
+    windows the database's packed item rows to the partition and joins
+    with AND+popcount instead of frozenset intersection.
+    """
+    if backend == "bitset":
+        bitmap = transaction_bitmap(db)
+        mask = window_mask(bitmap.n_transactions, start, stop)
+        root = []
+        for item in range(bitmap.n_items):
+            tids = bitmap.tidset(item) & mask
+            if popcount(tids) >= min_count:
+                root.append(((item,), tids))
+        size = popcount
+    else:
+        tidlists: Dict[int, Set[int]] = {}
+        for tid in range(start, stop):
+            for item in db[tid]:
+                tidlists.setdefault(item, set()).add(tid)
+        root = [
+            ((item,), frozenset(tids))
+            for item, tids in sorted(tidlists.items())
+            if len(tids) >= min_count
+        ]
+        size = len
     found: Set[Itemset] = {itemset for itemset, _ in root}
-    _expand(root, min_count, max_size, found, budget)
+    _expand(root, min_count, max_size, found, budget, size)
     return found
 
 
-def _expand(members, min_count, max_size, found: Set[Itemset], budget=None) -> None:
+def _expand(members, min_count, max_size, found: Set[Itemset], budget=None,
+            size=len) -> None:
     if budget is not None:
         budget.check(phase="partition-class")
     for i, (itemset, tids) in enumerate(members):
@@ -306,12 +353,12 @@ def _expand(members, min_count, max_size, found: Set[Itemset], budget=None) -> N
             if budget is not None:
                 budget.charge_candidates(phase="partition-join")
             joined = tids & other_tids
-            if len(joined) >= min_count:
+            if size(joined) >= min_count:
                 new_itemset = itemset + (other_itemset[-1],)
                 found.add(new_itemset)
                 child.append((new_itemset, joined))
         if child:
-            _expand(child, min_count, max_size, found, budget)
+            _expand(child, min_count, max_size, found, budget, size)
 
 
 __all__ = ["partition_miner"]

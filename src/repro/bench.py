@@ -32,7 +32,7 @@ import platform
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: workload sizes per scale; smoke keeps CI under a few seconds
 SCALES = {
@@ -42,6 +42,11 @@ SCALES = {
         "kmeans_rows": 3000,
         "crossval_rows": 1500,
         "dispatch_tasks": 64,
+        "kernel_rows": 4000,
+        "kernel_sequences": 3000,
+        "kernel_seq_support": 0.01,
+        "kernel_table_rows": 4000,
+        "kernel_kmeans_rows": 20000,
     },
     "smoke": {
         "apriori_rows": 300,
@@ -49,6 +54,11 @@ SCALES = {
         "kmeans_rows": 200,
         "crossval_rows": 200,
         "dispatch_tasks": 16,
+        "kernel_rows": 300,
+        "kernel_sequences": 60,
+        "kernel_seq_support": 0.1,
+        "kernel_table_rows": 300,
+        "kernel_kmeans_rows": 400,
     },
 }
 
@@ -215,6 +225,192 @@ def bench_dispatch(n_tasks: int, n_jobs: int, repeat: int) -> List[Dict]:
     return [entry]
 
 
+def bench_encodings(rows: int, n_sequences: int, table_rows: int) -> List[Dict]:
+    """Build cost + resident bytes of each columnar view.
+
+    Fresh dataset objects are generated per view so every build is a
+    cold one (the views are memoized per dataset object); the recorded
+    ``nbytes`` is the view's resident size, which is also its peak —
+    construction materialises one dense intermediate that is released
+    before the view is returned.
+    """
+    from .core.columnar import (
+        presorted_columns,
+        sequence_bitmap,
+        table_matrix,
+        transaction_bitmap,
+    )
+    from .datasets import agrawal, quest_basket, quest_sequences
+
+    db = quest_basket(rows, random_state=2024)
+    sdb = quest_sequences(n_sequences, 4, 1.5, n_items=800,
+                          random_state=2024)
+    table = agrawal(table_rows, function=2, noise=0.05, random_state=2024)
+    views = [
+        ("transaction_bitmap", {"rows": rows}, lambda: transaction_bitmap(db)),
+        ("sequence_bitmap", {"sequences": n_sequences},
+         lambda: sequence_bitmap(sdb)),
+        ("presorted_columns", {"rows": table_rows},
+         lambda: presorted_columns(table)),
+        ("table_matrix", {"rows": table_rows}, lambda: table_matrix(table)),
+    ]
+    entries = []
+    for name, params, build in views:
+        started = time.perf_counter()
+        view = build()
+        entries.append({
+            "view": name,
+            "params": params,
+            "build_seconds": round(time.perf_counter() - started, 6),
+            "nbytes": int(view.nbytes),
+        })
+    return entries
+
+
+def bench_kernels(sizes: Dict, n_jobs: int, repeat: int) -> Dict:
+    """Per-kernel suite: scalar twin vs. the columnar backend.
+
+    Every entry reuses the ``_entry`` shape with the scalar path in the
+    ``serial`` slot and the vectorized backend in the ``parallel`` slot,
+    so ``speedup`` is the kernel gain and ``identical`` is the
+    byte-identity contract.  The ``*_jobs`` twins additionally shard the
+    vectorized backend across ``n_jobs`` forked workers (serial *and*
+    ``--jobs``, as the parallel suite does for the scalar paths).  The
+    first vectorized call pays the encode (reported separately under
+    ``encodings``); with ``repeat > 1`` the best-of timing reflects the
+    warm-cache kernel cost.
+    """
+    from .associations import dhp, eclat, partition_miner
+    from .classification import SLIQ, KNN, NaiveBayes
+    from .clustering import KMeans
+    from .datasets import agrawal, gaussian_blobs, quest_basket, quest_sequences
+    from .sequences import gsp
+
+    rows = sizes["kernel_rows"]
+    n_sequences = sizes["kernel_sequences"]
+    table_rows = sizes["kernel_table_rows"]
+    entries: List[Dict] = []
+
+    db = quest_basket(rows, random_state=2024)
+    min_support = 0.01
+    params = {"rows": rows, "min_support": min_support}
+    entries.append(_entry(
+        "eclat_bitset", params, 1, repeat,
+        lambda: eclat(db, min_support),
+        lambda: eclat(db, min_support, backend="bitset"),
+        _itemsets_fingerprint,
+    ))
+    part_params = dict(params, n_partitions=2)
+    entries.append(_entry(
+        "partition_bitset", part_params, 1, repeat,
+        lambda: partition_miner(db, min_support, n_partitions=2),
+        lambda: partition_miner(db, min_support, n_partitions=2,
+                                backend="bitset"),
+        _itemsets_fingerprint,
+    ))
+    entries.append(_entry(
+        "partition_bitset_jobs", part_params, n_jobs, repeat,
+        lambda: partition_miner(db, min_support, n_partitions=2),
+        lambda: partition_miner(db, min_support, n_partitions=2,
+                                backend="bitset", n_jobs=n_jobs),
+        _itemsets_fingerprint,
+    ))
+    entries.append(_entry(
+        "dhp_bitmap", params, 1, repeat,
+        lambda: dhp(db, min_support),
+        lambda: dhp(db, min_support, backend="bitmap"),
+        _itemsets_fingerprint,
+    ))
+
+    sdb = quest_sequences(n_sequences, 4, 1.5, n_items=800,
+                          random_state=2024)
+    seq_support = sizes["kernel_seq_support"]
+    seq_params = {"sequences": n_sequences, "min_support": seq_support}
+
+    def _sequences_fingerprint(result) -> bytes:
+        return pickle.dumps(sorted(result.supports.items()))
+
+    entries.append(_entry(
+        "gsp_bitmap", seq_params, 1, repeat,
+        lambda: gsp(sdb, seq_support),
+        lambda: gsp(sdb, seq_support, backend="bitmap"),
+        _sequences_fingerprint,
+    ))
+    entries.append(_entry(
+        "gsp_bitmap_jobs", seq_params, n_jobs, repeat,
+        lambda: gsp(sdb, seq_support),
+        lambda: gsp(sdb, seq_support, backend="bitmap", n_jobs=n_jobs),
+        _sequences_fingerprint,
+    ))
+
+    table = agrawal(table_rows, function=2, noise=0.05, random_state=2024)
+    table_params = {"rows": table_rows}
+
+    def _tree_fingerprint(model) -> bytes:
+        return pickle.dumps(
+            (model.n_nodes(), list(model.predict(table)))
+        )
+
+    entries.append(_entry(
+        "sliq_columnar", table_params, 1, repeat,
+        lambda: SLIQ().fit(table, "group"),
+        lambda: SLIQ(backend="columnar").fit(table, "group"),
+        _tree_fingerprint,
+    ))
+
+    kmeans_rows = sizes["kernel_kmeans_rows"]
+    X, _ = gaussian_blobs(kmeans_rows, centers=12, n_features=8,
+                          cluster_std=0.8, random_state=2024)
+    kmeans_params = {"rows": kmeans_rows, "n_clusters": 12,
+                     "n_features": 8}
+
+    def _kmeans_fingerprint(model) -> bytes:
+        return pickle.dumps((
+            model.cluster_centers_.tobytes(),
+            model.labels_.tobytes(),
+            model.inertia_,
+            model.n_iter_,
+        ))
+
+    entries.append(_entry(
+        "kmeans_elkan", kmeans_params, 1, repeat,
+        lambda: KMeans(12, n_init=4, random_state=0).fit(X),
+        lambda: KMeans(12, n_init=4, random_state=0, backend="elkan").fit(X),
+        _kmeans_fingerprint,
+    ))
+
+    nb_scalar = NaiveBayes().fit(table, "group")
+    nb_columnar = NaiveBayes(backend="columnar").fit(table, "group")
+
+    def _proba_fingerprint(proba) -> bytes:
+        return proba.tobytes()
+
+    entries.append(_entry(
+        "nb_columnar", table_params, 1, repeat,
+        lambda: nb_scalar.predict_proba(table),
+        lambda: nb_columnar.predict_proba(table),
+        _proba_fingerprint,
+    ))
+
+    knn_rows = min(table_rows, 1500)
+    knn_table = agrawal(knn_rows, function=2, noise=0.05, random_state=2025)
+    knn_scalar = KNN(n_neighbors=5).fit(knn_table, "group")
+    knn_columnar = KNN(n_neighbors=5, backend="columnar").fit(
+        knn_table, "group"
+    )
+    entries.append(_entry(
+        "knn_columnar", {"rows": knn_rows}, 1, repeat,
+        lambda: knn_scalar.predict_proba(knn_table),
+        lambda: knn_columnar.predict_proba(knn_table),
+        _proba_fingerprint,
+    ))
+
+    return {
+        "encodings": bench_encodings(rows, n_sequences, table_rows),
+        "benchmarks": entries,
+    }
+
+
 def run_suite(scale: str = "full", n_jobs: int = 4, repeat: int = 1) -> Dict:
     """Run every benchmark at ``scale``; returns the JSON payload."""
     if scale not in SCALES:
@@ -230,6 +426,7 @@ def run_suite(scale: str = "full", n_jobs: int = 4, repeat: int = 1) -> Dict:
     benchmarks += bench_kmeans(sizes["kmeans_rows"], n_jobs, repeat)
     benchmarks += bench_crossval(sizes["crossval_rows"], n_jobs, repeat)
     benchmarks += bench_dispatch(sizes["dispatch_tasks"], n_jobs, repeat)
+    kernels = bench_kernels(sizes, n_jobs, repeat)
     n_cpus = len(os.sched_getaffinity(0))
     warnings: List[str] = []
     if n_cpus == 1:
@@ -249,6 +446,7 @@ def run_suite(scale: str = "full", n_jobs: int = 4, repeat: int = 1) -> Dict:
         "python": platform.python_version(),
         "warnings": warnings,
         "benchmarks": benchmarks,
+        "kernels": kernels,
     }
 
 
@@ -266,17 +464,38 @@ def validate_payload(payload: Dict) -> List[str]:
     ):
         if not isinstance(payload.get(key), kind):
             problems.append(f"missing or mistyped field {key!r}")
-    for i, entry in enumerate(payload.get("benchmarks") or []):
+    def _check_entries(entries, label):
+        for i, entry in enumerate(entries):
+            for key, kind in (
+                ("name", str), ("params", dict), ("n_jobs", int),
+                ("serial_seconds", (int, float)),
+                ("parallel_seconds", (int, float)),
+                ("speedup", (int, float)), ("identical", bool),
+            ):
+                if not isinstance(entry.get(key), kind):
+                    problems.append(
+                        f"{label}[{i}]: missing or mistyped field {key!r}"
+                    )
+
+    _check_entries(payload.get("benchmarks") or [], "benchmark")
+    kernels = payload.get("kernels")
+    if not isinstance(kernels, dict):
+        problems.append("missing or mistyped field 'kernels'")
+        return problems
+    for key in ("encodings", "benchmarks"):
+        if not isinstance(kernels.get(key), list):
+            problems.append(f"kernels: missing or mistyped field {key!r}")
+    for i, entry in enumerate(kernels.get("encodings") or []):
         for key, kind in (
-            ("name", str), ("params", dict), ("n_jobs", int),
-            ("serial_seconds", (int, float)),
-            ("parallel_seconds", (int, float)),
-            ("speedup", (int, float)), ("identical", bool),
+            ("view", str), ("params", dict),
+            ("build_seconds", (int, float)), ("nbytes", int),
         ):
             if not isinstance(entry.get(key), kind):
                 problems.append(
-                    f"benchmark[{i}]: missing or mistyped field {key!r}"
+                    f"kernels.encodings[{i}]: missing or mistyped "
+                    f"field {key!r}"
                 )
+    _check_entries(kernels.get("benchmarks") or [], "kernels.benchmark")
     return problems
 
 
@@ -307,6 +526,26 @@ def render_report(payload: Dict) -> str:
                 f"{entry['params']['per_task_fork_us']:.0f}us fork-per-task "
                 f"vs {entry['params']['per_task_pool_us']:.0f}us pooled"
             )
+    kernels = payload.get("kernels")
+    if kernels:
+        lines.append("")
+        lines.append("columnar encodings (build cost, resident bytes)")
+        for entry in kernels["encodings"]:
+            lines.append(
+                f"  {entry['view']:<20} {entry['build_seconds']:>9.3f}s "
+                f"{entry['nbytes']:>12,} bytes"
+            )
+        lines.append(
+            f"{'kernel':<22} {'scalar':>10} {'vectorized':>10} "
+            f"{'speedup':>8}  identical"
+        )
+        for entry in kernels["benchmarks"]:
+            lines.append(
+                f"{entry['name']:<22} {entry['serial_seconds']:>9.3f}s "
+                f"{entry['parallel_seconds']:>9.3f}s "
+                f"{entry['speedup']:>7.2f}x  "
+                f"{'yes' if entry['identical'] else 'NO'}"
+            )
     for warning in payload.get("warnings") or []:
         lines.append(f"warning: {warning}")
     return "\n".join(lines)
@@ -329,6 +568,8 @@ __all__ = [
     "bench_apriori",
     "bench_crossval",
     "bench_dispatch",
+    "bench_encodings",
+    "bench_kernels",
     "bench_kmeans",
     "bench_partition",
     "main",

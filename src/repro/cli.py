@@ -132,6 +132,16 @@ def _add_parallel_flags(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="vectorized hot-loop backend over the shared columnar data "
+             "plane (values are per-algorithm, e.g. bitset/bitmap/"
+             "columnar/elkan); output is byte-identical to the scalar "
+             "path; only vectorizable algorithms accept this flag",
+    )
+
+
 def _usage_error(args, caps, algorithm: str) -> Optional[str]:
     """One-line actionable message for a bad flag combination, or None.
 
@@ -149,6 +159,8 @@ def _usage_error(args, caps, algorithm: str) -> Optional[str]:
     jobs = getattr(args, "jobs", None)
     if jobs is not None and jobs != 1 and not caps.parallelizable:
         return f"{algorithm} does not support --jobs"
+    if getattr(args, "backend", None) is not None and not caps.vectorizable:
+        return f"{algorithm} does not support --backend"
     if not args.supervise:
         if args.max_rss_mb is not None:
             return "--max-rss-mb requires --supervise"
@@ -287,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checkpoint_flags(mine)
     _add_supervise_flags(mine)
     _add_parallel_flags(mine)
+    _add_backend_flag(mine)
 
     classify = sub.add_parser("classify", help="train/evaluate a classifier")
     classify.add_argument("path", help="typed CSV (name:num / name:cat)")
@@ -304,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_budget_flags(classify)
     _add_supervise_flags(classify)
+    _add_backend_flag(classify)
 
     cluster = sub.add_parser("cluster", help="cluster numeric columns")
     cluster.add_argument("path", help="typed CSV (numeric columns used)")
@@ -320,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checkpoint_flags(cluster)
     _add_supervise_flags(cluster)
     _add_parallel_flags(cluster)
+    _add_backend_flag(cluster)
 
     generate = sub.add_parser("generate", help="emit synthetic data")
     generate.add_argument(
@@ -443,6 +458,8 @@ def _cmd_mine(args) -> int:
         kwargs["on_exhausted"] = "truncate"
     if args.jobs is not None and spec.capabilities.parallelizable:
         kwargs["n_jobs"] = args.jobs
+    if args.backend is not None:
+        kwargs["backend"] = args.backend
     if args.supervise:
         # The supervisor injects a per-attempt checkpointer into this
         # context (ExecutionContext.replace), so the budget survives
@@ -490,15 +507,19 @@ def _cmd_classify(args) -> int:
         random_state=args.seed,
     )
     resource = spec.capabilities.budget_resource
+    factory_kwargs = {}
+    if args.backend is not None:
+        factory_kwargs["backend"] = args.backend
     if args.time_limit is None and args.max_candidates is None:
-        model = spec.factory()
+        model = spec.factory(**factory_kwargs)
     else:
         if resource is None:
             print(f"error: {args.classifier} does not support --time-limit/"
                   "--max-candidates", file=sys.stderr)
             return 2
         budget = _make_budget(args, resource)
-        model = spec.factory(ctx=_make_context(budget=budget))
+        model = spec.factory(ctx=_make_context(budget=budget),
+                             **factory_kwargs)
     if args.supervise:
         model = _run_supervised(args, _fit_worker, model, train, args.target)
     else:
@@ -540,6 +561,8 @@ def _cmd_cluster(args) -> int:
     make_kwargs = {}
     if args.jobs is not None and spec.capabilities.parallelizable:
         make_kwargs["n_jobs"] = args.jobs
+    if args.backend is not None:
+        make_kwargs["backend"] = args.backend
     model = spec.make(
         _make_context(budget=budget, checkpoint=checkpoint),
         k=args.k, eps=args.eps, min_samples=args.min_samples, seed=args.seed,
@@ -613,7 +636,8 @@ def _cmd_bench(args) -> int:
     output = None if args.output == "-" else args.output
     payload = bench.main(scale=args.scale, n_jobs=args.jobs,
                          repeat=args.repeat, output=output)
-    return 0 if all(e["identical"] for e in payload["benchmarks"]) else 2
+    entries = payload["benchmarks"] + payload["kernels"]["benchmarks"]
+    return 0 if all(e["identical"] for e in entries) else 2
 
 
 def _cmd_algorithms(args) -> int:

@@ -33,8 +33,9 @@ from ..registry import (
 # mapping the shared CLI surface (k / eps / min-samples / seed) onto
 # the estimator.  Extra params are accepted and ignored so the CLI can
 # pass its full flag set uniformly.
-def _make_kmeans(ctx, k=3, seed=0, n_jobs=None, **_):
-    return KMeans(k, random_state=seed, ctx=ctx, n_jobs=n_jobs)
+def _make_kmeans(ctx, k=3, seed=0, n_jobs=None, backend="full", **_):
+    return KMeans(k, random_state=seed, ctx=ctx, n_jobs=n_jobs,
+                  backend=backend)
 
 
 def _make_pam(ctx, k=3, **_):
@@ -68,7 +69,7 @@ _ITERATIVE_CAPS = _Caps(
 )
 _KMEANS_CAPS = _Caps(
     checkpointable=True, supervisable=True, budget_resource="expansions",
-    parallelizable=True,
+    parallelizable=True, vectorizable=True,
 )
 for _spec in (
     _Spec("kmeans", "clustering", KMeans, _KMEANS_CAPS,

@@ -26,6 +26,9 @@ from .distance import nearest_center, pairwise_distances
 _INITS = ("kmeans++", "forgy", "random_partition")
 _ALGORITHMS = ("lloyd", "macqueen")
 
+#: assignment backends accepted by :class:`KMeans` (Lloyd iterations)
+ASSIGN_BACKENDS = ("full", "elkan")
+
 
 def _kmeans_trial_task(args, _shard_ctx):
     """Pool task: one independent k-means restart.
@@ -35,11 +38,12 @@ def _kmeans_trial_task(args, _shard_ctx):
     pickled hyperparameters, so nothing heavier than a few scalars and
     the child RNG crosses the pipe.
     """
-    X_handle, n_clusters, init, algorithm, max_iter, tol, child = args
+    X_handle, n_clusters, init, algorithm, max_iter, tol, child, backend \
+        = args
     X = get_array(X_handle) if isinstance(X_handle, SegmentHandle) \
         else X_handle
     model = KMeans(n_clusters, init=init, algorithm=algorithm, n_init=1,
-                   max_iter=max_iter, tol=tol)
+                   max_iter=max_iter, tol=tol, backend=backend)
     centers = model._init_centers(X, child)
     if algorithm == "lloyd":
         return model._lloyd(X, centers, child)
@@ -94,6 +98,15 @@ class KMeans(Clusterer):
         bare runs: a budget or checkpointer forces the serial loop,
         whose truncation and resume semantics are order-dependent.
         ``-1`` uses all cores.
+    backend:
+        Assignment kernel for the Lloyd algorithm.  ``"full"`` (default)
+        recomputes every point-to-centre distance each iteration;
+        ``"elkan"`` keeps per-point distance upper bounds and skips
+        points the triangle inequality proves cannot switch clusters,
+        recomputing only the stale remainder.  Outputs are byte-for-byte
+        identical (the final labels and inertia always come from one
+        full assignment).  Ignored by ``algorithm="macqueen"``, whose
+        per-point sequential updates have no batch assignment to skip.
 
     Attributes
     ----------
@@ -131,6 +144,7 @@ class KMeans(Clusterer):
         checkpoint: Optional[Checkpointer] = None,
         ctx: Optional[ExecutionContext] = None,
         n_jobs: Optional[int] = None,
+        backend: str = "full",
     ):
         check_in_range("n_clusters", n_clusters, 1, None)
         check_in_range("n_init", n_init, 1, None)
@@ -143,6 +157,11 @@ class KMeans(Clusterer):
             raise ValidationError(
                 f"algorithm must be one of {_ALGORITHMS}, got {algorithm!r}"
             )
+        if backend not in ASSIGN_BACKENDS:
+            raise ValidationError(
+                f"backend must be one of {ASSIGN_BACKENDS}, got {backend!r}"
+            )
+        self.backend = backend
         self.n_clusters = int(n_clusters)
         self.init = init
         self.algorithm = algorithm
@@ -267,7 +286,7 @@ class KMeans(Clusterer):
             X_handle = region.put_array(X)
             tasks = [
                 (X_handle, self.n_clusters, self.init, self.algorithm,
-                 self.max_iter, self.tol, child)
+                 self.max_iter, self.tol, child, self.backend)
                 for child in children[:self.n_init]
             ]
             # probe=True: a restart on small data converges in well
@@ -367,6 +386,10 @@ class KMeans(Clusterer):
         return True
 
     def _lloyd(self, X, centers, rng, start_iter=0, on_iter=None):
+        if self.backend == "elkan":
+            return self._lloyd_elkan(
+                X, centers, start_iter=start_iter, on_iter=on_iter
+            )
         labels = None
         converged = False
         iteration = start_iter
@@ -384,6 +407,60 @@ class KMeans(Clusterer):
                     new_centers[c] = X[int(np.argmax(sq))]
             shift = float(np.sqrt(((new_centers - centers) ** 2).sum(axis=1)).max())
             centers = new_centers
+            if shift <= self.tol:
+                converged = True
+                break
+            if on_iter is not None:
+                on_iter(iteration, centers, None)
+        labels, sq = nearest_center(X, centers)
+        return centers, labels, float(sq.sum()), iteration, converged
+
+    def _lloyd_elkan(self, X, centers, start_iter=0, on_iter=None):
+        """Lloyd with a triangle-inequality assignment skip (Elkan 2003).
+
+        A point whose distance upper bound stays within half the gap
+        between its centre and the nearest other centre provably cannot
+        change assignment, so only the remaining "stale" points pay for
+        a distance computation.  Budget charges, the empty-cluster
+        re-seed rule, and the final full assignment are identical to the
+        plain backend, so outputs are byte-for-byte the same.
+        """
+        labels = None
+        ub = None
+        converged = False
+        iteration = start_iter
+        for iteration in range(start_iter + 1, self.max_iter + 1):
+            if not self._charge_iteration("kmeans-lloyd"):
+                break
+            if labels is None:
+                labels, sq = nearest_center(X, centers)
+                ub = np.sqrt(sq)
+            else:
+                cc = pairwise_distances(centers, centers)
+                np.fill_diagonal(cc, np.inf)
+                half_min = 0.5 * cc.min(axis=1)
+                stale = ub > half_min[labels]
+                if stale.any():
+                    sub_labels, sub_sq = nearest_center(X[stale], centers)
+                    labels[stale] = sub_labels
+                    ub[stale] = np.sqrt(sub_sq)
+            new_centers = centers.copy()
+            sq_exact = None
+            for c in range(self.n_clusters):
+                member = labels == c
+                if member.any():
+                    new_centers[c] = X[member].mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point,
+                    # measured exactly so the choice matches the plain
+                    # backend (bounds are not tight enough to rank).
+                    if sq_exact is None:
+                        _, sq_exact = nearest_center(X, centers)
+                    new_centers[c] = X[int(np.argmax(sq_exact))]
+            drift = np.sqrt(((new_centers - centers) ** 2).sum(axis=1))
+            shift = float(drift.max())
+            centers = new_centers
+            ub = ub + drift[labels]
             if shift <= self.tol:
                 converged = True
                 break

@@ -50,6 +50,12 @@ class Capabilities:
         Accepts ``n_jobs`` and shards work across a fork-based
         :class:`~repro.runtime.WorkerPool` with results byte-identical
         to serial execution (``--jobs`` in the CLI).
+    vectorizable:
+        Offers a vectorized hot-loop backend over the shared columnar
+        data plane (:mod:`repro.core.columnar`) — packed bitsets,
+        presorted columns or cached dense matrices — selected with a
+        ``backend`` parameter (``--backend`` in the CLI) and
+        byte-identical to the scalar path.
     """
 
     checkpointable: bool = False
@@ -57,6 +63,7 @@ class Capabilities:
     budget_resource: Optional[str] = None
     degradation_policies: Tuple[str, ...] = ()
     parallelizable: bool = False
+    vectorizable: bool = False
 
     def describe(self) -> str:
         """Compact one-cell rendering for the ``repro algorithms`` table."""
@@ -67,6 +74,8 @@ class Capabilities:
             parts.append("supervise")
         if self.parallelizable:
             parts.append("parallel")
+        if self.vectorizable:
+            parts.append("vectorize")
         if self.budget_resource is not None:
             parts.append(f"budget={self.budget_resource}")
         if self.degradation_policies:
@@ -82,6 +91,7 @@ class Capabilities:
             "budget_resource": self.budget_resource,
             "degradation_policies": list(self.degradation_policies),
             "parallelizable": self.parallelizable,
+            "vectorizable": self.vectorizable,
         }
 
 

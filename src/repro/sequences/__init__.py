@@ -34,7 +34,7 @@ for _spec in (
     _Spec("gsp", "sequences", gsp,
           _Caps(checkpointable=True, supervisable=True,
                 budget_resource="candidates", degradation_policies=_BASIC,
-                parallelizable=True),
+                parallelizable=True, vectorizable=True),
           summary="generalized sequential patterns with time constraints"),
     _Spec("prefixspan", "sequences", prefixspan,
           _Caps(budget_resource="candidates", degradation_policies=_BASIC),

@@ -22,6 +22,7 @@ import time as _time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.base import check_nonempty
+from ..core.columnar import sequence_bitmap
 from ..core.exceptions import ValidationError
 from ..core.itemsets import PassStats
 from ..core.sequences import SequenceDatabase, SequencePattern, pattern_length
@@ -41,6 +42,9 @@ from ..runtime.parallel import resolve_n_jobs, shard_bounds, shared_pool
 from ..runtime.transport import SharedRegion, get_object
 from .result import FrequentSequences
 
+#: counting backends accepted by :func:`gsp`
+COUNT_BACKENDS = ("scan", "bitmap")
+
 
 def gsp(
     db: SequenceDatabase,
@@ -55,6 +59,7 @@ def gsp(
     checkpoint: Optional[Checkpointer] = None,
     ctx: Optional[ExecutionContext] = None,
     n_jobs: Optional[int] = None,
+    backend: str = "scan",
 ) -> FrequentSequences:
     """Mine frequent sequential patterns with GSP.
 
@@ -96,6 +101,16 @@ def gsp(
         sequence database across forked workers and sums the per-shard
         candidate counts; results are byte-identical to the serial
         scan.  ``-1`` uses all cores.
+    backend:
+        ``"scan"`` (the default) prefilters each (sequence, candidate)
+        pair with a per-sequence item frozenset; ``"bitmap"`` builds
+        the database's memoized per-item occurrence bitmaps
+        (:mod:`repro.core.columnar`) and ANDs the candidate's item rows
+        to select only the sequences that can possibly contain it
+        before running the ordered subsequence check — the same
+        prefilter predicate evaluated as one vectorized reduction per
+        candidate instead of per (sequence, candidate) pair.  Supports
+        are byte-identical.
 
     Returns
     -------
@@ -107,6 +122,10 @@ def gsp(
     >>> gsp(db, min_support=0.6).supports[((1,), (2,))]
     2
     """
+    if backend not in COUNT_BACKENDS:
+        raise ValidationError(
+            f"backend must be one of {COUNT_BACKENDS}, got {backend!r}"
+        )
     ctx = resolve_context(ctx, budget=budget, checkpoint=checkpoint,
                           owner="gsp")
     check_degradation_policy(on_exhausted, BASIC_POLICIES, "gsp")
@@ -171,6 +190,10 @@ def gsp(
         k = 2
         ctx.mark(lambda: levelwise_state(k, frequent, all_frequent, stats))
 
+    if backend == "bitmap":
+        # Build the memoized occurrence bitmaps in the parent before any
+        # worker forks so they are inherited copy-on-write.
+        sequence_bitmap(db)
     # Run-scoped shared segment: the sequence database and its
     # timestamps are placed once; every pass's counting shards resolve
     # the same handle instead of re-pickling the database per task.
@@ -199,7 +222,8 @@ def gsp(
                 cands_handle = region.put_object(candidate_items)
                 try:
                     tasks = [
-                        (db_handle, cands_handle, k, checker, begin, stop)
+                        (db_handle, cands_handle, k, checker, begin, stop,
+                         backend)
                         for begin, stop in shard_bounds(n, n_jobs)
                     ]
                     vectors = shared_pool(n_jobs).map(
@@ -211,7 +235,8 @@ def gsp(
                 totals = [sum(column) for column in zip(*vectors)]
             else:
                 totals = _count_range(
-                    db, times, candidate_items, k, checker, 0, n, budget
+                    db, times, candidate_items, k, checker, 0, n, budget,
+                    backend,
                 )
             frequent = {
                 cand: cnt
@@ -248,11 +273,12 @@ def gsp(
 
 def _count_shard_task(args, shard_ctx):
     """Pool task: one shard's candidate counts, inputs via handles."""
-    db_handle, cands_handle, k, checker, begin, stop = args
+    db_handle, cands_handle, k, checker, begin, stop, backend = args
     db, times = get_object(db_handle)
     budget = None if shard_ctx is None else shard_ctx.budget
     return _count_range(
-        db, times, get_object(cands_handle), k, checker, begin, stop, budget
+        db, times, get_object(cands_handle), k, checker, begin, stop,
+        budget, backend,
     )
 
 
@@ -265,6 +291,7 @@ def _count_range(
     begin: int,
     stop: int,
     budget: Optional[Budget],
+    backend: str = "scan",
 ) -> List[int]:
     """Candidate counts over sequences ``[begin, stop)``.
 
@@ -272,6 +299,10 @@ def _count_range(
     of the map-reduce counting path; per-shard vectors sum to the
     full-scan counts.
     """
+    if backend == "bitmap":
+        return _count_range_bitmap(
+            db, times, candidate_items, k, checker, begin, stop, budget
+        )
     counts = [0] * len(candidate_items)
     for i in range(begin, stop):
         if budget is not None and i % 64 == 0:
@@ -284,6 +315,41 @@ def _count_range(
         seq_items = frozenset(item for e in seq for item in e)
         for j, (cand, items) in enumerate(candidate_items):
             if items <= seq_items and checker.contains(seq, t, cand):
+                counts[j] += 1
+    return counts
+
+
+def _count_range_bitmap(
+    db: SequenceDatabase,
+    times: List[List[float]],
+    candidate_items: List[Tuple[SequencePattern, frozenset]],
+    k: int,
+    checker: "_ContainsChecker",
+    begin: int,
+    stop: int,
+    budget: Optional[Budget],
+) -> List[int]:
+    """Bitmap-prefiltered counts: same predicate, candidate-major order.
+
+    ANDing the occurrence rows of a candidate's items yields exactly the
+    sequences whose item sets are supersets of the candidate's — the
+    scalar path's frozenset prefilter as one vectorized reduction — so
+    the ordered :meth:`_ContainsChecker.contains` check runs on the same
+    (sequence, candidate) pairs and the counts are byte-identical.
+    """
+    bitmap = sequence_bitmap(db)
+    total_items = [
+        sum(len(e) for e in db[i]) for i in range(begin, stop)
+    ]
+    counts = [0] * len(candidate_items)
+    for j, (cand, items) in enumerate(candidate_items):
+        if budget is not None and j % 16 == 0:
+            budget.check(phase=f"count-{k}")
+        for i in bitmap.candidate_sequences(items, begin, stop):
+            i = int(i)
+            if total_items[i - begin] < k:
+                continue
+            if checker.contains(db[i], times[i], cand):
                 counts[j] += 1
     return counts
 

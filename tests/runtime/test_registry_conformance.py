@@ -176,3 +176,87 @@ def test_clusterer_budget_kwarg_warns_but_works(workloads):
     labels = tuple(model.fit_predict(workloads["X"]).tolist())
     spec = registry.get("clustering", "kmeans")
     assert labels == _run(spec, workloads)
+
+
+# ----------------------------------------------------------------------
+# --backend conformance: the CLI flag tracks Capabilities.vectorizable
+# ----------------------------------------------------------------------
+CLI_SPECS = [
+    s for s in ALL_SPECS
+    if s.family in ("associations", "classification", "clustering")
+]
+
+#: vectorized backend name of every vectorizable algorithm
+VECTOR_BACKEND = {
+    "eclat": "bitset",
+    "partition": "bitset",
+    "dhp": "bitmap",
+    "gsp": "bitmap",
+    "sliq": "columnar",
+    "nb": "columnar",
+    "knn": "columnar",
+    "kmeans": "elkan",
+}
+
+
+def test_every_vectorizable_algorithm_names_a_vector_backend():
+    for spec in ALL_SPECS:
+        if spec.capabilities.vectorizable:
+            assert spec.name in VECTOR_BACKEND, _spec_id(spec)
+
+
+@pytest.fixture(scope="module")
+def cli_data(tmp_path_factory):
+    from repro.cli import main
+
+    root = tmp_path_factory.mktemp("backend-sweep")
+    paths = {
+        "associations": root / "basket.dat",
+        "classification": root / "credit.csv",
+        "clustering": root / "blobs.csv",
+    }
+    assert main(["generate", "basket", str(paths["associations"]),
+                 "--rows", "120", "--seed", "1"]) == 0
+    assert main(["generate", "agrawal", str(paths["classification"]),
+                 "--rows", "200", "--function", "2", "--seed", "2"]) == 0
+    assert main(["generate", "blobs", str(paths["clustering"]),
+                 "--rows", "90", "--centers", "3", "--seed", "3"]) == 0
+    return paths
+
+
+def _backend_argv(spec, data, backend):
+    if spec.family == "associations":
+        argv = ["mine", str(data["associations"]), "--miner", spec.name,
+                "--min-support", "0.1"]
+    elif spec.family == "classification":
+        argv = ["classify", str(data["classification"]),
+                "--target", "group", "--classifier", spec.name]
+    else:
+        argv = ["cluster", str(data["clustering"]),
+                "--algorithm", spec.name, "--k", "3", "--eps", "1.5"]
+    return argv + ["--backend", backend]
+
+
+@pytest.mark.parametrize("spec", CLI_SPECS, ids=_spec_id)
+def test_backend_flag_tracks_vectorizable_capability(spec, cli_data, capsys):
+    from repro.cli import main
+
+    if spec.capabilities.vectorizable:
+        argv = _backend_argv(spec, cli_data, VECTOR_BACKEND[spec.name])
+        assert main(argv) == 0
+    else:
+        argv = _backend_argv(spec, cli_data, "columnar")
+        assert main(argv) == 2
+        assert "does not support --backend" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [s for s in CLI_SPECS if s.capabilities.vectorizable],
+    ids=_spec_id,
+)
+def test_unknown_backend_value_exits_2(spec, cli_data, capsys):
+    from repro.cli import main
+
+    assert main(_backend_argv(spec, cli_data, "warp-drive")) == 2
+    assert "backend" in capsys.readouterr().err

@@ -11,6 +11,20 @@ import json
 from repro import bench
 
 
+def _entry(name="apriori", **overrides):
+    entry = {
+        "name": name,
+        "params": {"rows": 10},
+        "n_jobs": 2,
+        "serial_seconds": 0.5,
+        "parallel_seconds": 0.3,
+        "speedup": 1.6667,
+        "identical": True,
+    }
+    entry.update(overrides)
+    return entry
+
+
 def _valid_payload():
     return {
         "schema_version": bench.SCHEMA_VERSION,
@@ -21,17 +35,18 @@ def _valid_payload():
         "n_cpus": 1,
         "python": "3.11.0",
         "warnings": [],
-        "benchmarks": [
-            {
-                "name": "apriori",
-                "params": {"rows": 10},
-                "n_jobs": 2,
-                "serial_seconds": 0.5,
-                "parallel_seconds": 0.3,
-                "speedup": 1.6667,
-                "identical": True,
-            }
-        ],
+        "benchmarks": [_entry()],
+        "kernels": {
+            "encodings": [
+                {
+                    "view": "transaction_bitmap",
+                    "params": {"rows": 10},
+                    "build_seconds": 0.01,
+                    "nbytes": 128,
+                }
+            ],
+            "benchmarks": [_entry("eclat_bitset", n_jobs=1)],
+        },
     }
 
 
@@ -84,3 +99,51 @@ def test_run_suite_rejects_unknown_scale():
 
     with pytest.raises(ValidationError, match="scale"):
         bench.run_suite(scale="galactic")
+
+
+# ----------------------------------------------------------------------
+# Schema v3: the per-kernel suite
+# ----------------------------------------------------------------------
+def test_schema_version_is_3():
+    assert bench.SCHEMA_VERSION == 3
+
+
+def test_payload_without_kernels_is_invalid():
+    payload = _valid_payload()
+    del payload["kernels"]
+    assert any("kernels" in p for p in bench.validate_payload(payload))
+
+
+def test_kernels_block_fields_are_checked():
+    payload = _valid_payload()
+    del payload["kernels"]["encodings"][0]["nbytes"]
+    payload["kernels"]["benchmarks"][0]["identical"] = "yes"
+    problems = bench.validate_payload(payload)
+    assert any("nbytes" in p for p in problems)
+    assert any("kernels.benchmark[0]" in p and "identical" in p
+               for p in problems)
+
+
+def test_kernel_entries_share_the_benchmark_entry_shape():
+    payload = _valid_payload()
+    del payload["kernels"]["benchmarks"][0]["speedup"]
+    assert any("speedup" in p for p in bench.validate_payload(payload))
+
+
+def test_bench_encodings_measures_every_view():
+    encodings = bench.bench_encodings(rows=60, n_sequences=20,
+                                      table_rows=60)
+    views = [e["view"] for e in encodings]
+    assert views == ["transaction_bitmap", "sequence_bitmap",
+                     "presorted_columns", "table_matrix"]
+    for entry in encodings:
+        assert entry["build_seconds"] >= 0.0
+        assert entry["nbytes"] > 0
+        assert isinstance(entry["params"], dict)
+
+
+def test_render_report_shows_kernel_table():
+    report = bench.render_report(_valid_payload())
+    assert "columnar encodings" in report
+    assert "eclat_bitset" in report
+    assert "transaction_bitmap" in report

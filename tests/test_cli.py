@@ -115,6 +115,52 @@ class TestCluster:
                      "--k", "3", "--eps", "1.0"]) == 0
 
 
+class TestBackendFlag:
+    """``--backend`` selects a vectorized kernel, byte-identical output."""
+
+    def test_mine_backend_output_identical(self, basket_file, capsys):
+        base = ["mine", str(basket_file), "--miner", "eclat",
+                "--min-support", "0.05"]
+        assert main(base) == 0
+        scalar = capsys.readouterr().out
+        assert main(base + ["--backend", "bitset"]) == 0
+        assert capsys.readouterr().out == scalar
+
+    def test_classify_backend_output_identical(self, agrawal_file, capsys):
+        base = ["classify", str(agrawal_file), "--target", "group",
+                "--classifier", "sliq"]
+        assert main(base) == 0
+        scalar = capsys.readouterr().out
+        assert main(base + ["--backend", "columnar"]) == 0
+        assert capsys.readouterr().out == scalar
+
+    def test_cluster_backend_output_identical(self, blobs_file, capsys):
+        base = ["cluster", str(blobs_file), "--k", "3", "--seed", "0"]
+        assert main(base) == 0
+        scalar = capsys.readouterr().out
+        assert main(base + ["--backend", "elkan"]) == 0
+        assert capsys.readouterr().out == scalar
+
+    def test_backend_on_non_vectorizable_miner_is_usage_error(
+            self, basket_file, capsys):
+        assert main(["mine", str(basket_file), "--miner", "fp_growth",
+                     "--backend", "bitset"]) == 2
+        assert "does not support --backend" in capsys.readouterr().err
+
+    def test_backend_on_non_vectorizable_clusterer_is_usage_error(
+            self, blobs_file, capsys):
+        assert main(["cluster", str(blobs_file), "--algorithm", "dbscan",
+                     "--eps", "1.5", "--backend", "elkan"]) == 2
+        assert "does not support --backend" in capsys.readouterr().err
+
+    def test_unknown_backend_value_fails_cleanly(self, basket_file, capsys):
+        assert main(["mine", str(basket_file), "--miner", "eclat",
+                     "--backend", "warp"]) == 2
+        err = capsys.readouterr().err
+        assert "backend" in err
+        assert "Traceback" not in err
+
+
 class TestAlgorithms:
     def test_lists_every_registered_algorithm(self, capsys):
         from repro import registry
@@ -140,6 +186,9 @@ class TestAlgorithms:
         assert caps["checkpointable"] is True
         assert caps["budget_resource"] == "candidates"
         assert isinstance(caps["degradation_policies"], list)
+        assert caps["vectorizable"] is False
+        assert entries["eclat"]["capabilities"]["vectorizable"] is True
+        assert entries["sliq"]["capabilities"]["vectorizable"] is True
 
     def test_choices_come_from_the_registry(self):
         """The subcommand choices are the registry, not a literal list."""
